@@ -1,0 +1,72 @@
+// E-COAL — footnote 14: resilience against coalitional manipulation.
+//
+// At each discipline's Nash point, search for joint deviations by every
+// pair and by the grand coalition that make all members strictly better
+// off. FS equilibria resist; FIFO's collapse to a joint retreat.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/coalition.hpp"
+#include "core/fair_share.hpp"
+#include "core/mixture.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+
+int main() {
+  using namespace gw;
+  using core::make_linear;
+  bench::banner(
+      "E-COAL coalition", "Footnote 14 (Moulin-Shenker [23], p. 1025)",
+      "Fair Share Nash equilibria are resilient against coalitions acting "
+      "in concert; FIFO's Nash points are destroyed even by the users' "
+      "own grand coalition (a joint retreat helps every member).");
+
+  struct Case {
+    const char* label;
+    std::shared_ptr<const core::AllocationFunction> alloc;
+  };
+  const std::vector<Case> cases{
+      {"FairShare", std::make_shared<core::FairShareAllocation>()},
+      {"FIFO", std::make_shared<core::ProportionalAllocation>()},
+      {"Mixture(0.5)", std::make_shared<core::MixtureAllocation>(0.5)},
+  };
+  const core::UtilityProfile profile{make_linear(1.0, 0.2),
+                                     make_linear(1.0, 0.35),
+                                     make_linear(1.0, 0.5)};
+  const std::vector<std::vector<std::size_t>> coalitions{
+      {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}};
+
+  std::printf("\nBest uniform coalition gain over joint deviations at each "
+              "discipline's Nash point:\n\n");
+  bench::table_header({"discipline", "coalition", "best gain", "profitable"});
+  bool fs_resilient = true;
+  bool fifo_falls = false;
+  for (const auto& test_case : cases) {
+    const auto nash =
+        core::solve_nash(*test_case.alloc, profile, {0.1, 0.1, 0.1});
+    for (const auto& coalition : coalitions) {
+      const auto result = core::find_coalition_deviation(
+          *test_case.alloc, profile, nash.rates, coalition);
+      std::string members = "{";
+      for (std::size_t k = 0; k < coalition.size(); ++k) {
+        members += std::to_string(coalition[k] + 1) +
+                   (k + 1 < coalition.size() ? "," : "");
+      }
+      members += "}";
+      bench::table_row({test_case.label, members,
+                        bench::fmt(result.best_min_gain, 6),
+                        result.profitable ? "YES" : "no"});
+      if (std::string(test_case.label) == "FairShare" && result.profitable) {
+        fs_resilient = false;
+      }
+      if (std::string(test_case.label) == "FIFO" && result.profitable) {
+        fifo_falls = true;
+      }
+    }
+  }
+  bench::verdict(fs_resilient,
+                 "FS Nash resists every coalition tried (footnote 14)");
+  bench::verdict(fifo_falls, "FIFO Nash is coalitionally manipulable");
+  return bench::failures();
+}

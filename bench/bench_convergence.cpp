@@ -1,0 +1,178 @@
+// E-ROBUST — Theorem 5: robust convergence and Stackelberg immunity.
+//
+// (a) Populations of mixed learners (hill climbers, elimination automata,
+//     best-response sharks) under FS all converge to the same Nash point;
+//     the automaton's surviving candidate set (S-infinity estimate)
+//     collapses.
+// (b) Stackelberg leader advantage: positive under FIFO, ~zero under FS.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "core/proportional.hpp"
+#include "core/stackelberg.hpp"
+#include "learn/automaton.hpp"
+#include "learn/driver.hpp"
+#include "learn/hill_climber.hpp"
+#include "learn/oracle_learners.hpp"
+
+int main() {
+  using namespace gw;
+  using core::make_linear;
+  bench::banner(
+      "E-ROBUST convergence", "Theorem 5; Section 4.2.2",
+      "Under Fair Share every 'reasonable' self-optimization scheme "
+      "converges to the unique Nash point, and sophisticated strategies "
+      "(Stackelberg leadership) buy nothing. Under FIFO the leader "
+      "profits at the followers' expense.");
+
+  const auto fs = std::make_shared<core::FairShareAllocation>();
+  const auto fifo = std::make_shared<core::ProportionalAllocation>();
+  const auto profile = core::uniform_profile(make_linear(1.0, 0.25), 3);
+  const auto expected = core::fs_linear_symmetric_nash(0.25, 3);
+
+  std::printf("\n(a) Mixed learner populations on Fair Share (target Nash "
+              "rate %s):\n\n",
+              bench::fmt(expected.rate, 4).c_str());
+  bench::table_header({"population", "rounds", "final rates",
+                       "max|r - Nash|"});
+
+  struct Population {
+    const char* label;
+    std::vector<const char*> kinds;
+  };
+  const std::vector<Population> populations{
+      {"3x hill-climb", {"hill", "hill", "hill"}},
+      {"3x automaton", {"auto", "auto", "auto"}},
+      {"hill+auto+BR", {"hill", "auto", "br"}},
+      {"2xBR + newton", {"br", "br", "newton"}},
+  };
+
+  bool all_converged_to_nash = true;
+  for (const auto& population : populations) {
+    std::vector<std::unique_ptr<learn::Learner>> learners;
+    double initial = 0.05;
+    for (const char* kind : population.kinds) {
+      if (std::string(kind) == "hill") {
+        learners.push_back(
+            std::make_unique<learn::FiniteDifferenceHillClimber>(initial));
+      } else if (std::string(kind) == "auto") {
+        learn::AutomatonOptions options;
+        options.candidates = 41;
+        options.r_max = 0.6;
+        learners.push_back(
+            std::make_unique<learn::EliminationAutomaton>(initial, options));
+      } else if (std::string(kind) == "newton") {
+        learners.push_back(std::make_unique<learn::NewtonLearner>(initial));
+      } else {
+        learners.push_back(
+            std::make_unique<learn::BestResponseLearner>(initial));
+      }
+      initial += 0.1;
+    }
+    learn::GameDriver driver(fs, profile);
+    learn::DriverOptions options;
+    options.max_rounds = 6000;
+    const auto result = driver.run(learners, options);
+    double worst = 0.0;
+    std::string rates = "(";
+    for (std::size_t i = 0; i < result.final_rates.size(); ++i) {
+      worst = std::max(worst, std::abs(result.final_rates[i] - expected.rate));
+      rates += bench::fmt(result.final_rates[i], 3) +
+               (i + 1 < result.final_rates.size() ? "," : ")");
+    }
+    if (worst > 0.04) all_converged_to_nash = false;
+    bench::table_row({population.label, std::to_string(result.rounds), rates,
+                      bench::fmt(worst, 4)});
+  }
+  bench::verdict(all_converged_to_nash,
+                 "every mixed population lands on the FS Nash point");
+
+  // S-infinity estimate: automaton surviving sets.
+  {
+    std::vector<std::unique_ptr<learn::Learner>> learners;
+    std::vector<learn::EliminationAutomaton*> automata;
+    for (int i = 0; i < 3; ++i) {
+      learn::AutomatonOptions options;
+      options.candidates = 41;
+      options.r_max = 0.6;
+      options.seed = 17 + i;
+      auto automaton = std::make_unique<learn::EliminationAutomaton>(
+          0.1 + 0.1 * i, options);
+      automata.push_back(automaton.get());
+      learners.push_back(std::move(automaton));
+    }
+    learn::GameDriver driver(fs, profile);
+    learn::DriverOptions options;
+    options.max_rounds = 9000;
+    (void)driver.run(learners, options);
+    std::printf("\n  S-infinity estimate (surviving candidates of 41): ");
+    bool collapsed = true;
+    for (const auto* automaton : automata) {
+      std::printf("%zu ", automaton->surviving_count());
+      if (automaton->surviving_count() > 8) collapsed = false;
+    }
+    std::printf("\n");
+    bench::verdict(collapsed,
+                   "elimination automata collapse toward a single candidate");
+  }
+
+  // Scaling of convergence time with population size: naive hill
+  // climbers on FS, rounds until the driver's calm criterion fires.
+  std::printf("\nConvergence time vs population size (hill climbers on "
+              "FS):\n\n");
+  bench::table_header({"N", "rounds", "max|r - Nash|"});
+  bool scaling_sane = true;
+  for (const std::size_t n : {2u, 4u, 6u, 8u}) {
+    const auto big_profile =
+        core::uniform_profile(make_linear(1.0, 0.25), n);
+    std::vector<std::unique_ptr<learn::Learner>> climbers;
+    for (std::size_t i = 0; i < n; ++i) {
+      climbers.push_back(std::make_unique<learn::FiniteDifferenceHillClimber>(
+          0.02 + 0.3 * static_cast<double>(i) / static_cast<double>(n)));
+    }
+    learn::GameDriver driver(fs, big_profile);
+    learn::DriverOptions driver_options;
+    driver_options.max_rounds = 20000;
+    const auto run = driver.run(climbers, driver_options);
+    const auto target = core::fs_linear_symmetric_nash(0.25, n);
+    double worst = 0.0;
+    for (const double r : run.final_rates) {
+      worst = std::max(worst, std::abs(r - target.rate));
+    }
+    if (worst > 0.03) scaling_sane = false;
+    bench::table_row({std::to_string(n), std::to_string(run.rounds),
+                      bench::fmt(worst, 4)});
+  }
+  bench::verdict(scaling_sane,
+                 "hill-climber populations reach the FS Nash point at "
+                 "every population size tried");
+
+  // (b) Stackelberg advantage.
+  std::printf("\n(b) Stackelberg leader advantage (leader utility minus her "
+              "Nash utility):\n\n");
+  bench::table_header({"discipline", "leader", "advantage", "leader rate",
+                       "Nash rate"});
+  core::StackelbergOptions stackelberg;
+  stackelberg.leader_grid = 31;
+  double fifo_advantage = 0.0, fs_advantage = 0.0;
+  for (int which = 0; which < 2; ++which) {
+    const auto alloc =
+        which == 0
+            ? std::static_pointer_cast<const core::AllocationFunction>(fifo)
+            : std::static_pointer_cast<const core::AllocationFunction>(fs);
+    const auto result = core::solve_stackelberg(alloc, profile, 0, stackelberg);
+    bench::table_row({which == 0 ? "FIFO" : "FairShare", "user 1",
+                      bench::fmt(result.advantage(), 6),
+                      bench::fmt(result.leader_rate, 4),
+                      bench::fmt(result.nash_rates[0], 4)});
+    (which == 0 ? fifo_advantage : fs_advantage) = result.advantage();
+  }
+  bench::verdict(fifo_advantage > 1e-4,
+                 "FIFO rewards Stackelberg sophistication");
+  bench::verdict(std::abs(fs_advantage) < 3e-4,
+                 "FS leader gains nothing (Nash == Stackelberg)");
+  return bench::failures();
+}

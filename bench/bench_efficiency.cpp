@@ -1,0 +1,124 @@
+// E-EFF — Theorems 1 & 2 (and Corollary 2): efficiency of Nash equilibria.
+//
+// * identical users U = r - gamma c: FIFO Nash vs FS Nash vs symmetric
+//   Pareto, swept over N and gamma ("price of anarchy" table);
+// * FDC residual diagnostics: Nash condition vs Pareto condition;
+// * heterogeneous profiles: explicit dominating allocations over the FIFO
+//   Nash point, none over the FS symmetric Nash point.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/pareto.hpp"
+#include "core/proportional.hpp"
+
+int main() {
+  using namespace gw;
+  using core::make_linear;
+  bench::banner(
+      "E-EFF efficiency", "Theorems 1, 2; Section 4.1.1",
+      "No discipline guarantees Pareto-optimal Nash equilibria; FIFO's "
+      "Nash points are NEVER Pareto optimal, FS attains every achievable "
+      "Nash/Pareto point (symmetric users). Efficiency ratio degrades "
+      "with N under FIFO, stays 1 under FS.");
+
+  std::printf("\nIdentical users, U = r - gamma*c. Per-user utilities at "
+              "equilibrium (closed forms):\n\n");
+  bench::table_header({"gamma", "N", "U(FIFO)", "U(FS)=Pareto",
+                       "FIFO/Pareto", "load FIFO", "load FS"});
+  bool ratio_below_one = true;
+  bool ratio_decreasing = true;
+  for (const double gamma : {0.1, 0.25, 0.5}) {
+    double previous_ratio = 2.0;
+    for (const std::size_t n : {2u, 3u, 4u, 6u, 8u, 10u}) {
+      const auto fifo = core::fifo_linear_symmetric_nash(gamma, n);
+      const auto fs = core::fs_linear_symmetric_nash(gamma, n);
+      const double ratio = core::fifo_efficiency_ratio(gamma, n);
+      if (ratio >= 1.0) ratio_below_one = false;
+      if (ratio > previous_ratio + 1e-12) ratio_decreasing = false;
+      previous_ratio = ratio;
+      bench::table_row({bench::fmt(gamma, 2), std::to_string(n),
+                        bench::fmt(fifo.utility, 5), bench::fmt(fs.utility, 5),
+                        bench::fmt(ratio, 3), bench::fmt(1.0 - fifo.idle, 3),
+                        bench::fmt(1.0 - fs.idle, 3)});
+    }
+  }
+  bench::verdict(ratio_below_one,
+                 "FIFO Nash strictly less efficient than Pareto for N >= 2");
+  bench::verdict(ratio_decreasing,
+                 "FIFO efficiency ratio non-increasing in N (greed bites "
+                 "harder in crowds)");
+
+  // FDC diagnostics at the numerically solved equilibria.
+  std::printf("\nFirst-derivative-condition residuals at solved Nash points "
+              "(gamma = 0.25, N = 4):\n\n");
+  const auto profile = core::uniform_profile(make_linear(1.0, 0.25), 4);
+  const auto fifo_alloc = std::make_shared<core::ProportionalAllocation>();
+  const auto fs_alloc = std::make_shared<core::FairShareAllocation>();
+  bench::table_header({"discipline", "max|NashFDC|", "max|ParetoFDC|"});
+  double fs_pareto_residual = 0.0, fifo_pareto_residual = 0.0;
+  for (int which = 0; which < 2; ++which) {
+    const core::AllocationFunction& alloc =
+        which == 0 ? static_cast<core::AllocationFunction&>(*fifo_alloc)
+                   : static_cast<core::AllocationFunction&>(*fs_alloc);
+    const auto nash =
+        core::solve_nash(alloc, profile, std::vector<double>(4, 0.1));
+    const auto queues = alloc.congestion(nash.rates);
+    double nash_resid = 0.0, pareto_resid = 0.0;
+    for (const double e : core::fdc_residuals(alloc, profile, nash.rates)) {
+      nash_resid = std::max(nash_resid, std::abs(e));
+    }
+    for (const double e :
+         core::pareto_fdc_residuals(profile, nash.rates, queues)) {
+      pareto_resid = std::max(pareto_resid, std::abs(e));
+    }
+    if (which == 0) fifo_pareto_residual = pareto_resid;
+    if (which == 1) fs_pareto_residual = pareto_resid;
+    bench::table_row({which == 0 ? "FIFO" : "FairShare",
+                      bench::fmt(nash_resid, 6), bench::fmt(pareto_resid, 6)});
+  }
+  bench::verdict(fs_pareto_residual < 1e-2,
+                 "FS symmetric Nash satisfies the Pareto FDC");
+  bench::verdict(fifo_pareto_residual > 0.1,
+                 "FIFO Nash violates the Pareto FDC");
+
+  // Domination search: exhibit the allocation that beats the FIFO Nash.
+  std::printf("\nExplicit Pareto domination over the FIFO Nash "
+              "(heterogeneous gammas {0.15, 0.3, 0.5}):\n\n");
+  const core::UtilityProfile mixed{make_linear(1.0, 0.15),
+                                   make_linear(1.0, 0.3),
+                                   make_linear(1.0, 0.5)};
+  const auto fifo_nash =
+      core::solve_nash(*fifo_alloc, mixed, {0.1, 0.1, 0.1});
+  const auto fifo_queues = fifo_alloc->congestion(fifo_nash.rates);
+  const auto domination =
+      core::find_dominating_allocation(mixed, fifo_nash.rates, fifo_queues);
+  bench::table_header({"user", "Nash r", "Nash c", "better r", "better c"});
+  for (std::size_t u = 0; u < 3; ++u) {
+    bench::table_row({std::to_string(u + 1), bench::fmt(fifo_nash.rates[u]),
+                      bench::fmt(fifo_queues[u]),
+                      domination.dominated ? bench::fmt(domination.rates[u])
+                                           : "-",
+                      domination.dominated ? bench::fmt(domination.queues[u])
+                                           : "-"});
+  }
+  std::printf("  uniform utility gain available: %s\n",
+              bench::fmt(domination.best_min_gain, 6).c_str());
+  bench::verdict(domination.dominated,
+                 "FIFO heterogeneous Nash is Pareto-dominated (Theorem 1/2)");
+
+  // FS symmetric case: undominated.
+  const auto fs_sym_profile = core::uniform_profile(make_linear(1.0, 0.25), 3);
+  const auto fs_nash =
+      core::solve_nash(*fs_alloc, fs_sym_profile, {0.1, 0.1, 0.1});
+  const auto fs_queues = fs_alloc->congestion(fs_nash.rates);
+  const auto fs_domination = core::find_dominating_allocation(
+      fs_sym_profile, fs_nash.rates, fs_queues);
+  bench::verdict(!fs_domination.dominated,
+                 "FS symmetric Nash admits no dominating allocation "
+                 "(Theorem 2)");
+  return bench::failures();
+}

@@ -1,0 +1,81 @@
+// E-FAIR — Theorem 3: unilateral envy-freeness.
+//
+// Measures the worst envy of a best-responding user under FIFO, FS, the
+// smallest-rate-first priority foil, and mixtures — at Nash and far from
+// equilibrium (random opponents, including floods).
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/envy.hpp"
+#include "core/fair_share.hpp"
+#include "core/mixture.hpp"
+#include "core/nash.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "numerics/rng.hpp"
+
+int main() {
+  using namespace gw;
+  using core::make_linear;
+  bench::banner(
+      "E-FAIR fairness", "Theorem 3; Section 4.1.2",
+      "Fair Share is unilaterally envy-free: a user who best-responds "
+      "never prefers another user's allocation, no matter what the others "
+      "do. FIFO (and every mixture with it) produces envy.");
+
+  struct Case {
+    const char* label;
+    std::shared_ptr<const core::AllocationFunction> alloc;
+  };
+  const std::vector<Case> cases{
+      {"FIFO", std::make_shared<core::ProportionalAllocation>()},
+      {"Mixture(0.5)", std::make_shared<core::MixtureAllocation>(0.5)},
+      {"Mixture(0.1)", std::make_shared<core::MixtureAllocation>(0.1)},
+      {"SRF-priority", std::make_shared<core::SmallestRateFirstAllocation>()},
+      {"FairShare", std::make_shared<core::FairShareAllocation>()},
+  };
+
+  // Out-of-equilibrium sweep: user 0 best-responds against 400 random
+  // opponent profiles; record worst envy.
+  std::printf("\nWorst envy of a best-responding user over 400 random "
+              "opponent profiles (N = 4, heterogeneous gammas):\n\n");
+  bench::table_header({"discipline", "worst envy", "envious cases",
+                       "at Nash"});
+  const core::UtilityProfile profile{
+      make_linear(1.0, 0.2), make_linear(1.0, 0.35), make_linear(1.0, 0.5),
+      make_linear(1.0, 0.65)};
+  double fs_worst = 0.0, fifo_worst = 0.0;
+  for (const auto& test_case : cases) {
+    numerics::Rng rng(911);
+    double worst = 0.0;
+    int envious = 0;
+    for (int trial = 0; trial < 400; ++trial) {
+      std::vector<double> rates(4);
+      for (auto& r : rates) {
+        r = rng.bernoulli(0.15) ? rng.uniform(0.5, 2.0)   // occasional flood
+                                : rng.uniform(0.01, 0.4);
+      }
+      const std::size_t probe = trial % 4;
+      const auto result =
+          core::unilateral_envy(*test_case.alloc, profile, rates, probe);
+      if (result.max_envy > 1e-6) ++envious;
+      worst = std::max(worst, result.max_envy);
+    }
+    // Envy at the discipline's own Nash point.
+    const auto nash = core::solve_nash(*test_case.alloc, profile,
+                                       std::vector<double>(4, 0.08));
+    const auto queues = test_case.alloc->congestion(nash.rates);
+    const double nash_envy = core::max_envy(profile, nash.rates, queues);
+    bench::table_row({test_case.label, bench::fmt(worst, 5),
+                      std::to_string(envious) + "/400",
+                      bench::fmt(nash_envy, 5)});
+    if (std::string(test_case.label) == "FairShare") fs_worst = worst;
+    if (std::string(test_case.label) == "FIFO") fifo_worst = worst;
+  }
+
+  bench::verdict(fs_worst <= 1e-6,
+                 "FS: zero envy after best response, everywhere sampled");
+  bench::verdict(fifo_worst > 1e-3, "FIFO: envy exists out of equilibrium");
+  return bench::failures();
+}

@@ -1,0 +1,86 @@
+// E-FQ — Section 5.2: "real network" packet experiments in the spirit of
+// the Fair Queueing simulations the paper cites.
+//
+// Workload: an FTP-like flow (throughput hungry), a Telnet-like flow
+// (light, delay sensitive), and an ill-behaved flooder. Disciplines:
+// FIFO, DRR fair queueing, and the Fair Share priority switch. Claims:
+// fair throughput shares, low delay for light sources, protection from
+// the flooder.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace gw;
+  bench::banner(
+      "E-FQ fq_realnet", "Section 5.2",
+      "Fair-Queueing-style disciplines give (1) fair throughput, (2) lower "
+      "delay to sources using less than their share, and (3) protection "
+      "from ill-behaved sources — FIFO gives none of these.");
+
+  // Users: 0 = telnet (rate 0.05), 1 = ftp (0.45), 2 = flooder (1.4 > mu).
+  const std::vector<double> rates{0.05, 0.45, 1.4};
+  const char* user_names[] = {"telnet", "ftp", "flooder"};
+
+  sim::RunOptions options;
+  options.warmup = 4000.0;
+  options.batches = 12;
+  options.batch_length = 5000.0;
+  options.seed = 515;
+  options.delay_histograms = true;
+  options.delay_histogram_max = 2000.0;
+
+  struct Row {
+    sim::Discipline discipline;
+    sim::RunResult result;
+  };
+  std::vector<Row> rows;
+  for (const auto discipline :
+       {sim::Discipline::kFifo, sim::Discipline::kDrr, sim::Discipline::kSfq,
+        sim::Discipline::kFairShareOracle}) {
+    rows.push_back({discipline, sim::run_switch(discipline, rates, options)});
+  }
+
+  std::printf("\nPer-user mean delay and throughput (server rate 1.0, "
+              "flooder offered load 1.4):\n\n");
+  bench::table_header({"discipline", "user", "offered", "delivered",
+                       "mean delay", "p99 delay"});
+  for (const auto& row : rows) {
+    for (std::size_t u = 0; u < rates.size(); ++u) {
+      bench::table_row({sim::discipline_name(row.discipline), user_names[u],
+                        bench::fmt(rates[u], 2),
+                        bench::fmt(row.result.users[u].throughput, 3),
+                        bench::fmt(row.result.users[u].mean_delay, 2),
+                        bench::fmt(row.result.users[u].delay_p99, 2)});
+    }
+  }
+
+  const auto& fifo = rows[0].result;
+  const auto& drr = rows[1].result;
+  const auto& sfq = rows[2].result;
+  const auto& fs = rows[3].result;
+
+  // (1) Fair throughput: under FIFO the flooder grabs far beyond its fair
+  // share of delivered packets; under DRR/FS the well-behaved users get
+  // their full offered load through.
+  bench::verdict(fifo.users[1].throughput < 0.42,
+                 "FIFO: ftp cannot sustain its offered load beside a flooder");
+  bench::verdict(drr.users[1].throughput > 0.42 &&
+                     fs.users[1].throughput > 0.42,
+                 "DRR & FS: ftp's full offered load is delivered");
+
+  // (2) Low delay for light sources.
+  bench::verdict(drr.users[0].mean_delay < fifo.users[0].mean_delay / 5.0,
+                 "DRR: telnet delay an order below FIFO's");
+  bench::verdict(sfq.users[0].mean_delay < fifo.users[0].mean_delay / 5.0,
+                 "SFQ: telnet delay an order below FIFO's");
+  bench::verdict(fs.users[0].mean_delay < fifo.users[0].mean_delay / 5.0,
+                 "FS: telnet delay an order below FIFO's");
+
+  // (3) Protection: light users' delay under DRR/FS stays near the empty-
+  // system sojourn (1/mu = 1) despite the flooder.
+  bench::verdict(fs.users[0].mean_delay < 2.5,
+                 "FS: telnet mean delay close to a private server's");
+  return bench::failures();
+}

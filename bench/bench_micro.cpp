@@ -1,0 +1,113 @@
+// E-PERF — google-benchmark microbenchmarks: library hot paths.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "numerics/eigen.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace gw;
+
+std::vector<double> ramp_rates(std::size_t n, double total) {
+  std::vector<double> rates(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = static_cast<double>(i + 1);
+    sum += rates[i];
+  }
+  for (auto& r : rates) r *= total / sum;
+  return rates;
+}
+
+void BM_FairShareCongestion(benchmark::State& state) {
+  const core::FairShareAllocation alloc;
+  const auto rates = ramp_rates(static_cast<std::size_t>(state.range(0)), 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.congestion(rates));
+  }
+}
+BENCHMARK(BM_FairShareCongestion)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FairShareJacobian(benchmark::State& state) {
+  const core::FairShareAllocation alloc;
+  const auto rates = ramp_rates(static_cast<std::size_t>(state.range(0)), 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.jacobian(rates));
+  }
+}
+BENCHMARK(BM_FairShareJacobian)->Arg(4)->Arg(8);
+
+void BM_BestResponseFs(benchmark::State& state) {
+  const core::FairShareAllocation alloc;
+  const core::LinearUtility utility(1.0, 0.25);
+  const auto rates = ramp_rates(4, 0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_response(alloc, utility, rates, 1));
+  }
+}
+BENCHMARK(BM_BestResponseFs);
+
+void BM_NashSolveFs(benchmark::State& state) {
+  const core::FairShareAllocation alloc;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto profile = core::uniform_profile(core::make_linear(1.0, 0.25), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_nash(
+        alloc, profile, std::vector<double>(n, 0.5 / static_cast<double>(n))));
+  }
+}
+BENCHMARK(BM_NashSolveFs)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Eigenvalues(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  numerics::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = 1.0 / static_cast<double>(1 + i + 2 * j);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::eigenvalues(a));
+  }
+}
+BENCHMARK(BM_Eigenvalues)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SimulatorFifoEvents(benchmark::State& state) {
+  // Event throughput of the packet simulator at load 0.7.
+  for (auto _ : state) {
+    sim::RunOptions options;
+    options.warmup = 100.0;
+    options.batches = 2;
+    options.batch_length = 2000.0;
+    options.seed = 42;
+    const auto result =
+        sim::run_switch(sim::Discipline::kFifo, {0.35, 0.35}, options);
+    benchmark::DoNotOptimize(result);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(result.events));
+  }
+}
+BENCHMARK(BM_SimulatorFifoEvents)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorFairShareEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::RunOptions options;
+    options.warmup = 100.0;
+    options.batches = 2;
+    options.batch_length = 2000.0;
+    options.seed = 42;
+    const auto result = sim::run_switch(sim::Discipline::kFairShareOracle,
+                                        {0.2, 0.25, 0.25}, options);
+    benchmark::DoNotOptimize(result);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(result.events));
+  }
+}
+BENCHMARK(BM_SimulatorFairShareEvents)->Unit(benchmark::kMillisecond);
+
+}  // namespace

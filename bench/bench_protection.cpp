@@ -1,0 +1,72 @@
+// E-PROT — Theorem 8: out-of-equilibrium protection.
+//
+// For each discipline: fix user 0's rate, scan adversarial opponent
+// profiles (floods, clones, staircases, random), report max congestion
+// against the protective bound r / (1 - N r).
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/fair_share.hpp"
+#include "core/mixture.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "core/protection.hpp"
+
+int main() {
+  using namespace gw;
+  bench::banner(
+      "E-PROT protection", "Theorem 8; Section 4.3",
+      "Fair Share is protective: a user at rate r never sees more "
+      "congestion than r/(1 - N r), whatever the other users do. FIFO "
+      "offers no bound at all (flooders saturate everyone); mixtures "
+      "inherit FIFO's vulnerability.");
+
+  struct Case {
+    const char* label;
+    std::shared_ptr<const core::AllocationFunction> alloc;
+  };
+  const std::vector<Case> cases{
+      {"FairShare", std::make_shared<core::FairShareAllocation>()},
+      {"FIFO", std::make_shared<core::ProportionalAllocation>()},
+      {"Mixture(0.25)", std::make_shared<core::MixtureAllocation>(0.25)},
+      {"SRF-priority", std::make_shared<core::SmallestRateFirstAllocation>()},
+  };
+
+  const std::size_t n = 4;
+  std::printf("\nAdversarial scan, N = %zu users, user 1 probed:\n\n", n);
+  bench::table_header({"discipline", "rate", "bound", "max C_i",
+                       "protective"});
+  bool fs_ok = true, fifo_violates = false;
+  core::ProtectionScanOptions options;
+  options.random_samples = 3000;
+  for (const auto& test_case : cases) {
+    for (const double rate : {0.05, 0.1, 0.2}) {
+      const auto scan =
+          core::scan_protection(*test_case.alloc, 0, rate, n, options);
+      bench::table_row({test_case.label, bench::fmt(rate, 2),
+                        bench::fmt(scan.bound), bench::fmt(scan.max_congestion),
+                        scan.protective ? "yes" : "NO"});
+      if (std::string(test_case.label) == "FairShare" && !scan.protective) {
+        fs_ok = false;
+      }
+      if (std::string(test_case.label) == "FIFO" && !scan.protective) {
+        fifo_violates = true;
+      }
+    }
+  }
+  bench::verdict(fs_ok, "FS respects the protective bound everywhere scanned");
+  bench::verdict(fifo_violates, "FIFO violates the bound (unbounded abuse)");
+
+  // Tightness: the bound is achieved exactly by N clones.
+  const core::FairShareAllocation fs;
+  const double rate = 0.15;
+  const std::vector<double> clones(n, rate);
+  const double at_clones = fs.congestion(clones)[0];
+  const double bound = core::protective_bound(rate, n);
+  std::printf("\n  FS at N clones of r=%.2f: C = %s (bound %s)\n", rate,
+              bench::fmt(at_clones).c_str(), bench::fmt(bound).c_str());
+  bench::verdict(std::abs(at_clones - bound) < 1e-9,
+                 "protective bound is tight (achieved by clones)");
+  return bench::failures();
+}

@@ -1,0 +1,97 @@
+// E-UNIQ — Theorem 4: uniqueness of the Nash equilibrium.
+//
+// Multi-start best-response dynamics from 64 random interior points;
+// count the distinct verified equilibria each discipline produces, and
+// report convergence reliability along the way.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/fair_share.hpp"
+#include "core/mixture.hpp"
+#include "core/nash.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "numerics/rng.hpp"
+
+int main() {
+  using namespace gw;
+  using core::make_linear;
+  bench::banner(
+      "E-UNIQ uniqueness", "Theorem 4; Section 4.2.1",
+      "Fair Share always has exactly one Nash equilibrium (and is the only "
+      "MAC discipline with that guarantee). Multi-start search should find "
+      "a single fixed point under FS, and convergence itself should be "
+      "unreliable under FIFO-style coupling.");
+
+  struct Case {
+    const char* label;
+    std::shared_ptr<const core::AllocationFunction> alloc;
+  };
+  const std::vector<Case> cases{
+      {"FairShare", std::make_shared<core::FairShareAllocation>()},
+      {"FIFO", std::make_shared<core::ProportionalAllocation>()},
+      {"Mixture(0.5)", std::make_shared<core::MixtureAllocation>(0.5)},
+      {"SRF-priority", std::make_shared<core::SmallestRateFirstAllocation>()},
+  };
+
+  const std::vector<core::UtilityProfile> profiles{
+      core::uniform_profile(make_linear(1.0, 0.25), 4),
+      {make_linear(1.0, 0.15), make_linear(1.0, 0.3), make_linear(1.0, 0.45),
+       make_linear(1.0, 0.6)},
+  };
+  const char* profile_names[] = {"identical(0.25)", "hetero(.15-.6)"};
+
+  std::size_t fs_total_equilibria = 0;
+  std::size_t fs_runs = 0;
+
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    std::printf("\nProfile %s, N = 4, 64 random starts:\n\n", profile_names[p]);
+    bench::table_header({"discipline", "distinct eq", "converged",
+                         "eq rates (first)"});
+    for (const auto& test_case : cases) {
+      core::NashOptions options;
+      options.max_iterations = 250;
+      // Count convergence reliability separately.
+      numerics::Rng rng(1234);
+      int converged = 0;
+      const int starts = 64;
+      for (int s = 0; s < starts; ++s) {
+        std::vector<double> start(4);
+        double total = 0.0;
+        for (auto& x : start) {
+          x = rng.uniform(0.02, 1.0);
+          total += x;
+        }
+        const double target = rng.uniform(0.1, 0.9);
+        for (auto& x : start) x *= target / total;
+        const auto result =
+            core::solve_nash(*test_case.alloc, profiles[p], start, options);
+        if (result.converged) ++converged;
+      }
+      const auto equilibria =
+          core::find_equilibria(*test_case.alloc, profiles[p], starts, 99,
+                                options);
+      std::string first = "-";
+      if (!equilibria.empty()) {
+        first = "(" + bench::fmt(equilibria[0][0], 3);
+        for (std::size_t i = 1; i < equilibria[0].size(); ++i) {
+          first += "," + bench::fmt(equilibria[0][i], 3);
+        }
+        first += ")";
+      }
+      bench::table_row({test_case.label, std::to_string(equilibria.size()),
+                        std::to_string(converged) + "/" +
+                            std::to_string(starts),
+                        first});
+      if (std::string(test_case.label) == "FairShare") {
+        fs_total_equilibria += equilibria.size();
+        ++fs_runs;
+      }
+    }
+  }
+
+  bench::verdict(fs_total_equilibria == fs_runs,
+                 "FS: exactly one equilibrium per profile across all starts");
+  return bench::failures();
+}

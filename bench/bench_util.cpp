@@ -1,0 +1,54 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gw::bench {
+
+namespace {
+int g_failures = 0;
+constexpr int kColumnWidth = 14;
+}  // namespace
+
+void banner(const std::string& experiment_id, const std::string& paper_ref,
+            const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  [%s]\n", experiment_id.c_str(), paper_ref.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void table_header(const std::vector<std::string>& columns) {
+  for (const auto& column : columns) {
+    std::printf("%-*s", kColumnWidth, column.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size() * kColumnWidth; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+}
+
+void table_row(const std::vector<std::string>& cells) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", kColumnWidth, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string fmt(double value, int precision) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  if (std::isnan(value)) return "nan";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void verdict(bool pass, const std::string& description) {
+  if (!pass) ++g_failures;
+  std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", description.c_str());
+}
+
+int failures() { return g_failures; }
+
+}  // namespace gw::bench

@@ -1,0 +1,26 @@
+// Shared formatting helpers for the experiment harness binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gw::bench {
+
+/// Prints the experiment banner (id, paper reference, claim under test).
+void banner(const std::string& experiment_id, const std::string& paper_ref,
+            const std::string& claim);
+
+/// Prints a table header / row with fixed-width columns.
+void table_header(const std::vector<std::string>& columns);
+void table_row(const std::vector<std::string>& cells);
+
+/// Formats a double compactly ("0.1235", "inf").
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+/// Prints a PASS/FAIL verdict line for the qualitative shape check.
+void verdict(bool pass, const std::string& description);
+
+/// Returns the number of verdicts that failed so far (process exit code).
+[[nodiscard]] int failures();
+
+}  // namespace gw::bench

@@ -1,0 +1,257 @@
+// greedworks explorer — a command-line front end for the library.
+//
+//   explore_cli nash        --disc fs   --gammas 0.2,0.4,0.6
+//   explore_cli envy        --disc fifo --gammas 0.25,0.25 --rates 0.1,0.4
+//   explore_cli protection  --disc fifo --rate 0.1 --users 4
+//   explore_cli stackelberg --disc fifo --gammas 0.25,0.25,0.25 --leader 0
+//   explore_cli simulate    --disc drr  --rates 0.1,0.3,0.8
+//   explore_cli table1      --rates 0.05,0.1,0.15,0.2
+//
+// Every command prints what the library computed and, where relevant, the
+// paper's prediction next to it.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/envy.hpp"
+#include "core/fair_share.hpp"
+#include "core/mixture.hpp"
+#include "core/nash.hpp"
+#include "core/pareto.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "core/protection.hpp"
+#include "core/stackelberg.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace gw;
+
+[[noreturn]] void usage() {
+  std::printf(
+      "usage: explore_cli <command> [--key value]...\n"
+      "commands:\n"
+      "  nash        --disc fs|fifo|srf|mix:T --gammas g1,g2,...\n"
+      "  envy        --disc ... --gammas ... --rates r1,r2,...\n"
+      "  protection  --disc ... --rate R --users N\n"
+      "  stackelberg --disc ... --gammas ... --leader K\n"
+      "  simulate    --disc fifo|lifo|ps|fs|fsadapt|drr|sfq|rprio --rates ...\n"
+      "  table1      --rates r1,r2,...\n");
+  std::exit(2);
+}
+
+std::vector<double> parse_list(const std::string& text) {
+  std::vector<double> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::string token =
+        text.substr(begin, comma == std::string::npos ? comma : comma - begin);
+    if (!token.empty()) out.push_back(std::stod(token));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) usage();
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::shared_ptr<const core::AllocationFunction> make_alloc(
+    const std::string& name) {
+  if (name == "fs") return std::make_shared<core::FairShareAllocation>();
+  if (name == "fifo") return std::make_shared<core::ProportionalAllocation>();
+  if (name == "srf") {
+    return std::make_shared<core::SmallestRateFirstAllocation>();
+  }
+  if (name.rfind("mix:", 0) == 0) {
+    return std::make_shared<core::MixtureAllocation>(
+        std::stod(name.substr(4)));
+  }
+  std::printf("unknown discipline '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+core::UtilityProfile profile_from_gammas(const std::vector<double>& gammas) {
+  core::UtilityProfile profile;
+  for (const double gamma : gammas) {
+    profile.push_back(core::make_linear(1.0, gamma));
+  }
+  return profile;
+}
+
+int cmd_nash(const std::map<std::string, std::string>& flags) {
+  const auto alloc = make_alloc(flags.count("disc") ? flags.at("disc") : "fs");
+  const auto gammas =
+      parse_list(flags.count("gammas") ? flags.at("gammas") : "0.25,0.25");
+  const auto profile = profile_from_gammas(gammas);
+  const std::size_t n = profile.size();
+  const auto nash =
+      core::solve_nash(*alloc, profile, std::vector<double>(n, 0.1));
+  const auto queues = alloc->congestion(nash.rates);
+  std::printf("%s: Nash %s after %d sweeps\n", alloc->name().c_str(),
+              nash.converged ? "converged" : "NOT converged",
+              nash.iterations);
+  std::printf("%-6s %-8s %-10s %-12s %-10s\n", "user", "gamma", "rate",
+              "congestion", "utility");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("%-6zu %-8.3f %-10.4f %-12.4f %-10.5f\n", i + 1, gammas[i],
+                nash.rates[i], queues[i],
+                profile[i]->value(nash.rates[i], queues[i]));
+  }
+  const auto domination =
+      core::find_dominating_allocation(profile, nash.rates, queues);
+  std::printf("Pareto-dominated: %s | max envy: %.5f\n",
+              domination.dominated ? "YES" : "no",
+              core::max_envy(profile, nash.rates, queues));
+  return nash.converged ? 0 : 1;
+}
+
+int cmd_envy(const std::map<std::string, std::string>& flags) {
+  const auto alloc = make_alloc(flags.count("disc") ? flags.at("disc")
+                                                    : "fifo");
+  const auto gammas =
+      parse_list(flags.count("gammas") ? flags.at("gammas") : "0.25,0.25");
+  const auto rates =
+      parse_list(flags.count("rates") ? flags.at("rates") : "0.1,0.4");
+  const auto profile = profile_from_gammas(gammas);
+  const auto queues = alloc->congestion(rates);
+  const auto envy = core::envy_matrix(profile, rates, queues);
+  std::printf("%s envy matrix (row envies column when positive):\n",
+              alloc->name().c_str());
+  for (std::size_t i = 0; i < envy.rows(); ++i) {
+    for (std::size_t j = 0; j < envy.cols(); ++j) {
+      std::printf("%10.5f", envy(i, j));
+    }
+    std::printf("\n");
+  }
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto unilateral = core::unilateral_envy(*alloc, profile, rates, i);
+    std::printf("user %zu best-responds to %.4f, residual envy %.5f\n",
+                i + 1, unilateral.best_response_rate, unilateral.max_envy);
+  }
+  return 0;
+}
+
+int cmd_protection(const std::map<std::string, std::string>& flags) {
+  const auto alloc = make_alloc(flags.count("disc") ? flags.at("disc")
+                                                    : "fifo");
+  const double rate = flags.count("rate") ? std::stod(flags.at("rate")) : 0.1;
+  const std::size_t users =
+      flags.count("users") ? std::stoul(flags.at("users")) : 4;
+  const auto scan = core::scan_protection(*alloc, 0, rate, users);
+  std::printf("%s: user at rate %.3f among %zu users\n",
+              alloc->name().c_str(), rate, users);
+  std::printf("protective bound r/(1-Nr) = %.4f\n", scan.bound);
+  std::printf("worst congestion found   = %.4f -> %s\n", scan.max_congestion,
+              scan.protective ? "PROTECTIVE" : "NOT protective");
+  return 0;  // a negative finding is still a successful analysis
+}
+
+int cmd_stackelberg(const std::map<std::string, std::string>& flags) {
+  const auto alloc = make_alloc(flags.count("disc") ? flags.at("disc")
+                                                    : "fifo");
+  const auto gammas = parse_list(
+      flags.count("gammas") ? flags.at("gammas") : "0.25,0.25,0.25");
+  const std::size_t leader =
+      flags.count("leader") ? std::stoul(flags.at("leader")) : 0;
+  const auto profile = profile_from_gammas(gammas);
+  const auto result = core::solve_stackelberg(alloc, profile, leader);
+  std::printf("%s, user %zu leading:\n", alloc->name().c_str(), leader + 1);
+  std::printf("Nash leader utility        %.5f at rate %.4f\n",
+              result.nash_leader_utility, result.nash_rates[leader]);
+  std::printf("Stackelberg leader utility %.5f at rate %.4f\n",
+              result.leader_utility, result.leader_rate);
+  std::printf("advantage of sophistication: %+.6f\n", result.advantage());
+  return 0;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  static const std::map<std::string, sim::Discipline> kDisciplines{
+      {"fifo", sim::Discipline::kFifo},
+      {"lifo", sim::Discipline::kLifoPreempt},
+      {"ps", sim::Discipline::kProcessorSharing},
+      {"fs", sim::Discipline::kFairShareOracle},
+      {"fsadapt", sim::Discipline::kFairShareAdaptive},
+      {"drr", sim::Discipline::kDrr},
+      {"sfq", sim::Discipline::kSfq},
+      {"rprio", sim::Discipline::kRatePriority},
+  };
+  const std::string name =
+      flags.count("disc") ? flags.at("disc") : std::string("fifo");
+  const auto found = kDisciplines.find(name);
+  if (found == kDisciplines.end()) usage();
+  const auto rates =
+      parse_list(flags.count("rates") ? flags.at("rates") : "0.2,0.3");
+  sim::RunOptions options;
+  if (flags.count("seed")) options.seed = std::stoull(flags.at("seed"));
+  const auto result = sim::run_switch(found->second, rates, options);
+  std::printf("%s, %zu users, %.0f simulated time units, %zu events\n",
+              sim::discipline_name(found->second), rates.size(),
+              result.measured_time, result.events);
+  std::printf("%-6s %-8s %-14s %-12s %-12s\n", "user", "rate",
+              "mean queue+/-", "mean delay", "throughput");
+  for (std::size_t u = 0; u < rates.size(); ++u) {
+    const auto& stats = result.users[u];
+    std::printf("%-6zu %-8.3f %7.4f+/-%-6.4f %-12.4f %-12.4f\n", u + 1,
+                rates[u], stats.mean_queue, stats.queue_ci.half_width,
+                stats.mean_delay, stats.throughput);
+  }
+  return 0;
+}
+
+int cmd_table1(const std::map<std::string, std::string>& flags) {
+  const auto rates = parse_list(
+      flags.count("rates") ? flags.at("rates") : "0.05,0.1,0.15,0.2");
+  const auto decomposition = core::fair_share_decomposition(rates);
+  std::printf("Fair Share priority decomposition (paper Table 1):\n");
+  std::printf("%-6s", "user");
+  for (std::size_t l = 0; l < rates.size(); ++l) {
+    std::printf("  lvl%-4zu", l);
+  }
+  std::printf("\n");
+  for (std::size_t u = 0; u < rates.size(); ++u) {
+    std::printf("%-6zu", u + 1);
+    for (std::size_t l = 0; l < rates.size(); ++l) {
+      const double slice = decomposition.slice_rate[u][l];
+      if (slice > 0.0) {
+        std::printf("  %-7.3f", slice);
+      } else {
+        std::printf("  %-7s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  const core::FairShareAllocation fs;
+  const auto congestion = fs.congestion(rates);
+  std::printf("resulting C^FS:");
+  for (const double c : congestion) std::printf(" %.4f", c);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (command == "nash") return cmd_nash(flags);
+  if (command == "envy") return cmd_envy(flags);
+  if (command == "protection") return cmd_protection(flags);
+  if (command == "stackelberg") return cmd_stackelberg(flags);
+  if (command == "simulate") return cmd_simulate(flags);
+  if (command == "table1") return cmd_table1(flags);
+  usage();
+}

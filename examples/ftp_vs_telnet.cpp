@@ -1,0 +1,41 @@
+// The paper's motivating workload (Section 5.2): a throughput-hungry FTP
+// flow, a delay-sensitive Telnet flow, and a misbehaving flooder share a
+// switch — simulated at packet level under FIFO, DRR fair queueing, and
+// the Fair Share priority discipline.
+#include <cstdio>
+
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace gw::sim;
+
+  // Offered loads: telnet 0.05, ftp 0.45, flooder 1.4 (> server rate!).
+  const std::vector<double> rates{0.05, 0.45, 1.4};
+  const char* names[] = {"telnet", "ftp", "flooder"};
+
+  RunOptions options;
+  options.warmup = 4000.0;
+  options.batches = 10;
+  options.batch_length = 4000.0;
+  options.seed = 99;
+
+  std::printf("Workload: telnet 0.05, ftp 0.45, flooder 1.40 (server rate "
+              "1.0)\n");
+  for (const auto discipline :
+       {Discipline::kFifo, Discipline::kDrr, Discipline::kFairShareOracle}) {
+    const auto result = run_switch(discipline, rates, options);
+    std::printf("\n--- %s ---\n", discipline_name(discipline));
+    std::printf("%-10s %-10s %-12s %-12s\n", "user", "offered", "delivered",
+                "mean delay");
+    for (std::size_t u = 0; u < rates.size(); ++u) {
+      std::printf("%-10s %-10.2f %-12.3f %-12.2f\n", names[u], rates[u],
+                  result.users[u].throughput, result.users[u].mean_delay);
+    }
+  }
+
+  std::printf(
+      "\nUnder FIFO the flooder drags everyone into an unbounded queue; "
+      "under DRR/FairShare the telnet user's delay stays near the empty-"
+      "system value and the ftp flow keeps its throughput.\n");
+  return 0;
+}

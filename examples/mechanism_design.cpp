@@ -1,0 +1,60 @@
+// Mechanism design demo (paper Theorem 6): skip the hill-climbing loop by
+// telling the switch your utility function — IF the switch computes Fair
+// Share outcomes, telling the truth is your best move; under FIFO you
+// should lie, and everyone spirals into strategic mis-declaration.
+#include <cstdio>
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "core/proportional.hpp"
+#include "core/revelation.hpp"
+
+int main() {
+  using namespace gw::core;
+
+  // True delay-aversions of the three users.
+  const double true_gammas[] = {0.2, 0.35, 0.5};
+  const UtilityProfile truth{make_linear(1.0, true_gammas[0]),
+                             make_linear(1.0, true_gammas[1]),
+                             make_linear(1.0, true_gammas[2])};
+
+  // Candidate reports: each user may claim any gamma-hat on a grid.
+  std::vector<UtilityPtr> reports;
+  std::vector<double> report_gammas;
+  for (double g = 0.05; g <= 0.95; g += 0.05) {
+    reports.push_back(make_linear(1.0, g));
+    report_gammas.push_back(g);
+  }
+
+  for (int which = 0; which < 2; ++which) {
+    const auto mechanism =
+        which == 0
+            ? make_nash_mechanism(std::make_shared<FairShareAllocation>())
+            : make_nash_mechanism(std::make_shared<ProportionalAllocation>());
+    std::printf("\n=== %s-based revelation mechanism ===\n",
+                which == 0 ? "FairShare" : "FIFO");
+    const auto honest = mechanism(truth);
+    std::printf("honest outcome: rates (%.4f, %.4f, %.4f)\n",
+                honest.rates[0], honest.rates[1], honest.rates[2]);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const auto sweep = sweep_misreports(mechanism, truth, i, reports);
+      if (sweep.best_gain > 1e-6) {
+        std::printf(
+            "user %zu (true gamma %.2f): LIES, claims gamma %.2f, "
+            "gains %+.5f true utility\n",
+            i + 1, true_gammas[i], report_gammas[sweep.best_report_index],
+            sweep.best_gain);
+      } else {
+        std::printf(
+            "user %zu (true gamma %.2f): truth-telling is optimal\n", i + 1,
+            true_gammas[i]);
+      }
+    }
+  }
+
+  std::printf(
+      "\nBecause Fair Share's Nash map is a revelation mechanism "
+      "(Theorem 6), a deployment can offer a declare-your-preferences "
+      "fast path without inviting gaming; FIFO cannot.\n");
+  return 0;
+}

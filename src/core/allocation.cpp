@@ -1,0 +1,108 @@
+#include "core/allocation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/differentiate.hpp"
+
+namespace gw::core {
+
+void AllocationFunction::validate_rates(const std::vector<double>& rates) {
+  if (rates.empty()) {
+    throw std::invalid_argument("allocation: empty rate vector");
+  }
+  for (const double rate : rates) {
+    if (rate < 0.0 || std::isnan(rate)) {
+      throw std::invalid_argument("allocation: rates must be >= 0");
+    }
+  }
+}
+
+double AllocationFunction::congestion_of(
+    std::size_t i, const std::vector<double>& rates) const {
+  return congestion(rates).at(i);
+}
+
+double AllocationFunction::partial(std::size_t i, std::size_t j,
+                                   const std::vector<double>& rates) const {
+  return numerics::partial(
+      [this, i](const std::vector<double>& r) { return congestion_of(i, r); },
+      rates, j);
+}
+
+double AllocationFunction::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  return numerics::mixed_partial(
+      [this, i](const std::vector<double>& r) { return congestion_of(i, r); },
+      rates, i, j);
+}
+
+numerics::Matrix AllocationFunction::jacobian(
+    const std::vector<double>& rates) const {
+  const std::size_t n = rates.size();
+  numerics::Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = partial(i, j, rates);
+  }
+  return out;
+}
+
+SubsystemAllocation::SubsystemAllocation(
+    std::shared_ptr<const AllocationFunction> base,
+    std::vector<double> frozen_rates, std::vector<std::size_t> free_indices)
+    : base_(std::move(base)),
+      frozen_rates_(std::move(frozen_rates)),
+      free_indices_(std::move(free_indices)) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("SubsystemAllocation: null base");
+  }
+  if (free_indices_.empty()) {
+    throw std::invalid_argument("SubsystemAllocation: no free users");
+  }
+  for (const std::size_t idx : free_indices_) {
+    if (idx >= frozen_rates_.size()) {
+      throw std::invalid_argument("SubsystemAllocation: index out of range");
+    }
+  }
+}
+
+std::string SubsystemAllocation::name() const {
+  return base_->name() + "/subsystem(" + std::to_string(free_indices_.size()) +
+         " of " + std::to_string(frozen_rates_.size()) + ")";
+}
+
+std::vector<double> SubsystemAllocation::embed(
+    const std::vector<double>& rates) const {
+  if (rates.size() != free_indices_.size()) {
+    throw std::invalid_argument("SubsystemAllocation: wrong reduced size");
+  }
+  std::vector<double> full = frozen_rates_;
+  for (std::size_t k = 0; k < free_indices_.size(); ++k) {
+    full[free_indices_[k]] = rates[k];
+  }
+  return full;
+}
+
+std::vector<double> SubsystemAllocation::congestion(
+    const std::vector<double>& rates) const {
+  const auto full = base_->congestion(embed(rates));
+  std::vector<double> reduced(free_indices_.size());
+  for (std::size_t k = 0; k < free_indices_.size(); ++k) {
+    reduced[k] = full[free_indices_[k]];
+  }
+  return reduced;
+}
+
+double SubsystemAllocation::partial(std::size_t i, std::size_t j,
+                                    const std::vector<double>& rates) const {
+  return base_->partial(free_indices_.at(i), free_indices_.at(j),
+                        embed(rates));
+}
+
+double SubsystemAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  return base_->second_partial(free_indices_.at(i), free_indices_.at(j),
+                               embed(rates));
+}
+
+}  // namespace gw::core

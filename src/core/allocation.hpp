@@ -1,0 +1,95 @@
+// Allocation functions (paper Section 3.1).
+//
+// An allocation function C maps a vector of Poisson rates r to the vector
+// of per-user mean queue lengths c realized by a work-conserving service
+// discipline at a unit-rate exponential server. Every implementation must
+//   * satisfy the aggregate constraint sum_i C_i(r) = g(sum_i r_i),
+//   * satisfy the subsidiary subset constraints,
+//   * be symmetric (permuting r permutes c), and
+//   * be defined on all of R^N_+, with +infinity entries where users
+//     saturate (paper footnote 6).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace gw::core {
+
+class AllocationFunction {
+ public:
+  virtual ~AllocationFunction() = default;
+
+  /// Human-readable discipline name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Congestion vector C(r); entries may be +infinity.
+  /// Requires all rates >= 0 (throws std::invalid_argument otherwise).
+  [[nodiscard]] virtual std::vector<double> congestion(
+      const std::vector<double>& rates) const = 0;
+
+  /// Single component C_i(r). Default: evaluates the full vector.
+  [[nodiscard]] virtual double congestion_of(
+      std::size_t i, const std::vector<double>& rates) const;
+
+  /// dC_i / dr_j. Default: Richardson-extrapolated numeric differentiation
+  /// of congestion_of; override with closed forms where available.
+  [[nodiscard]] virtual double partial(std::size_t i, std::size_t j,
+                                       const std::vector<double>& rates) const;
+
+  /// d^2 C_i / (dr_i dr_j). Default numeric.
+  [[nodiscard]] virtual double second_partial(
+      std::size_t i, std::size_t j, const std::vector<double>& rates) const;
+
+  /// Jacobian matrix J_ij = dC_i / dr_j.
+  [[nodiscard]] numerics::Matrix jacobian(
+      const std::vector<double>& rates) const;
+
+ protected:
+  /// Validates a rate vector (non-negative, non-empty).
+  static void validate_rates(const std::vector<double>& rates);
+};
+
+/// The induced allocation function of a subsystem (paper Section 4):
+/// some users' rates are frozen; the remaining `free` users see the same
+/// C restricted to their coordinates. If the base function is in MAC the
+/// subsystem is too.
+class SubsystemAllocation final : public AllocationFunction {
+ public:
+  /// `frozen_rates` supplies rates for every user of the base system;
+  /// coordinates listed in `free_indices` are overridden by the reduced
+  /// rate vector passed to congestion().
+  SubsystemAllocation(std::shared_ptr<const AllocationFunction> base,
+                      std::vector<double> frozen_rates,
+                      std::vector<std::size_t> free_indices);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
+
+  [[nodiscard]] std::size_t base_size() const noexcept {
+    return frozen_rates_.size();
+  }
+  [[nodiscard]] std::size_t free_size() const noexcept {
+    return free_indices_.size();
+  }
+
+  /// Maps a reduced (free-user) rate vector into the full base vector.
+  [[nodiscard]] std::vector<double> embed(
+      const std::vector<double>& rates) const;
+
+ private:
+  std::shared_ptr<const AllocationFunction> base_;
+  std::vector<double> frozen_rates_;
+  std::vector<std::size_t> free_indices_;
+};
+
+}  // namespace gw::core

@@ -1,0 +1,53 @@
+#include "core/closed_forms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gw::core {
+
+namespace {
+
+SymmetricPoint from_idle(double idle, double gamma, std::size_t n) {
+  SymmetricPoint point;
+  point.idle = idle;
+  point.rate = (1.0 - idle) / static_cast<double>(n);
+  point.congestion = point.rate / idle;
+  point.utility = point.rate - gamma * point.congestion;
+  return point;
+}
+
+void validate(double gamma, std::size_t n) {
+  if (gamma <= 0.0 || n == 0) {
+    throw std::invalid_argument("closed_forms: gamma > 0 and n >= 1 required");
+  }
+}
+
+}  // namespace
+
+SymmetricPoint fifo_linear_symmetric_nash(double gamma, std::size_t n) {
+  validate(gamma, n);
+  const double nd = static_cast<double>(n);
+  // N u^2 - gamma (N-1) u - gamma = 0, positive root.
+  const double b = gamma * (nd - 1.0);
+  const double idle = (b + std::sqrt(b * b + 4.0 * nd * gamma)) / (2.0 * nd);
+  if (idle >= 1.0) {
+    // gamma so large that even a lone user stays silent: corner at rate 0.
+    return from_idle(1.0, gamma, n);
+  }
+  return from_idle(idle, gamma, n);
+}
+
+SymmetricPoint fs_linear_symmetric_nash(double gamma, std::size_t n) {
+  validate(gamma, n);
+  if (gamma >= 1.0) return from_idle(1.0, gamma, n);  // corner: silence
+  return from_idle(std::sqrt(gamma), gamma, n);
+}
+
+double fifo_efficiency_ratio(double gamma, std::size_t n) {
+  const double pareto = fs_linear_symmetric_nash(gamma, n).utility;
+  const double fifo = fifo_linear_symmetric_nash(gamma, n).utility;
+  if (pareto <= 0.0) return 1.0;  // degenerate: nobody wants service
+  return fifo / pareto;
+}
+
+}  // namespace gw::core

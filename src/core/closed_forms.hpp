@@ -1,0 +1,38 @@
+// Closed-form anchors for N identical users with linear utility
+// U(r, c) = r - gamma c (the paper's worked example, Section 4.2.3).
+//
+// Writing u = 1 - sum r for the server's idle fraction:
+//
+// * Proportional (FIFO) symmetric Nash: the FDC 1 = gamma (u + r) / u^2
+//   at r = (1 - u)/N gives  N u^2 - gamma (N - 1) u - gamma = 0.
+// * Fair Share symmetric Nash: the FDC 1 = gamma g'(N r) gives
+//   u = sqrt(gamma) (for gamma < 1; rate 0 otherwise) — identical to the
+//   symmetric Pareto optimum, illustrating Theorem 2.
+//
+// These exact values anchor the regression tests and the efficiency bench.
+#pragma once
+
+#include <cstddef>
+
+namespace gw::core {
+
+struct SymmetricPoint {
+  double rate = 0.0;      ///< per-user Poisson rate
+  double idle = 1.0;      ///< u = 1 - N * rate
+  double utility = 0.0;   ///< per-user U = r - gamma * c
+  double congestion = 0.0;///< per-user mean queue
+};
+
+/// Symmetric Nash equilibrium under the proportional allocation.
+[[nodiscard]] SymmetricPoint fifo_linear_symmetric_nash(double gamma,
+                                                        std::size_t n);
+
+/// Symmetric Nash equilibrium under Fair Share (== symmetric Pareto).
+[[nodiscard]] SymmetricPoint fs_linear_symmetric_nash(double gamma,
+                                                      std::size_t n);
+
+/// U_fifo / U_pareto for the symmetric linear game ("price of anarchy"
+/// style efficiency ratio; < 1, decreasing in N).
+[[nodiscard]] double fifo_efficiency_ratio(double gamma, std::size_t n);
+
+}  // namespace gw::core

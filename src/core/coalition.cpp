@@ -1,0 +1,122 @@
+#include "core/coalition.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/optimize.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+CoalitionResult find_coalition_deviation(
+    const AllocationFunction& alloc, const UtilityProfile& profile,
+    const std::vector<double>& rates, const std::vector<std::size_t>& coalition,
+    const CoalitionOptions& options) {
+  const std::size_t n = profile.size();
+  if (rates.size() != n || coalition.empty()) {
+    throw std::invalid_argument("find_coalition_deviation: bad arguments");
+  }
+  for (const std::size_t member : coalition) {
+    if (member >= n) {
+      throw std::invalid_argument("find_coalition_deviation: bad member");
+    }
+  }
+
+  // Baseline utilities for the coalition members.
+  const auto base_queues = alloc.congestion(rates);
+  std::vector<double> base_utility(coalition.size());
+  for (std::size_t k = 0; k < coalition.size(); ++k) {
+    const std::size_t member = coalition[k];
+    base_utility[k] = profile[member]->value(rates[member],
+                                             base_queues[member]);
+  }
+
+  // min over members of the utility gain for a joint rate choice.
+  auto min_gain_at = [&](const std::vector<double>& member_rates) -> double {
+    std::vector<double> probe = rates;
+    for (std::size_t k = 0; k < coalition.size(); ++k) {
+      const double r = member_rates[k];
+      if (r < options.r_min || r > options.r_max) return -kInf;
+      probe[coalition[k]] = r;
+    }
+    const auto queues = alloc.congestion(probe);
+    double worst = kInf;
+    for (std::size_t k = 0; k < coalition.size(); ++k) {
+      const std::size_t member = coalition[k];
+      worst = std::min(worst, profile[member]->value(probe[member],
+                                                     queues[member]) -
+                                  base_utility[k]);
+    }
+    return worst;
+  };
+
+  CoalitionResult result;
+  result.best_min_gain = -kInf;
+  std::vector<double> best(coalition.size());
+
+  const std::size_t size = coalition.size();
+  if (size <= 3) {
+    // Exhaustive grid over the joint deviation space.
+    const int grid = options.grid;
+    std::vector<int> index(size, 0);
+    std::vector<double> candidate(size);
+    while (true) {
+      for (std::size_t k = 0; k < size; ++k) {
+        candidate[k] = options.r_min +
+                       (options.r_max - options.r_min) *
+                           static_cast<double>(index[k]) / (grid - 1);
+      }
+      const double gain = min_gain_at(candidate);
+      if (gain > result.best_min_gain) {
+        result.best_min_gain = gain;
+        best = candidate;
+      }
+      // Odometer increment.
+      std::size_t digit = 0;
+      while (digit < size && ++index[digit] == grid) {
+        index[digit] = 0;
+        ++digit;
+      }
+      if (digit == size) break;
+    }
+  } else {
+    numerics::Rng rng(424242);
+    std::vector<double> candidate(size);
+    const int samples = options.grid * options.grid * options.grid;
+    for (int s = 0; s < samples; ++s) {
+      for (auto& r : candidate) {
+        r = rng.uniform(options.r_min, options.r_max);
+      }
+      const double gain = min_gain_at(candidate);
+      if (gain > result.best_min_gain) {
+        result.best_min_gain = gain;
+        best = candidate;
+      }
+    }
+  }
+
+  // Local refinement around the best grid point.
+  numerics::NelderMeadOptions nm;
+  nm.max_evaluations = options.refine_evaluations;
+  nm.initial_step = (options.r_max - options.r_min) /
+                    static_cast<double>(options.grid);
+  const auto refined = numerics::nelder_mead_max(min_gain_at, best, nm);
+  if (refined.value > result.best_min_gain) {
+    result.best_min_gain = refined.value;
+    best = refined.x;
+  }
+
+  result.deviation_rates = rates;
+  for (std::size_t k = 0; k < size; ++k) {
+    result.deviation_rates[coalition[k]] = best[k];
+  }
+  result.profitable = result.best_min_gain > options.min_gain;
+  return result;
+}
+
+}  // namespace gw::core

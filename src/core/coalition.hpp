@@ -1,0 +1,41 @@
+// Coalitional manipulation (paper footnote 14, after Moulin–Shenker).
+//
+// A coalition S deviates jointly from an operating point if its members
+// can pick new rates (others frozen) that make EVERY member strictly
+// better off. Fair Share Nash equilibria are resilient against such
+// manipulations; FIFO's are not (any all-user coalition can back off and
+// Pareto-improve itself). This module searches for profitable joint
+// deviations by grid scan plus Nelder–Mead refinement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/utility.hpp"
+
+namespace gw::core {
+
+struct CoalitionOptions {
+  int grid = 21;          ///< per-member grid resolution of the joint scan
+  double r_min = 1e-5;
+  double r_max = 0.95;
+  double min_gain = 1e-6; ///< required uniform gain to call it profitable
+  int refine_evaluations = 4000;
+};
+
+struct CoalitionResult {
+  bool profitable = false;
+  double best_min_gain = 0.0;          ///< max-min utility gain achieved
+  std::vector<double> deviation_rates; ///< full rate vector of the deviation
+};
+
+/// Searches for a joint deviation of `coalition` from `rates` that makes
+/// every member strictly better off. Coalition sizes 1..3 use an exact
+/// grid scan; larger coalitions are scanned with random joint samples.
+[[nodiscard]] CoalitionResult find_coalition_deviation(
+    const AllocationFunction& alloc, const UtilityProfile& profile,
+    const std::vector<double>& rates, const std::vector<std::size_t>& coalition,
+    const CoalitionOptions& options = {});
+
+}  // namespace gw::core

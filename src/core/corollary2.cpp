@@ -1,0 +1,43 @@
+#include "core/corollary2.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace gw::core {
+
+std::vector<double> QuadraticSeparableAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  std::vector<double> out(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) out[i] = rates[i] * rates[i];
+  return out;
+}
+
+double QuadraticSeparableAllocation::partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  validate_rates(rates);
+  return i == j ? 2.0 * rates.at(i) : 0.0;
+}
+
+double QuadraticSeparableAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  validate_rates(rates);
+  return i == j ? 2.0 : 0.0;
+}
+
+std::vector<double> quadratic_pareto_residuals(
+    const UtilityProfile& profile, const std::vector<double>& rates,
+    const std::vector<double>& queues) {
+  if (profile.size() != rates.size() || rates.size() != queues.size()) {
+    throw std::invalid_argument("quadratic_pareto_residuals: size mismatch");
+  }
+  std::vector<double> out(rates.size(),
+                          std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double m = profile[i]->marginal_ratio(rates[i], queues[i]);
+    out[i] = m + 2.0 * rates[i];
+  }
+  return out;
+}
+
+}  // namespace gw::core

@@ -1,0 +1,42 @@
+// Corollary 2 (paper Section 4.1.1): the impossibility of Pareto-optimal
+// Nash equilibria is a property of the M/M/1 constraint's SHAPE, not of
+// noncooperation itself. For the separable constraint
+//   sum_i c_i = f(r) = sum_i r_i^2      (h_i = (sum_{j != i} r_j^2) * N/(N-1))
+// the allocation C_i(r) = r_i^2 makes every Nash equilibrium Pareto
+// optimal: each user's congestion depends only on her own rate, so the
+// Nash FDC coincides with the Pareto FDC.
+//
+// This module implements that abstract resource game so the claim is
+// executable (bench_efficiency / tests), mirroring the paper's example.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/utility.hpp"
+
+namespace gw::core {
+
+/// The separable allocation C_i(r) = r_i^2 for the quadratic constraint.
+/// NOTE: this is an abstract resource-sharing game, NOT a work-conserving
+/// queue — it deliberately violates the M/M/1 feasibility region and must
+/// not be fed to the queueing feasibility checker.
+class QuadraticSeparableAllocation final : public AllocationFunction {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "QuadraticSeparable";
+  }
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
+};
+
+/// Pareto FDC residuals for the quadratic constraint: M_i + 2 r_i
+/// (Z_i = -df/dr_i = -2 r_i). Zero at an interior Pareto optimum.
+[[nodiscard]] std::vector<double> quadratic_pareto_residuals(
+    const UtilityProfile& profile, const std::vector<double>& rates,
+    const std::vector<double>& queues);
+
+}  // namespace gw::core

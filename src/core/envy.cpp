@@ -1,0 +1,68 @@
+#include "core/envy.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gw::core {
+
+numerics::Matrix envy_matrix(const UtilityProfile& profile,
+                             const std::vector<double>& rates,
+                             const std::vector<double>& queues) {
+  const std::size_t n = profile.size();
+  if (rates.size() != n || queues.size() != n) {
+    throw std::invalid_argument("envy_matrix: size mismatch");
+  }
+  numerics::Matrix envy(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double own = profile[i]->value(rates[i], queues[i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double other = profile[i]->value(rates[j], queues[j]);
+      // -inf - -inf would be NaN; saturated-vs-saturated is "no envy".
+      if (std::isinf(own) && std::isinf(other)) {
+        envy(i, j) = 0.0;
+      } else {
+        envy(i, j) = other - own;
+      }
+    }
+  }
+  return envy;
+}
+
+double max_envy(const UtilityProfile& profile, const std::vector<double>& rates,
+                const std::vector<double>& queues) {
+  const auto envy = envy_matrix(profile, rates, queues);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < envy.rows(); ++i) {
+    for (std::size_t j = 0; j < envy.cols(); ++j) {
+      if (i != j) worst = std::max(worst, envy(i, j));
+    }
+  }
+  return worst;
+}
+
+UnilateralEnvyResult unilateral_envy(const AllocationFunction& alloc,
+                                     const UtilityProfile& profile,
+                                     std::vector<double> rates, std::size_t i,
+                                     const BestResponseOptions& options) {
+  const auto response = best_response(alloc, *profile[i], rates, i, options);
+  rates[i] = response.rate;
+  const auto queues = alloc.congestion(rates);
+  const double own = profile[i]->value(rates[i], queues[i]);
+  UnilateralEnvyResult result;
+  result.best_response_rate = response.rate;
+  result.max_envy = 0.0;
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    if (j == i) continue;
+    const double other = profile[i]->value(rates[j], queues[j]);
+    const double envy = (std::isinf(own) && std::isinf(other)) ? 0.0
+                                                               : other - own;
+    if (envy > result.max_envy) {
+      result.max_envy = envy;
+      result.envied = j;
+    }
+  }
+  return result;
+}
+
+}  // namespace gw::core

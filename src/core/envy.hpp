@@ -1,0 +1,46 @@
+// Envy-freeness (paper Section 4.1.2, Theorem 3).
+//
+// User i envies user j when she prefers j's allocation to her own under
+// her OWN utility: U_i(r_j, c_j) > U_i(r_i, c_i). An allocation function is
+// *unilaterally envy-free* when a user who has best-responded envies no
+// one, regardless of what the others are doing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/nash.hpp"
+#include "core/utility.hpp"
+#include "numerics/matrix.hpp"
+
+namespace gw::core {
+
+/// envy(i, j) = U_i(r_j, c_j) - U_i(r_i, c_i); positive entries are envy.
+/// Entries comparing against an infinite-congestion allocation are -inf
+/// (no one envies a saturated user) or computed normally if only i's own
+/// allocation saturates.
+[[nodiscard]] numerics::Matrix envy_matrix(const UtilityProfile& profile,
+                                           const std::vector<double>& rates,
+                                           const std::vector<double>& queues);
+
+/// Largest positive entry of the envy matrix (0 if envy-free).
+[[nodiscard]] double max_envy(const UtilityProfile& profile,
+                              const std::vector<double>& rates,
+                              const std::vector<double>& queues);
+
+struct UnilateralEnvyResult {
+  double best_response_rate = 0.0;
+  double max_envy = 0.0;       ///< envy of user i after best-responding
+  std::size_t envied = 0;      ///< most-envied user (valid if max_envy > 0)
+};
+
+/// Sets user i to her best response against fixed opponents, then measures
+/// her envy toward every other user. Fair Share guarantees this is <= 0
+/// for every i and every opponents' profile (Theorem 3).
+[[nodiscard]] UnilateralEnvyResult unilateral_envy(
+    const AllocationFunction& alloc, const UtilityProfile& profile,
+    std::vector<double> rates, std::size_t i,
+    const BestResponseOptions& options = {});
+
+}  // namespace gw::core

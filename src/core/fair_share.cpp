@@ -1,0 +1,160 @@
+#include "core/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "queueing/mm1.hpp"
+
+namespace gw::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Ascending sort order with index tie-break (stable across permutations of
+/// equal values up to relabeling, which symmetry requires).
+std::vector<std::size_t> sorted_order(const std::vector<double>& rates) {
+  std::vector<std::size_t> order(rates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rates[a] != rates[b]) return rates[a] < rates[b];
+    return a < b;
+  });
+  return order;
+}
+
+/// Serial cumulative loads S_k (1-based ranks k = 1..N; returned 0-indexed
+/// with serial[k-1] = S_k) for the sorted rates.
+std::vector<double> serial_loads(const std::vector<double>& sorted_rates) {
+  const std::size_t n = sorted_rates.size();
+  std::vector<double> serial(n);
+  double prefix = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    serial[k] = static_cast<double>(n - k) * sorted_rates[k] + prefix;
+    prefix += sorted_rates[k];
+  }
+  return serial;
+}
+
+}  // namespace
+
+std::vector<double> FairShareAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  const auto order = sorted_order(rates);
+  std::vector<double> sorted_rates(n);
+  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
+  const auto serial = serial_loads(sorted_rates);
+
+  std::vector<double> out(n, 0.0);
+  double running = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g_here = queueing::g(serial[k]);
+    if (std::isinf(g_here)) {
+      running = kInf;
+    } else {
+      running += (g_here - g_prev) / static_cast<double>(n - k);
+      g_prev = g_here;
+    }
+    out[order[k]] = running;
+  }
+  return out;
+}
+
+double FairShareAllocation::congestion_of(
+    std::size_t i, const std::vector<double>& rates) const {
+  return congestion(rates).at(i);
+}
+
+double FairShareAllocation::partial(std::size_t i, std::size_t j,
+                                    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  const auto order = sorted_order(rates);
+  std::vector<std::size_t> rank(n);
+  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
+  std::vector<double> sorted_rates(n);
+  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
+  const auto serial = serial_loads(sorted_rates);
+
+  const std::size_t k = rank.at(i);   // rank of the differentiated component
+  const std::size_t jr = rank.at(j);  // rank of the variable
+  if (jr > k) return 0.0;  // larger-rate users never affect C_i
+  if (serial[k] >= 1.0) return kInf;  // saturated component
+
+  // Coefficient of r_(jr) inside S_m (0-indexed rank m):
+  //   (n - jr) at m == jr, 1 for m > jr, 0 below.
+  auto coefficient = [&](std::size_t m) -> double {
+    if (m < jr) return 0.0;
+    return (m == jr) ? static_cast<double>(n - jr) : 1.0;
+  };
+  double acc = 0.0;
+  for (std::size_t m = jr; m <= k; ++m) {
+    const double upper = coefficient(m) * queueing::g_prime(serial[m]);
+    const double lower =
+        (m > 0) ? coefficient(m - 1) * queueing::g_prime(serial[m - 1]) : 0.0;
+    acc += (upper - lower) / static_cast<double>(n - m);
+  }
+  return acc;
+}
+
+double FairShareAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  const auto order = sorted_order(rates);
+  std::vector<std::size_t> rank(n);
+  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
+  std::vector<double> sorted_rates(n);
+  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
+  const auto serial = serial_loads(sorted_rates);
+
+  // dC_i/dr_i = g'(S_i); differentiate once more w.r.t. r_j.
+  const std::size_t k = rank.at(i);
+  const std::size_t jr = rank.at(j);
+  if (jr > k) return 0.0;
+  if (serial[k] >= 1.0) return kInf;
+  const double coefficient =
+      (jr == k) ? static_cast<double>(n - k) : 1.0;
+  return coefficient * queueing::g_double_prime(serial[k]);
+}
+
+FairShareDecomposition fair_share_decomposition(
+    const std::vector<double>& rates) {
+  const std::size_t n = rates.size();
+  FairShareDecomposition out;
+  out.order = sorted_order(rates);
+  std::vector<double> sorted_rates(n);
+  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[out.order[k]];
+
+  out.level_width.resize(n);
+  double previous = 0.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    out.level_width[l] = sorted_rates[l] - previous;
+    previous = sorted_rates[l];
+  }
+
+  out.slice_rate.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {        // rank-k user
+    const std::size_t user = out.order[k];
+    for (std::size_t l = 0; l <= k; ++l) {      // contributes to levels 0..k
+      out.slice_rate[user][l] = out.level_width[l];
+    }
+  }
+
+  out.level_rate.resize(n);
+  out.serial_load.resize(n);
+  double cumulative = 0.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    out.level_rate[l] = static_cast<double>(n - l) * out.level_width[l];
+    cumulative += out.level_rate[l];
+    out.serial_load[l] = cumulative;
+  }
+  return out;
+}
+
+}  // namespace gw::core

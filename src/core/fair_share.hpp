@@ -1,0 +1,63 @@
+// The Fair Share allocation function (paper Section 3.1; Moulin–Shenker
+// "serial cost sharing").
+//
+// Sort rates ascending, let S_k = (N-k+1) r_k + sum_{j<k} r_j be the k-th
+// serial cumulative load (S_0 = 0). Then
+//   C_k^FS(r) = sum_{m<=k} [g(S_m) - g(S_{m-1})] / (N - m + 1).
+// Key structural facts used throughout the library (all verified in tests):
+//   * dC_i/dr_j = 0 whenever r_j >= r_i (i != j): the Jacobian is lower
+//     triangular in sorted order — the "partial insularity" that powers
+//     every positive theorem in the paper;
+//   * dC_i/dr_i = g'(S_i) > 0 and d2C_i/dr_i^2 = (N-i+1) g''(S_i) > 0;
+//   * user i saturates (C_i = +inf) iff its serial load S_i >= 1, even if
+//     the total load exceeds 1 — light users stay protected.
+//
+// The function is realized by the preemptive priority decomposition of the
+// paper's Table 1; fair_share_decomposition() exposes that table and is
+// shared with the packet-level simulator.
+#pragma once
+
+#include "core/allocation.hpp"
+
+namespace gw::core {
+
+class FairShareAllocation final : public AllocationFunction {
+ public:
+  [[nodiscard]] std::string name() const override { return "FairShare"; }
+
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double congestion_of(
+      std::size_t i, const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
+};
+
+/// The priority-queueing realization of Fair Share (paper Table 1).
+struct FairShareDecomposition {
+  /// Users sorted by ascending rate (ties by index); order[k] = user id of
+  /// the rank-k user.
+  std::vector<std::size_t> order;
+  /// Width of priority level k's slice: r_(k) - r_(k-1) in sorted order.
+  /// Level 0 is the highest priority.
+  std::vector<double> level_width;
+  /// slice_rate[u][l]: rate the (original-index) user u sends at priority
+  /// level l; zero above the user's own rank.
+  std::vector<std::vector<double>> slice_rate;
+  /// Aggregate arrival rate of each priority level:
+  /// level l carries (N - l) * level_width[l] ... i.e. every user of rank
+  /// >= l contributes level_width[l].
+  std::vector<double> level_rate;
+  /// Serial cumulative loads S_k (1-based in the paper; S[k] here is
+  /// S_{k+1}); S[k] = sum of level rates up to level k.
+  std::vector<double> serial_load;
+};
+
+/// Builds Table 1 for a rate vector. Requires rates >= 0.
+[[nodiscard]] FairShareDecomposition fair_share_decomposition(
+    const std::vector<double>& rates);
+
+}  // namespace gw::core

@@ -1,0 +1,54 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gw::core {
+
+FlowResult gradient_flow(const AllocationFunction& alloc,
+                         const UtilityProfile& profile,
+                         std::vector<double> start,
+                         const FlowOptions& options) {
+  const std::size_t n = profile.size();
+  for (auto& r : start) r = std::clamp(r, options.r_min, options.r_max);
+
+  const auto field = [&](double, const std::vector<double>& rates) {
+    const auto congestion = alloc.congestion(rates);
+    std::vector<double> drift(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(congestion[i])) {
+        drift[i] = -options.eta;  // saturated: back off hard
+        continue;
+      }
+      const double ur = profile[i]->du_dr(rates[i], congestion[i]);
+      const double uc = profile[i]->du_dc(rates[i], congestion[i]);
+      const double slope = alloc.partial(i, i, rates);
+      double gradient = ur + uc * slope;
+      if (!std::isfinite(gradient)) gradient = -1.0;
+      drift[i] = options.eta * gradient;
+      // One-sided projection at the box faces.
+      if (rates[i] <= options.r_min && drift[i] < 0.0) drift[i] = 0.0;
+      if (rates[i] >= options.r_max && drift[i] > 0.0) drift[i] = 0.0;
+    }
+    return drift;
+  };
+
+  numerics::OdeOptions ode;
+  ode.dt = options.dt;
+  ode.field_tolerance = options.field_tolerance;
+  ode.record_stride = options.record_stride;
+  const auto integrated = numerics::rk4_integrate(
+      field, start, 0.0, options.t_end, ode,
+      [&](std::vector<double>& rates) {
+        for (auto& r : rates) r = std::clamp(r, options.r_min, options.r_max);
+      });
+
+  FlowResult result;
+  result.times = integrated.times;
+  result.trajectory = integrated.states;
+  result.final_rates = integrated.final_state();
+  result.converged = integrated.reached_equilibrium;
+  return result;
+}
+
+}  // namespace gw::core

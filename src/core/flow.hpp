@@ -1,0 +1,48 @@
+// Continuous-time gradient play (the continuous limit of incremental hill
+// climbing, paper Section 4.2.2-4.2.3).
+//
+// Each user drifts up her own payoff gradient:
+//   dr_i/dt = eta * dU_i/dr_i (r)
+// projected onto the feasible box. The paper stresses that "the dynamics
+// depend on the time constants used": strikingly, this continuous-time
+// dynamic is locally stable at the symmetric FIFO Nash point (the flow
+// Jacobian is -gamma[(D_diag - D_off) I + D_off J], negative definite)
+// even though the SYNCHRONOUS NEWTON discretization is unstable for
+// N > 2 (Theorem 7's example). The divergence is an artifact of large
+// simultaneous steps, not of the vector field — bench_relaxation
+// demonstrates both on the same game.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/utility.hpp"
+#include "numerics/ode.hpp"
+
+namespace gw::core {
+
+struct FlowOptions {
+  double eta = 1.0;       ///< common learning-rate scale
+  double t_end = 200.0;
+  double dt = 0.01;
+  double r_min = 1e-6;
+  double r_max = 0.98;
+  double field_tolerance = 1e-9;  ///< equilibrium stop
+  int record_stride = 100;
+};
+
+struct FlowResult {
+  std::vector<double> times;
+  std::vector<std::vector<double>> trajectory;
+  std::vector<double> final_rates;
+  bool converged = false;  ///< field magnitude fell below tolerance
+};
+
+/// Integrates gradient play from `start`. Users whose congestion is
+/// infinite at the current point get a strong inward drift (they are
+/// starving; any reduction of their own rate is an improvement only if it
+/// restores feasibility, so we push them toward r_min).
+[[nodiscard]] FlowResult gradient_flow(const AllocationFunction& alloc,
+                                       const UtilityProfile& profile,
+                                       std::vector<double> start,
+                                       const FlowOptions& options = {});
+
+}  // namespace gw::core

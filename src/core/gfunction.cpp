@@ -1,0 +1,86 @@
+#include "core/gfunction.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gw::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+GFunction GFunction::mm1() {
+  GFunction g;
+  g.name = "M/M/1";
+  g.value = [](double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return kInf;
+    return x / (1.0 - x);
+  };
+  g.prime = [](double x) {
+    if (x >= 1.0) return kInf;
+    const double u = 1.0 - x;
+    return 1.0 / (u * u);
+  };
+  g.double_prime = [](double x) {
+    if (x >= 1.0) return kInf;
+    const double u = 1.0 - x;
+    return 2.0 / (u * u * u);
+  };
+  g.saturation = 1.0;
+  return g;
+}
+
+GFunction GFunction::mg1(double scv) {
+  if (scv < 0.0) throw std::invalid_argument("GFunction::mg1: scv < 0");
+  GFunction g;
+  g.name = "M/G/1(scv=" + std::to_string(scv) + ")";
+  const double k = (1.0 + scv) / 2.0;
+  g.value = [k](double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return kInf;
+    return x + k * x * x / (1.0 - x);
+  };
+  g.prime = [k](double x) {
+    if (x >= 1.0) return kInf;
+    const double u = 1.0 - x;
+    // d/dx [x + k x^2/(1-x)] = 1 + k (2x(1-x) + x^2) / (1-x)^2.
+    return 1.0 + k * (2.0 * x * u + x * x) / (u * u);
+  };
+  g.double_prime = [k](double x) {
+    if (x >= 1.0) return kInf;
+    const double u = 1.0 - x;
+    // d2/dx2 = 2k / (1-x)^3.
+    return 2.0 * k / (u * u * u);
+  };
+  g.saturation = 1.0;
+  return g;
+}
+
+GFunction GFunction::quadratic() {
+  GFunction g;
+  g.name = "quadratic";
+  g.value = [](double x) { return x * x; };
+  g.prime = [](double x) { return 2.0 * x; };
+  g.double_prime = [](double) { return 2.0; };
+  g.saturation = kInf;
+  return g;
+}
+
+GFunction GFunction::power(double p) {
+  if (p <= 1.0) throw std::invalid_argument("GFunction::power: need p > 1");
+  GFunction g;
+  g.name = "power(" + std::to_string(p) + ")";
+  g.value = [p](double x) { return x <= 0.0 ? 0.0 : std::pow(x, p); };
+  g.prime = [p](double x) {
+    return x <= 0.0 ? 0.0 : p * std::pow(x, p - 1.0);
+  };
+  g.double_prime = [p](double x) {
+    return x <= 0.0 ? 0.0 : p * (p - 1.0) * std::pow(x, p - 2.0);
+  };
+  g.saturation = kInf;
+  return g;
+}
+
+}  // namespace gw::core

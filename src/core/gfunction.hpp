@@ -1,0 +1,36 @@
+// Generalized aggregate-constraint functions (paper footnote 5).
+//
+// Every result in the paper holds for any queueing system whose feasible
+// allocations satisfy sum_i c_i = g(sum_i r_i) with g strictly increasing
+// and strictly convex. This module abstracts g so the serial (Fair Share)
+// and proportional constructions — and all the game machinery on top —
+// can run against M/M/1, M/G/1 with arbitrary service variability, or
+// purely abstract convex technologies (Corollary 2 experiments).
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace gw::core {
+
+struct GFunction {
+  std::string name;
+  std::function<double(double)> value;         ///< g(x); may return +inf
+  std::function<double(double)> prime;         ///< g'(x)
+  std::function<double(double)> double_prime;  ///< g''(x)
+  /// Load at which g diverges (+inf beyond); infinity when g is finite
+  /// everywhere (abstract technologies).
+  double saturation = 1.0;
+
+  /// The M/M/1 mean-queue curve g(x) = x / (1 - x).
+  [[nodiscard]] static GFunction mm1();
+  /// M/G/1 (P-K) mean-queue curve at squared coefficient of variation scv:
+  /// g(x) = x + x^2 (1 + scv) / (2 (1 - x)).
+  [[nodiscard]] static GFunction mg1(double scv);
+  /// Abstract convex technology g(x) = x^2 (no saturation).
+  [[nodiscard]] static GFunction quadratic();
+  /// Abstract convex technology g(x) = x^p, p > 1 (no saturation).
+  [[nodiscard]] static GFunction power(double p);
+};
+
+}  // namespace gw::core

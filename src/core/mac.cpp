@@ -1,0 +1,100 @@
+#include "core/mac.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "numerics/rng.hpp"
+#include "queueing/feasibility.hpp"
+
+namespace gw::core {
+
+std::string MacReport::summary() const {
+  std::ostringstream os;
+  os << (in_mac() ? "MAC-consistent" : "NOT in MAC") << " over "
+     << samples_checked << " samples"
+     << " (monotonicity " << monotonicity_violations << ", own-slope "
+     << own_slope_violations << ", symmetry " << symmetry_violations
+     << ", feasibility " << feasibility_violations << ", zero-persistence "
+     << zero_persistence_violations << ")";
+  return os.str();
+}
+
+MacReport check_mac(const AllocationFunction& alloc,
+                    const MacCheckOptions& options) {
+  numerics::Rng rng(options.seed);
+  MacReport report;
+  const std::size_t n = options.users;
+
+  for (int s = 0; s < options.samples; ++s) {
+    // Random interior point of D.
+    std::vector<double> rates(n);
+    double total = 0.0;
+    for (auto& rate : rates) {
+      rate = rng.uniform(0.02, 1.0);
+      total += rate;
+    }
+    const double target = rng.uniform(0.1, 0.9);
+    for (auto& rate : rates) rate *= target / total;
+    ++report.samples_checked;
+
+    // Feasibility of the produced allocation.
+    const auto congestion = alloc.congestion(rates);
+    const auto feasibility = queueing::check_feasibility(
+        rates, congestion, options.feasibility_tolerance);
+    if (!feasibility.feasible()) {
+      ++report.feasibility_violations;
+      report.worst_feasibility =
+          std::max(report.worst_feasibility, std::abs(feasibility.residual));
+    }
+
+    // Monotonicity conditions (1) and (2).
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double dij = alloc.partial(i, j, rates);
+        if (i == j) {
+          if (!(dij > 0.0)) ++report.own_slope_violations;
+        } else if (dij < -options.derivative_tolerance) {
+          ++report.monotonicity_violations;
+          report.worst_monotonicity = std::min(report.worst_monotonicity, dij);
+        } else if (std::abs(dij) <= options.derivative_tolerance && s % 10 == 0) {
+          // Condition (3) spot check: shrink r_i, grow one other r_k;
+          // the cross-derivative must stay ~0.
+          std::vector<double> moved = rates;
+          moved[i] *= 0.8;
+          for (std::size_t k = 0; k < n; ++k) {
+            if (k == i) continue;
+            moved[k] = std::min(moved[k] * 1.1, moved[k] + 0.01);
+          }
+          double moved_total = 0.0;
+          for (const double rate : moved) moved_total += rate;
+          if (moved_total < 0.98) {
+            const double dij_moved = alloc.partial(i, j, moved);
+            if (std::abs(dij_moved) > 50 * options.derivative_tolerance) {
+              ++report.zero_persistence_violations;
+            }
+          }
+        }
+      }
+    }
+
+    // Symmetry: a random transposition of inputs must transpose outputs.
+    if (n >= 2) {
+      const auto a = rng.uniform_index(n);
+      auto b = rng.uniform_index(n);
+      if (a == b) b = (b + 1) % n;
+      std::vector<double> swapped = rates;
+      std::swap(swapped[a], swapped[b]);
+      const auto swapped_congestion = alloc.congestion(swapped);
+      const double mismatch =
+          std::max(std::abs(swapped_congestion[a] - congestion[b]),
+                   std::abs(swapped_congestion[b] - congestion[a]));
+      if (mismatch > 1e-9 * std::max(1.0, congestion[a] + congestion[b])) {
+        ++report.symmetry_violations;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace gw::core

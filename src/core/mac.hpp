@@ -1,0 +1,52 @@
+// Numeric MAC-membership checking (paper Definition 2).
+//
+// MAC = monotonic allocation functions:
+//   (1) dC_i/dr_j >= 0 for all i, j;
+//   (2) dC_i/dr_i > 0;
+//   (3) a zero cross-derivative stays zero as r_i decreases and the other
+//       rates increase.
+// Plus the AC requirements: symmetry, feasibility (aggregate + subsidiary
+// constraints), interior allocations. The checker samples the natural
+// domain and reports the worst violation of each condition — it cannot
+// prove membership, but reliably detects non-membership and regression
+// bugs in analytic derivatives.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/allocation.hpp"
+
+namespace gw::core {
+
+struct MacCheckOptions {
+  std::size_t users = 4;
+  int samples = 300;
+  unsigned seed = 5150;
+  double derivative_tolerance = 1e-6;
+  double feasibility_tolerance = 1e-7;
+};
+
+struct MacReport {
+  int samples_checked = 0;
+  int monotonicity_violations = 0;   ///< dC_i/dr_j < -tol
+  int own_slope_violations = 0;      ///< dC_i/dr_i <= 0
+  int symmetry_violations = 0;       ///< permuted input != permuted output
+  int feasibility_violations = 0;    ///< aggregate or subsidiary constraints
+  int zero_persistence_violations = 0;  ///< condition (3) spot checks
+  double worst_monotonicity = 0.0;   ///< most negative cross-derivative
+  double worst_feasibility = 0.0;    ///< largest |F| residual
+
+  [[nodiscard]] bool in_mac() const noexcept {
+    return monotonicity_violations == 0 && own_slope_violations == 0 &&
+           symmetry_violations == 0 && feasibility_violations == 0 &&
+           zero_persistence_violations == 0;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Randomized membership check over the natural domain D.
+[[nodiscard]] MacReport check_mac(const AllocationFunction& alloc,
+                                  const MacCheckOptions& options = {});
+
+}  // namespace gw::core

@@ -1,0 +1,51 @@
+#include "core/mixture.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gw::core {
+
+MixtureAllocation::MixtureAllocation(double theta) : theta_(theta) {
+  if (!(theta >= 0.0 && theta <= 1.0)) {
+    throw std::invalid_argument("MixtureAllocation: theta must be in [0,1]");
+  }
+}
+
+std::string MixtureAllocation::name() const {
+  return "Mixture(theta=" + std::to_string(theta_) + ")";
+}
+
+std::vector<double> MixtureAllocation::congestion(
+    const std::vector<double>& rates) const {
+  auto a = proportional_.congestion(rates);
+  const auto b = fair_share_.congestion(rates);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // inf * 0 must not produce NaN for degenerate thetas.
+    if (theta_ == 0.0) {
+      a[i] = b[i];
+    } else if (theta_ == 1.0) {
+      // keep a[i]
+    } else {
+      a[i] = theta_ * a[i] + (1.0 - theta_) * b[i];
+    }
+  }
+  return a;
+}
+
+double MixtureAllocation::partial(std::size_t i, std::size_t j,
+                                  const std::vector<double>& rates) const {
+  if (theta_ == 0.0) return fair_share_.partial(i, j, rates);
+  if (theta_ == 1.0) return proportional_.partial(i, j, rates);
+  return theta_ * proportional_.partial(i, j, rates) +
+         (1.0 - theta_) * fair_share_.partial(i, j, rates);
+}
+
+double MixtureAllocation::second_partial(std::size_t i, std::size_t j,
+                                         const std::vector<double>& rates) const {
+  if (theta_ == 0.0) return fair_share_.second_partial(i, j, rates);
+  if (theta_ == 1.0) return proportional_.second_partial(i, j, rates);
+  return theta_ * proportional_.second_partial(i, j, rates) +
+         (1.0 - theta_) * fair_share_.second_partial(i, j, rates);
+}
+
+}  // namespace gw::core

@@ -1,0 +1,39 @@
+// Convex mixtures theta * Proportional + (1 - theta) * FairShare.
+//
+// For fixed r the feasibility constraints are linear in c, so any convex
+// combination of feasible interior allocations is feasible and interior.
+// The mixture family interpolates between the paper's two poles and is the
+// searchlight for the "FS is the ONLY MAC function with property X"
+// uniqueness claims: every theta in (0, 1] must (and in the experiments
+// does) break each property.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/fair_share.hpp"
+#include "core/proportional.hpp"
+
+namespace gw::core {
+
+class MixtureAllocation final : public AllocationFunction {
+ public:
+  /// theta in [0, 1]: 1 = pure proportional, 0 = pure Fair Share.
+  explicit MixtureAllocation(double theta);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
+
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  double theta_;
+  ProportionalAllocation proportional_;
+  FairShareAllocation fair_share_;
+};
+
+}  // namespace gw::core

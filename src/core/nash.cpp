@@ -1,0 +1,249 @@
+#include "core/nash.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/optimize.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+void validate_sizes(const UtilityProfile& profile,
+                    const std::vector<double>& rates) {
+  if (profile.size() != rates.size() || profile.empty()) {
+    throw std::invalid_argument("nash: profile / rate size mismatch");
+  }
+  for (const auto& u : profile) {
+    if (u == nullptr) throw std::invalid_argument("nash: null utility");
+  }
+}
+
+}  // namespace
+
+BestResponse best_response(const AllocationFunction& alloc,
+                           const Utility& utility, std::vector<double> rates,
+                           std::size_t i, const BestResponseOptions& options) {
+  if (i >= rates.size()) throw std::invalid_argument("best_response: bad index");
+  auto payoff = [&](double x) {
+    rates[i] = x;
+    const double c = alloc.congestion_of(i, rates);
+    return utility.value(x, c);
+  };
+  numerics::Optimize1DOptions opt;
+  opt.scan_points = options.scan_points;
+  const auto found =
+      numerics::maximize_scan(payoff, options.r_min, options.r_max, opt);
+  return {found.x, found.value};
+}
+
+NashResult solve_nash(const AllocationFunction& alloc,
+                      const UtilityProfile& profile, std::vector<double> start,
+                      const NashOptions& options) {
+  validate_sizes(profile, start);
+  const std::size_t n = start.size();
+  numerics::Rng rng(options.seed);
+  NashResult result;
+  result.rates = std::move(start);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    double max_move = 0.0;
+    if (options.order == UpdateOrder::kSynchronous) {
+      std::vector<double> responses(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        responses[i] =
+            best_response(alloc, *profile[i], result.rates, i,
+                          options.best_response)
+                .rate;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const double next = (1.0 - options.damping) * result.rates[i] +
+                            options.damping * responses[i];
+        max_move = std::max(max_move, std::abs(next - result.rates[i]));
+        result.rates[i] = next;
+      }
+    } else {
+      std::vector<std::size_t> order(n);
+      if (options.order == UpdateOrder::kRandomPermutation) {
+        order = rng.permutation(n);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) order[i] = i;
+      }
+      for (const std::size_t i : order) {
+        const double response =
+            best_response(alloc, *profile[i], result.rates, i,
+                          options.best_response)
+                .rate;
+        const double next = (1.0 - options.damping) * result.rates[i] +
+                            options.damping * response;
+        max_move = std::max(max_move, std::abs(next - result.rates[i]));
+        result.rates[i] = next;
+      }
+    }
+    result.iterations = it + 1;
+    result.max_move = max_move;
+    if (max_move <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> fdc_residuals(const AllocationFunction& alloc,
+                                  const UtilityProfile& profile,
+                                  const std::vector<double>& rates) {
+  validate_sizes(profile, rates);
+  const auto congestion = alloc.congestion(rates);
+  std::vector<double> residuals(rates.size(), kNan);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (!std::isfinite(congestion[i])) continue;
+    const double m = profile[i]->marginal_ratio(rates[i], congestion[i]);
+    const double slope = alloc.partial(i, i, rates);
+    if (std::isfinite(m) && std::isfinite(slope)) residuals[i] = m + slope;
+  }
+  return residuals;
+}
+
+bool is_nash(const AllocationFunction& alloc, const UtilityProfile& profile,
+             const std::vector<double>& rates, double utility_slack,
+             const BestResponseOptions& options) {
+  validate_sizes(profile, rates);
+  const auto congestion = alloc.congestion(rates);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double current = profile[i]->value(rates[i], congestion[i]);
+    const auto response = best_response(alloc, *profile[i], rates, i, options);
+    if (response.utility > current + utility_slack) return false;
+  }
+  return true;
+}
+
+double fdc_jacobian_entry(const AllocationFunction& alloc,
+                          const UtilityProfile& profile,
+                          const std::vector<double>& rates, std::size_t i,
+                          std::size_t j) {
+  const auto congestion = alloc.congestion(rates);
+  const double r = rates[i];
+  const double c = congestion[i];
+  const Utility& u = *profile[i];
+  const double ur = u.du_dr(r, c);
+  const double uc = u.du_dc(r, c);
+  const double urr = u.d2u_dr2(r, c);
+  const double ucc = u.d2u_dc2(r, c);
+  const double urc = u.d2u_drdc(r, c);
+  // M = ur / uc; dM/dr = (urr uc - ur urc) / uc^2, dM/dc analogous.
+  const double dm_dr = (urr * uc - ur * urc) / (uc * uc);
+  const double dm_dc = (urc * uc - ur * ucc) / (uc * uc);
+  const double dci_drj = alloc.partial(i, j, rates);
+  const double d2ci = alloc.second_partial(i, j, rates);
+  double entry = dm_dc * dci_drj + d2ci;
+  if (i == j) entry += dm_dr;
+  return entry;
+}
+
+numerics::Matrix relaxation_matrix(const AllocationFunction& alloc,
+                                   const UtilityProfile& profile,
+                                   const std::vector<double>& rates) {
+  validate_sizes(profile, rates);
+  const std::size_t n = rates.size();
+  numerics::Matrix a(n, n);
+  std::vector<double> diag(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    diag[j] = fdc_jacobian_entry(alloc, profile, rates, j, j);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        a(i, j) = 0.0;
+      } else {
+        a(i, j) = -fdc_jacobian_entry(alloc, profile, rates, i, j) / diag[j];
+      }
+    }
+  }
+  return a;
+}
+
+NewtonDynamicsResult newton_relaxation(const AllocationFunction& alloc,
+                                       const UtilityProfile& profile,
+                                       std::vector<double> start,
+                                       int max_iterations, double tolerance) {
+  validate_sizes(profile, start);
+  const std::size_t n = start.size();
+  NewtonDynamicsResult result;
+  result.trajectory.push_back(start);
+  std::vector<double> rates = std::move(start);
+  for (int it = 0; it < max_iterations; ++it) {
+    const auto residuals = fdc_residuals(alloc, profile, rates);
+    double max_residual = 0.0;
+    for (const double e : residuals) {
+      if (std::isnan(e)) {
+        max_residual = std::numeric_limits<double>::infinity();
+      } else {
+        max_residual = std::max(max_residual, std::abs(e));
+      }
+    }
+    result.iterations = it;
+    if (max_residual <= tolerance) {
+      result.converged = true;
+      return result;
+    }
+    std::vector<double> next = rates;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::isnan(residuals[i])) continue;
+      const double slope = fdc_jacobian_entry(alloc, profile, rates, i, i);
+      if (slope == 0.0 || !std::isfinite(slope)) continue;
+      double candidate = rates[i] - residuals[i] / slope;
+      candidate = std::clamp(candidate, 1e-9, 0.9999);
+      next[i] = candidate;
+    }
+    rates = std::move(next);
+    result.trajectory.push_back(rates);
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> find_equilibria(
+    const AllocationFunction& alloc, const UtilityProfile& profile,
+    int n_starts, unsigned seed, const NashOptions& options,
+    double distinct_tolerance) {
+  const std::size_t n = profile.size();
+  numerics::Rng rng(seed);
+  std::vector<std::vector<double>> found;
+  for (int s = 0; s < n_starts; ++s) {
+    // Random interior start: raw uniforms rescaled to a random total < 0.95.
+    std::vector<double> start(n);
+    double total = 0.0;
+    for (auto& x : start) {
+      x = rng.uniform(0.01, 1.0);
+      total += x;
+    }
+    const double target = rng.uniform(0.05, 0.95);
+    for (auto& x : start) x *= target / total;
+
+    const auto solved = solve_nash(alloc, profile, start, options);
+    if (!solved.converged) continue;
+    if (!is_nash(alloc, profile, solved.rates, 1e-6,
+                 options.best_response)) {
+      continue;
+    }
+    bool duplicate = false;
+    for (const auto& existing : found) {
+      double distance = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        distance = std::max(distance, std::abs(existing[i] - solved.rates[i]));
+      }
+      if (distance <= distinct_tolerance) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) found.push_back(solved.rates);
+  }
+  return found;
+}
+
+}  // namespace gw::core

@@ -1,0 +1,116 @@
+// Nash equilibrium computation for the switch congestion game
+// (paper Definition 1 and Sections 4.1–4.2).
+//
+// A point r is a Nash equilibrium when no user can raise her utility by a
+// unilateral rate change. Best responses are computed by *global* scalar
+// maximization (scan + Brent), so the solvers remain correct where payoffs
+// are non-concave or partially infeasible (congestion jumps to +infinity).
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/utility.hpp"
+#include "numerics/matrix.hpp"
+
+namespace gw::core {
+
+struct BestResponseOptions {
+  double r_min = 1e-6;   ///< lower edge of the candidate interval
+  double r_max = 0.999;  ///< upper edge (paper: candidates in [0, 1])
+  int scan_points = 201; ///< coarse scan resolution before refinement
+};
+
+struct BestResponse {
+  double rate = 0.0;
+  double utility = 0.0;
+};
+
+/// User i's utility-maximizing rate against fixed opponents' rates.
+[[nodiscard]] BestResponse best_response(const AllocationFunction& alloc,
+                                         const Utility& utility,
+                                         std::vector<double> rates,
+                                         std::size_t i,
+                                         const BestResponseOptions& options = {});
+
+enum class UpdateOrder {
+  kSequential,         ///< Gauss–Seidel: apply each best response immediately
+  kSynchronous,        ///< Jacobi: all users move simultaneously
+  kRandomPermutation,  ///< Gauss–Seidel in a fresh random order per sweep
+};
+
+struct NashOptions {
+  UpdateOrder order = UpdateOrder::kSequential;
+  double damping = 1.0;  ///< r <- (1-damping) r + damping * BR(r)
+  int max_iterations = 400;
+  double tolerance = 1e-9;  ///< max rate movement per sweep at convergence
+  BestResponseOptions best_response;
+  unsigned seed = 7;  ///< for kRandomPermutation
+};
+
+struct NashResult {
+  std::vector<double> rates;
+  bool converged = false;
+  int iterations = 0;
+  double max_move = 0.0;  ///< movement in the final sweep
+};
+
+/// Best-response dynamics from `start`. `profile.size()` must match
+/// `start.size()`; throws std::invalid_argument otherwise.
+[[nodiscard]] NashResult solve_nash(const AllocationFunction& alloc,
+                                    const UtilityProfile& profile,
+                                    std::vector<double> start,
+                                    const NashOptions& options = {});
+
+/// The Nash first-derivative residuals E_i = M_i(r_i, C_i(r)) + dC_i/dr_i
+/// (zero at an interior Nash point). Entries are NaN where C_i is infinite.
+[[nodiscard]] std::vector<double> fdc_residuals(const AllocationFunction& alloc,
+                                                const UtilityProfile& profile,
+                                                const std::vector<double>& rates);
+
+/// Verifies the Nash property directly: no user can improve her utility by
+/// more than `utility_slack` with a unilateral move.
+[[nodiscard]] bool is_nash(const AllocationFunction& alloc,
+                           const UtilityProfile& profile,
+                           const std::vector<double>& rates,
+                           double utility_slack = 1e-7,
+                           const BestResponseOptions& options = {});
+
+/// dE_i/dr_j assembled from the allocation's partials and the utility's
+/// second derivatives (chain rule through C_i).
+[[nodiscard]] double fdc_jacobian_entry(const AllocationFunction& alloc,
+                                        const UtilityProfile& profile,
+                                        const std::vector<double>& rates,
+                                        std::size_t i, std::size_t j);
+
+/// The synchronous-Newton relaxation matrix of paper Section 4.2.3:
+///   A_ij = delta_ij - (dE_i/dr_j) / (dE_j/dr_j).
+/// (The paper's displayed denominator dE_j/dr_i is a typo; this form is
+/// the linearization of the Newton update and yields A_ii = 0 as stated.)
+[[nodiscard]] numerics::Matrix relaxation_matrix(
+    const AllocationFunction& alloc, const UtilityProfile& profile,
+    const std::vector<double>& rates);
+
+struct NewtonDynamicsResult {
+  std::vector<std::vector<double>> trajectory;  ///< includes the start point
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Synchronous Newton self-optimization: every user simultaneously applies
+/// r_i += -E_i / (dE_i/dr_i). Under Fair Share this converges in at most N
+/// steps in the linear regime (Theorem 7).
+[[nodiscard]] NewtonDynamicsResult newton_relaxation(
+    const AllocationFunction& alloc, const UtilityProfile& profile,
+    std::vector<double> start, int max_iterations = 100,
+    double tolerance = 1e-10);
+
+/// Multi-start equilibrium enumeration: runs solve_nash from `n_starts`
+/// random interior points and clusters converged, Nash-verified outcomes
+/// that differ by more than `distinct_tolerance` (L-infinity).
+[[nodiscard]] std::vector<std::vector<double>> find_equilibria(
+    const AllocationFunction& alloc, const UtilityProfile& profile,
+    int n_starts, unsigned seed = 42, const NashOptions& options = {},
+    double distinct_tolerance = 1e-4);
+
+}  // namespace gw::core

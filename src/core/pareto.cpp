@@ -1,0 +1,139 @@
+#include "core/pareto.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "numerics/optimize.hpp"
+#include "numerics/rng.hpp"
+#include "queueing/feasibility.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gw::core {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double pareto_z(const std::vector<double>& rates) {
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  return -queueing::g_prime(total);
+}
+
+std::vector<double> pareto_fdc_residuals(const UtilityProfile& profile,
+                                         const std::vector<double>& rates,
+                                         const std::vector<double>& queues) {
+  if (profile.size() != rates.size() || rates.size() != queues.size()) {
+    throw std::invalid_argument("pareto_fdc_residuals: size mismatch");
+  }
+  const double z = pareto_z(rates);
+  std::vector<double> out(rates.size(), kNan);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (!std::isfinite(queues[i])) continue;
+    const double m = profile[i]->marginal_ratio(rates[i], queues[i]);
+    if (std::isfinite(m) && std::isfinite(z)) out[i] = m - z;
+  }
+  return out;
+}
+
+double symmetric_pareto_rate(const Utility& u, std::size_t n,
+                             double r_max_total) {
+  if (n == 0) throw std::invalid_argument("symmetric_pareto_rate: n == 0");
+  const double nd = static_cast<double>(n);
+  auto objective = [&](double r) {
+    const double queue = queueing::g(nd * r) / nd;
+    return u.value(r, queue);
+  };
+  const auto best =
+      numerics::maximize_scan(objective, 1e-7, r_max_total / nd);
+  return best.x;
+}
+
+DominationResult find_dominating_allocation(
+    const UtilityProfile& profile, const std::vector<double>& base_rates,
+    const std::vector<double>& base_queues, const DominationOptions& options) {
+  const std::size_t n = profile.size();
+  if (base_rates.size() != n || base_queues.size() != n || n == 0) {
+    throw std::invalid_argument("find_dominating_allocation: size mismatch");
+  }
+  std::vector<double> base_utility(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base_utility[i] = profile[i]->value(base_rates[i], base_queues[i]);
+  }
+
+  // Decision variables: x = (r_1..r_N, w_1..w_N); queues are the weights w
+  // rescaled onto the aggregate constraint sum c = g(sum r). Subsidiary
+  // subset constraints enter as a penalty on their worst violation.
+  auto objective = [&](const std::vector<double>& x) -> double {
+    std::vector<double> rates(n), weights(n);
+    double total_rate = 0.0, total_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      rates[i] = x[i];
+      weights[i] = x[n + i];
+      if (rates[i] <= 0.0 || weights[i] <= 0.0) return -kInf;
+      total_rate += rates[i];
+      total_weight += weights[i];
+    }
+    if (total_rate >= 0.999) return -kInf;
+    const double total_queue = queueing::g(total_rate);
+    std::vector<double> queues(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      queues[i] = weights[i] * total_queue / total_weight;
+    }
+    const auto feasibility = queueing::check_feasibility(rates, queues, 1e-9);
+    double penalty = 0.0;
+    if (feasibility.worst_prefix_slack < 0.0) {
+      penalty = 100.0 * -feasibility.worst_prefix_slack;
+    }
+    double min_gain = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_gain =
+          std::min(min_gain, profile[i]->value(rates[i], queues[i]) -
+                                 base_utility[i]);
+    }
+    return min_gain - penalty;
+  };
+
+  numerics::Rng rng(options.seed);
+  DominationResult result;
+  result.best_min_gain = -kInf;
+  numerics::NelderMeadOptions nm;
+  nm.max_evaluations = options.max_evaluations / std::max(options.restarts, 1);
+  nm.initial_step = 0.15;
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<double> start(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double jitter = restart == 0 ? 1.0 : rng.uniform(0.7, 1.3);
+      start[i] = std::max(1e-5, base_rates[i] * jitter);
+      const double base_queue = std::isfinite(base_queues[i])
+                                    ? base_queues[i]
+                                    : 1.0;  // saturated base: any weight
+      start[n + i] =
+          std::max(1e-5, base_queue * (restart == 0 ? 1.0
+                                                    : rng.uniform(0.7, 1.3)));
+    }
+    const auto found = numerics::nelder_mead_max(objective, start, nm);
+    if (found.value > result.best_min_gain) {
+      result.best_min_gain = found.value;
+      std::vector<double> rates(found.x.begin(), found.x.begin() + n);
+      std::vector<double> weights(found.x.begin() + n, found.x.end());
+      const double total_rate =
+          std::accumulate(rates.begin(), rates.end(), 0.0);
+      const double total_weight =
+          std::accumulate(weights.begin(), weights.end(), 0.0);
+      const double total_queue = queueing::g(total_rate);
+      result.rates = rates;
+      result.queues.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        result.queues[i] = weights[i] * total_queue / total_weight;
+      }
+    }
+  }
+  result.dominated = result.best_min_gain > options.min_gain;
+  return result;
+}
+
+}  // namespace gw::core

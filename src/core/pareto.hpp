@@ -1,0 +1,57 @@
+// Pareto optimality machinery (paper Section 4.1.1).
+//
+// An interior allocation is Pareto optimal only if the first-derivative
+// condition M_i(r_i, c_i) = Z_i = -g'(sum r) holds for every user; for a
+// definitive verdict on candidate points we also run a direct search for a
+// feasible allocation that makes every user strictly better off.
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/utility.hpp"
+
+namespace gw::core {
+
+/// Z_i(r) = -g'(sum_j r_j), the feasibility-surface marginal tradeoff
+/// (identical for all users under the M/M/1 constraint).
+[[nodiscard]] double pareto_z(const std::vector<double>& rates);
+
+/// Residuals M_i - Z_i (zero at an interior Pareto optimum). NaN where the
+/// congestion is infinite.
+[[nodiscard]] std::vector<double> pareto_fdc_residuals(
+    const UtilityProfile& profile, const std::vector<double>& rates,
+    const std::vector<double>& queues);
+
+/// The symmetric Pareto point for N identical users with utility u:
+/// argmax_r U(r, g(N r) / N). Returns the per-user rate.
+[[nodiscard]] double symmetric_pareto_rate(const Utility& u, std::size_t n,
+                                           double r_max_total = 0.9999);
+
+struct DominationOptions {
+  int restarts = 8;
+  unsigned seed = 2024;
+  int max_evaluations = 40000;
+  /// Required uniform utility gain for declaring domination; guards
+  /// against numerical noise.
+  double min_gain = 1e-7;
+};
+
+struct DominationResult {
+  bool dominated = false;      ///< a strictly better allocation was found
+  double best_min_gain = 0.0;  ///< max-min utility improvement achieved
+  std::vector<double> rates;   ///< the dominating allocation (if found)
+  std::vector<double> queues;
+};
+
+/// Searches (Nelder–Mead over rates and queue weights, feasibility
+/// enforced exactly for the aggregate constraint and by penalty for the
+/// subsidiary ones) for a feasible allocation in which EVERY user is
+/// better off than at (base_rates, base_queues). Finding one proves the
+/// base allocation is not Pareto optimal.
+[[nodiscard]] DominationResult find_dominating_allocation(
+    const UtilityProfile& profile, const std::vector<double>& base_rates,
+    const std::vector<double>& base_queues,
+    const DominationOptions& options = {});
+
+}  // namespace gw::core

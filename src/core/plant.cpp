@@ -1,0 +1,42 @@
+#include "core/plant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/nash.hpp"
+
+namespace gw::core {
+
+UtilityProfile plant_nash_profile(const AllocationFunction& alloc,
+                                  const std::vector<double>& target,
+                                  const PlantOptions& options) {
+  const auto congestion = alloc.congestion(target);
+  UtilityProfile profile;
+  profile.reserve(target.size());
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (target[i] <= 0.0 || !std::isfinite(congestion[i])) {
+      throw std::invalid_argument(
+          "plant_nash_profile: target must be interior");
+    }
+    const double slope = alloc.partial(i, i, target);
+    if (!(slope > 0.0) || !std::isfinite(slope)) {
+      throw std::invalid_argument(
+          "plant_nash_profile: dC_i/dr_i must be positive and finite");
+    }
+    // alpha/gamma = slope makes M_i = -slope at the target: the Nash FDC.
+    const double gamma = 1.0;
+    const double alpha = slope * gamma;
+    profile.push_back(make_exponential(alpha, options.beta, gamma, options.nu,
+                                       target[i], congestion[i]));
+  }
+  return profile;
+}
+
+bool verify_planted(const AllocationFunction& alloc,
+                    const std::vector<double>& target,
+                    const PlantOptions& options, double utility_slack) {
+  const auto profile = plant_nash_profile(alloc, target, options);
+  return is_nash(alloc, profile, target, utility_slack);
+}
+
+}  // namespace gw::core

@@ -1,0 +1,44 @@
+// Lemma 5 (paper appendix), constructively.
+//
+// For any allocation function in MAC and any interior point r*, there is
+// an admissible utility profile making r* a Nash equilibrium: take the
+// exponential family
+//   U_i = -(alpha^2/beta) e^{-(beta/alpha)(r - r*_i)}
+//         -(gamma^2/nu)  e^{ (nu/gamma)(c - c*_i)}
+// with alpha_i/gamma_i = dC_i/dr_i(r*) (so the Nash FDC holds at r*) and
+// beta, nu large enough that r*_i is the global best response.
+//
+// This is the paper's workhorse witness — the proofs of Theorems 1, 3 and
+// 5 all lean on it — and it is equally useful as a test generator: plant
+// an equilibrium anywhere, then check the solvers find it.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/utility.hpp"
+
+namespace gw::core {
+
+struct PlantOptions {
+  /// Curvature scales: larger values sharpen the utilities around the
+  /// target, enlarging the region where the FDC point is a global best
+  /// response. The defaults suffice for the disciplines in this library
+  /// at interior points; verify_planted() checks.
+  double beta = 60.0;
+  double nu = 60.0;
+  /// gamma_i is fixed to 1; alpha_i = dC_i/dr_i(target).
+};
+
+/// Builds the Lemma 5 profile for `target` (interior: all rates positive,
+/// congestion finite). Throws std::invalid_argument otherwise.
+[[nodiscard]] UtilityProfile plant_nash_profile(
+    const AllocationFunction& alloc, const std::vector<double>& target,
+    const PlantOptions& options = {});
+
+/// Convenience: plant and verify by direct best-response checks. Returns
+/// true when `target` is a Nash equilibrium of the planted profile.
+[[nodiscard]] bool verify_planted(const AllocationFunction& alloc,
+                                  const std::vector<double>& target,
+                                  const PlantOptions& options = {},
+                                  double utility_slack = 1e-7);
+
+}  // namespace gw::core

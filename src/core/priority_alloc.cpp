@@ -1,0 +1,91 @@
+#include "core/priority_alloc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "queueing/mm1.hpp"
+
+namespace gw::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> SmallestRateFirstAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rates[a] != rates[b]) return rates[a] < rates[b];
+    return a < b;
+  });
+  std::vector<double> out(n, 0.0);
+  double prefix = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    prefix += rates[order[k]];
+    const double g_here = queueing::g(prefix);
+    out[order[k]] = std::isinf(g_here) ? kInf : g_here - g_prev;
+    g_prev = g_here;
+  }
+  return out;
+}
+
+double SmallestRateFirstAllocation::partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rates[a] != rates[b]) return rates[a] < rates[b];
+    return a < b;
+  });
+  std::vector<std::size_t> rank(n);
+  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
+
+  const std::size_t k = rank.at(i);
+  const std::size_t jr = rank.at(j);
+  if (jr > k) return 0.0;
+  double prefix = 0.0;
+  for (std::size_t m = 0; m <= k; ++m) prefix += rates[order[m]];
+  if (prefix >= 1.0) return kInf;
+  const double gp_k = queueing::g_prime(prefix);
+  if (jr == k) return gp_k;
+  const double gp_prev = queueing::g_prime(prefix - rates[order[k]]);
+  return gp_k - gp_prev;
+}
+
+std::vector<double> FixedPriorityAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  std::vector<double> out(n, 0.0);
+  double prefix = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix += rates[i];
+    const double g_here = queueing::g(prefix);
+    out[i] = std::isinf(g_here) ? kInf : g_here - g_prev;
+    g_prev = g_here;
+  }
+  return out;
+}
+
+double FixedPriorityAllocation::partial(std::size_t i, std::size_t j,
+                                        const std::vector<double>& rates) const {
+  validate_rates(rates);
+  if (j > i) return 0.0;
+  double prefix = 0.0;
+  for (std::size_t m = 0; m <= i; ++m) prefix += rates[m];
+  if (prefix >= 1.0) return kInf;
+  const double gp_i = queueing::g_prime(prefix);
+  if (j == i) return gp_i;
+  return gp_i - queueing::g_prime(prefix - rates[i]);
+}
+
+}  // namespace gw::core

@@ -1,0 +1,39 @@
+// Preemptive HOL priority allocations.
+//
+// Two variants used as foil disciplines in the experiments:
+//
+// * SmallestRateFirstAllocation — symmetric: priority by ascending rate,
+//   C_(k) = g(P_k) - g(P_{k-1}) with prefix loads P_k. It shares Fair
+//   Share's triangularity but is NOT C^1 at rate ties (the paper's
+//   smoothness requirement), and it over-rewards small users: it fails
+//   envy-freeness and protectiveness in the opposite direction.
+//
+// * FixedPriorityAllocation — priority by user index. Deliberately
+//   non-symmetric (outside AC); used to demonstrate what symmetry buys.
+#pragma once
+
+#include "core/allocation.hpp"
+
+namespace gw::core {
+
+class SmallestRateFirstAllocation final : public AllocationFunction {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "SmallestRateFirstPriority";
+  }
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+};
+
+class FixedPriorityAllocation final : public AllocationFunction {
+ public:
+  [[nodiscard]] std::string name() const override { return "FixedPriority"; }
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+};
+
+}  // namespace gw::core

@@ -1,0 +1,60 @@
+#include "core/proportional.hpp"
+
+#include <limits>
+#include <numeric>
+
+namespace gw::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> ProportionalAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  std::vector<double> out(rates.size(), 0.0);
+  if (total >= 1.0) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      out[i] = rates[i] > 0.0 ? kInf : 0.0;
+    }
+    return out;
+  }
+  const double inv = 1.0 / (1.0 - total);
+  for (std::size_t i = 0; i < rates.size(); ++i) out[i] = rates[i] * inv;
+  return out;
+}
+
+double ProportionalAllocation::congestion_of(
+    std::size_t i, const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  if (total >= 1.0) return rates.at(i) > 0.0 ? kInf : 0.0;
+  return rates.at(i) / (1.0 - total);
+}
+
+double ProportionalAllocation::partial(std::size_t i, std::size_t j,
+                                       const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  if (total >= 1.0) return kInf;
+  const double u = 1.0 - total;
+  const double own = rates.at(i) / (u * u);
+  return (i == j) ? 1.0 / u + own : own;
+}
+
+double ProportionalAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  if (total >= 1.0) return kInf;
+  const double u = 1.0 - total;
+  const double u2 = u * u;
+  const double u3 = u2 * u;
+  // d/dr_j [ 1/u + r_i/u^2 ]  (the i-derivative), so:
+  //   j == i: 2/u^2 + 2 r_i / u^3;  j != i: 1/u^2 + 2 r_i / u^3.
+  const double shared = 2.0 * rates.at(i) / u3;
+  return (i == j) ? 2.0 / u2 + shared : 1.0 / u2 + shared;
+}
+
+}  // namespace gw::core

@@ -1,0 +1,28 @@
+// The proportional allocation function, realized by FIFO (and by any
+// symmetric non-discriminating discipline such as LIFO or PS):
+//   C_i(r) = r_i / (1 - sum_j r_j).
+// Every user with positive rate saturates together when the total load
+// reaches 1 — the absence of insulation that drives the paper's negative
+// results for FIFO.
+#pragma once
+
+#include "core/allocation.hpp"
+
+namespace gw::core {
+
+class ProportionalAllocation final : public AllocationFunction {
+ public:
+  [[nodiscard]] std::string name() const override { return "Proportional(FIFO)"; }
+
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double congestion_of(
+      std::size_t i, const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
+};
+
+}  // namespace gw::core

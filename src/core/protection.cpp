@@ -1,0 +1,86 @@
+#include "core/protection.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+
+double protective_bound(double rate, std::size_t n) noexcept {
+  const double load = static_cast<double>(n) * rate;
+  if (load >= 1.0) return std::numeric_limits<double>::infinity();
+  return rate / (1.0 - load);
+}
+
+ProtectionScanResult scan_protection(const AllocationFunction& alloc,
+                                     std::size_t i, double rate, std::size_t n,
+                                     const ProtectionScanOptions& options) {
+  if (i >= n || n == 0 || rate < 0.0) {
+    throw std::invalid_argument("scan_protection: bad arguments");
+  }
+  ProtectionScanResult result;
+  result.bound = protective_bound(rate, n);
+
+  auto consider = [&](const std::vector<double>& rates) {
+    const double congestion = alloc.congestion_of(i, rates);
+    if (congestion > result.max_congestion) {
+      result.max_congestion = congestion;
+      result.worst_rates = rates;
+    }
+  };
+
+  std::vector<double> rates(n, rate);
+  consider(rates);  // clones — the bound itself
+
+  // Floods: everyone else at increasing multiples of capacity.
+  for (const double flood : {0.5, 1.0, 1.5, options.adversary_max_rate}) {
+    for (std::size_t j = 0; j < n; ++j) rates[j] = (j == i) ? rate : flood;
+    consider(rates);
+  }
+
+  // Near-rate crowding (the Fair Share extremal direction: adversaries just
+  // below r_i maximize i's serial load).
+  for (const double fraction : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    for (std::size_t j = 0; j < n; ++j) {
+      rates[j] = (j == i) ? rate : rate * fraction;
+    }
+    consider(rates);
+  }
+
+  // Staircases mixing light and flooding adversaries.
+  for (std::size_t split = 1; split < n; ++split) {
+    std::size_t placed = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      rates[j] = (placed < split) ? rate * 0.5 : options.adversary_max_rate;
+      ++placed;
+    }
+    rates[i] = rate;
+    consider(rates);
+  }
+
+  numerics::Rng rng(options.seed);
+  for (int s = 0; s < options.random_samples; ++s) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        rates[j] = rate;
+      } else if (rng.bernoulli(0.3)) {
+        rates[j] = rng.uniform(0.0, options.adversary_max_rate);
+      } else {
+        // concentrate sampling near r_i where the binding profiles live
+        rates[j] = rate * rng.uniform(0.0, 1.2);
+      }
+    }
+    consider(rates);
+  }
+
+  const double slack =
+      1e-7 * std::max(1.0, std::isfinite(result.bound) ? result.bound : 1.0);
+  result.protective = std::isinf(result.bound) ||
+                      result.max_congestion <= result.bound + slack;
+  return result;
+}
+
+}  // namespace gw::core

@@ -1,0 +1,43 @@
+// Out-of-equilibrium protection (paper Section 4.3, Theorem 8).
+//
+// A discipline is *protective* when a user sending at rate r_i never sees
+// more congestion than she would in a system of N clones of herself:
+//   C_i(r) <= C_i(r_i * e) = r_i / (1 - N r_i).
+// This is the strongest guarantee symmetry allows — the converse of the
+// Golden Rule — and shields naive users from malicious ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.hpp"
+
+namespace gw::core {
+
+/// The symmetric protection bound r / (1 - N r); +infinity when N r >= 1.
+[[nodiscard]] double protective_bound(double rate, std::size_t n) noexcept;
+
+struct ProtectionScanOptions {
+  int random_samples = 4000;
+  unsigned seed = 99;
+  double adversary_max_rate = 3.0;  ///< adversaries may flood far beyond capacity
+};
+
+struct ProtectionScanResult {
+  double max_congestion = 0.0;       ///< worst C_i found over the scan
+  std::vector<double> worst_rates;   ///< adversary profile achieving it
+  double bound = 0.0;                ///< protective bound for (rate, n)
+  /// Whether every scanned profile respected the bound (within slack).
+  bool protective = false;
+};
+
+/// Adversarial scan: user `i` holds `rate`; the other N-1 users take
+/// structured patterns (clones at the same rate, floods, staircases,
+/// near-rate crowding — the FS worst case) plus random profiles. Returns
+/// the worst congestion seen for user i and whether the protective bound
+/// held throughout.
+[[nodiscard]] ProtectionScanResult scan_protection(
+    const AllocationFunction& alloc, std::size_t i, double rate, std::size_t n,
+    const ProtectionScanOptions& options = {});
+
+}  // namespace gw::core

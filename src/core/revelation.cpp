@@ -1,0 +1,56 @@
+#include "core/revelation.hpp"
+
+#include <stdexcept>
+
+namespace gw::core {
+
+Mechanism make_nash_mechanism(std::shared_ptr<const AllocationFunction> alloc,
+                              const NashOptions& options) {
+  if (alloc == nullptr) {
+    throw std::invalid_argument("make_nash_mechanism: null allocation");
+  }
+  return [alloc, options](const UtilityProfile& reported) -> MechanismOutcome {
+    const std::size_t n = reported.size();
+    std::vector<double> start(n, 0.5 / static_cast<double>(n));
+    const auto solved = solve_nash(*alloc, reported, start, options);
+    MechanismOutcome outcome;
+    outcome.rates = solved.rates;
+    outcome.queues = alloc->congestion(solved.rates);
+    return outcome;
+  };
+}
+
+double misreport_gain(const Mechanism& mechanism,
+                      const UtilityProfile& true_profile, std::size_t i,
+                      const UtilityPtr& reported) {
+  if (i >= true_profile.size()) {
+    throw std::invalid_argument("misreport_gain: bad index");
+  }
+  const auto honest = mechanism(true_profile);
+  const double honest_utility =
+      true_profile[i]->value(honest.rates[i], honest.queues[i]);
+
+  UtilityProfile lying = true_profile;
+  lying[i] = reported;
+  const auto outcome = mechanism(lying);
+  const double lying_utility =
+      true_profile[i]->value(outcome.rates[i], outcome.queues[i]);
+  return lying_utility - honest_utility;
+}
+
+ManipulationSweep sweep_misreports(
+    const Mechanism& mechanism, const UtilityProfile& true_profile,
+    std::size_t i, const std::vector<UtilityPtr>& candidate_reports) {
+  ManipulationSweep sweep;
+  for (std::size_t k = 0; k < candidate_reports.size(); ++k) {
+    const double gain =
+        misreport_gain(mechanism, true_profile, i, candidate_reports[k]);
+    if (gain > sweep.best_gain) {
+      sweep.best_gain = gain;
+      sweep.best_report_index = k;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace gw::core

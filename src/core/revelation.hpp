@@ -1,0 +1,53 @@
+// Revelation mechanisms (paper Definition 6, Theorem 6).
+//
+// When users report utility functions directly to the switch, the switch
+// computes the allocation users would have reached by self-optimizing:
+// B(reported profile) = the Nash allocation of the reported game. The
+// mechanism is a *revelation mechanism* (truth-dominant) when no user can
+// gain — measured by her TRUE utility — by misreporting. B^FS (built on
+// Fair Share) has this property; the FIFO-based analogue does not.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/nash.hpp"
+#include "core/utility.hpp"
+
+namespace gw::core {
+
+/// An allocation mechanism: reported utilities -> (rates, queues).
+struct MechanismOutcome {
+  std::vector<double> rates;
+  std::vector<double> queues;
+};
+
+using Mechanism = std::function<MechanismOutcome(const UtilityProfile&)>;
+
+/// Builds the Nash-outcome mechanism for an allocation function: solve the
+/// reported game's equilibrium (best-response dynamics from a uniform
+/// start) and hand out the resulting allocation.
+[[nodiscard]] Mechanism make_nash_mechanism(
+    std::shared_ptr<const AllocationFunction> alloc,
+    const NashOptions& options = {});
+
+/// True-utility gain user i obtains by reporting `reported` instead of the
+/// truth (positive = profitable manipulation).
+[[nodiscard]] double misreport_gain(const Mechanism& mechanism,
+                                    const UtilityProfile& true_profile,
+                                    std::size_t i, const UtilityPtr& reported);
+
+struct ManipulationSweep {
+  double best_gain = 0.0;            ///< largest true-utility gain found
+  std::size_t best_report_index = 0; ///< index into the candidate list
+};
+
+/// Tries every candidate report for user i and returns the most profitable
+/// manipulation. A revelation mechanism yields best_gain <= ~0.
+[[nodiscard]] ManipulationSweep sweep_misreports(
+    const Mechanism& mechanism, const UtilityProfile& true_profile,
+    std::size_t i, const std::vector<UtilityPtr>& candidate_reports);
+
+}  // namespace gw::core

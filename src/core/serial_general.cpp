@@ -1,0 +1,158 @@
+#include "core/serial_general.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace gw::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<std::size_t> ascending_order(const std::vector<double>& rates) {
+  std::vector<std::size_t> order(rates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rates[a] != rates[b]) return rates[a] < rates[b];
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<double> serial_loads(const std::vector<double>& sorted_rates) {
+  const std::size_t n = sorted_rates.size();
+  std::vector<double> serial(n);
+  double prefix = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    serial[k] = static_cast<double>(n - k) * sorted_rates[k] + prefix;
+    prefix += sorted_rates[k];
+  }
+  return serial;
+}
+
+}  // namespace
+
+GeneralSerialAllocation::GeneralSerialAllocation(GFunction g)
+    : g_(std::move(g)) {
+  if (!g_.value || !g_.prime || !g_.double_prime) {
+    throw std::invalid_argument("GeneralSerialAllocation: incomplete g");
+  }
+}
+
+std::string GeneralSerialAllocation::name() const {
+  return "Serial[" + g_.name + "]";
+}
+
+std::vector<double> GeneralSerialAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  const auto order = ascending_order(rates);
+  std::vector<double> sorted_rates(n);
+  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
+  const auto serial = serial_loads(sorted_rates);
+
+  std::vector<double> out(n, 0.0);
+  double running = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g_here = g_.value(serial[k]);
+    if (std::isinf(g_here)) {
+      running = kInf;
+    } else {
+      running += (g_here - g_prev) / static_cast<double>(n - k);
+      g_prev = g_here;
+    }
+    out[order[k]] = running;
+  }
+  return out;
+}
+
+double GeneralSerialAllocation::partial(std::size_t i, std::size_t j,
+                                        const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  const auto order = ascending_order(rates);
+  std::vector<std::size_t> rank(n);
+  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
+  std::vector<double> sorted_rates(n);
+  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
+  const auto serial = serial_loads(sorted_rates);
+
+  const std::size_t k = rank.at(i);
+  const std::size_t jr = rank.at(j);
+  if (jr > k) return 0.0;
+  if (serial[k] >= g_.saturation) return kInf;
+
+  auto coefficient = [&](std::size_t m) -> double {
+    if (m < jr) return 0.0;
+    return (m == jr) ? static_cast<double>(n - jr) : 1.0;
+  };
+  double acc = 0.0;
+  for (std::size_t m = jr; m <= k; ++m) {
+    const double upper = coefficient(m) * g_.prime(serial[m]);
+    const double lower =
+        (m > 0) ? coefficient(m - 1) * g_.prime(serial[m - 1]) : 0.0;
+    acc += (upper - lower) / static_cast<double>(n - m);
+  }
+  return acc;
+}
+
+double GeneralSerialAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  const auto order = ascending_order(rates);
+  std::vector<std::size_t> rank(n);
+  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
+  std::vector<double> sorted_rates(n);
+  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
+  const auto serial = serial_loads(sorted_rates);
+
+  const std::size_t k = rank.at(i);
+  const std::size_t jr = rank.at(j);
+  if (jr > k) return 0.0;
+  if (serial[k] >= g_.saturation) return kInf;
+  const double coefficient = (jr == k) ? static_cast<double>(n - k) : 1.0;
+  return coefficient * g_.double_prime(serial[k]);
+}
+
+double GeneralSerialAllocation::protective_bound(double rate,
+                                                 std::size_t n) const {
+  return g_.value(static_cast<double>(n) * rate) / static_cast<double>(n);
+}
+
+GeneralProportionalAllocation::GeneralProportionalAllocation(GFunction g)
+    : g_(std::move(g)) {
+  if (!g_.value) {
+    throw std::invalid_argument("GeneralProportionalAllocation: missing g");
+  }
+}
+
+std::string GeneralProportionalAllocation::name() const {
+  return "Proportional[" + g_.name + "]";
+}
+
+std::vector<double> GeneralProportionalAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  std::vector<double> out(rates.size(), 0.0);
+  if (total <= 0.0) return out;
+  const double aggregate = g_.value(total);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] <= 0.0) {
+      out[i] = 0.0;
+    } else if (std::isinf(aggregate)) {
+      out[i] = kInf;
+    } else {
+      out[i] = rates[i] * aggregate / total;
+    }
+  }
+  return out;
+}
+
+}  // namespace gw::core

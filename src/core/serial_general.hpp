@@ -1,0 +1,54 @@
+// Serial cost sharing and proportional sharing over an arbitrary convex
+// aggregate constraint g (paper footnote 5).
+//
+// GeneralSerialAllocation is the Fair Share construction with g pluggable:
+//   S_k = (N-k+1) r_k + sum_{j<k} r_j (rates ascending),
+//   C_k = sum_{m<=k} [g(S_m) - g(S_{m-1})] / (N-m+1).
+// GeneralProportionalAllocation is the FIFO analogue: everyone pays in
+// proportion to throughput, C_i = r_i * g(sum r) / sum r.
+//
+// With GFunction::mm1() these reduce exactly to FairShareAllocation and
+// ProportionalAllocation (tested); with M/G/1 or abstract technologies
+// they carry the paper's theorems beyond the exponential server.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/gfunction.hpp"
+
+namespace gw::core {
+
+class GeneralSerialAllocation final : public AllocationFunction {
+ public:
+  explicit GeneralSerialAllocation(GFunction g);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
+
+  /// The generalized protective bound g(N r) / N (Theorem 8's analogue).
+  [[nodiscard]] double protective_bound(double rate, std::size_t n) const;
+
+  [[nodiscard]] const GFunction& g() const noexcept { return g_; }
+
+ private:
+  GFunction g_;
+};
+
+class GeneralProportionalAllocation final : public AllocationFunction {
+ public:
+  explicit GeneralProportionalAllocation(GFunction g);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+
+ private:
+  GFunction g_;
+};
+
+}  // namespace gw::core

@@ -1,0 +1,118 @@
+#include "core/stackelberg.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gw::core {
+
+namespace {
+
+/// Leader payoff for a committed rate: followers re-equilibrate, leader is
+/// evaluated at the resulting full profile. Follower solve is warm-started
+/// from `follower_warm` (updated on success).
+double leader_payoff(const std::shared_ptr<const AllocationFunction>& alloc,
+                     const UtilityProfile& profile, std::size_t leader,
+                     double leader_rate, std::vector<double>& follower_warm,
+                     const StackelbergOptions& options) {
+  const std::size_t n = profile.size();
+  std::vector<double> frozen(n, 0.0);
+  frozen[leader] = leader_rate;
+  std::vector<std::size_t> free_indices;
+  UtilityProfile follower_profile;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == leader) continue;
+    free_indices.push_back(j);
+    follower_profile.push_back(profile[j]);
+  }
+  const SubsystemAllocation subsystem(alloc, frozen, free_indices);
+  const auto solved =
+      solve_nash(subsystem, follower_profile, follower_warm, options.follower);
+  if (solved.converged) follower_warm = solved.rates;
+
+  std::vector<double> full(n, 0.0);
+  full[leader] = leader_rate;
+  for (std::size_t k = 0; k < free_indices.size(); ++k) {
+    full[free_indices[k]] = solved.rates[k];
+  }
+  const double congestion = alloc->congestion_of(leader, full);
+  return profile[leader]->value(leader_rate, congestion);
+}
+
+}  // namespace
+
+StackelbergResult solve_stackelberg(
+    std::shared_ptr<const AllocationFunction> alloc,
+    const UtilityProfile& profile, std::size_t leader,
+    const StackelbergOptions& options) {
+  const std::size_t n = profile.size();
+  if (leader >= n || n < 2) {
+    throw std::invalid_argument("solve_stackelberg: bad leader index");
+  }
+
+  StackelbergResult result;
+
+  // Plain Nash baseline (uniform small start).
+  std::vector<double> start(n, 0.5 / static_cast<double>(n));
+  const auto nash = solve_nash(*alloc, profile, start, options.follower);
+  result.nash_rates = nash.rates;
+  {
+    const double c = alloc->congestion_of(leader, nash.rates);
+    result.nash_leader_utility = profile[leader]->value(nash.rates[leader], c);
+  }
+
+  // Grid search over commitments, with grid-shrink refinement. The
+  // leader's own Nash rate is always a candidate, so leading can never
+  // look worse than following (up to follower-solve noise).
+  double lo = options.r_min, hi = options.r_max;
+  double best_rate = nash.rates[leader];
+  std::vector<double> follower_warm(n - 1, 0.5 / static_cast<double>(n));
+  double best_value = leader_payoff(alloc, profile, leader,
+                                    nash.rates[leader], follower_warm,
+                                    options);
+
+  for (int round = 0; round <= options.refine_iterations; ++round) {
+    const int grid = options.leader_grid;
+    for (int k = 0; k < grid; ++k) {
+      const double rate =
+          lo + (hi - lo) * static_cast<double>(k) / (grid - 1);
+      const double value = leader_payoff(alloc, profile, leader, rate,
+                                         follower_warm, options);
+      if (value > best_value) {
+        best_value = value;
+        best_rate = rate;
+      }
+    }
+    const double width = (hi - lo) / (grid - 1);
+    lo = std::max(options.r_min, best_rate - width);
+    hi = std::min(options.r_max, best_rate + width);
+    if (!(lo < hi)) break;
+  }
+
+  // Recompute the full profile at the winning commitment.
+  {
+    std::vector<double> frozen(n, 0.0);
+    frozen[leader] = best_rate;
+    std::vector<std::size_t> free_indices;
+    UtilityProfile follower_profile;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == leader) continue;
+      free_indices.push_back(j);
+      follower_profile.push_back(profile[j]);
+    }
+    const SubsystemAllocation subsystem(alloc, frozen, free_indices);
+    const auto solved = solve_nash(subsystem, follower_profile, follower_warm,
+                                   options.follower);
+    result.rates.assign(n, 0.0);
+    result.rates[leader] = best_rate;
+    for (std::size_t k = 0; k < free_indices.size(); ++k) {
+      result.rates[free_indices[k]] = solved.rates[k];
+    }
+  }
+  result.leader_rate = best_rate;
+  result.leader_utility = best_value;
+  result.solved = std::isfinite(best_value);
+  return result;
+}
+
+}  // namespace gw::core

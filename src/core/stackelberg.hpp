@@ -1,0 +1,49 @@
+// Stackelberg (leader/follower) equilibria (paper Definition 5, Theorem 5).
+//
+// A sophisticated leader commits to a rate, lets the remaining users
+// equilibrate to the Nash point of their induced subsystem, and picks the
+// commitment that maximizes her own utility. Under Fair Share the leader
+// gains nothing over the plain Nash equilibrium; under FIFO she does —
+// making sophistication (and spying on other users) profitable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/nash.hpp"
+#include "core/utility.hpp"
+
+namespace gw::core {
+
+struct StackelbergOptions {
+  int leader_grid = 41;      ///< coarse commitments tried across (0, r_max)
+  double r_min = 1e-4;
+  double r_max = 0.95;
+  int refine_iterations = 2; ///< grid-shrink refinement rounds
+  NashOptions follower;      ///< solver for the follower subsystem
+};
+
+struct StackelbergResult {
+  double leader_rate = 0.0;
+  std::vector<double> rates;        ///< full rate vector at the equilibrium
+  double leader_utility = 0.0;      ///< leader's utility when leading
+  double nash_leader_utility = 0.0; ///< leader's utility at plain Nash
+  std::vector<double> nash_rates;   ///< the plain Nash point
+  bool solved = false;
+
+  /// Utility gained by leading (>= 0 up to solver noise; ~0 under FS).
+  [[nodiscard]] double advantage() const noexcept {
+    return leader_utility - nash_leader_utility;
+  }
+};
+
+/// Solves the Stackelberg problem with user `leader` leading.
+/// The allocation is passed as shared_ptr because follower subsystems are
+/// induced allocation functions referencing it.
+[[nodiscard]] StackelbergResult solve_stackelberg(
+    std::shared_ptr<const AllocationFunction> alloc,
+    const UtilityProfile& profile, std::size_t leader,
+    const StackelbergOptions& options = {});
+
+}  // namespace gw::core

@@ -1,0 +1,218 @@
+#include "core/utility.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/differentiate.hpp"
+
+namespace gw::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double Utility::du_dr(double r, double c) const {
+  return numerics::derivative([&](double x) { return value(x, c); }, r);
+}
+
+double Utility::du_dc(double r, double c) const {
+  return numerics::derivative([&](double x) { return value(r, x); }, c);
+}
+
+double Utility::d2u_dr2(double r, double c) const {
+  return numerics::second_derivative([&](double x) { return value(x, c); }, r);
+}
+
+double Utility::d2u_dc2(double r, double c) const {
+  return numerics::second_derivative([&](double x) { return value(r, x); }, c);
+}
+
+double Utility::d2u_drdc(double r, double c) const {
+  return numerics::mixed_partial(
+      [&](const std::vector<double>& x) { return value(x[0], x[1]); },
+      {r, c}, 0, 1);
+}
+
+double Utility::marginal_ratio(double r, double c) const {
+  return du_dr(r, c) / du_dc(r, c);
+}
+
+// ---------------------------------------------------------------- Linear
+
+LinearUtility::LinearUtility(double a, double gamma) : a_(a), gamma_(gamma) {
+  if (a <= 0.0 || gamma <= 0.0) {
+    throw std::invalid_argument("LinearUtility: a, gamma must be > 0");
+  }
+}
+
+std::string LinearUtility::name() const {
+  return "Linear(a=" + std::to_string(a_) + ",gamma=" + std::to_string(gamma_) +
+         ")";
+}
+
+double LinearUtility::value(double r, double c) const {
+  if (std::isinf(c)) return -kInf;
+  return a_ * r - gamma_ * c;
+}
+
+double LinearUtility::du_dr(double, double) const { return a_; }
+double LinearUtility::du_dc(double, double) const { return -gamma_; }
+
+// ----------------------------------------------------------- Exponential
+
+ExponentialUtility::ExponentialUtility(double alpha, double beta, double gamma,
+                                       double nu, double r0, double c0)
+    : alpha_(alpha), beta_(beta), gamma_(gamma), nu_(nu), r0_(r0), c0_(c0) {
+  if (alpha <= 0.0 || beta <= 0.0 || gamma <= 0.0 || nu <= 0.0) {
+    throw std::invalid_argument(
+        "ExponentialUtility: parameters must be > 0");
+  }
+}
+
+std::string ExponentialUtility::name() const {
+  return "Exponential(a/g=" + std::to_string(alpha_ / gamma_) + ")";
+}
+
+double ExponentialUtility::value(double r, double c) const {
+  if (std::isinf(c)) return -kInf;
+  const double rate_term =
+      -(alpha_ * alpha_ / beta_) * std::exp(-(beta_ / alpha_) * (r - r0_));
+  const double congestion_term =
+      -(gamma_ * gamma_ / nu_) * std::exp((nu_ / gamma_) * (c - c0_));
+  return rate_term + congestion_term;
+}
+
+double ExponentialUtility::du_dr(double r, double) const {
+  return alpha_ * std::exp(-(beta_ / alpha_) * (r - r0_));
+}
+
+double ExponentialUtility::du_dc(double, double c) const {
+  return -gamma_ * std::exp((nu_ / gamma_) * (c - c0_));
+}
+
+double ExponentialUtility::d2u_dr2(double r, double) const {
+  return -beta_ * std::exp(-(beta_ / alpha_) * (r - r0_));
+}
+
+double ExponentialUtility::d2u_dc2(double, double c) const {
+  return -nu_ * std::exp((nu_ / gamma_) * (c - c0_));
+}
+
+// ----------------------------------------------------------------- Power
+
+PowerUtility::PowerUtility(double a, double pr, double gamma, double pc)
+    : a_(a), pr_(pr), gamma_(gamma), pc_(pc) {
+  if (a <= 0.0 || gamma <= 0.0) {
+    throw std::invalid_argument("PowerUtility: a, gamma must be > 0");
+  }
+  if (pr <= 0.0 || pr > 1.0 || pc < 1.0) {
+    throw std::invalid_argument(
+        "PowerUtility: need pr in (0, 1] and pc >= 1 for concavity");
+  }
+}
+
+std::string PowerUtility::name() const {
+  return "Power(pr=" + std::to_string(pr_) + ",pc=" + std::to_string(pc_) + ")";
+}
+
+double PowerUtility::value(double r, double c) const {
+  if (std::isinf(c)) return -kInf;
+  return a_ * std::pow(r, pr_) - gamma_ * std::pow(c, pc_);
+}
+
+double PowerUtility::du_dr(double r, double) const {
+  return a_ * pr_ * std::pow(r, pr_ - 1.0);
+}
+
+double PowerUtility::du_dc(double, double c) const {
+  return -gamma_ * pc_ * std::pow(c, pc_ - 1.0);
+}
+
+double PowerUtility::d2u_dr2(double r, double) const {
+  return a_ * pr_ * (pr_ - 1.0) * std::pow(r, pr_ - 2.0);
+}
+
+double PowerUtility::d2u_dc2(double, double c) const {
+  return -gamma_ * pc_ * (pc_ - 1.0) * std::pow(c, pc_ - 2.0);
+}
+
+// ------------------------------------------------------------------- Log
+
+LogUtility::LogUtility(double a, double gamma, double eps)
+    : a_(a), gamma_(gamma), eps_(eps) {
+  if (a <= 0.0 || gamma <= 0.0 || eps <= 0.0) {
+    throw std::invalid_argument("LogUtility: parameters must be > 0");
+  }
+}
+
+std::string LogUtility::name() const {
+  return "Log(a=" + std::to_string(a_) + ",gamma=" + std::to_string(gamma_) +
+         ")";
+}
+
+double LogUtility::value(double r, double c) const {
+  if (std::isinf(c)) return -kInf;
+  return a_ * std::log(r + eps_) - gamma_ * c;
+}
+
+double LogUtility::du_dr(double r, double) const { return a_ / (r + eps_); }
+double LogUtility::du_dc(double, double) const { return -gamma_; }
+
+// ----------------------------------------------------------- Transformed
+
+TransformedUtility::TransformedUtility(UtilityPtr inner,
+                                       std::function<double(double)> transform,
+                                       std::string label)
+    : inner_(std::move(inner)),
+      transform_(std::move(transform)),
+      label_(std::move(label)) {
+  if (inner_ == nullptr || !transform_) {
+    throw std::invalid_argument("TransformedUtility: null inner or transform");
+  }
+}
+
+std::string TransformedUtility::name() const {
+  return label_ + "(" + inner_->name() + ")";
+}
+
+double TransformedUtility::value(double r, double c) const {
+  const double u = inner_->value(r, c);
+  if (std::isinf(u) && u < 0.0) return -kInf;
+  return transform_(u);
+}
+
+bool TransformedUtility::in_au() const {
+  // Convexity is not preserved by arbitrary monotone transforms; results
+  // depending only on the preference ordering must still be invariant.
+  return false;
+}
+
+// ---------------------------------------------------------------- Makers
+
+UtilityPtr make_linear(double a, double gamma) {
+  return std::make_shared<LinearUtility>(a, gamma);
+}
+
+UtilityPtr make_exponential(double alpha, double beta, double gamma, double nu,
+                            double r0, double c0) {
+  return std::make_shared<ExponentialUtility>(alpha, beta, gamma, nu, r0, c0);
+}
+
+UtilityPtr make_power(double a, double pr, double gamma, double pc) {
+  return std::make_shared<PowerUtility>(a, pr, gamma, pc);
+}
+
+UtilityPtr make_ftp(double delay_aversion) {
+  return make_linear(1.0, delay_aversion);
+}
+
+UtilityPtr make_telnet(double delay_aversion) {
+  return make_linear(1.0, delay_aversion);
+}
+
+UtilityProfile uniform_profile(const UtilityPtr& u, std::size_t n) {
+  return UtilityProfile(n, u);
+}
+
+}  // namespace gw::core

@@ -1,0 +1,161 @@
+// User utility functions U(r, c) (paper Section 3.2).
+//
+// Acceptable utilities (the set AU) are strictly increasing in throughput
+// r, strictly decreasing in congestion c, "convex" and C^2. The paper's
+// convexity is the economists' convexity of *preferences* (upper contour
+// sets convex); concretely its Lemma 5 witness family is concave in each
+// argument, which is what makes the composed payoff U(r, C_i(r|r)) concave
+// (paper Lemma 4). Our families follow that convention. Utilities are
+// ordinal: every result must be invariant under monotone transformations
+// U -> G(U); TransformedUtility exists to test exactly that.
+//
+// Congestion can be +infinity (saturated user, footnote 6); value() then
+// returns -infinity.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gw::core {
+
+class Utility {
+ public:
+  virtual ~Utility() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// U(r, c); returns -infinity when c is +infinity.
+  [[nodiscard]] virtual double value(double r, double c) const = 0;
+
+  /// dU/dr. Finite c only.
+  [[nodiscard]] virtual double du_dr(double r, double c) const;
+  /// dU/dc (negative). Finite c only.
+  [[nodiscard]] virtual double du_dc(double r, double c) const;
+  /// Second partials (numeric defaults).
+  [[nodiscard]] virtual double d2u_dr2(double r, double c) const;
+  [[nodiscard]] virtual double d2u_dc2(double r, double c) const;
+  [[nodiscard]] virtual double d2u_drdc(double r, double c) const;
+
+  /// The marginal-rate-of-substitution ratio M(r, c) = U_r / U_c < 0
+  /// appearing in the Nash and Pareto first-derivative conditions.
+  [[nodiscard]] double marginal_ratio(double r, double c) const;
+
+  /// True if this instance is certified to lie in AU (monotone, convex,
+  /// C^2). Families outside AU return false; property tests use the flag.
+  [[nodiscard]] virtual bool in_au() const { return true; }
+};
+
+using UtilityPtr = std::shared_ptr<const Utility>;
+using UtilityProfile = std::vector<UtilityPtr>;
+
+/// U = a r - gamma c. The paper's worked example (Section 4.2.3) uses
+/// U = r - gamma c. Requires a > 0, gamma > 0.
+class LinearUtility final : public Utility {
+ public:
+  LinearUtility(double a, double gamma);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double value(double r, double c) const override;
+  [[nodiscard]] double du_dr(double r, double c) const override;
+  [[nodiscard]] double du_dc(double r, double c) const override;
+  [[nodiscard]] double d2u_dr2(double, double) const override { return 0.0; }
+  [[nodiscard]] double d2u_dc2(double, double) const override { return 0.0; }
+  [[nodiscard]] double d2u_drdc(double, double) const override { return 0.0; }
+
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+ private:
+  double a_;
+  double gamma_;
+};
+
+/// The Lemma 5 family:
+///   U = -(alpha^2/beta) exp(-(beta/alpha)(r - r0))
+///       -(gamma^2/nu)  exp( (nu/gamma)(c - c0)).
+/// Strictly monotone, strictly convex, C^2 — in AU for all positive
+/// parameters. By construction, choosing alpha/gamma = dC_i/dr_i at a
+/// target point makes that point satisfy the Nash FDC; large beta, nu make
+/// it a global best response (used to plant Nash equilibria anywhere in D).
+class ExponentialUtility final : public Utility {
+ public:
+  ExponentialUtility(double alpha, double beta, double gamma, double nu,
+                     double r0, double c0);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double value(double r, double c) const override;
+  [[nodiscard]] double du_dr(double r, double c) const override;
+  [[nodiscard]] double du_dc(double r, double c) const override;
+  [[nodiscard]] double d2u_dr2(double r, double c) const override;
+  [[nodiscard]] double d2u_dc2(double r, double c) const override;
+  [[nodiscard]] double d2u_drdc(double, double) const override { return 0.0; }
+
+ private:
+  double alpha_, beta_, gamma_, nu_, r0_, c0_;
+};
+
+/// U = a r^pr - gamma c^pc with a, gamma > 0, 0 < pr <= 1, pc >= 1
+/// (the ranges that keep U concave in each argument and monotone, so the
+/// composed payoff against a convex allocation stays concave — in AU).
+class PowerUtility final : public Utility {
+ public:
+  PowerUtility(double a, double pr, double gamma, double pc);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double value(double r, double c) const override;
+  [[nodiscard]] double du_dr(double r, double c) const override;
+  [[nodiscard]] double du_dc(double r, double c) const override;
+  [[nodiscard]] double d2u_dr2(double r, double c) const override;
+  [[nodiscard]] double d2u_dc2(double r, double c) const override;
+
+ private:
+  double a_, pr_, gamma_, pc_;
+};
+
+/// U = a log(r + eps) - gamma c. The unbounded marginal utility at r -> 0
+/// sits outside the families we certify as AU; used to probe robustness of
+/// the solvers beyond the paper's assumptions.
+class LogUtility final : public Utility {
+ public:
+  LogUtility(double a, double gamma, double eps = 1e-9);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double value(double r, double c) const override;
+  [[nodiscard]] double du_dr(double r, double c) const override;
+  [[nodiscard]] double du_dc(double r, double c) const override;
+  [[nodiscard]] bool in_au() const override { return false; }
+
+ private:
+  double a_, gamma_, eps_;
+};
+
+/// G(U(r, c)) for a strictly increasing smooth G; same preference ordering,
+/// so every game-theoretic result must be unchanged. Used by invariance
+/// tests.
+class TransformedUtility final : public Utility {
+ public:
+  TransformedUtility(UtilityPtr inner, std::function<double(double)> transform,
+                     std::string label);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double value(double r, double c) const override;
+  [[nodiscard]] bool in_au() const override;
+
+ private:
+  UtilityPtr inner_;
+  std::function<double(double)> transform_;
+  std::string label_;
+};
+
+/// Convenience builders.
+[[nodiscard]] UtilityPtr make_linear(double a, double gamma);
+[[nodiscard]] UtilityPtr make_exponential(double alpha, double beta,
+                                          double gamma, double nu, double r0,
+                                          double c0);
+[[nodiscard]] UtilityPtr make_power(double a, double pr, double gamma,
+                                    double pc);
+/// Throughput-dominant profile (an "FTP" user).
+[[nodiscard]] UtilityPtr make_ftp(double delay_aversion = 0.05);
+/// Delay-dominant profile (a "Telnet" user).
+[[nodiscard]] UtilityPtr make_telnet(double delay_aversion = 2.0);
+/// Identical-profile helper.
+[[nodiscard]] UtilityProfile uniform_profile(const UtilityPtr& u,
+                                             std::size_t n);
+
+}  // namespace gw::core

@@ -1,0 +1,135 @@
+#include "core/weighted_serial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace gw::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+WeightedSerialAllocation::WeightedSerialAllocation(std::vector<double> weights,
+                                                   GFunction g)
+    : weights_(std::move(weights)), g_(std::move(g)) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("WeightedSerialAllocation: no weights");
+  }
+  total_weight_ = 0.0;
+  for (const double w : weights_) {
+    if (w <= 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("WeightedSerialAllocation: weight <= 0");
+    }
+    total_weight_ += w;
+  }
+  if (!g_.value) {
+    throw std::invalid_argument("WeightedSerialAllocation: incomplete g");
+  }
+}
+
+std::string WeightedSerialAllocation::name() const {
+  return "WeightedSerial[" + g_.name + "]";
+}
+
+std::vector<double> WeightedSerialAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = weights_.size();
+  if (rates.size() != n) {
+    throw std::invalid_argument(
+        "WeightedSerialAllocation: rate/weight size mismatch");
+  }
+  // Order by normalized demand x_i = r_i / w_i (ties by index).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double xa = rates[a] / weights_[a];
+    const double xb = rates[b] / weights_[b];
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+
+  // Suffix weights W_m and weighted serial loads S_m.
+  std::vector<double> suffix_weight(n + 1, 0.0);
+  for (std::size_t m = n; m-- > 0;) {
+    suffix_weight[m] = suffix_weight[m + 1] + weights_[order[m]];
+  }
+
+  std::vector<double> out(n, 0.0);
+  double prefix_rate = 0.0;
+  double g_prev = 0.0;
+  // share_m accumulates sum over levels of [g(S_m)-g(S_{m-1})] / W_m; a
+  // user of rank k pays w_k times the accumulated value through level k.
+  double accumulated_per_weight = 0.0;
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::size_t user = order[m];
+    const double x = rates[user] / weights_[user];
+    const double serial_load = prefix_rate + x * suffix_weight[m];
+    const double g_here = g_.value(serial_load);
+    if (std::isinf(g_here)) {
+      accumulated_per_weight = kInf;
+    } else {
+      accumulated_per_weight += (g_here - g_prev) / suffix_weight[m];
+      g_prev = g_here;
+    }
+    out[user] = std::isinf(accumulated_per_weight)
+                    ? kInf
+                    : weights_[user] * accumulated_per_weight;
+    prefix_rate += rates[user];
+  }
+  return out;
+}
+
+double WeightedSerialAllocation::protective_bound(std::size_t i,
+                                                  double rate) const {
+  const double w = weights_.at(i);
+  return w * g_.value(rate * total_weight_ / w) / total_weight_;
+}
+
+WeightedDecomposition weighted_serial_decomposition(
+    const std::vector<double>& rates, const std::vector<double>& weights) {
+  const std::size_t n = rates.size();
+  if (weights.size() != n || n == 0) {
+    throw std::invalid_argument(
+        "weighted_serial_decomposition: size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0 || rates[i] < 0.0) {
+      throw std::invalid_argument(
+          "weighted_serial_decomposition: bad inputs");
+    }
+  }
+  WeightedDecomposition out;
+  out.order.resize(n);
+  std::iota(out.order.begin(), out.order.end(), std::size_t{0});
+  std::sort(out.order.begin(), out.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double xa = rates[a] / weights[a];
+              const double xb = rates[b] / weights[b];
+              if (xa != xb) return xa < xb;
+              return a < b;
+            });
+
+  out.level_width.resize(n);
+  out.slice_rate.assign(n, std::vector<double>(n, 0.0));
+  out.level_rate.assign(n, 0.0);
+  double previous_x = 0.0;
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::size_t rank_user = out.order[m];
+    const double x = rates[rank_user] / weights[rank_user];
+    out.level_width[m] = x - previous_x;
+    for (std::size_t k = m; k < n; ++k) {  // users of rank >= m
+      const std::size_t user = out.order[k];
+      const double slice = weights[user] * out.level_width[m];
+      out.slice_rate[user][m] = slice;
+      out.level_rate[m] += slice;
+    }
+    previous_x = x;
+  }
+  return out;
+}
+
+}  // namespace gw::core

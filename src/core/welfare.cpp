@@ -1,0 +1,63 @@
+#include "core/welfare.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gw::core {
+
+std::vector<double> utilities(const UtilityProfile& profile,
+                              const std::vector<double>& rates,
+                              const std::vector<double>& queues) {
+  if (profile.size() != rates.size() || rates.size() != queues.size()) {
+    throw std::invalid_argument("utilities: size mismatch");
+  }
+  std::vector<double> out(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    out[i] = profile[i]->value(rates[i], queues[i]);
+  }
+  return out;
+}
+
+double min_utility(const UtilityProfile& profile,
+                   const std::vector<double>& rates,
+                   const std::vector<double>& queues) {
+  const auto values = utilities(profile, rates, queues);
+  return *std::min_element(values.begin(), values.end());
+}
+
+double utilitarian_sum(const UtilityProfile& profile,
+                       const std::vector<double>& rates,
+                       const std::vector<double>& queues) {
+  const auto values = utilities(profile, rates, queues);
+  double total = 0.0;
+  for (const double value : values) total += value;
+  return total;
+}
+
+double jain_index(const std::vector<double>& rates) {
+  if (rates.empty()) throw std::invalid_argument("jain_index: empty");
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double rate : rates) {
+    sum += rate;
+    sum_sq += rate * rate;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zero: trivially equal
+  return sum * sum / (static_cast<double>(rates.size()) * sum_sq);
+}
+
+bool pareto_dominates(const UtilityProfile& profile,
+                      const std::vector<double>& rates_a,
+                      const std::vector<double>& queues_a,
+                      const std::vector<double>& rates_b,
+                      const std::vector<double>& queues_b, double slack) {
+  const auto a = utilities(profile, rates_a, queues_a);
+  const auto b = utilities(profile, rates_b, queues_b);
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i] - slack) return false;
+    if (a[i] > b[i] + slack) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace gw::core

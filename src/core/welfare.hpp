@@ -1,0 +1,50 @@
+// Operating-point diagnostics.
+//
+// The paper insists utilities are ordinal, so cross-user aggregates are
+// meaningful only in restricted senses; these helpers make the caveats
+// explicit in the API:
+//   * utilities(): the raw per-user utility vector (always meaningful);
+//   * min_utility(): Rawlsian comparison — ordinal-safe when the compared
+//     users share a utility function;
+//   * utilitarian_sum(): only meaningful for a FIXED cardinalization; the
+//     benches use it strictly for identical-utility populations;
+//   * jain_index(): fairness of the *rate* vector (a resource metric, not
+//     a utility metric);
+//   * pareto_dominates(): the paper's own partial order.
+#pragma once
+
+#include <vector>
+
+#include "core/utility.hpp"
+
+namespace gw::core {
+
+/// Per-user utilities at an allocation.
+[[nodiscard]] std::vector<double> utilities(const UtilityProfile& profile,
+                                            const std::vector<double>& rates,
+                                            const std::vector<double>& queues);
+
+/// min_i U_i — Rawlsian welfare (use with identical utility functions).
+[[nodiscard]] double min_utility(const UtilityProfile& profile,
+                                 const std::vector<double>& rates,
+                                 const std::vector<double>& queues);
+
+/// sum_i U_i under the profile's given cardinalization.
+[[nodiscard]] double utilitarian_sum(const UtilityProfile& profile,
+                                     const std::vector<double>& rates,
+                                     const std::vector<double>& queues);
+
+/// Jain's fairness index of the rate vector: (sum r)^2 / (N sum r^2);
+/// 1 = perfectly equal, 1/N = one user holds everything.
+[[nodiscard]] double jain_index(const std::vector<double>& rates);
+
+/// True iff allocation A makes every user at least as well off as B and
+/// at least one strictly better (the paper's Definition 3 relation).
+[[nodiscard]] bool pareto_dominates(const UtilityProfile& profile,
+                                    const std::vector<double>& rates_a,
+                                    const std::vector<double>& queues_a,
+                                    const std::vector<double>& rates_b,
+                                    const std::vector<double>& queues_b,
+                                    double slack = 0.0);
+
+}  // namespace gw::core

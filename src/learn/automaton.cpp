@@ -1,0 +1,128 @@
+#include "learn/automaton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gw::learn {
+
+EliminationAutomaton::EliminationAutomaton(double initial_rate,
+                                           const AutomatonOptions& options)
+    : options_(options), rng_(options.seed) {
+  if (options.candidates < 2) {
+    throw std::invalid_argument("EliminationAutomaton: need >= 2 candidates");
+  }
+  reset(initial_rate);
+}
+
+void EliminationAutomaton::reset(double initial_rate) {
+  candidates_.clear();
+  candidates_.resize(options_.candidates);
+  for (int k = 0; k < options_.candidates; ++k) {
+    candidates_[k].rate =
+        options_.r_min + (options_.r_max - options_.r_min) *
+                             static_cast<double>(k) /
+                             (options_.candidates - 1);
+  }
+  // Start at the candidate closest to the requested initial rate.
+  current_ = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < candidates_.size(); ++k) {
+    const double distance = std::abs(candidates_[k].rate - initial_rate);
+    if (distance < best) {
+      best = distance;
+      current_ = k;
+    }
+  }
+}
+
+double EliminationAutomaton::current_rate() const {
+  return candidates_[current_].rate;
+}
+
+std::size_t EliminationAutomaton::pick_next() {
+  // Round-robin over surviving candidates with occasional random jumps so
+  // payoff windows stay comparable across candidates.
+  std::vector<std::size_t> alive;
+  for (std::size_t k = 0; k < candidates_.size(); ++k) {
+    if (candidates_[k].alive) alive.push_back(k);
+  }
+  if (alive.empty()) return current_;  // cannot happen: we never kill the last
+  if (rng_.bernoulli(0.1)) {
+    return alive[rng_.uniform_index(alive.size())];
+  }
+  // Next alive candidate after current_.
+  for (std::size_t offset = 1; offset <= candidates_.size(); ++offset) {
+    const std::size_t k = (current_ + offset) % candidates_.size();
+    if (candidates_[k].alive) return k;
+  }
+  return current_;
+}
+
+void EliminationAutomaton::eliminate_dominated() {
+  // s is eliminated when some alive s' has min_payoff(s') > max_payoff(s)
+  // + margin, both past warmup: s' beat s in every context either saw.
+  double best_min = -std::numeric_limits<double>::infinity();
+  for (const auto& candidate : candidates_) {
+    if (candidate.alive && candidate.visits >= options_.warmup_visits) {
+      best_min = std::max(best_min, candidate.min_payoff);
+    }
+  }
+  std::size_t alive_count = 0;
+  for (const auto& candidate : candidates_) {
+    if (candidate.alive) ++alive_count;
+  }
+  for (auto& candidate : candidates_) {
+    if (!candidate.alive || candidate.visits < options_.warmup_visits) {
+      continue;
+    }
+    if (alive_count <= 1) break;
+    if (candidate.max_payoff + options_.margin < best_min) {
+      candidate.alive = false;
+      --alive_count;
+    }
+  }
+}
+
+double EliminationAutomaton::next_rate(const LearnerContext& context) {
+  auto& candidate = candidates_[current_];
+  const double payoff = context.observed_utility;
+  if (candidate.visits == 0) {
+    candidate.min_payoff = payoff;
+    candidate.max_payoff = payoff;
+  } else {
+    // Window decay: relax stale extremes toward the latest observation so
+    // a moving environment does not pin ancient payoffs forever.
+    const double decay = options_.window_decay;
+    candidate.min_payoff =
+        std::min(payoff, payoff + (candidate.min_payoff - payoff) * decay);
+    candidate.max_payoff =
+        std::max(payoff, payoff + (candidate.max_payoff - payoff) * decay);
+  }
+  ++candidate.visits;
+
+  eliminate_dominated();
+  if (!candidates_[current_].alive || rng_.bernoulli(0.9)) {
+    current_ = pick_next();
+  }
+  return candidates_[current_].rate;
+}
+
+std::vector<double> EliminationAutomaton::surviving() const {
+  std::vector<double> out;
+  for (const auto& candidate : candidates_) {
+    if (candidate.alive) out.push_back(candidate.rate);
+  }
+  return out;
+}
+
+std::size_t EliminationAutomaton::surviving_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& candidate : candidates_) {
+    if (candidate.alive) ++count;
+  }
+  return count;
+}
+
+}  // namespace gw::learn

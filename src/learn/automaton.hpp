@@ -1,0 +1,66 @@
+// Generalized hill climbing by candidate elimination (paper Section 4.2.2,
+// after Friedman & Shenker's learning automata).
+//
+// The user starts with a discretized candidate set S over [r_min, r_max],
+// cycles through surviving candidates to sample their payoffs, and
+// eliminates a candidate s once another candidate s' has been strictly
+// better in every observed context: max-observed(s) + margin <
+// min-observed(s'). This is exactly the paper's "reasonable learning
+// algorithm" requirement — it only ever discards strictly dominated
+// values. Under Fair Share the surviving set S-infinity collapses to the
+// unique Nash rate; under FIFO it need not.
+#pragma once
+
+#include <vector>
+
+#include "learn/learner.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::learn {
+
+struct AutomatonOptions {
+  int candidates = 33;
+  double r_min = 1e-4;
+  double r_max = 0.95;
+  /// Observations of a candidate before it can participate in elimination.
+  int warmup_visits = 3;
+  /// Payoff-window decay: older extremes relax toward the mean so the
+  /// automaton adapts as opponents move. 1.0 = never forget.
+  double window_decay = 0.995;
+  double margin = 1e-6;
+  unsigned seed = 17;
+};
+
+class EliminationAutomaton final : public Learner {
+ public:
+  explicit EliminationAutomaton(double initial_rate,
+                                const AutomatonOptions& options = {});
+
+  [[nodiscard]] std::string name() const override { return "Automaton"; }
+  [[nodiscard]] double current_rate() const override;
+  double next_rate(const LearnerContext& context) override;
+  void reset(double initial_rate) override;
+
+  /// Candidates still alive (the finite-sample estimate of S-infinity).
+  [[nodiscard]] std::vector<double> surviving() const;
+  [[nodiscard]] std::size_t surviving_count() const noexcept;
+
+ private:
+  struct Candidate {
+    double rate = 0.0;
+    bool alive = true;
+    int visits = 0;
+    double min_payoff = 0.0;
+    double max_payoff = 0.0;
+  };
+
+  void eliminate_dominated();
+  [[nodiscard]] std::size_t pick_next();
+
+  AutomatonOptions options_;
+  std::vector<Candidate> candidates_;
+  std::size_t current_ = 0;
+  numerics::Rng rng_;
+};
+
+}  // namespace gw::learn

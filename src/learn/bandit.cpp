@@ -1,0 +1,91 @@
+#include "learn/bandit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gw::learn {
+
+SoftmaxBandit::SoftmaxBandit(double initial_rate, const BanditOptions& options)
+    : options_(options),
+      temperature_(options.initial_temperature),
+      rng_(options.seed) {
+  if (options.candidates < 2) {
+    throw std::invalid_argument("SoftmaxBandit: need >= 2 candidates");
+  }
+  reset(initial_rate);
+}
+
+void SoftmaxBandit::reset(double initial_rate) {
+  rates_.resize(options_.candidates);
+  estimates_.assign(options_.candidates, 0.0);
+  visits_.assign(options_.candidates, 0);
+  for (int k = 0; k < options_.candidates; ++k) {
+    rates_[k] = options_.r_min + (options_.r_max - options_.r_min) *
+                                     static_cast<double>(k) /
+                                     (options_.candidates - 1);
+  }
+  temperature_ = options_.initial_temperature;
+  current_ = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < rates_.size(); ++k) {
+    const double distance = std::abs(rates_[k] - initial_rate);
+    if (distance < best) {
+      best = distance;
+      current_ = k;
+    }
+  }
+}
+
+double SoftmaxBandit::current_rate() const { return rates_[current_]; }
+
+double SoftmaxBandit::greedy_rate() const {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < estimates_.size(); ++k) {
+    // Prefer visited candidates; unvisited estimates are meaningless.
+    if (visits_[k] > 0 &&
+        (visits_[best] == 0 || estimates_[k] > estimates_[best])) {
+      best = k;
+    }
+  }
+  return rates_[best];
+}
+
+std::size_t SoftmaxBandit::sample_candidate() {
+  // Unvisited candidates first (forced exploration).
+  for (std::size_t k = 0; k < rates_.size(); ++k) {
+    if (visits_[k] == 0) return k;
+  }
+  // Softmax over estimates, stabilized by the running max.
+  double top = -std::numeric_limits<double>::infinity();
+  for (const double estimate : estimates_) top = std::max(top, estimate);
+  std::vector<double> weights(rates_.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < rates_.size(); ++k) {
+    weights[k] = std::exp((estimates_[k] - top) / temperature_);
+    total += weights[k];
+  }
+  double x = rng_.uniform() * total;
+  for (std::size_t k = 0; k < rates_.size(); ++k) {
+    x -= weights[k];
+    if (x <= 0.0) return k;
+  }
+  return rates_.size() - 1;
+}
+
+double SoftmaxBandit::next_rate(const LearnerContext& context) {
+  auto& estimate = estimates_[current_];
+  if (visits_[current_] == 0) {
+    estimate = context.observed_utility;
+  } else {
+    estimate += options_.ewma * (context.observed_utility - estimate);
+  }
+  ++visits_[current_];
+  temperature_ =
+      std::max(temperature_ * options_.cooling, options_.min_temperature);
+  current_ = sample_candidate();
+  return rates_[current_];
+}
+
+}  // namespace gw::learn

@@ -1,0 +1,54 @@
+// Boltzmann (softmax) bandit over a discretized rate set.
+//
+// A third self-optimization style alongside hill climbing and candidate
+// elimination: keep an EWMA payoff estimate per candidate rate, sample
+// proportionally to exp(estimate / temperature), and cool the temperature
+// over time. Asymptotically it concentrates on the empirically best rate;
+// against a Fair Share switch that is the Nash rate (Theorem 5 spirit),
+// while remaining robust to moderate non-stationarity via the EWMA.
+#pragma once
+
+#include <vector>
+
+#include "learn/learner.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::learn {
+
+struct BanditOptions {
+  int candidates = 33;
+  double r_min = 1e-4;
+  double r_max = 0.95;
+  double initial_temperature = 1.0;
+  double cooling = 0.999;       ///< per-round multiplicative cooling
+  double min_temperature = 1e-3;
+  double ewma = 0.2;            ///< payoff estimate update weight
+  unsigned seed = 23;
+};
+
+class SoftmaxBandit final : public Learner {
+ public:
+  explicit SoftmaxBandit(double initial_rate, const BanditOptions& options = {});
+
+  [[nodiscard]] std::string name() const override { return "SoftmaxBandit"; }
+  [[nodiscard]] double current_rate() const override;
+  double next_rate(const LearnerContext& context) override;
+  void reset(double initial_rate) override;
+
+  /// The candidate with the highest payoff estimate (the exploit choice).
+  [[nodiscard]] double greedy_rate() const;
+  [[nodiscard]] double temperature() const noexcept { return temperature_; }
+
+ private:
+  [[nodiscard]] std::size_t sample_candidate();
+
+  BanditOptions options_;
+  std::vector<double> rates_;
+  std::vector<double> estimates_;
+  std::vector<int> visits_;
+  std::size_t current_ = 0;
+  double temperature_;
+  numerics::Rng rng_;
+};
+
+}  // namespace gw::learn

@@ -1,0 +1,68 @@
+#include "learn/driver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gw::learn {
+
+GameDriver::GameDriver(std::shared_ptr<const core::AllocationFunction> alloc,
+                       core::UtilityProfile profile)
+    : alloc_(std::move(alloc)), profile_(std::move(profile)) {
+  if (alloc_ == nullptr || profile_.empty()) {
+    throw std::invalid_argument("GameDriver: null allocation or empty profile");
+  }
+}
+
+DriverResult GameDriver::run(std::vector<std::unique_ptr<Learner>>& learners,
+                             const DriverOptions& options) const {
+  const std::size_t n = profile_.size();
+  if (learners.size() != n) {
+    throw std::invalid_argument("GameDriver: learner count mismatch");
+  }
+  std::vector<double> rates(n);
+  for (std::size_t i = 0; i < n; ++i) rates[i] = learners[i]->current_rate();
+
+  DriverResult result;
+  result.trajectory.push_back(rates);
+  int calm_rounds = 0;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const std::vector<double> snapshot = rates;
+    const auto congestion = alloc_->congestion(snapshot);
+    double max_move = 0.0;
+    const bool round_robin = options.round_robin && !options.synchronous;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (round_robin && i != static_cast<std::size_t>(round) % n) continue;
+      LearnerContext context;
+      context.observed_utility =
+          profile_[i]->value(snapshot[i], congestion[i]);
+      // Counterfactual over the snapshot (synchronous) or live rates
+      // (sequential) — matching how the round's moves compose.
+      const std::vector<double>& frame =
+          options.synchronous ? snapshot : rates;
+      context.counterfactual = [this, &frame, i](double candidate) {
+        std::vector<double> probe = frame;
+        probe[i] = candidate;
+        const double c = alloc_->congestion_of(i, probe);
+        return profile_[i]->value(candidate, c);
+      };
+      const double next = learners[i]->next_rate(context);
+      max_move = std::max(max_move, std::abs(next - rates[i]));
+      rates[i] = next;
+    }
+    result.trajectory.push_back(rates);
+    result.rounds = round + 1;
+    if (max_move <= options.tolerance) {
+      if (++calm_rounds >= options.patience) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      calm_rounds = 0;
+    }
+  }
+  result.final_rates = rates;
+  return result;
+}
+
+}  // namespace gw::learn

@@ -1,0 +1,55 @@
+// Couples a population of learners to the analytic congestion game.
+//
+// Each round every user observes the utility of the current operating
+// point and revises her rate via her Learner. Sophisticated learners also
+// receive a counterfactual oracle (everyone else frozen). The driver
+// records the full trajectory so benches can report convergence speed and
+// the distance to the game's Nash equilibrium.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/utility.hpp"
+#include "learn/learner.hpp"
+
+namespace gw::learn {
+
+struct DriverOptions {
+  int max_rounds = 4000;
+  /// Converged when every rate moved less than this for `patience` rounds.
+  double tolerance = 1e-5;
+  int patience = 50;
+  bool synchronous = false;  ///< true: all users update on a snapshot
+  /// One user acts per round (users self-optimize on their own
+  /// timescales). This keeps each learner's base/probe comparisons
+  /// unconfounded by the others' simultaneous probing — without it, naive
+  /// probing learners inject oscillation into each other's payoffs and
+  /// can stall off-equilibrium. Ignored when `synchronous` is true.
+  bool round_robin = true;
+};
+
+struct DriverResult {
+  std::vector<std::vector<double>> trajectory;  ///< rates per round
+  std::vector<double> final_rates;
+  bool converged = false;
+  int rounds = 0;
+};
+
+class GameDriver {
+ public:
+  GameDriver(std::shared_ptr<const core::AllocationFunction> alloc,
+             core::UtilityProfile profile);
+
+  /// Runs the learner population (one per user) from their current rates.
+  [[nodiscard]] DriverResult run(
+      std::vector<std::unique_ptr<Learner>>& learners,
+      const DriverOptions& options = {}) const;
+
+ private:
+  std::shared_ptr<const core::AllocationFunction> alloc_;
+  core::UtilityProfile profile_;
+};
+
+}  // namespace gw::learn

@@ -1,0 +1,80 @@
+#include "learn/hill_climber.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gw::learn {
+
+FiniteDifferenceHillClimber::FiniteDifferenceHillClimber(
+    double initial_rate, const HillClimberOptions& options)
+    : options_(options),
+      rate_(initial_rate),
+      base_rate_(initial_rate),
+      step_(options.initial_step) {}
+
+void FiniteDifferenceHillClimber::reset(double initial_rate) {
+  rate_ = initial_rate;
+  base_rate_ = initial_rate;
+  base_utility_ = 0.0;
+  step_ = options_.initial_step;
+  direction_ = +1;
+  phase_ = Phase::kAtBase;
+  phase_sum_ = 0.0;
+  phase_samples_ = 0;
+}
+
+double FiniteDifferenceHillClimber::next_rate(const LearnerContext& context) {
+  const auto clamp = [&](double r) {
+    return std::clamp(r, options_.r_min, options_.r_max);
+  };
+  // Congestion collapse (saturated switch, utility -inf): gradient
+  // comparisons are useless on the -inf plateau — the step would shrink
+  // to nothing and the user would freeze while starving. Do what real
+  // flow control does: multiplicative back-off, then resume probing.
+  if (!std::isfinite(context.observed_utility)) {
+    base_rate_ = std::max(options_.r_min, 0.5 * rate_);
+    rate_ = base_rate_;
+    step_ = options_.initial_step;
+    direction_ = -1;
+    phase_ = Phase::kAtBase;
+    phase_sum_ = 0.0;
+    phase_samples_ = 0;
+    return rate_;
+  }
+
+  // Accumulate observations of the current phase; only act once enough
+  // samples have been averaged (noise robustness).
+  phase_sum_ += context.observed_utility;
+  ++phase_samples_;
+  if (phase_samples_ < std::max(options_.samples_per_phase, 1)) {
+    return rate_;
+  }
+  const double phase_utility = phase_sum_ / phase_samples_;
+  phase_sum_ = 0.0;
+  phase_samples_ = 0;
+
+  if (phase_ == Phase::kAtBase) {
+    // Record base payoff, move to the probe point.
+    base_utility_ = phase_utility;
+    base_rate_ = rate_;
+    rate_ = clamp(base_rate_ + direction_ * step_);
+    phase_ = Phase::kAtProbe;
+    return rate_;
+  }
+  // We are at the probe point; compare with the base.
+  if (phase_utility > base_utility_ && rate_ != base_rate_) {
+    // Probe won: accept it, keep direction, grow the step a little.
+    base_rate_ = rate_;
+    base_utility_ = phase_utility;
+    step_ = std::min(step_ * options_.grow, options_.initial_step * 4.0);
+  } else {
+    // Probe lost: return to base, flip direction, shrink the step.
+    direction_ = -direction_;
+    step_ = std::max(step_ * options_.shrink, options_.min_step);
+  }
+  rate_ = clamp(base_rate_);
+  phase_ = Phase::kAtBase;
+  return rate_;
+}
+
+}  // namespace gw::learn

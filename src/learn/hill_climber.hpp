@@ -1,0 +1,55 @@
+// Incremental hill climbing on achieved utility only.
+//
+// The learner alternates between playing its base rate and a probe rate
+// one step away; comparing the two observed utilities decides the next
+// move. Step size shrinks on direction reversals (success/failure
+// adaptation), mirroring how an application would actually tune its
+// sending rate. This is the paper's "most naive self-optimization
+// algorithm" (Section 4.2.2).
+#pragma once
+
+#include "learn/learner.hpp"
+
+namespace gw::learn {
+
+struct HillClimberOptions {
+  double initial_step = 0.02;
+  double min_step = 1e-6;
+  double shrink = 0.6;    ///< step multiplier on reversal
+  double grow = 1.15;     ///< step multiplier on continued success
+  double r_min = 1e-5;
+  double r_max = 0.98;
+  /// Observations averaged per phase before a move is judged. Raise above
+  /// 1 in noisy (measurement-driven) environments: queueing noise at
+  /// realistic window lengths otherwise drowns the local gradient and the
+  /// climber random-walks.
+  int samples_per_phase = 1;
+};
+
+class FiniteDifferenceHillClimber final : public Learner {
+ public:
+  explicit FiniteDifferenceHillClimber(double initial_rate,
+                                       const HillClimberOptions& options = {});
+
+  [[nodiscard]] std::string name() const override { return "HillClimber"; }
+  [[nodiscard]] double current_rate() const override { return rate_; }
+  double next_rate(const LearnerContext& context) override;
+  void reset(double initial_rate) override;
+
+  [[nodiscard]] double step() const noexcept { return step_; }
+
+ private:
+  enum class Phase { kAtBase, kAtProbe };
+
+  HillClimberOptions options_;
+  double rate_;        ///< rate currently being played
+  double base_rate_;   ///< accepted operating point
+  double base_utility_ = 0.0;
+  double step_;
+  int direction_ = +1;
+  Phase phase_ = Phase::kAtBase;
+  double phase_sum_ = 0.0;  ///< accumulated observations this phase
+  int phase_samples_ = 0;
+};
+
+}  // namespace gw::learn

@@ -1,0 +1,42 @@
+// Self-optimization algorithms (paper Section 4.2).
+//
+// Users "adjust the knob until the picture looks best": a Learner owns one
+// user's rate and revises it from round to round based only on achieved
+// utility (hill climbers, elimination automata) or, for the sophisticated
+// strategies the paper worries about, on counterfactual oracle access
+// (exact best response, Newton's method with switch-reported derivatives).
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace gw::learn {
+
+/// Per-round information made available to a learner.
+struct LearnerContext {
+  /// Utility achieved at the learner's current rate this round.
+  double observed_utility = 0.0;
+  /// Counterfactual payoff oracle u(candidate_rate) with everyone else
+  /// frozen at their current rates. Empty (nullptr-like) in measurement-
+  /// driven settings (the packet simulator), where users can only probe by
+  /// actually changing their rate. Naive learners must not rely on it.
+  std::function<double(double)> counterfactual;
+};
+
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The rate the learner is currently playing.
+  [[nodiscard]] virtual double current_rate() const = 0;
+
+  /// Consumes this round's feedback and returns the rate to play next.
+  virtual double next_rate(const LearnerContext& context) = 0;
+
+  /// Restarts the learner at `initial_rate`.
+  virtual void reset(double initial_rate) = 0;
+};
+
+}  // namespace gw::learn

@@ -1,0 +1,58 @@
+#include "learn/oracle_learners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/differentiate.hpp"
+#include "numerics/optimize.hpp"
+
+namespace gw::learn {
+
+namespace {
+
+void require_oracle(const LearnerContext& context, const char* who) {
+  if (!context.counterfactual) {
+    throw std::logic_error(std::string(who) +
+                           " requires a counterfactual oracle");
+  }
+}
+
+}  // namespace
+
+BestResponseLearner::BestResponseLearner(double initial_rate,
+                                         const OracleOptions& options)
+    : options_(options), rate_(initial_rate) {}
+
+double BestResponseLearner::next_rate(const LearnerContext& context) {
+  require_oracle(context, "BestResponseLearner");
+  numerics::Optimize1DOptions opt;
+  opt.scan_points = options_.scan_points;
+  const auto best = numerics::maximize_scan(context.counterfactual,
+                                            options_.r_min, options_.r_max, opt);
+  rate_ = (1.0 - options_.damping) * rate_ + options_.damping * best.x;
+  return rate_;
+}
+
+NewtonLearner::NewtonLearner(double initial_rate, const OracleOptions& options)
+    : options_(options), rate_(initial_rate) {}
+
+double NewtonLearner::next_rate(const LearnerContext& context) {
+  require_oracle(context, "NewtonLearner");
+  const auto& payoff = context.counterfactual;
+  // E = dU/dr at the current rate; Newton: r -= E / (dE/dr).
+  const double e = numerics::derivative(payoff, rate_);
+  const double de = numerics::second_derivative(payoff, rate_);
+  double next = rate_;
+  if (std::isfinite(e) && std::isfinite(de) && de != 0.0) {
+    next = rate_ - e / de;
+  }
+  if (!std::isfinite(next)) next = rate_;
+  // Newton can shoot off maxima (de > 0 regions); fall back to a damped
+  // gradient nudge there.
+  if (de >= 0.0) next = rate_ + std::clamp(e, -0.05, 0.05);
+  rate_ = std::clamp(next, options_.r_min, options_.r_max);
+  return rate_;
+}
+
+}  // namespace gw::learn

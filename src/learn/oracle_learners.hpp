@@ -1,0 +1,50 @@
+// Sophisticated strategies with counterfactual access.
+//
+// BestResponseLearner jumps straight to the utility-maximizing rate each
+// round (the idealized "smart" user). NewtonLearner implements the paper's
+// Section 4.2.3 increment r += -E / (dE/dr) using derivatives obtained
+// from the counterfactual oracle — the user who queries the switch for
+// dC_i/dr_i. Both require LearnerContext::counterfactual and throw
+// std::logic_error when driven by a measurement-only environment.
+#pragma once
+
+#include "learn/learner.hpp"
+
+namespace gw::learn {
+
+struct OracleOptions {
+  double r_min = 1e-5;
+  double r_max = 0.98;
+  int scan_points = 161;
+  /// Damping for best-response steps (1 = undamped jump).
+  double damping = 1.0;
+};
+
+class BestResponseLearner final : public Learner {
+ public:
+  explicit BestResponseLearner(double initial_rate,
+                               const OracleOptions& options = {});
+  [[nodiscard]] std::string name() const override { return "BestResponse"; }
+  [[nodiscard]] double current_rate() const override { return rate_; }
+  double next_rate(const LearnerContext& context) override;
+  void reset(double initial_rate) override { rate_ = initial_rate; }
+
+ private:
+  OracleOptions options_;
+  double rate_;
+};
+
+class NewtonLearner final : public Learner {
+ public:
+  explicit NewtonLearner(double initial_rate, const OracleOptions& options = {});
+  [[nodiscard]] std::string name() const override { return "Newton"; }
+  [[nodiscard]] double current_rate() const override { return rate_; }
+  double next_rate(const LearnerContext& context) override;
+  void reset(double initial_rate) override { rate_ = initial_rate; }
+
+ private:
+  OracleOptions options_;
+  double rate_;
+};
+
+}  // namespace gw::learn

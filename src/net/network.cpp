@@ -1,0 +1,155 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace gw::net {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}
+
+NetworkAllocation::NetworkAllocation(
+    std::vector<std::shared_ptr<const core::AllocationFunction>>
+        switch_allocations,
+    std::vector<Route> routes)
+    : NetworkAllocation(
+          std::move(switch_allocations), std::move(routes),
+          std::vector<double>()) {}
+
+NetworkAllocation::NetworkAllocation(
+    std::vector<std::shared_ptr<const core::AllocationFunction>>
+        switch_allocations,
+    std::vector<Route> routes, std::vector<double> capacities)
+    : switch_allocations_(std::move(switch_allocations)),
+      routes_(std::move(routes)),
+      capacities_(std::move(capacities)) {
+  const std::size_t n_switches = switch_allocations_.size();
+  if (capacities_.empty()) {
+    capacities_.assign(n_switches, 1.0);
+  }
+  if (capacities_.size() != n_switches) {
+    throw std::invalid_argument("NetworkAllocation: capacity count");
+  }
+  for (const double mu : capacities_) {
+    if (mu <= 0.0) {
+      throw std::invalid_argument("NetworkAllocation: capacity <= 0");
+    }
+  }
+  if (n_switches == 0 || routes_.empty()) {
+    throw std::invalid_argument("NetworkAllocation: empty network");
+  }
+  for (const auto& alloc : switch_allocations_) {
+    if (alloc == nullptr) {
+      throw std::invalid_argument("NetworkAllocation: null switch discipline");
+    }
+  }
+  users_at_switch_.resize(n_switches);
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    auto route = routes_[i];
+    std::sort(route.begin(), route.end());
+    route.erase(std::unique(route.begin(), route.end()), route.end());
+    if (route.empty()) {
+      throw std::invalid_argument("NetworkAllocation: user with empty route");
+    }
+    for (const std::size_t a : route) {
+      if (a >= n_switches) {
+        throw std::invalid_argument("NetworkAllocation: bad switch id");
+      }
+      users_at_switch_[a].push_back(i);
+    }
+    routes_[i] = std::move(route);
+  }
+  local_index_.assign(n_switches,
+                      std::vector<std::size_t>(routes_.size(), kNpos));
+  for (std::size_t a = 0; a < n_switches; ++a) {
+    for (std::size_t k = 0; k < users_at_switch_[a].size(); ++k) {
+      local_index_[a][users_at_switch_[a][k]] = k;
+    }
+  }
+}
+
+std::string NetworkAllocation::name() const {
+  return "Network(" + std::to_string(switches()) + " switches, " +
+         switch_allocations_.front()->name() + ")";
+}
+
+std::vector<double> NetworkAllocation::local_rates(
+    std::size_t a, const std::vector<double>& rates) const {
+  const auto& crossing = users_at_switch_[a];
+  std::vector<double> local(crossing.size());
+  for (std::size_t k = 0; k < crossing.size(); ++k) {
+    local[k] = rates[crossing[k]] / capacities_[a];
+  }
+  return local;
+}
+
+std::vector<double> NetworkAllocation::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  if (rates.size() != routes_.size()) {
+    throw std::invalid_argument("NetworkAllocation: rate vector size");
+  }
+  std::vector<double> total(rates.size(), 0.0);
+  for (std::size_t a = 0; a < switch_allocations_.size(); ++a) {
+    const auto& crossing = users_at_switch_[a];
+    if (crossing.empty()) continue;
+    const auto local = switch_allocations_[a]->congestion(local_rates(a, rates));
+    for (std::size_t k = 0; k < crossing.size(); ++k) {
+      total[crossing[k]] += local[k];
+    }
+  }
+  return total;
+}
+
+double NetworkAllocation::partial(std::size_t i, std::size_t j,
+                                  const std::vector<double>& rates) const {
+  validate_rates(rates);
+  double acc = 0.0;
+  for (std::size_t a = 0; a < switch_allocations_.size(); ++a) {
+    const std::size_t li = local_index_[a][i];
+    const std::size_t lj = local_index_[a][j];
+    if (li == kNpos || lj == kNpos) continue;
+    acc += switch_allocations_[a]->partial(li, lj, local_rates(a, rates)) /
+           capacities_[a];
+  }
+  return acc;
+}
+
+double NetworkAllocation::second_partial(std::size_t i, std::size_t j,
+                                         const std::vector<double>& rates) const {
+  validate_rates(rates);
+  double acc = 0.0;
+  for (std::size_t a = 0; a < switch_allocations_.size(); ++a) {
+    const std::size_t li = local_index_[a][i];
+    const std::size_t lj = local_index_[a][j];
+    if (li == kNpos || lj == kNpos) continue;
+    acc += switch_allocations_[a]->second_partial(li, lj,
+                                                  local_rates(a, rates)) /
+           (capacities_[a] * capacities_[a]);
+  }
+  return acc;
+}
+
+std::shared_ptr<NetworkAllocation> make_tandem(
+    const std::shared_ptr<const core::AllocationFunction>& discipline,
+    std::size_t n_switches,
+    const std::vector<std::pair<std::size_t, std::size_t>>& user_spans) {
+  std::vector<std::shared_ptr<const core::AllocationFunction>> allocations(
+      n_switches, discipline);
+  std::vector<Route> routes;
+  routes.reserve(user_spans.size());
+  for (const auto& [first, last] : user_spans) {
+    if (first > last || last >= n_switches) {
+      throw std::invalid_argument("make_tandem: bad span");
+    }
+    Route route;
+    for (std::size_t a = first; a <= last; ++a) route.push_back(a);
+    routes.push_back(std::move(route));
+  }
+  return std::make_shared<NetworkAllocation>(std::move(allocations),
+                                             std::move(routes));
+}
+
+}  // namespace gw::net

@@ -1,0 +1,82 @@
+// Networks of switches (paper Section 5.4).
+//
+// Following the paper's suggested approximation, each switch is modeled as
+// an independent M/M/1 fed by Poisson streams at the users' input rates
+// (Kleinrock independence), and a user's total congestion is the sum of
+// her per-switch congestions: c_i = sum_alpha c_i^alpha. The composite map
+// r -> c is itself an allocation-function-like object, so all the
+// game-theoretic machinery (Nash solvers, envy, protection scans) applies
+// unchanged. Note: with heterogeneous routes the composite is not
+// symmetric across users — the paper points out that fairness then needs
+// a different definition; efficiency, uniqueness and convergence questions
+// remain meaningful and are what the network bench exercises.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/allocation.hpp"
+
+namespace gw::net {
+
+/// A user's route: the set of switches her stream crosses.
+using Route = std::vector<std::size_t>;
+
+class NetworkAllocation final : public core::AllocationFunction {
+ public:
+  /// `switch_allocations[a]` is the discipline at switch a; `routes[i]`
+  /// lists the switches crossed by user i (duplicates ignored).
+  NetworkAllocation(
+      std::vector<std::shared_ptr<const core::AllocationFunction>>
+          switch_allocations,
+      std::vector<Route> routes);
+
+  /// Heterogeneous-capacity variant: switch a serves at rate
+  /// `capacities[a]` (> 0). An M/M/1 at service rate mu with arrivals
+  /// lambda has the occupancy of a unit-rate switch at load lambda / mu,
+  /// so each switch evaluates its allocation at the scaled rates.
+  NetworkAllocation(
+      std::vector<std::shared_ptr<const core::AllocationFunction>>
+          switch_allocations,
+      std::vector<Route> routes, std::vector<double> capacities);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const override;
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
+
+  [[nodiscard]] std::size_t switches() const noexcept {
+    return switch_allocations_.size();
+  }
+  [[nodiscard]] std::size_t users() const noexcept { return routes_.size(); }
+  /// Users crossing switch `a` (ascending user ids).
+  [[nodiscard]] const std::vector<std::size_t>& users_at(std::size_t a) const {
+    return users_at_switch_.at(a);
+  }
+
+ private:
+  [[nodiscard]] std::vector<double> local_rates(
+      std::size_t a, const std::vector<double>& rates) const;
+
+  std::vector<std::shared_ptr<const core::AllocationFunction>>
+      switch_allocations_;
+  std::vector<Route> routes_;
+  std::vector<double> capacities_;
+  std::vector<std::vector<std::size_t>> users_at_switch_;
+  /// local_index_[a][i] = position of user i among users_at_switch_[a]
+  /// (or npos when i does not cross a).
+  std::vector<std::vector<std::size_t>> local_index_;
+};
+
+/// A tandem of `n_switches` identical-discipline switches. Route helpers:
+/// user i crosses switches [first_i, last_i].
+[[nodiscard]] std::shared_ptr<NetworkAllocation> make_tandem(
+    const std::shared_ptr<const core::AllocationFunction>& discipline,
+    std::size_t n_switches, const std::vector<std::pair<std::size_t, std::size_t>>&
+        user_spans);
+
+}  // namespace gw::net

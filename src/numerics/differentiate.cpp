@@ -1,0 +1,99 @@
+#include "numerics/differentiate.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace gw::numerics {
+
+namespace {
+
+double scaled_step(double x, double base) {
+  return base * std::max(1.0, std::abs(x));
+}
+
+}  // namespace
+
+double derivative(const std::function<double(double)>& f, double x,
+                  const DiffOptions& options) {
+  // Richardson tableau over central differences with halving steps.
+  const int levels = std::max(options.richardson, 0) + 1;
+  double h = scaled_step(x, options.step);
+  std::vector<double> row(levels);
+  std::vector<double> prev(levels);
+  for (int i = 0; i < levels; ++i) {
+    row[0] = (f(x + h) - f(x - h)) / (2.0 * h);
+    for (int k = 1; k <= i; ++k) {
+      const double factor = std::pow(4.0, k);
+      row[k] = (factor * row[k - 1] - prev[k - 1]) / (factor - 1.0);
+    }
+    std::swap(row, prev);
+    h *= 0.5;
+  }
+  return prev[levels - 1];
+}
+
+double one_sided_derivative(const std::function<double(double)>& f, double x,
+                            int direction, const DiffOptions& options) {
+  const double h = scaled_step(x, options.step) * (direction >= 0 ? 1.0 : -1.0);
+  // Second-order one-sided formula.
+  return (-3.0 * f(x) + 4.0 * f(x + h) - f(x + 2.0 * h)) / (2.0 * h);
+}
+
+double second_derivative(const std::function<double(double)>& f, double x,
+                         const DiffOptions& options) {
+  const double h = scaled_step(x, std::sqrt(options.step) * 1e-1);
+  return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+}
+
+double partial(const std::function<double(const std::vector<double>&)>& f,
+               std::vector<double> x, std::size_t i,
+               const DiffOptions& options) {
+  const double xi = x[i];
+  return derivative(
+      [&](double v) {
+        x[i] = v;
+        const double out = f(x);
+        x[i] = xi;
+        return out;
+      },
+      xi, options);
+}
+
+double mixed_partial(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x, std::size_t i, std::size_t j,
+    const DiffOptions& options) {
+  if (i == j) {
+    const double xi = x[i];
+    return second_derivative(
+        [&](double v) {
+          x[i] = v;
+          const double out = f(x);
+          x[i] = xi;
+          return out;
+        },
+        xi, options);
+  }
+  const double hi = scaled_step(x[i], options.step * 10.0);
+  const double hj = scaled_step(x[j], options.step * 10.0);
+  auto at = [&](double di, double dj) {
+    std::vector<double> point = x;
+    point[i] += di;
+    point[j] += dj;
+    return f(point);
+  };
+  return (at(hi, hj) - at(hi, -hj) - at(-hi, hj) + at(-hi, -hj)) /
+         (4.0 * hi * hj);
+}
+
+std::vector<double> gradient(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x, const DiffOptions& options) {
+  std::vector<double> grad(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    grad[i] = partial(f, x, i, options);
+  }
+  return grad;
+}
+
+}  // namespace gw::numerics

@@ -1,0 +1,50 @@
+// Numerical differentiation with Richardson extrapolation.
+//
+// Analytic Jacobians of the allocation functions are cross-checked against
+// these routines in the test suite; the MAC-membership checker and the
+// relaxation-matrix builder also use them for disciplines without closed
+// forms.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace gw::numerics {
+
+struct DiffOptions {
+  double step = 1e-5;      ///< base step (relative to max(1,|x|))
+  int richardson = 2;      ///< extrapolation levels (0 = plain central diff)
+};
+
+/// First derivative f'(x) by central differences + Richardson.
+[[nodiscard]] double derivative(const std::function<double(double)>& f,
+                                double x, const DiffOptions& options = {});
+
+/// One-sided first derivative (direction = +1 forward, -1 backward); needed
+/// where allocation functions are only C^1 with one-sided second derivatives.
+[[nodiscard]] double one_sided_derivative(
+    const std::function<double(double)>& f, double x, int direction,
+    const DiffOptions& options = {});
+
+/// Second derivative f''(x) by central differences.
+[[nodiscard]] double second_derivative(const std::function<double(double)>& f,
+                                       double x,
+                                       const DiffOptions& options = {});
+
+/// Partial derivative d f / d x_i at `x`.
+[[nodiscard]] double partial(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x, std::size_t i, const DiffOptions& options = {});
+
+/// Mixed second partial d^2 f / (d x_i d x_j) at `x`.
+[[nodiscard]] double mixed_partial(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x, std::size_t i, std::size_t j,
+    const DiffOptions& options = {});
+
+/// Gradient of f at x.
+[[nodiscard]] std::vector<double> gradient(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x, const DiffOptions& options = {});
+
+}  // namespace gw::numerics

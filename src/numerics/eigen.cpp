@@ -1,0 +1,113 @@
+#include "numerics/eigen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/polynomial.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::numerics {
+
+std::vector<double> characteristic_polynomial(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("characteristic_polynomial: non-square");
+  }
+  const std::size_t n = a.rows();
+  // Faddeev–LeVerrier: M_0 = I, c_n = 1;
+  //   M_k = A M_{k-1} + c_{n-k+1} I,  c_{n-k} = -tr(A M_k) / k.
+  std::vector<double> coefficients(n + 1, 0.0);
+  coefficients[n] = 1.0;
+  Matrix m = Matrix::identity(n);
+  for (std::size_t k = 1; k <= n; ++k) {
+    Matrix am = a * m;
+    coefficients[n - k] = -am.trace() / static_cast<double>(k);
+    m = am;
+    for (std::size_t i = 0; i < n; ++i) m(i, i) += coefficients[n - k];
+  }
+  return coefficients;
+}
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  const auto coefficients = characteristic_polynomial(a);
+  // Zero matrix special-case: all coefficients except the lead vanish.
+  bool all_zero = true;
+  for (std::size_t i = 0; i + 1 < coefficients.size(); ++i) {
+    if (coefficients[i] != 0.0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    return std::vector<std::complex<double>>(a.rows(), {0.0, 0.0});
+  }
+  return find_roots(Polynomial{coefficients});
+}
+
+double spectral_radius(const Matrix& a) {
+  double radius = 0.0;
+  for (const auto& lambda : eigenvalues(a)) {
+    radius = std::max(radius, std::abs(lambda));
+  }
+  return radius;
+}
+
+double power_iteration_radius(const Matrix& a, int iterations, unsigned seed) {
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  double best = 0.0;
+  for (int restart = 0; restart < 4; ++restart) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    double norm = 0.0;
+    for (const double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    for (auto& x : v) x /= norm;
+    double estimate = 0.0;
+    for (int it = 0; it < iterations; ++it) {
+      std::vector<double> w = a * v;
+      double wnorm = 0.0;
+      for (const double x : w) wnorm += x * x;
+      wnorm = std::sqrt(wnorm);
+      if (wnorm < 1e-300) {
+        estimate = 0.0;
+        break;
+      }
+      estimate = wnorm;  // since ||v|| == 1
+      for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / wnorm;
+    }
+    best = std::max(best, estimate);
+  }
+  return best;
+}
+
+bool is_nilpotent(const Matrix& a, double tolerance) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("is_nilpotent: non-square");
+  }
+  const Matrix power = matrix_power(a, static_cast<unsigned>(a.rows()));
+  const double scale = std::max(1.0, a.max_abs());
+  return power.max_abs() <= tolerance * std::pow(scale,
+                                                 static_cast<double>(a.rows()));
+}
+
+int nilpotency_index(const Matrix& a, double tolerance) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("nilpotency_index: non-square");
+  }
+  const std::size_t n = a.rows();
+  Matrix power = Matrix::identity(n);
+  const double scale = std::max(1.0, a.max_abs());
+  double scale_k = 1.0;
+  for (std::size_t k = 0; k <= n; ++k) {
+    if (power.max_abs() <= tolerance * std::max(1.0, scale_k)) {
+      return static_cast<int>(k);
+    }
+    power = power * a;
+    scale_k *= scale;
+  }
+  return -1;
+}
+
+}  // namespace gw::numerics

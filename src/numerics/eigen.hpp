@@ -1,0 +1,41 @@
+// Eigenvalues of small dense real (generally nonsymmetric) matrices.
+//
+// Strategy: Faddeev–LeVerrier to obtain the characteristic polynomial, then
+// Durand–Kerner for its complex roots. This is numerically adequate for the
+// N x N relaxation matrices studied here (N <= ~16) and is validated against
+// analytic spectra in the tests. Power iteration provides an independent
+// spectral-radius estimate.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace gw::numerics {
+
+/// Characteristic polynomial det(xI - A), lowest degree first, leading
+/// coefficient 1. Faddeev–LeVerrier; exact in exact arithmetic.
+[[nodiscard]] std::vector<double> characteristic_polynomial(const Matrix& a);
+
+/// All eigenvalues of A (with multiplicity) as complex numbers.
+[[nodiscard]] std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+/// max |lambda| over the spectrum (via eigenvalues()).
+[[nodiscard]] double spectral_radius(const Matrix& a);
+
+/// Spectral-radius estimate by power iteration with random restarts;
+/// independent cross-check of spectral_radius for testing. May
+/// underestimate for defective matrices (returns the observed growth rate).
+[[nodiscard]] double power_iteration_radius(const Matrix& a,
+                                            int iterations = 2000,
+                                            unsigned seed = 12345);
+
+/// True iff A^n vanishes numerically (n = dimension), i.e. A is nilpotent
+/// up to `tolerance` relative to max(1, max-abs growth of the powers).
+[[nodiscard]] bool is_nilpotent(const Matrix& a, double tolerance = 1e-8);
+
+/// Smallest k with ||A^k||_max <= tolerance, or -1 if none up to n.
+[[nodiscard]] int nilpotency_index(const Matrix& a, double tolerance = 1e-8);
+
+}  // namespace gw::numerics

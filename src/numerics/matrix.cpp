@@ -1,0 +1,213 @@
+#include "numerics/matrix.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace gw::numerics {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows_ * cols_) {
+    throw std::invalid_argument("Matrix: data size does not match shape");
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix += shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix -= shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (auto& value : data_) value *= scalar;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::max_abs() const noexcept {
+  double best = 0.0;
+  for (const double value : data_) best = std::max(best, std::abs(value));
+  return best;
+}
+
+double Matrix::trace() const {
+  if (rows_ != cols_) throw std::invalid_argument("trace of non-square matrix");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) sum += (*this)(i, i);
+  return sum;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  if (lhs.cols() != rhs.rows()) {
+    throw std::invalid_argument("Matrix * shape mismatch");
+  }
+  Matrix out(lhs.rows(), rhs.cols());
+  for (std::size_t i = 0; i < lhs.rows(); ++i) {
+    for (std::size_t k = 0; k < lhs.cols(); ++k) {
+      const double a = lhs(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols(); ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix operator*(double scalar, Matrix m) noexcept { return m *= scalar; }
+
+std::vector<double> operator*(const Matrix& m, const std::vector<double>& v) {
+  if (m.cols() != v.size()) {
+    throw std::invalid_argument("Matrix * vector shape mismatch");
+  }
+  std::vector<double> out(m.rows(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out[i] += m(i, j) * v[j];
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m(r, c) << (c + 1 < m.cols() ? ", " : "");
+    }
+    os << (r + 1 < m.rows() ? ";\n" : "]");
+  }
+  return os;
+}
+
+Matrix matrix_power(const Matrix& a, unsigned k) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("matrix_power of non-square matrix");
+  }
+  Matrix result = Matrix::identity(a.rows());
+  Matrix base = a;
+  while (k != 0) {
+    if (k & 1u) result = result * base;
+    k >>= 1u;
+    if (k != 0) base = base * base;
+  }
+  return result;
+}
+
+Lu lu_decompose(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("lu_decompose of non-square matrix");
+  }
+  const std::size_t n = a.rows();
+  Lu out{a, std::vector<std::size_t>(n), 1, false};
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(out.lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(out.lu(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      out.singular = true;
+      continue;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(out.lu(pivot, c), out.lu(col, c));
+      }
+      std::swap(out.perm[pivot], out.perm[col]);
+      out.sign = -out.sign;
+    }
+    const double inv_pivot = 1.0 / out.lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = out.lu(r, col) * inv_pivot;
+      out.lu(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        out.lu(r, c) -= factor * out.lu(col, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> lu_solve(const Lu& factorization,
+                             const std::vector<double>& b) {
+  if (factorization.singular) {
+    throw std::domain_error("lu_solve: singular matrix");
+  }
+  const std::size_t n = factorization.lu.rows();
+  if (b.size() != n) throw std::invalid_argument("lu_solve: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[factorization.perm[i]];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= factorization.lu(i, j) * x[j];
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      x[ii] -= factorization.lu(ii, j) * x[j];
+    }
+    x[ii] /= factorization.lu(ii, ii);
+  }
+  return x;
+}
+
+double determinant(const Matrix& a) {
+  const Lu factorization = lu_decompose(a);
+  if (factorization.singular) return 0.0;
+  double det = factorization.sign;
+  for (std::size_t i = 0; i < a.rows(); ++i) det *= factorization.lu(i, i);
+  return det;
+}
+
+Matrix inverse(const Matrix& a) {
+  const Lu factorization = lu_decompose(a);
+  if (factorization.singular) throw std::domain_error("inverse: singular");
+  const std::size_t n = a.rows();
+  Matrix out(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    const auto column = lu_solve(factorization, e);
+    for (std::size_t r = 0; r < n; ++r) out(r, c) = column[r];
+    e[c] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace gw::numerics

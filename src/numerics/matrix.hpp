@@ -1,0 +1,84 @@
+// Small dense real matrices: storage, arithmetic, LU factorization.
+//
+// The relaxation-matrix analysis (paper Theorem 7) needs products, powers,
+// determinants, and eigenvalues of N x N matrices with N at most a few
+// dozen; a simple row-major dense implementation is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace gw::numerics {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// Square matrix from row-major initializer data; throws on ragged input.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Max |entry|.
+  [[nodiscard]] double max_abs() const noexcept;
+
+  /// Trace (square only).
+  [[nodiscard]] double trace() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator-(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(double scalar, Matrix m) noexcept;
+[[nodiscard]] std::vector<double> operator*(const Matrix& m,
+                                            const std::vector<double>& v);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+/// A^k by repeated squaring (square matrices; k >= 0).
+[[nodiscard]] Matrix matrix_power(const Matrix& a, unsigned k);
+
+/// LU factorization with partial pivoting.
+struct Lu {
+  Matrix lu;                      ///< packed L (unit diagonal) and U
+  std::vector<std::size_t> perm;  ///< row permutation
+  int sign = 1;                   ///< permutation parity
+  bool singular = false;
+};
+
+[[nodiscard]] Lu lu_decompose(const Matrix& a);
+
+/// Solves A x = b given a factorization; throws if singular.
+[[nodiscard]] std::vector<double> lu_solve(const Lu& factorization,
+                                           const std::vector<double>& b);
+
+/// det(A) via LU.
+[[nodiscard]] double determinant(const Matrix& a);
+
+/// A^{-1} via LU; throws std::domain_error if singular.
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+}  // namespace gw::numerics

@@ -1,0 +1,64 @@
+#include "numerics/ode.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gw::numerics {
+
+OdeResult rk4_integrate(
+    const OdeField& field, std::vector<double> y0, double t0, double t1,
+    const OdeOptions& options,
+    const std::function<void(std::vector<double>&)>& project) {
+  if (!(t1 > t0) || options.dt <= 0.0) {
+    throw std::invalid_argument("rk4_integrate: bad time range or step");
+  }
+  const std::size_t n = y0.size();
+  OdeResult result;
+  result.times.push_back(t0);
+  result.states.push_back(y0);
+
+  auto axpy = [n](const std::vector<double>& y, double a,
+                  const std::vector<double>& k) {
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = y[i] + a * k[i];
+    return out;
+  };
+
+  std::vector<double> y = std::move(y0);
+  double t = t0;
+  int step = 0;
+  while (t < t1 - 1e-15) {
+    const double h = std::min(options.dt, t1 - t);
+    const auto k1 = field(t, y);
+    const auto k2 = field(t + 0.5 * h, axpy(y, 0.5 * h, k1));
+    const auto k3 = field(t + 0.5 * h, axpy(y, 0.5 * h, k2));
+    const auto k4 = field(t + h, axpy(y, h, k3));
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    if (project) project(y);
+    t += h;
+    ++step;
+    if (step % std::max(options.record_stride, 1) == 0) {
+      result.times.push_back(t);
+      result.states.push_back(y);
+    }
+    if (options.field_tolerance > 0.0) {
+      double magnitude = 0.0;
+      for (const double v : field(t, y)) {
+        magnitude = std::max(magnitude, std::abs(v));
+      }
+      if (magnitude <= options.field_tolerance) {
+        result.reached_equilibrium = true;
+        break;
+      }
+    }
+  }
+  if (result.times.back() != t) {
+    result.times.push_back(t);
+    result.states.push_back(y);
+  }
+  return result;
+}
+
+}  // namespace gw::numerics

@@ -1,0 +1,40 @@
+// Fixed-step RK4 integration for small ODE systems (the continuous-time
+// game dynamics in core/flow.hpp).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace gw::numerics {
+
+/// dy/dt = f(t, y).
+using OdeField =
+    std::function<std::vector<double>(double, const std::vector<double>&)>;
+
+struct OdeOptions {
+  double dt = 1e-2;
+  /// Stop early when ||f|| (max-abs) drops below this (equilibrium).
+  double field_tolerance = 0.0;
+  /// Record every k-th step in the returned trajectory (1 = all).
+  int record_stride = 1;
+};
+
+struct OdeResult {
+  std::vector<double> times;
+  std::vector<std::vector<double>> states;
+  bool reached_equilibrium = false;
+
+  [[nodiscard]] const std::vector<double>& final_state() const {
+    return states.back();
+  }
+};
+
+/// Integrates from t0 to t1 with classic RK4. A `project` hook, if given,
+/// is applied to the state after every step (e.g. clamping to a feasible
+/// box — making this a projected dynamical system).
+[[nodiscard]] OdeResult rk4_integrate(
+    const OdeField& field, std::vector<double> y0, double t0, double t1,
+    const OdeOptions& options = {},
+    const std::function<void(std::vector<double>&)>& project = nullptr);
+
+}  // namespace gw::numerics

@@ -1,0 +1,239 @@
+#include "numerics/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace gw::numerics {
+
+namespace {
+
+constexpr double kGolden = 0.6180339887498949;  // (sqrt(5)-1)/2
+
+}  // namespace
+
+Maximum1D golden_section_max(const std::function<double(double)>& f, double lo,
+                             double hi, const Optimize1DOptions& options) {
+  if (!(lo < hi)) throw std::invalid_argument("golden_section_max: lo >= hi");
+  double a = lo, b = hi;
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  int evals = 2;
+  while (b - a > options.x_tol && evals < options.max_iterations * 2) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = f(x1);
+    }
+    ++evals;
+  }
+  const double x = (f1 > f2) ? x1 : x2;
+  return {x, std::max(f1, f2), evals, b - a <= options.x_tol * 4};
+}
+
+Maximum1D brent_max(const std::function<double(double)>& f, double lo,
+                    double hi, const Optimize1DOptions& options) {
+  // Classic Brent minimization of -f.
+  if (!(lo < hi)) throw std::invalid_argument("brent_max: lo >= hi");
+  const double cgold = 1.0 - kGolden;
+  double a = lo, b = hi;
+  double x = a + cgold * (b - a);
+  double w = x, v = x;
+  double fx = -f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  int evals = 1;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = options.x_tol * std::abs(x) + 1e-15;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - xm) <= tol2 - 0.5 * (b - a)) {
+      return {x, -fx, evals, true};
+    }
+    bool parabolic_ok = false;
+    if (std::abs(e) > tol1) {
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double etemp = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * etemp) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        parabolic_ok = true;
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (xm >= x) ? tol1 : -tol1;
+      }
+    }
+    if (!parabolic_ok) {
+      e = (x >= xm) ? a - x : b - x;
+      d = cgold * e;
+    }
+    const double u = (std::abs(d) >= tol1) ? x + d
+                                           : x + (d >= 0.0 ? tol1 : -tol1);
+    const double fu = -f(u);
+    ++evals;
+    if (fu <= fx) {
+      if (u >= x) a = x; else b = x;
+      v = w; fv = fw;
+      w = x; fw = fx;
+      x = u; fx = fu;
+    } else {
+      if (u < x) a = u; else b = u;
+      if (fu <= fw || w == x) {
+        v = w; fv = fw;
+        w = u; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u; fv = fu;
+      }
+    }
+  }
+  return {x, -fx, evals, false};
+}
+
+Maximum1D maximize_scan(const std::function<double(double)>& f, double lo,
+                        double hi, const Optimize1DOptions& options) {
+  if (!(lo < hi)) throw std::invalid_argument("maximize_scan: lo >= hi");
+  const int n = std::max(options.scan_points, 3);
+  double best_x = lo;
+  double best_value = -std::numeric_limits<double>::infinity();
+  int best_index = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+    const double value = f(x);
+    if (value > best_value) {
+      best_value = value;
+      best_x = x;
+      best_index = i;
+    }
+  }
+  if (!std::isfinite(best_value)) {
+    // Entire interval infeasible; report the left edge.
+    return {best_x, best_value, n, false};
+  }
+  const double step = (hi - lo) / (n - 1);
+  const double rlo = std::max(lo, lo + (best_index - 1) * step);
+  const double rhi = std::min(hi, lo + (best_index + 1) * step);
+  Maximum1D refined = brent_max(f, rlo, rhi, options);
+  refined.evaluations += n;
+  if (refined.value < best_value) {
+    refined.x = best_x;
+    refined.value = best_value;
+  }
+  return refined;
+}
+
+MaximumND nelder_mead_max(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& start, const NelderMeadOptions& options) {
+  const std::size_t n = start.size();
+  if (n == 0) throw std::invalid_argument("nelder_mead_max: empty start");
+
+  // Build initial simplex.
+  std::vector<std::vector<double>> simplex(n + 1, start);
+  for (std::size_t i = 0; i < n; ++i) {
+    simplex[i + 1][i] +=
+        (start[i] != 0.0) ? options.initial_step * std::abs(start[i])
+                          : options.initial_step;
+  }
+  std::vector<double> values(n + 1);
+  int evals = 0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    values[i] = f(simplex[i]);
+    ++evals;
+  }
+
+  auto order = [&] {
+    std::vector<std::size_t> index(n + 1);
+    std::iota(index.begin(), index.end(), std::size_t{0});
+    std::sort(index.begin(), index.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] > values[b]; });
+    std::vector<std::vector<double>> new_simplex(n + 1);
+    std::vector<double> new_values(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      new_simplex[i] = simplex[index[i]];
+      new_values[i] = values[index[i]];
+    }
+    simplex = std::move(new_simplex);
+    values = std::move(new_values);
+  };
+
+  auto centroid_excluding_worst = [&] {
+    std::vector<double> c(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) c[k] += simplex[i][k];
+    }
+    for (auto& coordinate : c) coordinate /= static_cast<double>(n);
+    return c;
+  };
+
+  auto blend = [&](const std::vector<double>& c, const std::vector<double>& p,
+                   double t) {
+    std::vector<double> out(n);
+    for (std::size_t k = 0; k < n; ++k) out[k] = c[k] + t * (c[k] - p[k]);
+    return out;
+  };
+
+  while (evals < options.max_evaluations) {
+    order();
+    const double finite_best = values[0];
+    const double finite_worst = values[n];
+    if (std::isfinite(finite_best) && std::isfinite(finite_worst) &&
+        finite_best - finite_worst <= options.f_tol) {
+      return {simplex[0], values[0], evals, true};
+    }
+    const auto c = centroid_excluding_worst();
+    const auto reflected = blend(c, simplex[n], 1.0);
+    const double fr = f(reflected);
+    ++evals;
+    if (fr > values[0]) {
+      const auto expanded = blend(c, simplex[n], 2.0);
+      const double fe = f(expanded);
+      ++evals;
+      if (fe > fr) {
+        simplex[n] = expanded;
+        values[n] = fe;
+      } else {
+        simplex[n] = reflected;
+        values[n] = fr;
+      }
+    } else if (fr > values[n - 1]) {
+      simplex[n] = reflected;
+      values[n] = fr;
+    } else {
+      const auto contracted = blend(c, simplex[n], -0.5);
+      const double fc = f(contracted);
+      ++evals;
+      if (fc > values[n]) {
+        simplex[n] = contracted;
+        values[n] = fc;
+      } else {
+        // Shrink toward best.
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t k = 0; k < n; ++k) {
+            simplex[i][k] = simplex[0][k] + 0.5 * (simplex[i][k] - simplex[0][k]);
+          }
+          values[i] = f(simplex[i]);
+          ++evals;
+        }
+      }
+    }
+  }
+  order();
+  return {simplex[0], values[0], evals, false};
+}
+
+}  // namespace gw::numerics

@@ -1,0 +1,67 @@
+// Scalar and small-dimension optimization.
+//
+// Best responses in the congestion game are global maxima of possibly
+// non-concave scalar payoffs (congestion can jump to +infinity outside the
+// feasible region), so the scalar maximizer combines a coarse scan with a
+// Brent refinement. Nelder–Mead handles the low-dimensional Pareto
+// domination searches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace gw::numerics {
+
+/// Result of a scalar optimization.
+struct Maximum1D {
+  double x = 0.0;      ///< argmax
+  double value = 0.0;  ///< attained maximum
+  int evaluations = 0;
+  bool converged = false;
+};
+
+struct Optimize1DOptions {
+  double x_tol = 1e-11;
+  int max_iterations = 200;
+  /// Number of coarse scan points used by maximize_scan before refinement.
+  int scan_points = 257;
+};
+
+/// Golden-section maximization of a unimodal f on [lo, hi].
+[[nodiscard]] Maximum1D golden_section_max(
+    const std::function<double(double)>& f, double lo, double hi,
+    const Optimize1DOptions& options = {});
+
+/// Brent's parabolic-interpolation maximization on [lo, hi] (unimodal f).
+[[nodiscard]] Maximum1D brent_max(const std::function<double(double)>& f,
+                                  double lo, double hi,
+                                  const Optimize1DOptions& options = {});
+
+/// Global-ish maximization: evaluates a uniform scan over [lo, hi], then
+/// refines around the best sample with Brent. Robust to plateaus, -inf
+/// regions, and mild multimodality; this is the workhorse for best responses.
+[[nodiscard]] Maximum1D maximize_scan(const std::function<double(double)>& f,
+                                      double lo, double hi,
+                                      const Optimize1DOptions& options = {});
+
+/// Result of a Nelder–Mead search.
+struct MaximumND {
+  std::vector<double> x;
+  double value = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+struct NelderMeadOptions {
+  double f_tol = 1e-10;        ///< spread of simplex values at convergence
+  int max_evaluations = 20000;
+  double initial_step = 0.05;  ///< simplex edge length
+};
+
+/// Nelder–Mead simplex *maximization* of f from `start`.
+/// f may return -infinity to encode infeasibility (penalty style).
+[[nodiscard]] MaximumND nelder_mead_max(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& start, const NelderMeadOptions& options = {});
+
+}  // namespace gw::numerics

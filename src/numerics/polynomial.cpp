@@ -1,0 +1,103 @@
+#include "numerics/polynomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gw::numerics {
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  if (coeffs_.empty()) coeffs_.push_back(0.0);
+}
+
+std::size_t Polynomial::degree() const noexcept { return coeffs_.size() - 1; }
+
+double Polynomial::operator()(double x) const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+std::complex<double> Polynomial::operator()(
+    std::complex<double> x) const noexcept {
+  std::complex<double> acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> out(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    out[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(out));
+}
+
+void Polynomial::normalize(double tolerance) {
+  while (coeffs_.size() > 1 && std::abs(coeffs_.back()) <= tolerance) {
+    coeffs_.pop_back();
+  }
+}
+
+std::vector<std::complex<double>> find_roots(const Polynomial& p,
+                                             const RootFindOptions& options) {
+  Polynomial poly = p;
+  poly.normalize(0.0);
+  const std::size_t n = poly.degree();
+  if (n < 1 || poly.coefficients().back() == 0.0) {
+    throw std::invalid_argument("find_roots: degree must be >= 1");
+  }
+
+  // Monic copy for stability.
+  std::vector<double> monic = poly.coefficients();
+  const double lead = monic.back();
+  for (auto& c : monic) c /= lead;
+  const Polynomial mp{monic};
+
+  // Cauchy bound on root magnitudes.
+  double bound = 0.0;
+  for (std::size_t i = 0; i + 1 < monic.size(); ++i) {
+    bound = std::max(bound, std::abs(monic[i]));
+  }
+  bound += 1.0;
+
+  // Initial guesses on a circle of radius ~bound/2, deliberately non-real
+  // and non-symmetric (the classic (0.4 + 0.9i)^k seeding).
+  std::vector<std::complex<double>> roots(n);
+  const std::complex<double> seed(0.4, 0.9);
+  std::complex<double> power = 1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    power *= seed;
+    roots[k] = power * (0.5 * bound + 0.5);
+  }
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    double max_update = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      std::complex<double> denom = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != k) denom *= (roots[k] - roots[j]);
+      }
+      if (denom == std::complex<double>(0.0, 0.0)) {
+        // Perturb coincident iterates.
+        roots[k] += std::complex<double>(1e-8, 1e-8);
+        continue;
+      }
+      const std::complex<double> update = mp(roots[k]) / denom;
+      roots[k] -= update;
+      max_update = std::max(max_update, std::abs(update));
+    }
+    if (max_update <= options.tolerance) break;
+  }
+
+  // Clean tiny imaginary parts of (numerically) real roots.
+  for (auto& root : roots) {
+    if (std::abs(root.imag()) < 1e-9 * std::max(1.0, std::abs(root.real()))) {
+      root = {root.real(), 0.0};
+    }
+  }
+  return roots;
+}
+
+}  // namespace gw::numerics

@@ -1,0 +1,51 @@
+// Real-coefficient polynomials and simultaneous complex root finding
+// (Durand–Kerner / Weierstrass iteration).
+//
+// Used by the eigenvalue solver: characteristic polynomials of relaxation
+// matrices are degree <= N, and Durand–Kerner recovers all (possibly
+// complex) eigenvalues at once.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace gw::numerics {
+
+/// Polynomial with real coefficients, lowest degree first:
+/// p(x) = coeffs[0] + coeffs[1] x + ... + coeffs[n] x^n.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> coeffs);
+
+  [[nodiscard]] std::size_t degree() const noexcept;
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coeffs_;
+  }
+
+  [[nodiscard]] double operator()(double x) const noexcept;
+  [[nodiscard]] std::complex<double> operator()(
+      std::complex<double> x) const noexcept;
+
+  /// Derivative polynomial.
+  [[nodiscard]] Polynomial derivative() const;
+
+  /// Strips (numerically) zero leading coefficients.
+  void normalize(double tolerance = 0.0);
+
+ private:
+  std::vector<double> coeffs_{0.0};
+};
+
+struct RootFindOptions {
+  int max_iterations = 2000;
+  double tolerance = 1e-13;
+};
+
+/// All complex roots of p via Durand–Kerner. Requires degree >= 1.
+/// Accuracy degrades for very ill-conditioned high-degree polynomials;
+/// adequate and tested for degree <= ~20, which covers every use here.
+[[nodiscard]] std::vector<std::complex<double>> find_roots(
+    const Polynomial& p, const RootFindOptions& options = {});
+
+}  // namespace gw::numerics

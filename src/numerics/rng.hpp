@@ -1,0 +1,60 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// We implement xoshiro256++ (Blackman & Vigna) seeded through splitmix64
+// rather than relying on std::mt19937_64 so that streams are cheap to
+// fork (one independent stream per simulated source), fully reproducible
+// across standard libraries, and fast enough for packet-level simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gw::numerics {
+
+/// splitmix64 step; used for seeding and as a small standalone generator.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ generator with distribution helpers.
+///
+/// Not thread-safe; use one Rng per thread / per simulated entity.
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit word.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires rate > 0.
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+  /// Standard normal via Box–Muller (no caching; simple and adequate here).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Poisson variate (Knuth's multiplication method; fine for small means,
+  /// falls back to normal approximation above mean 64).
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Forks an independent generator (jump via reseeding from this stream).
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// Fisher–Yates shuffle of an index permutation [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace gw::numerics

@@ -1,0 +1,190 @@
+#include "numerics/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace gw::numerics {
+
+namespace {
+
+void require_bracket(double flo, double fhi) {
+  if (std::isnan(flo) || std::isnan(fhi)) {
+    throw std::invalid_argument("root bracket evaluates to NaN");
+  }
+  if (flo * fhi > 0.0) {
+    throw std::invalid_argument("root bracket does not change sign");
+  }
+}
+
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& options) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  require_bracket(flo, fhi);
+  RootResult result;
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result = {mid, fmid, it + 1, false};
+    if (std::abs(fmid) <= options.f_tol || (hi - lo) <= options.x_tol) {
+      result.converged = true;
+      return result;
+    }
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return result;
+}
+
+RootResult brent_root(const std::function<double(double)>& f, double lo,
+                      double hi, const RootOptions& options) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  require_bracket(fa, fb);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  RootResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol = 2.0 * 1e-16 * std::abs(b) + 0.5 * options.x_tol;
+    const double m = 0.5 * (c - b);
+    result = {b, fb, it + 1, false};
+    if (std::abs(fb) <= options.f_tol || std::abs(m) <= tol) {
+      result.converged = true;
+      return result;
+    }
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Attempt interpolation.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double rr = fb / fc;
+        p = s * (2.0 * m * qq * (qq - rr) - (b - a) * (rr - 1.0));
+        q = (qq - 1.0) * (rr - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) {
+        q = -q;
+      } else {
+        p = -p;
+      }
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return result;
+}
+
+RootResult newton_root(const std::function<double(double)>& f,
+                       const std::function<double(double)>& dfdx, double x0,
+                       double lo, double hi, const RootOptions& options) {
+  double x = std::clamp(x0, lo, hi);
+  // Maintain a bracket when f(lo), f(hi) are usable.
+  double blo = lo, bhi = hi;
+  double flo = f(blo), fhi = f(bhi);
+  const bool have_bracket =
+      !std::isnan(flo) && !std::isnan(fhi) && flo * fhi <= 0.0;
+
+  RootResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const double fx = f(x);
+    result = {x, fx, it + 1, false};
+    if (std::abs(fx) <= options.f_tol) {
+      result.converged = true;
+      return result;
+    }
+    if (have_bracket) {
+      if ((fx < 0.0) == (flo < 0.0)) {
+        blo = x;
+        flo = fx;
+      } else {
+        bhi = x;
+        fhi = fx;
+      }
+    }
+    const double derivative = dfdx(x);
+    double next;
+    if (derivative == 0.0 || std::isnan(derivative)) {
+      next = have_bracket ? 0.5 * (blo + bhi) : x;
+    } else {
+      next = x - fx / derivative;
+    }
+    if (have_bracket && (next <= std::min(blo, bhi) ||
+                         next >= std::max(blo, bhi) || std::isnan(next))) {
+      next = 0.5 * (blo + bhi);
+    }
+    next = std::clamp(next, lo, hi);
+    if (std::abs(next - x) <= options.x_tol) {
+      result.x = next;
+      result.fx = f(next);
+      result.converged = true;
+      return result;
+    }
+    x = next;
+  }
+  return result;
+}
+
+std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double lo, double hi,
+    int max_expansions) {
+  double flo = f(lo), fhi = f(hi);
+  double width = hi - lo;
+  for (int i = 0; i < max_expansions; ++i) {
+    if (!std::isnan(flo) && !std::isnan(fhi) && flo * fhi <= 0.0) {
+      return std::make_pair(lo, hi);
+    }
+    width *= 1.6;
+    if (std::abs(flo) < std::abs(fhi)) {
+      lo -= width;
+      flo = f(lo);
+    } else {
+      hi += width;
+      fhi = f(hi);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gw::numerics

@@ -1,0 +1,53 @@
+// Scalar root finding: bisection, Brent's method, and safeguarded Newton.
+//
+// The game-theoretic solvers reduce Nash first-derivative conditions and
+// Fair Share allocation inverses to scalar root problems; these routines are
+// the common substrate.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace gw::numerics {
+
+/// Result of a scalar root search.
+struct RootResult {
+  double x = 0.0;          ///< abscissa of the root
+  double fx = 0.0;         ///< residual f(x)
+  int iterations = 0;      ///< iterations consumed
+  bool converged = false;  ///< whether tolerances were met
+};
+
+/// Options common to the root finders.
+struct RootOptions {
+  double x_tol = 1e-12;   ///< absolute tolerance on the abscissa
+  double f_tol = 1e-13;   ///< absolute tolerance on the residual
+  int max_iterations = 200;
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) of opposite (or zero) sign.
+/// Throws std::invalid_argument if the bracket is invalid.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& options = {});
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection)
+/// on a bracketing interval [lo, hi]. Throws if the bracket is invalid.
+[[nodiscard]] RootResult brent_root(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    const RootOptions& options = {});
+
+/// Newton iteration from x0, safeguarded to stay inside [lo, hi] by falling
+/// back to bisection steps against a maintained bracket when available.
+[[nodiscard]] RootResult newton_root(
+    const std::function<double(double)>& f,
+    const std::function<double(double)>& dfdx, double x0, double lo, double hi,
+    const RootOptions& options = {});
+
+/// Expands a bracket geometrically from [lo, hi] until f changes sign.
+/// Returns nullopt if no sign change is found within `max_expansions`.
+[[nodiscard]] std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double lo, double hi,
+    int max_expansions = 60);
+
+}  // namespace gw::numerics

@@ -1,0 +1,135 @@
+#include "numerics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gw::numerics {
+
+void RunningStat::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double student_t_critical(std::size_t dof, double confidence) {
+  // Two-sided critical values for common confidence levels; rows are
+  // degrees of freedom; interpolate, clamp at the asymptotic z value.
+  struct Row {
+    std::size_t dof;
+    double t90, t95, t99;
+  };
+  static constexpr Row kTable[] = {
+      {1, 6.314, 12.706, 63.657}, {2, 2.920, 4.303, 9.925},
+      {3, 2.353, 3.182, 5.841},   {4, 2.132, 2.776, 4.604},
+      {5, 2.015, 2.571, 4.032},   {6, 1.943, 2.447, 3.707},
+      {7, 1.895, 2.365, 3.499},   {8, 1.860, 2.306, 3.355},
+      {9, 1.833, 2.262, 3.250},   {10, 1.812, 2.228, 3.169},
+      {12, 1.782, 2.179, 3.055},  {15, 1.753, 2.131, 2.947},
+      {20, 1.725, 2.086, 2.845},  {25, 1.708, 2.060, 2.787},
+      {30, 1.697, 2.042, 2.750},  {40, 1.684, 2.021, 2.704},
+      {60, 1.671, 2.000, 2.660},  {120, 1.658, 1.980, 2.617},
+      {1000000, 1.645, 1.960, 2.576},
+  };
+  auto pick = [&](const Row& row) {
+    if (confidence >= 0.985) return row.t99;
+    if (confidence <= 0.925) return row.t90;
+    return row.t95;
+  };
+  if (dof == 0) dof = 1;
+  const Row* prev = &kTable[0];
+  for (const auto& row : kTable) {
+    if (dof <= row.dof) {
+      if (row.dof == prev->dof) return pick(row);
+      // Interpolate in 1/dof: t-quantiles are ~affine in 1/dof, which
+      // keeps large-dof queries on the asymptotic z value.
+      const double t0 = pick(*prev);
+      const double t1 = pick(row);
+      const double x = 1.0 / static_cast<double>(dof);
+      const double x0 = 1.0 / static_cast<double>(prev->dof);
+      const double x1 = 1.0 / static_cast<double>(row.dof);
+      const double w = (x0 - x) / (x0 - x1);
+      return t0 + w * (t1 - t0);
+    }
+    prev = &row;
+  }
+  return pick(kTable[std::size(kTable) - 1]);
+}
+
+ConfidenceInterval batch_means_ci(const std::vector<double>& batch_averages,
+                                  double confidence) {
+  ConfidenceInterval ci;
+  ci.batches = batch_averages.size();
+  if (batch_averages.empty()) return ci;
+  RunningStat stat;
+  for (const double x : batch_averages) stat.add(x);
+  ci.mean = stat.mean();
+  if (batch_averages.size() < 2) return ci;
+  const double t = student_t_critical(batch_averages.size() - 1, confidence);
+  ci.half_width =
+      t * stat.stddev() / std::sqrt(static_cast<double>(batch_averages.size()));
+  return ci;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram: invalid range or bin count");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<long long>(t * static_cast<double>(bins_.size()));
+  i = std::clamp<long long>(i, 0, static_cast<long long>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return bin_lo(i + 1);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cumulative += static_cast<double>(bins_[i]);
+    if (cumulative >= target) return 0.5 * (bin_lo(i) + bin_hi(i));
+  }
+  return hi_;
+}
+
+}  // namespace gw::numerics

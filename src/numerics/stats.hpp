@@ -1,0 +1,80 @@
+// Streaming statistics: Welford accumulators, batch-means confidence
+// intervals for simulation output analysis, and simple histograms.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace gw::numerics {
+
+/// Numerically stable streaming mean/variance (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel Welford combine).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Symmetric confidence interval around a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::size_t batches = 0;
+
+  [[nodiscard]] double lo() const noexcept { return mean - half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + half_width; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lo() && x <= hi();
+  }
+};
+
+/// Batch-means CI over a series of (roughly independent) batch averages,
+/// using Student-t critical values (two-sided). `confidence` in {0.90,
+/// 0.95, 0.99} (others fall back to 0.95's table row behaviour).
+[[nodiscard]] ConfidenceInterval batch_means_ci(
+    const std::vector<double>& batch_averages, double confidence = 0.95);
+
+/// Two-sided Student-t critical value (interpolated table; good to ~1%).
+[[nodiscard]] double student_t_critical(std::size_t dof, double confidence);
+
+/// Fixed-bin histogram on [lo, hi); out-of-range samples are clamped
+/// into the edge bins and counted.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  /// Empirical quantile (0 <= q <= 1) via the bin midpoints.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gw::numerics

@@ -1,0 +1,81 @@
+#include "queueing/feasibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "queueing/mm1.hpp"
+
+namespace gw::queueing {
+
+double constraint_residual(const std::vector<double>& rates,
+                           const std::vector<double>& queues) {
+  const double total_rate = std::accumulate(rates.begin(), rates.end(), 0.0);
+  const double total_queue = std::accumulate(queues.begin(), queues.end(), 0.0);
+  return total_queue - g(total_rate);
+}
+
+Feasibility check_feasibility(const std::vector<double>& rates,
+                              const std::vector<double>& queues,
+                              double tolerance) {
+  if (rates.size() != queues.size()) {
+    throw std::invalid_argument("check_feasibility: size mismatch");
+  }
+  for (const double rate : rates) {
+    if (rate < 0.0) {
+      throw std::invalid_argument("check_feasibility: negative rate");
+    }
+  }
+  Feasibility out;
+  out.residual = constraint_residual(rates, queues);
+  out.on_constraint =
+      std::isfinite(out.residual) && std::abs(out.residual) <= tolerance;
+
+  // Order users by increasing c_i / r_i (zero-rate users first: their ratio
+  // is taken as c_i / epsilon -> order them by queue, but a zero-rate user
+  // must have c_i contribute nothing binding; place them last so prefixes
+  // of active users are checked).
+  const std::size_t n = rates.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ratio_a = rates[a] > 0.0
+                               ? queues[a] / rates[a]
+                               : std::numeric_limits<double>::infinity();
+    const double ratio_b = rates[b] > 0.0
+                               ? queues[b] / rates[b]
+                               : std::numeric_limits<double>::infinity();
+    return ratio_a < ratio_b;
+  });
+
+  out.subsets_ok = true;
+  out.worst_prefix_slack = std::numeric_limits<double>::infinity();
+  double prefix_rate = 0.0;
+  double prefix_queue = 0.0;
+  for (std::size_t k = 0; k + 1 <= n; ++k) {
+    prefix_rate += rates[order[k]];
+    prefix_queue += queues[order[k]];
+    if (k + 1 == n) break;  // the full set is the equality constraint itself
+    const double bound = g(prefix_rate);
+    const double slack = std::isinf(bound)
+                             ? (std::isinf(prefix_queue) ? 0.0 : -bound)
+                             : prefix_queue - bound;
+    out.worst_prefix_slack = std::min(out.worst_prefix_slack, slack);
+    if (slack < -tolerance) out.subsets_ok = false;
+  }
+  if (n <= 1) out.worst_prefix_slack = 0.0;
+  return out;
+}
+
+bool in_natural_domain(const std::vector<double>& rates) noexcept {
+  double total = 0.0;
+  for (const double rate : rates) {
+    if (rate <= 0.0) return false;
+    total += rate;
+  }
+  return total < 1.0;
+}
+
+}  // namespace gw::queueing

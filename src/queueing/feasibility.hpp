@@ -1,0 +1,45 @@
+// The paper's feasible-allocation region (Section 3.1).
+//
+// An allocation (r, c) is realizable by a work-conserving discipline iff
+//   F(r, c) = sum_i c_i - g(sum_i r_i) = 0
+// and, for users ordered by increasing c_i / r_i, every prefix satisfies
+//   sum_{i<=k} c_i >= g(sum_{i<=k} r_i)           (subsidiary constraints)
+// (checking the increasing-ratio ordering suffices; see Coffman & Mitrani).
+#pragma once
+
+#include <vector>
+
+namespace gw::queueing {
+
+/// F(r, c) = sum c_i - g(sum r_i). NaN-free; +/-inf propagate.
+[[nodiscard]] double constraint_residual(const std::vector<double>& rates,
+                                         const std::vector<double>& queues);
+
+/// Result of a feasibility check.
+struct Feasibility {
+  bool on_constraint = false;     ///< |F| within tolerance
+  bool subsets_ok = false;        ///< all subsidiary prefix constraints hold
+  double worst_prefix_slack = 0;  ///< min over prefixes of lhs - rhs
+  double residual = 0.0;          ///< value of F
+
+  [[nodiscard]] bool feasible() const noexcept {
+    return on_constraint && subsets_ok;
+  }
+  /// Interior: subsidiary constraints strictly satisfied.
+  [[nodiscard]] bool interior(double margin = 1e-12) const noexcept {
+    return on_constraint && worst_prefix_slack > margin;
+  }
+};
+
+/// Full feasibility check of an allocation. Requires rates.size() ==
+/// queues.size(); throws std::invalid_argument otherwise or on negative
+/// rates.
+[[nodiscard]] Feasibility check_feasibility(const std::vector<double>& rates,
+                                            const std::vector<double>& queues,
+                                            double tolerance = 1e-9);
+
+/// True iff the rate vector lies in the natural domain
+/// D = { r : r_i > 0, sum r_i < 1 }.
+[[nodiscard]] bool in_natural_domain(const std::vector<double>& rates) noexcept;
+
+}  // namespace gw::queueing

@@ -1,0 +1,55 @@
+#include "queueing/mg1.hpp"
+
+#include <limits>
+
+namespace gw::queueing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ServiceMoments ServiceMoments::exponential(double rate) noexcept {
+  const double mean = 1.0 / rate;
+  return {mean, 2.0 * mean * mean};
+}
+
+ServiceMoments ServiceMoments::deterministic(double value) noexcept {
+  return {value, value * value};
+}
+
+ServiceMoments ServiceMoments::erlang(int k, double mean) noexcept {
+  // Erlang-k: variance = mean^2 / k.
+  const double variance = mean * mean / k;
+  return {mean, variance + mean * mean};
+}
+
+ServiceMoments ServiceMoments::hyperexponential(double p1, double rate1,
+                                                double rate2) noexcept {
+  const double p2 = 1.0 - p1;
+  const double mean = p1 / rate1 + p2 / rate2;
+  const double second = 2.0 * (p1 / (rate1 * rate1) + p2 / (rate2 * rate2));
+  return {mean, second};
+}
+
+double Mg1::mean_wait() const noexcept {
+  if (!stable()) return kInf;
+  return lambda * service.second_moment / (2.0 * (1.0 - load()));
+}
+
+double Mg1::mean_sojourn() const noexcept {
+  if (!stable()) return kInf;
+  return service.mean + mean_wait();
+}
+
+double Mg1::mean_in_system() const noexcept {
+  if (!stable()) return kInf;
+  return lambda * mean_sojourn();
+}
+
+double g_mg1(double load, double scv) noexcept {
+  if (load <= 0.0) return 0.0;
+  if (load >= 1.0) return kInf;
+  return load + load * load * (1.0 + scv) / (2.0 * (1.0 - load));
+}
+
+}  // namespace gw::queueing

@@ -1,0 +1,51 @@
+// M/G/1 Pollaczek–Khinchine results.
+//
+// The paper notes (footnote 5) that all of its results carry over to any
+// queueing system whose aggregate constraint g is strictly increasing and
+// strictly convex — M/G/1 included. This module supplies those constraint
+// functions for general service-time distributions, enabling the
+// generalized feasibility experiments.
+#pragma once
+
+namespace gw::queueing {
+
+/// First two moments of a service-time distribution.
+struct ServiceMoments {
+  double mean = 1.0;
+  double second_moment = 2.0;  ///< E[S^2]; exponential(1) has 2
+
+  /// Squared coefficient of variation.
+  [[nodiscard]] double scv() const noexcept {
+    const double variance = second_moment - mean * mean;
+    return variance / (mean * mean);
+  }
+
+  [[nodiscard]] static ServiceMoments exponential(double rate) noexcept;
+  [[nodiscard]] static ServiceMoments deterministic(double value) noexcept;
+  /// Erlang-k with given mean.
+  [[nodiscard]] static ServiceMoments erlang(int k, double mean) noexcept;
+  /// Two-phase hyperexponential by probability/rate pairs.
+  [[nodiscard]] static ServiceMoments hyperexponential(
+      double p1, double rate1, double rate2) noexcept;
+};
+
+struct Mg1 {
+  double lambda = 0.0;
+  ServiceMoments service;
+
+  [[nodiscard]] double load() const noexcept { return lambda * service.mean; }
+  [[nodiscard]] bool stable() const noexcept { return load() < 1.0; }
+  /// Mean waiting time (P-K), +inf if unstable.
+  [[nodiscard]] double mean_wait() const noexcept;
+  /// Mean sojourn time.
+  [[nodiscard]] double mean_sojourn() const noexcept;
+  /// Mean number in system (Little).
+  [[nodiscard]] double mean_in_system() const noexcept;
+};
+
+/// Aggregate-constraint g for an M/G/1 at total load x (unit-mean service):
+/// g_MG1(x) = x + x^2 (1 + scv) / (2 (1 - x)). Strictly increasing and
+/// strictly convex on [0, 1) for any scv >= 0, as the paper requires.
+[[nodiscard]] double g_mg1(double load, double scv) noexcept;
+
+}  // namespace gw::queueing

@@ -1,0 +1,65 @@
+#include "queueing/mm1.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace gw::queueing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double g(double load) noexcept {
+  if (load <= 0.0) return 0.0;
+  if (load >= 1.0) return kInf;
+  return load / (1.0 - load);
+}
+
+double g_prime(double load) noexcept {
+  if (load >= 1.0) return kInf;
+  const double u = 1.0 - load;
+  return 1.0 / (u * u);
+}
+
+double g_double_prime(double load) noexcept {
+  if (load >= 1.0) return kInf;
+  const double u = 1.0 - load;
+  return 2.0 / (u * u * u);
+}
+
+double g_inverse(double mean_queue) noexcept {
+  if (mean_queue <= 0.0) return 0.0;
+  if (std::isinf(mean_queue)) return 1.0;
+  return mean_queue / (1.0 + mean_queue);
+}
+
+double Mm1::mean_in_system() const noexcept { return g(load()); }
+
+double Mm1::mean_in_queue() const noexcept {
+  const double rho = load();
+  if (rho >= 1.0) return kInf;
+  return rho * rho / (1.0 - rho);
+}
+
+double Mm1::mean_sojourn() const noexcept {
+  if (!stable()) return kInf;
+  return 1.0 / (mu - lambda);
+}
+
+double Mm1::mean_wait() const noexcept {
+  if (!stable()) return kInf;
+  return load() / (mu - lambda);
+}
+
+double Mm1::prob_n(std::size_t n) const noexcept {
+  if (!stable()) return 0.0;
+  const double rho = load();
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+}
+
+double Mm1::sojourn_tail(double t) const noexcept {
+  if (!stable()) return 1.0;
+  return std::exp(-(mu - lambda) * t);
+}
+
+}  // namespace gw::queueing

@@ -1,0 +1,47 @@
+// M/M/1 closed forms.
+//
+// The paper's feasibility constraint is built on g(x) = x / (1 - x), the
+// mean number in system of an M/M/1 queue at load x (unit service rate).
+// Loads at or above 1 map to +infinity, matching the paper's extension of
+// allocation functions outside the natural domain D (footnote 6).
+#pragma once
+
+#include <cstddef>
+
+namespace gw::queueing {
+
+/// g(x) = x / (1 - x) for x < 1, +infinity otherwise (x >= 1), 0 at x <= 0.
+[[nodiscard]] double g(double load) noexcept;
+
+/// g'(x) = 1 / (1 - x)^2 for x < 1, +infinity otherwise.
+[[nodiscard]] double g_prime(double load) noexcept;
+
+/// g''(x) = 2 / (1 - x)^3 for x < 1, +infinity otherwise.
+[[nodiscard]] double g_double_prime(double load) noexcept;
+
+/// Inverse of g: the load that yields mean queue q (q >= 0): q / (1 + q).
+[[nodiscard]] double g_inverse(double mean_queue) noexcept;
+
+/// Summary quantities of an M/M/1 queue with arrival rate `lambda` and
+/// service rate `mu`. All means are +infinity when lambda >= mu.
+struct Mm1 {
+  double lambda = 0.0;
+  double mu = 1.0;
+
+  [[nodiscard]] double load() const noexcept { return lambda / mu; }
+  /// Mean number in system L.
+  [[nodiscard]] double mean_in_system() const noexcept;
+  /// Mean number waiting (not in service) Lq.
+  [[nodiscard]] double mean_in_queue() const noexcept;
+  /// Mean sojourn time W (Little: L / lambda).
+  [[nodiscard]] double mean_sojourn() const noexcept;
+  /// Mean waiting time Wq.
+  [[nodiscard]] double mean_wait() const noexcept;
+  /// P(N = n) (stationary), 0 when unstable.
+  [[nodiscard]] double prob_n(std::size_t n) const noexcept;
+  /// P(sojourn > t): exp(-(mu - lambda) t), 1 when unstable.
+  [[nodiscard]] double sojourn_tail(double t) const noexcept;
+  [[nodiscard]] bool stable() const noexcept { return lambda < mu; }
+};
+
+}  // namespace gw::queueing

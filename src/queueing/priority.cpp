@@ -1,0 +1,76 @@
+#include "queueing/priority.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "queueing/mm1.hpp"
+
+namespace gw::queueing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate(const std::vector<double>& lambdas, double mu) {
+  if (mu <= 0.0) throw std::invalid_argument("priority_mm1: mu must be > 0");
+  for (const double lambda : lambdas) {
+    if (lambda < 0.0) {
+      throw std::invalid_argument("priority_mm1: negative arrival rate");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PriorityClassResult> preemptive_priority_mm1(
+    const std::vector<double>& lambdas, double mu) {
+  validate(lambdas, mu);
+  std::vector<PriorityClassResult> out(lambdas.size());
+  double sigma_prev = 0.0;
+  double cumulative_l_prev = 0.0;
+  for (std::size_t k = 0; k < lambdas.size(); ++k) {
+    const double sigma = sigma_prev + lambdas[k] / mu;
+    const double cumulative_l = g(sigma);
+    auto& result = out[k];
+    result.lambda = lambdas[k];
+    result.mean_in_system = cumulative_l - cumulative_l_prev;
+    if (std::isinf(cumulative_l) && std::isinf(cumulative_l_prev)) {
+      result.mean_in_system = kInf;  // saturated below an already saturated class
+    }
+    result.mean_sojourn =
+        (lambdas[k] > 0.0) ? result.mean_in_system / lambdas[k] : 0.0;
+    sigma_prev = sigma;
+    cumulative_l_prev = cumulative_l;
+  }
+  return out;
+}
+
+std::vector<PriorityClassResult> nonpreemptive_priority_mm1(
+    const std::vector<double>& lambdas, double mu) {
+  validate(lambdas, mu);
+  std::vector<PriorityClassResult> out(lambdas.size());
+  // Cobham: Wq_k = R / ((1 - sigma_{k-1})(1 - sigma_k)),
+  // with mean residual work R = sum_j lambda_j E[S^2] / 2 = rho / mu for
+  // exponential service (E[S^2] = 2 / mu^2).
+  double rho_total = 0.0;
+  for (const double lambda : lambdas) rho_total += lambda / mu;
+  const double residual = rho_total / mu;
+  double sigma_prev = 0.0;
+  for (std::size_t k = 0; k < lambdas.size(); ++k) {
+    const double sigma = sigma_prev + lambdas[k] / mu;
+    auto& result = out[k];
+    result.lambda = lambdas[k];
+    if (sigma >= 1.0 || rho_total >= 1.0) {
+      result.mean_in_system = kInf;
+      result.mean_sojourn = kInf;
+    } else {
+      const double wq = residual / ((1.0 - sigma_prev) * (1.0 - sigma));
+      result.mean_sojourn = wq + 1.0 / mu;
+      result.mean_in_system = lambdas[k] * result.mean_sojourn;
+    }
+    sigma_prev = sigma;
+  }
+  return out;
+}
+
+}  // namespace gw::queueing

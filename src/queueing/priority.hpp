@@ -1,0 +1,32 @@
+// M/M/1 priority queues with identical exponical service rates per class.
+//
+// Preemptive-resume priority is the substrate of the Fair Share allocation:
+// classes 1..K (1 = highest priority), arrival rates lambda_k, one
+// exponential server of rate mu. Because preemption makes lower classes
+// invisible to higher ones, classes 1..k jointly behave as an M/M/1 at the
+// cumulative load sigma_k, giving the clean telescoping form
+//   L_k = g(sigma_k) - g(sigma_{k-1})
+// that the paper's Fair Share construction exploits.
+#pragma once
+
+#include <vector>
+
+namespace gw::queueing {
+
+/// Per-class results for a priority M/M/1.
+struct PriorityClassResult {
+  double lambda = 0.0;          ///< class arrival rate
+  double mean_in_system = 0.0;  ///< L_k, +inf if the class saturates
+  double mean_sojourn = 0.0;    ///< W_k = L_k / lambda_k (Little)
+};
+
+/// Preemptive-resume priority M/M/1; `lambdas[0]` is the highest class.
+/// Classes whose cumulative load reaches mu get +infinity means.
+[[nodiscard]] std::vector<PriorityClassResult> preemptive_priority_mm1(
+    const std::vector<double>& lambdas, double mu = 1.0);
+
+/// Non-preemptive (HOL, Cobham) priority M/M/1 with identical service rate.
+[[nodiscard]] std::vector<PriorityClassResult> nonpreemptive_priority_mm1(
+    const std::vector<double>& lambdas, double mu = 1.0);
+
+}  // namespace gw::queueing

@@ -1,0 +1,114 @@
+#include "sim/adaptive.hpp"
+
+#include <stdexcept>
+
+#include "sim/drr_station.hpp"
+#include "sim/fair_share_station.hpp"
+#include "sim/sfq_station.hpp"
+#include "sim/sources.hpp"
+
+namespace gw::sim {
+
+AdaptiveResult run_adaptive(Discipline discipline,
+                            const core::UtilityProfile& profile,
+                            const std::vector<double>& initial_rates,
+                            const LearnerFactory& factory,
+                            const AdaptiveOptions& options) {
+  const std::size_t n = profile.size();
+  if (initial_rates.size() != n || n == 0) {
+    throw std::invalid_argument("run_adaptive: size mismatch");
+  }
+
+  Simulator sim;
+  QueueTracker tracker(n);
+
+  // Build the switch. FairShare oracle mode is refreshed with the users'
+  // current rates each epoch (the switch is told demand, as when hosts
+  // declare their traffic class); the adaptive mode estimates them.
+  std::unique_ptr<Station> station;
+  FairShareStation* fair_share_oracle = nullptr;
+  switch (discipline) {
+    case Discipline::kFifo:
+      station = std::make_unique<FifoStation>(sim, tracker);
+      break;
+    case Discipline::kLifoPreempt:
+      station = std::make_unique<LifoPreemptStation>(sim, tracker);
+      break;
+    case Discipline::kProcessorSharing:
+      station = std::make_unique<PsStation>(sim, tracker);
+      break;
+    case Discipline::kFairShareOracle: {
+      auto fs = std::make_unique<FairShareStation>(sim, tracker, initial_rates,
+                                                   options.seed ^ 0xf5ULL);
+      fair_share_oracle = fs.get();
+      station = std::move(fs);
+      break;
+    }
+    case Discipline::kFairShareAdaptive:
+      station = std::make_unique<FairShareStation>(
+          sim, tracker, n, options.estimator_tau, options.rebuild_interval,
+          options.seed ^ 0xadULL);
+      break;
+    case Discipline::kDrr:
+      station = std::make_unique<DrrStation>(sim, tracker, n,
+                                             options.drr_quantum);
+      break;
+    case Discipline::kSfq:
+      station = std::make_unique<SfqStation>(sim, tracker, n);
+      break;
+    case Discipline::kRatePriority:
+      throw std::invalid_argument(
+          "run_adaptive: RatePriority needs static rates; use run_switch");
+  }
+
+  std::vector<std::unique_ptr<PoissonSource>> sources;
+  numerics::Rng seeder(options.seed);
+  for (std::size_t u = 0; u < n; ++u) {
+    sources.push_back(std::make_unique<PoissonSource>(
+        sim, *station, u, initial_rates[u], options.mu, seeder.next_u64()));
+  }
+
+  std::vector<std::unique_ptr<learn::Learner>> learners;
+  for (std::size_t u = 0; u < n; ++u) {
+    learners.push_back(factory(u, initial_rates[u]));
+  }
+
+  AdaptiveResult result;
+  std::vector<double> rates = initial_rates;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Warmup slice of the epoch, then measure the rest.
+    sim.run_for(options.epoch_length * options.warmup_fraction);
+    tracker.reset(sim.now());
+    sim.run_for(options.epoch_length * (1.0 - options.warmup_fraction));
+
+    std::vector<double> queues(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      queues[u] = tracker.time_average(u, sim.now());
+    }
+    result.rate_history.push_back(rates);
+    result.queue_history.push_back(queues);
+
+    const bool round_robin =
+        options.update_mode == AdaptiveUpdateMode::kRoundRobin;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (round_robin && u != static_cast<std::size_t>(epoch) % n) continue;
+      learn::LearnerContext context;
+      context.observed_utility = profile[u]->value(rates[u], queues[u]);
+      // No counterfactual: measurement-only environment.
+      rates[u] = learners[u]->next_rate(context);
+      sources[u]->set_rate(rates[u]);
+    }
+    if (fair_share_oracle != nullptr) fair_share_oracle->set_rates(rates);
+  }
+
+  result.final_rates = rates;
+  result.final_utilities.resize(n);
+  const auto& last_queues = result.queue_history.back();
+  for (std::size_t u = 0; u < n; ++u) {
+    result.final_utilities[u] = profile[u]->value(rates[u], last_queues[u]);
+  }
+  return result;
+}
+
+}  // namespace gw::sim

@@ -1,0 +1,61 @@
+// Selfish users adapting against a *simulated* switch.
+//
+// The paper's users "merely adjust the knob until the picture looks
+// best". Here each user runs a measurement-only Learner (no counterfactual
+// oracle): every epoch it observes the utility of its measured (rate,
+// congestion) pair and retunes its Poisson rate. The headline experiment:
+// under a Fair Share switch the population settles at the analytic Nash
+// point; under FIFO it drifts, oscillates, and lands somewhere worse.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/utility.hpp"
+#include "learn/learner.hpp"
+#include "sim/runner.hpp"
+
+namespace gw::sim {
+
+enum class AdaptiveUpdateMode {
+  /// One user adapts per epoch (users tune on different timescales);
+  /// keeps each user's probe comparisons unconfounded by the others'.
+  kRoundRobin,
+  /// Everyone adapts every epoch; probes confound each other through the
+  /// shared queue — kept for studying exactly that effect.
+  kSimultaneous,
+};
+
+struct AdaptiveOptions {
+  double mu = 1.0;
+  double epoch_length = 3000.0;  ///< simulated time per adaptation epoch
+  int epochs = 120;
+  double warmup_fraction = 0.2;  ///< of each epoch discarded before measuring
+  AdaptiveUpdateMode update_mode = AdaptiveUpdateMode::kRoundRobin;
+  std::uint64_t seed = 11;
+  double drr_quantum = 1.0;
+  double estimator_tau = 500.0;
+  double rebuild_interval = 100.0;
+};
+
+struct AdaptiveResult {
+  std::vector<std::vector<double>> rate_history;  ///< per epoch
+  std::vector<std::vector<double>> queue_history; ///< measured c_i per epoch
+  std::vector<double> final_rates;
+  std::vector<double> final_utilities;
+};
+
+using LearnerFactory =
+    std::function<std::unique_ptr<learn::Learner>(std::size_t user,
+                                                  double initial_rate)>;
+
+/// Runs the closed loop: simulated switch + measurement-driven learners.
+/// `initial_rates` seeds both the sources and the learners.
+[[nodiscard]] AdaptiveResult run_adaptive(Discipline discipline,
+                                          const core::UtilityProfile& profile,
+                                          const std::vector<double>& initial_rates,
+                                          const LearnerFactory& factory,
+                                          const AdaptiveOptions& options = {});
+
+}  // namespace gw::sim

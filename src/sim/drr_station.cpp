@@ -1,0 +1,66 @@
+#include "sim/drr_station.hpp"
+
+#include <stdexcept>
+
+namespace gw::sim {
+
+DrrStation::DrrStation(Simulator& sim, QueueTracker& tracker,
+                       std::size_t n_users, double quantum)
+    : Station(sim, tracker),
+      queues_(n_users),
+      deficit_(n_users, 0.0),
+      quantum_(quantum) {
+  if (n_users == 0 || quantum <= 0.0) {
+    throw std::invalid_argument("DrrStation: bad arguments");
+  }
+}
+
+void DrrStation::arrive(Packet packet) {
+  note_arrival(packet);
+  packet.remaining = packet.service_demand;
+  queues_.at(packet.user).push_back(std::move(packet));
+  if (!busy_) serve_next();
+}
+
+void DrrStation::serve_next() {
+  bool any_backlog = false;
+  for (const auto& queue : queues_) {
+    if (!queue.empty()) {
+      any_backlog = true;
+      break;
+    }
+  }
+  if (!any_backlog) {
+    busy_ = false;
+    for (auto& deficit : deficit_) deficit = 0.0;  // classic DRR reset
+    return;
+  }
+  // Visit flows round-robin; each visit to a backlogged flow grows its
+  // deficit by one quantum until some head packet fits.
+  while (true) {
+    auto& queue = queues_[cursor_];
+    if (!queue.empty()) {
+      deficit_[cursor_] += quantum_;
+      if (queue.front().service_demand <= deficit_[cursor_]) {
+        in_service_ = queue.front();
+        queue.pop_front();
+        deficit_[cursor_] -= in_service_.service_demand;
+        if (queue.empty()) deficit_[cursor_] = 0.0;
+        busy_ = true;
+        completion_ =
+            sim_.schedule_in(in_service_.service_demand, [this] { complete(); });
+        return;
+      }
+    }
+    cursor_ = (cursor_ + 1) % queues_.size();
+  }
+}
+
+void DrrStation::complete() {
+  busy_ = false;
+  note_departure(in_service_);
+  cursor_ = (cursor_ + 1) % queues_.size();
+  serve_next();
+}
+
+}  // namespace gw::sim

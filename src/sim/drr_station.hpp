@@ -1,0 +1,38 @@
+// Deficit Round Robin fair queueing (paper Section 5.2's "real network"
+// discipline family).
+//
+// Non-preemptive: per-user FIFO queues are visited round-robin; a visit
+// adds `quantum` to the user's deficit and the head packet is served when
+// its service demand fits the deficit. Backlogged users share bandwidth
+// nearly equally regardless of their arrival rates, approximating the
+// insulation Fair Queueing provides in packet networks.
+#pragma once
+
+#include <deque>
+
+#include "sim/stations.hpp"
+
+namespace gw::sim {
+
+class DrrStation final : public Station {
+ public:
+  DrrStation(Simulator& sim, QueueTracker& tracker, std::size_t n_users,
+             double quantum);
+
+  [[nodiscard]] std::string name() const override { return "DRR-FQ"; }
+  void arrive(Packet packet) override;
+
+ private:
+  void serve_next();
+  void complete();
+
+  std::vector<std::deque<Packet>> queues_;
+  std::vector<double> deficit_;
+  double quantum_;
+  std::size_t cursor_ = 0;
+  bool busy_ = false;
+  Packet in_service_{};
+  EventId completion_ = 0;
+};
+
+}  // namespace gw::sim

@@ -1,0 +1,105 @@
+#include "sim/fair_share_station.hpp"
+
+#include <stdexcept>
+
+#include "core/weighted_serial.hpp"
+
+namespace gw::sim {
+
+FairShareStation::FairShareStation(Simulator& sim, QueueTracker& tracker,
+                                   std::vector<double> rates,
+                                   std::uint64_t seed)
+    : Station(sim, tracker),
+      priority_(sim, tracker, rates.size()),
+      rates_(std::move(rates)),
+      rng_(seed) {
+  if (rates_.empty()) {
+    throw std::invalid_argument("FairShareStation: empty rate vector");
+  }
+  rebuild_thresholds();
+}
+
+FairShareStation::FairShareStation(Simulator& sim, QueueTracker& tracker,
+                                   std::vector<double> rates,
+                                   std::vector<double> weights,
+                                   std::uint64_t seed)
+    : Station(sim, tracker),
+      priority_(sim, tracker, rates.size()),
+      rates_(std::move(rates)),
+      weights_(std::move(weights)),
+      rng_(seed) {
+  if (rates_.empty() || weights_.size() != rates_.size()) {
+    throw std::invalid_argument("FairShareStation: bad weighted arguments");
+  }
+  rebuild_thresholds();
+}
+
+FairShareStation::FairShareStation(Simulator& sim, QueueTracker& tracker,
+                                   std::size_t n_users, double estimator_tau,
+                                   double rebuild_interval, std::uint64_t seed)
+    : Station(sim, tracker),
+      priority_(sim, tracker, n_users),
+      rates_(n_users, 1e-6),
+      rng_(seed),
+      adaptive_(true),
+      estimator_(std::make_unique<RateEstimator>(n_users, estimator_tau)),
+      rebuild_interval_(rebuild_interval) {
+  if (rebuild_interval <= 0.0) {
+    throw std::invalid_argument("FairShareStation: bad rebuild interval");
+  }
+  rebuild_thresholds();
+}
+
+void FairShareStation::set_rates(std::vector<double> rates) {
+  if (rates.size() != rates_.size()) {
+    throw std::invalid_argument("FairShareStation: rate vector size changed");
+  }
+  rates_ = std::move(rates);
+  rebuild_thresholds();
+}
+
+void FairShareStation::rebuild_thresholds() {
+  const std::size_t n = rates_.size();
+  std::vector<std::vector<double>> slices;
+  if (weights_.empty()) {
+    slices = core::fair_share_decomposition(rates_).slice_rate;
+  } else {
+    slices = core::weighted_serial_decomposition(rates_, weights_).slice_rate;
+  }
+  cumulative_.assign(n, std::vector<double>(n, 1.0));
+  for (std::size_t u = 0; u < n; ++u) {
+    const double total = rates_[u];
+    double acc = 0.0;
+    for (std::size_t l = 0; l < n; ++l) {
+      acc += slices[u][l];
+      cumulative_[u][l] = (total > 0.0) ? acc / total : 1.0;
+    }
+    // Guard against rounding: the last threshold must be exactly 1.
+    cumulative_[u][n - 1] = 1.0;
+  }
+}
+
+int FairShareStation::sample_level(std::size_t user) {
+  const double x = rng_.uniform();
+  const auto& cdf = cumulative_.at(user);
+  for (std::size_t l = 0; l < cdf.size(); ++l) {
+    if (x < cdf[l]) return static_cast<int>(l);
+  }
+  return static_cast<int>(cdf.size()) - 1;
+}
+
+void FairShareStation::arrive(Packet packet) {
+  if (adaptive_) {
+    estimator_->on_arrival(packet.user, sim_.now());
+    if (sim_.now() >= next_rebuild_) {
+      rates_ = estimator_->estimates(sim_.now());
+      for (auto& rate : rates_) rate = std::max(rate, 1e-6);
+      rebuild_thresholds();
+      next_rebuild_ = sim_.now() + rebuild_interval_;
+    }
+  }
+  packet.priority = sample_level(packet.user);
+  priority_.arrive(std::move(packet));
+}
+
+}  // namespace gw::sim

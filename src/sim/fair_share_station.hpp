@@ -1,0 +1,79 @@
+// The Fair Share switch (paper Table 1), at packet level.
+//
+// Each arriving packet from the rank-k user is assigned a priority level
+// l <= k with probability (slice width at l) / r_k — a thinning of the
+// user's Poisson stream into independent per-level Poisson slices — and
+// the station then runs preemptive-resume priority. The resulting
+// per-level loads are exactly the serial cumulative loads S_k, so the
+// measured per-user occupancy reproduces C^FS.
+//
+// Two modes:
+//   * oracle: the true rate vector is supplied up front;
+//   * adaptive: rates are estimated online (RateEstimator) and the
+//     thinning thresholds rebuilt every `rebuild_interval` of simulated
+//     time — the deployable variant.
+#pragma once
+
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "numerics/rng.hpp"
+#include "sim/rate_estimator.hpp"
+#include "sim/stations.hpp"
+
+namespace gw::sim {
+
+class FairShareStation final : public Station {
+ public:
+  /// Oracle mode.
+  FairShareStation(Simulator& sim, QueueTracker& tracker,
+                   std::vector<double> rates, std::uint64_t seed);
+
+  /// Weighted oracle mode: realizes the weighted serial rule (weighted
+  /// Fair Share) by thinning onto levels of the weighted decomposition.
+  FairShareStation(Simulator& sim, QueueTracker& tracker,
+                   std::vector<double> rates, std::vector<double> weights,
+                   std::uint64_t seed);
+
+  /// Adaptive mode: rates estimated with `estimator_tau`, thresholds
+  /// rebuilt every `rebuild_interval` time units.
+  FairShareStation(Simulator& sim, QueueTracker& tracker, std::size_t n_users,
+                   double estimator_tau, double rebuild_interval,
+                   std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override {
+    return adaptive_ ? "FairShare(adaptive)" : "FairShare(oracle)";
+  }
+  void arrive(Packet packet) override;
+
+  /// Departures happen inside the wrapped priority engine; forward the
+  /// tandem hook there.
+  void set_next_hop(std::function<void(const Packet&)> hook) override {
+    priority_.set_next_hop(std::move(hook));
+  }
+
+  /// Updates the oracle rates (adaptive users changing their demands).
+  void set_rates(std::vector<double> rates);
+
+  /// The rates currently driving the thinning thresholds.
+  [[nodiscard]] const std::vector<double>& active_rates() const noexcept {
+    return rates_;
+  }
+
+ private:
+  void rebuild_thresholds();
+  [[nodiscard]] int sample_level(std::size_t user);
+
+  PreemptivePriorityStation priority_;
+  std::vector<double> rates_;
+  std::vector<double> weights_;  ///< empty = unweighted
+  /// cumulative_[u][l] = P(level <= l) for a packet of user u.
+  std::vector<std::vector<double>> cumulative_;
+  numerics::Rng rng_;
+  bool adaptive_ = false;
+  std::unique_ptr<RateEstimator> estimator_;
+  double rebuild_interval_ = 0.0;
+  double next_rebuild_ = 0.0;
+};
+
+}  // namespace gw::sim

@@ -1,0 +1,18 @@
+// The unit of work flowing through simulated switches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gw::sim {
+
+struct Packet {
+  std::uint64_t id = 0;
+  std::size_t user = 0;
+  double arrival_time = 0.0;
+  double service_demand = 0.0;  ///< total work (time at unit service rate)
+  double remaining = 0.0;       ///< work left (preemptive-resume state)
+  int priority = 0;             ///< 0 = highest; used by priority stations
+};
+
+}  // namespace gw::sim

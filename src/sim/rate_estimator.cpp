@@ -1,0 +1,40 @@
+#include "sim/rate_estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gw::sim {
+
+RateEstimator::RateEstimator(std::size_t n_users, double time_constant)
+    : tau_(time_constant), per_user_(n_users) {
+  if (n_users == 0 || time_constant <= 0.0) {
+    throw std::invalid_argument("RateEstimator: bad arguments");
+  }
+}
+
+double RateEstimator::decayed(const PerUser& user, double now) const {
+  const double dt = now - user.last_event;
+  return user.weighted_count * std::exp(-dt / tau_);
+}
+
+void RateEstimator::on_arrival(std::size_t user, double now) {
+  auto& u = per_user_.at(user);
+  // EWMA of a unit impulse train: value decays with time constant tau and
+  // gains 1/tau per arrival, so in steady state it equals the rate.
+  u.weighted_count = decayed(u, now) + 1.0 / tau_;
+  u.last_event = now;
+}
+
+std::vector<double> RateEstimator::estimates(double now) const {
+  std::vector<double> out(per_user_.size());
+  for (std::size_t i = 0; i < per_user_.size(); ++i) {
+    out[i] = decayed(per_user_[i], now);
+  }
+  return out;
+}
+
+double RateEstimator::estimate(std::size_t user, double now) const {
+  return decayed(per_user_.at(user), now);
+}
+
+}  // namespace gw::sim

@@ -1,0 +1,38 @@
+// Online per-user arrival-rate estimation.
+//
+// The oracle-free Fair Share switch cannot be told the users' Poisson
+// rates; it estimates them from observed arrivals with an exponentially
+// weighted window and rebuilds its Table 1 thinning thresholds
+// periodically. The window time-constant trades tracking speed against
+// thinning noise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gw::sim {
+
+class RateEstimator {
+ public:
+  /// `time_constant`: EWMA memory in simulated time units.
+  RateEstimator(std::size_t n_users, double time_constant);
+
+  /// Record an arrival of `user` at time `now`.
+  void on_arrival(std::size_t user, double now);
+
+  /// Current rate estimates (decayed to `now`).
+  [[nodiscard]] std::vector<double> estimates(double now) const;
+  [[nodiscard]] double estimate(std::size_t user, double now) const;
+
+ private:
+  struct PerUser {
+    double weighted_count = 0.0;  ///< EWMA of arrival impulses
+    double last_event = 0.0;
+  };
+  [[nodiscard]] double decayed(const PerUser& user, double now) const;
+
+  double tau_;
+  std::vector<PerUser> per_user_;
+};
+
+}  // namespace gw::sim

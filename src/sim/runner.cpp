@@ -1,0 +1,162 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/drr_station.hpp"
+#include "sim/fair_share_station.hpp"
+#include "sim/sfq_station.hpp"
+#include "sim/sources.hpp"
+
+namespace gw::sim {
+
+namespace {
+
+/// Adapter that stamps a fixed per-user priority before forwarding to a
+/// preemptive priority core (used for the rate-ordered HOL discipline).
+class ClassifierStation final : public Station {
+ public:
+  ClassifierStation(Simulator& sim, QueueTracker& tracker,
+                    std::vector<int> user_priority)
+      : Station(sim, tracker),
+        priority_(sim, tracker, user_priority.size()),
+        user_priority_(std::move(user_priority)) {}
+
+  [[nodiscard]] std::string name() const override { return "RatePriority"; }
+
+  void arrive(Packet packet) override {
+    packet.priority = user_priority_.at(packet.user);
+    priority_.arrive(std::move(packet));
+  }
+
+ private:
+  PreemptivePriorityStation priority_;
+  std::vector<int> user_priority_;
+};
+
+std::unique_ptr<Station> make_station(Discipline discipline, Simulator& sim,
+                                      QueueTracker& tracker,
+                                      const std::vector<double>& rates,
+                                      const RunOptions& options) {
+  switch (discipline) {
+    case Discipline::kFifo:
+      return std::make_unique<FifoStation>(sim, tracker);
+    case Discipline::kLifoPreempt:
+      return std::make_unique<LifoPreemptStation>(sim, tracker);
+    case Discipline::kProcessorSharing:
+      return std::make_unique<PsStation>(sim, tracker);
+    case Discipline::kFairShareOracle:
+      return std::make_unique<FairShareStation>(sim, tracker, rates,
+                                                options.seed ^ 0xf5f5f5f5ULL);
+    case Discipline::kFairShareAdaptive:
+      return std::make_unique<FairShareStation>(
+          sim, tracker, rates.size(), options.estimator_tau,
+          options.rebuild_interval, options.seed ^ 0xadaadaadULL);
+    case Discipline::kDrr:
+      return std::make_unique<DrrStation>(sim, tracker, rates.size(),
+                                          options.drr_quantum);
+    case Discipline::kSfq:
+      return std::make_unique<SfqStation>(sim, tracker, rates.size());
+    case Discipline::kRatePriority: {
+      // Smaller rate -> higher priority (lower level index).
+      std::vector<std::size_t> order(rates.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (rates[a] != rates[b]) return rates[a] < rates[b];
+        return a < b;
+      });
+      std::vector<int> priority(rates.size());
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        priority[order[k]] = static_cast<int>(k);
+      }
+      return std::make_unique<ClassifierStation>(sim, tracker,
+                                                 std::move(priority));
+    }
+  }
+  throw std::invalid_argument("make_station: unknown discipline");
+}
+
+}  // namespace
+
+const char* discipline_name(Discipline d) noexcept {
+  switch (d) {
+    case Discipline::kFifo: return "FIFO";
+    case Discipline::kLifoPreempt: return "LIFO-PR";
+    case Discipline::kProcessorSharing: return "PS";
+    case Discipline::kFairShareOracle: return "FS(oracle)";
+    case Discipline::kFairShareAdaptive: return "FS(adaptive)";
+    case Discipline::kDrr: return "DRR-FQ";
+    case Discipline::kSfq: return "SFQ";
+    case Discipline::kRatePriority: return "RatePrio";
+  }
+  return "?";
+}
+
+RunResult run_custom(const StationFactory& factory,
+                     const std::vector<double>& rates,
+                     const RunOptions& options) {
+  if (rates.empty()) throw std::invalid_argument("run_custom: no users");
+  Simulator sim;
+  QueueTracker tracker(rates.size());
+  if (options.delay_histograms) {
+    tracker.enable_delay_histograms(options.delay_histogram_max);
+  }
+  const auto station = factory(sim, tracker);
+
+  std::vector<std::unique_ptr<PoissonSource>> sources;
+  sources.reserve(rates.size());
+  numerics::Rng seeder(options.seed);
+  ServiceSpec service = options.service;
+  if (service.kind == ServiceKind::kExponential && service.mean == 1.0 &&
+      options.mu != 1.0) {
+    service = ServiceSpec::exponential(1.0 / options.mu);
+  }
+  for (std::size_t u = 0; u < rates.size(); ++u) {
+    sources.push_back(std::make_unique<PoissonSource>(
+        sim, *station, u, rates[u], service, seeder.next_u64()));
+  }
+
+  sim.run_for(options.warmup);
+  tracker.reset(sim.now());
+  tracker.close_batch(sim.now());  // open the first batch
+
+  std::vector<std::vector<double>> batch_queues(rates.size());
+  for (int b = 0; b < options.batches; ++b) {
+    sim.run_for(options.batch_length);
+    const auto averages = tracker.close_batch(sim.now());
+    for (std::size_t u = 0; u < rates.size(); ++u) {
+      batch_queues[u].push_back(averages[u]);
+    }
+  }
+
+  RunResult result;
+  result.measured_time = options.batches * options.batch_length;
+  result.events = sim.processed_events();
+  result.users.resize(rates.size());
+  for (std::size_t u = 0; u < rates.size(); ++u) {
+    auto& stats = result.users[u];
+    stats.queue_ci = numerics::batch_means_ci(batch_queues[u]);
+    stats.mean_queue = stats.queue_ci.mean;
+    stats.mean_delay = tracker.mean_delay(u);
+    stats.throughput = static_cast<double>(tracker.departures(u)) /
+                       result.measured_time;
+    if (options.delay_histograms) {
+      stats.delay_p50 = tracker.delay_quantile(u, 0.50);
+      stats.delay_p95 = tracker.delay_quantile(u, 0.95);
+      stats.delay_p99 = tracker.delay_quantile(u, 0.99);
+    }
+  }
+  return result;
+}
+
+RunResult run_switch(Discipline discipline, const std::vector<double>& rates,
+                     const RunOptions& options) {
+  return run_custom(
+      [&](Simulator& sim, QueueTracker& tracker) {
+        return make_station(discipline, sim, tracker, rates, options);
+      },
+      rates, options);
+}
+
+}  // namespace gw::sim

@@ -1,0 +1,79 @@
+// One-call experiment runner: build a switch, attach Poisson sources, run
+// warmup + measurement batches, and report per-user statistics with
+// batch-means confidence intervals. This is the empirical counterpart of
+// evaluating an allocation function C(r) in gw::core.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "numerics/stats.hpp"
+#include "sim/service.hpp"
+#include "sim/stations.hpp"
+
+namespace gw::sim {
+
+/// Which service discipline the switch runs.
+enum class Discipline {
+  kFifo,
+  kLifoPreempt,
+  kProcessorSharing,
+  kFairShareOracle,    ///< Table 1 thinning with true rates
+  kFairShareAdaptive,  ///< Table 1 thinning with estimated rates
+  kDrr,                ///< deficit round robin fair queueing
+  kSfq,                ///< start-time fair queueing (packetized GPS)
+  kRatePriority,       ///< preemptive priority, smaller-rate users higher
+};
+
+[[nodiscard]] const char* discipline_name(Discipline d) noexcept;
+
+struct RunOptions {
+  double mu = 1.0;
+  /// Service-demand distribution (M/G/1 experiments). The default
+  /// exponential mean is overridden by 1/mu when mu != 1 for backwards
+  /// compatibility with the M/M/1 interface.
+  ServiceSpec service = ServiceSpec::exponential(1.0);
+  double warmup = 2000.0;        ///< simulated time discarded
+  int batches = 20;
+  double batch_length = 5000.0;  ///< simulated time per batch
+  std::uint64_t seed = 1;
+  double drr_quantum = 1.0;
+  double estimator_tau = 500.0;      ///< adaptive FS rate-estimator memory
+  double rebuild_interval = 100.0;   ///< adaptive FS threshold refresh
+  /// Track per-user delay histograms (p50/p95/p99 in UserRunStats).
+  bool delay_histograms = false;
+  double delay_histogram_max = 500.0;
+};
+
+struct UserRunStats {
+  double mean_queue = 0.0;  ///< time-average number in system (c_i)
+  numerics::ConfidenceInterval queue_ci;
+  double mean_delay = 0.0;
+  double throughput = 0.0;  ///< departures per unit time
+  /// Delay quantiles; populated when RunOptions::delay_histograms is set.
+  double delay_p50 = 0.0;
+  double delay_p95 = 0.0;
+  double delay_p99 = 0.0;
+};
+
+struct RunResult {
+  std::vector<UserRunStats> users;
+  double measured_time = 0.0;
+  std::size_t events = 0;
+};
+
+/// Builds and runs the given discipline for the rate vector.
+[[nodiscard]] RunResult run_switch(Discipline discipline,
+                                   const std::vector<double>& rates,
+                                   const RunOptions& options = {});
+
+/// Custom-station variant: `factory` builds the station under test.
+using StationFactory =
+    std::function<std::unique_ptr<Station>(Simulator&, QueueTracker&)>;
+
+[[nodiscard]] RunResult run_custom(const StationFactory& factory,
+                                   const std::vector<double>& rates,
+                                   const RunOptions& options = {});
+
+}  // namespace gw::sim

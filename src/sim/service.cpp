@@ -1,0 +1,93 @@
+#include "sim/service.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gw::sim {
+
+ServiceSpec ServiceSpec::exponential(double mean) {
+  if (mean <= 0.0 || !std::isfinite(mean)) {
+    throw std::invalid_argument("ServiceSpec: bad mean");
+  }
+  ServiceSpec spec;
+  spec.kind = ServiceKind::kExponential;
+  spec.mean = mean;
+  return spec;
+}
+
+ServiceSpec ServiceSpec::deterministic(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("ServiceSpec: mean <= 0");
+  ServiceSpec spec;
+  spec.kind = ServiceKind::kDeterministic;
+  spec.mean = mean;
+  return spec;
+}
+
+ServiceSpec ServiceSpec::erlang(int k, double mean) {
+  if (mean <= 0.0 || k < 1) {
+    throw std::invalid_argument("ServiceSpec: bad Erlang parameters");
+  }
+  ServiceSpec spec;
+  spec.kind = ServiceKind::kErlang;
+  spec.mean = mean;
+  spec.erlang_k = k;
+  return spec;
+}
+
+ServiceSpec ServiceSpec::hyperexponential(double scv, double mean) {
+  if (mean <= 0.0 || scv <= 1.0) {
+    throw std::invalid_argument(
+        "ServiceSpec: hyperexponential needs scv > 1");
+  }
+  // Balanced means: p1/rate1 == p2/rate2 == mean/2.
+  ServiceSpec spec;
+  spec.kind = ServiceKind::kHyperexponential;
+  spec.mean = mean;
+  spec.hyper_p1 = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  spec.hyper_rate1 = 2.0 * spec.hyper_p1 / mean;
+  spec.hyper_rate2 = 2.0 * (1.0 - spec.hyper_p1) / mean;
+  return spec;
+}
+
+double ServiceSpec::sample(numerics::Rng& rng) const {
+  switch (kind) {
+    case ServiceKind::kExponential:
+      return rng.exponential(1.0 / mean);
+    case ServiceKind::kDeterministic:
+      return mean;
+    case ServiceKind::kErlang: {
+      double total = 0.0;
+      const double phase_rate = static_cast<double>(erlang_k) / mean;
+      for (int phase = 0; phase < erlang_k; ++phase) {
+        total += rng.exponential(phase_rate);
+      }
+      return total;
+    }
+    case ServiceKind::kHyperexponential:
+      return rng.bernoulli(hyper_p1) ? rng.exponential(hyper_rate1)
+                                     : rng.exponential(hyper_rate2);
+  }
+  return mean;
+}
+
+double ServiceSpec::scv() const {
+  switch (kind) {
+    case ServiceKind::kExponential:
+      return 1.0;
+    case ServiceKind::kDeterministic:
+      return 0.0;
+    case ServiceKind::kErlang:
+      return 1.0 / static_cast<double>(erlang_k);
+    case ServiceKind::kHyperexponential: {
+      const double p1 = hyper_p1, p2 = 1.0 - hyper_p1;
+      const double second =
+          2.0 * (p1 / (hyper_rate1 * hyper_rate1) +
+                 p2 / (hyper_rate2 * hyper_rate2));
+      const double variance = second - mean * mean;
+      return variance / (mean * mean);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace gw::sim

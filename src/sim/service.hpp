@@ -1,0 +1,43 @@
+// Service-demand distributions for packet sources (M/G/1 experiments,
+// paper footnote 5).
+//
+// Parameterized by mean and shape; hyperexponential uses the standard
+// balanced-means two-phase fit to a target squared coefficient of
+// variation (scv > 1), Erlang-k covers scv = 1/k < 1, deterministic is
+// scv = 0.
+#pragma once
+
+#include "numerics/rng.hpp"
+
+namespace gw::sim {
+
+enum class ServiceKind {
+  kExponential,
+  kDeterministic,
+  kErlang,
+  kHyperexponential,
+};
+
+struct ServiceSpec {
+  ServiceKind kind = ServiceKind::kExponential;
+  double mean = 1.0;
+  int erlang_k = 2;       ///< phases for kErlang
+  double hyper_p1 = 0.5;  ///< phase-1 probability for kHyperexponential
+  double hyper_rate1 = 1.0;
+  double hyper_rate2 = 1.0;
+
+  [[nodiscard]] static ServiceSpec exponential(double mean = 1.0);
+  [[nodiscard]] static ServiceSpec deterministic(double mean = 1.0);
+  [[nodiscard]] static ServiceSpec erlang(int k, double mean = 1.0);
+  /// Balanced-means H2 with the given scv (> 1).
+  [[nodiscard]] static ServiceSpec hyperexponential(double scv,
+                                                    double mean = 1.0);
+
+  /// Draws one service demand.
+  [[nodiscard]] double sample(numerics::Rng& rng) const;
+
+  /// Squared coefficient of variation of the distribution.
+  [[nodiscard]] double scv() const;
+};
+
+}  // namespace gw::sim

@@ -1,0 +1,58 @@
+#include "sim/sfq_station.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gw::sim {
+
+SfqStation::SfqStation(Simulator& sim, QueueTracker& tracker,
+                       std::size_t n_users)
+    : SfqStation(sim, tracker, std::vector<double>(n_users, 1.0)) {}
+
+SfqStation::SfqStation(Simulator& sim, QueueTracker& tracker,
+                       std::vector<double> weights)
+    : Station(sim, tracker),
+      weights_(std::move(weights)),
+      finish_tag_(weights_.size(), 0.0) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("SfqStation: no users");
+  }
+  for (const double w : weights_) {
+    if (w <= 0.0) throw std::invalid_argument("SfqStation: weight <= 0");
+  }
+}
+
+void SfqStation::arrive(Packet packet) {
+  const std::size_t user = packet.user;
+  if (user >= weights_.size()) {
+    throw std::invalid_argument("SfqStation: bad user id");
+  }
+  note_arrival(packet);
+  packet.remaining = packet.service_demand;
+  const double start = std::max(virtual_time_, finish_tag_[user]);
+  finish_tag_[user] = start + packet.service_demand / weights_[user];
+  queue_.push(Tagged{start, next_sequence_++, std::move(packet)});
+  if (!busy_) serve_next();
+}
+
+void SfqStation::serve_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  const Tagged next = queue_.top();
+  queue_.pop();
+  virtual_time_ = next.start_tag;
+  in_service_ = next.packet;
+  busy_ = true;
+  completion_ =
+      sim_.schedule_in(in_service_.service_demand, [this] { complete(); });
+}
+
+void SfqStation::complete() {
+  busy_ = false;
+  note_departure(in_service_);
+  serve_next();
+}
+
+}  // namespace gw::sim

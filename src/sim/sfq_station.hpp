@@ -1,0 +1,55 @@
+// Start-time Fair Queueing (SFQ): packetized GPS by virtual start tags.
+//
+// Each flow f carries a finish tag F_f. An arriving packet gets start tag
+// S = max(v, F_f) and finish tag F = S + demand / weight_f (F_f <- F),
+// where the virtual time v is the start tag of the packet in service.
+// The server always picks the backlogged packet with the smallest start
+// tag (FIFO within ties), non-preemptively. Backlogged flows then share
+// bandwidth in proportion to their weights — the second "real network"
+// fair-queueing discipline of paper Section 5.2, complementing DRR.
+#pragma once
+
+#include <queue>
+
+#include "sim/stations.hpp"
+
+namespace gw::sim {
+
+class SfqStation final : public Station {
+ public:
+  /// Unweighted (equal shares).
+  SfqStation(Simulator& sim, QueueTracker& tracker, std::size_t n_users);
+  /// Weighted shares; weights must be positive.
+  SfqStation(Simulator& sim, QueueTracker& tracker,
+             std::vector<double> weights);
+
+  [[nodiscard]] std::string name() const override { return "SFQ"; }
+  void arrive(Packet packet) override;
+
+ private:
+  struct Tagged {
+    double start_tag;
+    std::uint64_t sequence;  ///< FIFO tie-break
+    Packet packet;
+  };
+  struct Later {
+    bool operator()(const Tagged& a, const Tagged& b) const noexcept {
+      if (a.start_tag != b.start_tag) return a.start_tag > b.start_tag;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void serve_next();
+  void complete();
+
+  std::vector<double> weights_;
+  std::vector<double> finish_tag_;
+  double virtual_time_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Tagged, std::vector<Tagged>, Later> queue_;
+  bool busy_ = false;
+  Packet in_service_{};
+  EventId completion_ = 0;
+};
+
+}  // namespace gw::sim

@@ -1,0 +1,44 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace gw::sim {
+
+EventId Simulator::schedule_at(double t, std::function<void()> action) {
+  if (t < now_) throw std::invalid_argument("Simulator: scheduling in the past");
+  if (!action) throw std::invalid_argument("Simulator: empty action");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(action)});
+  return id;
+}
+
+EventId Simulator::schedule_in(double dt, std::function<void()> action) {
+  return schedule_at(now_ + dt, std::move(action));
+}
+
+void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+
+std::size_t Simulator::run_until(double t_end) {
+  if (t_end < now_) {
+    throw std::invalid_argument("Simulator: run_until into the past");
+  }
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    if (const auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.time;
+    entry.action();
+    ++fired;
+    ++processed_;
+  }
+  now_ = t_end;
+  return fired;
+}
+
+std::size_t Simulator::run_for(double dt) { return run_until(now_ + dt); }
+
+}  // namespace gw::sim

@@ -1,0 +1,67 @@
+// Discrete-event simulation kernel.
+//
+// A time-ordered event heap with stable FIFO ordering of simultaneous
+// events and O(log n) cancellation via tombstones. Service disciplines
+// with preemption (LIFO, priority, Fair Share) rely on cancel() to
+// withdraw completion events when the job in service changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace gw::sim {
+
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `t` (>= now). Returns a handle
+  /// usable with cancel().
+  EventId schedule_at(double t, std::function<void()> action);
+
+  /// Schedules `action` `dt` from now (dt >= 0).
+  EventId schedule_in(double dt, std::function<void()> action);
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Processes all events with time <= t_end, then advances the clock to
+  /// t_end. Returns the number of events processed.
+  std::size_t run_until(double t_end);
+
+  /// run_until(now + dt).
+  std::size_t run_for(double dt);
+
+  [[nodiscard]] std::size_t processed_events() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace gw::sim

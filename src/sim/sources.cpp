@@ -1,0 +1,55 @@
+#include "sim/sources.hpp"
+
+#include <stdexcept>
+
+namespace gw::sim {
+
+PoissonSource::PoissonSource(Simulator& sim, Station& station,
+                             std::size_t user, double rate, double mu,
+                             std::uint64_t seed)
+    : PoissonSource(sim, station, user, rate,
+                    ServiceSpec::exponential(1.0 / mu), seed) {
+  if (mu <= 0.0) throw std::invalid_argument("PoissonSource: mu must be > 0");
+}
+
+PoissonSource::PoissonSource(Simulator& sim, Station& station,
+                             std::size_t user, double rate,
+                             const ServiceSpec& service, std::uint64_t seed)
+    : sim_(sim), station_(station), user_(user), rate_(rate),
+      service_(service), rng_(seed) {
+  if (rate_ > 0.0) schedule_next();
+}
+
+void PoissonSource::set_rate(double rate) {
+  const bool was_silent = rate_ <= 0.0;
+  rate_ = rate;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+  if (rate_ > 0.0) {
+    // Memorylessness makes redrawing the residual interarrival exact.
+    schedule_next();
+  } else if (!was_silent) {
+    // silenced; nothing pending anymore
+  }
+}
+
+void PoissonSource::schedule_next() {
+  pending_ = sim_.schedule_in(rng_.exponential(rate_), [this] { emit(); });
+}
+
+void PoissonSource::emit() {
+  pending_ = 0;
+  Packet packet;
+  packet.id = (static_cast<std::uint64_t>(user_) << 40) | emitted_;
+  packet.user = user_;
+  packet.arrival_time = sim_.now();
+  packet.service_demand = service_.sample(rng_);
+  packet.remaining = packet.service_demand;
+  ++emitted_;
+  station_.arrive(std::move(packet));
+  if (rate_ > 0.0) schedule_next();
+}
+
+}  // namespace gw::sim

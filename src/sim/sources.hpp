@@ -1,0 +1,49 @@
+// Poisson packet sources with exponential service demands.
+//
+// Each source owns an independent RNG stream. Rates are mutable at run
+// time (taking effect from the next interarrival draw) so adaptive users
+// can retune their demand while the simulation runs.
+#pragma once
+
+#include <cstdint>
+
+#include "numerics/rng.hpp"
+#include "sim/service.hpp"
+#include "sim/stations.hpp"
+
+namespace gw::sim {
+
+class PoissonSource {
+ public:
+  /// Packets of `user` arrive at `station` at `rate`; service demands are
+  /// exponential with rate `mu` (the paper's server has mu = 1).
+  PoissonSource(Simulator& sim, Station& station, std::size_t user,
+                double rate, double mu, std::uint64_t seed);
+
+  /// General service demands (M/G/1 experiments, footnote 5).
+  PoissonSource(Simulator& sim, Station& station, std::size_t user,
+                double rate, const ServiceSpec& service, std::uint64_t seed);
+
+  /// Changes the arrival rate; applies from the next interarrival.
+  /// A zero/negative rate silences the source until set again.
+  void set_rate(double rate);
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] std::size_t user() const noexcept { return user_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  void schedule_next();
+  void emit();
+
+  Simulator& sim_;
+  Station& station_;
+  std::size_t user_;
+  double rate_;
+  ServiceSpec service_;
+  numerics::Rng rng_;
+  std::uint64_t emitted_ = 0;
+  EventId pending_ = 0;
+};
+
+}  // namespace gw::sim

@@ -1,0 +1,222 @@
+#include "sim/stations.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace gw::sim {
+
+// ------------------------------------------------------------------ FIFO
+
+void FifoStation::arrive(Packet packet) {
+  note_arrival(packet);
+  packet.remaining = packet.service_demand;
+  queue_.push_back(packet);
+  if (!busy_) start_service();
+}
+
+void FifoStation::start_service() {
+  busy_ = true;
+  completion_ =
+      sim_.schedule_in(queue_.front().remaining, [this] { complete(); });
+}
+
+void FifoStation::complete() {
+  Packet done = queue_.front();
+  queue_.pop_front();
+  note_departure(done);
+  if (queue_.empty()) {
+    busy_ = false;
+  } else {
+    start_service();
+  }
+}
+
+// --------------------------------------------------------------- LIFO-PR
+
+void LifoPreemptStation::arrive(Packet packet) {
+  note_arrival(packet);
+  packet.remaining = packet.service_demand;
+  if (busy_) {
+    // Preempt: bank the in-service packet's progress.
+    sim_.cancel(completion_);
+    stack_.back().remaining -= sim_.now() - service_start_;
+  }
+  stack_.push_back(packet);
+  serve_top();
+}
+
+void LifoPreemptStation::serve_top() {
+  busy_ = true;
+  service_start_ = sim_.now();
+  completion_ =
+      sim_.schedule_in(std::max(stack_.back().remaining, 0.0),
+                       [this] { complete(); });
+}
+
+void LifoPreemptStation::complete() {
+  Packet done = stack_.back();
+  stack_.pop_back();
+  note_departure(done);
+  if (stack_.empty()) {
+    busy_ = false;
+  } else {
+    serve_top();
+  }
+}
+
+// -------------------------------------------------------------------- PS
+
+void PsStation::arrive(Packet packet) {
+  note_arrival(packet);
+  packet.remaining = packet.service_demand;
+  age_jobs();
+  jobs_.push_back(packet);
+  reschedule();
+}
+
+void PsStation::age_jobs() {
+  const double elapsed = sim_.now() - last_progress_;
+  if (elapsed > 0.0 && !jobs_.empty()) {
+    const double share = elapsed / static_cast<double>(jobs_.size());
+    for (auto& job : jobs_) job.remaining -= share;
+  }
+  last_progress_ = sim_.now();
+}
+
+void PsStation::reschedule() {
+  if (completion_ != 0) {
+    sim_.cancel(completion_);
+    completion_ = 0;
+  }
+  if (jobs_.empty()) return;
+  double least = std::numeric_limits<double>::infinity();
+  for (const auto& job : jobs_) least = std::min(least, job.remaining);
+  const double until_done =
+      std::max(least, 0.0) * static_cast<double>(jobs_.size());
+  completion_ = sim_.schedule_in(until_done, [this] { complete(); });
+}
+
+void PsStation::complete() {
+  age_jobs();
+  // Finish the job(s) that have run out of work (ties are possible only
+  // with zero-probability equal demands, but handle them robustly).
+  constexpr double kEps = 1e-12;
+  bool departed = false;
+  for (std::size_t k = 0; k < jobs_.size();) {
+    if (jobs_[k].remaining <= kEps) {
+      note_departure(jobs_[k]);
+      jobs_.erase(jobs_.begin() + static_cast<long>(k));
+      departed = true;
+    } else {
+      ++k;
+    }
+  }
+  if (!departed && !jobs_.empty()) {
+    // The scheduled finisher's residual can exceed kEps by floating-point
+    // jitter that is *below one ulp of the clock*, in which case the
+    // rescheduled event would re-fire at the same timestamp forever.
+    // The event only fires when some job was due: depart the minimum.
+    std::size_t winner = 0;
+    for (std::size_t k = 1; k < jobs_.size(); ++k) {
+      if (jobs_[k].remaining < jobs_[winner].remaining) winner = k;
+    }
+    note_departure(jobs_[winner]);
+    jobs_.erase(jobs_.begin() + static_cast<long>(winner));
+  }
+  completion_ = 0;
+  reschedule();
+}
+
+// ------------------------------------------------ HOL (non-preemptive)
+
+HolPriorityStation::HolPriorityStation(Simulator& sim, QueueTracker& tracker,
+                                       std::size_t levels)
+    : Station(sim, tracker), levels_(levels) {
+  if (levels == 0) {
+    throw std::invalid_argument("HolPriorityStation: zero levels");
+  }
+}
+
+void HolPriorityStation::arrive(Packet packet) {
+  const auto level = static_cast<std::size_t>(packet.priority);
+  if (level >= levels_.size()) {
+    throw std::invalid_argument("HolPriorityStation: bad priority");
+  }
+  note_arrival(packet);
+  packet.remaining = packet.service_demand;
+  levels_[level].push_back(std::move(packet));
+  if (!busy_) serve_next();
+}
+
+void HolPriorityStation::serve_next() {
+  for (auto& level : levels_) {
+    if (level.empty()) continue;
+    in_service_ = level.front();
+    level.pop_front();
+    busy_ = true;
+    completion_ = sim_.schedule_in(in_service_.service_demand,
+                                   [this] { complete(); });
+    return;
+  }
+  busy_ = false;
+}
+
+void HolPriorityStation::complete() {
+  busy_ = false;
+  note_departure(in_service_);
+  serve_next();
+}
+
+// --------------------------------------------------- preemptive priority
+
+PreemptivePriorityStation::PreemptivePriorityStation(Simulator& sim,
+                                                     QueueTracker& tracker,
+                                                     std::size_t levels)
+    : Station(sim, tracker), levels_(levels) {
+  if (levels == 0) {
+    throw std::invalid_argument("PreemptivePriorityStation: zero levels");
+  }
+}
+
+void PreemptivePriorityStation::arrive(Packet packet) {
+  note_arrival(packet);
+  packet.remaining = packet.service_demand;
+  const auto level = static_cast<std::size_t>(packet.priority);
+  if (level >= levels_.size()) {
+    throw std::invalid_argument("PreemptivePriorityStation: bad priority");
+  }
+  if (busy_ && level < static_cast<std::size_t>(in_service_.priority)) {
+    // Higher-priority arrival preempts; bank progress and park the job at
+    // the head of its class.
+    sim_.cancel(completion_);
+    in_service_.remaining -= sim_.now() - service_start_;
+    levels_[static_cast<std::size_t>(in_service_.priority)].push_front(
+        in_service_);
+    busy_ = false;
+  }
+  levels_[level].push_back(std::move(packet));
+  if (!busy_) serve_next();
+}
+
+void PreemptivePriorityStation::serve_next() {
+  for (auto& level : levels_) {
+    if (level.empty()) continue;
+    in_service_ = level.front();
+    level.pop_front();
+    busy_ = true;
+    service_start_ = sim_.now();
+    completion_ = sim_.schedule_in(std::max(in_service_.remaining, 0.0),
+                                   [this] { complete(); });
+    return;
+  }
+  busy_ = false;
+}
+
+void PreemptivePriorityStation::complete() {
+  busy_ = false;
+  note_departure(in_service_);
+  serve_next();
+}
+
+}  // namespace gw::sim

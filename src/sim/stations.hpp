@@ -1,0 +1,152 @@
+// Packet-level service disciplines at a single unit-rate server.
+//
+// Every station reports occupancy changes and departures to a
+// QueueTracker, whose per-user time-average occupancy is the empirical
+// counterpart of the allocation functions in gw::core:
+//   * FIFO, preemptive LIFO and PS all realize the proportional
+//     allocation C_i = r_i / (1 - sum r) in the M/M/1 setting;
+//   * PreemptivePriorityStation realizes the telescoping per-class form
+//     L_k = g(sigma_k) - g(sigma_{k-1});
+//   * FairShareStation (see fair_share_station.hpp) composes priority
+//     service with Table 1 thinning to realize C^FS.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/tracker.hpp"
+
+namespace gw::sim {
+
+class Station {
+ public:
+  Station(Simulator& sim, QueueTracker& tracker)
+      : sim_(sim), tracker_(tracker) {}
+  virtual ~Station() = default;
+  Station(const Station&) = delete;
+  Station& operator=(const Station&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Hands a packet to the station at the current simulation time.
+  virtual void arrive(Packet packet) = 0;
+
+  /// Installs a next-hop hook invoked with every departing packet (used to
+  /// chain stations into a tandem network, see sim/tandem.hpp). Virtual:
+  /// wrapper stations (FairShareStation) forward it to their inner engine.
+  virtual void set_next_hop(std::function<void(const Packet&)> hook) {
+    next_hop_ = std::move(hook);
+  }
+
+ protected:
+  void note_arrival(const Packet& packet) {
+    tracker_.on_change(sim_.now(), packet.user, +1);
+  }
+  void note_departure(const Packet& packet) {
+    tracker_.on_change(sim_.now(), packet.user, -1);
+    tracker_.on_departure(packet.user, sim_.now() - packet.arrival_time);
+    if (next_hop_) next_hop_(packet);
+  }
+
+  Simulator& sim_;
+  QueueTracker& tracker_;
+
+ private:
+  std::function<void(const Packet&)> next_hop_;
+};
+
+/// First-in first-out, non-preemptive.
+class FifoStation final : public Station {
+ public:
+  using Station::Station;
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+  void arrive(Packet packet) override;
+
+ private:
+  void start_service();
+  void complete();
+
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+  EventId completion_ = 0;
+};
+
+/// Last-in first-out with preemptive resume.
+class LifoPreemptStation final : public Station {
+ public:
+  using Station::Station;
+  [[nodiscard]] std::string name() const override { return "LIFO-PR"; }
+  void arrive(Packet packet) override;
+
+ private:
+  void serve_top();
+  void complete();
+
+  std::vector<Packet> stack_;  ///< back() is in service
+  bool busy_ = false;
+  double service_start_ = 0.0;
+  EventId completion_ = 0;
+};
+
+/// Exact egalitarian processor sharing: k jobs each progress at rate 1/k.
+class PsStation final : public Station {
+ public:
+  using Station::Station;
+  [[nodiscard]] std::string name() const override { return "PS"; }
+  void arrive(Packet packet) override;
+
+ private:
+  void age_jobs();
+  void reschedule();
+  void complete();
+
+  std::vector<Packet> jobs_;
+  double last_progress_ = 0.0;
+  EventId completion_ = 0;
+};
+
+/// Non-preemptive (HOL) static priority: the packet in service always
+/// finishes; at each completion the head of the highest backlogged class
+/// goes next (Cobham's model).
+class HolPriorityStation final : public Station {
+ public:
+  HolPriorityStation(Simulator& sim, QueueTracker& tracker,
+                     std::size_t levels);
+  [[nodiscard]] std::string name() const override { return "HOL-Prio"; }
+  void arrive(Packet packet) override;
+
+ private:
+  void serve_next();
+  void complete();
+
+  std::vector<std::deque<Packet>> levels_;
+  bool busy_ = false;
+  Packet in_service_{};
+  EventId completion_ = 0;
+};
+
+/// Preemptive-resume static priority; Packet::priority selects the class
+/// (0 = highest). FIFO within a class.
+class PreemptivePriorityStation final : public Station {
+ public:
+  PreemptivePriorityStation(Simulator& sim, QueueTracker& tracker,
+                            std::size_t levels);
+  [[nodiscard]] std::string name() const override { return "PreemptPrio"; }
+  void arrive(Packet packet) override;
+
+ private:
+  void serve_next();
+  void complete();
+
+  std::vector<std::deque<Packet>> levels_;
+  bool busy_ = false;
+  Packet in_service_{};
+  double service_start_ = 0.0;
+  EventId completion_ = 0;
+};
+
+}  // namespace gw::sim

@@ -1,0 +1,49 @@
+// Packet-level tandem networks (paper Section 5.4).
+//
+// The analytic gw::net model assumes every switch sees Poisson input
+// (Kleinrock independence). Here packets really flow switch to switch, so
+// the approximation error is measurable: for FIFO tandems Burke's theorem
+// makes aggregate outputs exactly Poisson, while priority/Fair Share
+// outputs are not — the "daunting challenge" the paper points at.
+//
+// `resample_service` chooses between redrawing a packet's demand at every
+// hop (the independence assumption; exact product-form for FIFO) and
+// carrying the same demand through (realistic packets, correlated hops).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace gw::sim {
+
+struct TandemOptions {
+  double mu = 1.0;
+  bool resample_service = true;
+  double warmup = 4000.0;
+  int batches = 12;
+  double batch_length = 5000.0;
+  std::uint64_t seed = 33;
+  double drr_quantum = 1.0;
+};
+
+struct TandemResult {
+  /// mean_queue[a][u]: user u's time-average queue at switch a.
+  std::vector<std::vector<double>> mean_queue;
+  /// total_congestion[u] = sum over the user's route (the paper's c_i).
+  std::vector<double> total_congestion;
+  /// End-to-end mean delay per user (summed per-hop sojourns).
+  std::vector<double> end_to_end_delay;
+  std::size_t events = 0;
+};
+
+/// Runs a tandem of identical-discipline switches. `spans[u]` gives the
+/// (first, last) switch of user u's route. Supported disciplines: kFifo,
+/// kLifoPreempt, kProcessorSharing, kFairShareOracle, kDrr.
+[[nodiscard]] TandemResult run_tandem(
+    Discipline discipline, const std::vector<double>& rates,
+    const std::vector<std::pair<std::size_t, std::size_t>>& spans,
+    std::size_t n_switches, const TandemOptions& options = {});
+
+}  // namespace gw::sim

@@ -1,0 +1,104 @@
+#include "sim/tracker.hpp"
+
+#include <stdexcept>
+
+namespace gw::sim {
+
+QueueTracker::QueueTracker(std::size_t n_users) : per_user_(n_users) {
+  if (n_users == 0) throw std::invalid_argument("QueueTracker: zero users");
+}
+
+void QueueTracker::accrue(double now, PerUser& user) {
+  const double dt = now - user.last_update;
+  if (dt > 0.0) {
+    user.area += user.count * dt;
+    user.batch_area += user.count * dt;
+    user.last_update = now;
+  }
+}
+
+void QueueTracker::on_change(double now, std::size_t user, int delta) {
+  auto& u = per_user_.at(user);
+  accrue(now, u);
+  u.count += delta;
+  if (u.count < 0) throw std::logic_error("QueueTracker: negative occupancy");
+}
+
+void QueueTracker::on_departure(std::size_t user, double delay) {
+  auto& u = per_user_.at(user);
+  u.delay_sum += delay;
+  ++u.departures;
+  if (!delay_histograms_.empty() && delay_histograms_[user] != nullptr) {
+    delay_histograms_[user]->add(delay);
+  }
+}
+
+void QueueTracker::enable_delay_histograms(double max_delay,
+                                           std::size_t bins) {
+  histogram_max_ = max_delay;
+  histogram_bins_ = bins;
+  delay_histograms_.clear();
+  for (std::size_t u = 0; u < per_user_.size(); ++u) {
+    delay_histograms_.push_back(
+        std::make_unique<numerics::Histogram>(0.0, max_delay, bins));
+  }
+}
+
+double QueueTracker::delay_quantile(std::size_t user, double q) const {
+  if (delay_histograms_.empty()) {
+    throw std::logic_error("QueueTracker: delay histograms not enabled");
+  }
+  return delay_histograms_.at(user)->quantile(q);
+}
+
+void QueueTracker::reset(double now) {
+  for (auto& u : per_user_) {
+    u.area = 0.0;
+    u.batch_area = 0.0;
+    u.last_update = now;
+    u.delay_sum = 0.0;
+    u.departures = 0;
+  }
+  if (!delay_histograms_.empty()) {
+    enable_delay_histograms(histogram_max_, histogram_bins_);  // fresh bins
+  }
+  measure_start_ = now;
+  batch_start_ = now;
+  batch_open_ = false;
+}
+
+std::vector<double> QueueTracker::close_batch(double now) {
+  std::vector<double> averages;
+  const double span = now - batch_start_;
+  if (batch_open_ && span > 0.0) {
+    averages.reserve(per_user_.size());
+    for (auto& u : per_user_) {
+      accrue(now, u);
+      averages.push_back(u.batch_area / span);
+    }
+  }
+  for (auto& u : per_user_) u.batch_area = 0.0;
+  batch_start_ = now;
+  batch_open_ = true;
+  return averages;
+}
+
+double QueueTracker::time_average(std::size_t user, double now) const {
+  const auto& u = per_user_.at(user);
+  const double span = now - measure_start_;
+  if (span <= 0.0) return 0.0;
+  const double pending = u.count * (now - u.last_update);
+  return (u.area + pending) / span;
+}
+
+double QueueTracker::mean_delay(std::size_t user) const {
+  const auto& u = per_user_.at(user);
+  return u.departures == 0 ? 0.0
+                           : u.delay_sum / static_cast<double>(u.departures);
+}
+
+std::size_t QueueTracker::departures(std::size_t user) const {
+  return per_user_.at(user).departures;
+}
+
+}  // namespace gw::sim

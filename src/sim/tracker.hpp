@@ -1,0 +1,79 @@
+// Per-user queue-occupancy and delay measurement.
+//
+// Tracks the time integral of each user's number-in-system (which is the
+// paper's congestion measure c_i), packet delays, and departure counts.
+// Batch boundaries let the runner compute batch-means confidence
+// intervals; reset() discards the warmup transient.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "numerics/stats.hpp"
+
+namespace gw::sim {
+
+class QueueTracker {
+ public:
+  explicit QueueTracker(std::size_t n_users);
+
+  /// Announce that `user`'s number-in-system changes by `delta` at `now`.
+  void on_change(double now, std::size_t user, int delta);
+
+  /// A packet of `user` departed after spending `delay` in the system.
+  void on_departure(std::size_t user, double delay);
+
+  /// Discards all accumulated statistics; measurement restarts at `now`
+  /// with the current occupancy preserved.
+  void reset(double now);
+
+  /// Opens a new measurement batch at `now` and returns the per-user
+  /// time-average occupancy of the batch that just closed (empty vector
+  /// for the first call after reset()).
+  std::vector<double> close_batch(double now);
+
+  /// Cumulative time-average number in system for `user` over [reset, now].
+  [[nodiscard]] double time_average(std::size_t user, double now) const;
+
+  /// Mean delay of departed packets since reset (0 if none departed).
+  [[nodiscard]] double mean_delay(std::size_t user) const;
+
+  /// Departures since reset.
+  [[nodiscard]] std::size_t departures(std::size_t user) const;
+
+  /// Enables per-user delay histograms on [0, max_delay) with `bins`
+  /// buckets (delays beyond the range clamp into the top bucket).
+  void enable_delay_histograms(double max_delay, std::size_t bins = 512);
+
+  /// Empirical delay quantile for `user` (requires enabled histograms;
+  /// throws std::logic_error otherwise).
+  [[nodiscard]] double delay_quantile(std::size_t user, double q) const;
+
+  [[nodiscard]] std::size_t users() const noexcept { return per_user_.size(); }
+  [[nodiscard]] int occupancy(std::size_t user) const {
+    return per_user_.at(user).count;
+  }
+
+ private:
+  struct PerUser {
+    int count = 0;           ///< current number in system
+    double area = 0.0;       ///< integral of count since reset
+    double last_update = 0;  ///< time of last area update
+    double batch_area = 0.0; ///< integral since the current batch opened
+    double delay_sum = 0.0;
+    std::size_t departures = 0;
+  };
+
+  void accrue(double now, PerUser& user);
+
+  std::vector<PerUser> per_user_;
+  std::vector<std::unique_ptr<numerics::Histogram>> delay_histograms_;
+  double histogram_max_ = 0.0;
+  std::size_t histogram_bins_ = 0;
+  double measure_start_ = 0.0;
+  double batch_start_ = 0.0;
+  bool batch_open_ = false;
+};
+
+}  // namespace gw::sim

@@ -1,0 +1,139 @@
+// Closed-loop tests: measurement-driven selfish users against the packet
+// simulator. These are the paper's premises made executable.
+#include "sim/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_forms.hpp"
+#include "learn/hill_climber.hpp"
+
+namespace gw::sim {
+namespace {
+
+LearnerFactory hill_climber_factory() {
+  return [](std::size_t, double initial_rate) {
+    learn::HillClimberOptions options;
+    // Noisy-measurement regime: wide probes, a sizable step floor, and
+    // 3-sample averaging per phase keep the gradient above queueing noise.
+    options.initial_step = 0.04;
+    options.min_step = 0.01;
+    options.samples_per_phase = 3;
+    return std::make_unique<learn::FiniteDifferenceHillClimber>(initial_rate,
+                                                                options);
+  };
+}
+
+AdaptiveOptions quick_adaptive(std::uint64_t seed) {
+  AdaptiveOptions options;
+  // Long epochs keep measurement noise below the hill climbers' probe
+  // effect; the event-driven simulator handles this horizon in ~1 s.
+  options.epoch_length = 8000.0;
+  options.epochs = 240;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Adaptive, FsOracleSelfishUsersSettleNearAnalyticNash) {
+  const auto profile = core::uniform_profile(core::make_linear(1.0, 0.25), 2);
+  const auto result =
+      run_adaptive(Discipline::kFairShareOracle, profile, {0.1, 0.35},
+                   hill_climber_factory(), quick_adaptive(5));
+  const auto expected = core::fs_linear_symmetric_nash(0.25, 2);
+  // Average the last 10 epochs to smooth measurement noise.
+  std::vector<double> tail(2, 0.0);
+  const int window = 10;
+  for (int e = 0; e < window; ++e) {
+    const auto& rates =
+        result.rate_history[result.rate_history.size() - 1 - e];
+    for (std::size_t u = 0; u < 2; ++u) tail[u] += rates[u] / window;
+  }
+  for (const double rate : tail) {
+    EXPECT_NEAR(rate, expected.rate, 0.06) << "expected " << expected.rate;
+  }
+}
+
+TEST(Adaptive, FifoSelfishUsersOverconsumeVsPareto) {
+  // Under FIFO the adaptive population drives total load above the Pareto
+  // level (the tragedy of the commons, measured in packets).
+  const auto profile = core::uniform_profile(core::make_linear(1.0, 0.25), 2);
+  const auto result =
+      run_adaptive(Discipline::kFifo, profile, {0.15, 0.15},
+                   hill_climber_factory(), quick_adaptive(6));
+  const auto pareto = core::fs_linear_symmetric_nash(0.25, 2);
+  double tail_load = 0.0;
+  const int window = 10;
+  for (int e = 0; e < window; ++e) {
+    const auto& rates =
+        result.rate_history[result.rate_history.size() - 1 - e];
+    tail_load += (rates[0] + rates[1]) / window;
+  }
+  EXPECT_GT(tail_load, 2.0 * pareto.rate + 0.03);
+}
+
+TEST(Adaptive, FullyOracleFreeLoopStillFindsNash) {
+  // The deployable configuration: the switch estimates rates online (no
+  // oracle), the users observe only their own measured utility (no
+  // counterfactual, no closed forms). The joint system still settles near
+  // the analytic Nash point — the paper's whole program, end to end.
+  const auto profile = core::uniform_profile(core::make_linear(1.0, 0.25), 2);
+  auto options = quick_adaptive(12);
+  options.estimator_tau = 100.0;
+  options.rebuild_interval = 20.0;
+  const auto result =
+      run_adaptive(Discipline::kFairShareAdaptive, profile, {0.1, 0.35},
+                   hill_climber_factory(), options);
+  const auto expected = core::fs_linear_symmetric_nash(0.25, 2);
+  std::vector<double> tail(2, 0.0);
+  const int window = 10;
+  for (int e = 0; e < window; ++e) {
+    const auto& rates =
+        result.rate_history[result.rate_history.size() - 1 - e];
+    for (std::size_t u = 0; u < 2; ++u) tail[u] += rates[u] / window;
+  }
+  // The estimating switch is measurably more permissive than the oracle:
+  // ranking noise near rate ties blurs the serial penalty, biasing the
+  // empirical equilibrium a few percent above the analytic Nash load
+  // (documented in EXPERIMENTS.md). Assert "near Nash, nobody starved,
+  // mild overconsumption only".
+  double total = 0.0;
+  for (const double rate : tail) {
+    EXPECT_GT(rate, expected.rate - 0.06);
+    EXPECT_LT(rate, expected.rate + 0.09);
+    total += rate;
+  }
+  EXPECT_NEAR(total, 2.0 * expected.rate, 0.10);
+}
+
+TEST(Adaptive, HistoriesHaveExpectedShape) {
+  const auto profile = core::uniform_profile(core::make_linear(1.0, 0.3), 2);
+  auto options = quick_adaptive(7);
+  options.epochs = 10;
+  const auto result =
+      run_adaptive(Discipline::kFairShareOracle, profile, {0.1, 0.1},
+                   hill_climber_factory(), options);
+  EXPECT_EQ(result.rate_history.size(), 10u);
+  EXPECT_EQ(result.queue_history.size(), 10u);
+  EXPECT_EQ(result.final_rates.size(), 2u);
+  EXPECT_EQ(result.final_utilities.size(), 2u);
+}
+
+TEST(Adaptive, RejectsMismatchedSizes) {
+  const auto profile = core::uniform_profile(core::make_linear(1.0, 0.3), 2);
+  EXPECT_THROW(
+      (void)run_adaptive(Discipline::kFifo, profile, {0.1},
+                         hill_climber_factory(), quick_adaptive(8)),
+      std::invalid_argument);
+}
+
+TEST(Adaptive, RatePriorityUnsupported) {
+  const auto profile = core::uniform_profile(core::make_linear(1.0, 0.3), 2);
+  EXPECT_THROW(
+      (void)run_adaptive(Discipline::kRatePriority, profile, {0.1, 0.1},
+                         hill_climber_factory(), quick_adaptive(9)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::sim

@@ -1,0 +1,180 @@
+// Parameterized property sweeps over all implemented allocation functions:
+// feasibility on the constraint surface, symmetry, and the sign structure
+// of derivatives, at randomized points of the natural domain D.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "core/mixture.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "numerics/rng.hpp"
+#include "queueing/feasibility.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gw::core {
+namespace {
+
+struct AllocationCase {
+  const char* label;
+  std::shared_ptr<const AllocationFunction> alloc;
+  bool symmetric;
+};
+
+class AllocationProperty : public ::testing::TestWithParam<AllocationCase> {};
+
+std::vector<double> random_interior_point(numerics::Rng& rng, std::size_t n) {
+  std::vector<double> rates(n);
+  double total = 0.0;
+  for (auto& r : rates) {
+    r = rng.uniform(0.01, 1.0);
+    total += r;
+  }
+  const double target = rng.uniform(0.1, 0.9);
+  for (auto& r : rates) r *= target / total;
+  return rates;
+}
+
+TEST_P(AllocationProperty, FeasibleOnConstraintSurface) {
+  numerics::Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto rates = random_interior_point(rng, 4);
+    const auto queues = GetParam().alloc->congestion(rates);
+    const auto feasibility = queueing::check_feasibility(rates, queues, 1e-8);
+    EXPECT_TRUE(feasibility.on_constraint)
+        << GetParam().label << " residual " << feasibility.residual;
+    EXPECT_TRUE(feasibility.subsets_ok) << GetParam().label;
+  }
+}
+
+TEST_P(AllocationProperty, SymmetricUnderPermutation) {
+  if (!GetParam().symmetric) GTEST_SKIP() << "deliberately non-symmetric";
+  numerics::Rng rng(103);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto rates = random_interior_point(rng, 4);
+    const auto queues = GetParam().alloc->congestion(rates);
+    const auto perm = rng.permutation(4);
+    std::vector<double> permuted(4);
+    for (std::size_t k = 0; k < 4; ++k) permuted[k] = rates[perm[k]];
+    const auto permuted_queues = GetParam().alloc->congestion(permuted);
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_NEAR(permuted_queues[k], queues[perm[k]], 1e-9)
+          << GetParam().label;
+    }
+  }
+}
+
+TEST_P(AllocationProperty, OwnDerivativePositive) {
+  numerics::Rng rng(107);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rates = random_interior_point(rng, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GT(GetParam().alloc->partial(i, i, rates), 0.0)
+          << GetParam().label;
+    }
+  }
+}
+
+TEST_P(AllocationProperty, CrossDerivativesNonNegative) {
+  numerics::Rng rng(109);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rates = random_interior_point(rng, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        if (i == j) continue;
+        EXPECT_GE(GetParam().alloc->partial(i, j, rates), -1e-9)
+            << GetParam().label;
+      }
+    }
+  }
+}
+
+TEST_P(AllocationProperty, TotalQueueConservedAcrossDisciplines) {
+  // Work conservation: every discipline distributes the same total.
+  numerics::Rng rng(113);
+  const ProportionalAllocation reference;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rates = random_interior_point(rng, 5);
+    const auto queues = GetParam().alloc->congestion(rates);
+    const auto reference_queues = reference.congestion(rates);
+    double total = 0.0, reference_total = 0.0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      total += queues[i];
+      reference_total += reference_queues[i];
+    }
+    EXPECT_NEAR(total, reference_total, 1e-8) << GetParam().label;
+  }
+}
+
+TEST_P(AllocationProperty, SubsystemInducedAllocationConsistent) {
+  // Freezing user 2's rate and evaluating the subsystem must reproduce the
+  // full system's values on the free coordinates.
+  numerics::Rng rng(127);
+  const auto rates = random_interior_point(rng, 4);
+  SubsystemAllocation subsystem(GetParam().alloc, rates, {0, 1, 3});
+  const auto reduced = subsystem.congestion({rates[0], rates[1], rates[3]});
+  const auto full = GetParam().alloc->congestion(rates);
+  EXPECT_NEAR(reduced[0], full[0], 1e-12);
+  EXPECT_NEAR(reduced[1], full[1], 1e-12);
+  EXPECT_NEAR(reduced[2], full[3], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDisciplines, AllocationProperty,
+    ::testing::Values(
+        AllocationCase{"Proportional",
+                       std::make_shared<ProportionalAllocation>(), true},
+        AllocationCase{"FairShare", std::make_shared<FairShareAllocation>(),
+                       true},
+        AllocationCase{"SmallestRateFirst",
+                       std::make_shared<SmallestRateFirstAllocation>(), true},
+        AllocationCase{"FixedPriority",
+                       std::make_shared<FixedPriorityAllocation>(), false},
+        AllocationCase{"Mixture25", std::make_shared<MixtureAllocation>(0.25),
+                       true},
+        AllocationCase{"Mixture75", std::make_shared<MixtureAllocation>(0.75),
+                       true}),
+    [](const ::testing::TestParamInfo<AllocationCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Mixture, EndpointsReproduceParents) {
+  const MixtureAllocation zero(0.0), one(1.0);
+  const FairShareAllocation fs;
+  const ProportionalAllocation prop;
+  const std::vector<double> rates{0.1, 0.3, 0.2};
+  const auto c0 = zero.congestion(rates);
+  const auto c1 = one.congestion(rates);
+  const auto cf = fs.congestion(rates);
+  const auto cp = prop.congestion(rates);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(c0[i], cf[i], 1e-12);
+    EXPECT_NEAR(c1[i], cp[i], 1e-12);
+  }
+}
+
+TEST(Mixture, ThetaOutOfRangeThrows) {
+  EXPECT_THROW(MixtureAllocation(-0.1), std::invalid_argument);
+  EXPECT_THROW(MixtureAllocation(1.1), std::invalid_argument);
+}
+
+TEST(SmallestRateFirst, FavorsSmallUsersBeyondFairShare) {
+  const SmallestRateFirstAllocation srf;
+  const FairShareAllocation fs;
+  const std::vector<double> rates{0.1, 0.4};
+  const auto c_srf = srf.congestion(rates);
+  const auto c_fs = fs.congestion(rates);
+  EXPECT_LT(c_srf[0], c_fs[0]);  // small user even better off
+  EXPECT_GT(c_srf[1], c_fs[1]);  // big user worse off
+}
+
+TEST(FixedPriority, TopUserSeesPrivateQueue) {
+  const FixedPriorityAllocation alloc;
+  const auto congestion = alloc.congestion({0.3, 0.5});
+  EXPECT_NEAR(congestion[0], queueing::g(0.3), 1e-12);
+}
+
+}  // namespace
+}  // namespace gw::core

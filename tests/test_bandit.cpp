@@ -1,0 +1,107 @@
+#include "learn/bandit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "learn/driver.hpp"
+#include "learn/hill_climber.hpp"
+
+namespace gw::learn {
+namespace {
+
+TEST(SoftmaxBandit, FindsBestArmOnStaticBandit) {
+  BanditOptions options;
+  options.candidates = 21;
+  options.r_min = 0.0;
+  options.r_max = 1.0;
+  SoftmaxBandit bandit(0.5, options);
+  auto payoff = [](double r) { return -(r - 0.7) * (r - 0.7); };
+  double rate = bandit.current_rate();
+  for (int round = 0; round < 5000; ++round) {
+    LearnerContext context;
+    context.observed_utility = payoff(rate);
+    rate = bandit.next_rate(context);
+  }
+  EXPECT_NEAR(bandit.greedy_rate(), 0.7, 0.06);
+}
+
+TEST(SoftmaxBandit, TemperatureCoolsAndFloors) {
+  BanditOptions options;
+  options.initial_temperature = 1.0;
+  options.cooling = 0.5;
+  options.min_temperature = 0.01;
+  SoftmaxBandit bandit(0.3, options);
+  LearnerContext context;
+  context.observed_utility = 0.0;
+  for (int round = 0; round < 50; ++round) (void)bandit.next_rate(context);
+  EXPECT_NEAR(bandit.temperature(), 0.01, 1e-12);
+}
+
+TEST(SoftmaxBandit, ExploresEveryArmFirst) {
+  BanditOptions options;
+  options.candidates = 5;
+  SoftmaxBandit bandit(0.0, options);
+  std::set<double> seen;
+  LearnerContext context;
+  context.observed_utility = 1.0;
+  seen.insert(bandit.current_rate());
+  for (int round = 0; round < 4; ++round) {
+    seen.insert(bandit.next_rate(context));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(SoftmaxBandit, ResetRestoresState) {
+  SoftmaxBandit bandit(0.3);
+  LearnerContext context;
+  context.observed_utility = 1.0;
+  (void)bandit.next_rate(context);
+  bandit.reset(0.5);
+  EXPECT_NEAR(bandit.current_rate(), 0.5, 0.05);
+}
+
+TEST(SoftmaxBandit, RejectsBadOptions) {
+  BanditOptions options;
+  options.candidates = 1;
+  EXPECT_THROW(SoftmaxBandit(0.1, options), std::invalid_argument);
+}
+
+TEST(SoftmaxBandit, PopulationOnFairShareApproachesNash) {
+  // Three bandits in the FS game: greedy choices concentrate near the
+  // unique Nash rate (another 'reasonable' algorithm per Theorem 5).
+  const auto alloc = std::make_shared<core::FairShareAllocation>();
+  const auto profile =
+      core::uniform_profile(core::make_linear(1.0, 0.25), 3);
+  GameDriver driver(alloc, profile);
+  std::vector<std::unique_ptr<Learner>> learners;
+  std::vector<SoftmaxBandit*> bandits;
+  for (int i = 0; i < 3; ++i) {
+    BanditOptions options;
+    options.candidates = 31;
+    options.r_max = 0.6;
+    options.cooling = 0.9997;
+    options.ewma = 0.1;
+    options.seed = 100 + i;
+    auto bandit = std::make_unique<SoftmaxBandit>(0.1 + 0.1 * i, options);
+    bandits.push_back(bandit.get());
+    learners.push_back(std::move(bandit));
+  }
+  DriverOptions options;
+  // Bandits keep exploring, so their payoff estimates mix opponents'
+  // exploration noise; they need a long cooled tail during which near-
+  // greedy play approximates mutual best response before the estimates
+  // line up with the Nash point.
+  options.max_rounds = 40000;
+  (void)driver.run(learners, options);
+  const auto expected = core::fs_linear_symmetric_nash(0.25, 3);
+  for (const auto* bandit : bandits) {
+    EXPECT_NEAR(bandit->greedy_rate(), expected.rate, 0.06);
+  }
+}
+
+}  // namespace
+}  // namespace gw::learn

@@ -1,0 +1,70 @@
+#include "core/closed_forms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gw::core {
+namespace {
+
+TEST(FifoClosedForm, SatisfiesItsQuadratic) {
+  for (const double gamma : {0.1, 0.25, 0.5}) {
+    for (const std::size_t n : {2u, 5u, 10u}) {
+      const auto point = fifo_linear_symmetric_nash(gamma, n);
+      const double nd = static_cast<double>(n);
+      const double u = point.idle;
+      EXPECT_NEAR(nd * u * u - gamma * (nd - 1.0) * u - gamma, 0.0, 1e-10);
+      EXPECT_NEAR(point.rate, (1.0 - u) / nd, 1e-12);
+    }
+  }
+}
+
+TEST(FsClosedForm, IdleEqualsSqrtGamma) {
+  const auto point = fs_linear_symmetric_nash(0.25, 4);
+  EXPECT_NEAR(point.idle, 0.5, 1e-12);
+  EXPECT_NEAR(point.rate, 0.125, 1e-12);
+  EXPECT_NEAR(point.utility, 0.125 - 0.25 * 0.25, 1e-12);
+}
+
+TEST(ClosedForms, CornerAtLargeGamma) {
+  // gamma >= 1: staying silent is optimal in both disciplines.
+  EXPECT_NEAR(fs_linear_symmetric_nash(1.5, 3).rate, 0.0, 1e-12);
+  EXPECT_NEAR(fifo_linear_symmetric_nash(4.0, 2).rate, 0.0, 1e-12);
+}
+
+TEST(ClosedForms, FifoOverconsumes) {
+  // The FIFO Nash always has higher total load (less idle) than Pareto.
+  for (const std::size_t n : {2u, 4u, 8u}) {
+    const auto fifo = fifo_linear_symmetric_nash(0.25, n);
+    const auto pareto = fs_linear_symmetric_nash(0.25, n);
+    EXPECT_LT(fifo.idle, pareto.idle) << "n=" << n;
+    EXPECT_LT(fifo.utility, pareto.utility) << "n=" << n;
+  }
+}
+
+TEST(EfficiencyRatio, DecreasesWithPopulation) {
+  double previous = 1.1;
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    const double ratio = fifo_efficiency_ratio(0.25, n);
+    EXPECT_LE(ratio, previous + 1e-12) << "n=" << n;
+    EXPECT_GT(ratio, 0.0);
+    previous = ratio;
+  }
+  // Single user: no externalities, FIFO is efficient.
+  EXPECT_NEAR(fifo_efficiency_ratio(0.25, 1), 1.0, 1e-9);
+}
+
+TEST(EfficiencyRatio, MatchesHandComputedExample) {
+  // N = 10, gamma = 0.25 (computed in DESIGN.md): ratio ~ 0.511.
+  const double ratio = fifo_efficiency_ratio(0.25, 10);
+  EXPECT_NEAR(ratio, 0.5115, 5e-3);
+}
+
+TEST(ClosedForms, InputValidation) {
+  EXPECT_THROW((void)fifo_linear_symmetric_nash(0.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)fs_linear_symmetric_nash(0.5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,105 @@
+// Footnote 14: resilience of Fair Share Nash equilibria against
+// coalitional manipulation, and FIFO's lack thereof.
+#include "core/coalition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+
+namespace gw::core {
+namespace {
+
+CoalitionOptions fast_options() {
+  CoalitionOptions options;
+  options.grid = 17;
+  options.refine_evaluations = 2000;
+  return options;
+}
+
+TEST(Coalition, FsNashResistsPairDeviations) {
+  const FairShareAllocation alloc;
+  const UtilityProfile profile{make_linear(1.0, 0.2), make_linear(1.0, 0.35),
+                               make_linear(1.0, 0.5)};
+  const auto nash = solve_nash(alloc, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(nash.converged);
+  const std::vector<std::vector<std::size_t>> coalitions{{0, 1}, {0, 2},
+                                                         {1, 2}};
+  for (const auto& coalition : coalitions) {
+    const auto result = find_coalition_deviation(alloc, profile, nash.rates,
+                                                 coalition, fast_options());
+    EXPECT_FALSE(result.profitable)
+        << "coalition {" << coalition[0] << "," << coalition[1]
+        << "} gains " << result.best_min_gain;
+  }
+}
+
+TEST(Coalition, FsNashResistsGrandCoalition) {
+  const FairShareAllocation alloc;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 3);
+  const auto nash = solve_nash(alloc, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(nash.converged);
+  const auto result = find_coalition_deviation(alloc, profile, nash.rates,
+                                               {0, 1, 2}, fast_options());
+  EXPECT_FALSE(result.profitable) << "gain " << result.best_min_gain;
+}
+
+TEST(Coalition, FifoNashFallsToGrandCoalition) {
+  // At the FIFO Nash, everyone jointly backing off is a strict Pareto
+  // improvement for the coalition — the tragedy is self-inflicted.
+  const ProportionalAllocation alloc;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 3);
+  const auto nash = solve_nash(alloc, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(nash.converged);
+  const auto result = find_coalition_deviation(alloc, profile, nash.rates,
+                                               {0, 1, 2}, fast_options());
+  EXPECT_TRUE(result.profitable);
+  // The deviation is a joint retreat: lower rates for every member.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(result.deviation_rates[i], nash.rates[i]);
+  }
+}
+
+TEST(Coalition, FifoNashFallsToPairCoalitionsToo) {
+  const ProportionalAllocation alloc;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  const auto nash = solve_nash(alloc, profile, {0.1, 0.1});
+  ASSERT_TRUE(nash.converged);
+  const auto result = find_coalition_deviation(alloc, profile, nash.rates,
+                                               {0, 1}, fast_options());
+  EXPECT_TRUE(result.profitable);
+}
+
+TEST(Coalition, SingletonCoalitionAtNashGainsNothing) {
+  // A one-member "coalition" is just a unilateral deviation: zero gain at
+  // any Nash point, for either discipline.
+  const FairShareAllocation fs;
+  const ProportionalAllocation fifo;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  for (const AllocationFunction* alloc :
+       {static_cast<const AllocationFunction*>(&fs),
+        static_cast<const AllocationFunction*>(&fifo)}) {
+    const auto nash = solve_nash(*alloc, profile, {0.1, 0.1});
+    ASSERT_TRUE(nash.converged);
+    const auto result = find_coalition_deviation(*alloc, profile, nash.rates,
+                                                 {0}, fast_options());
+    EXPECT_FALSE(result.profitable) << alloc->name();
+  }
+}
+
+TEST(Coalition, InputValidation) {
+  const FairShareAllocation alloc;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  EXPECT_THROW((void)find_coalition_deviation(alloc, profile, {0.1, 0.1}, {},
+                                              fast_options()),
+               std::invalid_argument);
+  EXPECT_THROW((void)find_coalition_deviation(alloc, profile, {0.1, 0.1},
+                                              {5}, fast_options()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

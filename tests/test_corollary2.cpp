@@ -1,0 +1,71 @@
+// Corollary 2: with the separable quadratic constraint, Nash equilibria
+// ARE Pareto optimal — the impossibility of Theorem 1 is a property of
+// the M/M/1 constraint's shape, not of selfishness itself.
+#include "core/corollary2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nash.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(Corollary2, AllocationIsSeparable) {
+  const QuadraticSeparableAllocation alloc;
+  const auto c = alloc.congestion({0.3, 0.5});
+  EXPECT_NEAR(c[0], 0.09, 1e-12);
+  EXPECT_NEAR(c[1], 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(alloc.partial(0, 1, {0.3, 0.5}), 0.0);
+  EXPECT_NEAR(alloc.partial(1, 1, {0.3, 0.5}), 1.0, 1e-12);
+}
+
+TEST(Corollary2, NashFdcEqualsParetoFdc) {
+  // dC_i/dr_i = 2 r_i = df/dr_i: the two first-derivative conditions are
+  // literally the same equation.
+  const QuadraticSeparableAllocation alloc;
+  const UtilityProfile profile{make_linear(1.0, 0.8), make_linear(1.0, 1.6)};
+  const std::vector<double> rates{0.37, 0.19};
+  const auto queues = alloc.congestion(rates);
+  const auto nash = fdc_residuals(alloc, profile, rates);
+  const auto pareto = quadratic_pareto_residuals(profile, rates, queues);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_NEAR(nash[i], pareto[i], 1e-9);
+  }
+}
+
+TEST(Corollary2, NashEquilibriumIsParetoOptimal) {
+  // Solve the Nash point, then verify the Pareto FDC holds there; with
+  // linear utilities U = r - gamma c the closed form is r* = 1/(2 gamma).
+  const QuadraticSeparableAllocation alloc;
+  const UtilityProfile profile{make_linear(1.0, 0.8), make_linear(1.0, 1.25)};
+  BestResponseOptions best_response_options;
+  NashOptions options;
+  options.best_response = best_response_options;
+  const auto nash = solve_nash(alloc, profile, {0.2, 0.2}, options);
+  ASSERT_TRUE(nash.converged);
+  EXPECT_NEAR(nash.rates[0], 1.0 / (2.0 * 0.8), 1e-4);
+  EXPECT_NEAR(nash.rates[1], 1.0 / (2.0 * 1.25), 1e-4);
+  const auto queues = alloc.congestion(nash.rates);
+  for (const double residual :
+       quadratic_pareto_residuals(profile, nash.rates, queues)) {
+    EXPECT_LT(std::abs(residual), 1e-3);
+  }
+}
+
+TEST(Corollary2, EquilibriumIndependentOfOtherUsers) {
+  // Full separability: each user's Nash rate ignores everyone else.
+  const QuadraticSeparableAllocation alloc;
+  const auto solo = solve_nash(alloc, {make_linear(1.0, 0.8)}, {0.1});
+  const auto crowd = solve_nash(
+      alloc, {make_linear(1.0, 0.8), make_linear(1.0, 2.0),
+              make_linear(1.0, 5.0)},
+      {0.1, 0.1, 0.1});
+  ASSERT_TRUE(solo.converged);
+  ASSERT_TRUE(crowd.converged);
+  EXPECT_NEAR(solo.rates[0], crowd.rates[0], 1e-6);
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,79 @@
+#include "numerics/differentiate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gw::numerics {
+namespace {
+
+TEST(Derivative, Polynomial) {
+  auto f = [](double x) { return 3.0 * x * x * x - 2.0 * x + 1.0; };
+  EXPECT_NEAR(derivative(f, 2.0), 9.0 * 4.0 - 2.0, 1e-8);
+}
+
+TEST(Derivative, Exponential) {
+  EXPECT_NEAR(derivative([](double x) { return std::exp(x); }, 1.0),
+              std::exp(1.0), 1e-8);
+}
+
+TEST(Derivative, SteepRational) {
+  // d/dx [x / (1 - x)] = 1 / (1 - x)^2, near the pole.
+  auto f = [](double x) { return x / (1.0 - x); };
+  const double x = 0.9;
+  const double expected = 1.0 / (0.1 * 0.1);
+  DiffOptions options;
+  options.step = 1e-6;
+  EXPECT_NEAR(derivative(f, x, options) / expected, 1.0, 1e-5);
+}
+
+TEST(OneSidedDerivative, MatchesDirectionAtKink) {
+  auto f = [](double x) { return std::abs(x); };
+  EXPECT_NEAR(one_sided_derivative(f, 0.0, +1), 1.0, 1e-6);
+  EXPECT_NEAR(one_sided_derivative(f, 0.0, -1), -1.0, 1e-6);
+}
+
+TEST(SecondDerivative, Quadratic) {
+  EXPECT_NEAR(second_derivative([](double x) { return 4.0 * x * x; }, 3.0),
+              8.0, 1e-5);
+}
+
+TEST(SecondDerivative, Cosine) {
+  EXPECT_NEAR(
+      second_derivative([](double x) { return std::cos(x); }, 0.5),
+      -std::cos(0.5), 1e-5);
+}
+
+TEST(Partial, MultivariatePolynomial) {
+  auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] * x[1] + 5.0 * x[1];
+  };
+  EXPECT_NEAR(partial(f, {2.0, 3.0}, 0), 12.0, 1e-7);
+  EXPECT_NEAR(partial(f, {2.0, 3.0}, 1), 9.0, 1e-7);
+}
+
+TEST(MixedPartial, SymmetricCrossTerm) {
+  auto f = [](const std::vector<double>& x) {
+    return std::sin(x[0]) * std::cos(x[1]);
+  };
+  const double expected = -std::cos(1.0) * std::sin(0.5);
+  EXPECT_NEAR(mixed_partial(f, {1.0, 0.5}, 0, 1), expected, 1e-5);
+  EXPECT_NEAR(mixed_partial(f, {1.0, 0.5}, 1, 0), expected, 1e-5);
+}
+
+TEST(MixedPartial, DiagonalIsSecondDerivative) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0] * x[0]; };
+  EXPECT_NEAR(mixed_partial(f, {2.0}, 0, 0), 12.0, 1e-4);
+}
+
+TEST(Gradient, MatchesAnalytic) {
+  auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] + 2.0 * x[1] * x[1] + x[0] * x[1];
+  };
+  const auto grad = gradient(f, {1.0, -1.0});
+  EXPECT_NEAR(grad[0], 2.0 - 1.0, 1e-7);
+  EXPECT_NEAR(grad[1], -4.0 + 1.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace gw::numerics

@@ -1,0 +1,152 @@
+#include "numerics/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/polynomial.hpp"
+
+namespace gw::numerics {
+namespace {
+
+std::vector<double> sorted_real_parts(const Matrix& a) {
+  auto eig = eigenvalues(a);
+  std::vector<double> real;
+  real.reserve(eig.size());
+  for (const auto& lambda : eig) real.push_back(lambda.real());
+  std::sort(real.begin(), real.end());
+  return real;
+}
+
+TEST(CharPoly, DiagonalMatrix) {
+  const Matrix a(2, 2, {2.0, 0.0, 0.0, 3.0});
+  // (x-2)(x-3) = 6 - 5x + x^2
+  const auto coefficients = characteristic_polynomial(a);
+  ASSERT_EQ(coefficients.size(), 3u);
+  EXPECT_NEAR(coefficients[0], 6.0, 1e-12);
+  EXPECT_NEAR(coefficients[1], -5.0, 1e-12);
+  EXPECT_NEAR(coefficients[2], 1.0, 1e-12);
+}
+
+TEST(CharPoly, TraceAndDeterminantRecovered) {
+  const Matrix a(3, 3, {1.0, 2.0, 0.0, -1.0, 3.0, 1.0, 0.5, 0.0, 2.0});
+  const auto coefficients = characteristic_polynomial(a);
+  // x^3 - tr x^2 + ... +/- det; coefficient[0] = (-1)^3 det(A) * (-1)^3?
+  // det(xI - A) at x=0 is det(-A) = -det(A) for odd n.
+  EXPECT_NEAR(coefficients[2], -a.trace(), 1e-10);
+  EXPECT_NEAR(coefficients[0], -determinant(a), 1e-10);
+}
+
+TEST(Eigenvalues, SymmetricKnownSpectrum) {
+  const Matrix a(2, 2, {2.0, 1.0, 1.0, 2.0});  // eigenvalues 1, 3
+  const auto real = sorted_real_parts(a);
+  EXPECT_NEAR(real[0], 1.0, 1e-8);
+  EXPECT_NEAR(real[1], 3.0, 1e-8);
+}
+
+TEST(Eigenvalues, ComplexPair) {
+  const Matrix a(2, 2, {0.0, -1.0, 1.0, 0.0});  // +/- i
+  const auto eig = eigenvalues(a);
+  double max_imag = 0.0;
+  for (const auto& lambda : eig) {
+    EXPECT_NEAR(lambda.real(), 0.0, 1e-8);
+    max_imag = std::max(max_imag, std::abs(lambda.imag()));
+  }
+  EXPECT_NEAR(max_imag, 1.0, 1e-8);
+}
+
+TEST(Eigenvalues, TriangularReadsDiagonal) {
+  const Matrix a(3, 3, {5.0, 1.0, 2.0, 0.0, -2.0, 7.0, 0.0, 0.0, 1.5});
+  const auto real = sorted_real_parts(a);
+  EXPECT_NEAR(real[0], -2.0, 1e-7);
+  EXPECT_NEAR(real[1], 1.5, 1e-7);
+  EXPECT_NEAR(real[2], 5.0, 1e-7);
+}
+
+TEST(Eigenvalues, ZeroMatrix) {
+  const auto eig = eigenvalues(Matrix(3, 3));
+  for (const auto& lambda : eig) {
+    EXPECT_NEAR(std::abs(lambda), 0.0, 1e-12);
+  }
+}
+
+TEST(SpectralRadius, MatchesPowerIteration) {
+  const Matrix a(3, 3, {0.5, 0.2, 0.0, 0.1, 0.4, 0.3, 0.0, 0.2, 0.6});
+  const double radius = spectral_radius(a);
+  const double power = power_iteration_radius(a, 4000);
+  EXPECT_NEAR(radius, power, 1e-3);
+}
+
+TEST(SpectralRadius, RankOneProjector) {
+  // ones(3)/3 has eigenvalues {1, 0, 0}.
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = 1.0 / 3.0;
+  }
+  EXPECT_NEAR(spectral_radius(a), 1.0, 1e-8);
+}
+
+TEST(Nilpotency, StrictlyTriangularIsNilpotent) {
+  const Matrix a(4, 4, {0, 3, 1, 2,
+                        0, 0, 4, 5,
+                        0, 0, 0, 6,
+                        0, 0, 0, 0});
+  EXPECT_TRUE(is_nilpotent(a));
+  EXPECT_EQ(nilpotency_index(a), 4);
+}
+
+TEST(Nilpotency, IdentityIsNot) {
+  EXPECT_FALSE(is_nilpotent(Matrix::identity(3)));
+  EXPECT_EQ(nilpotency_index(Matrix::identity(3)), -1);
+}
+
+TEST(Nilpotency, ZeroMatrixIndexOne) {
+  // A^0 = I != 0; the zero matrix vanishes from the first power on.
+  EXPECT_TRUE(is_nilpotent(Matrix(3, 3)));
+  EXPECT_EQ(nilpotency_index(Matrix(3, 3)), 1);
+}
+
+TEST(Polynomial, EvaluationHorner) {
+  const Polynomial p({1.0, -3.0, 2.0});  // 1 - 3x + 2x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 3.0);
+}
+
+TEST(Polynomial, DerivativeCoefficients) {
+  const Polynomial p({1.0, 2.0, 3.0});  // 1 + 2x + 3x^2
+  const auto d = p.derivative();
+  EXPECT_DOUBLE_EQ(d(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1.0), 8.0);
+}
+
+TEST(FindRoots, QuadraticRealRoots) {
+  const Polynomial p({-6.0, 1.0, 1.0});  // (x+3)(x-2)
+  auto roots = find_roots(p);
+  std::vector<double> real{roots[0].real(), roots[1].real()};
+  std::sort(real.begin(), real.end());
+  EXPECT_NEAR(real[0], -3.0, 1e-9);
+  EXPECT_NEAR(real[1], 2.0, 1e-9);
+}
+
+TEST(FindRoots, WilkinsonLight) {
+  // (x-1)(x-2)...(x-6): moderately ill-conditioned, still fine.
+  std::vector<double> coefficients{1.0};
+  for (int root = 1; root <= 6; ++root) {
+    std::vector<double> next(coefficients.size() + 1, 0.0);
+    for (std::size_t i = 0; i < coefficients.size(); ++i) {
+      next[i] -= root * coefficients[i];
+      next[i + 1] += coefficients[i];
+    }
+    coefficients = next;
+  }
+  const auto roots = find_roots(Polynomial{coefficients});
+  std::vector<double> real;
+  for (const auto& r : roots) real.push_back(r.real());
+  std::sort(real.begin(), real.end());
+  for (int k = 0; k < 6; ++k) EXPECT_NEAR(real[k], k + 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace gw::numerics

@@ -1,0 +1,104 @@
+#include "core/envy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "core/proportional.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(EnvyMatrix, DiagonalIsZero) {
+  const UtilityProfile profile{make_linear(1.0, 0.2), make_linear(1.0, 0.5)};
+  const auto envy = envy_matrix(profile, {0.2, 0.3}, {0.5, 0.7});
+  EXPECT_DOUBLE_EQ(envy(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(envy(1, 1), 0.0);
+}
+
+TEST(EnvyMatrix, DetectsObviousEnvy) {
+  // Same utility; user 1 has strictly more throughput at equal congestion.
+  const auto u = make_linear(1.0, 0.2);
+  const auto envy = envy_matrix({u, u}, {0.1, 0.3}, {0.5, 0.5});
+  EXPECT_GT(envy(0, 1), 0.0);
+  EXPECT_LT(envy(1, 0), 0.0);
+}
+
+TEST(EnvyMatrix, SaturatedAllocationsNotEnvied) {
+  const auto u = make_linear(1.0, 0.2);
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto envy = envy_matrix({u, u}, {0.1, 0.9}, {0.2, inf});
+  EXPECT_LT(envy(0, 1), 0.0);  // -inf: certainly no envy
+  EXPECT_DOUBLE_EQ(envy(1, 1), 0.0);
+}
+
+TEST(MaxEnvy, ZeroForSymmetricAllocation) {
+  const auto u = make_linear(1.0, 0.3);
+  EXPECT_DOUBLE_EQ(max_envy({u, u}, {0.2, 0.2}, {0.4, 0.4}), 0.0);
+}
+
+TEST(Theorem3, FairShareUnilaterallyEnvyFree) {
+  // After best-responding, a user envies no one under FS — for random
+  // opponents' profiles, including floods (out of equilibrium!).
+  const FairShareAllocation alloc;
+  numerics::Rng rng(2027);
+  const auto u = make_linear(1.0, 0.3);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> rates(4);
+    for (auto& r : rates) r = rng.uniform(0.01, 0.8);
+    const UtilityProfile profile{u, u, u, u};
+    const auto result = unilateral_envy(alloc, profile, rates, 0);
+    EXPECT_LE(result.max_envy, 1e-6)
+        << "trial " << trial << " envies user " << result.envied;
+  }
+}
+
+TEST(Theorem3, FairShareEnvyFreeForHeterogeneousUtilities) {
+  const FairShareAllocation alloc;
+  numerics::Rng rng(31337);
+  for (int trial = 0; trial < 15; ++trial) {
+    const UtilityProfile profile{
+        make_linear(1.0, rng.uniform(0.1, 0.9)),
+        make_linear(1.0, rng.uniform(0.1, 0.9)),
+        make_linear(1.0, rng.uniform(0.1, 0.9)),
+    };
+    std::vector<double> rates(3);
+    for (auto& r : rates) r = rng.uniform(0.02, 0.5);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto result = unilateral_envy(alloc, profile, rates, i);
+      EXPECT_LE(result.max_envy, 1e-6) << "trial " << trial << " user " << i;
+    }
+  }
+}
+
+TEST(Fifo, UnilateralEnvyExists) {
+  // Under the proportional allocation, a best-responding light user envies
+  // any heavier user (equal congestion-per-rate, utility increasing in r
+  // at the interior optimum).
+  const ProportionalAllocation alloc;
+  const auto u = make_linear(1.0, 0.25);
+  // Opponent fixed at a high-but-stable rate.
+  const UtilityProfile profile{u, u};
+  const auto result = unilateral_envy(alloc, profile, {0.1, 0.55}, 0);
+  EXPECT_GT(result.max_envy, 0.0);
+  EXPECT_EQ(result.envied, 1u);
+}
+
+TEST(UnilateralEnvy, ReportsBestResponseRate) {
+  const FairShareAllocation alloc;
+  const auto u = make_linear(1.0, 0.25);
+  const auto result = unilateral_envy(alloc, {u, u}, {0.1, 0.2}, 0);
+  EXPECT_GT(result.best_response_rate, 0.0);
+  EXPECT_LT(result.best_response_rate, 1.0);
+}
+
+TEST(EnvyMatrix, SizeMismatchThrows) {
+  const auto u = make_linear(1.0, 0.2);
+  EXPECT_THROW((void)envy_matrix({u, u}, {0.1}, {0.1, 0.2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

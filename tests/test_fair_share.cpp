@@ -1,0 +1,238 @@
+#include "core/fair_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/differentiate.hpp"
+#include "numerics/rng.hpp"
+#include "queueing/feasibility.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/priority.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(FairShare, PaperRecursionSmallestUser) {
+  // C_1 = g(N r_1) / N.
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.05, 0.1, 0.2, 0.3};
+  const auto congestion = alloc.congestion(rates);
+  EXPECT_NEAR(congestion[0], queueing::g(4 * 0.05) / 4.0, 1e-12);
+}
+
+TEST(FairShare, PaperRecursionSecondUser) {
+  // C_2 = C_1 + [g((n-1) r_2 + r_1) - g(n r_1)] / (n-1).
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.05, 0.1, 0.2, 0.3};
+  const auto congestion = alloc.congestion(rates);
+  const double expected =
+      congestion[0] +
+      (queueing::g(3 * 0.1 + 0.05) - queueing::g(4 * 0.05)) / 3.0;
+  EXPECT_NEAR(congestion[1], expected, 1e-12);
+}
+
+TEST(FairShare, SatisfiesAggregateConstraint) {
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.12, 0.31, 0.22, 0.05, 0.1};
+  const auto feasibility =
+      queueing::check_feasibility(rates, alloc.congestion(rates));
+  EXPECT_TRUE(feasibility.feasible());
+  EXPECT_TRUE(feasibility.interior());
+}
+
+TEST(FairShare, SymmetricUnderPermutation) {
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.1, 0.3, 0.2};
+  const std::vector<double> permuted{0.2, 0.1, 0.3};
+  const auto c = alloc.congestion(rates);
+  const auto cp = alloc.congestion(permuted);
+  EXPECT_NEAR(cp[0], c[2], 1e-12);
+  EXPECT_NEAR(cp[1], c[0], 1e-12);
+  EXPECT_NEAR(cp[2], c[1], 1e-12);
+}
+
+TEST(FairShare, EqualRatesShareEqually) {
+  const FairShareAllocation alloc;
+  const auto congestion = alloc.congestion({0.2, 0.2, 0.2});
+  const double each = queueing::g(0.6) / 3.0;
+  for (const double c : congestion) EXPECT_NEAR(c, each, 1e-12);
+}
+
+TEST(FairShare, MatchesPriorityDecompositionAnalytically) {
+  // C^FS from the formula == per-user sum over priority slices of the
+  // preemptive-priority per-class queues (Table 1 realization).
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.05, 0.1, 0.15, 0.2};
+  const auto congestion = alloc.congestion(rates);
+  const auto decomposition = fair_share_decomposition(rates);
+  const auto per_level =
+      queueing::preemptive_priority_mm1(decomposition.level_rate);
+  for (std::size_t u = 0; u < rates.size(); ++u) {
+    double expected = 0.0;
+    for (std::size_t l = 0; l < rates.size(); ++l) {
+      if (decomposition.level_rate[l] <= 0.0) continue;
+      expected += per_level[l].mean_in_system *
+                  (decomposition.slice_rate[u][l] /
+                   decomposition.level_rate[l]);
+    }
+    EXPECT_NEAR(congestion[u], expected, 1e-10) << "user " << u;
+  }
+}
+
+TEST(FairShare, PartialInsularityAgainstFlooding) {
+  // A light user's congestion is untouched by a flooding heavy user.
+  const FairShareAllocation alloc;
+  const auto calm = alloc.congestion({0.1, 0.3});
+  const auto stormy = alloc.congestion({0.1, 5.0});
+  // C_1 = g(2 r_1)/2 depends only on r_1 once r_2 >= r_1.
+  EXPECT_NEAR(calm[0], queueing::g(0.2) / 2.0, 1e-12);
+  EXPECT_NEAR(stormy[0], calm[0], 1e-12);
+  const auto medium = alloc.congestion({0.1, 0.5});
+  EXPECT_NEAR(stormy[0], medium[0], 1e-12);
+  EXPECT_TRUE(std::isinf(stormy[1]));  // the flooder saturates alone
+}
+
+TEST(FairShare, SaturationIsSerial) {
+  // S_1 = 3 * 0.2 = 0.6 < 1 finite; S_2 = 0.2 + 2*0.5 = 1.2 >= 1 infinite.
+  const FairShareAllocation alloc;
+  const auto congestion = alloc.congestion({0.2, 0.5, 0.6});
+  EXPECT_TRUE(std::isfinite(congestion[0]));
+  EXPECT_TRUE(std::isinf(congestion[1]));
+  EXPECT_TRUE(std::isinf(congestion[2]));
+}
+
+TEST(FairShare, OwnPartialIsSerialSlope) {
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.1, 0.2, 0.3};
+  // Rank of user 0 is 0: S_1 = 3 * 0.1.
+  EXPECT_NEAR(alloc.partial(0, 0, rates), queueing::g_prime(0.3), 1e-12);
+  // Rank of user 2 is 2: S_3 = 0.1 + 0.2 + 0.3.
+  EXPECT_NEAR(alloc.partial(2, 2, rates), queueing::g_prime(0.6), 1e-12);
+}
+
+TEST(FairShare, JacobianLowerTriangularInSortedOrder) {
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.25, 0.1, 0.18};
+  // r_1 = 0.1 smallest, r_2 = 0.18, r_0 = 0.25 largest.
+  EXPECT_DOUBLE_EQ(alloc.partial(1, 2, rates), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.partial(1, 0, rates), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.partial(2, 0, rates), 0.0);
+  EXPECT_GT(alloc.partial(0, 1, rates), 0.0);
+  EXPECT_GT(alloc.partial(0, 2, rates), 0.0);
+  EXPECT_GT(alloc.partial(2, 1, rates), 0.0);
+}
+
+TEST(FairShare, AnalyticPartialsMatchNumeric) {
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.08, 0.2, 0.14, 0.3};
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      const double numeric = numerics::partial(
+          [&](const std::vector<double>& r) {
+            return alloc.congestion(r)[i];
+          },
+          rates, j);
+      EXPECT_NEAR(alloc.partial(i, j, rates), numeric, 2e-5)
+          << "partial(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(FairShare, AnalyticSecondPartialsMatchNumeric) {
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.1, 0.22, 0.35};
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      const double numeric = numerics::mixed_partial(
+          [&](const std::vector<double>& r) {
+            return alloc.congestion(r)[i];
+          },
+          rates, i, j);
+      EXPECT_NEAR(alloc.second_partial(i, j, rates), numeric, 5e-3)
+          << "second_partial(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(FairShare, CrossDerivativeZeroAtTies) {
+  // The Lemma 1 signature: dC_i/dr_j = 0 whenever r_j = r_i, i != j.
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.2, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(alloc.partial(0, 1, rates), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.partial(1, 0, rates), 0.0);
+}
+
+TEST(FairShare, ContinuousAcrossTies) {
+  // C^1 at ties: congestion and derivative continuous as r_j crosses r_i.
+  const FairShareAllocation alloc;
+  const double base = 0.2;
+  const auto at = [&](double r1) {
+    return alloc.congestion({base, r1, 0.1})[0];
+  };
+  const double below = at(base - 1e-8);
+  const double above = at(base + 1e-8);
+  EXPECT_NEAR(below, above, 1e-6);
+}
+
+TEST(FairShare, SecondDerivativePositive) {
+  const FairShareAllocation alloc;
+  const std::vector<double> rates{0.1, 0.2, 0.3};
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_GT(alloc.second_partial(i, i, rates), 0.0);
+  }
+}
+
+TEST(FairShareDecomposition, MatchesTable1Structure) {
+  // The paper's Table 1 with 4 users.
+  const std::vector<double> rates{0.05, 0.1, 0.15, 0.2};
+  const auto d = fair_share_decomposition(rates);
+  // Level widths: r1, r2-r1, r3-r2, r4-r3.
+  EXPECT_NEAR(d.level_width[0], 0.05, 1e-12);
+  EXPECT_NEAR(d.level_width[1], 0.05, 1e-12);
+  EXPECT_NEAR(d.level_width[2], 0.05, 1e-12);
+  EXPECT_NEAR(d.level_width[3], 0.05, 1e-12);
+  // User 0 (smallest) only in level 0; user 3 in all levels.
+  EXPECT_NEAR(d.slice_rate[0][0], 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(d.slice_rate[0][1], 0.0);
+  for (int l = 0; l < 4; ++l) EXPECT_NEAR(d.slice_rate[3][l], 0.05, 1e-12);
+  // Per-user slice rates sum to the user's rate.
+  for (std::size_t u = 0; u < 4; ++u) {
+    double sum = 0.0;
+    for (std::size_t l = 0; l < 4; ++l) sum += d.slice_rate[u][l];
+    EXPECT_NEAR(sum, rates[u], 1e-12);
+  }
+  // Serial loads are the S_k.
+  EXPECT_NEAR(d.serial_load[0], 4 * 0.05, 1e-12);
+  EXPECT_NEAR(d.serial_load[3], 0.05 + 0.1 + 0.15 + 0.2, 1e-12);
+}
+
+TEST(FairShareDecomposition, LevelRatesSumToTotal) {
+  numerics::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> rates(5);
+    double total = 0.0;
+    for (auto& r : rates) {
+      r = rng.uniform(0.01, 0.2);
+      total += r;
+    }
+    const auto d = fair_share_decomposition(rates);
+    double level_total = 0.0;
+    for (const double lr : d.level_rate) level_total += lr;
+    EXPECT_NEAR(level_total, total, 1e-12);
+  }
+}
+
+TEST(FairShare, MonotoneInOwnRate) {
+  const FairShareAllocation alloc;
+  double prev = 0.0;
+  for (double r = 0.05; r < 0.3; r += 0.05) {
+    const auto c = alloc.congestion({r, 0.3, 0.2});
+    EXPECT_GT(c[0], prev);
+    prev = c[0];
+  }
+}
+
+}  // namespace
+}  // namespace gw::core

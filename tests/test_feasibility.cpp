@@ -1,0 +1,81 @@
+#include "queueing/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mm1.hpp"
+
+namespace gw::queueing {
+namespace {
+
+TEST(ConstraintResidual, ZeroOnMm1Surface) {
+  // Proportional allocation lies exactly on the constraint.
+  const std::vector<double> rates{0.2, 0.3};
+  const double inv = 1.0 / (1.0 - 0.5);
+  const std::vector<double> queues{0.2 * inv, 0.3 * inv};
+  EXPECT_NEAR(constraint_residual(rates, queues), 0.0, 1e-12);
+}
+
+TEST(ConstraintResidual, SignConventions) {
+  EXPECT_GT(constraint_residual({0.5}, {2.0}), 0.0);  // too much queue
+  EXPECT_LT(constraint_residual({0.5}, {0.5}), 0.0);  // too little
+}
+
+TEST(CheckFeasibility, ProportionalIsFeasibleInterior) {
+  const std::vector<double> rates{0.1, 0.2, 0.3};
+  const double inv = 1.0 / (1.0 - 0.6);
+  std::vector<double> queues;
+  for (const double r : rates) queues.push_back(r * inv);
+  const auto feasibility = check_feasibility(rates, queues);
+  EXPECT_TRUE(feasibility.feasible());
+  EXPECT_TRUE(feasibility.interior());
+}
+
+TEST(CheckFeasibility, SubsetViolationDetected) {
+  // Give one user less queue than a solo M/M/1 would allow: infeasible.
+  const std::vector<double> rates{0.4, 0.4};
+  const double total = g(0.8);
+  // User 0 gets far less than g(0.4) = 0.666...
+  const std::vector<double> queues{0.1, total - 0.1};
+  const auto feasibility = check_feasibility(rates, queues);
+  EXPECT_TRUE(feasibility.on_constraint);
+  EXPECT_FALSE(feasibility.subsets_ok);
+  EXPECT_FALSE(feasibility.feasible());
+}
+
+TEST(CheckFeasibility, BoundaryOfSubsetConstraint) {
+  // Preemptive priority saturates the prefix constraint for the top class.
+  const std::vector<double> rates{0.3, 0.4};
+  const std::vector<double> queues{g(0.3), g(0.7) - g(0.3)};
+  const auto feasibility = check_feasibility(rates, queues);
+  EXPECT_TRUE(feasibility.feasible());
+  EXPECT_FALSE(feasibility.interior(1e-9));
+  EXPECT_NEAR(feasibility.worst_prefix_slack, 0.0, 1e-12);
+}
+
+TEST(CheckFeasibility, OffConstraintRejected) {
+  const auto feasibility = check_feasibility({0.5}, {2.0});
+  EXPECT_FALSE(feasibility.on_constraint);
+}
+
+TEST(CheckFeasibility, SizeMismatchThrows) {
+  EXPECT_THROW((void)check_feasibility({0.1}, {0.1, 0.2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)check_feasibility({-0.1}, {0.1}), std::invalid_argument);
+}
+
+TEST(CheckFeasibility, SingleUserOnlyAggregate) {
+  const auto feasibility = check_feasibility({0.5}, {1.0});
+  EXPECT_TRUE(feasibility.feasible());
+}
+
+TEST(InNaturalDomain, BoundaryCases) {
+  EXPECT_TRUE(in_natural_domain({0.2, 0.3}));
+  EXPECT_FALSE(in_natural_domain({0.5, 0.5}));   // sums to 1
+  EXPECT_FALSE(in_natural_domain({0.0, 0.3}));   // zero component
+  EXPECT_FALSE(in_natural_domain({0.7, 0.6}));   // over capacity
+}
+
+}  // namespace
+}  // namespace gw::queueing

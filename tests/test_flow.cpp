@@ -1,0 +1,141 @@
+// Continuous-time gradient play: the ODE integrator and the stability
+// contrast with the discrete synchronous-Newton dynamics (Theorem 7).
+#include "core/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "numerics/ode.hpp"
+
+namespace gw {
+namespace {
+
+using core::make_linear;
+using core::uniform_profile;
+
+TEST(Rk4, ExponentialDecayExact) {
+  const auto result = numerics::rk4_integrate(
+      [](double, const std::vector<double>& y) {
+        return std::vector<double>{-y[0]};
+      },
+      {1.0}, 0.0, 2.0);
+  EXPECT_NEAR(result.final_state()[0], std::exp(-2.0), 1e-8);
+}
+
+TEST(Rk4, HarmonicOscillatorEnergyConserved) {
+  const auto result = numerics::rk4_integrate(
+      [](double, const std::vector<double>& y) {
+        return std::vector<double>{y[1], -y[0]};
+      },
+      {1.0, 0.0}, 0.0, 10.0);
+  const auto& y = result.final_state();
+  EXPECT_NEAR(y[0] * y[0] + y[1] * y[1], 1.0, 1e-6);
+  EXPECT_NEAR(y[0], std::cos(10.0), 1e-5);
+}
+
+TEST(Rk4, EquilibriumStopFires) {
+  numerics::OdeOptions options;
+  options.field_tolerance = 1e-6;
+  const auto result = numerics::rk4_integrate(
+      [](double, const std::vector<double>& y) {
+        return std::vector<double>{-5.0 * y[0]};
+      },
+      {1.0}, 0.0, 100.0, options);
+  EXPECT_TRUE(result.reached_equilibrium);
+  EXPECT_LT(result.times.back(), 10.0);
+}
+
+TEST(Rk4, ProjectionHookApplied) {
+  const auto result = numerics::rk4_integrate(
+      [](double, const std::vector<double>&) {
+        return std::vector<double>{1.0};  // constant upward drift
+      },
+      {0.0}, 0.0, 5.0, {},
+      [](std::vector<double>& y) { y[0] = std::min(y[0], 1.0); });
+  EXPECT_NEAR(result.final_state()[0], 1.0, 1e-12);
+}
+
+TEST(Rk4, BadArgumentsThrow) {
+  const auto field = [](double, const std::vector<double>& y) { return y; };
+  EXPECT_THROW((void)numerics::rk4_integrate(field, {1.0}, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(GradientFlow, FsConvergesToNash) {
+  const core::FairShareAllocation alloc;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 3);
+  const auto flow = core::gradient_flow(alloc, profile, {0.05, 0.2, 0.4});
+  const auto expected = core::fs_linear_symmetric_nash(0.25, 3);
+  EXPECT_TRUE(flow.converged);
+  for (const double r : flow.final_rates) {
+    EXPECT_NEAR(r, expected.rate, 1e-4);
+  }
+}
+
+TEST(GradientFlow, FifoConvergesWhereSynchronousNewtonDiverges) {
+  // The headline contrast: at N = 4 the synchronous Newton dynamics are
+  // linearly unstable under FIFO (|1 - N| like eigenvalue), yet the
+  // continuous-time gradient flow of the very same game converges — the
+  // instability is a property of the discretization (large simultaneous
+  // steps), exactly the "time constants" caveat of Section 4.2.2.
+  const core::ProportionalAllocation alloc;
+  const std::size_t n = 4;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), n);
+  const auto expected = core::fifo_linear_symmetric_nash(0.25, n);
+
+  core::FlowOptions options;
+  options.t_end = 400.0;
+  const auto flow = core::gradient_flow(
+      alloc, profile, std::vector<double>(n, 0.05), options);
+  EXPECT_TRUE(flow.converged);
+  for (const double r : flow.final_rates) {
+    EXPECT_NEAR(r, expected.rate, 1e-3);
+  }
+
+  // And the discrete Newton dynamics from a nearby point do NOT converge.
+  std::vector<double> start(n, expected.rate);
+  start[0] *= 1.03;
+  start[1] *= 0.97;
+  const auto newton = core::newton_relaxation(alloc, profile, start, 40,
+                                              1e-8);
+  EXPECT_FALSE(newton.converged);
+}
+
+TEST(GradientFlow, EscapesSaturatedStart) {
+  // Starting beyond capacity, the back-off drift restores feasibility and
+  // the flow still finds the Nash point.
+  const core::FairShareAllocation alloc;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  core::FlowOptions options;
+  options.t_end = 400.0;
+  const auto flow = core::gradient_flow(alloc, profile, {0.9, 0.8}, options);
+  const auto expected = core::fs_linear_symmetric_nash(0.25, 2);
+  EXPECT_TRUE(flow.converged);
+  for (const double r : flow.final_rates) {
+    EXPECT_NEAR(r, expected.rate, 1e-3);
+  }
+}
+
+TEST(GradientFlow, HeterogeneousUsersOrderedByDelayAversion) {
+  const core::FairShareAllocation alloc;
+  const core::UtilityProfile profile{make_linear(1.0, 0.15),
+                                     make_linear(1.0, 0.35),
+                                     make_linear(1.0, 0.7)};
+  const auto flow = core::gradient_flow(alloc, profile, {0.2, 0.2, 0.2});
+  EXPECT_TRUE(flow.converged);
+  EXPECT_GT(flow.final_rates[0], flow.final_rates[1]);
+  EXPECT_GT(flow.final_rates[1], flow.final_rates[2]);
+  // Flow equilibrium == best-response equilibrium.
+  const auto nash = core::solve_nash(alloc, profile, {0.1, 0.1, 0.1});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(flow.final_rates[i], nash.rates[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace gw

@@ -1,0 +1,151 @@
+// Parameterized property sweep: the serial sharing rule retains the
+// paper's structural properties over EVERY admissible constraint curve
+// (footnote 5), exercised via TEST_P across g-functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/envy.hpp"
+#include "core/nash.hpp"
+#include "core/serial_general.hpp"
+#include "numerics/differentiate.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+namespace {
+
+struct GCase {
+  const char* label;
+  GFunction g;
+  double max_total_load;  ///< keep random points comfortably feasible
+};
+
+class SerialOverG : public ::testing::TestWithParam<GCase> {};
+
+std::vector<double> random_point(numerics::Rng& rng, std::size_t n,
+                                 double max_total) {
+  std::vector<double> rates(n);
+  double total = 0.0;
+  for (auto& r : rates) {
+    r = rng.uniform(0.02, 1.0);
+    total += r;
+  }
+  const double target = rng.uniform(0.2, max_total);
+  for (auto& r : rates) r *= target / total;
+  return rates;
+}
+
+TEST_P(SerialOverG, AggregateEqualsG) {
+  const GeneralSerialAllocation alloc(GetParam().g);
+  numerics::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rates = random_point(rng, 4, GetParam().max_total_load);
+    const auto congestion = alloc.congestion(rates);
+    const double total_rate =
+        std::accumulate(rates.begin(), rates.end(), 0.0);
+    const double total_queue =
+        std::accumulate(congestion.begin(), congestion.end(), 0.0);
+    EXPECT_NEAR(total_queue, GetParam().g.value(total_rate),
+                1e-9 * std::max(1.0, total_queue));
+  }
+}
+
+TEST_P(SerialOverG, TriangularJacobian) {
+  const GeneralSerialAllocation alloc(GetParam().g);
+  numerics::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto rates = random_point(rng, 4, GetParam().max_total_load);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        const double dij = alloc.partial(i, j, rates);
+        if (rates[j] > rates[i]) {
+          EXPECT_DOUBLE_EQ(dij, 0.0) << GetParam().label;
+        } else if (i == j) {
+          EXPECT_GT(dij, 0.0) << GetParam().label;
+        } else {
+          EXPECT_GE(dij, -1e-12) << GetParam().label;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SerialOverG, PartialsMatchNumericDifferentiation) {
+  const GeneralSerialAllocation alloc(GetParam().g);
+  numerics::Rng rng(3);
+  const auto rates = random_point(rng, 3, GetParam().max_total_load);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double numeric = numerics::partial(
+          [&](const std::vector<double>& r) {
+            return alloc.congestion(r)[i];
+          },
+          rates, j);
+      EXPECT_NEAR(alloc.partial(i, j, rates), numeric,
+                  1e-4 * std::max(1.0, std::abs(numeric)))
+          << GetParam().label << " (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(SerialOverG, ProtectiveBoundTightAtClones) {
+  const GeneralSerialAllocation alloc(GetParam().g);
+  const double rate = GetParam().max_total_load / 8.0;
+  const std::size_t n = 4;
+  const double bound = alloc.protective_bound(rate, n);
+  EXPECT_NEAR(alloc.congestion(std::vector<double>(n, rate))[0], bound,
+              1e-10);
+  numerics::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> rates(n);
+    rates[0] = rate;
+    for (std::size_t j = 1; j < n; ++j) {
+      rates[j] = rng.uniform(0.0, GetParam().max_total_load);
+    }
+    EXPECT_LE(alloc.congestion(rates)[0], bound + 1e-9) << GetParam().label;
+  }
+}
+
+TEST_P(SerialOverG, UnilateralEnvyFreedom) {
+  const GeneralSerialAllocation alloc(GetParam().g);
+  numerics::Rng rng(5);
+  const auto u = make_linear(1.0, 0.4);
+  const UtilityProfile profile{u, u, u};
+  BestResponseOptions options;
+  options.r_max = GetParam().max_total_load / 2.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto rates = random_point(rng, 3, GetParam().max_total_load);
+    const auto result = unilateral_envy(alloc, profile, rates, 0, options);
+    EXPECT_LE(result.max_envy, 1e-6) << GetParam().label;
+  }
+}
+
+TEST_P(SerialOverG, SymmetricUnderPermutation) {
+  const GeneralSerialAllocation alloc(GetParam().g);
+  numerics::Rng rng(6);
+  const auto rates = random_point(rng, 4, GetParam().max_total_load);
+  const auto congestion = alloc.congestion(rates);
+  const auto perm = rng.permutation(4);
+  std::vector<double> permuted(4);
+  for (std::size_t k = 0; k < 4; ++k) permuted[k] = rates[perm[k]];
+  const auto permuted_congestion = alloc.congestion(permuted);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(permuted_congestion[k], congestion[perm[k]], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstraintSweep, SerialOverG,
+    ::testing::Values(
+        GCase{"MM1", GFunction::mm1(), 0.85},
+        GCase{"MD1", GFunction::mg1(0.0), 0.85},
+        GCase{"MG1scv4", GFunction::mg1(4.0), 0.85},
+        GCase{"Quadratic", GFunction::quadratic(), 2.0},
+        GCase{"PowerCubic", GFunction::power(3.0), 2.0}),
+    [](const ::testing::TestParamInfo<GCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace gw::core

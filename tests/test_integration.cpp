@@ -1,0 +1,150 @@
+// Cross-module integration tests: the paper's headline claims, each
+// exercised through several subsystems at once.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "numerics/eigen.hpp"
+#include "sim/runner.hpp"
+
+namespace gw {
+namespace {
+
+using core::FairShareAllocation;
+using core::ProportionalAllocation;
+using core::make_linear;
+using core::uniform_profile;
+
+TEST(Integration, Theorem7FifoLeadingEigenvalueClosedForm) {
+  // N identical users with U = r - gamma c under the proportional
+  // allocation: at the symmetric point, dE_i/dr_j has off-diagonal
+  // (u + 2r)/u^3 and diagonal (2u + 2r)/u^3, so the relaxation matrix is
+  // -beta (J - I) with beta = (u + 2r)/(2u + 2r) and leading eigenvalue
+  // -beta (N - 1). The paper quotes the high-utilization limit beta -> 1
+  // (gamma -> 0), i.e. eigenvalue 1 - N; see the companion test below.
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  for (const std::size_t n : {2u, 3u, 5u}) {
+    const auto profile = uniform_profile(make_linear(1.0, 0.25), n);
+    const auto nash = core::fifo_linear_symmetric_nash(0.25, n);
+    const std::vector<double> rates(n, nash.rate);
+    const auto a = core::relaxation_matrix(*alloc, profile, rates);
+    const double beta = (nash.idle + 2.0 * nash.rate) /
+                        (2.0 * nash.idle + 2.0 * nash.rate);
+    double most_negative = 0.0;
+    for (const auto& lambda : numerics::eigenvalues(a)) {
+      most_negative = std::min(most_negative, lambda.real());
+    }
+    EXPECT_NEAR(most_negative, -beta * static_cast<double>(n - 1), 1e-6)
+        << "n=" << n;
+  }
+}
+
+TEST(Integration, Theorem7FifoEigenvalueApproachesOneMinusNAtHighLoad) {
+  // As gamma -> 0 utilization -> 1 and beta -> 1: the paper's quoted
+  // leading eigenvalue 1 - N is recovered in that limit.
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  const double gamma = 1e-4;
+  for (const std::size_t n : {2u, 3u, 5u}) {
+    const auto profile = uniform_profile(make_linear(1.0, gamma), n);
+    const auto nash = core::fifo_linear_symmetric_nash(gamma, n);
+    const std::vector<double> rates(n, nash.rate);
+    const auto a = core::relaxation_matrix(*alloc, profile, rates);
+    double most_negative = 0.0;
+    for (const auto& lambda : numerics::eigenvalues(a)) {
+      most_negative = std::min(most_negative, lambda.real());
+    }
+    EXPECT_NEAR(most_negative / (1.0 - static_cast<double>(n)), 1.0, 2e-2)
+        << "n=" << n;
+  }
+}
+
+TEST(Integration, Theorem7FsRelaxationMatrixNilpotent) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const core::UtilityProfile profile{
+      make_linear(1.0, 0.15), make_linear(1.0, 0.3), make_linear(1.0, 0.5),
+      make_linear(1.0, 0.7)};
+  const auto result = core::solve_nash(*alloc, profile,
+                                       std::vector<double>(4, 0.05));
+  ASSERT_TRUE(result.converged);
+  const auto a = core::relaxation_matrix(*alloc, profile, result.rates);
+  EXPECT_TRUE(numerics::is_nilpotent(a, 1e-6));
+  EXPECT_NEAR(numerics::spectral_radius(a), 0.0, 1e-3);
+}
+
+TEST(Integration, Theorem7FifoNewtonDynamicsDivergeForLargeN) {
+  // |leading eigenvalue| = N - 1 > 1: synchronous Newton self-optimization
+  // is linearly unstable under FIFO for N > 2.
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  const std::size_t n = 4;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), n);
+  const auto nash = core::fifo_linear_symmetric_nash(0.25, n);
+  // Perturb asymmetrically off the equilibrium.
+  std::vector<double> start(n, nash.rate);
+  start[0] *= 1.02;
+  start[1] *= 0.98;
+  const auto dynamics = core::newton_relaxation(*alloc, profile, start, 40,
+                                                1e-10);
+  EXPECT_FALSE(dynamics.converged);
+}
+
+TEST(Integration, AnalyticNashMatchesSimulatedCongestion) {
+  // Solve the FS Nash analytically, then run the packet switch at those
+  // rates: measured congestion must match the congestion the solver
+  // assumed, closing the loop between gw::core and gw::sim.
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const core::UtilityProfile profile{make_linear(1.0, 0.2),
+                                     make_linear(1.0, 0.5)};
+  const auto nash = core::solve_nash(*alloc, profile, {0.1, 0.1});
+  ASSERT_TRUE(nash.converged);
+  const auto analytic_c = alloc->congestion(nash.rates);
+
+  sim::RunOptions options;
+  options.warmup = 2000.0;
+  options.batches = 12;
+  options.batch_length = 2500.0;
+  options.seed = 1234;
+  const auto run =
+      sim::run_switch(sim::Discipline::kFairShareOracle, nash.rates, options);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_NEAR(run.users[u].mean_queue / analytic_c[u], 1.0, 0.12)
+        << "user " << u;
+  }
+}
+
+TEST(Integration, PriceOfAnarchyOrderingFifoVsFs) {
+  // For every N and gamma tried: FS Nash utility == Pareto > FIFO Nash.
+  for (const double gamma : {0.1, 0.25, 0.5}) {
+    for (const std::size_t n : {2u, 4u, 8u}) {
+      const double ratio = core::fifo_efficiency_ratio(gamma, n);
+      EXPECT_LT(ratio, 1.0) << "gamma " << gamma << " n " << n;
+      EXPECT_GT(ratio, 0.2) << "gamma " << gamma << " n " << n;
+    }
+  }
+}
+
+TEST(Integration, SubsystemNashConsistentWithFullNash) {
+  // Freeze user 0 at its equilibrium rate; the remaining users'
+  // equilibrium in the induced subsystem reproduces the full equilibrium.
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const core::UtilityProfile profile{make_linear(1.0, 0.2),
+                                     make_linear(1.0, 0.35),
+                                     make_linear(1.0, 0.5)};
+  const auto full = core::solve_nash(*alloc, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(full.converged);
+
+  const core::SubsystemAllocation subsystem(alloc, full.rates, {1, 2});
+  const core::UtilityProfile sub_profile{profile[1], profile[2]};
+  const auto reduced = core::solve_nash(subsystem, sub_profile,
+                                        {full.rates[1], full.rates[2]});
+  ASSERT_TRUE(reduced.converged);
+  EXPECT_NEAR(reduced.rates[0], full.rates[1], 1e-4);
+  EXPECT_NEAR(reduced.rates[1], full.rates[2], 1e-4);
+}
+
+}  // namespace
+}  // namespace gw

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "core/proportional.hpp"
+#include "learn/automaton.hpp"
+#include "learn/driver.hpp"
+#include "learn/hill_climber.hpp"
+#include "learn/oracle_learners.hpp"
+
+namespace gw::learn {
+namespace {
+
+using core::FairShareAllocation;
+using core::ProportionalAllocation;
+using core::make_linear;
+using core::uniform_profile;
+
+TEST(HillClimber, ClimbsAOneDimensionalHill) {
+  FiniteDifferenceHillClimber climber(0.1);
+  auto payoff = [](double r) { return -(r - 0.42) * (r - 0.42); };
+  double rate = climber.current_rate();
+  for (int round = 0; round < 3000; ++round) {
+    LearnerContext context;
+    context.observed_utility = payoff(rate);
+    rate = climber.next_rate(context);
+  }
+  EXPECT_NEAR(rate, 0.42, 5e-3);
+}
+
+TEST(HillClimber, StaysWithinBounds) {
+  HillClimberOptions options;
+  options.r_min = 0.05;
+  options.r_max = 0.3;
+  FiniteDifferenceHillClimber climber(0.1, options);
+  auto payoff = [](double r) { return r; };  // push to the ceiling
+  double rate = climber.current_rate();
+  for (int round = 0; round < 2000; ++round) {
+    LearnerContext context;
+    context.observed_utility = payoff(rate);
+    rate = climber.next_rate(context);
+    EXPECT_GE(rate, options.r_min);
+    EXPECT_LE(rate, options.r_max);
+  }
+  EXPECT_NEAR(rate, 0.3, 1e-2);
+}
+
+TEST(HillClimber, BacksOffMultiplicativelyOnCongestionCollapse) {
+  // A saturated switch hands back -inf utility; the climber must not
+  // freeze on the plateau — it halves its rate until service resumes.
+  FiniteDifferenceHillClimber climber(0.8);
+  LearnerContext drowned;
+  drowned.observed_utility = -std::numeric_limits<double>::infinity();
+  double rate = climber.current_rate();
+  for (int round = 0; round < 4; ++round) rate = climber.next_rate(drowned);
+  EXPECT_LT(rate, 0.8 / 8.0 + 1e-9);
+  // Once utility is finite again, normal climbing resumes.
+  auto payoff = [](double r) { return -(r - 0.2) * (r - 0.2); };
+  for (int round = 0; round < 2000; ++round) {
+    LearnerContext context;
+    context.observed_utility = payoff(rate);
+    rate = climber.next_rate(context);
+  }
+  EXPECT_NEAR(rate, 0.2, 2e-2);
+}
+
+TEST(HillClimber, ResetRestoresState) {
+  FiniteDifferenceHillClimber climber(0.1);
+  LearnerContext context;
+  context.observed_utility = 1.0;
+  (void)climber.next_rate(context);
+  climber.reset(0.2);
+  EXPECT_DOUBLE_EQ(climber.current_rate(), 0.2);
+}
+
+TEST(Automaton, EliminatesDominatedCandidatesInStaticEnvironment) {
+  AutomatonOptions options;
+  options.candidates = 21;
+  options.r_min = 0.0;
+  options.r_max = 1.0;
+  EliminationAutomaton automaton(0.5, options);
+  auto payoff = [](double r) { return -(r - 0.5) * (r - 0.5); };
+  double rate = automaton.current_rate();
+  for (int round = 0; round < 4000; ++round) {
+    LearnerContext context;
+    context.observed_utility = payoff(rate);
+    rate = automaton.next_rate(context);
+  }
+  // The surviving set should have shrunk sharply around 0.5.
+  const auto alive = automaton.surviving();
+  EXPECT_LT(alive.size(), 6u);
+  for (const double r : alive) EXPECT_NEAR(r, 0.5, 0.15);
+}
+
+TEST(Automaton, NeverEliminatesEverything) {
+  EliminationAutomaton automaton(0.5);
+  auto payoff = [](double r) { return r; };
+  double rate = automaton.current_rate();
+  for (int round = 0; round < 5000; ++round) {
+    LearnerContext context;
+    context.observed_utility = payoff(rate);
+    rate = automaton.next_rate(context);
+  }
+  EXPECT_GE(automaton.surviving_count(), 1u);
+}
+
+TEST(OracleLearners, RequireCounterfactual) {
+  BestResponseLearner best(0.1);
+  NewtonLearner newton(0.1);
+  LearnerContext measurement_only;
+  measurement_only.observed_utility = 0.5;
+  EXPECT_THROW((void)best.next_rate(measurement_only), std::logic_error);
+  EXPECT_THROW((void)newton.next_rate(measurement_only), std::logic_error);
+}
+
+TEST(BestResponseLearner, JumpsToOptimum) {
+  BestResponseLearner learner(0.1);
+  LearnerContext context;
+  context.counterfactual = [](double r) { return -(r - 0.37) * (r - 0.37); };
+  EXPECT_NEAR(learner.next_rate(context), 0.37, 1e-4);
+}
+
+TEST(NewtonLearner, ConvergesOnSmoothPayoff) {
+  NewtonLearner learner(0.2);
+  LearnerContext context;
+  context.counterfactual = [](double r) { return -(r - 0.6) * (r - 0.6); };
+  double rate = 0.2;
+  for (int round = 0; round < 20; ++round) rate = learner.next_rate(context);
+  EXPECT_NEAR(rate, 0.6, 1e-6);
+}
+
+TEST(GameDriver, HillClimbersReachFsNash) {
+  // Theorem 5 flavor: naive hill climbing converges to the FS Nash point.
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 3);
+  GameDriver driver(alloc, profile);
+  std::vector<std::unique_ptr<Learner>> learners;
+  for (int i = 0; i < 3; ++i) {
+    learners.push_back(std::make_unique<FiniteDifferenceHillClimber>(0.05));
+  }
+  DriverOptions options;
+  options.max_rounds = 8000;
+  const auto result = driver.run(learners, options);
+  const auto expected = core::fs_linear_symmetric_nash(0.25, 3);
+  for (const double r : result.final_rates) {
+    EXPECT_NEAR(r, expected.rate, 2e-2);
+  }
+}
+
+TEST(GameDriver, MixedSophisticationOnFsStillLandsOnNash) {
+  // A best-response "shark" among hill climbers cannot drag the FS outcome
+  // away from the unique Nash point.
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 3);
+  GameDriver driver(alloc, profile);
+  std::vector<std::unique_ptr<Learner>> learners;
+  learners.push_back(std::make_unique<BestResponseLearner>(0.3));
+  learners.push_back(std::make_unique<FiniteDifferenceHillClimber>(0.05));
+  learners.push_back(std::make_unique<FiniteDifferenceHillClimber>(0.15));
+  DriverOptions options;
+  options.max_rounds = 8000;
+  const auto result = driver.run(learners, options);
+  const auto expected = core::fs_linear_symmetric_nash(0.25, 3);
+  for (const double r : result.final_rates) {
+    EXPECT_NEAR(r, expected.rate, 2e-2);
+  }
+}
+
+TEST(GameDriver, BestRespondersOnFifoReachFifoNash) {
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  GameDriver driver(alloc, profile);
+  std::vector<std::unique_ptr<Learner>> learners;
+  learners.push_back(std::make_unique<BestResponseLearner>(0.1));
+  learners.push_back(std::make_unique<BestResponseLearner>(0.1));
+  DriverOptions options;
+  options.max_rounds = 300;
+  const auto result = driver.run(learners, options);
+  const auto expected = core::fifo_linear_symmetric_nash(0.25, 2);
+  for (const double r : result.final_rates) {
+    EXPECT_NEAR(r, expected.rate, 1e-3);
+  }
+}
+
+TEST(GameDriver, RecordsTrajectory) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  GameDriver driver(alloc, profile);
+  std::vector<std::unique_ptr<Learner>> learners;
+  learners.push_back(std::make_unique<BestResponseLearner>(0.1));
+  learners.push_back(std::make_unique<BestResponseLearner>(0.1));
+  DriverOptions options;
+  options.max_rounds = 50;
+  const auto result = driver.run(learners, options);
+  EXPECT_GE(result.trajectory.size(), 2u);
+  EXPECT_EQ(result.trajectory.front().size(), 2u);
+}
+
+TEST(GameDriver, LearnerCountMismatchThrows) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  GameDriver driver(alloc, profile);
+  std::vector<std::unique_ptr<Learner>> learners;
+  learners.push_back(std::make_unique<BestResponseLearner>(0.1));
+  EXPECT_THROW((void)driver.run(learners), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::learn

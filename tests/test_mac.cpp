@@ -1,0 +1,83 @@
+#include "core/mac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fair_share.hpp"
+#include "core/mixture.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "core/serial_general.hpp"
+#include "core/weighted_serial.hpp"
+
+namespace gw::core {
+namespace {
+
+MacCheckOptions light_options() {
+  MacCheckOptions options;
+  options.samples = 120;
+  return options;
+}
+
+TEST(MacChecker, ProportionalPasses) {
+  const ProportionalAllocation alloc;
+  const auto report = check_mac(alloc, light_options());
+  EXPECT_TRUE(report.in_mac()) << report.summary();
+}
+
+TEST(MacChecker, FairSharePasses) {
+  const FairShareAllocation alloc;
+  const auto report = check_mac(alloc, light_options());
+  EXPECT_TRUE(report.in_mac()) << report.summary();
+}
+
+TEST(MacChecker, MixturePasses) {
+  const MixtureAllocation alloc(0.5);
+  const auto report = check_mac(alloc, light_options());
+  EXPECT_TRUE(report.in_mac()) << report.summary();
+}
+
+TEST(MacChecker, FixedPriorityFailsSymmetry) {
+  const FixedPriorityAllocation alloc;
+  const auto report = check_mac(alloc, light_options());
+  EXPECT_GT(report.symmetry_violations, 0) << report.summary();
+}
+
+TEST(MacChecker, SummaryMentionsVerdict) {
+  const FairShareAllocation alloc;
+  const auto report = check_mac(alloc, light_options());
+  EXPECT_NE(report.summary().find("MAC"), std::string::npos);
+  EXPECT_GT(report.samples_checked, 0);
+}
+
+TEST(MacChecker, GeneralSerialOverMg1Passes) {
+  const GeneralSerialAllocation alloc(GFunction::mg1(4.0));
+  MacCheckOptions options = light_options();
+  // The feasibility check inside check_mac asserts against the M/M/1 g;
+  // for a different constraint only the derivative/symmetry conditions
+  // apply, so run with feasibility violations tolerated.
+  const auto report = check_mac(alloc, options);
+  EXPECT_EQ(report.monotonicity_violations, 0) << report.summary();
+  EXPECT_EQ(report.own_slope_violations, 0) << report.summary();
+  EXPECT_EQ(report.symmetry_violations, 0) << report.summary();
+}
+
+TEST(MacChecker, UnequalWeightsBreakSymmetryAsExpected) {
+  // Weighted serial sharing is deliberately non-symmetric across users
+  // (weights are identities); the checker must flag that.
+  const WeightedSerialAllocation alloc({1.0, 2.0, 0.5, 1.0});
+  const auto report = check_mac(alloc, light_options());
+  EXPECT_GT(report.symmetry_violations, 0) << report.summary();
+}
+
+TEST(MacChecker, SmallestRateFirstMonotoneButKinked) {
+  // SRF satisfies the monotonicity inequalities on generic points (its
+  // failure is smoothness at ties, which random sampling almost never
+  // hits) — documenting that the checker sees it as monotone.
+  const SmallestRateFirstAllocation alloc;
+  const auto report = check_mac(alloc, light_options());
+  EXPECT_EQ(report.monotonicity_violations, 0) << report.summary();
+  EXPECT_EQ(report.own_slope_violations, 0) << report.summary();
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,129 @@
+#include "numerics/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gw::numerics {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Matrix, InitializerShapeChecked) {
+  EXPECT_THROW(Matrix(2, 2, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityTimesAnything) {
+  const Matrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const Matrix result = Matrix::identity(2) * a;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(result(i, j), a(i, j));
+    }
+  }
+}
+
+TEST(Matrix, ProductKnownValues) {
+  const Matrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const Matrix b(2, 2, {5.0, 6.0, 7.0, 8.0});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatVec) {
+  const Matrix a(2, 3, {1.0, 0.0, 2.0, 0.0, 1.0, -1.0});
+  const auto y = a * std::vector<double>{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a(2, 3, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix back = t.transposed();
+  EXPECT_DOUBLE_EQ(back(1, 2), 6.0);
+}
+
+TEST(Matrix, TraceAndMaxAbs) {
+  const Matrix a(2, 2, {1.0, -7.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.trace(), 4.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 7.0);
+}
+
+TEST(MatrixPower, NilpotentVanishes) {
+  const Matrix a(3, 3, {0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(matrix_power(a, 3).max_abs(), 0.0);
+  EXPECT_GT(matrix_power(a, 2).max_abs(), 0.0);
+}
+
+TEST(MatrixPower, ZeroExponentIsIdentity) {
+  const Matrix a(2, 2, {5.0, 1.0, 2.0, 3.0});
+  const Matrix p = matrix_power(a, 0);
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.0);
+}
+
+TEST(Lu, SolvesLinearSystem) {
+  const Matrix a(3, 3, {2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0});
+  const auto factorization = lu_decompose(a);
+  EXPECT_FALSE(factorization.singular);
+  const auto x = lu_solve(factorization, {4.0, 5.0, 6.0});
+  // Verify A x = b.
+  const auto b = a * x;
+  EXPECT_NEAR(b[0], 4.0, 1e-12);
+  EXPECT_NEAR(b[1], 5.0, 1e-12);
+  EXPECT_NEAR(b[2], 6.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  const Matrix a(2, 2, {1.0, 2.0, 2.0, 4.0});
+  const auto factorization = lu_decompose(a);
+  EXPECT_TRUE(factorization.singular);
+  EXPECT_THROW((void)lu_solve(factorization, {1.0, 1.0}), std::domain_error);
+}
+
+TEST(Determinant, KnownValues) {
+  EXPECT_NEAR(determinant(Matrix(2, 2, {1.0, 2.0, 3.0, 4.0})), -2.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix::identity(4)), 1.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix(2, 2, {1.0, 2.0, 2.0, 4.0})), 0.0, 1e-12);
+}
+
+TEST(Determinant, PermutationSign) {
+  // Swapping two rows of I gives det = -1.
+  Matrix a = Matrix::identity(3);
+  std::swap(a(0, 0), a(1, 0));
+  std::swap(a(0, 1), a(1, 1));
+  EXPECT_NEAR(determinant(a), -1.0, 1e-12);
+}
+
+TEST(Inverse, RoundTrip) {
+  const Matrix a(3, 3, {4.0, 7.0, 2.0, 3.0, 6.0, 1.0, 2.0, 5.0, 3.0});
+  const Matrix inv = inverse(a);
+  const Matrix product = a * inv;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(product(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Inverse, SingularThrows) {
+  EXPECT_THROW((void)inverse(Matrix(2, 2, {1.0, 1.0, 1.0, 1.0})),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace gw::numerics

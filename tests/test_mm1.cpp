@@ -1,0 +1,126 @@
+#include "queueing/mm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mg1.hpp"
+
+namespace gw::queueing {
+namespace {
+
+TEST(G, KnownValues) {
+  EXPECT_DOUBLE_EQ(g(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(g(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(g(0.9), 9.0);
+  EXPECT_TRUE(std::isinf(g(1.0)));
+  EXPECT_TRUE(std::isinf(g(2.0)));
+  EXPECT_DOUBLE_EQ(g(-0.1), 0.0);
+}
+
+TEST(G, StrictlyIncreasingAndConvex) {
+  double prev_value = -1.0;
+  double prev_slope = 0.0;
+  for (double x = 0.05; x < 0.95; x += 0.05) {
+    EXPECT_GT(g(x), prev_value);
+    const double slope = g_prime(x);
+    EXPECT_GT(slope, prev_slope);  // convexity: increasing derivative
+    prev_value = g(x);
+    prev_slope = slope;
+  }
+}
+
+TEST(G, DerivativesMatchFiniteDifferences) {
+  const double x = 0.6, h = 1e-6;
+  EXPECT_NEAR(g_prime(x), (g(x + h) - g(x - h)) / (2 * h), 1e-5);
+  EXPECT_NEAR(g_double_prime(x), (g_prime(x + h) - g_prime(x - h)) / (2 * h),
+              1e-3);
+}
+
+TEST(G, InverseRoundTrip) {
+  for (double x = 0.0; x < 0.99; x += 0.07) {
+    EXPECT_NEAR(g_inverse(g(x)), x, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(g_inverse(std::numeric_limits<double>::infinity()), 1.0);
+}
+
+TEST(Mm1, StandardQuantities) {
+  const Mm1 q{0.5, 1.0};
+  EXPECT_DOUBLE_EQ(q.mean_in_system(), 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_in_queue(), 0.5);
+  EXPECT_DOUBLE_EQ(q.mean_sojourn(), 2.0);
+  EXPECT_DOUBLE_EQ(q.mean_wait(), 1.0);
+  EXPECT_TRUE(q.stable());
+}
+
+TEST(Mm1, LittleLawConsistency) {
+  const Mm1 q{0.7, 1.3};
+  EXPECT_NEAR(q.mean_in_system(), q.lambda * q.mean_sojourn(), 1e-12);
+  EXPECT_NEAR(q.mean_in_queue(), q.lambda * q.mean_wait(), 1e-12);
+}
+
+TEST(Mm1, UnstableGivesInfinities) {
+  const Mm1 q{1.5, 1.0};
+  EXPECT_FALSE(q.stable());
+  EXPECT_TRUE(std::isinf(q.mean_in_system()));
+  EXPECT_TRUE(std::isinf(q.mean_sojourn()));
+}
+
+TEST(Mm1, OccupancyDistributionSumsToOne) {
+  const Mm1 q{0.6, 1.0};
+  double total = 0.0;
+  for (std::size_t n = 0; n < 200; ++n) total += q.prob_n(n);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // And the mean of the distribution equals L.
+  double mean = 0.0;
+  for (std::size_t n = 0; n < 400; ++n) mean += n * q.prob_n(n);
+  EXPECT_NEAR(mean, q.mean_in_system(), 1e-9);
+}
+
+TEST(Mm1, SojournTailIsExponential) {
+  const Mm1 q{0.5, 1.0};
+  EXPECT_NEAR(q.sojourn_tail(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(q.sojourn_tail(2.0), std::exp(-1.0), 1e-12);
+}
+
+TEST(Mg1, ExponentialServiceReducesToMm1) {
+  const Mg1 q{0.5, ServiceMoments::exponential(1.0)};
+  const Mm1 reference{0.5, 1.0};
+  EXPECT_NEAR(q.mean_in_system(), reference.mean_in_system(), 1e-12);
+  EXPECT_NEAR(q.mean_wait(), reference.mean_wait(), 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesWait) {
+  // M/D/1 wait = half the M/M/1 wait at the same load.
+  const Mg1 md1{0.5, ServiceMoments::deterministic(1.0)};
+  const Mm1 mm1{0.5, 1.0};
+  EXPECT_NEAR(md1.mean_wait(), 0.5 * mm1.mean_wait(), 1e-12);
+}
+
+TEST(Mg1, ServiceMomentFactories) {
+  EXPECT_NEAR(ServiceMoments::exponential(2.0).scv(), 1.0, 1e-12);
+  EXPECT_NEAR(ServiceMoments::deterministic(3.0).scv(), 0.0, 1e-12);
+  EXPECT_NEAR(ServiceMoments::erlang(4, 1.0).scv(), 0.25, 1e-12);
+  const auto h2 = ServiceMoments::hyperexponential(0.5, 0.5, 2.0);
+  EXPECT_GT(h2.scv(), 1.0);  // hyperexponential is more variable
+}
+
+TEST(Mg1, AggregateConstraintConvexIncreasing) {
+  for (const double scv : {0.0, 1.0, 4.0}) {
+    double prev = -1.0;
+    double prev_slope = 0.0;
+    for (double x = 0.05; x < 0.95; x += 0.05) {
+      EXPECT_GT(g_mg1(x, scv), prev);
+      const double slope =
+          (g_mg1(x + 1e-6, scv) - g_mg1(x - 1e-6, scv)) / 2e-6;
+      EXPECT_GT(slope, prev_slope);
+      prev = g_mg1(x, scv);
+      prev_slope = slope;
+    }
+  }
+  // scv = 1 reproduces the M/M/1 g.
+  EXPECT_NEAR(g_mg1(0.5, 1.0), g(0.5), 1e-12);
+}
+
+}  // namespace
+}  // namespace gw::queueing

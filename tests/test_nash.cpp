@@ -1,0 +1,196 @@
+#include "core/nash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "core/proportional.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(BestResponse, SingleUserFifoLinearClosedForm) {
+  // One user, U = r - gamma c, proportional: max r - gamma r/(1-r);
+  // FOC: 1 = gamma / (1-r)^2 -> r = 1 - sqrt(gamma).
+  const ProportionalAllocation alloc;
+  const LinearUtility u(1.0, 0.25);
+  const auto response = best_response(alloc, u, {0.1}, 0);
+  EXPECT_NEAR(response.rate, 1.0 - std::sqrt(0.25), 1e-5);
+}
+
+TEST(BestResponse, RespondsToCongestionFromOthers) {
+  const ProportionalAllocation alloc;
+  const LinearUtility u(1.0, 0.25);
+  const auto alone = best_response(alloc, u, {0.1, 0.0}, 0);
+  const auto crowded = best_response(alloc, u, {0.1, 0.4}, 0);
+  EXPECT_LT(crowded.rate, alone.rate);  // back off under congestion
+}
+
+TEST(BestResponse, AgainstSaturatedFifoBacksOff) {
+  // Others already exceed capacity: every positive rate gives -inf, so the
+  // response hugs the lower edge.
+  const ProportionalAllocation alloc;
+  const LinearUtility u(1.0, 0.25);
+  const auto response = best_response(alloc, u, {0.1, 1.5}, 0);
+  EXPECT_TRUE(std::isinf(response.utility));
+  EXPECT_LT(response.utility, 0.0);
+}
+
+TEST(BestResponse, FairShareIgnoresFlooder) {
+  // Under FS my payoff is unaffected by a flooder bigger than me; best
+  // response equals the solitary-ish optimum of the serial form.
+  const FairShareAllocation alloc;
+  const LinearUtility u(1.0, 0.25);
+  const auto calm = best_response(alloc, u, {0.1, 0.3}, 0);
+  const auto stormy = best_response(alloc, u, {0.1, 9.0}, 0);
+  // Both must agree wherever the response stays below the opponent's rate.
+  EXPECT_NEAR(calm.rate, stormy.rate, 1e-4);
+}
+
+TEST(SolveNash, FifoSymmetricLinearMatchesClosedForm) {
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  for (const std::size_t n : {2u, 4u, 6u}) {
+    const auto profile = uniform_profile(make_linear(1.0, 0.25), n);
+    const auto result =
+        solve_nash(*alloc, profile, std::vector<double>(n, 0.1));
+    ASSERT_TRUE(result.converged) << "n=" << n;
+    const auto expected = fifo_linear_symmetric_nash(0.25, n);
+    for (const double r : result.rates) {
+      EXPECT_NEAR(r, expected.rate, 1e-4) << "n=" << n;
+    }
+  }
+}
+
+TEST(SolveNash, FairShareSymmetricLinearMatchesClosedForm) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  for (const double gamma : {0.1, 0.25, 0.5}) {
+    const auto profile = uniform_profile(make_linear(1.0, gamma), 3);
+    const auto result =
+        solve_nash(*alloc, profile, std::vector<double>(3, 0.05));
+    ASSERT_TRUE(result.converged) << "gamma=" << gamma;
+    const auto expected = fs_linear_symmetric_nash(gamma, 3);
+    for (const double r : result.rates) {
+      EXPECT_NEAR(r, expected.rate, 1e-4) << "gamma=" << gamma;
+    }
+  }
+}
+
+TEST(SolveNash, VerifiedByIsNash) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const UtilityProfile profile{make_linear(1.0, 0.2), make_linear(1.0, 0.4),
+                               make_linear(1.0, 0.8)};
+  const auto result = solve_nash(*alloc, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(is_nash(*alloc, profile, result.rates, 1e-6));
+}
+
+TEST(SolveNash, FdcResidualsVanishAtEquilibrium) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const UtilityProfile profile{make_linear(1.0, 0.2), make_linear(1.0, 0.5)};
+  const auto result = solve_nash(*alloc, profile, {0.1, 0.1});
+  ASSERT_TRUE(result.converged);
+  for (const double e : fdc_residuals(*alloc, profile, result.rates)) {
+    EXPECT_LT(std::abs(e), 1e-3);
+  }
+}
+
+TEST(SolveNash, HeterogeneousFsMoreDelayAverseSendsLess) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const UtilityProfile profile{make_linear(1.0, 0.1), make_linear(1.0, 0.6)};
+  const auto result = solve_nash(*alloc, profile, {0.2, 0.2});
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.rates[0], result.rates[1]);
+}
+
+TEST(SolveNash, OrdersAgreeOnFairShare) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const UtilityProfile profile{make_linear(1.0, 0.15), make_linear(1.0, 0.3),
+                               make_linear(1.0, 0.45)};
+  NashOptions sequential;
+  NashOptions random;
+  random.order = UpdateOrder::kRandomPermutation;
+  const auto a = solve_nash(*alloc, profile, {0.1, 0.1, 0.1}, sequential);
+  const auto b = solve_nash(*alloc, profile, {0.3, 0.05, 0.2}, random);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(a.rates[i], b.rates[i], 1e-4);
+  }
+}
+
+TEST(SolveNash, MonotoneTransformInvariance) {
+  // Nash points depend only on preference orderings.
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto base = make_linear(1.0, 0.3);
+  const auto transformed = std::make_shared<TransformedUtility>(
+      base, [](double x) { return std::atan(2.0 * x) + x; }, "atan+id");
+  const auto straight =
+      solve_nash(*alloc, {base, base}, {0.1, 0.2});
+  const auto twisted = solve_nash(
+      *alloc, {transformed, transformed}, {0.1, 0.2});
+  ASSERT_TRUE(straight.converged);
+  ASSERT_TRUE(twisted.converged);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(straight.rates[i], twisted.rates[i], 1e-4);
+  }
+}
+
+TEST(NewtonRelaxation, FairShareConvergesWithinNStepsLinearRegime) {
+  // Theorem 7: nilpotent relaxation matrix -> exact convergence in <= N
+  // synchronous Newton steps (linear utilities make the regime global).
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const UtilityProfile profile{make_linear(1.0, 0.15), make_linear(1.0, 0.3),
+                               make_linear(1.0, 0.5)};
+  const auto nash = solve_nash(*alloc, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(nash.converged);
+  auto start = nash.rates;
+  for (auto& r : start) r *= 0.9;  // small displacement: linear regime
+  const auto dynamics = newton_relaxation(*alloc, profile, start, 30, 1e-7);
+  EXPECT_TRUE(dynamics.converged);
+  EXPECT_LE(dynamics.iterations, 8);
+}
+
+TEST(RelaxationMatrix, DiagonalIsZero) {
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 3);
+  const auto a = relaxation_matrix(*alloc, profile, {0.1, 0.15, 0.2});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a(i, i), 0.0);
+}
+
+TEST(FindEquilibria, FairShareFindsExactlyOne) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const UtilityProfile profile{make_linear(1.0, 0.2), make_linear(1.0, 0.35),
+                               make_linear(1.0, 0.5)};
+  const auto equilibria = find_equilibria(*alloc, profile, 12, 11);
+  EXPECT_EQ(equilibria.size(), 1u);
+}
+
+TEST(SolveNash, SingleUserIsMonopolyOptimum) {
+  // N = 1: the "game" degenerates to a monopoly problem with the same
+  // closed form under every symmetric discipline: r* = 1 - sqrt(gamma).
+  const auto u = make_linear(1.0, 0.16);
+  const FairShareAllocation fair_share;
+  const ProportionalAllocation proportional;
+  for (const AllocationFunction* alloc :
+       {static_cast<const AllocationFunction*>(&fair_share),
+        static_cast<const AllocationFunction*>(&proportional)}) {
+    const auto result = solve_nash(*alloc, {u}, {0.1});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.rates[0], 1.0 - 0.4, 1e-4) << alloc->name();
+  }
+}
+
+TEST(SolveNash, InputValidation) {
+  const ProportionalAllocation alloc;
+  const auto u = make_linear(1.0, 0.2);
+  EXPECT_THROW((void)solve_nash(alloc, {u, u}, {0.1}), std::invalid_argument);
+  EXPECT_THROW((void)solve_nash(alloc, {}, {}), std::invalid_argument);
+  EXPECT_THROW((void)solve_nash(alloc, {u, nullptr}, {0.1, 0.1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

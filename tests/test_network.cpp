@@ -1,0 +1,217 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gw::net {
+namespace {
+
+using core::FairShareAllocation;
+using core::ProportionalAllocation;
+using core::make_linear;
+
+TEST(Network, SingleSwitchReducesToBase) {
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const NetworkAllocation network({fs}, {Route{0}, Route{0}});
+  const std::vector<double> rates{0.2, 0.3};
+  const auto net_c = network.congestion(rates);
+  const auto base_c = fs->congestion(rates);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(net_c[i], base_c[i], 1e-12);
+}
+
+TEST(Network, TandemSumsPerSwitchCongestion) {
+  // One user crossing two switches alone: c = 2 g(r).
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const auto network = make_tandem(fs, 2, {{0, 1}});
+  const auto c = network->congestion({0.4});
+  EXPECT_NEAR(c[0], 2.0 * queueing::g(0.4), 1e-12);
+}
+
+TEST(Network, CrossTrafficOnlyWhereRoutesOverlap) {
+  // User 0 spans both switches; users 1 and 2 are local to one each.
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const auto network = make_tandem(fs, 2, {{0, 1}, {0, 0}, {1, 1}});
+  const std::vector<double> rates{0.2, 0.3, 0.3};
+  // User 1's congestion is a two-user FS at switch 0, unaffected by user 2.
+  const FairShareAllocation local;
+  const auto expected = local.congestion({0.2, 0.3});
+  const auto c = network->congestion(rates);
+  EXPECT_NEAR(c[1], expected[1], 1e-12);
+  EXPECT_NEAR(c[2], expected[1], 1e-12);  // symmetric situation at switch 1
+  EXPECT_NEAR(c[0], expected[0] * 2.0, 1e-12);
+}
+
+TEST(Network, PartialsSumAcrossSharedSwitches) {
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const auto network = make_tandem(fs, 3, {{0, 2}, {1, 1}});
+  const std::vector<double> rates{0.25, 0.15};
+  // Users share only switch 1.
+  const FairShareAllocation local;
+  EXPECT_NEAR(network->partial(1, 0, rates),
+              local.partial(1, 0, {0.25, 0.15}), 1e-12);
+  // User 0's own partial: two solo switches + one shared.
+  const double solo = queueing::g_prime(0.25);
+  EXPECT_NEAR(network->partial(0, 0, rates),
+              2.0 * solo + local.partial(0, 0, {0.25, 0.15}), 1e-12);
+}
+
+TEST(Network, FsTandemNashExistsAndIsVerified) {
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const auto network =
+      make_tandem(fs, 3, {{0, 2}, {0, 0}, {1, 1}, {2, 2}});
+  const core::UtilityProfile profile{
+      make_linear(1.0, 0.2), make_linear(1.0, 0.3), make_linear(1.0, 0.3),
+      make_linear(1.0, 0.3)};
+  const auto result =
+      core::solve_nash(*network, profile, {0.1, 0.1, 0.1, 0.1});
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(core::is_nash(*network, profile, result.rates, 1e-5));
+  // The long-haul user crosses 3 switches: more congestion per rate, so it
+  // sends less than otherwise-identical one-hop users despite a smaller
+  // gamma... assert it sends less than the local users' average.
+  EXPECT_LT(result.rates[0], (result.rates[1] + result.rates[2]) / 2.0 + 0.05);
+}
+
+TEST(Network, FsTandemUniqueAcrossStarts) {
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const auto network = make_tandem(fs, 2, {{0, 1}, {0, 0}, {1, 1}});
+  const core::UtilityProfile profile{
+      make_linear(1.0, 0.25), make_linear(1.0, 0.25), make_linear(1.0, 0.25)};
+  const auto equilibria = core::find_equilibria(*network, profile, 8, 77);
+  EXPECT_EQ(equilibria.size(), 1u);
+}
+
+TEST(Network, FifoTandemStarvesLongHaulUserFsDoesNot) {
+  // The multi-hop analogue of FIFO's protection failure: the user paying
+  // congestion at every hop is squeezed out of a FIFO tandem almost
+  // entirely, while FS keeps it served. With identical utilities the
+  // worst-off user's utility (Rawlsian comparison, ordinal-safe since the
+  // utility function is shared) is higher under FS.
+  const auto fifo = std::make_shared<ProportionalAllocation>();
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const std::vector<std::pair<std::size_t, std::size_t>> spans{
+      {0, 1}, {0, 0}, {1, 1}};
+  const core::UtilityProfile profile{
+      make_linear(1.0, 0.25), make_linear(1.0, 0.25), make_linear(1.0, 0.25)};
+  const auto fifo_net = make_tandem(fifo, 2, spans);
+  const auto fs_net = make_tandem(fs, 2, spans);
+  const auto fifo_nash =
+      core::solve_nash(*fifo_net, profile, {0.1, 0.1, 0.1});
+  const auto fs_nash = core::solve_nash(*fs_net, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(fifo_nash.converged);
+  ASSERT_TRUE(fs_nash.converged);
+  // FIFO: long-haul user driven to (near) silence; FS keeps it sending.
+  EXPECT_GT(fs_nash.rates[0], 3.0 * fifo_nash.rates[0]);
+  const auto fifo_c = fifo_net->congestion(fifo_nash.rates);
+  const auto fs_c = fs_net->congestion(fs_nash.rates);
+  double fifo_min = 1e18, fs_min = 1e18;
+  for (std::size_t i = 0; i < 3; ++i) {
+    fifo_min = std::min(fifo_min,
+                        profile[i]->value(fifo_nash.rates[i], fifo_c[i]));
+    fs_min = std::min(fs_min, profile[i]->value(fs_nash.rates[i], fs_c[i]));
+  }
+  EXPECT_GT(fs_min, fifo_min);
+}
+
+TEST(Network, MixedDisciplinesPerSwitch) {
+  // A FS switch feeding a FIFO switch: the composite allocation is the
+  // sum, and partial insularity holds exactly where the FS hop provides
+  // it. User 0 (light) shares switch 0 (FS) with a heavy local user and
+  // switch 1 (FIFO) with another.
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const auto fifo = std::make_shared<ProportionalAllocation>();
+  const NetworkAllocation network(
+      {fs, fifo}, {Route{0, 1}, Route{0}, Route{1}});
+  const std::vector<double> rates{0.1, 0.5, 0.3};
+  const auto congestion = network.congestion(rates);
+  // Switch 0 (FS): user 0's share depends only on its own rate.
+  const FairShareAllocation local_fs;
+  const ProportionalAllocation local_fifo;
+  const auto fs_part = local_fs.congestion({0.1, 0.5});
+  const auto fifo_part = local_fifo.congestion({0.1, 0.3});
+  EXPECT_NEAR(congestion[0], fs_part[0] + fifo_part[0], 1e-12);
+  EXPECT_NEAR(congestion[1], fs_part[1], 1e-12);
+  EXPECT_NEAR(congestion[2], fifo_part[1], 1e-12);
+  // Flooding the FS-local user leaves user 0's switch-0 share unchanged,
+  // but flooding the FIFO-local user saturates user 0.
+  const auto flood_fs_local = network.congestion({0.1, 5.0, 0.3});
+  EXPECT_NEAR(flood_fs_local[0], fs_part[0] + fifo_part[0], 1e-12);
+  const auto flood_fifo_local = network.congestion({0.1, 0.5, 5.0});
+  EXPECT_TRUE(std::isinf(flood_fifo_local[0]));
+}
+
+TEST(Network, MixedNetworkNashSolvable) {
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const auto fifo = std::make_shared<ProportionalAllocation>();
+  const NetworkAllocation network(
+      {fs, fifo}, {Route{0, 1}, Route{0}, Route{1}});
+  const core::UtilityProfile profile{make_linear(1.0, 0.25),
+                                     make_linear(1.0, 0.25),
+                                     make_linear(1.0, 0.25)};
+  const auto nash = core::solve_nash(network, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(nash.converged);
+  EXPECT_TRUE(core::is_nash(network, profile, nash.rates, 1e-5));
+}
+
+TEST(Network, CapacityScalingMatchesLoadEquivalence) {
+  // A switch at capacity 2 with arrivals r behaves like a unit switch at
+  // load r/2 (occupancy is dimensionless).
+  const auto fifo = std::make_shared<ProportionalAllocation>();
+  const NetworkAllocation fast({fifo}, {Route{0}, Route{0}}, {2.0});
+  const NetworkAllocation unit({fifo}, {Route{0}, Route{0}});
+  const std::vector<double> rates{0.4, 0.6};
+  const std::vector<double> halved{0.2, 0.3};
+  const auto fast_c = fast.congestion(rates);
+  const auto unit_c = unit.congestion(halved);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(fast_c[i], unit_c[i], 1e-12);
+  }
+  // Derivative chain rule: d/dr at the fast switch = (1/mu) * base.
+  EXPECT_NEAR(fast.partial(0, 0, rates),
+              unit.partial(0, 0, halved) / 2.0, 1e-9);
+}
+
+TEST(Network, BottleneckDominatesCongestion) {
+  // Tandem with a slow middle switch: most of the user's congestion
+  // accrues there, and its Nash rate is set by the bottleneck.
+  const auto fs = std::make_shared<FairShareAllocation>();
+  const NetworkAllocation network(
+      {fs, fs, fs}, {Route{0, 1, 2}}, {4.0, 0.5, 4.0});
+  const std::vector<double> rates{0.3};
+  const auto c = network.congestion(rates);
+  // Per-switch shares: g(0.075), g(0.6), g(0.075).
+  EXPECT_NEAR(c[0], queueing::g(0.3 / 4.0) * 2.0 + queueing::g(0.3 / 0.5),
+              1e-12);
+  // Nash of a single user: FOC 1 = gamma * sum_a g'(r/mu_a)/mu_a.
+  const core::UtilityProfile profile{make_linear(1.0, 0.1)};
+  const auto nash = core::solve_nash(network, profile, {0.1});
+  ASSERT_TRUE(nash.converged);
+  EXPECT_LT(nash.rates[0], 0.5);  // cannot exceed the bottleneck capacity
+  EXPECT_TRUE(core::is_nash(network, profile, nash.rates, 1e-6));
+}
+
+TEST(Network, CapacityValidation) {
+  const auto fs = std::make_shared<FairShareAllocation>();
+  EXPECT_THROW(NetworkAllocation({fs}, {Route{0}}, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(NetworkAllocation({fs}, {Route{0}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Network, InputValidation) {
+  const auto fs = std::make_shared<FairShareAllocation>();
+  EXPECT_THROW(NetworkAllocation({}, {Route{0}}), std::invalid_argument);
+  EXPECT_THROW(NetworkAllocation({fs}, {Route{5}}), std::invalid_argument);
+  EXPECT_THROW(NetworkAllocation({fs}, {Route{}}), std::invalid_argument);
+  EXPECT_THROW((void)make_tandem(fs, 2, {{1, 0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::net

@@ -1,0 +1,106 @@
+#include "numerics/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace gw::numerics {
+namespace {
+
+TEST(GoldenSection, FindsParabolaPeak) {
+  const auto result = golden_section_max(
+      [](double x) { return -(x - 0.3) * (x - 0.3); }, 0.0, 1.0);
+  EXPECT_NEAR(result.x, 0.3, 1e-7);
+}
+
+TEST(BrentMax, FindsSinePeak) {
+  const auto result = brent_max([](double x) { return std::sin(x); }, 0.0, 3.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, M_PI / 2.0, 1e-8);
+  EXPECT_NEAR(result.value, 1.0, 1e-12);
+}
+
+TEST(BrentMax, EdgeMaximum) {
+  const auto result = brent_max([](double x) { return x; }, 0.0, 2.0);
+  EXPECT_NEAR(result.x, 2.0, 1e-6);
+}
+
+TEST(MaximizeScan, EscapesLocalMaxima) {
+  // Two humps; the taller is near x = 2.2.
+  auto f = [](double x) {
+    return std::exp(-10.0 * (x - 0.5) * (x - 0.5)) +
+           1.5 * std::exp(-10.0 * (x - 2.2) * (x - 2.2));
+  };
+  const auto result = maximize_scan(f, 0.0, 3.0);
+  EXPECT_NEAR(result.x, 2.2, 1e-4);
+}
+
+TEST(MaximizeScan, HandlesInfiniteRegions) {
+  // -inf outside (0, 1): the optimizer must ignore the infeasible zone.
+  auto f = [](double x) {
+    if (x <= 0.0 || x >= 1.0) return -std::numeric_limits<double>::infinity();
+    return -(x - 0.6) * (x - 0.6);
+  };
+  const auto result = maximize_scan(f, -1.0, 2.0);
+  EXPECT_NEAR(result.x, 0.6, 1e-4);
+}
+
+TEST(MaximizeScan, AllInfeasibleReportsNotConverged) {
+  auto f = [](double) { return -std::numeric_limits<double>::infinity(); };
+  const auto result = maximize_scan(f, 0.0, 1.0);
+  EXPECT_FALSE(result.converged);
+  EXPECT_TRUE(std::isinf(result.value));
+}
+
+TEST(MaximizeScan, PlateauReturnsPointOnPlateau) {
+  auto f = [](double x) { return (x > 0.4 && x < 0.6) ? 1.0 : 0.0; };
+  const auto result = maximize_scan(f, 0.0, 1.0);
+  EXPECT_GT(result.x, 0.39);
+  EXPECT_LT(result.x, 0.61);
+  EXPECT_DOUBLE_EQ(result.value, 1.0);
+}
+
+TEST(NelderMead, QuadraticBowl2D) {
+  auto f = [](const std::vector<double>& x) {
+    const double dx = x[0] - 1.0, dy = x[1] + 2.0;
+    return -(dx * dx + 3.0 * dy * dy);
+  };
+  const auto result = nelder_mead_max(f, {0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.x[1], -2.0, 1e-4);
+}
+
+TEST(NelderMead, RosenbrockRidge) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return -(a * a + 100.0 * b * b);
+  };
+  NelderMeadOptions options;
+  options.max_evaluations = 50000;
+  options.f_tol = 1e-14;
+  const auto result = nelder_mead_max(f, {-1.0, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 2e-2);
+  EXPECT_NEAR(result.x[1], 1.0, 4e-2);
+}
+
+TEST(NelderMead, RespectsInfeasiblePenalty) {
+  auto f = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return -std::numeric_limits<double>::infinity();
+    return -(x[0] - 0.5) * (x[0] - 0.5) - x[1] * x[1];
+  };
+  const auto result = nelder_mead_max(f, {0.2, 0.3});
+  EXPECT_NEAR(result.x[0], 0.5, 1e-3);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-3);
+}
+
+TEST(NelderMead, ThrowsOnEmptyStart) {
+  EXPECT_THROW(
+      (void)nelder_mead_max([](const std::vector<double>&) { return 0.0; }, {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::numerics

@@ -1,0 +1,125 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(ParetoZ, MatchesConstraintSlope) {
+  const std::vector<double> rates{0.2, 0.3};
+  EXPECT_NEAR(pareto_z(rates), -1.0 / (0.5 * 0.5), 1e-12);
+}
+
+TEST(SymmetricParetoRate, LinearUtilityClosedForm) {
+  // max r - gamma g(N r)/N: FOC 1 = gamma g'(N r) -> N r = 1 - sqrt(gamma).
+  const LinearUtility u(1.0, 0.25);
+  for (const std::size_t n : {1u, 2u, 5u}) {
+    const double rate = symmetric_pareto_rate(u, n);
+    EXPECT_NEAR(rate, (1.0 - 0.5) / static_cast<double>(n), 1e-5) << n;
+  }
+}
+
+TEST(SymmetricParetoRate, StrongDelayAversionPushesTowardZero) {
+  const LinearUtility u(1.0, 2.0);  // gamma > 1: silence is optimal
+  EXPECT_LT(symmetric_pareto_rate(u, 3), 1e-3);
+}
+
+TEST(Theorem2, FsSymmetricNashIsParetoOptimal) {
+  // FS Nash with identical users = symmetric Pareto: FDC residuals vanish
+  // AND no dominating allocation exists.
+  const FairShareAllocation alloc;
+  const auto u = make_linear(1.0, 0.25);
+  const auto profile = uniform_profile(u, 3);
+  const auto nash = solve_nash(alloc, profile, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(nash.converged);
+  const auto queues = alloc.congestion(nash.rates);
+
+  for (const double residual :
+       pareto_fdc_residuals(profile, nash.rates, queues)) {
+    EXPECT_LT(std::abs(residual), 1e-3);
+  }
+  const auto domination =
+      find_dominating_allocation(profile, nash.rates, queues);
+  EXPECT_FALSE(domination.dominated)
+      << "claimed gain " << domination.best_min_gain;
+}
+
+TEST(Theorem1, FifoSymmetricNashIsNotParetoOptimal) {
+  // The tragedy of the commons under FIFO: the Nash point is strictly
+  // dominated (everyone better off sending less).
+  const ProportionalAllocation alloc;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 4);
+  const auto nash = solve_nash(alloc, profile, std::vector<double>(4, 0.1));
+  ASSERT_TRUE(nash.converged);
+  const auto queues = alloc.congestion(nash.rates);
+
+  // FDC residuals are far from zero...
+  double max_residual = 0.0;
+  for (const double residual :
+       pareto_fdc_residuals(profile, nash.rates, queues)) {
+    max_residual = std::max(max_residual, std::abs(residual));
+  }
+  EXPECT_GT(max_residual, 0.1);
+
+  // ...and an explicitly dominating allocation exists.
+  const auto domination =
+      find_dominating_allocation(profile, nash.rates, queues);
+  EXPECT_TRUE(domination.dominated);
+  EXPECT_GT(domination.best_min_gain, 1e-4);
+}
+
+TEST(Domination, SymmetricParetoPointIsUndominated) {
+  const auto u = make_linear(1.0, 0.25);
+  const auto profile = uniform_profile(u, 2);
+  const double rate = symmetric_pareto_rate(*u, 2);
+  const std::vector<double> rates{rate, rate};
+  const double each = queueing::g(2.0 * rate) / 2.0;
+  const auto domination =
+      find_dominating_allocation(profile, rates, {each, each});
+  EXPECT_FALSE(domination.dominated);
+}
+
+TEST(Domination, ObviouslyWastefulPointIsDominated) {
+  // Both users send far beyond the sweet spot: backing off helps everyone.
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  const std::vector<double> rates{0.45, 0.45};
+  const double each = queueing::g(0.9) / 2.0;
+  const auto domination =
+      find_dominating_allocation(profile, rates, {each, each});
+  EXPECT_TRUE(domination.dominated);
+  // The dominating allocation itself must be feasible.
+  ASSERT_EQ(domination.rates.size(), 2u);
+  double total_rate = 0.0;
+  for (const double r : domination.rates) total_rate += r;
+  EXPECT_LT(total_rate, 1.0);
+}
+
+TEST(ParetoFdc, MixedProfileResidualStructure) {
+  // At any point, residuals use each user's own M; check plumbing.
+  const UtilityProfile profile{make_linear(1.0, 0.2), make_linear(1.0, 0.8)};
+  const std::vector<double> rates{0.2, 0.2};
+  const std::vector<double> queues{0.4, 0.4};
+  const auto residuals = pareto_fdc_residuals(profile, rates, queues);
+  const double z = pareto_z(rates);
+  EXPECT_NEAR(residuals[0], -1.0 / 0.2 - z, 1e-9);
+  EXPECT_NEAR(residuals[1], -1.0 / 0.8 - z, 1e-9);
+}
+
+TEST(ParetoFdc, SizeMismatchThrows) {
+  const UtilityProfile profile{make_linear(1.0, 0.2)};
+  EXPECT_THROW(
+      (void)pareto_fdc_residuals(profile, {0.1, 0.2}, {0.1, 0.2}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,142 @@
+// Lemma 5: planting Nash equilibria at arbitrary interior points, plus
+// the lemma-level structure of the appendix (tie derivatives, acyclicity).
+#include "core/plant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fair_share.hpp"
+#include "core/mixture.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+namespace {
+
+std::vector<double> random_interior(numerics::Rng& rng, std::size_t n,
+                                    double max_total) {
+  std::vector<double> rates(n);
+  double total = 0.0;
+  for (auto& r : rates) {
+    r = rng.uniform(0.05, 1.0);
+    total += r;
+  }
+  const double target = rng.uniform(0.3, max_total);
+  for (auto& r : rates) r *= target / total;
+  return rates;
+}
+
+TEST(Lemma5, PlantsEquilibriaUnderFairShare) {
+  const FairShareAllocation alloc;
+  numerics::Rng rng(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto target = random_interior(rng, 3, 0.85);
+    EXPECT_TRUE(verify_planted(alloc, target))
+        << "trial " << trial << " target (" << target[0] << "," << target[1]
+        << "," << target[2] << ")";
+  }
+}
+
+TEST(Lemma5, PlantsEquilibriaUnderProportional) {
+  const ProportionalAllocation alloc;
+  numerics::Rng rng(809);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto target = random_interior(rng, 3, 0.8);
+    EXPECT_TRUE(verify_planted(alloc, target)) << "trial " << trial;
+  }
+}
+
+TEST(Lemma5, PlantsEquilibriaUnderMixtures) {
+  const MixtureAllocation alloc(0.4);
+  numerics::Rng rng(810);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto target = random_interior(rng, 4, 0.8);
+    EXPECT_TRUE(verify_planted(alloc, target)) << "trial " << trial;
+  }
+}
+
+TEST(Lemma5, SolverRecoversThePlantedPoint) {
+  // Not only is the target a Nash point: under FS it is the UNIQUE one,
+  // so best-response dynamics from anywhere recover it.
+  const FairShareAllocation alloc;
+  const std::vector<double> target{0.12, 0.2, 0.3};
+  const auto profile = plant_nash_profile(alloc, target);
+  const auto solved = solve_nash(alloc, profile, {0.4, 0.05, 0.15});
+  ASSERT_TRUE(solved.converged);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    EXPECT_NEAR(solved.rates[i], target[i], 1e-3) << "user " << i;
+  }
+}
+
+TEST(Lemma5, FdcHoldsExactlyAtThePlant) {
+  const FairShareAllocation alloc;
+  const std::vector<double> target{0.1, 0.25};
+  const auto profile = plant_nash_profile(alloc, target);
+  const auto residuals = fdc_residuals(alloc, profile, target);
+  for (const double e : residuals) EXPECT_NEAR(e, 0.0, 1e-9);
+}
+
+TEST(Lemma5, RejectsSaturatedTargets) {
+  const ProportionalAllocation alloc;
+  EXPECT_THROW((void)plant_nash_profile(alloc, {0.6, 0.7}),
+               std::invalid_argument);
+  EXPECT_THROW((void)plant_nash_profile(alloc, {0.0, 0.3}),
+               std::invalid_argument);
+}
+
+TEST(Lemma1Structure, OnlyFairShareHasZeroTieDerivatives) {
+  // The appendix's characterization signature: dC_i/dr_j = 0 at r_i = r_j.
+  const std::vector<double> tie{0.2, 0.2, 0.1};
+  const FairShareAllocation fs;
+  EXPECT_DOUBLE_EQ(fs.partial(0, 1, tie), 0.0);
+  const ProportionalAllocation fifo;
+  EXPECT_GT(fifo.partial(0, 1, tie), 0.0);
+  const MixtureAllocation mixture(0.3);
+  EXPECT_GT(mixture.partial(0, 1, tie), 0.0);
+}
+
+TEST(Lemma3Structure, FairShareJacobianIsAcyclic) {
+  // Acyclicity (no k-cycles, k >= 2) of dC_i/dr_j: with distinct rates the
+  // FS Jacobian is strictly lower triangular in sorted order, hence
+  // acyclic; proportional has all entries positive, hence 2-cycles.
+  const FairShareAllocation fs;
+  const ProportionalAllocation fifo;
+  const std::vector<double> rates{0.15, 0.25, 0.1};
+  bool fs_two_cycle = false, fifo_two_cycle = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      if (fs.partial(i, j, rates) != 0.0 && fs.partial(j, i, rates) != 0.0) {
+        fs_two_cycle = true;
+      }
+      if (fifo.partial(i, j, rates) != 0.0 &&
+          fifo.partial(j, i, rates) != 0.0) {
+        fifo_two_cycle = true;
+      }
+    }
+  }
+  EXPECT_FALSE(fs_two_cycle);
+  EXPECT_TRUE(fifo_two_cycle);
+}
+
+TEST(Lemma2Structure, AllZeroCrossDerivativesOnlyAtSymmetricPoints) {
+  // For FS, every cross-derivative vanishes iff all rates are equal.
+  const FairShareAllocation fs;
+  auto all_cross_zero = [&](const std::vector<double>& rates) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      for (std::size_t j = 0; j < rates.size(); ++j) {
+        if (i != j && std::abs(fs.partial(i, j, rates)) > 1e-12) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(all_cross_zero({0.2, 0.2, 0.2}));
+  EXPECT_FALSE(all_cross_zero({0.1, 0.2, 0.2}));
+  EXPECT_FALSE(all_cross_zero({0.25, 0.1, 0.17}));
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,98 @@
+#include "queueing/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "queueing/mm1.hpp"
+
+namespace gw::queueing {
+namespace {
+
+TEST(PreemptivePriority, SingleClassIsMm1) {
+  const auto result = preemptive_priority_mm1({0.5});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_NEAR(result[0].mean_in_system, 1.0, 1e-12);
+  EXPECT_NEAR(result[0].mean_sojourn, 2.0, 1e-12);
+}
+
+TEST(PreemptivePriority, TopClassSeesPrivateServer) {
+  // The highest class is oblivious to lower classes under preemption.
+  const auto result = preemptive_priority_mm1({0.3, 0.4});
+  const Mm1 solo{0.3, 1.0};
+  EXPECT_NEAR(result[0].mean_in_system, solo.mean_in_system(), 1e-12);
+}
+
+TEST(PreemptivePriority, TelescopesToAggregate) {
+  const std::vector<double> lambdas{0.1, 0.2, 0.3, 0.15};
+  const auto result = preemptive_priority_mm1(lambdas);
+  const double total_rate =
+      std::accumulate(lambdas.begin(), lambdas.end(), 0.0);
+  double total_l = 0.0;
+  for (const auto& cls : result) total_l += cls.mean_in_system;
+  EXPECT_NEAR(total_l, g(total_rate), 1e-12);
+}
+
+TEST(PreemptivePriority, LowerClassesSufferMore) {
+  const auto result = preemptive_priority_mm1({0.2, 0.2, 0.2});
+  EXPECT_LT(result[0].mean_sojourn, result[1].mean_sojourn);
+  EXPECT_LT(result[1].mean_sojourn, result[2].mean_sojourn);
+}
+
+TEST(PreemptivePriority, SaturatedLowClassInfinite) {
+  const auto result = preemptive_priority_mm1({0.5, 0.6});
+  EXPECT_TRUE(std::isfinite(result[0].mean_in_system));
+  EXPECT_TRUE(std::isinf(result[1].mean_in_system));
+}
+
+TEST(PreemptivePriority, HighClassesImmuneToSaturationBelow) {
+  const auto calm = preemptive_priority_mm1({0.4});
+  const auto stormy = preemptive_priority_mm1({0.4, 5.0});
+  EXPECT_NEAR(stormy[0].mean_in_system, calm[0].mean_in_system, 1e-12);
+}
+
+TEST(PreemptivePriority, ZeroRateClassHasZeroQueue) {
+  const auto result = preemptive_priority_mm1({0.3, 0.0, 0.4});
+  EXPECT_NEAR(result[1].mean_in_system, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result[1].mean_sojourn, 0.0);
+}
+
+TEST(PreemptivePriority, ScalesWithMu) {
+  // Doubling mu at doubled rates preserves loads, halves sojourns.
+  const auto base = preemptive_priority_mm1({0.2, 0.3}, 1.0);
+  const auto fast = preemptive_priority_mm1({0.4, 0.6}, 2.0);
+  EXPECT_NEAR(fast[0].mean_in_system, base[0].mean_in_system, 1e-12);
+  EXPECT_NEAR(fast[1].mean_sojourn, base[1].mean_sojourn / 2.0, 1e-12);
+}
+
+TEST(PreemptivePriority, RejectsNegativeInputs) {
+  EXPECT_THROW((void)preemptive_priority_mm1({-0.1}), std::invalid_argument);
+  EXPECT_THROW((void)preemptive_priority_mm1({0.1}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(NonpreemptivePriority, TotalMatchesFifoMm1) {
+  // Work-conserving, exponential: total L equals the M/M/1 value.
+  const std::vector<double> lambdas{0.25, 0.35};
+  const auto result = nonpreemptive_priority_mm1(lambdas);
+  double total_l = 0.0;
+  for (const auto& cls : result) total_l += cls.mean_in_system;
+  EXPECT_NEAR(total_l, g(0.6), 1e-9);
+}
+
+TEST(NonpreemptivePriority, HighClassStillWaitsForResidual) {
+  // Unlike preemption, the top class is slower than a private M/M/1.
+  const auto result = nonpreemptive_priority_mm1({0.3, 0.4});
+  const Mm1 solo{0.3, 1.0};
+  EXPECT_GT(result[0].mean_sojourn, solo.mean_sojourn());
+}
+
+TEST(NonpreemptivePriority, PreemptionHelpsTopClass) {
+  const auto preemptive = preemptive_priority_mm1({0.3, 0.4});
+  const auto hol = nonpreemptive_priority_mm1({0.3, 0.4});
+  EXPECT_LT(preemptive[0].mean_sojourn, hol[0].mean_sojourn);
+}
+
+}  // namespace
+}  // namespace gw::queueing

@@ -1,0 +1,104 @@
+#include "core/proportional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/differentiate.hpp"
+#include "queueing/feasibility.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(Proportional, MatchesClosedForm) {
+  const ProportionalAllocation alloc;
+  const std::vector<double> rates{0.1, 0.2, 0.3};
+  const auto congestion = alloc.congestion(rates);
+  const double inv = 1.0 / 0.4;
+  EXPECT_NEAR(congestion[0], 0.1 * inv, 1e-12);
+  EXPECT_NEAR(congestion[1], 0.2 * inv, 1e-12);
+  EXPECT_NEAR(congestion[2], 0.3 * inv, 1e-12);
+}
+
+TEST(Proportional, SatisfiesFeasibilityConstraints) {
+  const ProportionalAllocation alloc;
+  const std::vector<double> rates{0.15, 0.25, 0.05, 0.35};
+  const auto feasibility =
+      queueing::check_feasibility(rates, alloc.congestion(rates));
+  EXPECT_TRUE(feasibility.feasible());
+  EXPECT_TRUE(feasibility.interior());
+}
+
+TEST(Proportional, EqualCongestionPerUnitRate) {
+  const ProportionalAllocation alloc;
+  const std::vector<double> rates{0.1, 0.4, 0.2};
+  const auto congestion = alloc.congestion(rates);
+  const double ratio = congestion[0] / rates[0];
+  EXPECT_NEAR(congestion[1] / rates[1], ratio, 1e-12);
+  EXPECT_NEAR(congestion[2] / rates[2], ratio, 1e-12);
+}
+
+TEST(Proportional, EveryoneSaturatesTogether) {
+  const ProportionalAllocation alloc;
+  const auto congestion = alloc.congestion({0.6, 0.7});
+  EXPECT_TRUE(std::isinf(congestion[0]));
+  EXPECT_TRUE(std::isinf(congestion[1]));
+}
+
+TEST(Proportional, ZeroRateUserHasZeroQueue) {
+  const ProportionalAllocation alloc;
+  const auto congestion = alloc.congestion({0.0, 0.5});
+  EXPECT_DOUBLE_EQ(congestion[0], 0.0);
+  const auto saturated = alloc.congestion({0.0, 1.5});
+  EXPECT_DOUBLE_EQ(saturated[0], 0.0);  // silent user stays clean even then
+}
+
+TEST(Proportional, AnalyticPartialsMatchNumeric) {
+  const ProportionalAllocation alloc;
+  const std::vector<double> rates{0.12, 0.31, 0.22};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double numeric = numerics::partial(
+          [&](const std::vector<double>& r) {
+            return alloc.congestion(r)[i];
+          },
+          rates, j);
+      EXPECT_NEAR(alloc.partial(i, j, rates), numeric, 1e-6)
+          << "partial(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Proportional, AnalyticSecondPartialsMatchNumeric) {
+  const ProportionalAllocation alloc;
+  const std::vector<double> rates{0.2, 0.25};
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      const double numeric = numerics::mixed_partial(
+          [&](const std::vector<double>& r) {
+            return alloc.congestion(r)[i];
+          },
+          rates, i, j);
+      EXPECT_NEAR(alloc.second_partial(i, j, rates), numeric, 1e-3)
+          << "second_partial(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Proportional, CrossDerivativeAlwaysPositive) {
+  // The defining vice of FIFO: my congestion grows when YOU send more.
+  const ProportionalAllocation alloc;
+  const std::vector<double> rates{0.3, 0.1};
+  EXPECT_GT(alloc.partial(0, 1, rates), 0.0);
+  EXPECT_GT(alloc.partial(1, 0, rates), 0.0);
+}
+
+TEST(Proportional, RejectsNegativeRates) {
+  const ProportionalAllocation alloc;
+  EXPECT_THROW((void)alloc.congestion({-0.1, 0.2}), std::invalid_argument);
+  EXPECT_THROW((void)alloc.congestion({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

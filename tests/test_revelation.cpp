@@ -1,0 +1,78 @@
+#include "core/revelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "core/proportional.hpp"
+
+namespace gw::core {
+namespace {
+
+std::vector<UtilityPtr> gamma_report_family() {
+  // Candidate misreports: pretending to be more / less delay-averse.
+  std::vector<UtilityPtr> reports;
+  for (const double gamma : {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6, 0.9}) {
+    reports.push_back(make_linear(1.0, gamma));
+  }
+  return reports;
+}
+
+TEST(Theorem6, FairShareMechanismIsTruthDominant) {
+  const auto mechanism =
+      make_nash_mechanism(std::make_shared<FairShareAllocation>());
+  const UtilityProfile truth{make_linear(1.0, 0.2), make_linear(1.0, 0.35),
+                             make_linear(1.0, 0.5)};
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto sweep =
+        sweep_misreports(mechanism, truth, i, gamma_report_family());
+    EXPECT_LE(sweep.best_gain, 1e-4) << "user " << i << " gains by lying";
+  }
+}
+
+TEST(Theorem6, FifoMechanismIsManipulable) {
+  // The FIFO-Nash mechanism rewards claiming to be congestion-insensitive.
+  const auto mechanism =
+      make_nash_mechanism(std::make_shared<ProportionalAllocation>());
+  const UtilityProfile truth{make_linear(1.0, 0.5), make_linear(1.0, 0.5)};
+  const auto sweep =
+      sweep_misreports(mechanism, truth, 0, gamma_report_family());
+  EXPECT_GT(sweep.best_gain, 1e-3);
+}
+
+TEST(Mechanism, OutcomeIsReportedGamesNash) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto mechanism = make_nash_mechanism(alloc);
+  const UtilityProfile reported{make_linear(1.0, 0.25),
+                                make_linear(1.0, 0.25)};
+  const auto outcome = mechanism(reported);
+  EXPECT_TRUE(is_nash(*alloc, reported, outcome.rates, 1e-5));
+  // Queues consistent with the allocation function.
+  const auto queues = alloc->congestion(outcome.rates);
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    EXPECT_NEAR(outcome.queues[i], queues[i], 1e-12);
+  }
+}
+
+TEST(MisreportGain, TruthfulReportGainsZero) {
+  const auto mechanism =
+      make_nash_mechanism(std::make_shared<FairShareAllocation>());
+  const UtilityProfile truth{make_linear(1.0, 0.3), make_linear(1.0, 0.4)};
+  EXPECT_NEAR(misreport_gain(mechanism, truth, 0, truth[0]), 0.0, 1e-9);
+}
+
+TEST(MisreportGain, BadIndexThrows) {
+  const auto mechanism =
+      make_nash_mechanism(std::make_shared<FairShareAllocation>());
+  const UtilityProfile truth{make_linear(1.0, 0.3)};
+  EXPECT_THROW((void)misreport_gain(mechanism, truth, 3, truth[0]),
+               std::invalid_argument);
+}
+
+TEST(Mechanism, NullAllocationThrows) {
+  EXPECT_THROW((void)make_nash_mechanism(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,168 @@
+#include "numerics/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gw::numerics {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 2.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (const int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const double rate = 2.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialIsMemorylessInDistribution) {
+  // P(X > 2m) should equal P(X > m)^2 for exponential.
+  Rng rng(19);
+  const double rate = 1.0;
+  const double m = 0.7;
+  int over_m = 0, over_2m = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(rate);
+    if (x > m) ++over_m;
+    if (x > 2 * m) ++over_2m;
+  }
+  const double p_m = static_cast<double>(over_m) / n;
+  const double p_2m = static_cast<double>(over_2m) / n;
+  EXPECT_NEAR(p_2m, p_m * p_m, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(29);
+  for (const double mean : {0.5, 3.0, 20.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, 0.05 * std::max(mean, 1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(31);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(41);
+  const auto perm = rng.permutation(50);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationIsUniformish) {
+  // Element 0 should land in each slot ~uniformly.
+  Rng rng(43);
+  std::vector<int> where(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto perm = rng.permutation(5);
+    for (std::size_t k = 0; k < 5; ++k) {
+      if (perm[k] == 0) ++where[k];
+    }
+  }
+  for (const int count : where) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.2, 0.02);
+  }
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const auto a = splitmix64(state);
+  const auto b = splitmix64(state);
+  EXPECT_NE(a, b);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), a);
+}
+
+}  // namespace
+}  // namespace gw::numerics

@@ -1,0 +1,102 @@
+#include "numerics/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gw::numerics {
+namespace {
+
+TEST(Bisect, FindsSqrtTwo) {
+  const auto result = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const auto result = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.x, 0.0);
+}
+
+TEST(Bisect, ThrowsWithoutSignChange) {
+  EXPECT_THROW(
+      (void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      std::invalid_argument);
+}
+
+TEST(BrentRoot, FindsCosRoot) {
+  const auto result = brent_root([](double x) { return std::cos(x); }, 1.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, M_PI / 2.0, 1e-10);
+}
+
+TEST(BrentRoot, HighMultiplicityRoot) {
+  const auto result =
+      brent_root([](double x) { return std::pow(x - 1.0, 3); }, 0.0, 3.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 1.0, 1e-4);
+}
+
+TEST(BrentRoot, FasterThanBisection) {
+  int brent_evals = 0, bisect_evals = 0;
+  auto f_brent = [&](double x) {
+    ++brent_evals;
+    return std::exp(x) - 5.0;
+  };
+  auto f_bisect = [&](double x) {
+    ++bisect_evals;
+    return std::exp(x) - 5.0;
+  };
+  const auto rb = brent_root(f_brent, 0.0, 4.0);
+  const auto rs = bisect(f_bisect, 0.0, 4.0);
+  EXPECT_TRUE(rb.converged);
+  EXPECT_TRUE(rs.converged);
+  EXPECT_NEAR(rb.x, std::log(5.0), 1e-9);
+  EXPECT_LT(brent_evals, bisect_evals);
+}
+
+TEST(NewtonRoot, QuadraticConvergence) {
+  const auto result = newton_root([](double x) { return x * x - 2.0; },
+                                  [](double x) { return 2.0 * x; }, 1.0, 0.0,
+                                  2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, std::sqrt(2.0), 1e-10);
+  EXPECT_LE(result.iterations, 8);
+}
+
+TEST(NewtonRoot, SafeguardedAgainstFlatDerivative) {
+  // f'(x0) = 0 at the start; must fall back to bisection, not divide by 0.
+  const auto result = newton_root(
+      [](double x) { return x * x * x - 1.0; },
+      [](double x) { return 3.0 * x * x; }, 0.0, -2.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 1.0, 1e-8);
+}
+
+TEST(ExpandBracket, GrowsToFindSignChange) {
+  const auto bracket =
+      expand_bracket([](double x) { return x - 100.0; }, 0.0, 1.0);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_LE(bracket->first, 100.0);
+  EXPECT_GE(bracket->second, 100.0);
+}
+
+TEST(ExpandBracket, GivesUpWhenNoRoot) {
+  const auto bracket =
+      expand_bracket([](double x) { return x * x + 1.0; }, -1.0, 1.0, 10);
+  EXPECT_FALSE(bracket.has_value());
+}
+
+TEST(RootOptions, TightToleranceHonored) {
+  RootOptions options;
+  options.f_tol = 1e-15;
+  options.x_tol = 1e-15;
+  const auto result =
+      brent_root([](double x) { return x * x * x - 8.0; }, 0.0, 5.0, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gw::numerics

@@ -1,0 +1,189 @@
+// Footnote 5 generalization: the serial (Fair Share) construction over
+// arbitrary strictly increasing, strictly convex aggregate constraints.
+#include "core/serial_general.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "core/envy.hpp"
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "numerics/differentiate.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(GFunction, Mm1MatchesQueueingModule) {
+  const auto g = GFunction::mm1();
+  EXPECT_DOUBLE_EQ(g.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(g.prime(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(g.double_prime(0.5), 16.0);
+  EXPECT_TRUE(std::isinf(g.value(1.0)));
+}
+
+TEST(GFunction, Mg1DerivativesConsistent) {
+  for (const double scv : {0.0, 0.5, 1.0, 4.0}) {
+    const auto g = GFunction::mg1(scv);
+    for (double x = 0.1; x < 0.9; x += 0.2) {
+      const double h = 1e-6;
+      EXPECT_NEAR(g.prime(x), (g.value(x + h) - g.value(x - h)) / (2 * h),
+                  1e-4)
+          << "scv " << scv << " x " << x;
+      EXPECT_NEAR(g.double_prime(x),
+                  (g.prime(x + h) - g.prime(x - h)) / (2 * h), 1e-3);
+    }
+  }
+}
+
+TEST(GFunction, Mg1Scv1IsMm1) {
+  const auto mg1 = GFunction::mg1(1.0);
+  const auto mm1 = GFunction::mm1();
+  for (double x = 0.05; x < 0.95; x += 0.1) {
+    EXPECT_NEAR(mg1.value(x), mm1.value(x), 1e-12);
+  }
+}
+
+TEST(GFunction, StrictlyIncreasingAndConvexEverywhere) {
+  for (const auto& g :
+       {GFunction::mm1(), GFunction::mg1(4.0), GFunction::quadratic(),
+        GFunction::power(3.0)}) {
+    for (double x = 0.05; x < 0.9; x += 0.05) {
+      EXPECT_GT(g.prime(x), 0.0) << g.name;
+      EXPECT_GT(g.double_prime(x), 0.0) << g.name;
+    }
+  }
+}
+
+TEST(GeneralSerial, Mm1ReducesToFairShare) {
+  const GeneralSerialAllocation general(GFunction::mm1());
+  const FairShareAllocation fair_share;
+  const std::vector<double> rates{0.08, 0.2, 0.14, 0.3};
+  const auto a = general.congestion(rates);
+  const auto b = fair_share.congestion(rates);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-12);
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      EXPECT_NEAR(general.partial(i, j, rates),
+                  fair_share.partial(i, j, rates), 1e-12);
+    }
+  }
+}
+
+TEST(GeneralProportional, Mm1ReducesToProportional) {
+  const GeneralProportionalAllocation general(GFunction::mm1());
+  const ProportionalAllocation proportional;
+  const std::vector<double> rates{0.1, 0.25, 0.3};
+  const auto a = general.congestion(rates);
+  const auto b = proportional.congestion(rates);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-12);
+  }
+}
+
+TEST(GeneralSerial, AggregateTelescopesToG) {
+  for (const auto& g : {GFunction::mg1(4.0), GFunction::quadratic(),
+                        GFunction::power(2.5)}) {
+    const GeneralSerialAllocation alloc(g);
+    const std::vector<double> rates{0.1, 0.22, 0.07, 0.31};
+    const auto congestion = alloc.congestion(rates);
+    const double total_rate =
+        std::accumulate(rates.begin(), rates.end(), 0.0);
+    const double total_queue =
+        std::accumulate(congestion.begin(), congestion.end(), 0.0);
+    EXPECT_NEAR(total_queue, g.value(total_rate), 1e-10) << g.name;
+  }
+}
+
+TEST(GeneralSerial, AnalyticPartialsMatchNumeric) {
+  const GeneralSerialAllocation alloc(GFunction::mg1(4.0));
+  const std::vector<double> rates{0.12, 0.2, 0.31};
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      const double numeric = numerics::partial(
+          [&](const std::vector<double>& r) {
+            return alloc.congestion(r)[i];
+          },
+          rates, j);
+      EXPECT_NEAR(alloc.partial(i, j, rates), numeric, 5e-5)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(GeneralSerial, TriangularityHoldsForEveryG) {
+  for (const auto& g : {GFunction::mg1(0.0), GFunction::quadratic()}) {
+    const GeneralSerialAllocation alloc(g);
+    const std::vector<double> rates{0.3, 0.1, 0.2};
+    EXPECT_DOUBLE_EQ(alloc.partial(1, 0, rates), 0.0) << g.name;
+    EXPECT_DOUBLE_EQ(alloc.partial(2, 0, rates), 0.0) << g.name;
+    EXPECT_GT(alloc.partial(0, 1, rates), 0.0) << g.name;
+  }
+}
+
+TEST(GeneralSerial, UniqueNashForMg1Constraints) {
+  // Theorem 4's guarantee carries to the M/G/1 constraint (footnote 5).
+  for (const double scv : {0.0, 4.0}) {
+    const GeneralSerialAllocation alloc(GFunction::mg1(scv));
+    const UtilityProfile profile{make_linear(1.0, 0.2),
+                                 make_linear(1.0, 0.4),
+                                 make_linear(1.0, 0.6)};
+    const auto equilibria = find_equilibria(alloc, profile, 10, 5);
+    EXPECT_EQ(equilibria.size(), 1u) << "scv " << scv;
+  }
+}
+
+TEST(GeneralSerial, UnilateralEnvyFreeForMg1Constraints) {
+  const GeneralSerialAllocation alloc(GFunction::mg1(4.0));
+  numerics::Rng rng(606);
+  const auto u = make_linear(1.0, 0.35);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<double> rates(3);
+    for (auto& r : rates) r = rng.uniform(0.02, 0.6);
+    const auto result = unilateral_envy(alloc, {u, u, u}, rates, 0);
+    EXPECT_LE(result.max_envy, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(GeneralSerial, ProtectiveBoundHolds) {
+  // Theorem 8's analogue: C_i <= g(N r_i) / N under the serial rule.
+  const GeneralSerialAllocation alloc(GFunction::mg1(4.0));
+  numerics::Rng rng(707);
+  const double rate = 0.12;
+  const std::size_t n = 4;
+  const double bound = alloc.protective_bound(rate, n);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> rates(n);
+    rates[0] = rate;
+    for (std::size_t j = 1; j < n; ++j) rates[j] = rng.uniform(0.0, 2.0);
+    EXPECT_LE(alloc.congestion(rates)[0], bound + 1e-9);
+  }
+  // And the bound is attained by clones.
+  const std::vector<double> clones(n, rate);
+  EXPECT_NEAR(alloc.congestion(clones)[0], bound, 1e-12);
+}
+
+TEST(GeneralProportional, NotProtectiveForMg1) {
+  const GeneralProportionalAllocation alloc(GFunction::mg1(4.0));
+  const std::vector<double> rates{0.12, 1.5, 0.4, 0.4};
+  EXPECT_TRUE(std::isinf(alloc.congestion(rates)[0]));
+}
+
+TEST(GeneralSerial, QuadraticTechnologyNoSaturation) {
+  // Abstract convex technology: heavy users pay superlinearly but nobody
+  // saturates.
+  const GeneralSerialAllocation alloc(GFunction::quadratic());
+  const auto congestion = alloc.congestion({0.5, 2.0, 5.0});
+  for (const double c : congestion) {
+    EXPECT_TRUE(std::isfinite(c));
+  }
+  EXPECT_LT(congestion[0], congestion[1]);
+  EXPECT_LT(congestion[1], congestion[2]);
+}
+
+}  // namespace
+}  // namespace gw::core

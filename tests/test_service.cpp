@@ -1,0 +1,159 @@
+// Service-demand distributions and M/G/1 empirics (footnote 5).
+#include "sim/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mg1.hpp"
+#include "queueing/mm1.hpp"
+#include "sim/runner.hpp"
+
+namespace gw::sim {
+namespace {
+
+void check_moments(const ServiceSpec& spec, double expected_scv) {
+  numerics::Rng rng(515151);
+  numerics::RunningStat stat;
+  const int n = 200000;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = spec.sample(rng);
+    stat.add(x);
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(stat.mean(), spec.mean, 0.02 * spec.mean);
+  const double second = sum_sq / n;
+  const double scv =
+      (second - stat.mean() * stat.mean()) / (stat.mean() * stat.mean());
+  EXPECT_NEAR(scv, expected_scv, 0.06 * std::max(expected_scv, 0.5));
+  EXPECT_NEAR(spec.scv(), expected_scv, 1e-9);
+}
+
+TEST(ServiceSpec, ExponentialMoments) {
+  check_moments(ServiceSpec::exponential(0.8), 1.0);
+}
+
+TEST(ServiceSpec, DeterministicMoments) {
+  check_moments(ServiceSpec::deterministic(1.3), 0.0);
+}
+
+TEST(ServiceSpec, ErlangMoments) {
+  check_moments(ServiceSpec::erlang(4, 1.0), 0.25);
+}
+
+TEST(ServiceSpec, HyperexponentialMoments) {
+  check_moments(ServiceSpec::hyperexponential(4.0, 1.0), 4.0);
+}
+
+TEST(ServiceSpec, Validation) {
+  EXPECT_THROW((void)ServiceSpec::exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)ServiceSpec::erlang(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ServiceSpec::hyperexponential(0.5),
+               std::invalid_argument);
+}
+
+RunOptions mg1_options(std::uint64_t seed) {
+  RunOptions options;
+  options.warmup = 4000.0;
+  options.batches = 14;
+  options.batch_length = 6000.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Mg1Sim, DeterministicServiceMatchesPollaczekKhinchine) {
+  auto options = mg1_options(41);
+  options.service = ServiceSpec::deterministic(1.0);
+  const auto result = run_switch(Discipline::kFifo, {0.6}, options);
+  const double expected = queueing::g_mg1(0.6, 0.0);  // M/D/1
+  EXPECT_NEAR(result.users[0].mean_queue / expected, 1.0, 0.08);
+}
+
+TEST(Mg1Sim, HyperexponentialServiceMatchesPollaczekKhinchine) {
+  auto options = mg1_options(43);
+  options.service = ServiceSpec::hyperexponential(4.0, 1.0);
+  const auto result = run_switch(Discipline::kFifo, {0.5}, options);
+  const double expected = queueing::g_mg1(0.5, 4.0);
+  EXPECT_NEAR(result.users[0].mean_queue / expected, 1.0, 0.15);
+}
+
+TEST(Mg1Sim, VariabilityOrdersTheQueues) {
+  // At equal load: deterministic < exponential < hyperexponential queues.
+  double queues[3];
+  int index = 0;
+  for (const auto& spec :
+       {ServiceSpec::deterministic(1.0), ServiceSpec::exponential(1.0),
+        ServiceSpec::hyperexponential(4.0, 1.0)}) {
+    auto options = mg1_options(47);
+    options.service = spec;
+    queues[index++] =
+        run_switch(Discipline::kFifo, {0.6}, options).users[0].mean_queue;
+  }
+  EXPECT_LT(queues[0], queues[1]);
+  EXPECT_LT(queues[1], queues[2]);
+}
+
+TEST(Mg1Sim, FifoStaysProportionalAcrossServiceDistributions) {
+  // Under FIFO every class sees the same mean delay whatever the service
+  // distribution, so per-user queues remain proportional to rates.
+  for (const auto& spec : {ServiceSpec::deterministic(1.0),
+                           ServiceSpec::hyperexponential(4.0, 1.0)}) {
+    auto options = mg1_options(53);
+    options.service = spec;
+    const std::vector<double> rates{0.15, 0.45};
+    const auto result = run_switch(Discipline::kFifo, rates, options);
+    const double ratio0 = result.users[0].mean_queue / rates[0];
+    const double ratio1 = result.users[1].mean_queue / rates[1];
+    EXPECT_NEAR(ratio0 / ratio1, 1.0, 0.12);
+  }
+}
+
+TEST(Mg1Sim, ProcessorSharingInsensitiveToServiceDistribution) {
+  // The classic M/G/1-PS insensitivity: mean occupancy depends on the
+  // service distribution only through its mean.
+  const double expected = queueing::g(0.6);
+  for (const auto& spec : {ServiceSpec::deterministic(1.0),
+                           ServiceSpec::hyperexponential(4.0, 1.0)}) {
+    auto options = mg1_options(59);
+    options.service = spec;
+    const auto result =
+        run_switch(Discipline::kProcessorSharing, {0.6}, options);
+    EXPECT_NEAR(result.users[0].mean_queue / expected, 1.0, 0.12)
+        << "scv " << spec.scv();
+  }
+}
+
+TEST(DelayQuantiles, Mm1SojournIsExponential) {
+  // M/M/1 FIFO sojourn ~ Exp(mu - lambda): quantiles ln(1/(1-q))/(mu-l).
+  auto options = mg1_options(61);
+  options.delay_histograms = true;
+  options.delay_histogram_max = 60.0;
+  const auto result = run_switch(Discipline::kFifo, {0.5}, options);
+  const double scale = 1.0 / (1.0 - 0.5);
+  EXPECT_NEAR(result.users[0].delay_p50 / (std::log(2.0) * scale), 1.0, 0.1);
+  EXPECT_NEAR(result.users[0].delay_p95 / (std::log(20.0) * scale), 1.0,
+              0.1);
+  EXPECT_NEAR(result.users[0].delay_p99 / (std::log(100.0) * scale), 1.0,
+              0.15);
+}
+
+TEST(DelayQuantiles, DisabledByDefault) {
+  const auto result = run_switch(Discipline::kFifo, {0.3}, mg1_options(67));
+  EXPECT_DOUBLE_EQ(result.users[0].delay_p99, 0.0);
+}
+
+TEST(DelayQuantiles, LifoHasHeavierTailThanFifo) {
+  // Same mean, wildly different distribution: preemptive LIFO's delay
+  // tail dwarfs FIFO's at equal load.
+  auto options = mg1_options(71);
+  options.delay_histograms = true;
+  options.delay_histogram_max = 400.0;
+  const auto fifo = run_switch(Discipline::kFifo, {0.6}, options);
+  const auto lifo = run_switch(Discipline::kLifoPreempt, {0.6}, options);
+  EXPECT_NEAR(lifo.users[0].mean_delay / fifo.users[0].mean_delay, 1.0, 0.2);
+  EXPECT_GT(lifo.users[0].delay_p99, 1.5 * fifo.users[0].delay_p99);
+}
+
+}  // namespace
+}  // namespace gw::sim

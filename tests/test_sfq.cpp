@@ -1,0 +1,109 @@
+// Start-time Fair Queueing: deterministic tag mechanics and statistical
+// fairness/protection properties.
+#include "sim/sfq_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/proportional.hpp"
+#include "sim/runner.hpp"
+
+namespace gw::sim {
+namespace {
+
+Packet make_packet(std::size_t user, double now, double demand) {
+  Packet packet;
+  packet.user = user;
+  packet.arrival_time = now;
+  packet.service_demand = demand;
+  packet.remaining = demand;
+  return packet;
+}
+
+TEST(SfqStation, AlternatesBetweenEquallyBackloggedFlows) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  SfqStation station(sim, tracker, 2);
+  sim.schedule_at(0.0, [&] {
+    station.arrive(make_packet(0, 0.0, 1.0));  // S=0, F0=1
+    station.arrive(make_packet(0, 0.0, 1.0));  // S=1, F0=2
+    station.arrive(make_packet(1, 0.0, 1.0));  // S=0, F1=1
+    station.arrive(make_packet(1, 0.0, 1.0));  // S=1, F1=2
+  });
+  sim.run_until(10.0);
+  // Start tags 0,0,1,1 with FIFO tie-break: u0@1, u1@2, u0@3, u1@4.
+  EXPECT_NEAR(tracker.mean_delay(0), 2.0, 1e-9);
+  EXPECT_NEAR(tracker.mean_delay(1), 3.0, 1e-9);
+}
+
+TEST(SfqStation, WeightedSharesFavorHeavyWeight) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  SfqStation station(sim, tracker, std::vector<double>{2.0, 1.0});
+  // Both flows continuously backlogged with unit packets: flow 0's finish
+  // tags advance half as fast, so it gets ~2/3 of the service slots.
+  sim.schedule_at(0.0, [&] {
+    for (int k = 0; k < 6; ++k) station.arrive(make_packet(0, 0.0, 1.0));
+    for (int k = 0; k < 6; ++k) station.arrive(make_packet(1, 0.0, 1.0));
+  });
+  sim.run_until(9.0);  // 9 service slots
+  EXPECT_GT(tracker.departures(0), tracker.departures(1));
+}
+
+TEST(SfqStation, NewFlowNotStarvedByOldTags) {
+  // The max(v, F_f) rule resets an idle flow's tags to current virtual
+  // time: a newcomer is served promptly even after a long busy stretch.
+  Simulator sim;
+  QueueTracker tracker(2);
+  SfqStation station(sim, tracker, 2);
+  sim.schedule_at(0.0, [&] {
+    for (int k = 0; k < 20; ++k) station.arrive(make_packet(0, 0.0, 1.0));
+  });
+  sim.schedule_at(10.0, [&] { station.arrive(make_packet(1, 10.0, 1.0)); });
+  sim.run_until(40.0);
+  // Flow 1's packet jumps close to the head (its start tag equals the
+  // current virtual time, far below flow 0's accumulated tags).
+  EXPECT_LT(tracker.mean_delay(1), 3.0);
+}
+
+TEST(SfqStation, BadInputsThrow) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  EXPECT_THROW(SfqStation(sim, tracker, std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  SfqStation station(sim, tracker, 2);
+  EXPECT_THROW(station.arrive(make_packet(7, 0.0, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(SfqStation, MatchesProportionalMeansAtModestLoad) {
+  // With Poisson inputs below capacity every work-conserving symmetric
+  // discipline delivers the proportional mean queues.
+  const std::vector<double> rates{0.2, 0.3};
+  const core::ProportionalAllocation analytic;
+  const auto expected = analytic.congestion(rates);
+  RunOptions options;
+  options.warmup = 3000.0;
+  options.batches = 12;
+  options.batch_length = 4000.0;
+  options.seed = 97;
+  const auto result = run_switch(Discipline::kSfq, rates, options);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_NEAR(result.users[u].mean_queue / expected[u], 1.0, 0.15);
+  }
+}
+
+TEST(SfqStation, ProtectsLightUserFromFlooder) {
+  const std::vector<double> rates{0.1, 1.3};
+  RunOptions options;
+  options.warmup = 3000.0;
+  options.batches = 8;
+  options.batch_length = 4000.0;
+  options.seed = 101;
+  const auto sfq = run_switch(Discipline::kSfq, rates, options);
+  const auto fifo = run_switch(Discipline::kFifo, rates, options);
+  EXPECT_LT(sfq.users[0].mean_delay, fifo.users[0].mean_delay / 5.0);
+  EXPECT_NEAR(sfq.users[0].throughput, 0.1, 0.02);
+}
+
+}  // namespace
+}  // namespace gw::sim

@@ -1,0 +1,172 @@
+// Stress and failure-injection tests for the packet simulator: overload
+// physics, rate toggling, degenerate packets, long-horizon stability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/drr_station.hpp"
+#include "sim/fair_share_station.hpp"
+#include "sim/runner.hpp"
+#include "sim/sfq_station.hpp"
+#include "sim/sources.hpp"
+
+namespace gw::sim {
+namespace {
+
+TEST(SimStress, OverloadedQueueGrowsLinearly) {
+  // lambda > mu: number in system grows at rate lambda - mu; after time T
+  // the occupancy is ~(lambda - mu) T.
+  Simulator sim;
+  QueueTracker tracker(1);
+  FifoStation station(sim, tracker);
+  PoissonSource source(sim, station, 0, 1.5, 1.0, 99);
+  const double horizon = 20000.0;
+  sim.run_until(horizon);
+  const double expected = 0.5 * horizon;
+  EXPECT_NEAR(tracker.occupancy(0) / expected, 1.0, 0.10);
+}
+
+TEST(SimStress, FsStationKeepsLightUserCleanUnderExtremeOverload) {
+  // A 10x-capacity flooder for a long horizon: the light user's time-
+  // average queue stays at its analytic value throughout.
+  Simulator sim;
+  QueueTracker tracker(2);
+  FairShareStation station(sim, tracker, {0.1, 10.0}, 7);
+  PoissonSource light(sim, station, 0, 0.1, 1.0, 1);
+  PoissonSource flood(sim, station, 1, 10.0, 1.0, 2);
+  sim.run_for(2000.0);
+  tracker.reset(sim.now());
+  sim.run_for(20000.0);
+  // Analytic: C_light = g(0.2)/2 = 0.125.
+  EXPECT_NEAR(tracker.time_average(0, sim.now()), 0.125, 0.03);
+}
+
+TEST(SimStress, RateTogglingSourceStaysConsistent) {
+  // Toggle a source on/off repeatedly; departures can never exceed
+  // emissions and occupancy stays consistent.
+  Simulator sim;
+  QueueTracker tracker(1);
+  FifoStation station(sim, tracker);
+  PoissonSource source(sim, station, 0, 0.5, 1.0, 11);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    sim.run_for(100.0);
+    source.set_rate(cycle % 2 == 0 ? 0.0 : 0.5);
+  }
+  source.set_rate(0.0);
+  sim.run_for(5000.0);  // drain
+  EXPECT_EQ(tracker.occupancy(0), 0);
+  EXPECT_EQ(tracker.departures(0), source.emitted());
+}
+
+TEST(SimStress, ZeroDemandPacketsFlowThrough) {
+  Simulator sim;
+  QueueTracker tracker(1);
+  FifoStation station(sim, tracker);
+  Packet packet;
+  packet.user = 0;
+  packet.arrival_time = 0.0;
+  packet.service_demand = 0.0;
+  sim.schedule_at(0.0, [&] { station.arrive(packet); });
+  sim.run_until(1.0);
+  EXPECT_EQ(tracker.departures(0), 1u);
+  EXPECT_DOUBLE_EQ(tracker.mean_delay(0), 0.0);
+}
+
+TEST(SimStress, SimultaneousArrivalBurstsHandled) {
+  // 1000 packets arriving at the same instant: everything is served, in
+  // order, with no occupancy anomalies — for several disciplines.
+  for (int which = 0; which < 3; ++which) {
+    Simulator sim;
+    QueueTracker tracker(4);
+    std::unique_ptr<Station> station;
+    switch (which) {
+      case 0: station = std::make_unique<FifoStation>(sim, tracker); break;
+      case 1: station = std::make_unique<DrrStation>(sim, tracker, 4, 1.0); break;
+      default: station = std::make_unique<SfqStation>(sim, tracker, 4); break;
+    }
+    sim.schedule_at(0.0, [&] {
+      numerics::Rng rng(5);
+      for (int k = 0; k < 1000; ++k) {
+        Packet packet;
+        packet.user = k % 4;
+        packet.arrival_time = 0.0;
+        packet.service_demand = rng.exponential(1.0);
+        packet.remaining = packet.service_demand;
+        station->arrive(std::move(packet));
+      }
+    });
+    sim.run_until(1e7);
+    std::size_t total = 0;
+    for (std::size_t u = 0; u < 4; ++u) {
+      EXPECT_EQ(tracker.occupancy(u), 0) << "which " << which;
+      total += tracker.departures(u);
+    }
+    EXPECT_EQ(total, 1000u) << "which " << which;
+  }
+}
+
+TEST(SimStress, LongHorizonEventCountsAreSane) {
+  RunOptions options;
+  options.warmup = 1000.0;
+  options.batches = 4;
+  options.batch_length = 25000.0;
+  options.seed = 3;
+  const auto result = run_switch(Discipline::kFairShareOracle, {0.3, 0.3},
+                                 options);
+  // ~0.6 arrivals per time unit, 2+ events per packet.
+  EXPECT_GT(result.events, 100000u);
+  EXPECT_LT(result.events, 500000u);
+  EXPECT_NEAR(result.users[0].throughput, 0.3, 0.02);
+}
+
+TEST(SimStress, IdenticalSeedsGiveIdenticalResults) {
+  // Bitwise reproducibility: the whole pipeline is deterministic.
+  RunOptions options;
+  options.warmup = 1000.0;
+  options.batches = 6;
+  options.batch_length = 2000.0;
+  options.seed = 99;
+  const auto a = run_switch(Discipline::kFairShareOracle, {0.2, 0.3}, options);
+  const auto b = run_switch(Discipline::kFairShareOracle, {0.2, 0.3}, options);
+  ASSERT_EQ(a.events, b.events);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_DOUBLE_EQ(a.users[u].mean_queue, b.users[u].mean_queue);
+    EXPECT_DOUBLE_EQ(a.users[u].mean_delay, b.users[u].mean_delay);
+  }
+}
+
+TEST(SimStress, DifferentSeedsAgreeStatistically) {
+  RunOptions options;
+  options.warmup = 3000.0;
+  options.batches = 10;
+  options.batch_length = 5000.0;
+  numerics::RunningStat across_seeds;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    options.seed = seed;
+    across_seeds.add(
+        run_switch(Discipline::kFifo, {0.5}, options).users[0].mean_queue);
+  }
+  EXPECT_NEAR(across_seeds.mean(), 1.0, 0.08);   // analytic L = 1
+  EXPECT_LT(across_seeds.stddev(), 0.1);
+}
+
+TEST(SimStress, AdaptiveFsSurvivesEstimatorColdStart) {
+  // The adaptive switch starts with no rate information at all; it must
+  // not crash or deadlock, and converges to sane allocations.
+  RunOptions options;
+  options.warmup = 3000.0;
+  options.batches = 8;
+  options.batch_length = 4000.0;
+  options.seed = 23;
+  options.estimator_tau = 200.0;
+  options.rebuild_interval = 40.0;
+  const auto result =
+      run_switch(Discipline::kFairShareAdaptive, {0.25, 0.25}, options);
+  for (const auto& user : result.users) {
+    EXPECT_GT(user.mean_queue, 0.3);
+    EXPECT_LT(user.mean_queue, 0.8);
+  }
+}
+
+}  // namespace
+}  // namespace gw::sim

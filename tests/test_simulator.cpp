@@ -1,0 +1,159 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rate_estimator.hpp"
+#include "sim/tracker.hpp"
+
+namespace gw::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until(2.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  sim.run_until(6.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW((void)sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW((void)sim.run_until(2.0), std::invalid_argument);
+}
+
+TEST(Tracker, TimeAverageOfSquareWave) {
+  QueueTracker tracker(1);
+  tracker.reset(0.0);
+  tracker.on_change(0.0, 0, +1);  // occupancy 1 during [0, 4)
+  tracker.on_change(4.0, 0, +1);  // occupancy 2 during [4, 6)
+  tracker.on_change(6.0, 0, -2);  // occupancy 0 during [6, 10)
+  EXPECT_NEAR(tracker.time_average(0, 10.0), (4.0 + 4.0) / 10.0, 1e-12);
+}
+
+TEST(Tracker, BatchesAreIndependentWindows) {
+  QueueTracker tracker(1);
+  tracker.reset(0.0);
+  tracker.close_batch(0.0);  // open first batch
+  tracker.on_change(0.0, 0, +1);
+  const auto batch1 = tracker.close_batch(2.0);  // occupancy 1 throughout
+  ASSERT_EQ(batch1.size(), 1u);
+  EXPECT_NEAR(batch1[0], 1.0, 1e-12);
+  tracker.on_change(2.0, 0, +1);
+  const auto batch2 = tracker.close_batch(4.0);  // occupancy 2 throughout
+  EXPECT_NEAR(batch2[0], 2.0, 1e-12);
+}
+
+TEST(Tracker, DelayAccounting) {
+  QueueTracker tracker(2);
+  tracker.reset(0.0);
+  tracker.on_departure(0, 1.5);
+  tracker.on_departure(0, 2.5);
+  tracker.on_departure(1, 10.0);
+  EXPECT_NEAR(tracker.mean_delay(0), 2.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(1), 10.0, 1e-12);
+  EXPECT_EQ(tracker.departures(0), 2u);
+}
+
+TEST(Tracker, NegativeOccupancyThrows) {
+  QueueTracker tracker(1);
+  EXPECT_THROW(tracker.on_change(0.0, 0, -1), std::logic_error);
+}
+
+TEST(Tracker, ResetDiscardsHistoryKeepsOccupancy) {
+  QueueTracker tracker(1);
+  tracker.on_change(0.0, 0, +1);
+  tracker.reset(5.0);
+  EXPECT_EQ(tracker.occupancy(0), 1);
+  // After reset, the standing occupant counts from t=5.
+  EXPECT_NEAR(tracker.time_average(0, 7.0), 1.0, 1e-12);
+  EXPECT_EQ(tracker.departures(0), 0u);
+}
+
+TEST(RateEstimator, ConvergesToTrueRateOnRegularTrain) {
+  RateEstimator estimator(1, 50.0);
+  const double rate = 0.4;
+  double t = 0.0;
+  for (int k = 0; k < 2000; ++k) {
+    t += 1.0 / rate;
+    estimator.on_arrival(0, t);
+  }
+  EXPECT_NEAR(estimator.estimate(0, t), rate, 0.05 * rate);
+}
+
+TEST(RateEstimator, DecaysAfterSilence) {
+  RateEstimator estimator(1, 10.0);
+  estimator.on_arrival(0, 0.0);
+  const double soon = estimator.estimate(0, 1.0);
+  const double later = estimator.estimate(0, 100.0);
+  EXPECT_GT(soon, later);
+  EXPECT_NEAR(later, 0.0, 1e-4);
+}
+
+TEST(RateEstimator, TracksRateChanges) {
+  RateEstimator estimator(1, 30.0);
+  double t = 0.0;
+  for (int k = 0; k < 500; ++k) {
+    t += 5.0;  // rate 0.2
+    estimator.on_arrival(0, t);
+  }
+  const double slow = estimator.estimate(0, t);
+  for (int k = 0; k < 1000; ++k) {
+    t += 1.25;  // rate 0.8
+    estimator.on_arrival(0, t);
+  }
+  const double fast = estimator.estimate(0, t);
+  EXPECT_NEAR(slow, 0.2, 0.05);
+  EXPECT_NEAR(fast, 0.8, 0.1);
+}
+
+}  // namespace
+}  // namespace gw::sim

@@ -1,0 +1,85 @@
+#include "core/stackelberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fair_share.hpp"
+#include "core/proportional.hpp"
+
+namespace gw::core {
+namespace {
+
+StackelbergOptions fast_options() {
+  StackelbergOptions options;
+  options.leader_grid = 25;
+  options.refine_iterations = 2;
+  options.follower.max_iterations = 120;
+  options.follower.best_response.scan_points = 121;
+  return options;
+}
+
+TEST(Theorem5, FifoLeaderGainsFromSophistication) {
+  // Under the proportional allocation the Stackelberg leader does strictly
+  // better than at the Nash point — sophistication pays, which is exactly
+  // what the paper wants to design away.
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 3);
+  const auto result = solve_stackelberg(alloc, profile, 0, fast_options());
+  ASSERT_TRUE(result.solved);
+  EXPECT_GT(result.advantage(), 1e-4);
+}
+
+TEST(Theorem5, FairShareLeaderGainsNothing) {
+  // Under FS every Nash equilibrium is a Stackelberg equilibrium: leading
+  // buys (numerically) nothing.
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 3);
+  const auto result = solve_stackelberg(alloc, profile, 0, fast_options());
+  ASSERT_TRUE(result.solved);
+  EXPECT_NEAR(result.advantage(), 0.0, 2e-4);
+  EXPECT_NEAR(result.leader_rate, result.nash_rates[0], 5e-2);
+}
+
+TEST(Theorem5, FairShareHeterogeneousLeaderStillGainsNothing) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const UtilityProfile profile{make_linear(1.0, 0.15), make_linear(1.0, 0.4),
+                               make_linear(1.0, 0.7)};
+  for (const std::size_t leader : {0u, 1u, 2u}) {
+    const auto result =
+        solve_stackelberg(alloc, profile, leader, fast_options());
+    ASSERT_TRUE(result.solved) << "leader " << leader;
+    EXPECT_NEAR(result.advantage(), 0.0, 3e-4) << "leader " << leader;
+  }
+}
+
+TEST(Stackelberg, LeaderNeverWorseThanNash) {
+  // Leading weakly dominates following for any discipline (the leader can
+  // always commit to her Nash rate).
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  const UtilityProfile profile{make_linear(1.0, 0.2), make_linear(1.0, 0.5)};
+  const auto result = solve_stackelberg(alloc, profile, 1, fast_options());
+  ASSERT_TRUE(result.solved);
+  EXPECT_GE(result.advantage(), -1e-5);
+}
+
+TEST(Stackelberg, FifoLeaderCrowdsOutFollowers) {
+  // The FIFO leader over-claims: her committed rate exceeds her Nash rate,
+  // and followers retreat below theirs.
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 2);
+  const auto result = solve_stackelberg(alloc, profile, 0, fast_options());
+  ASSERT_TRUE(result.solved);
+  EXPECT_GT(result.leader_rate, result.nash_rates[0] + 1e-3);
+  EXPECT_LT(result.rates[1], result.nash_rates[1] - 1e-4);
+}
+
+TEST(Stackelberg, BadLeaderIndexThrows) {
+  const auto alloc = std::make_shared<ProportionalAllocation>();
+  const auto profile = uniform_profile(make_linear(1.0, 0.2), 2);
+  EXPECT_THROW((void)solve_stackelberg(alloc, profile, 5, fast_options()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

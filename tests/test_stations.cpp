@@ -1,0 +1,229 @@
+// Deterministic unit tests of the service disciplines: hand-scheduled
+// packets with known demands, checking exactly who departs when.
+#include "sim/stations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/drr_station.hpp"
+#include "sim/fair_share_station.hpp"
+
+namespace gw::sim {
+namespace {
+
+Packet make_packet(std::size_t user, double now, double demand,
+                   int priority = 0) {
+  Packet packet;
+  packet.user = user;
+  packet.arrival_time = now;
+  packet.service_demand = demand;
+  packet.remaining = demand;
+  packet.priority = priority;
+  return packet;
+}
+
+TEST(FifoStation, ServesInArrivalOrder) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  FifoStation station(sim, tracker);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 2.0)); });
+  sim.schedule_at(1.0, [&] { station.arrive(make_packet(1, 1.0, 1.0)); });
+  sim.run_until(10.0);
+  // Packet 0 departs at 2 (delay 2); packet 1 at 3 (delay 2).
+  EXPECT_NEAR(tracker.mean_delay(0), 2.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(1), 2.0, 1e-12);
+  EXPECT_EQ(tracker.departures(0), 1u);
+  EXPECT_EQ(tracker.departures(1), 1u);
+}
+
+TEST(FifoStation, WorkConservingAcrossIdlePeriods) {
+  Simulator sim;
+  QueueTracker tracker(1);
+  FifoStation station(sim, tracker);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 1.0)); });
+  sim.schedule_at(5.0, [&] { station.arrive(make_packet(0, 5.0, 1.0)); });
+  sim.run_until(10.0);
+  EXPECT_NEAR(tracker.mean_delay(0), 1.0, 1e-12);  // both served alone
+}
+
+TEST(LifoStation, NewArrivalPreemptsAndResumes) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  LifoPreemptStation station(sim, tracker);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 3.0)); });
+  sim.schedule_at(1.0, [&] { station.arrive(make_packet(1, 1.0, 1.0)); });
+  sim.run_until(10.0);
+  // User 1 preempts at t=1, departs at t=2 (delay 1).
+  // User 0 resumes, departs at t=4 (delay 4): preemptive-RESUME, work kept.
+  EXPECT_NEAR(tracker.mean_delay(1), 1.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(0), 4.0, 1e-12);
+}
+
+TEST(PsStation, TwoJobsShareCapacityEqually) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  PsStation station(sim, tracker);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 1.0)); });
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(1, 0.0, 1.0)); });
+  sim.run_until(10.0);
+  // Both progress at rate 1/2; both depart at t=2.
+  EXPECT_NEAR(tracker.mean_delay(0), 2.0, 1e-9);
+  EXPECT_NEAR(tracker.mean_delay(1), 2.0, 1e-9);
+}
+
+TEST(PsStation, ShortJobEscapesLongJob) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  PsStation station(sim, tracker);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 10.0)); });
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(1, 0.0, 1.0)); });
+  sim.run_until(20.0);
+  // Short job: shares until it has consumed 1 unit at rate 1/2 -> t=2.
+  EXPECT_NEAR(tracker.mean_delay(1), 2.0, 1e-9);
+  // Long job: 1 unit done by t=2, then full rate: 2 + 9 = 11.
+  EXPECT_NEAR(tracker.mean_delay(0), 11.0, 1e-9);
+}
+
+TEST(PriorityStation, HighPriorityPreempts) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  PreemptivePriorityStation station(sim, tracker, 2);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 3.0, 1)); });
+  sim.schedule_at(1.0, [&] { station.arrive(make_packet(1, 1.0, 1.0, 0)); });
+  sim.run_until(10.0);
+  EXPECT_NEAR(tracker.mean_delay(1), 1.0, 1e-12);  // preempts immediately
+  EXPECT_NEAR(tracker.mean_delay(0), 4.0, 1e-12);  // resumes banked work
+}
+
+TEST(PriorityStation, EqualPriorityIsFifo) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  PreemptivePriorityStation station(sim, tracker, 2);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 2.0, 1)); });
+  sim.schedule_at(0.5, [&] { station.arrive(make_packet(1, 0.5, 1.0, 1)); });
+  sim.run_until(10.0);
+  EXPECT_NEAR(tracker.mean_delay(0), 2.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(1), 2.5, 1e-12);
+}
+
+TEST(PriorityStation, LowerLevelsWaitForAllHigher) {
+  Simulator sim;
+  QueueTracker tracker(3);
+  PreemptivePriorityStation station(sim, tracker, 3);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(2, 0.0, 1.0, 2)); });
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(1, 0.0, 1.0, 1)); });
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 1.0, 0)); });
+  sim.run_until(10.0);
+  EXPECT_NEAR(tracker.mean_delay(0), 1.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(1), 2.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(2), 3.0, 1e-12);
+}
+
+TEST(PriorityStation, BadPriorityThrows) {
+  Simulator sim;
+  QueueTracker tracker(1);
+  PreemptivePriorityStation station(sim, tracker, 2);
+  EXPECT_THROW(station.arrive(make_packet(0, 0.0, 1.0, 5)),
+               std::invalid_argument);
+}
+
+TEST(HolPriorityStation, DoesNotPreempt) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  HolPriorityStation station(sim, tracker, 2);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 3.0, 1)); });
+  sim.schedule_at(1.0, [&] { station.arrive(make_packet(1, 1.0, 1.0, 0)); });
+  sim.run_until(10.0);
+  // The low-priority job in service FINISHES (t=3); the high-priority
+  // arrival waits for it (departs t=4) — contrast with the preemptive
+  // version where it would depart at t=2.
+  EXPECT_NEAR(tracker.mean_delay(0), 3.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(1), 3.0, 1e-12);
+}
+
+TEST(HolPriorityStation, PriorityAppliesAtServiceSelection) {
+  Simulator sim;
+  QueueTracker tracker(3);
+  HolPriorityStation station(sim, tracker, 3);
+  sim.schedule_at(0.0, [&] {
+    station.arrive(make_packet(2, 0.0, 1.0, 2));  // starts immediately
+    station.arrive(make_packet(1, 0.0, 1.0, 1));
+    station.arrive(make_packet(0, 0.0, 1.0, 0));
+  });
+  sim.run_until(10.0);
+  // After the first (non-preemptible) job, highest class goes first.
+  EXPECT_NEAR(tracker.mean_delay(2), 1.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(0), 2.0, 1e-12);
+  EXPECT_NEAR(tracker.mean_delay(1), 3.0, 1e-12);
+}
+
+TEST(DrrStation, AlternatesBetweenBackloggedFlows) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  DrrStation station(sim, tracker, 2, 1.0);
+  // Two packets per user, all demand 1.0, all present at t=0.
+  sim.schedule_at(0.0, [&] {
+    station.arrive(make_packet(0, 0.0, 1.0));
+    station.arrive(make_packet(0, 0.0, 1.0));
+    station.arrive(make_packet(1, 0.0, 1.0));
+    station.arrive(make_packet(1, 0.0, 1.0));
+  });
+  sim.run_until(10.0);
+  // Round robin: u0@1, u1@2, u0@3, u1@4 -> delays (1+3)/2 and (2+4)/2.
+  EXPECT_NEAR(tracker.mean_delay(0), 2.0, 1e-9);
+  EXPECT_NEAR(tracker.mean_delay(1), 3.0, 1e-9);
+}
+
+TEST(DrrStation, LargePacketWaitsForDeficit) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  DrrStation station(sim, tracker, 2, 1.0);
+  // Flow 1's small packets are backlogged BEFORE flow 0's big one shows
+  // up (if flow 0 were alone first, it would legitimately rack up deficit
+  // instantly and start at t=0).
+  sim.schedule_at(0.0, [&] {
+    station.arrive(make_packet(1, 0.0, 1.0));
+    station.arrive(make_packet(1, 0.0, 1.0));
+    station.arrive(make_packet(0, 0.0, 3.0));  // needs 3 quanta
+  });
+  sim.run_until(20.0);
+  // Serve order: u1@1, u1@2, then u0's big packet once its deficit hits 3.
+  EXPECT_NEAR(tracker.mean_delay(1), 1.5, 1e-9);
+  EXPECT_NEAR(tracker.mean_delay(0), 5.0, 1e-9);
+  EXPECT_EQ(tracker.departures(0), 1u);
+  EXPECT_EQ(tracker.departures(1), 2u);
+}
+
+TEST(FairShareStationOracle, SinglePacketFlowsThrough) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  FairShareStation station(sim, tracker, {0.2, 0.3}, 99);
+  sim.schedule_at(0.0, [&] { station.arrive(make_packet(0, 0.0, 1.5)); });
+  sim.run_until(10.0);
+  EXPECT_EQ(tracker.departures(0), 1u);
+  EXPECT_NEAR(tracker.mean_delay(0), 1.5, 1e-12);
+}
+
+TEST(FairShareStationOracle, SetRatesRejectsSizeChange) {
+  Simulator sim;
+  QueueTracker tracker(2);
+  FairShareStation station(sim, tracker, {0.2, 0.3}, 99);
+  EXPECT_THROW(station.set_rates({0.1}), std::invalid_argument);
+}
+
+TEST(Stations, TrackerOccupancyReturnsToZero) {
+  // All disciplines drain completely with finite input.
+  Simulator sim;
+  QueueTracker tracker(2);
+  PsStation station(sim, tracker);
+  sim.schedule_at(0.0, [&] {
+    station.arrive(make_packet(0, 0.0, 0.7));
+    station.arrive(make_packet(1, 0.0, 1.3));
+  });
+  sim.schedule_at(0.5, [&] { station.arrive(make_packet(0, 0.5, 0.4)); });
+  sim.run_until(50.0);
+  EXPECT_EQ(tracker.occupancy(0), 0);
+  EXPECT_EQ(tracker.occupancy(1), 0);
+}
+
+}  // namespace
+}  // namespace gw::sim

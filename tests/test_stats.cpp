@@ -1,0 +1,108 @@
+#include "numerics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/rng.hpp"
+
+namespace gw::numerics {
+namespace {
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat stat;
+  stat.add(3.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesPooled) {
+  Rng rng(5);
+  RunningStat a, b, pooled;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 2.0 + 1.0;
+    pooled.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-8);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.99), 3.169, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.90), 1.812, 1e-3);
+  // Asymptotic z values.
+  EXPECT_NEAR(student_t_critical(100000, 0.95), 1.960, 5e-3);
+}
+
+TEST(StudentT, InterpolationMonotone) {
+  EXPECT_GT(student_t_critical(11, 0.95), student_t_critical(14, 0.95));
+}
+
+TEST(BatchMeansCi, CoversTrueMean) {
+  // 20 batches of normal(7, 1) means: CI should contain 7 almost always.
+  Rng rng(77);
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> batches;
+    for (int b = 0; b < 20; ++b) batches.push_back(7.0 + rng.normal() * 0.5);
+    if (batch_means_ci(batches, 0.95).contains(7.0)) ++covered;
+  }
+  EXPECT_GT(covered, trials * 0.88);  // nominal 95%
+}
+
+TEST(BatchMeansCi, DegenerateInputs) {
+  EXPECT_EQ(batch_means_ci({}).batches, 0u);
+  const auto one = batch_means_ci({3.0});
+  EXPECT_DOUBLE_EQ(one.mean, 3.0);
+  EXPECT_DOUBLE_EQ(one.half_width, 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamps into bin 0
+  h.add(100.0);  // clamps into bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileRoughlyCorrect) {
+  Rng rng(123);
+  Histogram h(0.0, 1.0, 200);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, InvalidArgumentsThrow) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::numerics

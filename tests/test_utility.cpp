@@ -1,0 +1,141 @@
+#include "core/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace gw::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LinearUtility, ValueAndDerivatives) {
+  const LinearUtility u(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(u.value(0.4, 1.0), 0.8 - 0.5);
+  EXPECT_DOUBLE_EQ(u.du_dr(0.4, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(u.du_dc(0.4, 1.0), -0.5);
+  EXPECT_DOUBLE_EQ(u.marginal_ratio(0.4, 1.0), -4.0);
+}
+
+TEST(LinearUtility, InfiniteCongestionIsWorst) {
+  const LinearUtility u(1.0, 0.1);
+  EXPECT_TRUE(std::isinf(u.value(0.5, kInf)));
+  EXPECT_LT(u.value(0.5, kInf), u.value(0.0, 100.0));
+}
+
+TEST(LinearUtility, RejectsBadParameters) {
+  EXPECT_THROW(LinearUtility(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LinearUtility(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ExponentialUtility, MonotoneRightWay) {
+  const ExponentialUtility u(1.0, 2.0, 1.0, 2.0, 0.3, 0.5);
+  EXPECT_GT(u.value(0.4, 0.5), u.value(0.3, 0.5));  // increasing in r
+  EXPECT_LT(u.value(0.3, 0.6), u.value(0.3, 0.5));  // decreasing in c
+}
+
+TEST(ExponentialUtility, AnalyticDerivativesMatchNumeric) {
+  const ExponentialUtility u(1.5, 3.0, 0.8, 2.5, 0.2, 0.4);
+  const double r = 0.25, c = 0.6;
+  const double h = 1e-6;
+  EXPECT_NEAR(u.du_dr(r, c), (u.value(r + h, c) - u.value(r - h, c)) / (2 * h),
+              1e-5);
+  EXPECT_NEAR(u.du_dc(r, c), (u.value(r, c + h) - u.value(r, c - h)) / (2 * h),
+              1e-5);
+  EXPECT_NEAR(u.d2u_dr2(r, c),
+              (u.du_dr(r + h, c) - u.du_dr(r - h, c)) / (2 * h), 1e-4);
+  EXPECT_NEAR(u.d2u_dc2(r, c),
+              (u.du_dc(r, c + h) - u.du_dc(r, c - h)) / (2 * h), 1e-4);
+}
+
+TEST(ExponentialUtility, MarginalRatioAtAnchorIsMinusSlopeRatio) {
+  // At (r0, c0) the ratio is -alpha/gamma by construction (Lemma 5).
+  const double alpha = 0.7, gamma = 1.4;
+  const ExponentialUtility u(alpha, 5.0, gamma, 5.0, 0.3, 0.8);
+  EXPECT_NEAR(u.marginal_ratio(0.3, 0.8), -alpha / gamma, 1e-12);
+}
+
+TEST(ExponentialUtility, ConcaveInEachArgument) {
+  // The paper's "convexity" is convexity of preferences; the Lemma 5
+  // family is concave in r and in c, which keeps composed payoffs concave.
+  const ExponentialUtility u(1.0, 2.0, 1.0, 2.0, 0.3, 0.5);
+  EXPECT_LT(u.d2u_dr2(0.2, 0.4), 0.0);
+  EXPECT_LT(u.d2u_dc2(0.2, 0.4), 0.0);
+}
+
+TEST(PowerUtility, ParameterValidation) {
+  EXPECT_NO_THROW(PowerUtility(1.0, 1.0, 1.0, 1.0));
+  EXPECT_NO_THROW(PowerUtility(1.0, 0.5, 1.0, 2.0));
+  EXPECT_THROW(PowerUtility(1.0, 2.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PowerUtility(1.0, 1.0, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(PowerUtility, DerivativesMatchNumeric) {
+  const PowerUtility u(1.0, 0.5, 0.5, 2.0);
+  const double r = 0.3, c = 0.8, h = 1e-6;
+  EXPECT_NEAR(u.du_dr(r, c), (u.value(r + h, c) - u.value(r - h, c)) / (2 * h),
+              1e-5);
+  EXPECT_NEAR(u.du_dc(r, c), (u.value(r, c + h) - u.value(r, c - h)) / (2 * h),
+              1e-5);
+}
+
+TEST(LogUtility, OutsideAuButUsable) {
+  const LogUtility u(1.0, 0.5);
+  EXPECT_FALSE(u.in_au());
+  EXPECT_GT(u.value(0.5, 1.0), u.value(0.25, 1.0));
+}
+
+TEST(TransformedUtility, PreservesOrdering) {
+  const auto base = make_linear(1.0, 0.5);
+  const TransformedUtility cubed(
+      base, [](double x) { return x * x * x + 5.0 * x; }, "cubic");
+  // Strictly increasing transform: same preference order on samples.
+  const double u1 = base->value(0.3, 0.2);
+  const double u2 = base->value(0.5, 0.9);
+  const double t1 = cubed.value(0.3, 0.2);
+  const double t2 = cubed.value(0.5, 0.9);
+  EXPECT_EQ(u1 < u2, t1 < t2);
+}
+
+TEST(TransformedUtility, HandlesInfinity) {
+  const auto base = make_linear(1.0, 0.5);
+  const TransformedUtility t(base, [](double x) { return std::tanh(x); },
+                             "tanh");
+  EXPECT_TRUE(std::isinf(t.value(0.5, kInf)));
+}
+
+TEST(MarginalRatio, AlwaysNegativeInAu) {
+  // U increasing in r, decreasing in c => M < 0.
+  const auto utilities = {make_linear(1.0, 0.3),
+                          make_power(1.0, 0.8, 0.8, 1.5),
+                          make_exponential(1.0, 2.0, 1.0, 2.0, 0.3, 0.5)};
+  for (const auto& u : utilities) {
+    for (double r = 0.1; r < 0.5; r += 0.1) {
+      for (double c = 0.2; c < 2.0; c += 0.4) {
+        EXPECT_LT(u->marginal_ratio(r, c), 0.0) << u->name();
+      }
+    }
+  }
+}
+
+TEST(Profiles, UniformProfileSharesPointer) {
+  const auto u = make_linear(1.0, 0.25);
+  const auto profile = uniform_profile(u, 5);
+  ASSERT_EQ(profile.size(), 5u);
+  for (const auto& p : profile) EXPECT_EQ(p.get(), u.get());
+}
+
+TEST(Profiles, FtpCaresLessAboutDelayThanTelnet) {
+  const auto ftp = make_ftp();
+  const auto telnet = make_telnet();
+  // Same throughput gain, but congestion hurts telnet much more.
+  const double dc = 1.0;
+  const double ftp_loss = ftp->value(0.3, 1.0) - ftp->value(0.3, 1.0 + dc);
+  const double telnet_loss =
+      telnet->value(0.3, 1.0) - telnet->value(0.3, 1.0 + dc);
+  EXPECT_LT(ftp_loss, telnet_loss);
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,162 @@
+#include "core/weighted_serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/fair_share.hpp"
+#include "numerics/differentiate.hpp"
+#include "numerics/rng.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(WeightedSerial, EqualWeightsReduceToFairShare) {
+  const WeightedSerialAllocation weighted({1.0, 1.0, 1.0, 1.0});
+  const FairShareAllocation fair_share;
+  const std::vector<double> rates{0.08, 0.2, 0.14, 0.3};
+  const auto a = weighted.congestion(rates);
+  const auto b = fair_share.congestion(rates);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-12);
+  }
+}
+
+TEST(WeightedSerial, ScaledWeightsChangeNothing) {
+  // Only weight RATIOS matter.
+  const WeightedSerialAllocation a({1.0, 2.0, 3.0});
+  const WeightedSerialAllocation b({10.0, 20.0, 30.0});
+  const std::vector<double> rates{0.1, 0.2, 0.15};
+  const auto ca = a.congestion(rates);
+  const auto cb = b.congestion(rates);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ca[i], cb[i], 1e-12);
+}
+
+TEST(WeightedSerial, TelescopesToAggregateConstraint) {
+  const WeightedSerialAllocation alloc({0.5, 1.5, 2.0});
+  const std::vector<double> rates{0.12, 0.25, 0.2};
+  const auto congestion = alloc.congestion(rates);
+  const double total_rate = std::accumulate(rates.begin(), rates.end(), 0.0);
+  const double total_queue =
+      std::accumulate(congestion.begin(), congestion.end(), 0.0);
+  EXPECT_NEAR(total_queue, queueing::g(total_rate), 1e-10);
+}
+
+TEST(WeightedSerial, HeavierWeightBuysBetterService) {
+  // Two users with the same rate: the heavier-weighted one has the lower
+  // normalized demand and so the smaller queue.
+  const WeightedSerialAllocation alloc({3.0, 1.0});
+  const auto congestion = alloc.congestion({0.3, 0.3});
+  EXPECT_LT(congestion[0], congestion[1]);
+}
+
+TEST(WeightedSerial, InsularityInNormalizedDemandOrder) {
+  // C_i is unaffected by users with larger normalized demand.
+  const WeightedSerialAllocation alloc({1.0, 2.0, 1.0});
+  // x = (0.2, 0.1, 0.4): user 1 (x=0.1) smallest, then user 0, user 2.
+  const auto base = alloc.congestion({0.2, 0.2, 0.4});
+  const auto flooded = alloc.congestion({0.2, 0.2, 3.0});
+  EXPECT_NEAR(flooded[0], base[0], 1e-12);  // user 0 untouched
+  EXPECT_NEAR(flooded[1], base[1], 1e-12);  // user 1 untouched
+  EXPECT_GT(flooded[2], base[2]);
+}
+
+TEST(WeightedSerial, WeightedProtectiveBoundHoldsAndIsTight) {
+  const std::vector<double> weights{1.0, 2.0, 0.5, 1.5};
+  const WeightedSerialAllocation alloc(weights);
+  const std::size_t probe = 0;
+  const double rate = 0.08;
+  const double bound = alloc.protective_bound(probe, rate);
+  numerics::Rng rng(999);
+  double worst = 0.0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<double> rates(4);
+    rates[probe] = rate;
+    for (std::size_t j = 1; j < 4; ++j) rates[j] = rng.uniform(0.0, 1.5);
+    worst = std::max(worst, alloc.congestion(rates)[probe]);
+  }
+  EXPECT_LE(worst, bound + 1e-9);
+  // Tight when everyone matches user 0's normalized demand x = r/w.
+  const double x = rate / weights[probe];
+  std::vector<double> clones(4);
+  for (std::size_t j = 0; j < 4; ++j) clones[j] = x * weights[j];
+  EXPECT_NEAR(alloc.congestion(clones)[probe], bound, 1e-10);
+}
+
+TEST(WeightedSerial, MonotoneInOwnRate) {
+  const WeightedSerialAllocation alloc({1.0, 2.0});
+  double previous = -1.0;
+  for (double r = 0.05; r < 0.5; r += 0.05) {
+    const double c = alloc.congestion({r, 0.4})[0];
+    EXPECT_GT(c, previous);
+    previous = c;
+  }
+}
+
+TEST(WeightedSerial, CrossDerivativesNonNegative) {
+  const WeightedSerialAllocation alloc({1.0, 2.0, 0.7});
+  const std::vector<double> rates{0.1, 0.25, 0.12};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double dij = numerics::partial(
+          [&](const std::vector<double>& r) {
+            return alloc.congestion(r)[i];
+          },
+          rates, j);
+      if (i == j) {
+        EXPECT_GT(dij, 0.0);
+      } else {
+        EXPECT_GE(dij, -1e-8);
+      }
+    }
+  }
+}
+
+TEST(WeightedSerial, SaturationIsSerialInNormalizedOrder) {
+  // The user with smallest normalized demand stays finite even when the
+  // total demand far exceeds capacity.
+  const WeightedSerialAllocation alloc({1.0, 1.0, 1.0});
+  const auto congestion = alloc.congestion({0.1, 0.8, 0.9});
+  EXPECT_TRUE(std::isfinite(congestion[0]));
+  EXPECT_TRUE(std::isinf(congestion[1]));
+  EXPECT_TRUE(std::isinf(congestion[2]));
+}
+
+TEST(WeightedDecomposition, SlicesSumToRatesAndLoads) {
+  const std::vector<double> rates{0.1, 0.3, 0.2};
+  const std::vector<double> weights{1.0, 2.0, 0.5};
+  const auto d = weighted_serial_decomposition(rates, weights);
+  for (std::size_t u = 0; u < 3; ++u) {
+    double total = 0.0;
+    for (std::size_t l = 0; l < 3; ++l) total += d.slice_rate[u][l];
+    EXPECT_NEAR(total, rates[u], 1e-12);
+  }
+  double aggregate = 0.0;
+  for (const double lr : d.level_rate) aggregate += lr;
+  EXPECT_NEAR(aggregate, 0.6, 1e-12);
+}
+
+TEST(WeightedDecomposition, EqualWeightsMatchTable1) {
+  const std::vector<double> rates{0.05, 0.1, 0.15, 0.2};
+  const auto weighted =
+      weighted_serial_decomposition(rates, {1.0, 1.0, 1.0, 1.0});
+  const auto plain = fair_share_decomposition(rates);
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (std::size_t l = 0; l < 4; ++l) {
+      EXPECT_NEAR(weighted.slice_rate[u][l], plain.slice_rate[u][l], 1e-12);
+    }
+  }
+}
+
+TEST(WeightedSerial, Validation) {
+  EXPECT_THROW(WeightedSerialAllocation({}), std::invalid_argument);
+  EXPECT_THROW(WeightedSerialAllocation({1.0, 0.0}), std::invalid_argument);
+  const WeightedSerialAllocation alloc({1.0, 1.0});
+  EXPECT_THROW((void)alloc.congestion({0.1, 0.2, 0.3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

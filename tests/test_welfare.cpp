@@ -1,0 +1,86 @@
+#include "core/welfare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/closed_forms.hpp"
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "queueing/mm1.hpp"
+
+namespace gw::core {
+namespace {
+
+TEST(Welfare, UtilitiesVector) {
+  const UtilityProfile profile{make_linear(1.0, 0.5), make_linear(1.0, 1.0)};
+  const auto values = utilities(profile, {0.4, 0.3}, {0.2, 0.1});
+  EXPECT_NEAR(values[0], 0.4 - 0.1, 1e-12);
+  EXPECT_NEAR(values[1], 0.3 - 0.1, 1e-12);
+}
+
+TEST(Welfare, MinAndSum) {
+  const UtilityProfile profile{make_linear(1.0, 0.5), make_linear(1.0, 1.0)};
+  EXPECT_NEAR(min_utility(profile, {0.4, 0.3}, {0.2, 0.1}), 0.2, 1e-12);
+  EXPECT_NEAR(utilitarian_sum(profile, {0.4, 0.3}, {0.2, 0.1}), 0.5, 1e-12);
+}
+
+TEST(Welfare, JainIndexExtremes) {
+  EXPECT_NEAR(jain_index({0.2, 0.2, 0.2}), 1.0, 1e-12);
+  EXPECT_NEAR(jain_index({0.6, 0.0, 0.0}), 1.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)jain_index({}), std::invalid_argument);
+}
+
+TEST(Welfare, ParetoDominatesPartialOrder) {
+  const auto u = make_linear(1.0, 0.5);
+  const UtilityProfile profile{u, u};
+  // A: both get (0.3, 0.2); B: both get (0.2, 0.2) — A dominates B.
+  EXPECT_TRUE(pareto_dominates(profile, {0.3, 0.3}, {0.2, 0.2}, {0.2, 0.2},
+                               {0.2, 0.2}));
+  EXPECT_FALSE(pareto_dominates(profile, {0.2, 0.2}, {0.2, 0.2}, {0.3, 0.3},
+                                {0.2, 0.2}));
+  // Incomparable: one user up, the other down.
+  EXPECT_FALSE(pareto_dominates(profile, {0.3, 0.1}, {0.2, 0.2}, {0.1, 0.3},
+                                {0.2, 0.2}));
+  // An allocation never dominates itself.
+  EXPECT_FALSE(pareto_dominates(profile, {0.3, 0.3}, {0.2, 0.2}, {0.3, 0.3},
+                                {0.2, 0.2}));
+}
+
+TEST(Welfare, FsNashDominatesFifoNashPointwiseForIdenticalUsers) {
+  // With a shared utility function the per-user comparison is ordinal-
+  // safe: the FS equilibrium Pareto-dominates the FIFO equilibrium.
+  const FairShareAllocation fs;
+  const ProportionalAllocation fifo;
+  const auto profile = uniform_profile(make_linear(1.0, 0.25), 4);
+  const auto fs_nash = solve_nash(fs, profile, std::vector<double>(4, 0.1));
+  const auto fifo_nash =
+      solve_nash(fifo, profile, std::vector<double>(4, 0.1));
+  ASSERT_TRUE(fs_nash.converged);
+  ASSERT_TRUE(fifo_nash.converged);
+  EXPECT_TRUE(pareto_dominates(profile, fs_nash.rates,
+                               fs.congestion(fs_nash.rates), fifo_nash.rates,
+                               fifo.congestion(fifo_nash.rates), 1e-6));
+}
+
+TEST(Welfare, JainIndexAtEquilibria) {
+  // Heterogeneous users: FS spreads rates more evenly than FIFO (which
+  // pushes delay-averse users out entirely).
+  const FairShareAllocation fs;
+  const ProportionalAllocation fifo;
+  const UtilityProfile profile{make_linear(1.0, 0.15), make_linear(1.0, 0.3),
+                               make_linear(1.0, 0.45),
+                               make_linear(1.0, 0.6)};
+  const auto fs_nash = solve_nash(fs, profile, std::vector<double>(4, 0.1));
+  const auto fifo_nash =
+      solve_nash(fifo, profile, std::vector<double>(4, 0.1));
+  EXPECT_GT(jain_index(fs_nash.rates), jain_index(fifo_nash.rates));
+}
+
+TEST(Welfare, SizeMismatchThrows) {
+  const UtilityProfile profile{make_linear(1.0, 0.5)};
+  EXPECT_THROW((void)utilities(profile, {0.1, 0.2}, {0.1, 0.2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::core

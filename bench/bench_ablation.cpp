@@ -13,7 +13,8 @@
 #include "core/nash.hpp"
 #include "sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -133,5 +134,5 @@ int main() {
   }
   bench::verdict(long_batches_cover,
                  "long batches restore nominal-ish CI coverage");
-  return bench::failures();
+  return bench::finish();
 }

@@ -13,7 +13,8 @@
 #include "core/nash.hpp"
 #include "core/proportional.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -68,5 +69,5 @@ int main() {
   bench::verdict(fs_resilient,
                  "FS Nash resists every coalition tried (footnote 14)");
   bench::verdict(fifo_falls, "FIFO Nash is coalitionally manipulable");
-  return bench::failures();
+  return bench::finish();
 }

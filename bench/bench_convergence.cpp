@@ -18,7 +18,8 @@
 #include "learn/hill_climber.hpp"
 #include "learn/oracle_learners.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -174,5 +175,5 @@ int main() {
                  "FIFO rewards Stackelberg sophistication");
   bench::verdict(std::abs(fs_advantage) < 3e-4,
                  "FS leader gains nothing (Nash == Stackelberg)");
-  return bench::failures();
+  return bench::finish();
 }

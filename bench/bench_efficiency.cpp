@@ -15,7 +15,8 @@
 #include "core/pareto.hpp"
 #include "core/proportional.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -120,5 +121,5 @@ int main() {
   bench::verdict(!fs_domination.dominated,
                  "FS symmetric Nash admits no dominating allocation "
                  "(Theorem 2)");
-  return bench::failures();
+  return bench::finish();
 }

@@ -15,7 +15,8 @@
 #include "core/proportional.hpp"
 #include "numerics/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -77,5 +78,5 @@ int main() {
   bench::verdict(fs_worst <= 1e-6,
                  "FS: zero envy after best response, everywhere sampled");
   bench::verdict(fifo_worst > 1e-3, "FIFO: envy exists out of equilibrium");
-  return bench::failures();
+  return bench::finish();
 }

@@ -11,7 +11,8 @@
 #include "bench_util.hpp"
 #include "sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   bench::banner(
       "E-FQ fq_realnet", "Section 5.2",
@@ -82,5 +83,5 @@ int main() {
   // system sojourn (1/mu = 1) despite the flooder.
   bench::verdict(fs.users[0].mean_delay < 2.5,
                  "FS: telnet mean delay close to a private server's");
-  return bench::failures();
+  return bench::finish();
 }

@@ -21,7 +21,8 @@
 #include "queueing/mg1.hpp"
 #include "sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -138,5 +139,5 @@ int main() {
   bench::verdict(constraint_matches,
                  "the packet simulator realizes the generalized constraint "
                  "curves g(x; scv) within 15%");
-  return bench::failures();
+  return bench::finish();
 }

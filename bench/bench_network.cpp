@@ -12,7 +12,8 @@
 #include "net/network.hpp"
 #include "sim/tandem.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -117,5 +118,5 @@ int main() {
                  "Poisson-composition approximation holds within ~30% "
                  "(exact for FIFO by Burke; FS outputs are not Poisson — "
                  "the paper's 'daunting challenge')");
-  return bench::failures();
+  return bench::finish();
 }

@@ -13,7 +13,8 @@
 #include "core/proportional.hpp"
 #include "core/protection.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   bench::banner(
       "E-PROT protection", "Theorem 8; Section 4.3",
@@ -68,5 +69,5 @@ int main() {
               bench::fmt(at_clones).c_str(), bench::fmt(bound).c_str());
   bench::verdict(std::abs(at_clones - bound) < 1e-9,
                  "protective bound is tight (achieved by clones)");
-  return bench::failures();
+  return bench::finish();
 }

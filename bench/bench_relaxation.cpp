@@ -16,7 +16,8 @@
 #include "core/proportional.hpp"
 #include "numerics/eigen.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -158,5 +159,5 @@ int main() {
   bench::verdict(flows_stable,
                  "gradient play converges for BOTH disciplines: the N > 2 "
                  "divergence is an artifact of synchronous Newton steps");
-  return bench::failures();
+  return bench::finish();
 }

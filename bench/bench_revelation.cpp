@@ -10,7 +10,8 @@
 #include "core/proportional.hpp"
 #include "core/revelation.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -62,5 +63,5 @@ int main() {
                  "dominant)");
   bench::verdict(fifo_best_gain > 1e-3,
                  "FIFO mechanism: profitable misreports exist");
-  return bench::failures();
+  return bench::finish();
 }

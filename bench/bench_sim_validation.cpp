@@ -10,7 +10,8 @@
 #include "core/proportional.hpp"
 #include "sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   bench::banner(
       "E-SIMVAL sim_validation", "Section 3.1",
@@ -64,5 +65,5 @@ int main() {
   }
   bench::verdict(all_match,
                  "every discipline reproduces its allocation within 12%");
-  return bench::failures();
+  return bench::finish();
 }

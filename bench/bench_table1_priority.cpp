@@ -11,7 +11,8 @@
 #include "sim/fair_share_station.hpp"
 #include "sim/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   bench::banner("E-T1 table1_priority", "Table 1 + Section 3.1",
                 "Fair Share is realized by splitting each user's stream "
@@ -114,5 +115,5 @@ int main() {
   bench::verdict(weighted_close,
                  "weighted thinning realizes the weighted serial rule "
                  "within 10%");
-  return bench::failures();
+  return bench::finish();
 }

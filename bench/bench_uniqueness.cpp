@@ -14,7 +14,8 @@
 #include "core/proportional.hpp"
 #include "numerics/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gw::bench::parse_args(argc, argv);
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -93,5 +94,5 @@ int main() {
 
   bench::verdict(fs_total_equilibria == fs_runs,
                  "FS: exactly one equilibrium per profile across all starts");
-  return bench::failures();
+  return bench::finish();
 }

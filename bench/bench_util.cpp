@@ -2,13 +2,71 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace gw::bench {
 
 namespace {
-int g_failures = 0;
+
 constexpr int kColumnWidth = 14;
+constexpr const char* kSchema = "gw.bench.v1";
+
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct VerdictRecord {
+  bool pass;
+  std::string description;
+};
+
+struct Experiment {
+  std::string id;
+  std::string paper_ref;
+  std::string claim;
+  std::vector<Table> tables;
+  std::vector<VerdictRecord> verdicts;
+};
+
+int g_failures = 0;
+std::string g_json_path;
+std::string g_binary;
+std::vector<Experiment> g_experiments;
+
+Experiment& current_experiment() {
+  if (g_experiments.empty()) {
+    // Tables/verdicts before any banner land in an anonymous experiment.
+    g_experiments.push_back({});
+  }
+  return g_experiments.back();
+}
+
 }  // namespace
+
+void parse_args(int argc, char** argv) {
+  if (argc > 0) g_binary = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path\n", g_binary.c_str());
+        std::exit(2);
+      }
+      g_json_path = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      g_json_path = arg + 7;
+    }
+    if (std::strncmp(arg, "--json", 6) == 0 && g_json_path.empty()) {
+      std::fprintf(stderr, "%s: --json requires a path\n", g_binary.c_str());
+      std::exit(2);
+    }
+  }
+}
 
 void banner(const std::string& experiment_id, const std::string& paper_ref,
             const std::string& claim) {
@@ -16,6 +74,7 @@ void banner(const std::string& experiment_id, const std::string& paper_ref,
   std::printf("%s  [%s]\n", experiment_id.c_str(), paper_ref.c_str());
   std::printf("%s\n", claim.c_str());
   std::printf("================================================================\n");
+  g_experiments.push_back({experiment_id, paper_ref, claim, {}, {}});
 }
 
 void table_header(const std::vector<std::string>& columns) {
@@ -27,6 +86,7 @@ void table_header(const std::vector<std::string>& columns) {
     std::printf("-");
   }
   std::printf("\n");
+  current_experiment().tables.push_back({columns, {}});
 }
 
 void table_row(const std::vector<std::string>& cells) {
@@ -34,6 +94,9 @@ void table_row(const std::vector<std::string>& cells) {
     std::printf("%-*s", kColumnWidth, cell.c_str());
   }
   std::printf("\n");
+  auto& experiment = current_experiment();
+  if (experiment.tables.empty()) experiment.tables.push_back({});
+  experiment.tables.back().rows.push_back(cells);
 }
 
 std::string fmt(double value, int precision) {
@@ -47,8 +110,79 @@ std::string fmt(double value, int precision) {
 void verdict(bool pass, const std::string& description) {
   if (!pass) ++g_failures;
   std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", description.c_str());
+  current_experiment().verdicts.push_back({pass, description});
 }
 
 int failures() { return g_failures; }
+
+int finish() {
+  if (g_json_path.empty()) return g_failures;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("binary");
+  w.value(g_binary);
+  w.key("experiments");
+  w.begin_array();
+  for (const auto& experiment : g_experiments) {
+    w.begin_object();
+    w.key("id");
+    w.value(experiment.id);
+    w.key("paper_ref");
+    w.value(experiment.paper_ref);
+    w.key("claim");
+    w.value(experiment.claim);
+    w.key("tables");
+    w.begin_array();
+    for (const auto& table : experiment.tables) {
+      w.begin_object();
+      w.key("columns");
+      w.begin_array();
+      for (const auto& column : table.columns) w.value(column);
+      w.end_array();
+      w.key("rows");
+      w.begin_array();
+      for (const auto& row : table.rows) {
+        w.begin_array();
+        for (const auto& cell : row) w.value(cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("verdicts");
+    w.begin_array();
+    for (const auto& record : experiment.verdicts) {
+      w.begin_object();
+      w.key("pass");
+      w.value(record.pass);
+      w.key("description");
+      w.value(record.description);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("failures");
+  w.value(std::int64_t{g_failures});
+  w.key("metrics");
+  w.raw(obs::default_registry().to_json());
+  w.end_object();
+
+  const std::string document = w.take();
+  std::FILE* f = std::fopen(g_json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", g_json_path.c_str());
+    return g_failures == 0 ? 1 : g_failures;
+  }
+  std::fwrite(document.data(), 1, document.size(), f);
+  std::fclose(f);
+  std::printf("\n  telemetry written to %s\n", g_json_path.c_str());
+  return g_failures;
+}
 
 }  // namespace gw::bench

@@ -1,4 +1,18 @@
-// Shared formatting helpers for the experiment harness binaries.
+// Shared harness for the experiment binaries: console formatting plus
+// machine-readable telemetry.
+//
+// Every banner/table/verdict printed to the console is also recorded, and
+// when the binary runs with `--json <path>` the whole transcript — every
+// experiment, table, verdict, and the obs::default_registry() metrics
+// snapshot — is serialized to a structured bench_results.json
+// (schema "gw.bench.v1"). A typical main:
+//
+//   int main(int argc, char** argv) {
+//     gw::bench::parse_args(argc, argv);
+//     gw::bench::banner("E-FOO", "Theorem 1", "claim...");
+//     ...tables and verdicts...
+//     return gw::bench::finish();
+//   }
 #pragma once
 
 #include <string>
@@ -6,11 +20,17 @@
 
 namespace gw::bench {
 
-/// Prints the experiment banner (id, paper reference, claim under test).
+/// Recognizes `--json <path>` (and `--json=<path>`); other arguments are
+/// ignored so binaries stay forward-compatible with new flags.
+void parse_args(int argc, char** argv);
+
+/// Prints the experiment banner (id, paper reference, claim under test)
+/// and opens a new experiment record in the telemetry transcript.
 void banner(const std::string& experiment_id, const std::string& paper_ref,
             const std::string& claim);
 
-/// Prints a table header / row with fixed-width columns.
+/// Prints a table header / row with fixed-width columns. A header starts a
+/// new recorded table; rows append to the most recent one.
 void table_header(const std::vector<std::string>& columns);
 void table_row(const std::vector<std::string>& cells);
 
@@ -22,5 +42,9 @@ void verdict(bool pass, const std::string& description);
 
 /// Returns the number of verdicts that failed so far (process exit code).
 [[nodiscard]] int failures();
+
+/// Writes the JSON telemetry when --json was given, then returns
+/// failures(); benches `return` this from main.
+[[nodiscard]] int finish();
 
 }  // namespace gw::bench

@@ -6,6 +6,9 @@
 
 #include "numerics/optimize.hpp"
 #include "numerics/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace gw::core {
 
@@ -45,6 +48,10 @@ NashResult solve_nash(const AllocationFunction& alloc,
                       const UtilityProfile& profile, std::vector<double> start,
                       const NashOptions& options) {
   validate_sizes(profile, start);
+  auto& registry = obs::default_registry();
+  static auto& solve_seconds =
+      registry.histogram("core.nash.solve_seconds", 0.0, 2.0, 128);
+  const obs::ScopedTimer timer(solve_seconds);
   const std::size_t n = start.size();
   numerics::Rng rng(options.seed);
   NashResult result;
@@ -90,6 +97,21 @@ NashResult solve_nash(const AllocationFunction& alloc,
       result.converged = true;
       break;
     }
+  }
+  registry.counter("core.nash.solves").inc();
+  registry.counter("core.nash.iterations_total")
+      .inc(static_cast<std::uint64_t>(result.iterations));
+  registry.counter("core.nash.best_responses")
+      .inc(static_cast<std::uint64_t>(result.iterations) * n);
+  registry.histogram("core.nash.iterations_per_solve", 0.0, 512.0, 64)
+      .observe(result.iterations);
+  if (!result.converged) registry.counter("core.nash.non_converged").inc();
+  if (auto* trace = obs::active_trace()) {
+    trace->instant("core",
+                   result.converged ? "nash solve converged"
+                                    : "nash solve hit max_iterations",
+                   static_cast<double>(obs::wall_now_us()), "iterations",
+                   static_cast<double>(result.iterations));
   }
   return result;
 }
@@ -203,6 +225,9 @@ NewtonDynamicsResult newton_relaxation(const AllocationFunction& alloc,
     rates = std::move(next);
     result.trajectory.push_back(rates);
   }
+  obs::default_registry()
+      .counter("core.nash.newton_iterations_total")
+      .inc(static_cast<std::uint64_t>(result.iterations));
   return result;
 }
 
@@ -213,7 +238,14 @@ std::vector<std::vector<double>> find_equilibria(
   const std::size_t n = profile.size();
   numerics::Rng rng(seed);
   std::vector<std::vector<double>> found;
+  auto& restarts = obs::default_registry().counter("core.nash.restarts");
   for (int s = 0; s < n_starts; ++s) {
+    restarts.inc();
+    if (auto* trace = obs::active_trace()) {
+      trace->instant("core", "nash multistart restart",
+                     static_cast<double>(obs::wall_now_us()), "start",
+                     static_cast<double>(s));
+    }
     // Random interior start: raw uniforms rescaled to a random total < 0.95.
     std::vector<double> start(n);
     double total = 0.0;

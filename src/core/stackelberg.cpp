@@ -4,6 +4,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
 namespace gw::core {
 
 namespace {
@@ -15,6 +19,7 @@ double leader_payoff(const std::shared_ptr<const AllocationFunction>& alloc,
                      const UtilityProfile& profile, std::size_t leader,
                      double leader_rate, std::vector<double>& follower_warm,
                      const StackelbergOptions& options) {
+  obs::default_registry().counter("core.stackelberg.payoff_evals").inc();
   const std::size_t n = profile.size();
   std::vector<double> frozen(n, 0.0);
   frozen[leader] = leader_rate;
@@ -50,6 +55,12 @@ StackelbergResult solve_stackelberg(
     throw std::invalid_argument("solve_stackelberg: bad leader index");
   }
 
+  auto& registry = obs::default_registry();
+  static auto& solve_seconds =
+      registry.histogram("core.stackelberg.solve_seconds", 0.0, 10.0, 128);
+  const obs::ScopedTimer timer(solve_seconds);
+  registry.counter("core.stackelberg.solves").inc();
+
   StackelbergResult result;
 
   // Plain Nash baseline (uniform small start).
@@ -82,6 +93,12 @@ StackelbergResult solve_stackelberg(
         best_value = value;
         best_rate = rate;
       }
+    }
+    registry.counter("core.stackelberg.refine_rounds").inc();
+    if (auto* trace = obs::active_trace()) {
+      trace->instant("core", "stackelberg refine",
+                     static_cast<double>(obs::wall_now_us()), "best_rate",
+                     best_rate);
     }
     const double width = (hi - lo) / (grid - 1);
     lo = std::max(options.r_min, best_rate - width);

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gw::learn {
 
 GameDriver::GameDriver(std::shared_ptr<const core::AllocationFunction> alloc,
@@ -23,7 +26,7 @@ DriverResult GameDriver::run(std::vector<std::unique_ptr<Learner>>& learners,
   for (std::size_t i = 0; i < n; ++i) rates[i] = learners[i]->current_rate();
 
   DriverResult result;
-  result.trajectory.push_back(rates);
+  if (options.record_trajectory) result.trajectory.push_back(rates);
   int calm_rounds = 0;
 
   for (int round = 0; round < options.max_rounds; ++round) {
@@ -50,18 +53,49 @@ DriverResult GameDriver::run(std::vector<std::unique_ptr<Learner>>& learners,
       max_move = std::max(max_move, std::abs(next - rates[i]));
       rates[i] = next;
     }
-    result.trajectory.push_back(rates);
+    if (options.record_trajectory) result.trajectory.push_back(rates);
     result.rounds = round + 1;
+    result.final_max_move = max_move;
+    if (auto* trace = obs::active_trace()) {
+      // Round index doubles as the trace timestamp: one "µs" per round.
+      trace->counter("learn", "driver max_move", static_cast<double>(round),
+                     max_move);
+    }
     if (max_move <= options.tolerance) {
       if (++calm_rounds >= options.patience) {
         result.converged = true;
         break;
       }
     } else {
+      if (calm_rounds > 0) {
+        if (auto* trace = obs::active_trace()) {
+          trace->instant("learn", "patience reset",
+                         static_cast<double>(round), "calm_rounds",
+                         static_cast<double>(calm_rounds));
+        }
+      }
       calm_rounds = 0;
     }
   }
   result.final_rates = rates;
+
+  auto& registry = obs::default_registry();
+  registry.counter("learn.driver.runs").inc();
+  registry.counter("learn.driver.rounds_total")
+      .inc(static_cast<std::uint64_t>(result.rounds));
+  registry.gauge("learn.driver.last_rounds").set(result.rounds);
+  registry.gauge("learn.driver.last_max_move").set(result.final_max_move);
+  if (result.converged) {
+    registry.counter("learn.driver.converged").inc();
+    registry
+        .histogram("learn.driver.rounds_to_converge", 0.0, 20000.0, 100)
+        .observe(result.rounds);
+  }
+  if (auto* trace = obs::active_trace()) {
+    trace->instant("learn", result.converged ? "converged" : "max_rounds",
+                   static_cast<double>(result.rounds), "final_max_move",
+                   result.final_max_move);
+  }
   return result;
 }
 

@@ -28,13 +28,24 @@ struct DriverOptions {
   /// probing learners inject oscillation into each other's payoffs and
   /// can stall off-equilibrium. Ignored when `synchronous` is true.
   bool round_robin = true;
+  /// Record the full per-round rate trajectory in DriverResult. Long
+  /// self-optimization runs can turn this off to skip the O(rounds × N)
+  /// allocation; convergence diagnostics survive via DriverResult::rounds,
+  /// DriverResult::final_max_move and the "learn.driver.*" metrics in
+  /// obs::default_registry().
+  bool record_trajectory = true;
 };
 
 struct DriverResult {
-  std::vector<std::vector<double>> trajectory;  ///< rates per round
+  /// Rates per round (start point included); empty when
+  /// DriverOptions::record_trajectory is false.
+  std::vector<std::vector<double>> trajectory;
   std::vector<double> final_rates;
   bool converged = false;
   int rounds = 0;
+  /// Largest single-user rate move in the final round (the driver's
+  /// convergence residual).
+  double final_max_move = 0.0;
 };
 
 class GameDriver {

@@ -1,0 +1,113 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gw::obs {
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value belongs to the key just written
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (!need_comma_.empty()) need_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (!need_comma_.empty()) need_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  comma();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double x) {
+  comma();
+  if (!std::isfinite(x)) {
+    // JSON has no inf/nan literals; encode as strings so documents stay
+    // parseable (consumers treat them as sentinels).
+    out_ += std::isnan(x) ? "\"nan\"" : (x > 0 ? "\"inf\"" : "\"-inf\"");
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", x);
+  out_ += buffer;
+}
+
+void JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(std::int64_t n) {
+  comma();
+  out_ += std::to_string(n);
+}
+
+void JsonWriter::value(std::uint64_t n) {
+  comma();
+  out_ += std::to_string(n);
+}
+
+void JsonWriter::raw(std::string_view fragment) {
+  comma();
+  out_ += fragment;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace gw::obs

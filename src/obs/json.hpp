@@ -1,0 +1,58 @@
+// Minimal streaming JSON writer (no dependencies, no DOM).
+//
+// Shared by the metrics registry export, the trace-event serializer and
+// the bench harness' --json mode. The writer tracks nesting and inserts
+// commas itself, so call sites read like the document they produce:
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("name"); w.value("fifo");
+//   w.key("rows"); w.begin_array(); w.value(1.0); w.value(2.0); w.end_array();
+//   w.end_object();
+//   std::string doc = w.str();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gw::obs {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; the next value/begin_* call is its value.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double x);
+  void value(bool b);
+  void value(std::int64_t n);
+  void value(std::uint64_t n);
+  void value(int n) { value(static_cast<std::int64_t>(n)); }
+
+  /// Inserts a pre-rendered JSON fragment verbatim (caller guarantees
+  /// validity); used to splice one document into another.
+  void raw(std::string_view fragment);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+  /// JSON string escaping ("\"", "\\", control characters).
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> need_comma_;  ///< per open scope
+  bool pending_key_ = false;
+};
+
+}  // namespace gw::obs

@@ -1,0 +1,233 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace gw::obs {
+
+// ------------------------------------------------------------- Histogram
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      bins_(bins),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("obs::Histogram: bad range or zero bins");
+  }
+}
+
+void Histogram::observe(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  auto index = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  index = std::clamp<std::ptrdiff_t>(
+      index, 0, static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  bins_[static_cast<std::size_t>(index)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + x,
+                                     std::memory_order_relaxed)) {
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (x < lo &&
+         !min_.compare_exchange_weak(lo, x, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (x > hi &&
+         !max_.compare_exchange_weak(hi, x, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cumulative += static_cast<double>(bin_count(i));
+    if (cumulative >= target) {
+      return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+  }
+  return hi_;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Registry
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, double lo, double hi,
+                               std::size_t bins) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(lo, hi, bins))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = name;
+    sample.lo = histogram->lo();
+    sample.hi = histogram->hi();
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    sample.min = histogram->min();
+    sample.max = histogram->max();
+    sample.p50 = histogram->quantile(0.50);
+    sample.p90 = histogram->quantile(0.90);
+    sample.p99 = histogram->quantile(0.99);
+    sample.buckets.resize(histogram->bins());
+    for (std::size_t i = 0; i < histogram->bins(); ++i) {
+      sample.buckets[i] = histogram->bin_count(i);
+    }
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+std::string Registry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& c : snap.counters) {
+    w.key(c.name);
+    w.value(c.value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& g : snap.gauges) {
+    w.key(g.name);
+    w.value(g.value);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : snap.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("lo"); w.value(h.lo);
+    w.key("hi"); w.value(h.hi);
+    w.key("count"); w.value(h.count);
+    w.key("sum"); w.value(h.sum);
+    w.key("min"); w.value(h.min);
+    w.key("max"); w.value(h.max);
+    w.key("p50"); w.value(h.p50);
+    w.key("p90"); w.value(h.p90);
+    w.key("p99"); w.value(h.p99);
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t b : h.buckets) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string Registry::to_csv() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out = "type,name,value,count,sum,min,max,p50,p90,p99\n";
+  auto number = [](double x) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", x);
+    return std::string(buffer);
+  };
+  for (const auto& c : snap.counters) {
+    out += "counter," + c.name + "," + std::to_string(c.value) + ",,,,,,,\n";
+  }
+  for (const auto& g : snap.gauges) {
+    out += "gauge," + g.name + "," + number(g.value) + ",,,,,,,\n";
+  }
+  for (const auto& h : snap.histograms) {
+    out += "histogram," + h.name + ",," + std::to_string(h.count) + "," +
+           number(h.sum) + "," + number(h.min) + "," + number(h.max) + "," +
+           number(h.p50) + "," + number(h.p90) + "," + number(h.p99) + "\n";
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace gw::obs

@@ -1,0 +1,163 @@
+// Thread-safe metrics registry.
+//
+// Instruments register Counter / Gauge / Histogram handles by name; the
+// handles are lock-free on the hot path (atomic operations only) and
+// stable for the registry's lifetime, so call sites cache references:
+//
+//   static auto& solves = obs::default_registry().counter("core.nash.solves");
+//   solves.inc();
+//
+// snapshot() captures a consistent-enough view for export; to_json() /
+// to_csv() serialize it. The default registry is a process-wide singleton
+// shared by the library instrumentation and the bench harness' --json
+// telemetry; reset() restores all registered metrics to zero (benches use
+// this to scope measurements).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gw::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (plus atomic add for accumulators).
+class Gauge {
+ public:
+  void set(double x) noexcept { value_.store(x, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bin concurrent histogram on [lo, hi); out-of-range observations
+/// clamp into the edge bins. Tracks count/sum/min/max alongside the bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const noexcept {
+    return bins_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// Empirical quantile (0 <= q <= 1) via bin midpoints; NaN when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::atomic<std::uint64_t>> bins_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// One exported sample of everything registered; see Registry::snapshot().
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value;
+  };
+  struct HistogramSample {
+    std::string name;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    std::vector<std::uint64_t> buckets;
+  };
+
+  std::vector<CounterSample> counters;      ///< sorted by name
+  std::vector<GaugeSample> gauges;          ///< sorted by name
+  std::vector<HistogramSample> histograms;  ///< sorted by name
+};
+
+class Registry {
+ public:
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The reference stays valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Histogram bounds are fixed by the first registration; later calls
+  /// with the same name return the existing instance (bounds ignored).
+  Histogram& histogram(std::string_view name, double lo, double hi,
+                       std::size_t bins = 64);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Serializes snapshot() as a JSON object
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// One metric per line: "type,name,value[,...]" (histograms append
+  /// count,sum,min,max,p50,p90,p99).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Zeroes every registered metric (registrations are kept).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Process-wide registry used by the built-in instrumentation.
+Registry& default_registry();
+
+}  // namespace gw::obs

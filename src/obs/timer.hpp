@@ -1,0 +1,37 @@
+// Scoped wall-clock timers feeding the metrics registry.
+//
+//   void solve(...) {
+//     static auto& timing = obs::default_registry().histogram(
+//         "core.nash.solve_seconds", 0.0, 1.0);
+//     obs::ScopedTimer timer(timing);
+//     ...
+//   }
+//
+// The observation lands in the histogram when the scope exits, so the
+// registry snapshot (and bench --json telemetry) reports call counts and
+// latency quantiles without any explicit bookkeeping at the call site.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace gw::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink) noexcept
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_.observe(std::chrono::duration<double>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gw::obs

@@ -1,0 +1,119 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace gw::obs {
+
+TraceSession::TraceSession(TraceOptions options) : options_(options) {}
+
+void TraceSession::push(Event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::complete(std::string_view category, std::string_view name,
+                            double ts_us, double dur_us) {
+  push({'X', std::string(category), std::string(name), ts_us, dur_us, {},
+        0.0});
+}
+
+void TraceSession::instant(std::string_view category, std::string_view name,
+                           double ts_us, std::string_view arg_key,
+                           double arg_value) {
+  push({'i', std::string(category), std::string(name), ts_us, 0.0,
+        std::string(arg_key), arg_value});
+}
+
+void TraceSession::counter(std::string_view category, std::string_view name,
+                           double ts_us, double value) {
+  push({'C', std::string(category), std::string(name), ts_us, 0.0, "value",
+        value});
+}
+
+std::size_t TraceSession::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t TraceSession::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceSession::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceSession::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.key("ph");
+    w.value(std::string_view(&e.phase, 1));
+    w.key("cat");
+    w.value(e.category);
+    w.key("name");
+    w.value(e.name);
+    w.key("ts");
+    w.value(e.ts_us);
+    if (e.phase == 'X') {
+      w.key("dur");
+      w.value(e.dur_us);
+    }
+    if (e.phase == 'i') {
+      w.key("s");
+      w.value("t");  // instant scope: thread
+    }
+    w.key("pid");
+    w.value(std::int64_t{1});
+    w.key("tid");
+    w.value(std::int64_t{1});
+    if (!e.arg_key.empty()) {
+      w.key("args");
+      w.begin_object();
+      w.key(e.arg_key);
+      w.value(e.arg_value);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
+  return w.take();
+}
+
+bool TraceSession::write_file(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok && written != doc.size()) std::fclose(f);
+  return ok;
+}
+
+std::uint64_t wall_now_us() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+}  // namespace gw::obs

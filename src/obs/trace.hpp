@@ -1,0 +1,152 @@
+// Event tracing in Chrome trace-event format (Perfetto-compatible).
+//
+// A TraceSession buffers trace events and serializes them as the JSON
+// array format understood by Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing. Three event shapes cover the library's needs:
+//
+//   * complete(cat, name, ts, dur)  — a span ("X" event);
+//   * instant(cat, name, ts)       — a point event ("i");
+//   * counter(cat, name, ts, v)    — a counter track sample ("C").
+//
+// Timestamps are in microseconds. Library instrumentation uses *simulated*
+// time scaled by 1e6 (one simulated second renders as one second in
+// Perfetto); GW_TRACE_SCOPE spans use the wall clock — record the two into
+// separate sessions.
+//
+// Tracing is off by default. Installing a session with set_active_trace()
+// (or the RAII ActiveTraceScope) turns the instrumentation on; when no
+// session is installed the hooks cost a single relaxed atomic load and a
+// predictable branch, so instrumented hot paths stay within noise.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gw::obs {
+
+struct TraceOptions {
+  /// Events beyond the cap are dropped (and counted) rather than growing
+  /// the buffer without bound on long runs.
+  std::size_t max_events = 4u << 20;
+};
+
+class TraceSession {
+ public:
+  explicit TraceSession(TraceOptions options = {});
+
+  /// A span covering [ts_us, ts_us + dur_us].
+  void complete(std::string_view category, std::string_view name,
+                double ts_us, double dur_us);
+
+  /// A point event; `arg_key`/`arg_value` become the event's args entry
+  /// (pass an empty key for no args).
+  void instant(std::string_view category, std::string_view name, double ts_us,
+               std::string_view arg_key = {}, double arg_value = 0.0);
+
+  /// One sample on the counter track `name` (Perfetto draws these as a
+  /// step function).
+  void counter(std::string_view category, std::string_view name, double ts_us,
+               double value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t dropped() const;
+
+  /// Serializes {"traceEvents":[...]}; valid even while recording.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct Event {
+    char phase;  ///< 'X', 'i', 'C'
+    std::string category;
+    std::string name;
+    double ts_us;
+    double dur_us;      ///< 'X' only
+    std::string arg_key;  ///< empty: no args
+    double arg_value;
+  };
+
+  void push(Event event);
+
+  TraceOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::size_t dropped_ = 0;
+};
+
+namespace detail {
+inline std::atomic<TraceSession*> g_active_trace{nullptr};
+}  // namespace detail
+
+/// The globally installed session, or nullptr when tracing is disabled.
+/// Inline so the disabled-tracing fast path in instrumented hot paths is a
+/// relaxed load + predictable branch, not a cross-TU call.
+[[nodiscard]] inline TraceSession* active_trace() noexcept {
+  return detail::g_active_trace.load(std::memory_order_relaxed);
+}
+
+/// Installs `session` as the global trace sink (nullptr disables tracing).
+/// Returns the previously installed session.
+inline TraceSession* set_active_trace(TraceSession* session) noexcept {
+  return detail::g_active_trace.exchange(session, std::memory_order_release);
+}
+
+/// RAII: installs a session for the enclosing scope, restores the previous
+/// one on exit.
+class ActiveTraceScope {
+ public:
+  explicit ActiveTraceScope(TraceSession& session)
+      : previous_(set_active_trace(&session)) {}
+  ~ActiveTraceScope() { set_active_trace(previous_); }
+  ActiveTraceScope(const ActiveTraceScope&) = delete;
+  ActiveTraceScope& operator=(const ActiveTraceScope&) = delete;
+
+ private:
+  TraceSession* previous_;
+};
+
+/// Monotonic wall clock in microseconds (epoch: first call).
+[[nodiscard]] std::uint64_t wall_now_us() noexcept;
+
+/// Wall-clock span recorded into the active session (see GW_TRACE_SCOPE).
+class ScopedTrace {
+ public:
+  ScopedTrace(const char* category, const char* name) noexcept
+      : session_(active_trace()), category_(category), name_(name) {
+    if (session_ != nullptr) start_us_ = wall_now_us();
+  }
+  ~ScopedTrace() {
+    if (session_ != nullptr) {
+      const auto now = static_cast<double>(wall_now_us());
+      session_->complete(category_, name_, static_cast<double>(start_us_),
+                         now - static_cast<double>(start_us_));
+    }
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceSession* session_;
+  const char* category_;
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace gw::obs
+
+#define GW_OBS_CONCAT_IMPL(a, b) a##b
+#define GW_OBS_CONCAT(a, b) GW_OBS_CONCAT_IMPL(a, b)
+
+/// Records a wall-clock span for the enclosing scope into the active
+/// trace session; a single predictable branch when tracing is off.
+#define GW_TRACE_SCOPE(category, name) \
+  ::gw::obs::ScopedTrace GW_OBS_CONCAT(gw_trace_scope_, __LINE__)(category, \
+                                                                  name)

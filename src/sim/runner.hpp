@@ -52,6 +52,8 @@ struct UserRunStats {
   double mean_delay = 0.0;
   double throughput = 0.0;  ///< departures per unit time
   /// Delay quantiles; populated when RunOptions::delay_histograms is set.
+  /// NaN for a user with zero departures in the measurement window (see
+  /// QueueTracker::try_delay_quantile).
   double delay_p50 = 0.0;
   double delay_p95 = 0.0;
   double delay_p99 = 0.0;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace gw::sim {
 
 EventId Simulator::schedule_at(double t, std::function<void()> action) {
@@ -36,6 +38,9 @@ std::size_t Simulator::run_until(double t_end) {
     ++processed_;
   }
   now_ = t_end;
+  static auto& events_processed =
+      obs::default_registry().counter("sim.events_processed");
+  events_processed.inc(fired);
   return fired;
 }
 

@@ -6,6 +6,25 @@
 
 namespace gw::sim {
 
+// Cold trace-emission bodies, out of line so the inline hot-path hooks
+// stay a load + branch when tracing is off.
+
+void Station::trace_packet_instant(obs::TraceSession& trace, const char* name,
+                                   const Packet& packet) const {
+  trace.instant("packet", name, sim_.now() * 1e6, "user",
+                static_cast<double>(packet.user));
+}
+
+void Station::emit_service_span() {
+  if (auto* trace = obs::active_trace()) {
+    trace->complete("station",
+                    name() + " serve u" + std::to_string(service_span_user_),
+                    service_span_start_ * 1e6,
+                    (sim_.now() - service_span_start_) * 1e6);
+  }
+  service_span_open_ = false;
+}
+
 // ------------------------------------------------------------------ FIFO
 
 void FifoStation::arrive(Packet packet) {
@@ -17,6 +36,7 @@ void FifoStation::arrive(Packet packet) {
 
 void FifoStation::start_service() {
   busy_ = true;
+  trace_service_start(queue_.front());
   completion_ =
       sim_.schedule_in(queue_.front().remaining, [this] { complete(); });
 }
@@ -24,6 +44,7 @@ void FifoStation::start_service() {
 void FifoStation::complete() {
   Packet done = queue_.front();
   queue_.pop_front();
+  trace_service_stop();
   note_departure(done);
   if (queue_.empty()) {
     busy_ = false;
@@ -41,6 +62,7 @@ void LifoPreemptStation::arrive(Packet packet) {
     // Preempt: bank the in-service packet's progress.
     sim_.cancel(completion_);
     stack_.back().remaining -= sim_.now() - service_start_;
+    trace_service_stop();
   }
   stack_.push_back(packet);
   serve_top();
@@ -49,6 +71,7 @@ void LifoPreemptStation::arrive(Packet packet) {
 void LifoPreemptStation::serve_top() {
   busy_ = true;
   service_start_ = sim_.now();
+  trace_service_start(stack_.back());
   completion_ =
       sim_.schedule_in(std::max(stack_.back().remaining, 0.0),
                        [this] { complete(); });
@@ -57,6 +80,7 @@ void LifoPreemptStation::serve_top() {
 void LifoPreemptStation::complete() {
   Packet done = stack_.back();
   stack_.pop_back();
+  trace_service_stop();
   note_departure(done);
   if (stack_.empty()) {
     busy_ = false;
@@ -155,6 +179,7 @@ void HolPriorityStation::serve_next() {
     in_service_ = level.front();
     level.pop_front();
     busy_ = true;
+    trace_service_start(in_service_);
     completion_ = sim_.schedule_in(in_service_.service_demand,
                                    [this] { complete(); });
     return;
@@ -164,6 +189,7 @@ void HolPriorityStation::serve_next() {
 
 void HolPriorityStation::complete() {
   busy_ = false;
+  trace_service_stop();
   note_departure(in_service_);
   serve_next();
 }
@@ -191,6 +217,7 @@ void PreemptivePriorityStation::arrive(Packet packet) {
     // the head of its class.
     sim_.cancel(completion_);
     in_service_.remaining -= sim_.now() - service_start_;
+    trace_service_stop();
     levels_[static_cast<std::size_t>(in_service_.priority)].push_front(
         in_service_);
     busy_ = false;
@@ -206,6 +233,7 @@ void PreemptivePriorityStation::serve_next() {
     level.pop_front();
     busy_ = true;
     service_start_ = sim_.now();
+    trace_service_start(in_service_);
     completion_ = sim_.schedule_in(std::max(in_service_.remaining, 0.0),
                                    [this] { complete(); });
     return;
@@ -215,6 +243,7 @@ void PreemptivePriorityStation::serve_next() {
 
 void PreemptivePriorityStation::complete() {
   busy_ = false;
+  trace_service_stop();
   note_departure(in_service_);
   serve_next();
 }

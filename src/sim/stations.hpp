@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/tracker.hpp"
@@ -43,20 +44,55 @@ class Station {
   }
 
  protected:
+  // The tracing fast paths are a relaxed load + unlikely branch; the
+  // emission bodies live out of line (stations.cpp) to keep the hot
+  // loop's code small when tracing is off.
   void note_arrival(const Packet& packet) {
-    tracker_.on_change(sim_.now(), packet.user, +1);
+    auto* trace = obs::active_trace();
+    if (trace != nullptr) [[unlikely]] {
+      trace_packet_instant(*trace, "arrive", packet);
+    }
+    tracker_.on_change(sim_.now(), packet.user, +1, trace);
   }
   void note_departure(const Packet& packet) {
-    tracker_.on_change(sim_.now(), packet.user, -1);
+    auto* trace = obs::active_trace();
+    if (trace != nullptr) [[unlikely]] {
+      trace_packet_instant(*trace, "depart", packet);
+    }
+    tracker_.on_change(sim_.now(), packet.user, -1, trace);
     tracker_.on_departure(packet.user, sim_.now() - packet.arrival_time);
     if (next_hop_) next_hop_(packet);
+  }
+
+  /// Tracing hooks for the server's busy periods. Disciplines call
+  /// trace_service_start() when a packet (re)occupies the server and
+  /// trace_service_stop() when it leaves it (completion or preemption);
+  /// each uninterrupted service segment becomes one "station" span.
+  void trace_service_start(const Packet& packet) {
+    if (obs::active_trace() != nullptr) [[unlikely]] {
+      service_span_start_ = sim_.now();
+      service_span_user_ = packet.user;
+      service_span_open_ = true;
+    }
+  }
+  void trace_service_stop() {
+    // service_span_open_ is only ever set while tracing, so the disabled
+    // path is a single plain-bool test.
+    if (service_span_open_) [[unlikely]] emit_service_span();
   }
 
   Simulator& sim_;
   QueueTracker& tracker_;
 
  private:
+  void trace_packet_instant(obs::TraceSession& trace, const char* name,
+                            const Packet& packet) const;
+  void emit_service_span();
+
   std::function<void(const Packet&)> next_hop_;
+  double service_span_start_ = 0.0;
+  std::size_t service_span_user_ = 0;
+  bool service_span_open_ = false;
 };
 
 /// First-in first-out, non-preemptive.

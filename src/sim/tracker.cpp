@@ -1,6 +1,10 @@
 #include "sim/tracker.hpp"
 
+#include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace gw::sim {
 
@@ -17,11 +21,16 @@ void QueueTracker::accrue(double now, PerUser& user) {
   }
 }
 
-void QueueTracker::on_change(double now, std::size_t user, int delta) {
+void QueueTracker::on_change(double now, std::size_t user, int delta,
+                             obs::TraceSession* trace) {
   auto& u = per_user_.at(user);
   accrue(now, u);
   u.count += delta;
   if (u.count < 0) throw std::logic_error("QueueTracker: negative occupancy");
+  if (trace != nullptr) [[unlikely]] {
+    trace->counter("occupancy", "occupancy u" + std::to_string(user),
+                   now * 1e6, static_cast<double>(u.count));
+  }
 }
 
 void QueueTracker::on_departure(std::size_t user, double delay) {
@@ -45,10 +54,18 @@ void QueueTracker::enable_delay_histograms(double max_delay,
 }
 
 double QueueTracker::delay_quantile(std::size_t user, double q) const {
+  return try_delay_quantile(user, q)
+      .value_or(std::numeric_limits<double>::quiet_NaN());
+}
+
+std::optional<double> QueueTracker::try_delay_quantile(std::size_t user,
+                                                       double q) const {
   if (delay_histograms_.empty()) {
     throw std::logic_error("QueueTracker: delay histograms not enabled");
   }
-  return delay_histograms_.at(user)->quantile(q);
+  const auto& histogram = *delay_histograms_.at(user);
+  if (histogram.total() == 0) return std::nullopt;
+  return histogram.quantile(q);
 }
 
 void QueueTracker::reset(double now) {

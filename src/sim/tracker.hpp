@@ -8,9 +8,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "numerics/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace gw::sim {
 
@@ -19,7 +21,10 @@ class QueueTracker {
   explicit QueueTracker(std::size_t n_users);
 
   /// Announce that `user`'s number-in-system changes by `delta` at `now`.
-  void on_change(double now, std::size_t user, int delta);
+  /// Hot callers that already loaded the active trace pointer pass it in
+  /// so the disabled-tracing path costs a single load per packet event.
+  void on_change(double now, std::size_t user, int delta,
+                 obs::TraceSession* trace = obs::active_trace());
 
   /// A packet of `user` departed after spending `delay` in the system.
   void on_departure(std::size_t user, double delay);
@@ -47,8 +52,17 @@ class QueueTracker {
   void enable_delay_histograms(double max_delay, std::size_t bins = 512);
 
   /// Empirical delay quantile for `user` (requires enabled histograms;
-  /// throws std::logic_error otherwise).
+  /// throws std::logic_error otherwise). When the user has recorded no
+  /// departures there is no empirical distribution to query: returns the
+  /// NaN sentinel rather than a garbage quantile — callers that prefer an
+  /// explicit check should use try_delay_quantile().
   [[nodiscard]] double delay_quantile(std::size_t user, double q) const;
+
+  /// Safe-path variant of delay_quantile(): std::nullopt when `user` has
+  /// no departures since reset. Still throws std::logic_error when delay
+  /// histograms were never enabled (a programming error, not a data gap).
+  [[nodiscard]] std::optional<double> try_delay_quantile(std::size_t user,
+                                                         double q) const;
 
   [[nodiscard]] std::size_t users() const noexcept { return per_user_.size(); }
   [[nodiscard]] int occupancy(std::size_t user) const {

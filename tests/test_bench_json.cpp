@@ -1,0 +1,96 @@
+// bench harness --json telemetry: run a real bench binary in JSON mode
+// and validate the emitted schema (gw.bench.v1).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_lite.hpp"
+
+namespace {
+
+using gw::jsonlite::JsonValue;
+using gw::jsonlite::parse_json;
+
+#ifndef GW_BENCH_BIN_DIR
+#define GW_BENCH_BIN_DIR ""
+#endif
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+TEST(BenchJson, EmitsSchemaValidTelemetry) {
+  const std::string bench_dir = GW_BENCH_BIN_DIR;
+  const std::string binary = bench_dir + "/bench_fairness";
+  if (bench_dir.empty() || !file_exists(binary)) {
+    GTEST_SKIP() << "bench binary not built: " << binary;
+  }
+
+  const std::string out_path =
+      ::testing::TempDir() + "gw_bench_results.json";
+  std::remove(out_path.c_str());
+  const std::string command =
+      binary + " --json " + out_path + " > /dev/null 2>&1";
+  const int rc = std::system(command.c_str());
+  EXPECT_EQ(rc, 0) << "bench binary failed: " << command;
+  ASSERT_TRUE(file_exists(out_path)) << "no telemetry written";
+
+  std::ifstream in(out_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+
+  // Top-level schema.
+  EXPECT_EQ(doc.at("schema").string, "gw.bench.v1");
+  EXPECT_TRUE(doc.at("binary").is_string());
+  EXPECT_TRUE(doc.at("failures").is_number());
+  ASSERT_TRUE(doc.at("experiments").is_array());
+  ASSERT_FALSE(doc.at("experiments").array.empty());
+
+  // Experiment id, tables with rows, and verdicts all present.
+  const JsonValue& experiment = doc.at("experiments").array.front();
+  EXPECT_FALSE(experiment.at("id").string.empty());
+  EXPECT_TRUE(experiment.at("paper_ref").is_string());
+  ASSERT_TRUE(experiment.at("tables").is_array());
+  bool found_rows = false;
+  for (const auto& ex : doc.at("experiments").array) {
+    for (const auto& table : ex.at("tables").array) {
+      ASSERT_TRUE(table.at("columns").is_array());
+      for (const auto& row : table.at("rows").array) {
+        ASSERT_TRUE(row.is_array());
+        EXPECT_EQ(row.array.size(), table.at("columns").array.size());
+        found_rows = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_rows) << "no table rows recorded";
+
+  bool found_verdict = false;
+  for (const auto& ex : doc.at("experiments").array) {
+    for (const auto& v : ex.at("verdicts").array) {
+      EXPECT_TRUE(v.at("pass").kind == JsonValue::Kind::kBool);
+      EXPECT_FALSE(v.at("description").string.empty());
+      found_verdict = true;
+    }
+  }
+  EXPECT_TRUE(found_verdict) << "no verdicts recorded";
+
+  // Registry metrics ride along, including solver iteration telemetry
+  // (bench_fairness solves Nash problems on the way).
+  const JsonValue& metrics = doc.at("metrics");
+  ASSERT_TRUE(metrics.at("counters").is_object());
+  ASSERT_TRUE(metrics.at("gauges").is_object());
+  ASSERT_TRUE(metrics.at("histograms").is_object());
+  EXPECT_TRUE(metrics.at("counters").has("core.nash.solves"));
+  EXPECT_TRUE(metrics.at("counters").has("core.nash.iterations_total"));
+  EXPECT_GT(metrics.at("counters").at("core.nash.solves").number, 0.0);
+
+  std::remove(out_path.c_str());
+}
+
+}  // namespace

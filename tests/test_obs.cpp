@@ -1,0 +1,291 @@
+// gw::obs — metrics registry, event tracer, scoped timers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_lite.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace gw;
+
+// ------------------------------------------------------------ JsonWriter
+
+TEST(JsonWriter, ProducesParseableNestedDocument) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("he said \"hi\"\n");
+  w.key("xs");
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::int64_t{-3});
+  w.value(true);
+  w.begin_object();
+  w.key("inner");
+  w.value(std::uint64_t{42});
+  w.end_object();
+  w.end_array();
+  w.key("nan");
+  w.value(std::nan(""));
+  w.end_object();
+
+  const auto doc = jsonlite::parse_json(w.str());
+  EXPECT_EQ(doc.at("name").string, "he said \"hi\"\n");
+  ASSERT_EQ(doc.at("xs").array.size(), 4u);
+  EXPECT_DOUBLE_EQ(doc.at("xs").array[0].number, 1.5);
+  EXPECT_DOUBLE_EQ(doc.at("xs").array[1].number, -3.0);
+  EXPECT_TRUE(doc.at("xs").array[2].boolean);
+  EXPECT_DOUBLE_EQ(doc.at("xs").array[3].at("inner").number, 42.0);
+  // Non-finite doubles are encoded as sentinel strings to keep the
+  // document valid JSON.
+  EXPECT_EQ(doc.at("nan").string, "nan");
+}
+
+// -------------------------------------------------------------- Registry
+
+TEST(MetricsRegistry, HandlesAreStableAndNamed) {
+  obs::Registry registry;
+  auto& a = registry.counter("a");
+  auto& again = registry.counter("a");
+  EXPECT_EQ(&a, &again);
+  a.inc(3);
+  EXPECT_EQ(registry.counter("a").value(), 3u);
+
+  registry.gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 2.5);
+  registry.gauge("g").add(-0.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 2.0);
+}
+
+TEST(MetricsRegistry, SnapshotCorrectUnderConcurrentIncrements) {
+  obs::Registry registry;
+  auto& counter = registry.counter("hits");
+  auto& gauge = registry.gauge("acc");
+  auto& histogram = registry.histogram("obs", 0.0, 1.0, 16);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        gauge.add(1.0);
+        histogram.observe(static_cast<double>((t + i) % 16) / 16.0 + 0.01);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  constexpr auto kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, kTotal);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, static_cast<double>(kTotal));
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, kTotal);
+  std::uint64_t in_bins = 0;
+  for (const auto b : snap.histograms[0].buckets) in_bins += b;
+  EXPECT_EQ(in_bins, kTotal);
+}
+
+TEST(MetricsHistogram, BucketAndQuantileEdges) {
+  obs::Histogram h(0.0, 10.0, 10);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));  // empty: no distribution
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.mean()));
+
+  h.observe(-5.0);   // clamps into bin 0
+  h.observe(0.0);    // bin 0
+  h.observe(9.999);  // bin 9
+  h.observe(25.0);   // clamps into bin 9
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 25.0);
+  // Quantiles answer from bin midpoints.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.5);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+
+  EXPECT_THROW(obs::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, JsonAndCsvExportsParse) {
+  obs::Registry registry;
+  registry.counter("runs").inc(2);
+  registry.gauge("last").set(0.25);
+  auto& h = registry.histogram("lat", 0.0, 1.0, 4);
+  h.observe(0.1);
+  h.observe(0.9);
+
+  const auto doc = jsonlite::parse_json(registry.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("runs").number, 2.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("last").number, 0.25);
+  const auto& lat = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(lat.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(lat.at("sum").number, 1.0);
+  ASSERT_EQ(lat.at("buckets").array.size(), 4u);
+
+  const std::string csv = registry.to_csv();
+  EXPECT_NE(csv.find("counter,runs,2"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat"), std::string::npos);
+
+  registry.reset();
+  EXPECT_EQ(registry.counter("runs").value(), 0u);
+  EXPECT_EQ(registry.histogram("lat", 0.0, 1.0).count(), 0u);
+}
+
+TEST(ScopedTimer, FeedsHistogram) {
+  obs::Registry registry;
+  auto& sink = registry.histogram("t", 0.0, 1.0, 8);
+  {
+    obs::ScopedTimer timer(sink);
+  }
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_GE(sink.sum(), 0.0);
+}
+
+// ---------------------------------------------------------------- Tracer
+
+TEST(TraceSession, EmitsWellFormedChromeTraceJson) {
+  obs::TraceSession session;
+  session.complete("station", "serve u0", 100.0, 50.0);
+  session.instant("packet", "arrive", 10.0, "user", 2.0);
+  session.counter("occupancy", "occupancy u0", 11.0, 3.0);
+
+  const auto doc = jsonlite::parse_json(session.to_json());
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 3u);
+
+  EXPECT_EQ(events[0].at("ph").string, "X");
+  EXPECT_DOUBLE_EQ(events[0].at("ts").number, 100.0);
+  EXPECT_DOUBLE_EQ(events[0].at("dur").number, 50.0);
+
+  EXPECT_EQ(events[1].at("ph").string, "i");
+  EXPECT_EQ(events[1].at("cat").string, "packet");
+  EXPECT_DOUBLE_EQ(events[1].at("args").at("user").number, 2.0);
+
+  EXPECT_EQ(events[2].at("ph").string, "C");
+  EXPECT_DOUBLE_EQ(events[2].at("args").at("value").number, 3.0);
+}
+
+TEST(TraceSession, DropsBeyondCapAndCounts) {
+  obs::TraceOptions options;
+  options.max_events = 2;
+  obs::TraceSession session(options);
+  for (int i = 0; i < 5; ++i) session.instant("c", "e", i);
+  EXPECT_EQ(session.size(), 2u);
+  EXPECT_EQ(session.dropped(), 3u);
+  // Still serializes cleanly.
+  EXPECT_NO_THROW(jsonlite::parse_json(session.to_json()));
+}
+
+TEST(Tracing, SimRunWithActiveSessionHasAllCategories) {
+  obs::TraceSession session;
+  {
+    const obs::ActiveTraceScope scope(session);
+    sim::RunOptions options;
+    options.warmup = 5.0;
+    options.batches = 2;
+    options.batch_length = 20.0;
+    options.seed = 3;
+    (void)sim::run_switch(sim::Discipline::kFifo, {0.3, 0.3}, options);
+  }
+  EXPECT_EQ(obs::active_trace(), nullptr);
+  ASSERT_GT(session.size(), 0u);
+
+  const auto doc = jsonlite::parse_json(session.to_json());
+  bool saw_packet = false, saw_station = false, saw_occupancy = false;
+  for (const auto& event : doc.at("traceEvents").array) {
+    const auto& category = event.at("cat").string;
+    saw_packet |= category == "packet";
+    saw_station |= category == "station";
+    saw_occupancy |= category == "occupancy";
+  }
+  EXPECT_TRUE(saw_packet);
+  EXPECT_TRUE(saw_station);
+  EXPECT_TRUE(saw_occupancy);
+}
+
+TEST(Tracing, DisabledTracerHasZeroSideEffects) {
+  ASSERT_EQ(obs::active_trace(), nullptr);
+  obs::TraceSession session;  // never installed
+
+  {
+    GW_TRACE_SCOPE("test", "should-not-record");
+    sim::RunOptions options;
+    options.warmup = 5.0;
+    options.batches = 2;
+    options.batch_length = 20.0;
+    (void)sim::run_switch(sim::Discipline::kFifo, {0.3}, options);
+  }
+  EXPECT_EQ(session.size(), 0u);
+  EXPECT_EQ(session.dropped(), 0u);
+}
+
+TEST(Tracing, ScopedTraceRecordsWallClockSpan) {
+  obs::TraceSession session;
+  {
+    const obs::ActiveTraceScope scope(session);
+    GW_TRACE_SCOPE("test", "span");
+  }
+  ASSERT_EQ(session.size(), 1u);
+  const auto doc = jsonlite::parse_json(session.to_json());
+  const auto& event = doc.at("traceEvents").array.at(0);
+  EXPECT_EQ(event.at("ph").string, "X");
+  EXPECT_EQ(event.at("name").string, "span");
+  EXPECT_GE(event.at("dur").number, 0.0);
+}
+
+TEST(Tracing, WrittenFileParsesBack) {
+  obs::TraceSession session;
+  session.instant("c", "e", 1.0);
+  const std::string path = ::testing::TempDir() + "gw_trace_roundtrip.json";
+  ASSERT_TRUE(session.write_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = jsonlite::parse_json(buffer.str());
+  EXPECT_EQ(doc.at("traceEvents").array.size(), 1u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- QueueTracker fix
+
+TEST(QueueTrackerQuantiles, ZeroDepartureSafePath) {
+  sim::QueueTracker tracker(2);
+  EXPECT_THROW((void)tracker.delay_quantile(0, 0.5), std::logic_error);
+  EXPECT_THROW((void)tracker.try_delay_quantile(0, 0.5), std::logic_error);
+
+  tracker.enable_delay_histograms(10.0, 16);
+  tracker.on_departure(0, 1.0);
+  // User 0 departed: real quantile. User 1 never did: sentinel, not garbage.
+  EXPECT_TRUE(tracker.try_delay_quantile(0, 0.5).has_value());
+  EXPECT_FALSE(tracker.try_delay_quantile(1, 0.5).has_value());
+  EXPECT_TRUE(std::isnan(tracker.delay_quantile(1, 0.5)));
+  EXPECT_GT(tracker.delay_quantile(0, 0.5), 0.0);
+}
+
+}  // namespace

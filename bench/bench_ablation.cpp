@@ -13,8 +13,7 @@
 #include "core/nash.hpp"
 #include "sim/runner.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -134,5 +133,7 @@ int main(int argc, char** argv) {
   }
   bench::verdict(long_batches_cover,
                  "long batches restore nominal-ish CI coverage");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

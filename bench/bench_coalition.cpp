@@ -13,8 +13,7 @@
 #include "core/nash.hpp"
 #include "core/proportional.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -69,5 +68,7 @@ int main(int argc, char** argv) {
   bench::verdict(fs_resilient,
                  "FS Nash resists every coalition tried (footnote 14)");
   bench::verdict(fifo_falls, "FIFO Nash is coalitionally manipulable");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -18,8 +18,7 @@
 #include "learn/hill_climber.hpp"
 #include "learn/oracle_learners.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -175,5 +174,7 @@ int main(int argc, char** argv) {
                  "FIFO rewards Stackelberg sophistication");
   bench::verdict(std::abs(fs_advantage) < 3e-4,
                  "FS leader gains nothing (Nash == Stackelberg)");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -15,8 +15,7 @@
 #include "core/pareto.hpp"
 #include "core/proportional.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -121,5 +120,7 @@ int main(int argc, char** argv) {
   bench::verdict(!fs_domination.dominated,
                  "FS symmetric Nash admits no dominating allocation "
                  "(Theorem 2)");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

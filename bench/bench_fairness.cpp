@@ -15,8 +15,7 @@
 #include "core/proportional.hpp"
 #include "numerics/rng.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -78,5 +77,7 @@ int main(int argc, char** argv) {
   bench::verdict(fs_worst <= 1e-6,
                  "FS: zero envy after best response, everywhere sampled");
   bench::verdict(fifo_worst > 1e-3, "FIFO: envy exists out of equilibrium");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

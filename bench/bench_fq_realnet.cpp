@@ -11,8 +11,7 @@
 #include "bench_util.hpp"
 #include "sim/runner.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   bench::banner(
       "E-FQ fq_realnet", "Section 5.2",
@@ -83,5 +82,7 @@ int main(int argc, char** argv) {
   // system sojourn (1/mu = 1) despite the flooder.
   bench::verdict(fs.users[0].mean_delay < 2.5,
                  "FS: telnet mean delay close to a private server's");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -21,8 +21,7 @@
 #include "queueing/mg1.hpp"
 #include "sim/runner.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -139,5 +138,7 @@ int main(int argc, char** argv) {
   bench::verdict(constraint_matches,
                  "the packet simulator realizes the generalized constraint "
                  "curves g(x; scv) within 15%");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -1,8 +1,15 @@
 // E-PERF — google-benchmark microbenchmarks: library hot paths.
+//
+// Shares the gw::bench harness (and its --json/--repeat/--label flags) with
+// the experiment benches so the suite runner treats all binaries uniformly;
+// --benchmark_* flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "core/fair_share.hpp"
 #include "core/nash.hpp"
 #include "core/proportional.hpp"
@@ -110,4 +117,42 @@ void BM_SimulatorFairShareEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorFairShareEvents)->Unit(benchmark::kMillisecond);
 
+int run() {
+  static bool initialized = false;
+  if (!initialized) {
+    // google-benchmark parses its flags once; reps reuse the parsed state.
+    // Initialize() retains the argv pointers, so the storage must outlive
+    // this call.
+    static std::vector<std::string> args{"bench_micro"};
+    for (const auto& arg : gw::bench::passthrough_args()) args.push_back(arg);
+    static std::vector<char*> argv;
+    argv.reserve(args.size());
+    for (auto& arg : args) argv.push_back(arg.data());
+    static int argc = static_cast<int>(argv.size());
+    benchmark::Initialize(&argc, argv.data());
+    initialized = true;
+  }
+  gw::bench::banner("E-PERF microbench", "DESIGN.md section 4",
+                    "google-benchmark microbenchmarks of the library hot "
+                    "paths: allocation congestion/jacobian, best response, "
+                    "Nash solve, eigenvalues, simulator event throughput.");
+  // google-benchmark (<= 1.7.x) crashes on a second RunSpecifiedBenchmarks
+  // call in the same process, and it already repeats each benchmark
+  // internally until timings stabilize — so later --repeat reps skip it.
+  static bool ran_benchmarks = false;
+  if (!ran_benchmarks) {
+    benchmark::RunSpecifiedBenchmarks();
+    ran_benchmarks = true;
+    gw::bench::verdict(true, "microbenchmarks completed");
+  } else {
+    std::printf("  (microbenchmarks run once per process; rep skipped)\n");
+    gw::bench::verdict(true, "microbenchmarks completed (first rep)");
+  }
+  return gw::bench::failures();
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  return gw::bench::run_repeated(argc, argv, run, "--benchmark_");
+}

@@ -12,8 +12,7 @@
 #include "net/network.hpp"
 #include "sim/tandem.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -118,5 +117,7 @@ int main(int argc, char** argv) {
                  "Poisson-composition approximation holds within ~30% "
                  "(exact for FIFO by Burke; FS outputs are not Poisson — "
                  "the paper's 'daunting challenge')");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -13,8 +13,7 @@
 #include "core/proportional.hpp"
 #include "core/protection.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   bench::banner(
       "E-PROT protection", "Theorem 8; Section 4.3",
@@ -69,5 +68,7 @@ int main(int argc, char** argv) {
               bench::fmt(at_clones).c_str(), bench::fmt(bound).c_str());
   bench::verdict(std::abs(at_clones - bound) < 1e-9,
                  "protective bound is tight (achieved by clones)");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -16,8 +16,7 @@
 #include "core/proportional.hpp"
 #include "numerics/eigen.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -159,5 +158,7 @@ int main(int argc, char** argv) {
   bench::verdict(flows_stable,
                  "gradient play converges for BOTH disciplines: the N > 2 "
                  "divergence is an artifact of synchronous Newton steps");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -10,8 +10,7 @@
 #include "core/proportional.hpp"
 #include "core/revelation.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -63,5 +62,7 @@ int main(int argc, char** argv) {
                  "dominant)");
   bench::verdict(fifo_best_gain > 1e-3,
                  "FIFO mechanism: profitable misreports exist");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -10,8 +10,7 @@
 #include "core/proportional.hpp"
 #include "sim/runner.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   bench::banner(
       "E-SIMVAL sim_validation", "Section 3.1",
@@ -65,5 +64,7 @@ int main(int argc, char** argv) {
   }
   bench::verdict(all_match,
                  "every discipline reproduces its allocation within 12%");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -11,8 +11,7 @@
 #include "sim/fair_share_station.hpp"
 #include "sim/runner.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   bench::banner("E-T1 table1_priority", "Table 1 + Section 3.1",
                 "Fair Share is realized by splitting each user's stream "
@@ -115,5 +114,7 @@ int main(int argc, char** argv) {
   bench::verdict(weighted_close,
                  "weighted thinning realizes the weighted serial rule "
                  "within 10%");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -14,8 +14,7 @@
 #include "core/proportional.hpp"
 #include "numerics/rng.hpp"
 
-int main(int argc, char** argv) {
-  gw::bench::parse_args(argc, argv);
+static int run() {
   using namespace gw;
   using core::make_linear;
   bench::banner(
@@ -94,5 +93,7 @@ int main(int argc, char** argv) {
 
   bench::verdict(fs_total_equilibria == fs_runs,
                  "FS: exactly one equilibrium per profile across all starts");
-  return bench::finish();
+  return bench::failures();
 }
+
+GW_BENCH_MAIN(run)

@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -7,13 +8,15 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/stats.hpp"
 
 namespace gw::bench {
 
 namespace {
 
 constexpr int kColumnWidth = 14;
-constexpr const char* kSchema = "gw.bench.v1";
+constexpr const char* kSchema = "gw.bench.v2";
 
 struct Table {
   std::vector<std::string> columns;
@@ -34,9 +37,11 @@ struct Experiment {
 };
 
 int g_failures = 0;
-std::string g_json_path;
+Options g_options;
 std::string g_binary;
+std::vector<std::string> g_passthrough;
 std::vector<Experiment> g_experiments;
+std::vector<double> g_rep_wall_ms;
 
 Experiment& current_experiment() {
   if (g_experiments.empty()) {
@@ -46,27 +51,119 @@ Experiment& current_experiment() {
   return g_experiments.back();
 }
 
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: %s [options]\n"
+               "  --json <path>    write gw.bench.v2 telemetry JSON to <path>\n"
+               "  --repeat <N>     run the experiment body N times (N >= 1),\n"
+               "                   resetting metrics between reps and timing each\n"
+               "  --label <text>   stamp <text> into the run manifest\n"
+               "  --help, -h       show this help and exit\n",
+               g_binary.empty() ? "bench" : g_binary.c_str());
+}
+
+[[noreturn]] void usage_error(const char* format, const char* detail) {
+  std::fprintf(stderr, "%s: ", g_binary.c_str());
+  std::fprintf(stderr, format, detail);
+  std::fprintf(stderr, "\n");
+  print_usage(stderr);
+  std::exit(2);
+}
+
+void write_timing(obs::JsonWriter& w) {
+  w.begin_object();
+  w.key("repeat");
+  w.value(std::int64_t{g_options.repeat});
+  w.key("wall_ms");
+  w.begin_array();
+  for (const double ms : g_rep_wall_ms) w.value(ms);
+  w.end_array();
+  const obs::stats::Summary s = obs::stats::summarize(g_rep_wall_ms);
+  w.key("stats");
+  w.begin_object();
+  w.key("n");
+  w.value(static_cast<std::uint64_t>(s.n));
+  w.key("min"); w.value(s.min);
+  w.key("max"); w.value(s.max);
+  w.key("mean"); w.value(s.mean);
+  w.key("median"); w.value(s.median);
+  w.key("mad"); w.value(s.mad);
+  w.key("q1"); w.value(s.q1);
+  w.key("q3"); w.value(s.q3);
+  w.key("iqr"); w.value(s.iqr);
+  w.key("outliers");
+  w.value(static_cast<std::uint64_t>(s.outliers));
+  w.end_object();
+  w.end_object();
+}
+
 }  // namespace
 
-void parse_args(int argc, char** argv) {
+void parse_args(int argc, char** argv,
+                const std::string& passthrough_prefix) {
   if (argc > 0) g_binary = argv[0];
+  g_options = Options{};
+  g_passthrough.clear();
+
+  // --flag=value and "--flag value" are both accepted; `taking` consumes
+  // the attached or following token.
+  auto taking = [&](int& i, const char* name,
+                    std::string& out) -> bool {
+    const char* arg = argv[i];
+    const std::size_t length = std::strlen(name);
+    if (std::strncmp(arg, name, length) != 0) return false;
+    if (arg[length] == '=') {
+      out = arg + length + 1;
+      if (out.empty()) usage_error("%s requires a value", name);
+      return true;
+    }
+    if (arg[length] != '\0') return false;  // e.g. --jsonx
+    if (i + 1 >= argc) usage_error("%s requires a value", name);
+    out = argv[++i];
+    return true;
+  };
+
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--json") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: --json requires a path\n", g_binary.c_str());
-        std::exit(2);
+    if (!passthrough_prefix.empty() &&
+        std::strncmp(arg, passthrough_prefix.c_str(),
+                     passthrough_prefix.size()) == 0) {
+      g_passthrough.emplace_back(arg);
+      continue;
+    }
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout);
+      std::exit(0);
+    }
+    std::string value;
+    if (taking(i, "--json", value)) {
+      g_options.json_path = value;
+      continue;
+    }
+    if (taking(i, "--label", value)) {
+      g_options.label = value;
+      continue;
+    }
+    if (taking(i, "--repeat", value)) {
+      char* end = nullptr;
+      const long reps = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || reps < 1 || reps > 1000000) {
+        usage_error("--repeat needs a positive integer, got '%s'",
+                    value.c_str());
       }
-      g_json_path = argv[++i];
-    } else if (std::strncmp(arg, "--json=", 7) == 0) {
-      g_json_path = arg + 7;
+      g_options.repeat = static_cast<int>(reps);
+      continue;
     }
-    if (std::strncmp(arg, "--json", 6) == 0 && g_json_path.empty()) {
-      std::fprintf(stderr, "%s: --json requires a path\n", g_binary.c_str());
-      std::exit(2);
+    if (std::strncmp(arg, "--", 2) == 0) {
+      usage_error("unknown flag '%s'", arg);
     }
+    // Bare positional arguments stay ignored for forward compatibility.
   }
 }
+
+const Options& options() { return g_options; }
+
+const std::vector<std::string>& passthrough_args() { return g_passthrough; }
 
 void banner(const std::string& experiment_id, const std::string& paper_ref,
             const std::string& claim) {
@@ -116,7 +213,7 @@ void verdict(bool pass, const std::string& description) {
 int failures() { return g_failures; }
 
 int finish() {
-  if (g_json_path.empty()) return g_failures;
+  if (g_options.json_path.empty()) return g_failures;
 
   obs::JsonWriter w;
   w.begin_object();
@@ -124,6 +221,10 @@ int finish() {
   w.value(kSchema);
   w.key("binary");
   w.value(g_binary);
+  w.key("manifest");
+  obs::write_manifest(w, obs::collect_manifest(g_options.label));
+  w.key("timing");
+  write_timing(w);
   w.key("experiments");
   w.begin_array();
   for (const auto& experiment : g_experiments) {
@@ -174,15 +275,40 @@ int finish() {
   w.end_object();
 
   const std::string document = w.take();
-  std::FILE* f = std::fopen(g_json_path.c_str(), "w");
+  std::FILE* f = std::fopen(g_options.json_path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "bench: cannot write %s\n", g_json_path.c_str());
+    std::fprintf(stderr, "bench: cannot write %s\n",
+                 g_options.json_path.c_str());
     return g_failures == 0 ? 1 : g_failures;
   }
   std::fwrite(document.data(), 1, document.size(), f);
   std::fclose(f);
-  std::printf("\n  telemetry written to %s\n", g_json_path.c_str());
+  std::printf("\n  telemetry written to %s\n", g_options.json_path.c_str());
   return g_failures;
+}
+
+int run_repeated(int argc, char** argv, BodyFn body,
+                 const std::string& passthrough_prefix) {
+  parse_args(argc, argv, passthrough_prefix);
+  const int reps = g_options.repeat;
+  g_rep_wall_ms.clear();
+  g_rep_wall_ms.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    if (rep > 0) {
+      // Fresh metrics and a fresh transcript per rep: the JSON keeps the
+      // last rep's experiments, while failures accumulate across reps so a
+      // flaky verdict still fails the process.
+      obs::default_registry().reset();
+      g_experiments.clear();
+    }
+    if (reps > 1) std::printf("\n--- rep %d/%d ---\n", rep + 1, reps);
+    const auto start = std::chrono::steady_clock::now();
+    (void)body();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    g_rep_wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+  return finish();
 }
 
 }  // namespace gw::bench

@@ -3,16 +3,22 @@
 //
 // Every banner/table/verdict printed to the console is also recorded, and
 // when the binary runs with `--json <path>` the whole transcript — every
-// experiment, table, verdict, and the obs::default_registry() metrics
+// experiment, table, verdict, the run manifest (git sha, compiler, host),
+// per-rep wall-time stats, and the obs::default_registry() metrics
 // snapshot — is serialized to a structured bench_results.json
-// (schema "gw.bench.v1"). A typical main:
+// (schema "gw.bench.v2"). A typical bench:
 //
-//   int main(int argc, char** argv) {
-//     gw::bench::parse_args(argc, argv);
+//   static int run() {
 //     gw::bench::banner("E-FOO", "Theorem 1", "claim...");
 //     ...tables and verdicts...
-//     return gw::bench::finish();
+//     return gw::bench::failures();
 //   }
+//   GW_BENCH_MAIN(run)
+//
+// GW_BENCH_MAIN parses the shared flags, reruns the body --repeat times
+// (with Registry::reset() between reps, timing each rep), and writes the
+// telemetry once at the end. Flags: --json <path>, --repeat N, --label S,
+// --help; unknown --flags are usage errors.
 #pragma once
 
 #include <string>
@@ -20,9 +26,27 @@
 
 namespace gw::bench {
 
-/// Recognizes `--json <path>` (and `--json=<path>`); other arguments are
-/// ignored so binaries stay forward-compatible with new flags.
-void parse_args(int argc, char** argv);
+/// Parsed shared flags; see options().
+struct Options {
+  std::string json_path;  ///< --json <path>; empty = no telemetry file
+  int repeat = 1;         ///< --repeat N; reps of the experiment body
+  std::string label;      ///< --label <s>; stamped into the run manifest
+};
+
+/// Parses the shared bench flags. `--help`/`-h` prints usage and exits 0;
+/// a malformed or unknown `--`-prefixed flag prints usage and exits 2.
+/// Arguments starting with `passthrough_prefix` (when non-empty) are
+/// collected for the caller instead (see passthrough_args()); bench_micro
+/// uses this to forward --benchmark_* to google-benchmark. Idempotent:
+/// calling again re-parses into the same state.
+void parse_args(int argc, char** argv,
+                const std::string& passthrough_prefix = std::string());
+
+/// The flags recognized by the last parse_args() call.
+[[nodiscard]] const Options& options();
+
+/// Arguments diverted by parse_args()'s passthrough_prefix, in order.
+[[nodiscard]] const std::vector<std::string>& passthrough_args();
 
 /// Prints the experiment banner (id, paper reference, claim under test)
 /// and opens a new experiment record in the telemetry transcript.
@@ -40,11 +64,29 @@ void table_row(const std::vector<std::string>& cells);
 /// Prints a PASS/FAIL verdict line for the qualitative shape check.
 void verdict(bool pass, const std::string& description);
 
-/// Returns the number of verdicts that failed so far (process exit code).
+/// Returns the number of verdicts that failed so far (process exit code);
+/// bench bodies `return` this.
 [[nodiscard]] int failures();
 
 /// Writes the JSON telemetry when --json was given, then returns
-/// failures(); benches `return` this from main.
+/// failures(). Called by run_repeated() after the last rep; only benches
+/// with a hand-written main call it directly.
 [[nodiscard]] int finish();
 
+/// Body of one bench: runs the experiments, returns failures().
+using BodyFn = int (*)();
+
+/// Full bench lifecycle: parse_args(), run `body` options().repeat times —
+/// resetting obs::default_registry() between reps and recording each rep's
+/// wall time — then finish(). The transcript keeps the last rep's
+/// experiments; failures accumulate across reps.
+int run_repeated(int argc, char** argv, BodyFn body,
+                 const std::string& passthrough_prefix = std::string());
+
 }  // namespace gw::bench
+
+/// Defines main() for a bench whose body is `int body_fn()`.
+#define GW_BENCH_MAIN(body_fn)                          \
+  int main(int argc, char** argv) {                     \
+    return gw::bench::run_repeated(argc, argv, body_fn); \
+  }

@@ -23,6 +23,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::observe(double x) noexcept {
+  if (std::isnan(x)) {
+    // Casting NaN to an integer index is UB and NaN poisons sum_; drop the
+    // observation but keep it visible via the rejected counter.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
   auto index = static_cast<std::ptrdiff_t>((x - lo_) / width);
   index = std::clamp<std::ptrdiff_t>(
@@ -68,7 +74,9 @@ double Histogram::quantile(double q) const noexcept {
   const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
   double cumulative = 0.0;
   for (std::size_t i = 0; i < bins_.size(); ++i) {
-    cumulative += static_cast<double>(bin_count(i));
+    const std::uint64_t in_bin = bin_count(i);
+    if (in_bin == 0) continue;  // an empty bin can't hold the quantile
+    cumulative += static_cast<double>(in_bin);
     if (cumulative >= target) {
       return lo_ + (static_cast<double>(i) + 0.5) * width;
     }
@@ -79,6 +87,7 @@ double Histogram::quantile(double q) const noexcept {
 void Histogram::reset() noexcept {
   for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
@@ -138,6 +147,7 @@ MetricsSnapshot Registry::snapshot() const {
     sample.lo = histogram->lo();
     sample.hi = histogram->hi();
     sample.count = histogram->count();
+    sample.rejected = histogram->rejected();
     sample.sum = histogram->sum();
     sample.min = histogram->min();
     sample.max = histogram->max();
@@ -179,6 +189,7 @@ std::string Registry::to_json() const {
     w.key("lo"); w.value(h.lo);
     w.key("hi"); w.value(h.hi);
     w.key("count"); w.value(h.count);
+    w.key("rejected"); w.value(h.rejected);
     w.key("sum"); w.value(h.sum);
     w.key("min"); w.value(h.min);
     w.key("max"); w.value(h.max);

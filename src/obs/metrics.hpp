@@ -61,6 +61,8 @@ class Gauge {
 
 /// Fixed-bin concurrent histogram on [lo, hi); out-of-range observations
 /// clamp into the edge bins. Tracks count/sum/min/max alongside the bins.
+/// NaN observations are dropped (they would corrupt sum/quantiles) and
+/// tallied in rejected().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -75,6 +77,10 @@ class Histogram {
   }
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
+  }
+  /// Observations dropped for being NaN.
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
@@ -92,6 +98,7 @@ class Histogram {
   double hi_;
   std::vector<std::atomic<std::uint64_t>> bins_;
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
   std::atomic<double> max_;
@@ -112,6 +119,7 @@ struct MetricsSnapshot {
     double lo = 0.0;
     double hi = 0.0;
     std::uint64_t count = 0;
+    std::uint64_t rejected = 0;  ///< NaN observations dropped
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;

@@ -1,0 +1,157 @@
+#include "obs/provenance.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "obs/json.hpp"
+
+// Configure-time context injected by src/obs/CMakeLists.txt.
+#ifndef GW_SOURCE_DIR
+#define GW_SOURCE_DIR ""
+#endif
+#ifndef GW_BUILD_TYPE
+#define GW_BUILD_TYPE "unknown"
+#endif
+#ifndef GW_CXX_FLAGS
+#define GW_CXX_FLAGS ""
+#endif
+
+namespace gw::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "Clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "GNU " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#elif defined(_MSC_VER)
+  return "MSVC " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+/// First line of `command`'s stdout (stderr discarded), or "" on failure.
+std::string capture_line(const std::string& command) {
+#ifdef _WIN32
+  (void)command;
+  return "";
+#else
+  std::FILE* pipe = ::popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return "";
+  char buffer[256];
+  std::string line;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) line = buffer;
+  ::pclose(pipe);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  return line;
+#endif
+}
+
+struct GitState {
+  std::string sha = "unknown";
+  bool dirty = false;
+};
+
+GitState query_git() {
+  GitState state;
+  const std::string source_dir = GW_SOURCE_DIR;
+  if (source_dir.empty()) return state;
+  const std::string prefix = "git -C '" + source_dir + "' ";
+  const std::string sha = capture_line(prefix + "rev-parse HEAD");
+  if (sha.empty()) return state;  // not a repo, or git missing
+  state.sha = sha;
+  state.dirty =
+      !capture_line(prefix + "status --porcelain --untracked-files=no")
+           .empty();
+  return state;
+}
+
+const GitState& cached_git() {
+  static const GitState state = query_git();
+  return state;
+}
+
+std::string hostname() {
+#ifdef _WIN32
+  return "unknown";
+#else
+  char buffer[256] = {};
+  if (::gethostname(buffer, sizeof(buffer) - 1) != 0) return "unknown";
+  return buffer[0] != '\0' ? std::string(buffer) : std::string("unknown");
+#endif
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#ifdef _WIN32
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+}  // namespace
+
+RunManifest collect_manifest(const std::string& label) {
+  RunManifest manifest;
+  const GitState& git = cached_git();
+  manifest.git_sha = git.sha;
+  manifest.git_dirty = git.dirty;
+  manifest.compiler = compiler_id();
+  manifest.build_type = GW_BUILD_TYPE;
+  manifest.cxx_flags = GW_CXX_FLAGS;
+  manifest.hostname = hostname();
+  manifest.cpu_count = std::thread::hardware_concurrency();
+  manifest.timestamp_utc = utc_now_iso8601();
+  manifest.label = label;
+  return manifest;
+}
+
+void write_manifest(JsonWriter& w, const RunManifest& manifest) {
+  w.begin_object();
+  w.key("git_sha");
+  w.value(manifest.git_sha);
+  w.key("git_dirty");
+  w.value(manifest.git_dirty);
+  w.key("compiler");
+  w.value(manifest.compiler);
+  w.key("build_type");
+  w.value(manifest.build_type);
+  w.key("cxx_flags");
+  w.value(manifest.cxx_flags);
+  w.key("hostname");
+  w.value(manifest.hostname);
+  w.key("cpu_count");
+  w.value(static_cast<std::uint64_t>(manifest.cpu_count));
+  w.key("timestamp_utc");
+  w.value(manifest.timestamp_utc);
+  w.key("label");
+  w.value(manifest.label);
+  w.end_object();
+}
+
+std::string manifest_json(const RunManifest& manifest) {
+  JsonWriter w;
+  write_manifest(w, manifest);
+  return w.take();
+}
+
+}  // namespace gw::obs

@@ -1,0 +1,41 @@
+// Run provenance for machine-readable benchmark telemetry.
+//
+// A RunManifest stamps every bench JSON (schema gw.bench.v2) with enough
+// context to interpret a number months later: which commit produced it,
+// whether the tree was dirty, which compiler/build flags, which machine,
+// and when. Collected once per process by collect_manifest(); the git
+// fields shell out to `git` against the configured source directory and
+// degrade to "unknown" when git or the repository is unavailable (e.g.
+// running from an installed tarball).
+#pragma once
+
+#include <string>
+
+namespace gw::obs {
+
+class JsonWriter;
+
+struct RunManifest {
+  std::string git_sha;        ///< full commit sha, or "unknown"
+  bool git_dirty = false;     ///< uncommitted changes in the source tree
+  std::string compiler;       ///< e.g. "GNU 13.2.0", "Clang 17.0.6"
+  std::string build_type;     ///< CMAKE_BUILD_TYPE at configure time
+  std::string cxx_flags;      ///< CMAKE_CXX_FLAGS at configure time
+  std::string hostname;       ///< gethostname(), or "unknown"
+  unsigned cpu_count = 0;     ///< std::thread::hardware_concurrency()
+  std::string timestamp_utc;  ///< ISO-8601, e.g. "2026-08-05T12:34:56Z"
+  std::string label;          ///< user-supplied --label, may be empty
+};
+
+/// Gathers the manifest for this process. `label` is the user-supplied run
+/// label (bench --label). Git discovery runs once and is cached; the rest
+/// is recomputed (the timestamp in particular) on every call.
+[[nodiscard]] RunManifest collect_manifest(const std::string& label = "");
+
+/// Writes the manifest as a JSON object value (caller has emitted the key).
+void write_manifest(JsonWriter& writer, const RunManifest& manifest);
+
+/// Convenience: the manifest as a standalone JSON object document.
+[[nodiscard]] std::string manifest_json(const RunManifest& manifest);
+
+}  // namespace gw::obs

@@ -1,0 +1,160 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace gw::obs::stats {
+
+namespace {
+
+double nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
+double median_sorted(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  if (n == 0) return nan();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return median_sorted(xs);
+}
+
+double mad(const std::vector<double>& xs) {
+  if (xs.empty()) return nan();
+  const double m = median(xs);
+  std::vector<double> deviations;
+  deviations.reserve(xs.size());
+  for (const double x : xs) deviations.push_back(std::abs(x - m));
+  return median(std::move(deviations));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return nan();
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(xs.size() - 1);
+  const auto below = static_cast<std::size_t>(position);
+  const std::size_t above = std::min(below + 1, xs.size() - 1);
+  const double fraction = position - static_cast<double>(below);
+  return xs[below] + fraction * (xs[above] - xs[below]);
+}
+
+std::vector<bool> iqr_outliers(const std::vector<double>& xs) {
+  std::vector<bool> flags(xs.size(), false);
+  if (xs.size() < 4) return flags;
+  const double q1 = quantile(xs, 0.25);
+  const double q3 = quantile(xs, 0.75);
+  const double fence = 1.5 * (q3 - q1);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    flags[i] = xs[i] < q1 - fence || xs[i] > q3 + fence;
+  }
+  return flags;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  s.median = median_sorted(sorted);
+  s.mad = mad(xs);
+  s.q1 = quantile(sorted, 0.25);
+  s.q3 = quantile(sorted, 0.75);
+  s.iqr = s.q3 - s.q1;
+  const auto flags = iqr_outliers(xs);
+  s.outliers = static_cast<std::size_t>(
+      std::count(flags.begin(), flags.end(), true));
+  return s;
+}
+
+MannWhitney mann_whitney_u(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  MannWhitney result;
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+  if (n1 == 0 || n2 == 0) return result;
+
+  // Pool and assign average ranks to ties.
+  struct Tagged {
+    double value;
+    bool first_sample;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(n1 + n2);
+  for (const double x : a) pooled.push_back({x, true});
+  for (const double x : b) pooled.push_back({x, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& lhs, const Tagged& rhs) {
+              return lhs.value < rhs.value;
+            });
+
+  const std::size_t n = n1 + n2;
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;  // sum over tie groups of t^3 - t
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && pooled[j].value == pooled[i].value) ++j;
+    const auto t = static_cast<double>(j - i);
+    // Ranks are 1-based: positions i..j-1 share the average rank.
+    const double average_rank = 0.5 * (static_cast<double>(i + 1) +
+                                       static_cast<double>(j));
+    for (std::size_t k = i; k < j; ++k) {
+      if (pooled[k].first_sample) rank_sum_a += average_rank;
+    }
+    tie_correction += t * t * t - t;
+    i = j;
+  }
+
+  const auto d1 = static_cast<double>(n1);
+  const auto d2 = static_cast<double>(n2);
+  const auto dn = static_cast<double>(n);
+  result.u = rank_sum_a - d1 * (d1 + 1.0) / 2.0;
+
+  const double mu = d1 * d2 / 2.0;
+  const double variance =
+      d1 * d2 / 12.0 *
+      ((dn + 1.0) - tie_correction / (dn * (dn - 1.0)));
+  if (variance <= 0.0) return result;  // all pooled values tied: p = 1
+
+  // Continuity correction toward the mean.
+  double numerator = result.u - mu;
+  if (numerator > 0.5) {
+    numerator -= 0.5;
+  } else if (numerator < -0.5) {
+    numerator += 0.5;
+  } else {
+    numerator = 0.0;
+  }
+  result.z = numerator / std::sqrt(variance);
+  result.p_value = std::erfc(std::abs(result.z) / std::sqrt(2.0));
+  return result;
+}
+
+Comparison compare_samples(const std::vector<double>& old_xs,
+                           const std::vector<double>& new_xs,
+                           double threshold_pct, double alpha) {
+  Comparison c;
+  c.old_median = median(old_xs);
+  c.new_median = median(new_xs);
+  if (old_xs.empty() || new_xs.empty()) return c;
+  if (c.old_median != 0.0) {
+    c.delta_pct = (c.new_median - c.old_median) / c.old_median * 100.0;
+  }
+  c.p_value = mann_whitney_u(old_xs, new_xs).p_value;
+  c.significant =
+      c.p_value < alpha && std::abs(c.delta_pct) >= threshold_pct;
+  return c;
+}
+
+}  // namespace gw::obs::stats

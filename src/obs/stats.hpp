@@ -1,0 +1,80 @@
+// Robust aggregation over repeated measurements (benchstat-style).
+//
+// Bench runs repeat each experiment body N times; these helpers reduce the
+// per-rep samples to order statistics that survive scheduler noise (median,
+// MAD, IQR) and decide whether two sample sets differ by more than noise
+// (Mann-Whitney U rank test, normal approximation with tie correction — no
+// external dependencies). Consumed by bench_util's --repeat timing block
+// and by the gw-benchstat merge/compare CLI.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gw::obs::stats {
+
+/// Sample median (average of the two central order statistics for even n);
+/// NaN on an empty sample.
+[[nodiscard]] double median(std::vector<double> xs);
+
+/// Median absolute deviation from the median (unscaled); NaN on empty.
+[[nodiscard]] double mad(const std::vector<double>& xs);
+
+/// Empirical quantile with linear interpolation between order statistics
+/// (q clamped to [0,1]); NaN on empty.
+[[nodiscard]] double quantile(std::vector<double> xs, double q);
+
+/// Flags[i] is true when xs[i] lies outside [q1 - 1.5*IQR, q3 + 1.5*IQR]
+/// (Tukey's fence). All-false for n < 4 — too few points to call outliers.
+[[nodiscard]] std::vector<bool> iqr_outliers(const std::vector<double>& xs);
+
+/// Order-statistic summary of one metric's repeated measurements.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double iqr = 0.0;
+  std::size_t outliers = 0;  ///< count flagged by iqr_outliers()
+};
+
+/// All-zero Summary (n = 0) on an empty sample.
+[[nodiscard]] Summary summarize(const std::vector<double>& xs);
+
+/// Two-sided Mann-Whitney U rank test.
+struct MannWhitney {
+  double u = 0.0;        ///< U statistic of the first sample
+  double z = 0.0;        ///< normal-approximation z score (tie-corrected)
+  double p_value = 1.0;  ///< two-sided; 1.0 when a side is empty or all tied
+};
+
+/// Tests whether `a` and `b` come from distributions with different
+/// location. Normal approximation with average ranks for ties, tie-corrected
+/// variance, and 0.5 continuity correction; exactly tied pooled samples
+/// (zero variance) report p = 1.
+[[nodiscard]] MannWhitney mann_whitney_u(const std::vector<double>& a,
+                                         const std::vector<double>& b);
+
+/// benchstat-style old-vs-new verdict for one metric.
+struct Comparison {
+  double old_median = 0.0;
+  double new_median = 0.0;
+  double delta_pct = 0.0;  ///< (new - old) / old * 100; 0 when old == 0
+  double p_value = 1.0;
+  bool significant = false;  ///< p < alpha AND |delta_pct| >= threshold_pct
+};
+
+/// Compares repeated measurements of one metric across two runs. The change
+/// is `significant` only when the rank test rejects at `alpha` AND the
+/// median moved by at least `threshold_pct` percent (guards against
+/// statistically-detectable-but-tiny shifts).
+[[nodiscard]] Comparison compare_samples(const std::vector<double>& old_xs,
+                                         const std::vector<double>& new_xs,
+                                         double threshold_pct = 0.0,
+                                         double alpha = 0.05);
+
+}  // namespace gw::obs::stats

@@ -1,5 +1,6 @@
 // bench harness --json telemetry: run a real bench binary in JSON mode
-// and validate the emitted schema (gw.bench.v1).
+// and validate the emitted schema (gw.bench.v2), including the run
+// manifest and --repeat per-rep timing stats.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -34,8 +35,9 @@ TEST(BenchJson, EmitsSchemaValidTelemetry) {
   const std::string out_path =
       ::testing::TempDir() + "gw_bench_results.json";
   std::remove(out_path.c_str());
-  const std::string command =
-      binary + " --json " + out_path + " > /dev/null 2>&1";
+  const std::string command = binary + " --json " + out_path +
+                              " --repeat 3 --label unit-test"
+                              " > /dev/null 2>&1";
   const int rc = std::system(command.c_str());
   EXPECT_EQ(rc, 0) << "bench binary failed: " << command;
   ASSERT_TRUE(file_exists(out_path)) << "no telemetry written";
@@ -46,9 +48,32 @@ TEST(BenchJson, EmitsSchemaValidTelemetry) {
   const JsonValue doc = parse_json(buffer.str());
 
   // Top-level schema.
-  EXPECT_EQ(doc.at("schema").string, "gw.bench.v1");
+  EXPECT_EQ(doc.at("schema").string, "gw.bench.v2");
   EXPECT_TRUE(doc.at("binary").is_string());
   EXPECT_TRUE(doc.at("failures").is_number());
+
+  // Run manifest: provenance populated, label passed through.
+  const JsonValue& manifest = doc.at("manifest");
+  EXPECT_FALSE(manifest.at("git_sha").string.empty());
+  EXPECT_FALSE(manifest.at("compiler").string.empty());
+  EXPECT_FALSE(manifest.at("hostname").string.empty());
+  EXPECT_FALSE(manifest.at("timestamp_utc").string.empty());
+  EXPECT_GT(manifest.at("cpu_count").number, 0.0);
+  EXPECT_EQ(manifest.at("label").string, "unit-test");
+  EXPECT_TRUE(manifest.at("git_dirty").kind == JsonValue::Kind::kBool);
+
+  // Per-rep timing: one wall-time sample per --repeat rep, plus robust
+  // aggregate stats.
+  const JsonValue& timing = doc.at("timing");
+  EXPECT_DOUBLE_EQ(timing.at("repeat").number, 3.0);
+  ASSERT_EQ(timing.at("wall_ms").array.size(), 3u);
+  for (const auto& ms : timing.at("wall_ms").array) {
+    EXPECT_GT(ms.number, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(timing.at("stats").at("n").number, 3.0);
+  EXPECT_GT(timing.at("stats").at("median").number, 0.0);
+  EXPECT_GE(timing.at("stats").at("max").number,
+            timing.at("stats").at("min").number);
   ASSERT_TRUE(doc.at("experiments").is_array());
   ASSERT_FALSE(doc.at("experiments").array.empty());
 

@@ -1,0 +1,205 @@
+// gw-benchstat CLI end-to-end: merge + compare on synthetic gw.bench.v2
+// telemetry — improvement, regression, and below-threshold-noise verdicts,
+// plus the nonzero exit code that gates CI.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_lite.hpp"
+
+namespace {
+
+using gw::jsonlite::JsonValue;
+using gw::jsonlite::parse_json;
+
+#ifndef GW_TOOLS_BIN_DIR
+#define GW_TOOLS_BIN_DIR ""
+#endif
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+std::string benchstat_path() {
+  const std::string dir = GW_TOOLS_BIN_DIR;
+  return dir.empty() ? std::string() : dir + "/gw-benchstat";
+}
+
+/// Renders a minimal gw.bench.v2 document for one bench binary.
+std::string synthetic_bench(const std::string& binary,
+                            const std::vector<double>& wall_ms,
+                            double counter_value) {
+  std::ostringstream out;
+  out << "{\"schema\":\"gw.bench.v2\",\"binary\":\"" << binary << "\","
+      << "\"manifest\":{\"git_sha\":\"cafe1234\",\"git_dirty\":false,"
+      << "\"compiler\":\"test\",\"build_type\":\"Release\","
+      << "\"cxx_flags\":\"\",\"hostname\":\"testhost\",\"cpu_count\":4,"
+      << "\"timestamp_utc\":\"2026-01-01T00:00:00Z\",\"label\":\"fixture\"},"
+      << "\"timing\":{\"repeat\":" << wall_ms.size() << ",\"wall_ms\":[";
+  for (std::size_t i = 0; i < wall_ms.size(); ++i) {
+    if (i > 0) out << ",";
+    out << wall_ms[i];
+  }
+  out << "]},\"experiments\":[],\"failures\":0,"
+      << "\"metrics\":{\"counters\":{\"core.nash.solves\":" << counter_value
+      << "},\"gauges\":{},\"histograms\":{}}}";
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  const std::string capture = ::testing::TempDir() + "gw_benchstat_out.txt";
+  const int raw =
+      std::system((command + " > " + capture + " 2>&1").c_str());
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(capture);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  std::remove(capture.c_str());
+  return result;
+}
+
+class BenchstatCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (benchstat_path().empty() || !file_exists(benchstat_path())) {
+      GTEST_SKIP() << "gw-benchstat not built: " << benchstat_path();
+    }
+    dir_ = ::testing::TempDir();
+  }
+
+  std::string path(const std::string& name) const { return dir_ + name; }
+
+  std::string dir_;
+};
+
+TEST_F(BenchstatCli, MergeAggregatesBenchRunsIntoSuite) {
+  write_file(path("a.json"),
+             synthetic_bench("out/bench_alpha", {10.0, 10.2, 9.9}, 100));
+  write_file(path("b.json"),
+             synthetic_bench("out/bench_beta", {5.0, 5.1, 4.9}, 50));
+
+  const auto merged = run_command(benchstat_path() + " merge " +
+                                  path("a.json") + " " + path("b.json"));
+  ASSERT_EQ(merged.exit_code, 0) << merged.output;
+
+  const JsonValue doc = parse_json(merged.output);
+  EXPECT_EQ(doc.at("schema").string, "gw.benchsuite.v1");
+  EXPECT_EQ(doc.at("manifest").at("git_sha").string, "cafe1234");
+  ASSERT_EQ(doc.at("benches").array.size(), 2u);
+  const JsonValue& alpha = doc.at("benches").array[0];
+  EXPECT_EQ(alpha.at("name").string, "bench_alpha");  // basename, sorted
+  EXPECT_EQ(alpha.at("wall_ms").array.size(), 3u);
+  EXPECT_NEAR(alpha.at("wall_ms_stats").at("median").number, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(alpha.at("counters").at("core.nash.solves").number,
+                   100.0);
+}
+
+TEST_F(BenchstatCli, CompareFlagsRegressionAndExitsNonzero) {
+  write_file(path("old.json"),
+             synthetic_bench("bench_slowed", {10.0, 10.2, 9.9, 10.1, 10.0},
+                             100));
+  write_file(path("new.json"),
+             synthetic_bench("bench_slowed", {20.0, 20.4, 19.8, 20.2, 20.1},
+                             100));
+
+  const auto compared = run_command(benchstat_path() + " compare " +
+                                    path("old.json") + " " +
+                                    path("new.json") + " --threshold 5");
+  EXPECT_EQ(compared.exit_code, 1) << compared.output;
+  // The gate names the regressed metric.
+  EXPECT_NE(compared.output.find("REGRESSED: bench_slowed.wall_ms"),
+            std::string::npos)
+      << compared.output;
+}
+
+TEST_F(BenchstatCli, CompareImprovementExitsZero) {
+  write_file(path("old.json"),
+             synthetic_bench("bench_faster", {20.0, 20.4, 19.8, 20.2, 20.1},
+                             100));
+  write_file(path("new.json"),
+             synthetic_bench("bench_faster", {10.0, 10.2, 9.9, 10.1, 10.0},
+                             100));
+
+  const auto compared = run_command(benchstat_path() + " compare " +
+                                    path("old.json") + " " +
+                                    path("new.json"));
+  EXPECT_EQ(compared.exit_code, 0) << compared.output;
+  EXPECT_NE(compared.output.find("improvement"), std::string::npos)
+      << compared.output;
+}
+
+TEST_F(BenchstatCli, CompareIdenticalRunsIsNoiseRobust) {
+  // Same samples with jitter well inside the threshold: no verdict.
+  write_file(path("old.json"),
+             synthetic_bench("bench_same", {10.0, 10.2, 9.9, 10.1, 10.0},
+                             100));
+  write_file(path("new.json"),
+             synthetic_bench("bench_same", {10.1, 10.0, 10.2, 9.9, 10.05},
+                             100));
+
+  const auto compared = run_command(benchstat_path() + " compare " +
+                                    path("old.json") + " " +
+                                    path("new.json") + " --threshold 5");
+  EXPECT_EQ(compared.exit_code, 0) << compared.output;
+  EXPECT_EQ(compared.output.find("REGRESSION"), std::string::npos)
+      << compared.output;
+  EXPECT_NE(compared.output.find("0 regression(s)"), std::string::npos)
+      << compared.output;
+}
+
+TEST_F(BenchstatCli, CompareAcceptsV1WithoutManifestOrTiming) {
+  // Readers accept gw.bench.v1 (no manifest, no timing): scalar-only
+  // comparison, never a gating verdict.
+  const std::string v1 =
+      "{\"schema\":\"gw.bench.v1\",\"binary\":\"bench_legacy\","
+      "\"experiments\":[],\"failures\":0,"
+      "\"metrics\":{\"counters\":{\"sim.events\":1000},\"gauges\":{},"
+      "\"histograms\":{}}}";
+  const std::string v1_changed =
+      "{\"schema\":\"gw.bench.v1\",\"binary\":\"bench_legacy\","
+      "\"experiments\":[],\"failures\":0,"
+      "\"metrics\":{\"counters\":{\"sim.events\":2000},\"gauges\":{},"
+      "\"histograms\":{}}}";
+  write_file(path("old.json"), v1);
+  write_file(path("new.json"), v1_changed);
+
+  const auto compared = run_command(benchstat_path() + " compare " +
+                                    path("old.json") + " " +
+                                    path("new.json"));
+  EXPECT_EQ(compared.exit_code, 0) << compared.output;
+  EXPECT_NE(compared.output.find("info (no samples)"), std::string::npos)
+      << compared.output;
+}
+
+TEST_F(BenchstatCli, RejectsUnknownSchemaAndMissingFile) {
+  write_file(path("bad.json"), "{\"schema\":\"who.knows.v9\"}");
+  EXPECT_EQ(run_command(benchstat_path() + " merge " + path("bad.json"))
+                .exit_code,
+            2);
+  EXPECT_EQ(run_command(benchstat_path() + " merge " + path("nope.json"))
+                .exit_code,
+            2);
+}
+
+}  // namespace

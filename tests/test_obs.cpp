@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -129,6 +130,54 @@ TEST(MetricsHistogram, BucketAndQuantileEdges) {
 
   EXPECT_THROW(obs::Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(obs::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(MetricsHistogram, NanObservationsRejectedNotAbsorbed) {
+  obs::Histogram h(0.0, 10.0, 10);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.rejected(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);  // NaN must not poison the accumulator
+
+  h.observe(2.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.rejected(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+
+  h.reset();
+  EXPECT_EQ(h.rejected(), 0u);
+}
+
+TEST(MetricsHistogram, RejectedCountRidesSnapshotAndJson) {
+  obs::Registry registry;
+  auto& h = registry.histogram("lat", 0.0, 1.0, 4);
+  h.observe(0.5);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].rejected, 1u);
+
+  const auto doc = jsonlite::parse_json(registry.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("histograms").at("lat").at("rejected").number, 1.0);
+}
+
+TEST(MetricsHistogram, QuantileZeroSkipsEmptyLeadingBins) {
+  obs::Histogram h(0.0, 10.0, 10);
+  h.observe(7.3);  // bin 7 is the only occupied bin
+  // Regression: q=0 used to report the bin-0 midpoint (0.5) even though
+  // bin 0 is empty; every quantile of a single-bin distribution is that
+  // bin's midpoint.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.5);
+
+  h.observe(9.1);  // occupy bin 9 as well
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.5);  // first *non-empty* bin
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.5);
 }
 
 TEST(MetricsRegistry, JsonAndCsvExportsParse) {

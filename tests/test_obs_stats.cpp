@@ -1,0 +1,128 @@
+// gw::obs::stats — robust aggregation and the benchstat significance test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace {
+
+namespace stats = gw::obs::stats;
+
+TEST(ObsStats, MedianKnownVectors) {
+  EXPECT_TRUE(std::isnan(stats::median({})));
+  EXPECT_DOUBLE_EQ(stats::median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stats::median({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::median({9.0, 1.0, 3.0}), 3.0);  // unsorted input
+  EXPECT_DOUBLE_EQ(stats::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(ObsStats, MadKnownVectors) {
+  EXPECT_TRUE(std::isnan(stats::mad({})));
+  EXPECT_DOUBLE_EQ(stats::mad({5.0}), 0.0);
+  // median = 3; |x - 3| = {2, 1, 0, 1, 2}; MAD = 1.
+  EXPECT_DOUBLE_EQ(stats::mad({1.0, 2.0, 3.0, 4.0, 5.0}), 1.0);
+  // Constant sample: zero spread.
+  EXPECT_DOUBLE_EQ(stats::mad({7.0, 7.0, 7.0, 7.0}), 0.0);
+  // Robust to one wild outlier where stddev is not.
+  EXPECT_DOUBLE_EQ(stats::mad({1.0, 2.0, 3.0, 4.0, 1000.0}), 1.0);
+}
+
+TEST(ObsStats, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, -1.0), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 2.0), 4.0);   // clamped
+  EXPECT_TRUE(std::isnan(stats::quantile({}, 0.5)));
+}
+
+TEST(ObsStats, IqrOutlierFlagging) {
+  // Too few points: never flag.
+  EXPECT_EQ(stats::iqr_outliers({1.0, 100.0, 1.5}),
+            std::vector<bool>({false, false, false}));
+
+  const std::vector<double> xs{10.0, 10.1, 9.9, 10.2, 9.8, 50.0};
+  const auto flags = stats::iqr_outliers(xs);
+  ASSERT_EQ(flags.size(), xs.size());
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) EXPECT_FALSE(flags[i]);
+  EXPECT_TRUE(flags.back());  // 50 is far outside Tukey's fence
+
+  const auto summary = stats::summarize(xs);
+  EXPECT_EQ(summary.n, 6u);
+  EXPECT_EQ(summary.outliers, 1u);
+  EXPECT_DOUBLE_EQ(summary.min, 9.8);
+  EXPECT_DOUBLE_EQ(summary.max, 50.0);
+  EXPECT_DOUBLE_EQ(summary.median, 10.05);
+}
+
+TEST(ObsStats, SummarizeEmptyIsAllZero) {
+  const auto s = stats::summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(ObsStats, MannWhitneySeparatedSamplesAreSignificant) {
+  const std::vector<double> slow{20.0, 20.4, 19.8, 20.2, 20.1};
+  const std::vector<double> fast{10.0, 10.2, 9.9, 10.1, 10.0};
+  const auto result = stats::mann_whitney_u(fast, slow);
+  // Complete separation, n1 = n2 = 5: U = 0 for the fast sample.
+  EXPECT_DOUBLE_EQ(result.u, 0.0);
+  EXPECT_LT(result.p_value, 0.05);
+}
+
+TEST(ObsStats, MannWhitneyIdenticalSamplesNotSignificant) {
+  const std::vector<double> a{10.0, 10.2, 9.9, 10.1, 10.0};
+  const auto same = stats::mann_whitney_u(a, a);
+  EXPECT_GT(same.p_value, 0.5);
+
+  // All observations tied across both samples: zero variance, p = 1.
+  const std::vector<double> constant{5.0, 5.0, 5.0, 5.0};
+  const auto tied = stats::mann_whitney_u(constant, constant);
+  EXPECT_DOUBLE_EQ(tied.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(tied.z, 0.0);
+}
+
+TEST(ObsStats, MannWhitneyHandlesTiesAcrossSamples) {
+  // Heavy cross-sample ties but a real location shift.
+  const std::vector<double> a{1.0, 1.0, 2.0, 2.0, 3.0, 3.0};
+  const std::vector<double> b{2.0, 2.0, 3.0, 3.0, 4.0, 4.0};
+  const auto result = stats::mann_whitney_u(a, b);
+  EXPECT_GT(result.p_value, 0.0);
+  EXPECT_LT(result.p_value, 1.0);
+  EXPECT_LT(result.u, 18.0);  // below the null mean n1*n2/2 = 18
+}
+
+TEST(ObsStats, MannWhitneyEmptySampleIsNeutral) {
+  EXPECT_DOUBLE_EQ(stats::mann_whitney_u({}, {1.0}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(stats::mann_whitney_u({1.0}, {}).p_value, 1.0);
+}
+
+TEST(ObsStats, CompareSamplesVerdicts) {
+  const std::vector<double> base{10.0, 10.2, 9.9, 10.1, 10.0};
+  const std::vector<double> slow{20.0, 20.4, 19.8, 20.2, 20.1};
+  const std::vector<double> fast{5.0, 5.2, 4.9, 5.1, 5.0};
+
+  const auto regression = stats::compare_samples(base, slow, 2.0);
+  EXPECT_TRUE(regression.significant);
+  EXPECT_GT(regression.delta_pct, 90.0);
+
+  const auto improvement = stats::compare_samples(base, fast, 2.0);
+  EXPECT_TRUE(improvement.significant);
+  EXPECT_LT(improvement.delta_pct, -40.0);
+
+  // Same distribution: not significant, whatever the threshold.
+  const auto noise = stats::compare_samples(base, base, 0.0);
+  EXPECT_FALSE(noise.significant);
+
+  // Statistically clean shift below the practical threshold: suppressed.
+  const std::vector<double> slightly{10.1, 10.3, 10.0, 10.2, 10.1};
+  const auto tiny = stats::compare_samples(base, slightly, 50.0);
+  EXPECT_FALSE(tiny.significant);
+}
+
+}  // namespace

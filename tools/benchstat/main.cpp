@@ -1,0 +1,496 @@
+// gw-benchstat — consume gw.bench.v2 telemetry: merge per-binary runs into
+// a suite document, and compare two runs benchstat-style.
+//
+//   gw-benchstat merge bench/out/*.json > BENCH_SUITE.json
+//   gw-benchstat compare baseline.json candidate.json [--threshold pct]
+//
+// `merge` aggregates bench JSON files (schema gw.bench.v1 or v2) into one
+// gw.benchsuite.v1 document: per-bench wall-time samples, registry
+// counters/gauges/histogram quantiles, and the run manifest of the first
+// input that carries one. `compare` accepts suite documents or single
+// bench files on either side, prints a per-metric delta table (old, new,
+// delta %, verdict), and exits 1 when any sample-backed metric regressed
+// significantly (Mann-Whitney U, p < 0.05) beyond --threshold percent —
+// the CI perf gate. Scalar metrics (counters, histogram quantiles) have no
+// per-rep samples, so they are reported as context and never gate.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/stats.hpp"
+
+namespace {
+
+using gw::obs::JsonValue;
+using gw::obs::JsonWriter;
+
+struct HistogramSummary {
+  double count = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One bench binary's contribution to a suite.
+struct BenchRun {
+  std::string name;
+  double failures = 0.0;
+  std::vector<double> wall_ms;  ///< per-rep samples; empty for v1 inputs
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+struct Suite {
+  std::string manifest_raw;  ///< pre-rendered JSON object, may be empty
+  std::map<std::string, BenchRun> benches;  ///< keyed by bench name
+};
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "gw-benchstat: %s\n", message.c_str());
+  std::exit(2);
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage:\n"
+               "  gw-benchstat merge <bench.json>...              "
+               "write a gw.benchsuite.v1 document to stdout\n"
+               "  gw-benchstat compare <old.json> <new.json>\n"
+               "               [--threshold <pct>] [--alpha <a>]   "
+               "per-metric delta table; exit 1 on regression\n"
+               "inputs may be gw.bench.v1/v2 files or merged suites\n");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) die("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Serializes a parsed JsonValue back to JSON text (used to carry the
+/// manifest through merge verbatim-ish; key order is normalized).
+void write_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: w.raw("null"); break;
+    case JsonValue::Kind::kBool: w.value(v.boolean); break;
+    case JsonValue::Kind::kNumber: w.value(v.number); break;
+    case JsonValue::Kind::kString: w.value(v.string); break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const auto& item : v.array) write_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, item] : v.object) {
+        w.key(key);
+        write_value(w, item);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+std::string render_value(const JsonValue& v) {
+  JsonWriter w;
+  write_value(w, v);
+  return w.take();
+}
+
+double number_or(const JsonValue& object, const std::string& key,
+                 double fallback) {
+  if (!object.has(key) || !object.at(key).is_number()) return fallback;
+  return object.at(key).number;
+}
+
+HistogramSummary parse_histogram(const JsonValue& h) {
+  HistogramSummary s;
+  s.count = number_or(h, "count", 0.0);
+  const double count = s.count;
+  const double sum = number_or(h, "sum", 0.0);
+  s.mean = count > 0.0 ? sum / count : 0.0;
+  s.p50 = number_or(h, "p50", 0.0);
+  s.p90 = number_or(h, "p90", 0.0);
+  s.p99 = number_or(h, "p99", 0.0);
+  return s;
+}
+
+/// Parses one gw.bench.v1/v2 document into a BenchRun (+ manifest JSON).
+BenchRun parse_bench(const JsonValue& doc, std::string* manifest_raw) {
+  BenchRun run;
+  run.name = basename_of(doc.at("binary").string);
+  run.failures = number_or(doc, "failures", 0.0);
+  if (doc.has("manifest") && doc.at("manifest").is_object() &&
+      manifest_raw != nullptr && manifest_raw->empty()) {
+    *manifest_raw = render_value(doc.at("manifest"));
+  }
+  if (doc.has("timing") && doc.at("timing").has("wall_ms")) {
+    for (const auto& ms : doc.at("timing").at("wall_ms").array) {
+      if (ms.is_number()) run.wall_ms.push_back(ms.number);
+    }
+  }
+  if (doc.has("metrics")) {
+    const JsonValue& metrics = doc.at("metrics");
+    if (metrics.has("counters")) {
+      for (const auto& [name, value] : metrics.at("counters").object) {
+        if (value.is_number()) run.counters[name] = value.number;
+      }
+    }
+    if (metrics.has("gauges")) {
+      for (const auto& [name, value] : metrics.at("gauges").object) {
+        if (value.is_number()) run.gauges[name] = value.number;
+      }
+    }
+    if (metrics.has("histograms")) {
+      for (const auto& [name, h] : metrics.at("histograms").object) {
+        run.histograms[name] = parse_histogram(h);
+      }
+    }
+  }
+  return run;
+}
+
+BenchRun parse_suite_bench(const JsonValue& entry) {
+  BenchRun run;
+  run.name = entry.at("name").string;
+  run.failures = number_or(entry, "failures", 0.0);
+  if (entry.has("wall_ms")) {
+    for (const auto& ms : entry.at("wall_ms").array) {
+      if (ms.is_number()) run.wall_ms.push_back(ms.number);
+    }
+  }
+  if (entry.has("counters")) {
+    for (const auto& [name, value] : entry.at("counters").object) {
+      if (value.is_number()) run.counters[name] = value.number;
+    }
+  }
+  if (entry.has("gauges")) {
+    for (const auto& [name, value] : entry.at("gauges").object) {
+      if (value.is_number()) run.gauges[name] = value.number;
+    }
+  }
+  if (entry.has("histograms")) {
+    for (const auto& [name, h] : entry.at("histograms").object) {
+      run.histograms[name] = parse_histogram(h);
+    }
+  }
+  return run;
+}
+
+void absorb(Suite& suite, BenchRun run) {
+  auto [it, inserted] = suite.benches.emplace(run.name, std::move(run));
+  if (inserted) return;
+  // Same bench seen again (e.g. two suite runs merged): pool the wall-time
+  // samples, keep the worst failure count and the latest metric values.
+  BenchRun& existing = it->second;
+  BenchRun& fresh = run;
+  existing.failures = std::max(existing.failures, fresh.failures);
+  existing.wall_ms.insert(existing.wall_ms.end(), fresh.wall_ms.begin(),
+                          fresh.wall_ms.end());
+  for (const auto& [name, value] : fresh.counters) {
+    existing.counters[name] = value;
+  }
+  for (const auto& [name, value] : fresh.gauges) {
+    existing.gauges[name] = value;
+  }
+  for (const auto& [name, value] : fresh.histograms) {
+    existing.histograms[name] = value;
+  }
+}
+
+/// Loads a bench or suite document into `suite`.
+void load_into(Suite& suite, const std::string& path) {
+  JsonValue doc;
+  try {
+    doc = gw::obs::parse_json(read_file(path));
+  } catch (const std::exception& error) {
+    die(path + ": " + error.what());
+  }
+  if (!doc.is_object() || !doc.has("schema")) {
+    die(path + ": not a gw bench/suite document (no schema)");
+  }
+  const std::string& schema = doc.at("schema").string;
+  if (schema == "gw.benchsuite.v1") {
+    if (suite.manifest_raw.empty() && doc.has("manifest")) {
+      suite.manifest_raw = render_value(doc.at("manifest"));
+    }
+    for (const auto& entry : doc.at("benches").array) {
+      absorb(suite, parse_suite_bench(entry));
+    }
+  } else if (schema == "gw.bench.v1" || schema == "gw.bench.v2") {
+    absorb(suite, parse_bench(doc, &suite.manifest_raw));
+  } else {
+    die(path + ": unsupported schema '" + schema + "'");
+  }
+}
+
+std::string render_suite(const Suite& suite) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("gw.benchsuite.v1");
+  w.key("generated_by");
+  w.value("gw-benchstat");
+  if (!suite.manifest_raw.empty()) {
+    w.key("manifest");
+    w.raw(suite.manifest_raw);
+  }
+  w.key("benches");
+  w.begin_array();
+  for (const auto& [name, run] : suite.benches) {
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    w.key("failures");
+    w.value(run.failures);
+    w.key("wall_ms");
+    w.begin_array();
+    for (const double ms : run.wall_ms) w.value(ms);
+    w.end_array();
+    const auto s = gw::obs::stats::summarize(run.wall_ms);
+    w.key("wall_ms_stats");
+    w.begin_object();
+    w.key("n"); w.value(static_cast<std::uint64_t>(s.n));
+    w.key("median"); w.value(s.median);
+    w.key("mad"); w.value(s.mad);
+    w.key("min"); w.value(s.min);
+    w.key("max"); w.value(s.max);
+    w.key("iqr"); w.value(s.iqr);
+    w.key("outliers"); w.value(static_cast<std::uint64_t>(s.outliers));
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [metric, value] : run.counters) {
+      w.key(metric);
+      w.value(value);
+    }
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [metric, value] : run.gauges) {
+      w.key(metric);
+      w.value(value);
+    }
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [metric, h] : run.histograms) {
+      w.key(metric);
+      w.begin_object();
+      w.key("count"); w.value(h.count);
+      w.key("mean"); w.value(h.mean);
+      w.key("p50"); w.value(h.p50);
+      w.key("p90"); w.value(h.p90);
+      w.key("p99"); w.value(h.p99);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+int cmd_merge(const std::vector<std::string>& inputs) {
+  if (inputs.empty()) {
+    print_usage(stderr);
+    return 2;
+  }
+  Suite suite;
+  for (const auto& path : inputs) load_into(suite, path);
+  const std::string document = render_suite(suite);
+  std::fwrite(document.data(), 1, document.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+// ---------------------------------------------------------------- compare
+
+/// Flattened metric views of a suite for pairwise comparison.
+struct MetricView {
+  std::map<std::string, std::vector<double>> samples;  ///< gate-eligible
+  std::map<std::string, double> scalars;               ///< context only
+};
+
+MetricView flatten(const Suite& suite) {
+  MetricView view;
+  for (const auto& [bench, run] : suite.benches) {
+    if (!run.wall_ms.empty()) {
+      view.samples[bench + ".wall_ms"] = run.wall_ms;
+    }
+    for (const auto& [name, value] : run.counters) {
+      view.scalars[bench + "." + name] = value;
+    }
+    for (const auto& [name, value] : run.gauges) {
+      view.scalars[bench + "." + name] = value;
+    }
+    for (const auto& [name, h] : run.histograms) {
+      view.scalars[bench + "." + name + ".p50"] = h.p50;
+      view.scalars[bench + "." + name + ".p99"] = h.p99;
+    }
+  }
+  return view;
+}
+
+std::string fmt_ms(double x) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", x);
+  return buffer;
+}
+
+std::string fmt_pct(double x) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", x);
+  return buffer;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  double threshold_pct = 2.0;
+  double alpha = 0.05;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value_of = [&](const std::string& flag) -> std::string {
+      if (i + 1 >= args.size()) die(flag + " requires a value");
+      return args[++i];
+    };
+    if (arg == "--threshold") {
+      threshold_pct = std::atof(value_of(arg).c_str());
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold_pct = std::atof(arg.c_str() + std::strlen("--threshold="));
+    } else if (arg == "--alpha") {
+      alpha = std::atof(value_of(arg).c_str());
+    } else if (arg.rfind("--alpha=", 0) == 0) {
+      alpha = std::atof(arg.c_str() + std::strlen("--alpha="));
+    } else if (arg.rfind("--", 0) == 0) {
+      die("unknown flag '" + arg + "'");
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    print_usage(stderr);
+    return 2;
+  }
+
+  Suite old_suite;
+  Suite new_suite;
+  load_into(old_suite, files[0]);
+  load_into(new_suite, files[1]);
+  const MetricView old_view = flatten(old_suite);
+  const MetricView new_view = flatten(new_suite);
+
+  std::printf("%-44s %12s %12s %9s  %s\n", "metric", "old", "new", "delta",
+              "verdict");
+  std::printf("%s\n", std::string(92, '-').c_str());
+
+  std::vector<std::string> regressions;
+  int improvements = 0;
+
+  // Sample-backed metrics: the statistical gate (lower is better —
+  // everything sample-backed is wall time today).
+  for (const auto& [metric, old_samples] : old_view.samples) {
+    const auto found = new_view.samples.find(metric);
+    if (found == new_view.samples.end()) {
+      std::printf("%-44s %12s %12s %9s  %s\n", metric.c_str(),
+                  fmt_ms(gw::obs::stats::median(old_samples)).c_str(), "-",
+                  "-", "missing in new run");
+      continue;
+    }
+    const auto comparison = gw::obs::stats::compare_samples(
+        old_samples, found->second, threshold_pct, alpha);
+    std::string verdict;
+    if (!comparison.significant) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "~ (p=%.3f, n=%zu+%zu)",
+                    comparison.p_value, old_samples.size(),
+                    found->second.size());
+      verdict = buffer;
+    } else if (comparison.delta_pct > 0.0) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "REGRESSION (p=%.3f)",
+                    comparison.p_value);
+      verdict = buffer;
+      regressions.push_back(metric);
+    } else {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "improvement (p=%.3f)",
+                    comparison.p_value);
+      verdict = buffer;
+      ++improvements;
+    }
+    std::printf("%-44s %12s %12s %9s  %s\n", metric.c_str(),
+                fmt_ms(comparison.old_median).c_str(),
+                fmt_ms(comparison.new_median).c_str(),
+                fmt_pct(comparison.delta_pct).c_str(), verdict.c_str());
+  }
+  for (const auto& [metric, new_samples] : new_view.samples) {
+    if (old_view.samples.count(metric) == 0) {
+      std::printf("%-44s %12s %12s %9s  %s\n", metric.c_str(), "-",
+                  fmt_ms(gw::obs::stats::median(new_samples)).c_str(), "-",
+                  "new metric");
+    }
+  }
+
+  // Scalar metrics: single values per run (counters, histogram quantiles);
+  // informational only — shown when they moved beyond the threshold.
+  int scalars_shown = 0;
+  for (const auto& [metric, old_value] : old_view.scalars) {
+    const auto found = new_view.scalars.find(metric);
+    if (found == new_view.scalars.end()) continue;
+    const double new_value = found->second;
+    if (old_value == new_value) continue;
+    const double delta_pct =
+        old_value != 0.0
+            ? (new_value - old_value) / std::abs(old_value) * 100.0
+            : std::numeric_limits<double>::infinity();
+    if (std::abs(delta_pct) < threshold_pct) continue;
+    std::printf("%-44s %12.6g %12.6g %9s  %s\n", metric.c_str(), old_value,
+                new_value, fmt_pct(delta_pct).c_str(), "info (no samples)");
+    ++scalars_shown;
+  }
+
+  std::printf("\n%zu regression(s), %d improvement(s), %d scalar change(s) "
+              "beyond %.1f%%\n",
+              regressions.size(), improvements, scalars_shown,
+              threshold_pct);
+  for (const auto& metric : regressions) {
+    std::printf("  REGRESSED: %s\n", metric.c_str());
+  }
+  return regressions.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    print_usage(args.empty() ? stderr : stdout);
+    return args.empty() ? 2 : 0;
+  }
+  const std::string command = args[0];
+  args.erase(args.begin());
+  if (command == "merge") return cmd_merge(args);
+  if (command == "compare") return cmd_compare(args);
+  print_usage(stderr);
+  die("unknown command '" + command + "'");
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Run every bench binary with --json --repeat and merge the telemetry into
+# one gw.benchsuite.v1 document.
+#
+#   GW_BENCH_BIN_DIR   directory with the bench binaries (default build/bench)
+#   GW_BENCHSTAT       gw-benchstat binary (default build/tools/gw-benchstat)
+#   GW_BENCH_OUT_DIR   output directory (default <bin dir>/out)
+#   GW_BENCH_REPEAT    reps per bench (default 3)
+#   GW_BENCH_LABEL     manifest label for the run (default "suite")
+#
+# Normally invoked via `cmake --build build --target bench_suite`, which
+# sets the first three. Produces $GW_BENCH_OUT_DIR/BENCH_SUITE.json and
+# exits nonzero if any bench fails a verdict or emits no telemetry.
+set -euo pipefail
+
+BIN_DIR="${GW_BENCH_BIN_DIR:-build/bench}"
+BENCHSTAT="${GW_BENCHSTAT:-build/tools/gw-benchstat}"
+OUT_DIR="${GW_BENCH_OUT_DIR:-${BIN_DIR}/out}"
+REPEAT="${GW_BENCH_REPEAT:-3}"
+LABEL="${GW_BENCH_LABEL:-suite}"
+
+if [[ ! -d "${BIN_DIR}" ]]; then
+  echo "run_bench_suite: no bench binary dir at ${BIN_DIR}" >&2
+  exit 2
+fi
+if [[ ! -x "${BENCHSTAT}" ]]; then
+  echo "run_bench_suite: gw-benchstat not built at ${BENCHSTAT}" >&2
+  exit 2
+fi
+
+mkdir -p "${OUT_DIR}"
+rm -f "${OUT_DIR}"/bench_*.json "${OUT_DIR}/BENCH_SUITE.json"
+
+status=0
+ran=0
+for bench in "${BIN_DIR}"/bench_*; do
+  [[ -f "${bench}" && -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  out="${OUT_DIR}/${name}.json"
+  extra=()
+  reps="${REPEAT}"
+  if [[ "${name}" == "bench_micro" ]]; then
+    # google-benchmark repeats internally until timings stabilize, so the
+    # microbench suite entry runs one rep with a shorter min time.
+    extra+=("--benchmark_min_time=0.05")
+    reps=1
+  fi
+  echo "=== ${name} (repeat ${reps}) ==="
+  if ! "${bench}" --json "${out}" --repeat "${reps}" --label "${LABEL}" \
+      "${extra[@]+"${extra[@]}"}" > "${OUT_DIR}/${name}.log" 2>&1; then
+    echo "run_bench_suite: ${name} FAILED (see ${OUT_DIR}/${name}.log)" >&2
+    status=1
+  fi
+  if [[ ! -s "${out}" ]]; then
+    echo "run_bench_suite: ${name} wrote no telemetry" >&2
+    status=1
+    continue
+  fi
+  ran=$((ran + 1))
+done
+
+if [[ "${ran}" -eq 0 ]]; then
+  echo "run_bench_suite: no bench binaries found in ${BIN_DIR}" >&2
+  exit 2
+fi
+
+"${BENCHSTAT}" merge "${OUT_DIR}"/bench_*.json > "${OUT_DIR}/BENCH_SUITE.json"
+echo "merged ${ran} bench runs -> ${OUT_DIR}/BENCH_SUITE.json"
+exit "${status}"

@@ -10,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "core/closed_forms.hpp"
+#include "exec/thread_pool.hpp"
 #include "core/fair_share.hpp"
 #include "core/proportional.hpp"
 #include "core/stackelberg.hpp"
@@ -50,32 +51,41 @@ static int run() {
       {"2xBR + newton", {"br", "br", "newton"}},
   };
 
+  // The populations are independent deterministic games: drive them on
+  // --threads workers, then report in order (identical for any count).
+  std::vector<learn::DriverResult> outcomes(populations.size());
+  exec::parallel_for(
+      bench::thread_count(), populations.size(), [&](std::size_t p) {
+        std::vector<std::unique_ptr<learn::Learner>> learners;
+        double initial = 0.05;
+        for (const char* kind : populations[p].kinds) {
+          if (std::string(kind) == "hill") {
+            learners.push_back(
+                std::make_unique<learn::FiniteDifferenceHillClimber>(initial));
+          } else if (std::string(kind) == "auto") {
+            learn::AutomatonOptions options;
+            options.candidates = 41;
+            options.r_max = 0.6;
+            learners.push_back(
+                std::make_unique<learn::EliminationAutomaton>(initial,
+                                                              options));
+          } else if (std::string(kind) == "newton") {
+            learners.push_back(std::make_unique<learn::NewtonLearner>(initial));
+          } else {
+            learners.push_back(
+                std::make_unique<learn::BestResponseLearner>(initial));
+          }
+          initial += 0.1;
+        }
+        learn::GameDriver driver(fs, profile);
+        learn::DriverOptions options;
+        options.max_rounds = 6000;
+        outcomes[p] = driver.run(learners, options);
+      });
+
   bool all_converged_to_nash = true;
-  for (const auto& population : populations) {
-    std::vector<std::unique_ptr<learn::Learner>> learners;
-    double initial = 0.05;
-    for (const char* kind : population.kinds) {
-      if (std::string(kind) == "hill") {
-        learners.push_back(
-            std::make_unique<learn::FiniteDifferenceHillClimber>(initial));
-      } else if (std::string(kind) == "auto") {
-        learn::AutomatonOptions options;
-        options.candidates = 41;
-        options.r_max = 0.6;
-        learners.push_back(
-            std::make_unique<learn::EliminationAutomaton>(initial, options));
-      } else if (std::string(kind) == "newton") {
-        learners.push_back(std::make_unique<learn::NewtonLearner>(initial));
-      } else {
-        learners.push_back(
-            std::make_unique<learn::BestResponseLearner>(initial));
-      }
-      initial += 0.1;
-    }
-    learn::GameDriver driver(fs, profile);
-    learn::DriverOptions options;
-    options.max_rounds = 6000;
-    const auto result = driver.run(learners, options);
+  for (std::size_t p = 0; p < populations.size(); ++p) {
+    const auto& result = outcomes[p];
     double worst = 0.0;
     std::string rates = "(";
     for (std::size_t i = 0; i < result.final_rates.size(); ++i) {
@@ -84,8 +94,8 @@ static int run() {
                (i + 1 < result.final_rates.size() ? "," : ")");
     }
     if (worst > 0.04) all_converged_to_nash = false;
-    bench::table_row({population.label, std::to_string(result.rounds), rates,
-                      bench::fmt(worst, 4)});
+    bench::table_row({populations[p].label, std::to_string(result.rounds),
+                      rates, bench::fmt(worst, 4)});
   }
   bench::verdict(all_converged_to_nash,
                  "every mixed population lands on the FS Nash point");

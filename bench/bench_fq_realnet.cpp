@@ -7,8 +7,10 @@
 // fair throughput shares, low delay for light sources, protection from
 // the flooder.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/runner.hpp"
 
 static int run() {
@@ -35,12 +37,16 @@ static int run() {
     sim::Discipline discipline;
     sim::RunResult result;
   };
-  std::vector<Row> rows;
-  for (const auto discipline :
-       {sim::Discipline::kFifo, sim::Discipline::kDrr, sim::Discipline::kSfq,
-        sim::Discipline::kFairShareOracle}) {
-    rows.push_back({discipline, sim::run_switch(discipline, rates, options)});
-  }
+  // One independent fixed-seed simulation per discipline, farmed across
+  // --threads workers; the results (and the report) are identical for any
+  // thread count.
+  std::vector<Row> rows{{sim::Discipline::kFifo, {}},
+                        {sim::Discipline::kDrr, {}},
+                        {sim::Discipline::kSfq, {}},
+                        {sim::Discipline::kFairShareOracle, {}}};
+  exec::parallel_for(bench::thread_count(), rows.size(), [&](std::size_t i) {
+    rows[i].result = sim::run_switch(rows[i].discipline, rates, options);
+  });
 
   std::printf("\nPer-user mean delay and throughput (server rate 1.0, "
               "flooder offered load 1.4):\n\n");

@@ -1,0 +1,225 @@
+// E-KERNEL — event-kernel and replication-engine performance.
+//
+// Unlike the experiment benches, the claim here is about the simulator
+// machinery itself: the zero-allocation event kernel (inline callbacks,
+// generation-stamped cancel, flat 4-ary heap) and the deterministic
+// replication engine. Each section runs a fixed deterministic workload;
+// the per-rep wall time recorded by --repeat is the sample gw-benchstat
+// gates on, and per-section events/sec land in gauges for the telemetry.
+// All verdicts are exact determinism/accounting checks, so the bench
+// doubles as a stress test.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "sim/runner.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace gw;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Schedule/fire throughput: self-renewing chains of events, the kernel's
+// steady-state hot path (one pop + one push per fired event, constant
+// heap depth from the concurrent timers). The closure carries a 24-byte
+// capture — a this-pointer plus a little context, like every real
+// station/driver closure — and advances time with an inline LCG so the
+// measurement is the kernel, not a random-variate sampler.
+std::size_t schedule_fire_workload(std::size_t events) {
+  sim::Simulator simulator;
+  std::size_t fired = 0;
+  constexpr std::size_t kChains = 64;
+  struct Chain {
+    sim::Simulator* simulator;
+    std::uint64_t state;
+    std::size_t* fired;
+    void operator()() {
+      ++*fired;
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double dt = 0.5 + static_cast<double>(state >> 40) * 0x1p-24;
+      simulator->schedule_in(dt, Chain(*this));
+    }
+  };
+  for (std::size_t c = 0; c < kChains; ++c) {
+    simulator.schedule_in(1.0 + static_cast<double>(c) / kChains,
+                          Chain{&simulator, 0x9e3779b97f4a7c15ULL * (c + 1),
+                                &fired});
+  }
+  const double horizon =
+      static_cast<double>(events) / static_cast<double>(kChains);
+  simulator.run_until(horizon);
+  return fired;
+}
+
+// Cancel-heavy churn: the retransmit-timer pattern. Each wave arms one
+// near deadline per four packets and three far-future timeouts that are
+// cancelled almost immediately (the "ack arrived" path), then the clock
+// advances past the near deadlines only. A cancelled timer must cost
+// nothing after its cancel(): the generation-stamped kernel frees the
+// slot on the spot, whereas tombstone schemes leave the dead entry in
+// the heap until simulated time reaches it — here, never — so their
+// heap and tombstone set grow without bound while sift depth climbs.
+std::size_t cancel_heavy_workload(std::size_t waves, std::size_t per_wave) {
+  sim::Simulator simulator;
+  std::size_t fired = 0;
+  struct Payload {
+    std::size_t* fired;
+    std::uint64_t context[3];  ///< stands in for flow/packet state
+    void operator()() const { *fired += 1 + (context[0] & 0); }
+  };
+  const double far_future =
+      1.0e9 + static_cast<double>(waves * per_wave);  // beyond the last wave
+  std::vector<sim::EventId> ids(per_wave);
+  double base = 0.0;
+  for (std::size_t w = 0; w < waves; ++w) {
+    for (std::size_t i = 0; i < per_wave; ++i) {
+      const double t = i % 4 == 0 ? base + 1.0 + static_cast<double>(i)
+                                  : far_future + static_cast<double>(i);
+      ids[i] = simulator.schedule_at(t, Payload{&fired, {i, w, i ^ w}});
+    }
+    // The acks arrive: cancel the 3 of every 4 far-future timeouts.
+    for (std::size_t i = 0; i < per_wave; ++i) {
+      if (i % 4 != 0) simulator.cancel(ids[i]);
+    }
+    base += static_cast<double>(per_wave) + 2.0;
+    simulator.run_until(base);
+  }
+  return fired;
+}
+
+int run() {
+  bench::banner(
+      "E-KERNEL event kernel", "DESIGN.md section 4",
+      "The zero-allocation event kernel sustains high schedule/fire and "
+      "cancel throughput, packet disciplines inherit the speedup, and the "
+      "replication engine returns bit-identical pooled statistics for any "
+      "thread count.");
+
+  auto& registry = obs::default_registry();
+
+  // (1) Schedule/fire throughput.
+  {
+    constexpr std::size_t kEvents = 1000000;
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t fired = schedule_fire_workload(kEvents);
+    const double elapsed = seconds_since(start);
+    registry.gauge("kernel.schedule_fire.events_per_sec")
+        .set(static_cast<double>(fired) / elapsed);
+    std::printf("\nschedule/fire: %zu events in %s ms (%s events/sec)\n",
+                fired, bench::fmt(elapsed * 1e3, 1).c_str(),
+                bench::fmt(static_cast<double>(fired) / elapsed, 0).c_str());
+    // dt is uniform-ish in [0.5, 1.5), so the chains fire within a factor
+    // of 1.5 of one event per chain per unit time.
+    bench::verdict(fired * 3 >= kEvents * 2 && fired <= 2 * kEvents,
+                   "schedule/fire chains ran the full horizon");
+  }
+
+  // (2) Cancel-heavy churn.
+  {
+    constexpr std::size_t kWaves = 150;
+    constexpr std::size_t kPerWave = 10000;
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t fired = cancel_heavy_workload(kWaves, kPerWave);
+    const double elapsed = seconds_since(start);
+    const double ops =
+        static_cast<double>(kWaves * kPerWave);  // schedules (+ cancels)
+    registry.gauge("kernel.cancel_heavy.ops_per_sec").set(ops / elapsed);
+    std::printf("cancel-heavy: %zu waves x %zu timers in %s ms "
+                "(%s schedule+cancel ops/sec)\n",
+                kWaves, kPerWave, bench::fmt(elapsed * 1e3, 1).c_str(),
+                bench::fmt(ops / elapsed, 0).c_str());
+    bench::verdict(fired == kWaves * ((kPerWave + 3) / 4),
+                   "exactly the uncancelled quarter of timers fired");
+  }
+
+  // (3) Packet events/sec per discipline: the end-to-end cost the kernel
+  // rewrite is supposed to move.
+  {
+    const std::vector<double> rates{0.25, 0.25, 0.25};
+    sim::RunOptions options;
+    options.warmup = 200.0;
+    options.batches = 4;
+    options.batch_length = 4000.0;
+    options.seed = 99;
+    struct DisciplineCase {
+      sim::Discipline discipline;
+      const char* gauge;
+    };
+    const std::vector<DisciplineCase> cases{
+        {sim::Discipline::kFifo, "kernel.packets.fifo.events_per_sec"},
+        {sim::Discipline::kDrr, "kernel.packets.drr.events_per_sec"},
+        {sim::Discipline::kFairShareOracle,
+         "kernel.packets.fs.events_per_sec"},
+    };
+    std::printf("\npacket disciplines (load 0.75, seed 99):\n\n");
+    bench::table_header({"discipline", "events", "wall ms", "events/sec"});
+    bool all_ran = true;
+    for (const auto& c : cases) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = sim::run_switch(c.discipline, rates, options);
+      const double elapsed = seconds_since(start);
+      const double rate = static_cast<double>(result.events) / elapsed;
+      registry.gauge(c.gauge).set(rate);
+      bench::table_row({sim::discipline_name(c.discipline),
+                        std::to_string(result.events),
+                        bench::fmt(elapsed * 1e3, 1), bench::fmt(rate, 0)});
+      if (result.events == 0) all_ran = false;
+    }
+    bench::verdict(all_ran, "every discipline processed packet events");
+  }
+
+  // (4) Replication engine: pooled statistics must not depend on the
+  // worker count.
+  {
+    const std::vector<double> rates{0.3, 0.3};
+    sim::RunOptions options;
+    options.warmup = 200.0;
+    options.batches = 4;
+    options.batch_length = 1500.0;
+    options.seed = 7;
+    constexpr int kReps = 8;
+    const auto start = std::chrono::steady_clock::now();
+    const auto parallel = sim::run_replications(
+        sim::Discipline::kFifo, rates, options, kReps,
+        static_cast<int>(bench::thread_count()));
+    const double elapsed = seconds_since(start);
+    const auto serial =
+        sim::run_replications(sim::Discipline::kFifo, rates, options, kReps, 1);
+    registry.gauge("kernel.replications.events_per_sec")
+        .set(static_cast<double>(parallel.events) / elapsed);
+    std::printf("\nreplications: %d reps, %zu events in %s ms on %zu "
+                "thread(s)\n",
+                kReps, parallel.events, bench::fmt(elapsed * 1e3, 1).c_str(),
+                bench::thread_count());
+    bool identical = parallel.events == serial.events &&
+                     parallel.replication_queues == serial.replication_queues;
+    for (std::size_t u = 0; identical && u < parallel.users.size(); ++u) {
+      identical = parallel.users[u].mean_queue == serial.users[u].mean_queue &&
+                  parallel.users[u].mean_delay == serial.users[u].mean_delay &&
+                  parallel.users[u].throughput == serial.users[u].throughput &&
+                  parallel.users[u].queue_ci.half_width ==
+                      serial.users[u].queue_ci.half_width;
+    }
+    bench::verdict(identical,
+                   "pooled replication statistics are bit-identical on "
+                   "--threads and 1 thread");
+    bench::verdict(parallel.replications == kReps &&
+                       parallel.replication_queues.size() ==
+                           static_cast<std::size_t>(kReps),
+                   "all replications contributed observations");
+  }
+
+  return bench::failures();
+}
+
+}  // namespace
+
+GW_BENCH_MAIN(run)

@@ -14,7 +14,9 @@
 #include "core/nash.hpp"
 #include "core/proportional.hpp"
 #include "numerics/eigen.hpp"
+#include "numerics/rng.hpp"
 #include "sim/runner.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -84,6 +86,71 @@ void BM_Eigenvalues(benchmark::State& state) {
 }
 BENCHMARK(BM_Eigenvalues)->Arg(4)->Arg(8)->Arg(12);
 
+void BM_KernelScheduleFire(benchmark::State& state) {
+  // Pure event-kernel hot path: self-renewing chains of timers, one pop +
+  // one push per fired event at constant heap depth (range = chain
+  // count). The 24-byte closure matches a real station/driver capture;
+  // time steps come from an inline LCG so the kernel dominates.
+  const auto chains = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::size_t fired = 0;
+    struct Chain {
+      sim::Simulator* simulator;
+      std::uint64_t lcg;
+      std::size_t* fired;
+      void operator()() {
+        ++*fired;
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        const double dt = 0.5 + static_cast<double>(lcg >> 40) * 0x1p-24;
+        simulator->schedule_in(dt, Chain(*this));
+      }
+    };
+    for (std::size_t c = 0; c < chains; ++c) {
+      simulator.schedule_in(
+          1.0 + static_cast<double>(c) / static_cast<double>(chains),
+          Chain{&simulator, 0x9e3779b97f4a7c15ULL * (c + 1), &fired});
+    }
+    simulator.run_until(50000.0 / static_cast<double>(chains));
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(fired));
+  }
+}
+BENCHMARK(BM_KernelScheduleFire)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_KernelCancelHeavy(benchmark::State& state) {
+  // Retransmit-timer pattern: waves of timers, 3 of 4 cancelled before
+  // they fire. Items = schedule operations.
+  constexpr std::size_t kPerWave = 4096;
+  struct Payload {
+    std::size_t* fired;
+    std::uint64_t context[3];
+    void operator()() const { *fired += 1 + (context[0] & 0); }
+  };
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::size_t fired = 0;
+    std::vector<sim::EventId> ids(kPerWave);
+    double base = 0.0;
+    for (std::size_t wave = 0; wave < 8; ++wave) {
+      for (std::size_t i = 0; i < kPerWave; ++i) {
+        ids[i] = simulator.schedule_at(base + 1.0 + static_cast<double>(i),
+                                       Payload{&fired, {i, wave, i ^ wave}});
+      }
+      for (std::size_t i = 0; i < kPerWave; ++i) {
+        if (i % 4 != 0) simulator.cancel(ids[i]);
+      }
+      base += static_cast<double>(kPerWave) + 2.0;
+      simulator.run_until(base);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(8 * kPerWave));
+  }
+}
+BENCHMARK(BM_KernelCancelHeavy);
+
 void BM_SimulatorFifoEvents(benchmark::State& state) {
   // Event throughput of the packet simulator at load 0.7.
   for (auto _ : state) {
@@ -116,6 +183,43 @@ void BM_SimulatorFairShareEvents(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorFairShareEvents)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorDrrEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::RunOptions options;
+    options.warmup = 100.0;
+    options.batches = 2;
+    options.batch_length = 2000.0;
+    options.seed = 42;
+    const auto result =
+        sim::run_switch(sim::Discipline::kDrr, {0.2, 0.25, 0.25}, options);
+    benchmark::DoNotOptimize(result);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(result.events));
+  }
+}
+BENCHMARK(BM_SimulatorDrrEvents)->Unit(benchmark::kMillisecond);
+
+void BM_ReplicationScaling(benchmark::State& state) {
+  // run_replications across worker threads (range = thread count). On a
+  // single-core host this measures engine overhead, not speedup; the
+  // statistics are bit-identical at every thread count either way.
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::RunOptions options;
+    options.warmup = 100.0;
+    options.batches = 2;
+    options.batch_length = 1000.0;
+    options.seed = 7;
+    const auto result = sim::run_replications(sim::Discipline::kFifo,
+                                              {0.3, 0.3}, options, 8, threads);
+    benchmark::DoNotOptimize(result);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(result.events));
+  }
+}
+BENCHMARK(BM_ReplicationScaling)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 int run() {
   static bool initialized = false;

@@ -8,6 +8,7 @@
 #include "core/fair_share.hpp"
 #include "core/priority_alloc.hpp"
 #include "core/proportional.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/runner.hpp"
 
 static int run() {
@@ -43,10 +44,19 @@ static int run() {
       {sim::Discipline::kRatePriority, &srf},
   };
 
+  // Each case is an independent fixed-seed simulation: farm them across
+  // --threads workers (results are identical for any thread count), then
+  // report sequentially.
+  std::vector<sim::RunResult> runs(cases.size());
+  exec::parallel_for(bench::thread_count(), cases.size(), [&](std::size_t i) {
+    runs[i] = sim::run_switch(cases[i].discipline, rates, options);
+  });
+
   bool all_match = true;
-  for (const auto& test_case : cases) {
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const auto& test_case = cases[c];
     const auto expected = test_case.analytic->congestion(rates);
-    const auto run = sim::run_switch(test_case.discipline, rates, options);
+    const auto& run = runs[c];
     std::printf("\n%s vs analytic %s:\n\n",
                 sim::discipline_name(test_case.discipline),
                 test_case.analytic->name().c_str());

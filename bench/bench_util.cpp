@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "exec/thread_pool.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
@@ -58,6 +59,9 @@ void print_usage(std::FILE* out) {
                "  --repeat <N>     run the experiment body N times (N >= 1),\n"
                "                   resetting metrics between reps and timing each\n"
                "  --label <text>   stamp <text> into the run manifest\n"
+               "  --threads <N>    worker threads for parallel sweep loops\n"
+               "                   (0 = all cores; results are identical for\n"
+               "                   any thread count)\n"
                "  --help, -h       show this help and exit\n",
                g_binary.empty() ? "bench" : g_binary.c_str());
 }
@@ -154,6 +158,16 @@ void parse_args(int argc, char** argv,
       g_options.repeat = static_cast<int>(reps);
       continue;
     }
+    if (taking(i, "--threads", value)) {
+      char* end = nullptr;
+      const long threads = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || threads < 0 || threads > 4096) {
+        usage_error("--threads needs a non-negative integer, got '%s'",
+                    value.c_str());
+      }
+      g_options.threads = static_cast<int>(threads);
+      continue;
+    }
     if (std::strncmp(arg, "--", 2) == 0) {
       usage_error("unknown flag '%s'", arg);
     }
@@ -162,6 +176,11 @@ void parse_args(int argc, char** argv,
 }
 
 const Options& options() { return g_options; }
+
+std::size_t thread_count() {
+  return g_options.threads == 0 ? exec::default_thread_count()
+                                : static_cast<std::size_t>(g_options.threads);
+}
 
 const std::vector<std::string>& passthrough_args() { return g_passthrough; }
 
@@ -222,7 +241,9 @@ int finish() {
   w.key("binary");
   w.value(g_binary);
   w.key("manifest");
-  obs::write_manifest(w, obs::collect_manifest(g_options.label));
+  obs::RunManifest manifest = obs::collect_manifest(g_options.label);
+  manifest.threads = static_cast<unsigned>(thread_count());
+  obs::write_manifest(w, manifest);
   w.key("timing");
   write_timing(w);
   w.key("experiments");

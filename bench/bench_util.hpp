@@ -18,7 +18,11 @@
 // GW_BENCH_MAIN parses the shared flags, reruns the body --repeat times
 // (with Registry::reset() between reps, timing each rep), and writes the
 // telemetry once at the end. Flags: --json <path>, --repeat N, --label S,
-// --help; unknown --flags are usage errors.
+// --threads N, --help; unknown --flags are usage errors. Results are
+// seed-deterministic regardless of --threads (parallel loops use
+// gw::exec's static partitioning and merge in index order); the thread
+// count is stamped into the manifest so suite comparisons stay
+// like-for-like.
 #pragma once
 
 #include <string>
@@ -31,6 +35,8 @@ struct Options {
   std::string json_path;  ///< --json <path>; empty = no telemetry file
   int repeat = 1;         ///< --repeat N; reps of the experiment body
   std::string label;      ///< --label <s>; stamped into the run manifest
+  int threads = 1;        ///< --threads N; worker threads for sweep loops
+                          ///< (0 = all cores); recorded in the manifest
 };
 
 /// Parses the shared bench flags. `--help`/`-h` prints usage and exits 0;
@@ -44,6 +50,10 @@ void parse_args(int argc, char** argv,
 
 /// The flags recognized by the last parse_args() call.
 [[nodiscard]] const Options& options();
+
+/// Worker threads for parallel sweep loops: options().threads, with 0
+/// resolved to the machine's core count.
+[[nodiscard]] std::size_t thread_count();
 
 /// Arguments diverted by parse_args()'s passthrough_prefix, in order.
 [[nodiscard]] const std::vector<std::string>& passthrough_args();

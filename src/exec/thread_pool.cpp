@@ -1,0 +1,96 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gw::exec {
+
+std::size_t default_thread_count() noexcept {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<std::size_t>(reported);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? default_thread_count() : threads) {
+  if (threads_ <= 1) return;  // inline mode: no workers to park
+  errors_.resize(threads_);
+  workers_.reserve(threads_);
+  for (std::size_t k = 0; k < threads_; ++k) {
+    workers_.emplace_back([this, k] { worker_loop(k); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_block(std::size_t worker_index) {
+  // Static partition: worker k owns the contiguous block
+  // [k*n/T, (k+1)*n/T) — a pure function of (n, T), never of timing.
+  const std::size_t begin = worker_index * n_ / threads_;
+  const std::size_t end = (worker_index + 1) * n_ / threads_;
+  for (std::size_t i = begin; i < end; ++i) (*body_)(i);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock,
+                     [&] { return stopping_ || epoch_ != seen_epoch; });
+    if (stopping_) return;
+    seen_epoch = epoch_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      run_block(worker_index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    errors_[worker_index] = error;
+    if (--remaining_ == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::exception_ptr first_error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    body_ = &body;
+    n_ = n;
+    remaining_ = threads_;
+    ++epoch_;
+    work_ready_.notify_all();
+    work_done_.wait(lock, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+    for (auto& error : errors_) {
+      if (error != nullptr && first_error == nullptr) first_error = error;
+      error = nullptr;
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (threads == 0) threads = default_thread_count();
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, n));
+  pool.parallel_for(n, body);
+}
+
+}  // namespace gw::exec

@@ -1,0 +1,73 @@
+// Deterministic fork-join parallelism for independent work items.
+//
+// ThreadPool::parallel_for splits [0, n) into one contiguous block per
+// worker (a static partition — there is deliberately no work stealing),
+// so which worker runs which index is a pure function of (n, size()).
+// Combined with per-item outputs written to per-item slots, any
+// computation expressed through parallel_for produces bit-identical
+// results for every thread count; the replication engine in
+// sim/runner.hpp is built on exactly this property.
+//
+// Workers park on a condition variable between jobs; a parallel_for is
+// two lock handoffs plus the work itself, which is negligible against the
+// multi-second simulation replications it exists to spread out.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gw::exec {
+
+/// Worker threads suitable for CPU-bound work; >= 1 even when the runtime
+/// reports zero.
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 means default_thread_count()). A pool of
+  /// one runs everything inline on the calling thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_; }
+
+  /// Runs body(i) for every i in [0, n), blocking until all items
+  /// complete. Worker k handles the contiguous block
+  /// [k*n/size(), (k+1)*n/size()). If any body throws, the first
+  /// exception (by worker order) is rethrown here after the barrier.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void run_block(std::size_t worker_index);
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  ///< current job
+  std::size_t n_ = 0;
+  std::uint64_t epoch_ = 0;      ///< bumped per job; workers wait on it
+  std::size_t remaining_ = 0;    ///< workers yet to finish current job
+  std::vector<std::exception_ptr> errors_;  ///< per-worker, first kept
+  bool stopping_ = false;
+};
+
+/// One-shot convenience: runs body(i) for i in [0, n) across `threads`
+/// workers (inline when threads <= 1 or n <= 1) with the same static
+/// partition and determinism guarantees as ThreadPool::parallel_for.
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace gw::exec

@@ -145,6 +145,8 @@ void write_manifest(JsonWriter& w, const RunManifest& manifest) {
   w.value(manifest.timestamp_utc);
   w.key("label");
   w.value(manifest.label);
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(manifest.threads));
   w.end_object();
 }
 

@@ -1,9 +1,12 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"
 #include "sim/drr_station.hpp"
 #include "sim/fair_share_station.hpp"
 #include "sim/sfq_station.hpp"
@@ -157,6 +160,83 @@ RunResult run_switch(Discipline discipline, const std::vector<double>& rates,
         return make_station(discipline, sim, tracker, rates, options);
       },
       rates, options);
+}
+
+ReplicationResult run_replications(Discipline discipline,
+                                   const std::vector<double>& rates,
+                                   const RunOptions& options,
+                                   int replications, int threads) {
+  if (replications < 1) {
+    throw std::invalid_argument("run_replications: replications must be >= 1");
+  }
+  const auto n_reps = static_cast<std::size_t>(replications);
+
+  // Seeds are forked off options.seed by replication *index*, before any
+  // thread runs: the work assigned to replication r is identical no matter
+  // which worker executes it or in what order.
+  std::vector<std::uint64_t> seeds(n_reps);
+  numerics::Rng parent(options.seed);
+  for (auto& seed : seeds) seed = parent.fork().next_u64();
+
+  std::vector<RunResult> reps(n_reps);
+  exec::parallel_for(
+      threads < 0 ? 1 : static_cast<std::size_t>(threads), n_reps,
+      [&](std::size_t r) {
+        RunOptions rep_options = options;
+        rep_options.seed = seeds[r];
+        reps[r] = run_switch(discipline, rates, rep_options);
+      });
+
+  // Merge strictly in replication order so the result is bit-identical
+  // for every thread count.
+  ReplicationResult result;
+  result.replications = replications;
+  result.users.resize(rates.size());
+  result.replication_queues.assign(n_reps, std::vector<double>(rates.size()));
+  for (std::size_t r = 0; r < n_reps; ++r) {
+    result.measured_time += reps[r].measured_time;
+    result.events += reps[r].events;
+    for (std::size_t u = 0; u < rates.size(); ++u) {
+      result.replication_queues[r][u] = reps[r].users[u].mean_queue;
+    }
+  }
+  const double inv_reps = 1.0 / static_cast<double>(n_reps);
+  std::vector<double> rep_means(n_reps);
+  for (std::size_t u = 0; u < rates.size(); ++u) {
+    auto& pooled = result.users[u];
+    double delay_sum = 0.0;
+    double throughput_sum = 0.0;
+    for (std::size_t r = 0; r < n_reps; ++r) {
+      rep_means[r] = reps[r].users[u].mean_queue;
+      delay_sum += reps[r].users[u].mean_delay;
+      throughput_sum += reps[r].users[u].throughput;
+    }
+    pooled.queue_ci = numerics::batch_means_ci(rep_means);
+    pooled.mean_queue = pooled.queue_ci.mean;
+    pooled.mean_delay = delay_sum * inv_reps;
+    pooled.throughput = throughput_sum * inv_reps;
+    if (options.delay_histograms) {
+      // Average each quantile over the replications that produced one
+      // (zero-departure users yield NaN; see QueueTracker).
+      const auto pool_quantile = [&](auto member) {
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (std::size_t r = 0; r < n_reps; ++r) {
+          const double q = reps[r].users[u].*member;
+          if (!std::isnan(q)) {
+            sum += q;
+            ++n;
+          }
+        }
+        return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : sum / static_cast<double>(n);
+      };
+      pooled.delay_p50 = pool_quantile(&UserRunStats::delay_p50);
+      pooled.delay_p95 = pool_quantile(&UserRunStats::delay_p95);
+      pooled.delay_p99 = pool_quantile(&UserRunStats::delay_p99);
+    }
+  }
+  return result;
 }
 
 }  // namespace gw::sim

@@ -78,4 +78,35 @@ using StationFactory =
                                    const std::vector<double>& rates,
                                    const RunOptions& options = {});
 
+/// Pooled statistics over independent replications of one experiment.
+struct ReplicationResult {
+  /// Per-user statistics pooled across replications: mean_queue /
+  /// mean_delay / throughput are the (unweighted) averages of the
+  /// per-replication values, and queue_ci is a Student-t confidence
+  /// interval over the replication means (replication/deletion analysis —
+  /// each replication contributes one observation). Delay quantiles are
+  /// averaged over the replications that produced them (NaN-yielding
+  /// replications, i.e. zero-departure users, are skipped).
+  std::vector<UserRunStats> users;
+  double measured_time = 0.0;  ///< summed across replications
+  std::size_t events = 0;      ///< summed across replications
+  int replications = 0;
+  /// Per-replication per-user mean queues (replications x users), in
+  /// replication order — the raw observations behind users[u].queue_ci.
+  std::vector<std::vector<double>> replication_queues;
+};
+
+/// Runs `replications` independent copies of run_switch(discipline, rates)
+/// across `threads` worker threads and pools the per-user batch-means
+/// statistics into replication-level confidence intervals.
+///
+/// Each replication r draws its seed from a deterministic Rng stream
+/// forked off options.seed by replication index, and the merge walks the
+/// replications in index order — so the returned statistics are
+/// bit-identical for every `threads` value (1, 2, 8, ... all agree).
+/// `threads` == 0 means exec::default_thread_count().
+[[nodiscard]] ReplicationResult run_replications(
+    Discipline discipline, const std::vector<double>& rates,
+    const RunOptions& options, int replications, int threads = 1);
+
 }  // namespace gw::sim

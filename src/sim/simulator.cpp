@@ -1,46 +1,119 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 
 namespace gw::sim {
 
-EventId Simulator::schedule_at(double t, std::function<void()> action) {
-  if (t < now_) throw std::invalid_argument("Simulator: scheduling in the past");
-  if (!action) throw std::invalid_argument("Simulator: empty action");
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id, std::move(action)});
-  return id;
+Simulator::Simulator()
+    : events_processed_(&obs::default_registry().counter(
+          "sim.events_processed")) {}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-EventId Simulator::schedule_in(double dt, std::function<void()> action) {
+void Simulator::release_slot(std::uint32_t index) noexcept {
+  Slot& slot = slots_[index];
+  slot.action.reset();
+  slot.armed = false;
+  // Bumping the generation invalidates every outstanding EventId and heap
+  // entry that still points at this slot; skip 0 on wrap so no id is 0
+  // (stations use EventId 0 as their "nothing scheduled" sentinel).
+  if (++slot.gen == 0) slot.gen = 1;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void Simulator::sift_up(std::size_t i) noexcept {
+  const Entry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::sift_down(std::size_t i) noexcept {
+  const Entry entry = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+EventId Simulator::schedule_at(double t, Action action) {
+  if (t < now_) throw std::invalid_argument("Simulator: scheduling in the past");
+  if (!action) throw std::invalid_argument("Simulator: empty action");
+  const std::uint32_t slot = acquire_slot();
+  Slot& home = slots_[slot];
+  home.action = std::move(action);
+  home.armed = true;
+  heap_.push_back(Entry{t, next_seq_++, slot, home.gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return (static_cast<EventId>(home.gen) << 32) | slot;
+}
+
+EventId Simulator::schedule_in(double dt, Action action) {
   return schedule_at(now_ + dt, std::move(action));
 }
 
-void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+void Simulator::cancel(EventId id) noexcept {
+  const auto index = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (!slot.armed || slot.gen != gen) return;  // fired/cancelled/bogus: no-op
+  release_slot(index);
+  --live_;
+}
 
 std::size_t Simulator::run_until(double t_end) {
   if (t_end < now_) {
     throw std::invalid_argument("Simulator: run_until into the past");
   }
   std::size_t fired = 0;
-  while (!heap_.empty() && heap_.top().time <= t_end) {
-    Entry entry = heap_.top();
-    heap_.pop();
-    if (const auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = entry.time;
-    entry.action();
+  while (!heap_.empty() && heap_.front().time <= t_end) {
+    const Entry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    Slot& slot = slots_[top.slot];
+    if (!slot.armed || slot.gen != top.gen) continue;  // lazily cancelled
+    now_ = top.time;
+    // Move the action out and retire the slot *before* invoking: the
+    // action may schedule (reusing this slot under a fresh generation) or
+    // cancel, and a cancel of this very event must be a no-op.
+    Action action = std::move(slot.action);
+    release_slot(top.slot);
+    --live_;
+    action();
     ++fired;
     ++processed_;
   }
   now_ = t_end;
-  static auto& events_processed =
-      obs::default_registry().counter("sim.events_processed");
-  events_processed.inc(fired);
+  events_processed_->inc(fired);
   return fired;
 }
 

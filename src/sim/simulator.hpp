@@ -1,34 +1,151 @@
 // Discrete-event simulation kernel.
 //
 // A time-ordered event heap with stable FIFO ordering of simultaneous
-// events and O(log n) cancellation via tombstones. Service disciplines
-// with preemption (LIFO, priority, Fair Share) rely on cancel() to
-// withdraw completion events when the job in service changes.
+// events and cheap cancellation. Service disciplines with preemption
+// (LIFO, priority, Fair Share) rely on cancel() to withdraw completion
+// events when the job in service changes.
+//
+// The kernel is allocation-free on the steady-state hot path:
+//   * actions live in fixed inline storage (InlineAction) instead of a
+//     heap-allocated std::function closure — oversized captures fail to
+//     compile rather than silently boxing;
+//   * the priority queue is a flat 4-ary array heap of 24-byte POD
+//     entries (shallower than a binary heap and cache-line friendly;
+//     sift moves never touch the action storage);
+//   * cancellation is generation-stamped lazy invalidation: cancel() is
+//     O(1) and retires the slot immediately, and the stale heap entry is
+//     discarded when it surfaces at the top — no tombstone set, and no
+//     cost at all for events that are never cancelled.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+namespace gw::obs {
+class Counter;
+}  // namespace gw::obs
 
 namespace gw::sim {
 
 using EventId = std::uint64_t;
 
+namespace detail {
+
+/// Type-erased move-only callable with fixed inline storage — the
+/// simulator's replacement for std::function<void()>. Construction from a
+/// callable whose captures exceed kCapacity (or that is not nothrow move
+/// constructible) is a compile error, so every event is guaranteed
+/// allocation-free. The station closures capture a single `this` pointer;
+/// kCapacity leaves room for test/driver lambdas with a few captures (a
+/// whole std::function still fits, so recursive std::function chains keep
+/// working).
+class InlineAction {
+ public:
+  static constexpr std::size_t kCapacity = 48;
+
+  InlineAction() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineAction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineAction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= kCapacity,
+                  "event closure captures exceed InlineAction::kCapacity; "
+                  "shrink the capture list (the kernel never heap-allocates)");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "event closure is over-aligned for InlineAction storage");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "event closure must be nothrow move constructible");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+    vtable_ = vtable_for<D>();
+  }
+
+  InlineAction(InlineAction&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->relocate(storage_, other.storage_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  ///< move + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static const VTable* vtable_for() noexcept {
+    static constexpr VTable table{
+        [](void* p) { (*static_cast<D*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        },
+        [](void* p) noexcept { static_cast<D*>(p)->~D(); }};
+    return &table;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace detail
+
 class Simulator {
  public:
+  using Action = detail::InlineAction;
+
+  Simulator();
+
   [[nodiscard]] double now() const noexcept { return now_; }
 
   /// Schedules `action` at absolute time `t` (>= now). Returns a handle
   /// usable with cancel().
-  EventId schedule_at(double t, std::function<void()> action);
+  EventId schedule_at(double t, Action action);
 
   /// Schedules `action` `dt` from now (dt >= 0).
-  EventId schedule_in(double dt, std::function<void()> action);
+  EventId schedule_in(double dt, Action action);
 
-  /// Cancels a pending event; no-op if already fired or cancelled.
-  void cancel(EventId id);
+  /// Cancels a pending event in O(1); no-op if already fired, already
+  /// cancelled, or never issued (stale handles are recognized by their
+  /// generation stamp even after the slot is reused).
+  void cancel(EventId id) noexcept;
 
   /// Processes all events with time <= t_end, then advances the clock to
   /// t_end. Returns the number of events processed.
@@ -40,28 +157,49 @@ class Simulator {
   [[nodiscard]] std::size_t processed_events() const noexcept {
     return processed_;
   }
-  [[nodiscard]] std::size_t pending_events() const noexcept {
-    return heap_.size() - cancelled_.size();
-  }
+  /// Scheduled-but-not-yet-fired events, net of cancellations.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
 
  private:
+  /// POD heap entry; sift operations shuffle these 24-byte records while
+  /// the action stays put in its slot.
   struct Entry {
     double time;
-    EventId id;
-    std::function<void()> action;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among simultaneous events
-    }
+    std::uint64_t seq;   ///< monotone schedule order; FIFO tie-break
+    std::uint32_t slot;  ///< index into slots_
+    std::uint32_t gen;   ///< must match the slot's generation to fire
   };
 
+  /// Home of one scheduled action. Freed (and its generation bumped) the
+  /// moment the event fires or is cancelled, so slots recycle at the rate
+  /// of the event population, not the event count.
+  struct Slot {
+    Action action;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
+    bool armed = false;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  static bool earlier(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;  // FIFO among simultaneous events
+  }
+
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index) noexcept;
+
   double now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::size_t processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+  std::vector<Entry> heap_;   ///< flat 4-ary min-heap on (time, seq)
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  obs::Counter* events_processed_;  ///< per-instance registry handle
 };
 
 }  // namespace gw::sim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -65,9 +66,15 @@ struct CommandResult {
   std::string output;
 };
 
+// ctest runs each test case as its own process, possibly in parallel, and
+// TempDir() is shared — every path must carry the pid or concurrent cases
+// clobber each other's fixtures and captures.
+std::string pid_tag() { return std::to_string(static_cast<long>(::getpid())); }
+
 CommandResult run_command(const std::string& command) {
   CommandResult result;
-  const std::string capture = ::testing::TempDir() + "gw_benchstat_out.txt";
+  const std::string capture =
+      ::testing::TempDir() + "gw_benchstat_out." + pid_tag() + ".txt";
   const int raw =
       std::system((command + " > " + capture + " 2>&1").c_str());
   result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
@@ -88,7 +95,9 @@ class BenchstatCli : public ::testing::Test {
     dir_ = ::testing::TempDir();
   }
 
-  std::string path(const std::string& name) const { return dir_ + name; }
+  std::string path(const std::string& name) const {
+    return dir_ + "gw_benchstat_" + pid_tag() + "_" + name;
+  }
 
   std::string dir_;
 };

@@ -1,0 +1,129 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace gw::exec {
+namespace {
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, MoreThreadsThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(4);
+  pool.parallel_for(4, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, StaticPartitionIsContiguousPerWorker) {
+  // Worker k owns [k*n/T, (k+1)*n/T): with per-index thread ids recorded,
+  // each thread's indices must form one contiguous ascending block.
+  ThreadPool pool(3);
+  const std::size_t n = 100;
+  std::vector<std::thread::id> owner(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    owner[i] = std::this_thread::get_id();
+  });
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (owner[i] != owner[i - 1]) ++switches;
+  }
+  EXPECT_LE(switches, pool.size() - 1);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i % 10 == 3) {
+                            throw std::runtime_error("item failed");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, BackToBackJobsOnOnePool) {
+  ThreadPool pool(4);
+  std::vector<int> data(64, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(data.size(), [&](std::size_t i) { ++data[i]; });
+  }
+  for (const int x : data) EXPECT_EQ(x, 50);
+}
+
+TEST(FreeParallelFor, MatchesSerialResult) {
+  const std::size_t n = 257;  // not divisible by the thread counts below
+  std::vector<double> serial(n), parallel(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    serial[i] = static_cast<double>(i * i) + 0.5;
+  }
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    std::fill(parallel.begin(), parallel.end(), 0.0);
+    parallel_for(threads, n, [&](std::size_t i) {
+      parallel[i] = static_cast<double>(i * i) + 0.5;
+    });
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(FreeParallelFor, InlineWhenSingleItem) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  parallel_for(8, 1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+}  // namespace
+}  // namespace gw::exec

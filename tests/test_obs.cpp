@@ -321,6 +321,65 @@ TEST(Tracing, WrittenFileParsesBack) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------- concurrent counter stress
+
+TEST(RegistryConcurrency, CountersAreExactUnderContention) {
+  // Many threads hammer a mix of shared and private counters while others
+  // concurrently register new names. Run under TSan (the CI tsan job) this
+  // doubles as a data-race check on the registry's hot path.
+  obs::Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  auto& shared = registry.counter("stress.shared");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &shared, t] {
+      auto& mine =
+          registry.counter("stress.private." + std::to_string(t));
+      for (int i = 0; i < kIncrements; ++i) {
+        shared.inc();
+        mine.inc(2);
+        if (i % 1024 == 0) {
+          // Interleave registration traffic with increments.
+          (void)registry.counter("stress.registered." + std::to_string(t) +
+                                 "." + std::to_string(i));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(shared.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter("stress.private." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIncrements) * 2u);
+  }
+}
+
+TEST(RegistryConcurrency, SimulatorsShareTheEventsProcessedCounter) {
+  // The simulator binds a per-instance handle to the registry counter at
+  // construction (no function-local static), so concurrent simulators
+  // accumulate into the same metric without racing on initialization.
+  obs::default_registry().reset();
+  constexpr int kSims = 4;
+  constexpr int kEvents = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kSims);
+  for (int s = 0; s < kSims; ++s) {
+    threads.emplace_back([] {
+      sim::Simulator simulator;
+      for (int i = 0; i < kEvents; ++i) {
+        simulator.schedule_at(static_cast<double>(i), [] {});
+      }
+      simulator.run_until(static_cast<double>(kEvents));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(obs::default_registry().counter("sim.events_processed").value(),
+            static_cast<std::uint64_t>(kSims) * kEvents);
+}
+
 // ------------------------------------------------- QueueTracker fix
 
 TEST(QueueTrackerQuantiles, ZeroDepartureSafePath) {

@@ -1,0 +1,107 @@
+// run_replications: the deterministic replication engine. The load-bearing
+// guarantee is that the pooled statistics are a pure function of
+// (discipline, rates, options, replications) — the thread count must be
+// invisible in every returned number.
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace gw::sim {
+namespace {
+
+RunOptions quick_options() {
+  RunOptions options;
+  options.warmup = 200.0;
+  options.batches = 4;
+  options.batch_length = 1000.0;
+  options.seed = 99;
+  return options;
+}
+
+TEST(RunReplications, BitIdenticalForAnyThreadCount) {
+  const std::vector<double> rates{0.3, 0.2};
+  const auto options = quick_options();
+  const auto base =
+      run_replications(Discipline::kFifo, rates, options, 6, 1);
+  for (const int threads : {2, 8}) {
+    const auto other =
+        run_replications(Discipline::kFifo, rates, options, 6, threads);
+    EXPECT_EQ(other.events, base.events) << "threads=" << threads;
+    EXPECT_EQ(other.replication_queues, base.replication_queues)
+        << "threads=" << threads;
+    ASSERT_EQ(other.users.size(), base.users.size());
+    for (std::size_t u = 0; u < base.users.size(); ++u) {
+      EXPECT_DOUBLE_EQ(other.users[u].mean_queue, base.users[u].mean_queue);
+      EXPECT_DOUBLE_EQ(other.users[u].mean_delay, base.users[u].mean_delay);
+      EXPECT_DOUBLE_EQ(other.users[u].throughput, base.users[u].throughput);
+      EXPECT_DOUBLE_EQ(other.users[u].queue_ci.half_width,
+                       base.users[u].queue_ci.half_width);
+      EXPECT_DOUBLE_EQ(other.users[u].queue_ci.mean,
+                       base.users[u].queue_ci.mean);
+    }
+  }
+}
+
+TEST(RunReplications, ReplicationsUseDistinctSeeds) {
+  const auto result = run_replications(Discipline::kFifo, {0.3, 0.2},
+                                       quick_options(), 8, 2);
+  ASSERT_EQ(result.replication_queues.size(), 8u);
+  std::set<std::vector<double>> distinct(result.replication_queues.begin(),
+                                         result.replication_queues.end());
+  EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(RunReplications, PoolsAcrossReplications) {
+  const auto options = quick_options();
+  const auto result =
+      run_replications(Discipline::kFifo, {0.3, 0.2}, options, 5, 2);
+  EXPECT_EQ(result.replications, 5);
+  EXPECT_GT(result.events, 0u);
+  // measured_time sums the replications' measurement windows.
+  const double window =
+      static_cast<double>(options.batches) * options.batch_length;
+  EXPECT_NEAR(result.measured_time, 5.0 * window, 1e-6);
+  ASSERT_EQ(result.users.size(), 2u);
+  for (const auto& user : result.users) {
+    EXPECT_GT(user.mean_queue, 0.0);
+    EXPECT_GT(user.throughput, 0.0);
+    EXPECT_GT(user.queue_ci.half_width, 0.0);
+    EXPECT_TRUE(std::isfinite(user.queue_ci.half_width));
+  }
+}
+
+TEST(RunReplications, PooledMeanIsAverageOfReplicationMeans) {
+  const auto result = run_replications(Discipline::kFifo, {0.25, 0.25},
+                                       quick_options(), 4, 1);
+  for (std::size_t u = 0; u < result.users.size(); ++u) {
+    double sum = 0.0;
+    for (const auto& rep : result.replication_queues) sum += rep[u];
+    EXPECT_DOUBLE_EQ(result.users[u].mean_queue,
+                     sum / static_cast<double>(result.replication_queues.size()));
+  }
+}
+
+TEST(RunReplications, RejectsNonPositiveReplicationCount) {
+  EXPECT_THROW((void)run_replications(Discipline::kFifo, {0.3}, quick_options(),
+                                      0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_replications(Discipline::kFifo, {0.3}, quick_options(),
+                                      -3, 2),
+               std::invalid_argument);
+}
+
+TEST(RunReplications, ZeroThreadsMeansDefaultAndStaysDeterministic) {
+  const auto defaulted = run_replications(Discipline::kDrr, {0.3, 0.2},
+                                          quick_options(), 4, 0);
+  const auto serial = run_replications(Discipline::kDrr, {0.3, 0.2},
+                                       quick_options(), 4, 1);
+  EXPECT_EQ(defaulted.replication_queues, serial.replication_queues);
+  EXPECT_EQ(defaulted.events, serial.events);
+}
+
+}  // namespace
+}  // namespace gw::sim

@@ -130,6 +130,68 @@ TEST(Rng, ForkGivesIndependentStream) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, ForkFamilyIsIndependent) {
+  // The replication engine derives one seed per replication from a chain
+  // of forks, so a whole family of children must behave as independent
+  // streams: per-child uniform means on target, negligible lag-0 cross-
+  // correlation between siblings (and with the parent), and no shared
+  // outputs anywhere in the family's early sequences.
+  constexpr int kChildren = 64;
+  constexpr int kDraws = 20000;
+  Rng parent(101);
+  std::vector<Rng> children;
+  children.reserve(kChildren);
+  for (int c = 0; c < kChildren; ++c) children.push_back(parent.fork());
+
+  std::vector<double> parent_draws(kDraws);
+  for (auto& x : parent_draws) x = parent.uniform();
+  std::vector<double> previous = parent_draws;
+  for (int c = 0; c < kChildren; ++c) {
+    std::vector<double> draws(kDraws);
+    double sum = 0.0;
+    for (auto& x : draws) {
+      x = children[static_cast<std::size_t>(c)].uniform();
+      sum += x;
+    }
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.01) << "child " << c;
+    // Lag-0 sample correlation against the parent and the previous child;
+    // independent uniforms give |rho| ~ 1/sqrt(kDraws) ~ 0.007.
+    const auto correlation = [&](const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+      double ma = 0.0, mb = 0.0;
+      for (int i = 0; i < kDraws; ++i) {
+        ma += a[static_cast<std::size_t>(i)];
+        mb += b[static_cast<std::size_t>(i)];
+      }
+      ma /= kDraws;
+      mb /= kDraws;
+      double cov = 0.0, va = 0.0, vb = 0.0;
+      for (int i = 0; i < kDraws; ++i) {
+        const double da = a[static_cast<std::size_t>(i)] - ma;
+        const double db = b[static_cast<std::size_t>(i)] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+      }
+      return cov / std::sqrt(va * vb);
+    };
+    EXPECT_LT(std::abs(correlation(draws, parent_draws)), 0.03)
+        << "child " << c << " vs parent";
+    EXPECT_LT(std::abs(correlation(draws, previous)), 0.03)
+        << "child " << c << " vs previous stream";
+    previous = std::move(draws);
+  }
+
+  // Overlap: the families' early raw outputs must all be distinct.
+  std::set<std::uint64_t> seen;
+  Rng parent2(101);
+  for (int c = 0; c < kChildren; ++c) {
+    Rng child = parent2.fork();
+    for (int i = 0; i < 64; ++i) seen.insert(child.next_u64());
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kChildren) * 64u);
+}
+
 TEST(Rng, PermutationIsAPermutation) {
   Rng rng(41);
   const auto perm = rng.permutation(50);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "numerics/rng.hpp"
 #include "sim/rate_estimator.hpp"
 #include "sim/tracker.hpp"
 
@@ -68,6 +72,172 @@ TEST(Simulator, PastSchedulingThrows) {
   sim.run_until(5.0);
   EXPECT_THROW((void)sim.schedule_at(1.0, [] {}), std::invalid_argument);
   EXPECT_THROW((void)sim.run_until(2.0), std::invalid_argument);
+}
+
+TEST(Simulator, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run_until(1.5);
+  EXPECT_EQ(fired, 1);
+  sim.cancel(id);  // already fired: must not disturb the pending event
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, DoubleCancelIsNoOp) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.schedule_at(1.5, [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.cancel(id);  // second cancel must not underflow the live count
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(2.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelBogusIdIsNoOp) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(0);                     // the "no event" sentinel
+  sim.cancel(0xdeadbeefdeadbeefULL);  // never issued
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, PendingEventsCountsLiveOnly) {
+  // Regression: cancelled events used to linger as tombstones, so
+  // pending_events() (heap size minus tombstones) could drift — and with
+  // enough cancels the subtraction underflowed. Now it must track the
+  // live population exactly at every step.
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_at(1.0 + i, [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  for (int i = 0; i < 100; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(sim.pending_events(), 50u);
+  for (const EventId id : ids) sim.cancel(id);  // re-cancels are no-ops
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_until(200.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, SlotReuseDoesNotConfuseCancel) {
+  Simulator sim;
+  bool first = false, second = false;
+  const EventId stale = sim.schedule_at(1.0, [&] { first = true; });
+  sim.cancel(stale);
+  // The freed slot is reused under a fresh generation; the stale handle
+  // must not reach the new occupant.
+  const EventId fresh = sim.schedule_at(2.0, [&] { second = true; });
+  sim.cancel(stale);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(3.0);
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  sim.cancel(fresh);  // post-fire cancel of the reused slot: no-op
+}
+
+TEST(Simulator, FifoOrderSurvivesCancellation) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sim.schedule_at(1.0, [&order, i] { order.push_back(i); }));
+  }
+  sim.cancel(ids[1]);
+  sim.cancel(ids[4]);
+  sim.cancel(ids[7]);
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5, 6}));
+}
+
+TEST(Simulator, RescheduleFromInsideAction) {
+  // An action that schedules new work can land in the slot it just
+  // vacated; ids must stay distinguishable.
+  Simulator sim;
+  int fired = 0;
+  EventId inner = 0;
+  sim.schedule_at(1.0, [&] {
+    inner = sim.schedule_in(1.0, [&] { ++fired; });
+  });
+  sim.run_until(1.5);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  sim.cancel(inner);  // already fired
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DifferentialAgainstReferenceModel) {
+  // Randomized schedule/cancel workload checked against a naive reference
+  // queue (linear scan, (time, insertion seq) order). Any divergence in
+  // firing order or survivor set is a kernel bug.
+  struct RefEvent {
+    double time;
+    int tag;
+    bool cancelled = false;
+  };
+  numerics::Rng rng(20260805);
+  for (int trial = 0; trial < 20; ++trial) {
+    Simulator sim;
+    std::vector<RefEvent> reference;
+    std::vector<EventId> ids;
+    std::vector<int> fired;
+    const int n = 200;
+    for (int tag = 0; tag < n; ++tag) {
+      const double t = rng.uniform(0.0, 100.0);
+      ids.push_back(sim.schedule_at(t, [&fired, tag] { fired.push_back(tag); }));
+      reference.push_back({t, tag});
+    }
+    for (int k = 0; k < n / 2; ++k) {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(n)));
+      sim.cancel(ids[victim]);
+      reference[victim].cancelled = true;
+    }
+    sim.run_until(200.0);
+    std::vector<RefEvent> expected;
+    for (const auto& e : reference) {
+      if (!e.cancelled) expected.push_back(e);
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const RefEvent& a, const RefEvent& b) {
+                       return a.time < b.time;
+                     });
+    ASSERT_EQ(fired.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(fired[i], expected[i].tag) << "trial " << trial << " pos " << i;
+    }
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+}
+
+TEST(Simulator, LargeHeapStress) {
+  Simulator sim;
+  numerics::Rng rng(7);
+  std::size_t fired = 0;
+  double last = -1.0;
+  for (int i = 0; i < 50000; ++i) {
+    sim.schedule_at(rng.uniform(0.0, 1000.0), [&] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+      ++fired;
+    });
+  }
+  EXPECT_EQ(sim.pending_events(), 50000u);
+  sim.run_until(1000.0);
+  EXPECT_EQ(fired, 50000u);
+  EXPECT_EQ(sim.pending_events(), 0u);
 }
 
 TEST(Tracker, TimeAverageOfSquareWave) {

@@ -7,6 +7,9 @@
 #   GW_BENCH_OUT_DIR   output directory (default <bin dir>/out)
 #   GW_BENCH_REPEAT    reps per bench (default 3)
 #   GW_BENCH_LABEL     manifest label for the run (default "suite")
+#   GW_BENCH_THREADS   --threads for the parallel sweep loops (default 1;
+#                      results are identical for any value, and the count
+#                      is stamped into each run manifest)
 #
 # Normally invoked via `cmake --build build --target bench_suite`, which
 # sets the first three. Produces $GW_BENCH_OUT_DIR/BENCH_SUITE.json and
@@ -18,6 +21,7 @@ BENCHSTAT="${GW_BENCHSTAT:-build/tools/gw-benchstat}"
 OUT_DIR="${GW_BENCH_OUT_DIR:-${BIN_DIR}/out}"
 REPEAT="${GW_BENCH_REPEAT:-3}"
 LABEL="${GW_BENCH_LABEL:-suite}"
+THREADS="${GW_BENCH_THREADS:-1}"
 
 if [[ ! -d "${BIN_DIR}" ]]; then
   echo "run_bench_suite: no bench binary dir at ${BIN_DIR}" >&2
@@ -47,6 +51,7 @@ for bench in "${BIN_DIR}"/bench_*; do
   fi
   echo "=== ${name} (repeat ${reps}) ==="
   if ! "${bench}" --json "${out}" --repeat "${reps}" --label "${LABEL}" \
+      --threads "${THREADS}" \
       "${extra[@]+"${extra[@]}"}" > "${OUT_DIR}/${name}.log" 2>&1; then
     echo "run_bench_suite: ${name} FAILED (see ${OUT_DIR}/${name}.log)" >&2
     status=1

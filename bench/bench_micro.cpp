@@ -5,18 +5,63 @@
 // --benchmark_* flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/fair_share.hpp"
 #include "core/nash.hpp"
 #include "core/proportional.hpp"
+#include "core/weighted_serial.hpp"
 #include "numerics/eigen.hpp"
 #include "numerics/rng.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
+
+// ---- heap-allocation counter (E-EVAL zero-alloc verdicts) --------------
+//
+// Replacing the global operator new routes every heap allocation in the
+// process through this counter, so the E-EVAL section can assert that a
+// warmed-up evaluation loop performs exactly zero allocations. The deltas
+// are read outside benchmark timing loops; the relaxed counter itself
+// costs one atomic increment per allocation, which is noise next to
+// malloc.
+namespace gw_benchalloc {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+inline std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace gw_benchalloc
+
+// GCC pairs the malloc in the replaced operator new with the free in the
+// replaced operator delete and flags the (correct) combination when both
+// inline into the same frame; the pairing is intentional here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  gw_benchalloc::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  gw_benchalloc::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -71,6 +116,142 @@ void BM_NashSolveFs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NashSolveFs)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- E-EVAL: span/workspace evaluation core --------------------------
+
+std::vector<double> ramp_weights(std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 0.5 + 0.25 * static_cast<double>(i % 5);
+  }
+  return w;
+}
+
+void BM_EvalCongestionLegacy(benchmark::State& state) {
+  // Legacy vector API: one heap-allocated result vector per call.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::WeightedSerialAllocation alloc(ramp_weights(n));
+  const auto rates = ramp_rates(n, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.congestion(rates));
+  }
+}
+BENCHMARK(BM_EvalCongestionLegacy)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EvalCongestionSpan(benchmark::State& state) {
+  // Span primitive with a caller-held workspace: allocation-free.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::WeightedSerialAllocation alloc(ramp_weights(n));
+  const auto rates = ramp_rates(n, 0.8);
+  std::vector<double> out(n);
+  core::EvalWorkspace ws;
+  for (auto _ : state) {
+    alloc.congestion_into(rates, out, ws);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_EvalCongestionSpan)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EvalBestResponseSpan(benchmark::State& state) {
+  // The solver hot path: pre-validated rates, scan + Brent refinement all
+  // through the workspace overload (compare against BM_BestResponseFs,
+  // which goes through the legacy vector API).
+  const core::FairShareAllocation alloc;
+  const core::LinearUtility utility(1.0, 0.25);
+  const core::BestResponseOptions options;
+  std::vector<double> rates = ramp_rates(4, 0.6);
+  core::AllocationFunction::validate_rates(rates);
+  core::EvalWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_response(
+        alloc, utility, std::span<double>(rates), 1, options, ws));
+  }
+}
+BENCHMARK(BM_EvalBestResponseSpan);
+
+void BM_EvalJacobianNumeric(benchmark::State& state) {
+  // Richardson finite differences of congestion_of: the default every
+  // discipline fell back to before the closed forms landed.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::WeightedSerialAllocation alloc(ramp_weights(n));
+  const auto rates = ramp_rates(n, 0.8);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += alloc.core::AllocationFunction::partial(i, j, rates);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EvalJacobianNumeric)->Arg(4)->Arg(8);
+
+void BM_EvalJacobianClosed(benchmark::State& state) {
+  // Closed-form batched Jacobian: one sort, then O(n^2) arithmetic.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::WeightedSerialAllocation alloc(ramp_weights(n));
+  const auto rates = ramp_rates(n, 0.8);
+  numerics::Matrix jac(n, n);
+  core::EvalWorkspace ws;
+  for (auto _ : state) {
+    alloc.jacobian_into(rates, jac, ws);
+    benchmark::DoNotOptimize(jac(0, 0));
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_EvalJacobianClosed)->Arg(4)->Arg(8);
+
+/// E-EVAL zero-allocation verdicts: once the workspace is warm, the span
+/// evaluation loops must not touch the heap at all. Counter deltas are
+/// taken around plain loops (not benchmark timing loops) so the numbers
+/// are exact.
+void run_eval_section() {
+  gw::bench::banner(
+      "E-EVAL span evaluation core", "DESIGN.md (validate-once contract)",
+      "steady-state congestion_into and the span best_response scan "
+      "perform zero heap allocations once the workspace is warm");
+
+  const core::FairShareAllocation fair;
+  const core::WeightedSerialAllocation weighted(ramp_weights(16));
+  core::EvalWorkspace ws;
+  const auto rates = ramp_rates(16, 0.8);
+  std::vector<double> out(rates.size());
+  fair.congestion_into(rates, out, ws);  // warm the workspace buffers
+  weighted.congestion_into(rates, out, ws);
+
+  const std::uint64_t c0 = gw_benchalloc::heap_allocs();
+  for (int k = 0; k < 1000; ++k) {
+    fair.congestion_into(rates, out, ws);
+    weighted.congestion_into(rates, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const std::uint64_t congestion_allocs = gw_benchalloc::heap_allocs() - c0;
+
+  const core::LinearUtility utility(1.0, 0.25);
+  const core::BestResponseOptions options;
+  std::vector<double> br_rates = ramp_rates(8, 0.6);
+  core::AllocationFunction::validate_rates(br_rates);
+  benchmark::DoNotOptimize(core::best_response(
+      fair, utility, std::span<double>(br_rates), 1, options, ws));
+  const std::uint64_t b0 = gw_benchalloc::heap_allocs();
+  for (int k = 0; k < 50; ++k) {
+    benchmark::DoNotOptimize(core::best_response(
+        fair, utility, std::span<double>(br_rates), 1, options, ws));
+  }
+  const std::uint64_t br_allocs = gw_benchalloc::heap_allocs() - b0;
+
+  gw::bench::table_header({"loop", "iterations", "heap allocs"});
+  gw::bench::table_row({"congestion_into x2 disciplines", "1000",
+                        std::to_string(congestion_allocs)});
+  gw::bench::table_row(
+      {"best_response span scan", "50", std::to_string(br_allocs)});
+  gw::bench::verdict(congestion_allocs == 0,
+                     "congestion_into steady state is allocation-free");
+  gw::bench::verdict(br_allocs == 0,
+                     "span best_response scan loop is allocation-free");
+}
 
 void BM_Eigenvalues(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -252,6 +433,7 @@ int run() {
     std::printf("  (microbenchmarks run once per process; rep skipped)\n");
     gw::bench::verdict(true, "microbenchmarks completed (first rep)");
   }
+  run_eval_section();
   return gw::bench::failures();
 }
 

@@ -7,7 +7,24 @@
 
 namespace gw::core {
 
-void AllocationFunction::validate_rates(const std::vector<double>& rates) {
+namespace {
+
+/// Workspace behind the legacy vector wrappers. Thread-local so concurrent
+/// solvers (exec::parallel_for sweeps) never share scratch; *_into
+/// implementations only ever use the workspace passed to them, so the
+/// wrapper's use is never re-entered.
+EvalWorkspace& wrapper_workspace() {
+  thread_local EvalWorkspace ws;
+  return ws;
+}
+
+}  // namespace
+
+EvalWorkspace& AllocationFunction::scratch_workspace() {
+  return wrapper_workspace();
+}
+
+void AllocationFunction::validate_rates(std::span<const double> rates) {
   if (rates.empty()) {
     throw std::invalid_argument("allocation: empty rate vector");
   }
@@ -18,9 +35,67 @@ void AllocationFunction::validate_rates(const std::vector<double>& rates) {
   }
 }
 
+double AllocationFunction::congestion_of_into(std::size_t i,
+                                              std::span<const double> rates,
+                                              EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  ws.ensure(n);
+  congestion_into(rates, std::span<double>(ws.cbuf.data(), n), ws);
+  return ws.cbuf[i];
+}
+
+void AllocationFunction::jacobian_into(std::span<const double> rates,
+                                       numerics::Matrix& out,
+                                       EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  // The legacy partial() signature wants a vector; stage the rates in the
+  // workspace's value buffer (rates must not alias ws per the contract).
+  ws.ensure(n);
+  ws.a.assign(rates.begin(), rates.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = partial(i, j, ws.a);
+  }
+}
+
+void AllocationFunction::second_partials_into(std::span<const double> rates,
+                                              numerics::Matrix& out,
+                                              EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  ws.ensure(n);
+  ws.a.assign(rates.begin(), rates.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out(i, j) = second_partial(i, j, ws.a);
+    }
+  }
+}
+
+std::vector<double> AllocationFunction::congestion(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  std::vector<double> out(rates.size());
+  congestion_into(rates, out, wrapper_workspace());
+  return out;
+}
+
 double AllocationFunction::congestion_of(
     std::size_t i, const std::vector<double>& rates) const {
-  return congestion(rates).at(i);
+  validate_rates(rates);
+  if (i >= rates.size()) {
+    throw std::out_of_range("allocation: congestion_of index");
+  }
+  return congestion_of_into(i, rates, wrapper_workspace());
+}
+
+numerics::Matrix AllocationFunction::jacobian(
+    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  numerics::Matrix out(n, n);
+  jacobian_into(rates, out, wrapper_workspace());
+  return out;
 }
 
 double AllocationFunction::partial(std::size_t i, std::size_t j,
@@ -35,16 +110,6 @@ double AllocationFunction::second_partial(
   return numerics::mixed_partial(
       [this, i](const std::vector<double>& r) { return congestion_of(i, r); },
       rates, i, j);
-}
-
-numerics::Matrix AllocationFunction::jacobian(
-    const std::vector<double>& rates) const {
-  const std::size_t n = rates.size();
-  numerics::Matrix out(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) out(i, j) = partial(i, j, rates);
-  }
-  return out;
 }
 
 SubsystemAllocation::SubsystemAllocation(
@@ -71,26 +136,48 @@ std::string SubsystemAllocation::name() const {
          " of " + std::to_string(frozen_rates_.size()) + ")";
 }
 
-std::vector<double> SubsystemAllocation::embed(
-    const std::vector<double>& rates) const {
+void SubsystemAllocation::embed_into(std::span<const double> rates,
+                                     std::span<double> full) const {
   if (rates.size() != free_indices_.size()) {
     throw std::invalid_argument("SubsystemAllocation: wrong reduced size");
   }
-  std::vector<double> full = frozen_rates_;
+  for (std::size_t k = 0; k < frozen_rates_.size(); ++k) {
+    full[k] = frozen_rates_[k];
+  }
   for (std::size_t k = 0; k < free_indices_.size(); ++k) {
     full[free_indices_[k]] = rates[k];
   }
+}
+
+std::vector<double> SubsystemAllocation::embed(
+    const std::vector<double>& rates) const {
+  std::vector<double> full(frozen_rates_.size());
+  embed_into(rates, full);
   return full;
 }
 
-std::vector<double> SubsystemAllocation::congestion(
-    const std::vector<double>& rates) const {
-  const auto full = base_->congestion(embed(rates));
-  std::vector<double> reduced(free_indices_.size());
+void SubsystemAllocation::congestion_into(std::span<const double> rates,
+                                          std::span<double> out,
+                                          EvalWorkspace& ws) const {
+  const std::size_t base_n = frozen_rates_.size();
+  ws.ensure(base_n);
+  const std::span<double> full(ws.a.data(), base_n);
+  const std::span<double> base_out(ws.b.data(), base_n);
+  embed_into(rates, full);
+  base_->congestion_into(full, base_out, ws.child());
   for (std::size_t k = 0; k < free_indices_.size(); ++k) {
-    reduced[k] = full[free_indices_[k]];
+    out[k] = base_out[free_indices_[k]];
   }
-  return reduced;
+}
+
+double SubsystemAllocation::congestion_of_into(std::size_t i,
+                                               std::span<const double> rates,
+                                               EvalWorkspace& ws) const {
+  const std::size_t base_n = frozen_rates_.size();
+  ws.ensure(base_n);
+  const std::span<double> full(ws.a.data(), base_n);
+  embed_into(rates, full);
+  return base_->congestion_of_into(free_indices_[i], full, ws.child());
 }
 
 double SubsystemAllocation::partial(std::size_t i, std::size_t j,

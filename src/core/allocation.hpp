@@ -8,13 +8,26 @@
 //   * be symmetric (permuting r permutes c), and
 //   * be defined on all of R^N_+, with +infinity entries where users
 //     saturate (paper footnote 6).
+//
+// Two evaluation surfaces:
+//   * The span/workspace primitives (congestion_into, congestion_of_into,
+//     jacobian_into, second_partials_into) are the virtual operations.
+//     They take pre-validated rates, write into caller-provided spans and
+//     draw scratch from an EvalWorkspace, so solver inner loops run
+//     without heap allocation (see DESIGN.md, "validate-once evaluation
+//     contract").
+//   * The legacy vector-returning API (congestion, congestion_of,
+//     jacobian) is a set of thin non-virtual wrappers: validate, feed a
+//     thread-local workspace, delegate. Existing callers are unchanged.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/eval_workspace.hpp"
 #include "numerics/matrix.hpp"
 
 namespace gw::core {
@@ -26,14 +39,52 @@ class AllocationFunction {
   /// Human-readable discipline name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
 
+  // ---- span/workspace primitives (pre-validated rates) -----------------
+
+  /// Writes C(r) into `out`; entries may be +infinity. Requires
+  /// out.size() == rates.size(), rates pre-validated (validate_rates), and
+  /// `rates`/`out` not aliasing `ws` buffers. Performs no validation and,
+  /// once `ws` is warm, no heap allocation.
+  virtual void congestion_into(std::span<const double> rates,
+                               std::span<double> out,
+                               EvalWorkspace& ws) const = 0;
+
+  /// Single component C_i(r). Default: evaluates the full vector into the
+  /// workspace's reserved buffer; disciplines with a cheaper single-user
+  /// path override it.
+  [[nodiscard]] virtual double congestion_of_into(std::size_t i,
+                                                  std::span<const double> rates,
+                                                  EvalWorkspace& ws) const;
+
+  /// Batched Jacobian J_ij = dC_i / dr_j written into `out` (resized to
+  /// n x n). Default loops partial(); the serial family overrides with a
+  /// one-sort whole-matrix fill.
+  virtual void jacobian_into(std::span<const double> rates,
+                             numerics::Matrix& out, EvalWorkspace& ws) const;
+
+  /// Batched own-row second partials out(i, j) = d^2 C_i / (dr_i dr_j)
+  /// (the matrix consumed by the FDC/relaxation machinery). Default loops
+  /// second_partial().
+  virtual void second_partials_into(std::span<const double> rates,
+                                    numerics::Matrix& out,
+                                    EvalWorkspace& ws) const;
+
+  // ---- legacy vector API (thin wrappers, behavior unchanged) -----------
+
   /// Congestion vector C(r); entries may be +infinity.
   /// Requires all rates >= 0 (throws std::invalid_argument otherwise).
-  [[nodiscard]] virtual std::vector<double> congestion(
-      const std::vector<double>& rates) const = 0;
+  [[nodiscard]] std::vector<double> congestion(
+      const std::vector<double>& rates) const;
 
-  /// Single component C_i(r). Default: evaluates the full vector.
-  [[nodiscard]] virtual double congestion_of(
-      std::size_t i, const std::vector<double>& rates) const;
+  /// Single component C_i(r).
+  [[nodiscard]] double congestion_of(std::size_t i,
+                                     const std::vector<double>& rates) const;
+
+  /// Jacobian matrix J_ij = dC_i / dr_j.
+  [[nodiscard]] numerics::Matrix jacobian(
+      const std::vector<double>& rates) const;
+
+  // ---- derivatives (legacy signatures; closed-form where available) ----
 
   /// dC_i / dr_j. Default: Richardson-extrapolated numeric differentiation
   /// of congestion_of; override with closed forms where available.
@@ -44,13 +95,16 @@ class AllocationFunction {
   [[nodiscard]] virtual double second_partial(
       std::size_t i, std::size_t j, const std::vector<double>& rates) const;
 
-  /// Jacobian matrix J_ij = dC_i / dr_j.
-  [[nodiscard]] numerics::Matrix jacobian(
-      const std::vector<double>& rates) const;
+  /// Validates a rate vector (non-negative, non-empty); throws
+  /// std::invalid_argument. Solvers call this once at entry and then stay
+  /// on the unvalidated *_into primitives.
+  static void validate_rates(std::span<const double> rates);
 
  protected:
-  /// Validates a rate vector (non-negative, non-empty).
-  static void validate_rates(const std::vector<double>& rates);
+  /// The thread-local workspace behind the legacy vector wrappers. Legacy
+  /// derivative overrides (partial/second_partial) may draw scratch from
+  /// it — it is never held across a virtual call that could re-enter it.
+  [[nodiscard]] static EvalWorkspace& scratch_workspace();
 };
 
 /// The induced allocation function of a subsystem (paper Section 4):
@@ -67,8 +121,11 @@ class SubsystemAllocation final : public AllocationFunction {
                       std::vector<std::size_t> free_indices);
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::vector<double> congestion(
-      const std::vector<double>& rates) const override;
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       EvalWorkspace& ws) const override;
+  [[nodiscard]] double congestion_of_into(std::size_t i,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const override;
   [[nodiscard]] double partial(std::size_t i, std::size_t j,
                                const std::vector<double>& rates) const override;
   [[nodiscard]] double second_partial(
@@ -85,6 +142,10 @@ class SubsystemAllocation final : public AllocationFunction {
   /// Maps a reduced (free-user) rate vector into the full base vector.
   [[nodiscard]] std::vector<double> embed(
       const std::vector<double>& rates) const;
+
+  /// Allocation-free embed: writes the full base-system rate vector into
+  /// `full` (full.size() == base_size()).
+  void embed_into(std::span<const double> rates, std::span<double> full) const;
 
  private:
   std::shared_ptr<const AllocationFunction> base_;

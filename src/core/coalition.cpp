@@ -27,24 +27,33 @@ CoalitionResult find_coalition_deviation(
     }
   }
 
+  AllocationFunction::validate_rates(rates);
+
+  // Evaluation state hoisted out of the search: `probe` starts as the
+  // status quo and only coalition coordinates are rewritten per candidate,
+  // so the whole grid/Nelder-Mead sweep runs allocation-free.
+  EvalWorkspace ws;
+  std::vector<double> probe = rates;
+  std::vector<double> queues(n);
+
   // Baseline utilities for the coalition members.
-  const auto base_queues = alloc.congestion(rates);
+  alloc.congestion_into(rates, queues, ws);
   std::vector<double> base_utility(coalition.size());
   for (std::size_t k = 0; k < coalition.size(); ++k) {
     const std::size_t member = coalition[k];
-    base_utility[k] = profile[member]->value(rates[member],
-                                             base_queues[member]);
+    base_utility[k] = profile[member]->value(rates[member], queues[member]);
   }
 
   // min over members of the utility gain for a joint rate choice.
   auto min_gain_at = [&](const std::vector<double>& member_rates) -> double {
-    std::vector<double> probe = rates;
     for (std::size_t k = 0; k < coalition.size(); ++k) {
       const double r = member_rates[k];
-      if (r < options.r_min || r > options.r_max) return -kInf;
+      // The negated comparison also rejects NaN candidates from the
+      // refinement simplex.
+      if (!(r >= options.r_min && r <= options.r_max)) return -kInf;
       probe[coalition[k]] = r;
     }
-    const auto queues = alloc.congestion(probe);
+    alloc.congestion_into(probe, queues, ws);
     double worst = kInf;
     for (std::size_t k = 0; k < coalition.size(); ++k) {
       const std::size_t member = coalition[k];

@@ -5,12 +5,16 @@
 
 namespace gw::core {
 
-std::vector<double> QuadraticSeparableAllocation::congestion(
-    const std::vector<double>& rates) const {
-  validate_rates(rates);
-  std::vector<double> out(rates.size());
+void QuadraticSeparableAllocation::congestion_into(
+    std::span<const double> rates, std::span<double> out,
+    EvalWorkspace& /*ws*/) const {
   for (std::size_t i = 0; i < rates.size(); ++i) out[i] = rates[i] * rates[i];
-  return out;
+}
+
+double QuadraticSeparableAllocation::congestion_of_into(
+    std::size_t i, std::span<const double> rates,
+    EvalWorkspace& /*ws*/) const {
+  return rates[i] * rates[i];
 }
 
 double QuadraticSeparableAllocation::partial(

@@ -24,8 +24,11 @@ class QuadraticSeparableAllocation final : public AllocationFunction {
   [[nodiscard]] std::string name() const override {
     return "QuadraticSeparable";
   }
-  [[nodiscard]] std::vector<double> congestion(
-      const std::vector<double>& rates) const override;
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       EvalWorkspace& ws) const override;
+  [[nodiscard]] double congestion_of_into(std::size_t i,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const override;
   [[nodiscard]] double partial(std::size_t i, std::size_t j,
                                const std::vector<double>& rates) const override;
   [[nodiscard]] double second_partial(

@@ -1,0 +1,78 @@
+// Reusable scratch arena for allocation-function evaluation.
+//
+// Every AllocationFunction evaluation primitive (congestion_into,
+// congestion_of_into, jacobian_into, second_partials_into) threads an
+// EvalWorkspace through the call so the per-call index/sort/serial-load
+// buffers are sized once and reused. Solvers create one workspace per
+// solve (or per thread) and run millions of evaluations without touching
+// the heap; the legacy vector-returning wrappers feed a thread-local
+// workspace so existing callers keep their exact API and behavior.
+//
+// Buffer discipline (see DESIGN.md "validate-once evaluation contract"):
+//   * order/rank/sorted/serial/a/b belong to the innermost *_into frame
+//     currently executing; implementations must not call the legacy
+//     wrappers (or any other API that re-enters the same workspace level)
+//     while holding data in them.
+//   * Composite allocations (mixture, subsystem, network) evaluate their
+//     inner allocations against child() so the nesting levels never share
+//     buffers.
+//   * cbuf is reserved for the base-class default congestion_of_into and
+//     the legacy wrappers; congestion_into implementations never touch it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace gw::core {
+
+class EvalWorkspace {
+ public:
+  EvalWorkspace() = default;
+  EvalWorkspace(const EvalWorkspace&) = delete;
+  EvalWorkspace& operator=(const EvalWorkspace&) = delete;
+  EvalWorkspace(EvalWorkspace&&) = default;
+  EvalWorkspace& operator=(EvalWorkspace&&) = default;
+
+  std::vector<std::size_t> order;  ///< ascending sort order
+  std::vector<std::size_t> rank;   ///< inverse of order
+  std::vector<double> sorted;      ///< rates in sorted order
+  std::vector<double> serial;      ///< serial cumulative loads
+  std::vector<double> a;           ///< general-purpose value buffer
+  std::vector<double> b;           ///< second general-purpose buffer
+  std::vector<double> cbuf;        ///< reserved: congestion_of_into default
+
+  /// Grows every buffer to at least n + 1 elements (the +1 absorbs the
+  /// suffix-sum style uses that index one past the end). Never shrinks, so
+  /// spans into the buffers stay valid across ensure() calls with
+  /// non-increasing n.
+  void ensure(std::size_t n) {
+    if (capacity_ <= n) grow(n);
+  }
+
+  /// Nested workspace for composite allocations (subsystem embedding,
+  /// mixtures, multi-switch networks). Created on first use, then reused;
+  /// steady-state evaluations stay allocation-free at any nesting depth.
+  [[nodiscard]] EvalWorkspace& child() {
+    if (!child_) child_ = std::make_unique<EvalWorkspace>();
+    return *child_;
+  }
+
+ private:
+  void grow(std::size_t n) {
+    const std::size_t m = n + 1;
+    order.resize(m);
+    rank.resize(m);
+    sorted.resize(m);
+    serial.resize(m);
+    a.resize(m);
+    b.resize(m);
+    cbuf.resize(m);
+    capacity_ = m;
+  }
+
+  std::size_t capacity_ = 0;
+  std::unique_ptr<EvalWorkspace> child_;
+};
+
+}  // namespace gw::core

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 
+#include "core/serial_common.hpp"
 #include "queueing/mm1.hpp"
 
 namespace gw::core {
@@ -13,81 +13,13 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Ascending sort order with index tie-break (stable across permutations of
-/// equal values up to relabeling, which symmetry requires).
-std::vector<std::size_t> sorted_order(const std::vector<double>& rates) {
-  std::vector<std::size_t> order(rates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (rates[a] != rates[b]) return rates[a] < rates[b];
-    return a < b;
-  });
-  return order;
-}
-
-/// Serial cumulative loads S_k (1-based ranks k = 1..N; returned 0-indexed
-/// with serial[k-1] = S_k) for the sorted rates.
-std::vector<double> serial_loads(const std::vector<double>& sorted_rates) {
-  const std::size_t n = sorted_rates.size();
-  std::vector<double> serial(n);
-  double prefix = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    serial[k] = static_cast<double>(n - k) * sorted_rates[k] + prefix;
-    prefix += sorted_rates[k];
-  }
-  return serial;
-}
-
-}  // namespace
-
-std::vector<double> FairShareAllocation::congestion(
-    const std::vector<double>& rates) const {
-  validate_rates(rates);
-  const std::size_t n = rates.size();
-  const auto order = sorted_order(rates);
-  std::vector<double> sorted_rates(n);
-  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
-  const auto serial = serial_loads(sorted_rates);
-
-  std::vector<double> out(n, 0.0);
-  double running = 0.0;
-  double g_prev = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    const double g_here = queueing::g(serial[k]);
-    if (std::isinf(g_here)) {
-      running = kInf;
-    } else {
-      running += (g_here - g_prev) / static_cast<double>(n - k);
-      g_prev = g_here;
-    }
-    out[order[k]] = running;
-  }
-  return out;
-}
-
-double FairShareAllocation::congestion_of(
-    std::size_t i, const std::vector<double>& rates) const {
-  return congestion(rates).at(i);
-}
-
-double FairShareAllocation::partial(std::size_t i, std::size_t j,
-                                    const std::vector<double>& rates) const {
-  validate_rates(rates);
-  const std::size_t n = rates.size();
-  const auto order = sorted_order(rates);
-  std::vector<std::size_t> rank(n);
-  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
-  std::vector<double> sorted_rates(n);
-  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
-  const auto serial = serial_loads(sorted_rates);
-
-  const std::size_t k = rank.at(i);   // rank of the differentiated component
-  const std::size_t jr = rank.at(j);  // rank of the variable
+/// dC_i/dr_j from the serial loads, for the rank k of i and rank jr of j:
+///   coefficient of r_(jr) inside S_m is (n - jr) at m == jr, 1 for
+///   m > jr, 0 below; telescoping through g' gives the sum below.
+double partial_from_serial(std::span<const double> serial, std::size_t n,
+                           std::size_t k, std::size_t jr) {
   if (jr > k) return 0.0;  // larger-rate users never affect C_i
   if (serial[k] >= 1.0) return kInf;  // saturated component
-
-  // Coefficient of r_(jr) inside S_m (0-indexed rank m):
-  //   (n - jr) at m == jr, 1 for m > jr, 0 below.
   auto coefficient = [&](std::size_t m) -> double {
     if (m < jr) return 0.0;
     return (m == jr) ? static_cast<double>(n - jr) : 1.0;
@@ -102,34 +34,142 @@ double FairShareAllocation::partial(std::size_t i, std::size_t j,
   return acc;
 }
 
+/// d^2 C_i / (dr_i dr_j): dC_i/dr_i = g'(S_k), differentiated once more.
+double second_partial_from_serial(std::span<const double> serial,
+                                  std::size_t n, std::size_t k,
+                                  std::size_t jr) {
+  if (jr > k) return 0.0;
+  if (serial[k] >= 1.0) return kInf;
+  const double coefficient = (jr == k) ? static_cast<double>(n - k) : 1.0;
+  return coefficient * queueing::g_double_prime(serial[k]);
+}
+
+}  // namespace
+
+void FairShareAllocation::congestion_into(std::span<const double> rates,
+                                          std::span<double> out,
+                                          EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+
+  double running = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g_here = queueing::g(serial[k]);
+    if (std::isinf(g_here)) {
+      running = kInf;
+    } else {
+      running += (g_here - g_prev) / static_cast<double>(n - k);
+      g_prev = g_here;
+    }
+    out[order[k]] = running;
+  }
+}
+
+double FairShareAllocation::congestion_of_into(std::size_t i,
+                                               std::span<const double> rates,
+                                               EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+
+  // Accumulate the running share only through user i's own rank: shares of
+  // larger-rate users never feed back into C_i (partial insularity).
+  double running = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g_here = queueing::g(serial[k]);
+    if (std::isinf(g_here)) {
+      running = kInf;
+    } else {
+      running += (g_here - g_prev) / static_cast<double>(n - k);
+      g_prev = g_here;
+    }
+    if (order[k] == i) return running;
+  }
+  return running;  // unreachable for valid i
+}
+
+void FairShareAllocation::jacobian_into(std::span<const double> rates,
+                                        numerics::Matrix& out,
+                                        EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+  // One sort for the whole matrix; entries are filled rank-by-rank.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t jr = 0; jr < n; ++jr) {
+      out(order[k], order[jr]) = partial_from_serial(serial, n, k, jr);
+    }
+  }
+}
+
+void FairShareAllocation::second_partials_into(std::span<const double> rates,
+                                               numerics::Matrix& out,
+                                               EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t jr = 0; jr < n; ++jr) {
+      out(order[k], order[jr]) = second_partial_from_serial(serial, n, k, jr);
+    }
+  }
+}
+
+double FairShareAllocation::partial(std::size_t i, std::size_t j,
+                                    const std::vector<double>& rates) const {
+  validate_rates(rates);
+  const std::size_t n = rates.size();
+  EvalWorkspace& ws = scratch_workspace();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<std::size_t> rank(ws.rank.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+  serial::rank_from_order(order, rank);
+  return partial_from_serial(serial, n, rank[i], rank[j]);
+}
+
 double FairShareAllocation::second_partial(
     std::size_t i, std::size_t j, const std::vector<double>& rates) const {
   validate_rates(rates);
   const std::size_t n = rates.size();
-  const auto order = sorted_order(rates);
-  std::vector<std::size_t> rank(n);
-  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
-  std::vector<double> sorted_rates(n);
-  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
-  const auto serial = serial_loads(sorted_rates);
-
-  // dC_i/dr_i = g'(S_i); differentiate once more w.r.t. r_j.
-  const std::size_t k = rank.at(i);
-  const std::size_t jr = rank.at(j);
-  if (jr > k) return 0.0;
-  if (serial[k] >= 1.0) return kInf;
-  const double coefficient =
-      (jr == k) ? static_cast<double>(n - k) : 1.0;
-  return coefficient * queueing::g_double_prime(serial[k]);
+  EvalWorkspace& ws = scratch_workspace();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<std::size_t> rank(ws.rank.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+  serial::rank_from_order(order, rank);
+  return second_partial_from_serial(serial, n, rank[i], rank[j]);
 }
 
 FairShareDecomposition fair_share_decomposition(
     const std::vector<double>& rates) {
   const std::size_t n = rates.size();
   FairShareDecomposition out;
-  out.order = sorted_order(rates);
+  out.order.resize(n);
+  serial::sorted_order_into(rates, out.order);
   std::vector<double> sorted_rates(n);
-  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[out.order[k]];
+  serial::gather_into(rates, out.order, sorted_rates);
 
   out.level_width.resize(n);
   double previous = 0.0;

@@ -25,10 +25,16 @@ class FairShareAllocation final : public AllocationFunction {
  public:
   [[nodiscard]] std::string name() const override { return "FairShare"; }
 
-  [[nodiscard]] std::vector<double> congestion(
-      const std::vector<double>& rates) const override;
-  [[nodiscard]] double congestion_of(
-      std::size_t i, const std::vector<double>& rates) const override;
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       EvalWorkspace& ws) const override;
+  [[nodiscard]] double congestion_of_into(std::size_t i,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const override;
+  void jacobian_into(std::span<const double> rates, numerics::Matrix& out,
+                     EvalWorkspace& ws) const override;
+  void second_partials_into(std::span<const double> rates,
+                            numerics::Matrix& out,
+                            EvalWorkspace& ws) const override;
   [[nodiscard]] double partial(std::size_t i, std::size_t j,
                                const std::vector<double>& rates) const override;
   [[nodiscard]] double second_partial(

@@ -15,21 +15,37 @@ std::string MixtureAllocation::name() const {
   return "Mixture(theta=" + std::to_string(theta_) + ")";
 }
 
-std::vector<double> MixtureAllocation::congestion(
-    const std::vector<double>& rates) const {
-  auto a = proportional_.congestion(rates);
-  const auto b = fair_share_.congestion(rates);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    // inf * 0 must not produce NaN for degenerate thetas.
-    if (theta_ == 0.0) {
-      a[i] = b[i];
-    } else if (theta_ == 1.0) {
-      // keep a[i]
-    } else {
-      a[i] = theta_ * a[i] + (1.0 - theta_) * b[i];
-    }
+void MixtureAllocation::congestion_into(std::span<const double> rates,
+                                        std::span<double> out,
+                                        EvalWorkspace& ws) const {
+  // Degenerate thetas delegate outright: inf * 0 must not produce NaN.
+  if (theta_ == 0.0) {
+    fair_share_.congestion_into(rates, out, ws.child());
+    return;
   }
-  return a;
+  if (theta_ == 1.0) {
+    proportional_.congestion_into(rates, out, ws.child());
+    return;
+  }
+  const std::size_t n = rates.size();
+  ws.ensure(n);
+  const std::span<double> fs(ws.a.data(), n);
+  fair_share_.congestion_into(rates, fs, ws.child());
+  proportional_.congestion_into(rates, out, ws.child());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = theta_ * out[i] + (1.0 - theta_) * fs[i];
+  }
+}
+
+double MixtureAllocation::congestion_of_into(std::size_t i,
+                                             std::span<const double> rates,
+                                             EvalWorkspace& ws) const {
+  if (theta_ == 0.0) return fair_share_.congestion_of_into(i, rates, ws.child());
+  if (theta_ == 1.0) {
+    return proportional_.congestion_of_into(i, rates, ws.child());
+  }
+  return theta_ * proportional_.congestion_of_into(i, rates, ws.child()) +
+         (1.0 - theta_) * fair_share_.congestion_of_into(i, rates, ws.child());
 }
 
 double MixtureAllocation::partial(std::size_t i, std::size_t j,

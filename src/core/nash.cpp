@@ -1,8 +1,10 @@
 #include "core/nash.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "numerics/optimize.hpp"
 #include "numerics/rng.hpp"
@@ -26,28 +28,100 @@ void validate_sizes(const UtilityProfile& profile,
   }
 }
 
+/// Per-thread solver scratch: rates are validated once at a solver's entry,
+/// then every sweep / residual / matrix assembly below runs against these
+/// reusable buffers and the workspace without touching the heap.
+struct SolverScratch {
+  EvalWorkspace ws;
+  std::vector<double> rates;       ///< mutable copy for const-rate callers
+  std::vector<double> congestion;  ///< C(r) staging
+  std::vector<double> responses;   ///< synchronous-sweep best responses
+  std::vector<double> diag;        ///< FDC Jacobian diagonal
+  std::vector<std::size_t> order;  ///< sweep order
+  numerics::Matrix jac;            ///< batched dC_i/dr_j
+  numerics::Matrix hess;           ///< batched d2C_i/(dr_i dr_j)
+};
+
+SolverScratch& solver_scratch() {
+  thread_local SolverScratch scratch;
+  return scratch;
+}
+
+/// Marginal-rate-of-substitution derivatives of utility i at (r, c):
+/// M = u_r / u_c, dM/dr and dM/dc by the quotient rule.
+struct MarginalTerms {
+  double dm_dr = 0.0;
+  double dm_dc = 0.0;
+};
+
+MarginalTerms marginal_terms(const Utility& u, double r, double c) {
+  const double ur = u.du_dr(r, c);
+  const double uc = u.du_dc(r, c);
+  const double urr = u.d2u_dr2(r, c);
+  const double ucc = u.d2u_dc2(r, c);
+  const double urc = u.d2u_drdc(r, c);
+  MarginalTerms t;
+  t.dm_dr = (urr * uc - ur * urc) / (uc * uc);
+  t.dm_dc = (urc * uc - ur * ucc) / (uc * uc);
+  return t;
+}
+
+/// In-place Fisher–Yates identical to numerics::Rng::permutation (same
+/// draw sequence, so kRandomPermutation sweeps are bit-for-bit reproducible)
+/// without the per-sweep vector.
+void permutation_into(numerics::Rng& rng, std::span<std::size_t> order) {
+  const std::size_t n = order.size();
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(order[i - 1], order[j]);
+  }
+}
+
 }  // namespace
 
 BestResponse best_response(const AllocationFunction& alloc,
-                           const Utility& utility, std::vector<double> rates,
-                           std::size_t i, const BestResponseOptions& options) {
-  if (i >= rates.size()) throw std::invalid_argument("best_response: bad index");
-  auto payoff = [&](double x) {
-    rates[i] = x;
-    const double c = alloc.congestion_of(i, rates);
-    return utility.value(x, c);
+                           const Utility& utility, std::span<double> rates,
+                           std::size_t i, const BestResponseOptions& options,
+                           EvalWorkspace& ws) {
+  const double saved = rates[i];
+  // Captures are packed behind one pointer so the closure fits
+  // std::function's small-buffer storage: the scan loop must stay
+  // heap-allocation-free (E-EVAL verdict in bench_micro).
+  struct Ctx {
+    const AllocationFunction& alloc;
+    const Utility& utility;
+    std::span<double> rates;
+    std::size_t i;
+    EvalWorkspace& ws;
+  } ctx{alloc, utility, rates, i, ws};
+  auto payoff = [&ctx](double x) {
+    ctx.rates[ctx.i] = x;
+    const double c = ctx.alloc.congestion_of_into(ctx.i, ctx.rates, ctx.ws);
+    return ctx.utility.value(x, c);
   };
   numerics::Optimize1DOptions opt;
   opt.scan_points = options.scan_points;
   const auto found =
       numerics::maximize_scan(payoff, options.r_min, options.r_max, opt);
+  rates[i] = saved;
   return {found.x, found.value};
+}
+
+BestResponse best_response(const AllocationFunction& alloc,
+                           const Utility& utility, std::vector<double> rates,
+                           std::size_t i, const BestResponseOptions& options) {
+  if (i >= rates.size()) throw std::invalid_argument("best_response: bad index");
+  AllocationFunction::validate_rates(rates);
+  return best_response(alloc, utility, std::span<double>(rates), i, options,
+                       solver_scratch().ws);
 }
 
 NashResult solve_nash(const AllocationFunction& alloc,
                       const UtilityProfile& profile, std::vector<double> start,
                       const NashOptions& options) {
   validate_sizes(profile, start);
+  AllocationFunction::validate_rates(start);
   auto& registry = obs::default_registry();
   static auto& solve_seconds =
       registry.histogram("core.nash.solve_seconds", 0.0, 2.0, 128);
@@ -57,33 +131,36 @@ NashResult solve_nash(const AllocationFunction& alloc,
   NashResult result;
   result.rates = std::move(start);
 
+  auto& scratch = solver_scratch();
+  scratch.responses.resize(n);
+  scratch.order.resize(n);
+  const std::span<double> rates(result.rates);
+
   for (int it = 0; it < options.max_iterations; ++it) {
     double max_move = 0.0;
     if (options.order == UpdateOrder::kSynchronous) {
-      std::vector<double> responses(n);
       for (std::size_t i = 0; i < n; ++i) {
-        responses[i] =
-            best_response(alloc, *profile[i], result.rates, i,
-                          options.best_response)
+        scratch.responses[i] =
+            best_response(alloc, *profile[i], rates, i, options.best_response,
+                          scratch.ws)
                 .rate;
       }
       for (std::size_t i = 0; i < n; ++i) {
         const double next = (1.0 - options.damping) * result.rates[i] +
-                            options.damping * responses[i];
+                            options.damping * scratch.responses[i];
         max_move = std::max(max_move, std::abs(next - result.rates[i]));
         result.rates[i] = next;
       }
     } else {
-      std::vector<std::size_t> order(n);
       if (options.order == UpdateOrder::kRandomPermutation) {
-        order = rng.permutation(n);
+        permutation_into(rng, scratch.order);
       } else {
-        for (std::size_t i = 0; i < n; ++i) order[i] = i;
+        for (std::size_t i = 0; i < n; ++i) scratch.order[i] = i;
       }
-      for (const std::size_t i : order) {
+      for (const std::size_t i : scratch.order) {
         const double response =
-            best_response(alloc, *profile[i], result.rates, i,
-                          options.best_response)
+            best_response(alloc, *profile[i], rates, i, options.best_response,
+                          scratch.ws)
                 .rate;
         const double next = (1.0 - options.damping) * result.rates[i] +
                             options.damping * response;
@@ -120,11 +197,16 @@ std::vector<double> fdc_residuals(const AllocationFunction& alloc,
                                   const UtilityProfile& profile,
                                   const std::vector<double>& rates) {
   validate_sizes(profile, rates);
-  const auto congestion = alloc.congestion(rates);
-  std::vector<double> residuals(rates.size(), kNan);
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    if (!std::isfinite(congestion[i])) continue;
-    const double m = profile[i]->marginal_ratio(rates[i], congestion[i]);
+  AllocationFunction::validate_rates(rates);
+  const std::size_t n = rates.size();
+  auto& scratch = solver_scratch();
+  scratch.congestion.resize(n);
+  alloc.congestion_into(rates, scratch.congestion, scratch.ws);
+  std::vector<double> residuals(n, kNan);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(scratch.congestion[i])) continue;
+    const double m =
+        profile[i]->marginal_ratio(rates[i], scratch.congestion[i]);
     const double slope = alloc.partial(i, i, rates);
     if (std::isfinite(m) && std::isfinite(slope)) residuals[i] = m + slope;
   }
@@ -135,10 +217,16 @@ bool is_nash(const AllocationFunction& alloc, const UtilityProfile& profile,
              const std::vector<double>& rates, double utility_slack,
              const BestResponseOptions& options) {
   validate_sizes(profile, rates);
-  const auto congestion = alloc.congestion(rates);
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    const double current = profile[i]->value(rates[i], congestion[i]);
-    const auto response = best_response(alloc, *profile[i], rates, i, options);
+  AllocationFunction::validate_rates(rates);
+  const std::size_t n = rates.size();
+  auto& scratch = solver_scratch();
+  scratch.congestion.resize(n);
+  alloc.congestion_into(rates, scratch.congestion, scratch.ws);
+  scratch.rates.assign(rates.begin(), rates.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double current = profile[i]->value(rates[i], scratch.congestion[i]);
+    const auto response = best_response(alloc, *profile[i], scratch.rates, i,
+                                        options, scratch.ws);
     if (response.utility > current + utility_slack) return false;
   }
   return true;
@@ -148,22 +236,12 @@ double fdc_jacobian_entry(const AllocationFunction& alloc,
                           const UtilityProfile& profile,
                           const std::vector<double>& rates, std::size_t i,
                           std::size_t j) {
-  const auto congestion = alloc.congestion(rates);
-  const double r = rates[i];
-  const double c = congestion[i];
-  const Utility& u = *profile[i];
-  const double ur = u.du_dr(r, c);
-  const double uc = u.du_dc(r, c);
-  const double urr = u.d2u_dr2(r, c);
-  const double ucc = u.d2u_dc2(r, c);
-  const double urc = u.d2u_drdc(r, c);
-  // M = ur / uc; dM/dr = (urr uc - ur urc) / uc^2, dM/dc analogous.
-  const double dm_dr = (urr * uc - ur * urc) / (uc * uc);
-  const double dm_dc = (urc * uc - ur * ucc) / (uc * uc);
+  const double c = alloc.congestion_of(i, rates);
+  const MarginalTerms t = marginal_terms(*profile[i], rates[i], c);
   const double dci_drj = alloc.partial(i, j, rates);
   const double d2ci = alloc.second_partial(i, j, rates);
-  double entry = dm_dc * dci_drj + d2ci;
-  if (i == j) entry += dm_dr;
+  double entry = t.dm_dc * dci_drj + d2ci;
+  if (i == j) entry += t.dm_dr;
   return entry;
 }
 
@@ -171,18 +249,34 @@ numerics::Matrix relaxation_matrix(const AllocationFunction& alloc,
                                    const UtilityProfile& profile,
                                    const std::vector<double>& rates) {
   validate_sizes(profile, rates);
+  AllocationFunction::validate_rates(rates);
   const std::size_t n = rates.size();
-  numerics::Matrix a(n, n);
-  std::vector<double> diag(n);
+  // One congestion pass, one batched Jacobian and one batched second-partial
+  // pass replace the n^2 independent fdc_jacobian_entry evaluations (each of
+  // which recomputed all three from scratch).
+  auto& scratch = solver_scratch();
+  scratch.congestion.resize(n);
+  alloc.congestion_into(rates, scratch.congestion, scratch.ws);
+  alloc.jacobian_into(rates, scratch.jac, scratch.ws);
+  alloc.second_partials_into(rates, scratch.hess, scratch.ws);
+  scratch.diag.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
-    diag[j] = fdc_jacobian_entry(alloc, profile, rates, j, j);
+    const MarginalTerms t =
+        marginal_terms(*profile[j], rates[j], scratch.congestion[j]);
+    scratch.diag[j] =
+        t.dm_dr + t.dm_dc * scratch.jac(j, j) + scratch.hess(j, j);
   }
+  numerics::Matrix a(n, n);
   for (std::size_t i = 0; i < n; ++i) {
+    const MarginalTerms t =
+        marginal_terms(*profile[i], rates[i], scratch.congestion[i]);
     for (std::size_t j = 0; j < n; ++j) {
       if (i == j) {
         a(i, j) = 0.0;
       } else {
-        a(i, j) = -fdc_jacobian_entry(alloc, profile, rates, i, j) / diag[j];
+        const double entry =
+            t.dm_dc * scratch.jac(i, j) + scratch.hess(i, j);
+        a(i, j) = -entry / scratch.diag[j];
       }
     }
   }
@@ -194,18 +288,30 @@ NewtonDynamicsResult newton_relaxation(const AllocationFunction& alloc,
                                        std::vector<double> start,
                                        int max_iterations, double tolerance) {
   validate_sizes(profile, start);
+  AllocationFunction::validate_rates(start);
   const std::size_t n = start.size();
   NewtonDynamicsResult result;
   result.trajectory.push_back(start);
   std::vector<double> rates = std::move(start);
+  auto& scratch = solver_scratch();
+  scratch.congestion.resize(n);
+  scratch.responses.resize(n);  // holds the FDC residuals this solver
   for (int it = 0; it < max_iterations; ++it) {
-    const auto residuals = fdc_residuals(alloc, profile, rates);
+    alloc.congestion_into(rates, scratch.congestion, scratch.ws);
     double max_residual = 0.0;
-    for (const double e : residuals) {
-      if (std::isnan(e)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double residual = kNan;
+      if (std::isfinite(scratch.congestion[i])) {
+        const double m =
+            profile[i]->marginal_ratio(rates[i], scratch.congestion[i]);
+        const double slope = alloc.partial(i, i, rates);
+        if (std::isfinite(m) && std::isfinite(slope)) residual = m + slope;
+      }
+      scratch.responses[i] = residual;
+      if (std::isnan(residual)) {
         max_residual = std::numeric_limits<double>::infinity();
       } else {
-        max_residual = std::max(max_residual, std::abs(e));
+        max_residual = std::max(max_residual, std::abs(residual));
       }
     }
     result.iterations = it;
@@ -213,16 +319,21 @@ NewtonDynamicsResult newton_relaxation(const AllocationFunction& alloc,
       result.converged = true;
       return result;
     }
-    std::vector<double> next = rates;
+    // Synchronous update: every slope is evaluated at the unmodified sweep
+    // point, then all users move at once (Jacobi, as in the paper).
+    scratch.rates.assign(rates.begin(), rates.end());
     for (std::size_t i = 0; i < n; ++i) {
-      if (std::isnan(residuals[i])) continue;
-      const double slope = fdc_jacobian_entry(alloc, profile, rates, i, i);
+      if (std::isnan(scratch.responses[i])) continue;
+      const MarginalTerms t =
+          marginal_terms(*profile[i], rates[i], scratch.congestion[i]);
+      const double slope = t.dm_dr + t.dm_dc * alloc.partial(i, i, rates) +
+                           alloc.second_partial(i, i, rates);
       if (slope == 0.0 || !std::isfinite(slope)) continue;
-      double candidate = rates[i] - residuals[i] / slope;
+      double candidate = rates[i] - scratch.responses[i] / slope;
       candidate = std::clamp(candidate, 1e-9, 0.9999);
-      next[i] = candidate;
+      scratch.rates[i] = candidate;
     }
-    rates = std::move(next);
+    rates.assign(scratch.rates.begin(), scratch.rates.end());
     result.trajectory.push_back(rates);
   }
   obs::default_registry()
@@ -239,6 +350,7 @@ std::vector<std::vector<double>> find_equilibria(
   numerics::Rng rng(seed);
   std::vector<std::vector<double>> found;
   auto& restarts = obs::default_registry().counter("core.nash.restarts");
+  std::vector<double> start(n);
   for (int s = 0; s < n_starts; ++s) {
     restarts.inc();
     if (auto* trace = obs::active_trace()) {
@@ -247,7 +359,6 @@ std::vector<std::vector<double>> find_equilibria(
                      static_cast<double>(s));
     }
     // Random interior start: raw uniforms rescaled to a random total < 0.95.
-    std::vector<double> start(n);
     double total = 0.0;
     for (auto& x : start) {
       x = rng.uniform(0.01, 1.0);

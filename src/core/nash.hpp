@@ -33,6 +33,16 @@ struct BestResponse {
                                          std::size_t i,
                                          const BestResponseOptions& options = {});
 
+/// Allocation-free hot path used by the solvers: `rates` must be
+/// pre-validated (AllocationFunction::validate_rates); candidate rates are
+/// written into rates[i] during the scan and the original value is
+/// restored before returning. Draws all scratch from `ws`.
+[[nodiscard]] BestResponse best_response(const AllocationFunction& alloc,
+                                         const Utility& utility,
+                                         std::span<double> rates, std::size_t i,
+                                         const BestResponseOptions& options,
+                                         EvalWorkspace& ws);
+
 enum class UpdateOrder {
   kSequential,         ///< Gauss–Seidel: apply each best response immediately
   kSynchronous,        ///< Jacobi: all users move simultaneously

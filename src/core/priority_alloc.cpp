@@ -3,77 +3,177 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 
+#include "core/serial_common.hpp"
 #include "queueing/mm1.hpp"
 
 namespace gw::core {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Prefix loads P_k = sum of the k+1 smallest sorted rates.
+void prefix_loads_into(std::span<const double> sorted_rates,
+                       std::span<double> prefix) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < sorted_rates.size(); ++k) {
+    acc += sorted_rates[k];
+    prefix[k] = acc;
+  }
 }
 
-std::vector<double> SmallestRateFirstAllocation::congestion(
-    const std::vector<double>& rates) const {
-  validate_rates(rates);
+double priority_partial(std::span<const double> prefix,
+                        std::span<const double> sorted, std::size_t k,
+                        std::size_t jr) {
+  if (jr > k) return 0.0;
+  if (prefix[k] >= 1.0) return kInf;
+  const double gp_k = queueing::g_prime(prefix[k]);
+  if (jr == k) return gp_k;
+  return gp_k - queueing::g_prime(prefix[k] - sorted[k]);
+}
+
+double priority_second_partial(std::span<const double> prefix, std::size_t k,
+                               std::size_t jr) {
+  if (jr > k) return 0.0;
+  if (prefix[k] >= 1.0) return kInf;
+  return queueing::g_double_prime(prefix[k]);
+}
+
+}  // namespace
+
+void SmallestRateFirstAllocation::congestion_into(std::span<const double> rates,
+                                                  std::span<double> out,
+                                                  EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (rates[a] != rates[b]) return rates[a] < rates[b];
-    return a < b;
-  });
-  std::vector<double> out(n, 0.0);
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  serial::sorted_order_into(rates, order);
+  serial::gather_into(rates, order, sorted);
   double prefix = 0.0;
   double g_prev = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    prefix += rates[order[k]];
+    prefix += sorted[k];
     const double g_here = queueing::g(prefix);
     out[order[k]] = std::isinf(g_here) ? kInf : g_here - g_prev;
     g_prev = g_here;
   }
-  return out;
+}
+
+double SmallestRateFirstAllocation::congestion_of_into(
+    std::size_t i, std::span<const double> rates, EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  serial::sorted_order_into(rates, order);
+  serial::gather_into(rates, order, sorted);
+  double prefix = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    prefix += sorted[k];
+    const double g_here = queueing::g(prefix);
+    if (order[k] == i) return std::isinf(g_here) ? kInf : g_here - g_prev;
+    g_prev = g_here;
+  }
+  return kInf;  // unreachable for valid i
+}
+
+void SmallestRateFirstAllocation::jacobian_into(std::span<const double> rates,
+                                                numerics::Matrix& out,
+                                                EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> prefix(ws.serial.data(), n);
+  serial::sorted_order_into(rates, order);
+  serial::gather_into(rates, order, sorted);
+  prefix_loads_into(sorted, prefix);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t jr = 0; jr < n; ++jr) {
+      out(order[k], order[jr]) = priority_partial(prefix, sorted, k, jr);
+    }
+  }
+}
+
+void SmallestRateFirstAllocation::second_partials_into(
+    std::span<const double> rates, numerics::Matrix& out,
+    EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> prefix(ws.serial.data(), n);
+  serial::sorted_order_into(rates, order);
+  serial::gather_into(rates, order, sorted);
+  prefix_loads_into(sorted, prefix);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t jr = 0; jr < n; ++jr) {
+      out(order[k], order[jr]) = priority_second_partial(prefix, k, jr);
+    }
+  }
 }
 
 double SmallestRateFirstAllocation::partial(
     std::size_t i, std::size_t j, const std::vector<double>& rates) const {
   validate_rates(rates);
   const std::size_t n = rates.size();
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (rates[a] != rates[b]) return rates[a] < rates[b];
-    return a < b;
-  });
-  std::vector<std::size_t> rank(n);
-  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
-
-  const std::size_t k = rank.at(i);
-  const std::size_t jr = rank.at(j);
-  if (jr > k) return 0.0;
-  double prefix = 0.0;
-  for (std::size_t m = 0; m <= k; ++m) prefix += rates[order[m]];
-  if (prefix >= 1.0) return kInf;
-  const double gp_k = queueing::g_prime(prefix);
-  if (jr == k) return gp_k;
-  const double gp_prev = queueing::g_prime(prefix - rates[order[k]]);
-  return gp_k - gp_prev;
+  EvalWorkspace& ws = scratch_workspace();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<std::size_t> rank(ws.rank.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> prefix(ws.serial.data(), n);
+  serial::sorted_order_into(rates, order);
+  serial::rank_from_order(order, rank);
+  serial::gather_into(rates, order, sorted);
+  prefix_loads_into(sorted, prefix);
+  return priority_partial(prefix, sorted, rank[i], rank[j]);
 }
 
-std::vector<double> FixedPriorityAllocation::congestion(
-    const std::vector<double>& rates) const {
+double SmallestRateFirstAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
   validate_rates(rates);
   const std::size_t n = rates.size();
-  std::vector<double> out(n, 0.0);
+  EvalWorkspace& ws = scratch_workspace();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<std::size_t> rank(ws.rank.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> prefix(ws.serial.data(), n);
+  serial::sorted_order_into(rates, order);
+  serial::rank_from_order(order, rank);
+  serial::gather_into(rates, order, sorted);
+  prefix_loads_into(sorted, prefix);
+  return priority_second_partial(prefix, rank[i], rank[j]);
+}
+
+void FixedPriorityAllocation::congestion_into(std::span<const double> rates,
+                                              std::span<double> out,
+                                              EvalWorkspace& /*ws*/) const {
   double prefix = 0.0;
   double g_prev = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < rates.size(); ++i) {
     prefix += rates[i];
     const double g_here = queueing::g(prefix);
     out[i] = std::isinf(g_here) ? kInf : g_here - g_prev;
     g_prev = g_here;
   }
-  return out;
+}
+
+double FixedPriorityAllocation::congestion_of_into(std::size_t i,
+                                                   std::span<const double> rates,
+                                                   EvalWorkspace& /*ws*/) const {
+  // Only the prefix through user i matters: higher-index users are invisible.
+  double prefix = 0.0;
+  for (std::size_t m = 0; m < i; ++m) prefix += rates[m];
+  const double g_prev = queueing::g(prefix);
+  const double g_here = queueing::g(prefix + rates[i]);
+  return std::isinf(g_here) ? kInf : g_here - g_prev;
 }
 
 double FixedPriorityAllocation::partial(std::size_t i, std::size_t j,
@@ -86,6 +186,16 @@ double FixedPriorityAllocation::partial(std::size_t i, std::size_t j,
   const double gp_i = queueing::g_prime(prefix);
   if (j == i) return gp_i;
   return gp_i - queueing::g_prime(prefix - rates[i]);
+}
+
+double FixedPriorityAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  validate_rates(rates);
+  if (j > i) return 0.0;
+  double prefix = 0.0;
+  for (std::size_t m = 0; m <= i; ++m) prefix += rates[m];
+  if (prefix >= 1.0) return kInf;
+  return queueing::g_double_prime(prefix);
 }
 
 }  // namespace gw::core

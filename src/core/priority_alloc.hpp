@@ -21,19 +21,39 @@ class SmallestRateFirstAllocation final : public AllocationFunction {
   [[nodiscard]] std::string name() const override {
     return "SmallestRateFirstPriority";
   }
-  [[nodiscard]] std::vector<double> congestion(
-      const std::vector<double>& rates) const override;
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       EvalWorkspace& ws) const override;
+  [[nodiscard]] double congestion_of_into(std::size_t i,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const override;
+  void jacobian_into(std::span<const double> rates, numerics::Matrix& out,
+                     EvalWorkspace& ws) const override;
+  void second_partials_into(std::span<const double> rates,
+                            numerics::Matrix& out,
+                            EvalWorkspace& ws) const override;
   [[nodiscard]] double partial(std::size_t i, std::size_t j,
                                const std::vector<double>& rates) const override;
+  /// Closed form: dC_i/dr_i = g'(P_k), so d^2 C_i/(dr_i dr_j) = g''(P_k)
+  /// whenever j's rank <= i's rank, 0 otherwise.
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
 };
 
 class FixedPriorityAllocation final : public AllocationFunction {
  public:
   [[nodiscard]] std::string name() const override { return "FixedPriority"; }
-  [[nodiscard]] std::vector<double> congestion(
-      const std::vector<double>& rates) const override;
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       EvalWorkspace& ws) const override;
+  [[nodiscard]] double congestion_of_into(std::size_t i,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const override;
   [[nodiscard]] double partial(std::size_t i, std::size_t j,
                                const std::vector<double>& rates) const override;
+  /// Closed form: g''(P_i) for j <= i, 0 otherwise.
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
+      const std::vector<double>& rates) const override;
 };
 
 }  // namespace gw::core

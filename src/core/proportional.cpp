@@ -7,30 +7,86 @@ namespace gw::core {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
 
-std::vector<double> ProportionalAllocation::congestion(
-    const std::vector<double>& rates) const {
-  validate_rates(rates);
-  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
-  std::vector<double> out(rates.size(), 0.0);
+double total_of(std::span<const double> rates) {
+  double total = 0.0;
+  for (const double r : rates) total += r;
+  return total;
+}
+}  // namespace
+
+void ProportionalAllocation::congestion_into(std::span<const double> rates,
+                                             std::span<double> out,
+                                             EvalWorkspace& /*ws*/) const {
+  const double total = total_of(rates);
   if (total >= 1.0) {
     for (std::size_t i = 0; i < rates.size(); ++i) {
       out[i] = rates[i] > 0.0 ? kInf : 0.0;
     }
-    return out;
+    return;
   }
   const double inv = 1.0 / (1.0 - total);
   for (std::size_t i = 0; i < rates.size(); ++i) out[i] = rates[i] * inv;
-  return out;
 }
 
-double ProportionalAllocation::congestion_of(
-    std::size_t i, const std::vector<double>& rates) const {
-  validate_rates(rates);
-  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
-  if (total >= 1.0) return rates.at(i) > 0.0 ? kInf : 0.0;
-  return rates.at(i) / (1.0 - total);
+double ProportionalAllocation::congestion_of_into(std::size_t i,
+                                                  std::span<const double> rates,
+                                                  EvalWorkspace& /*ws*/) const {
+  const double total = total_of(rates);
+  if (total >= 1.0) return rates[i] > 0.0 ? kInf : 0.0;
+  // Same reciprocal-multiply as congestion_into so the single-component
+  // path is bit-identical to the vector path.
+  const double inv = 1.0 / (1.0 - total);
+  return rates[i] * inv;
+}
+
+void ProportionalAllocation::jacobian_into(std::span<const double> rates,
+                                           numerics::Matrix& out,
+                                           EvalWorkspace& /*ws*/) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  const double total = total_of(rates);
+  if (total >= 1.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) out(i, j) = kInf;
+    }
+    return;
+  }
+  // Entry expressions mirror partial() exactly (division, not
+  // reciprocal-multiply) so the batched path is bit-identical to the
+  // legacy entrywise path.
+  const double u = 1.0 - total;
+  const double u2 = u * u;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double own = rates[i] / u2;
+    for (std::size_t j = 0; j < n; ++j) {
+      out(i, j) = (i == j) ? 1.0 / u + own : own;
+    }
+  }
+}
+
+void ProportionalAllocation::second_partials_into(std::span<const double> rates,
+                                                  numerics::Matrix& out,
+                                                  EvalWorkspace& /*ws*/) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  const double total = total_of(rates);
+  if (total >= 1.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) out(i, j) = kInf;
+    }
+    return;
+  }
+  // Mirrors second_partial() exactly; see jacobian_into.
+  const double u = 1.0 - total;
+  const double u2 = u * u;
+  const double u3 = u2 * u;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double shared = 2.0 * rates[i] / u3;
+    for (std::size_t j = 0; j < n; ++j) {
+      out(i, j) = (i == j) ? 2.0 / u2 + shared : 1.0 / u2 + shared;
+    }
+  }
 }
 
 double ProportionalAllocation::partial(std::size_t i, std::size_t j,

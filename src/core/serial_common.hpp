@@ -1,0 +1,68 @@
+// Shared machinery of the serial (sorted-rate) allocation family.
+//
+// Fair Share, the general-g serial rule, the weighted serial rule and the
+// smallest-rate-first priority foil all start from the same two steps:
+// sort the users ascending by a scalar key with index tie-break (stable
+// across permutations of equal values up to relabeling, which symmetry
+// requires), then form the serial cumulative loads
+//   S_k = (N - k) * x_(k) + sum_{m<k} x_(m)   (0-indexed ranks)
+// of the sorted keys. These helpers write into caller-provided spans so
+// the hot evaluation paths stay allocation-free (see EvalWorkspace).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
+
+namespace gw::core::serial {
+
+/// Fills `order` with the ascending sort order of `keys`, ties broken by
+/// index. order.size() must equal keys.size().
+inline void sorted_order_into(std::span<const double> keys,
+                              std::span<std::size_t> order) {
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [keys](std::size_t a, std::size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+}
+
+/// Inverts a sort order: rank[order[k]] = k.
+inline void rank_from_order(std::span<const std::size_t> order,
+                            std::span<std::size_t> rank) {
+  for (std::size_t k = 0; k < order.size(); ++k) rank[order[k]] = k;
+}
+
+/// Gathers `values` through `order`: sorted[k] = values[order[k]].
+inline void gather_into(std::span<const double> values,
+                        std::span<const std::size_t> order,
+                        std::span<double> sorted) {
+  for (std::size_t k = 0; k < order.size(); ++k) sorted[k] = values[order[k]];
+}
+
+/// Serial cumulative loads of already-sorted rates:
+///   serial[k] = (N - k) * sorted[k] + sum_{m<k} sorted[m].
+inline void serial_loads_into(std::span<const double> sorted_rates,
+                              std::span<double> serial) {
+  const std::size_t n = sorted_rates.size();
+  double prefix = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    serial[k] = static_cast<double>(n - k) * sorted_rates[k] + prefix;
+    prefix += sorted_rates[k];
+  }
+}
+
+/// One-call combination used by every serial-family evaluation: sort the
+/// rates into ws-style buffers and form the serial loads. All four spans
+/// must have size rates.size().
+inline void sort_and_serial_loads(std::span<const double> rates,
+                                  std::span<std::size_t> order,
+                                  std::span<double> sorted,
+                                  std::span<double> serial) {
+  sorted_order_into(rates, order);
+  gather_into(rates, order, sorted);
+  serial_loads_into(sorted, serial);
+}
+
+}  // namespace gw::core::serial

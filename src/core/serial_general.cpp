@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 #include <stdexcept>
+
+#include "core/serial_common.hpp"
 
 namespace gw::core {
 
@@ -12,25 +13,32 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-std::vector<std::size_t> ascending_order(const std::vector<double>& rates) {
-  std::vector<std::size_t> order(rates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (rates[a] != rates[b]) return rates[a] < rates[b];
-    return a < b;
-  });
-  return order;
+/// dC_i/dr_j of the serial rule under g, from precomputed serial loads
+/// (rank k of i, rank jr of j); same telescoping as Fair Share.
+double serial_partial(const GFunction& g, std::span<const double> serial,
+                      std::size_t n, std::size_t k, std::size_t jr) {
+  if (jr > k) return 0.0;
+  if (serial[k] >= g.saturation) return kInf;
+  auto coefficient = [&](std::size_t m) -> double {
+    if (m < jr) return 0.0;
+    return (m == jr) ? static_cast<double>(n - jr) : 1.0;
+  };
+  double acc = 0.0;
+  for (std::size_t m = jr; m <= k; ++m) {
+    const double upper = coefficient(m) * g.prime(serial[m]);
+    const double lower =
+        (m > 0) ? coefficient(m - 1) * g.prime(serial[m - 1]) : 0.0;
+    acc += (upper - lower) / static_cast<double>(n - m);
+  }
+  return acc;
 }
 
-std::vector<double> serial_loads(const std::vector<double>& sorted_rates) {
-  const std::size_t n = sorted_rates.size();
-  std::vector<double> serial(n);
-  double prefix = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    serial[k] = static_cast<double>(n - k) * sorted_rates[k] + prefix;
-    prefix += sorted_rates[k];
-  }
-  return serial;
+double serial_second_partial(const GFunction& g, std::span<const double> serial,
+                             std::size_t n, std::size_t k, std::size_t jr) {
+  if (jr > k) return 0.0;
+  if (serial[k] >= g.saturation) return kInf;
+  const double coefficient = (jr == k) ? static_cast<double>(n - k) : 1.0;
+  return coefficient * g.double_prime(serial[k]);
 }
 
 }  // namespace
@@ -46,16 +54,16 @@ std::string GeneralSerialAllocation::name() const {
   return "Serial[" + g_.name + "]";
 }
 
-std::vector<double> GeneralSerialAllocation::congestion(
-    const std::vector<double>& rates) const {
-  validate_rates(rates);
+void GeneralSerialAllocation::congestion_into(std::span<const double> rates,
+                                              std::span<double> out,
+                                              EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
-  const auto order = ascending_order(rates);
-  std::vector<double> sorted_rates(n);
-  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
-  const auto serial = serial_loads(sorted_rates);
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
 
-  std::vector<double> out(n, 0.0);
   double running = 0.0;
   double g_prev = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
@@ -68,56 +76,95 @@ std::vector<double> GeneralSerialAllocation::congestion(
     }
     out[order[k]] = running;
   }
-  return out;
+}
+
+double GeneralSerialAllocation::congestion_of_into(std::size_t i,
+                                                   std::span<const double> rates,
+                                                   EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+
+  double running = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g_here = g_.value(serial[k]);
+    if (std::isinf(g_here)) {
+      running = kInf;
+    } else {
+      running += (g_here - g_prev) / static_cast<double>(n - k);
+      g_prev = g_here;
+    }
+    if (order[k] == i) return running;
+  }
+  return running;
+}
+
+void GeneralSerialAllocation::jacobian_into(std::span<const double> rates,
+                                            numerics::Matrix& out,
+                                            EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t jr = 0; jr < n; ++jr) {
+      out(order[k], order[jr]) = serial_partial(g_, serial, n, k, jr);
+    }
+  }
+}
+
+void GeneralSerialAllocation::second_partials_into(std::span<const double> rates,
+                                                   numerics::Matrix& out,
+                                                   EvalWorkspace& ws) const {
+  const std::size_t n = rates.size();
+  out.resize(n, n);
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t jr = 0; jr < n; ++jr) {
+      out(order[k], order[jr]) = serial_second_partial(g_, serial, n, k, jr);
+    }
+  }
 }
 
 double GeneralSerialAllocation::partial(std::size_t i, std::size_t j,
                                         const std::vector<double>& rates) const {
   validate_rates(rates);
   const std::size_t n = rates.size();
-  const auto order = ascending_order(rates);
-  std::vector<std::size_t> rank(n);
-  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
-  std::vector<double> sorted_rates(n);
-  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
-  const auto serial = serial_loads(sorted_rates);
-
-  const std::size_t k = rank.at(i);
-  const std::size_t jr = rank.at(j);
-  if (jr > k) return 0.0;
-  if (serial[k] >= g_.saturation) return kInf;
-
-  auto coefficient = [&](std::size_t m) -> double {
-    if (m < jr) return 0.0;
-    return (m == jr) ? static_cast<double>(n - jr) : 1.0;
-  };
-  double acc = 0.0;
-  for (std::size_t m = jr; m <= k; ++m) {
-    const double upper = coefficient(m) * g_.prime(serial[m]);
-    const double lower =
-        (m > 0) ? coefficient(m - 1) * g_.prime(serial[m - 1]) : 0.0;
-    acc += (upper - lower) / static_cast<double>(n - m);
-  }
-  return acc;
+  EvalWorkspace& ws = scratch_workspace();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<std::size_t> rank(ws.rank.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+  serial::rank_from_order(order, rank);
+  return serial_partial(g_, serial, n, rank[i], rank[j]);
 }
 
 double GeneralSerialAllocation::second_partial(
     std::size_t i, std::size_t j, const std::vector<double>& rates) const {
   validate_rates(rates);
   const std::size_t n = rates.size();
-  const auto order = ascending_order(rates);
-  std::vector<std::size_t> rank(n);
-  for (std::size_t k = 0; k < n; ++k) rank[order[k]] = k;
-  std::vector<double> sorted_rates(n);
-  for (std::size_t k = 0; k < n; ++k) sorted_rates[k] = rates[order[k]];
-  const auto serial = serial_loads(sorted_rates);
-
-  const std::size_t k = rank.at(i);
-  const std::size_t jr = rank.at(j);
-  if (jr > k) return 0.0;
-  if (serial[k] >= g_.saturation) return kInf;
-  const double coefficient = (jr == k) ? static_cast<double>(n - k) : 1.0;
-  return coefficient * g_.double_prime(serial[k]);
+  EvalWorkspace& ws = scratch_workspace();
+  ws.ensure(n);
+  const std::span<std::size_t> order(ws.order.data(), n);
+  const std::span<std::size_t> rank(ws.rank.data(), n);
+  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<double> serial(ws.serial.data(), n);
+  serial::sort_and_serial_loads(rates, order, sorted, serial);
+  serial::rank_from_order(order, rank);
+  return serial_second_partial(g_, serial, n, rank[i], rank[j]);
 }
 
 double GeneralSerialAllocation::protective_bound(double rate,
@@ -136,12 +183,15 @@ std::string GeneralProportionalAllocation::name() const {
   return "Proportional[" + g_.name + "]";
 }
 
-std::vector<double> GeneralProportionalAllocation::congestion(
-    const std::vector<double>& rates) const {
-  validate_rates(rates);
-  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
-  std::vector<double> out(rates.size(), 0.0);
-  if (total <= 0.0) return out;
+void GeneralProportionalAllocation::congestion_into(
+    std::span<const double> rates, std::span<double> out,
+    EvalWorkspace& /*ws*/) const {
+  double total = 0.0;
+  for (const double r : rates) total += r;
+  if (total <= 0.0) {
+    for (auto& c : out) c = 0.0;
+    return;
+  }
   const double aggregate = g_.value(total);
   for (std::size_t i = 0; i < rates.size(); ++i) {
     if (rates[i] <= 0.0) {
@@ -152,7 +202,44 @@ std::vector<double> GeneralProportionalAllocation::congestion(
       out[i] = rates[i] * aggregate / total;
     }
   }
-  return out;
+}
+
+double GeneralProportionalAllocation::partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  if (!g_.prime) return AllocationFunction::partial(i, j, rates);
+  validate_rates(rates);
+  double total = 0.0;
+  for (const double r : rates) total += r;
+  if (total >= g_.saturation) return kInf;
+  if (total <= 0.0) return (i == j) ? g_.prime(0.0) : 0.0;
+  // C_i = r_i g(T) / T:  dC_i/dr_j = delta_ij g/T + r_i (g' T - g) / T^2.
+  const double g_val = g_.value(total);
+  const double g_prime = g_.prime(total);
+  const double shared = rates.at(i) * (g_prime * total - g_val) /
+                        (total * total);
+  return (i == j) ? g_val / total + shared : shared;
+}
+
+double GeneralProportionalAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  if (!g_.prime || !g_.double_prime) {
+    return AllocationFunction::second_partial(i, j, rates);
+  }
+  validate_rates(rates);
+  double total = 0.0;
+  for (const double r : rates) total += r;
+  if (total >= g_.saturation) return kInf;
+  if (total <= 0.0) {
+    return (i == j ? 2.0 : 1.0) * 0.5 * g_.double_prime(0.0);
+  }
+  // With h(T) = (g' T - g)/T^2 (so dC_i/dr_i = g/T + r_i h):
+  //   d^2 C_i/(dr_i dr_j) = h (1 + delta_ij) + r_i h'(T),
+  //   h' = g''/T - 2 h / T.
+  const double g_val = g_.value(total);
+  const double g_prime = g_.prime(total);
+  const double h = (g_prime * total - g_val) / (total * total);
+  const double h_prime = g_.double_prime(total) / total - 2.0 * h / total;
+  return h * (i == j ? 2.0 : 1.0) + rates.at(i) * h_prime;
 }
 
 }  // namespace gw::core

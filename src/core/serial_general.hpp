@@ -22,8 +22,16 @@ class GeneralSerialAllocation final : public AllocationFunction {
   explicit GeneralSerialAllocation(GFunction g);
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::vector<double> congestion(
-      const std::vector<double>& rates) const override;
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       EvalWorkspace& ws) const override;
+  [[nodiscard]] double congestion_of_into(std::size_t i,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const override;
+  void jacobian_into(std::span<const double> rates, numerics::Matrix& out,
+                     EvalWorkspace& ws) const override;
+  void second_partials_into(std::span<const double> rates,
+                            numerics::Matrix& out,
+                            EvalWorkspace& ws) const override;
   [[nodiscard]] double partial(std::size_t i, std::size_t j,
                                const std::vector<double>& rates) const override;
   [[nodiscard]] double second_partial(
@@ -44,7 +52,15 @@ class GeneralProportionalAllocation final : public AllocationFunction {
   explicit GeneralProportionalAllocation(GFunction g);
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::vector<double> congestion(
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       EvalWorkspace& ws) const override;
+  /// Closed-form dC_i/dr_j = delta_ij g(T)/T + r_i (g'(T) T - g(T)) / T^2
+  /// when g carries a derivative; numeric default otherwise.
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+  /// Closed form via g'' when available; numeric default otherwise.
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
       const std::vector<double>& rates) const override;
 
  private:

@@ -12,35 +12,49 @@ namespace gw::core {
 
 namespace {
 
+/// Everything about the leader/follower split that does not depend on the
+/// committed rate, built once per solve and reused across the whole grid
+/// search (the follower partition, reduced profile, staging buffers and an
+/// evaluation workspace for the leader's congestion lookups).
+struct LeaderContext {
+  std::vector<double> frozen;
+  std::vector<std::size_t> free_indices;
+  UtilityProfile follower_profile;
+  std::vector<double> full;
+  EvalWorkspace ws;
+
+  LeaderContext(const UtilityProfile& profile, std::size_t leader) {
+    const std::size_t n = profile.size();
+    frozen.assign(n, 0.0);
+    full.assign(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == leader) continue;
+      free_indices.push_back(j);
+      follower_profile.push_back(profile[j]);
+    }
+  }
+};
+
 /// Leader payoff for a committed rate: followers re-equilibrate, leader is
 /// evaluated at the resulting full profile. Follower solve is warm-started
 /// from `follower_warm` (updated on success).
 double leader_payoff(const std::shared_ptr<const AllocationFunction>& alloc,
                      const UtilityProfile& profile, std::size_t leader,
                      double leader_rate, std::vector<double>& follower_warm,
-                     const StackelbergOptions& options) {
+                     LeaderContext& ctx, const StackelbergOptions& options) {
   obs::default_registry().counter("core.stackelberg.payoff_evals").inc();
-  const std::size_t n = profile.size();
-  std::vector<double> frozen(n, 0.0);
-  frozen[leader] = leader_rate;
-  std::vector<std::size_t> free_indices;
-  UtilityProfile follower_profile;
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j == leader) continue;
-    free_indices.push_back(j);
-    follower_profile.push_back(profile[j]);
-  }
-  const SubsystemAllocation subsystem(alloc, frozen, free_indices);
-  const auto solved =
-      solve_nash(subsystem, follower_profile, follower_warm, options.follower);
+  ctx.frozen[leader] = leader_rate;
+  const SubsystemAllocation subsystem(alloc, ctx.frozen, ctx.free_indices);
+  const auto solved = solve_nash(subsystem, ctx.follower_profile,
+                                 follower_warm, options.follower);
   if (solved.converged) follower_warm = solved.rates;
 
-  std::vector<double> full(n, 0.0);
-  full[leader] = leader_rate;
-  for (std::size_t k = 0; k < free_indices.size(); ++k) {
-    full[free_indices[k]] = solved.rates[k];
+  ctx.full[leader] = leader_rate;
+  for (std::size_t k = 0; k < ctx.free_indices.size(); ++k) {
+    ctx.full[ctx.free_indices[k]] = solved.rates[k];
   }
-  const double congestion = alloc->congestion_of(leader, full);
+  const double congestion =
+      alloc->congestion_of_into(leader, ctx.full, ctx.ws);
   return profile[leader]->value(leader_rate, congestion);
 }
 
@@ -78,8 +92,9 @@ StackelbergResult solve_stackelberg(
   double lo = options.r_min, hi = options.r_max;
   double best_rate = nash.rates[leader];
   std::vector<double> follower_warm(n - 1, 0.5 / static_cast<double>(n));
+  LeaderContext ctx(profile, leader);
   double best_value = leader_payoff(alloc, profile, leader,
-                                    nash.rates[leader], follower_warm,
+                                    nash.rates[leader], follower_warm, ctx,
                                     options);
 
   for (int round = 0; round <= options.refine_iterations; ++round) {
@@ -88,7 +103,7 @@ StackelbergResult solve_stackelberg(
       const double rate =
           lo + (hi - lo) * static_cast<double>(k) / (grid - 1);
       const double value = leader_payoff(alloc, profile, leader, rate,
-                                         follower_warm, options);
+                                         follower_warm, ctx, options);
       if (value > best_value) {
         best_value = value;
         best_rate = rate;
@@ -108,22 +123,14 @@ StackelbergResult solve_stackelberg(
 
   // Recompute the full profile at the winning commitment.
   {
-    std::vector<double> frozen(n, 0.0);
-    frozen[leader] = best_rate;
-    std::vector<std::size_t> free_indices;
-    UtilityProfile follower_profile;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == leader) continue;
-      free_indices.push_back(j);
-      follower_profile.push_back(profile[j]);
-    }
-    const SubsystemAllocation subsystem(alloc, frozen, free_indices);
-    const auto solved = solve_nash(subsystem, follower_profile, follower_warm,
-                                   options.follower);
+    ctx.frozen[leader] = best_rate;
+    const SubsystemAllocation subsystem(alloc, ctx.frozen, ctx.free_indices);
+    const auto solved = solve_nash(subsystem, ctx.follower_profile,
+                                   follower_warm, options.follower);
     result.rates.assign(n, 0.0);
     result.rates[leader] = best_rate;
-    for (std::size_t k = 0; k < free_indices.size(); ++k) {
-      result.rates[free_indices[k]] = solved.rates[k];
+    for (std::size_t k = 0; k < ctx.free_indices.size(); ++k) {
+      result.rates[ctx.free_indices[k]] = solved.rates[k];
     }
   }
   result.leader_rate = best_rate;

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 #include <stdexcept>
+
+#include "core/serial_common.hpp"
 
 namespace gw::core {
 
@@ -34,53 +35,189 @@ std::string WeightedSerialAllocation::name() const {
   return "WeightedSerial[" + g_.name + "]";
 }
 
-std::vector<double> WeightedSerialAllocation::congestion(
-    const std::vector<double>& rates) const {
-  validate_rates(rates);
+WeightedSerialAllocation::Staging WeightedSerialAllocation::stage(
+    std::span<const double> rates, EvalWorkspace& ws) const {
   const std::size_t n = weights_.size();
   if (rates.size() != n) {
     throw std::invalid_argument(
         "WeightedSerialAllocation: rate/weight size mismatch");
   }
-  // Order by normalized demand x_i = r_i / w_i (ties by index).
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const double xa = rates[a] / weights_[a];
-    const double xb = rates[b] / weights_[b];
-    if (xa != xb) return xa < xb;
-    return a < b;
-  });
+  ws.ensure(n);
+  // Normalized demands x_i = r_i / w_i staged in ws.a; order by x (index
+  // tie-break), suffix weights in ws.b (n+1 entries), serial loads in
+  // ws.serial. ws.sorted stays free for callers.
+  const std::span<double> x(ws.a.data(), n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rates[i] / weights_[i];
+  const std::span<std::size_t> order(ws.order.data(), n);
+  serial::sorted_order_into(x, order);
 
-  // Suffix weights W_m and weighted serial loads S_m.
-  std::vector<double> suffix_weight(n + 1, 0.0);
+  const std::span<double> suffix(ws.b.data(), n + 1);
+  suffix[n] = 0.0;
   for (std::size_t m = n; m-- > 0;) {
-    suffix_weight[m] = suffix_weight[m + 1] + weights_[order[m]];
+    suffix[m] = suffix[m + 1] + weights_[order[m]];
   }
 
-  std::vector<double> out(n, 0.0);
+  const std::span<double> serial(ws.serial.data(), n);
   double prefix_rate = 0.0;
-  double g_prev = 0.0;
-  // share_m accumulates sum over levels of [g(S_m)-g(S_{m-1})] / W_m; a
-  // user of rank k pays w_k times the accumulated value through level k.
-  double accumulated_per_weight = 0.0;
   for (std::size_t m = 0; m < n; ++m) {
     const std::size_t user = order[m];
-    const double x = rates[user] / weights_[user];
-    const double serial_load = prefix_rate + x * suffix_weight[m];
-    const double g_here = g_.value(serial_load);
+    serial[m] = prefix_rate + x[user] * suffix[m];
+    prefix_rate += rates[user];
+  }
+  return Staging{order, suffix, serial};
+}
+
+void WeightedSerialAllocation::congestion_into(std::span<const double> rates,
+                                               std::span<double> out,
+                                               EvalWorkspace& ws) const {
+  const std::size_t n = weights_.size();
+  const Staging s = stage(rates, ws);
+  double g_prev = 0.0;
+  // accumulated_per_weight carries sum over levels of
+  // [g(S_m) - g(S_{m-1})] / W_m; a user of rank k pays w_k times the
+  // value accumulated through level k.
+  double accumulated_per_weight = 0.0;
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::size_t user = s.order[m];
+    const double g_here = g_.value(s.serial[m]);
     if (std::isinf(g_here)) {
       accumulated_per_weight = kInf;
     } else {
-      accumulated_per_weight += (g_here - g_prev) / suffix_weight[m];
+      accumulated_per_weight += (g_here - g_prev) / s.suffix_weight[m];
       g_prev = g_here;
     }
     out[user] = std::isinf(accumulated_per_weight)
                     ? kInf
                     : weights_[user] * accumulated_per_weight;
-    prefix_rate += rates[user];
   }
-  return out;
+}
+
+double WeightedSerialAllocation::congestion_of_into(std::size_t i,
+                                                    std::span<const double> rates,
+                                                    EvalWorkspace& ws) const {
+  const std::size_t n = weights_.size();
+  const Staging s = stage(rates, ws);
+  double g_prev = 0.0;
+  double accumulated_per_weight = 0.0;
+  for (std::size_t m = 0; m < n; ++m) {
+    const double g_here = g_.value(s.serial[m]);
+    if (std::isinf(g_here)) {
+      accumulated_per_weight = kInf;
+    } else {
+      accumulated_per_weight += (g_here - g_prev) / s.suffix_weight[m];
+      g_prev = g_here;
+    }
+    if (s.order[m] == i) {
+      return std::isinf(accumulated_per_weight)
+                 ? kInf
+                 : weights_[i] * accumulated_per_weight;
+    }
+  }
+  return kInf;  // unreachable for valid i
+}
+
+namespace {
+
+/// dC_i/dr_j from staged weighted serial loads; k = rank(i), q = rank(j).
+/// The coefficient of r_j inside S_m is W_q / w_j at m == q (through
+/// x_q = r_j / w_j), 1 for m > q (through the rate prefix), 0 below.
+double weighted_partial(const GFunction& g, std::span<const double> serial,
+                        std::span<const double> suffix, double w_i, double w_j,
+                        std::size_t k, std::size_t q) {
+  if (q > k) return 0.0;
+  if (serial[k] >= g.saturation) return kInf;
+  auto coefficient = [&](std::size_t m) -> double {
+    if (m < q) return 0.0;
+    return (m == q) ? suffix[q] / w_j : 1.0;
+  };
+  double acc = 0.0;
+  for (std::size_t m = q; m <= k; ++m) {
+    const double upper = coefficient(m) * g.prime(serial[m]);
+    const double lower =
+        (m > 0) ? coefficient(m - 1) * g.prime(serial[m - 1]) : 0.0;
+    acc += (upper - lower) / suffix[m];
+  }
+  return w_i * acc;
+}
+
+/// d^2 C_i / (dr_i dr_j): dC_i/dr_i = g'(S_k), so the second partial is
+/// g''(S_k) * dS_k/dr_j with dS_k/dr_j = W_k / w_i (j == i), 1 (rank of j
+/// below k), 0 above.
+double weighted_second_partial(const GFunction& g,
+                               std::span<const double> serial,
+                               std::span<const double> suffix, double w_i,
+                               bool same_user, std::size_t k, std::size_t q) {
+  if (q > k) return 0.0;
+  if (serial[k] >= g.saturation) return kInf;
+  const double ds = same_user ? suffix[k] / w_i : 1.0;
+  return ds * g.double_prime(serial[k]);
+}
+
+}  // namespace
+
+void WeightedSerialAllocation::jacobian_into(std::span<const double> rates,
+                                             numerics::Matrix& out,
+                                             EvalWorkspace& ws) const {
+  if (!g_.prime) {
+    AllocationFunction::jacobian_into(rates, out, ws);
+    return;
+  }
+  const std::size_t n = weights_.size();
+  out.resize(n, n);
+  const Staging s = stage(rates, ws);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = s.order[k];
+    for (std::size_t q = 0; q < n; ++q) {
+      const std::size_t j = s.order[q];
+      out(i, j) = weighted_partial(g_, s.serial, s.suffix_weight, weights_[i],
+                                   weights_[j], k, q);
+    }
+  }
+}
+
+void WeightedSerialAllocation::second_partials_into(
+    std::span<const double> rates, numerics::Matrix& out,
+    EvalWorkspace& ws) const {
+  if (!g_.double_prime) {
+    AllocationFunction::second_partials_into(rates, out, ws);
+    return;
+  }
+  const std::size_t n = weights_.size();
+  out.resize(n, n);
+  const Staging s = stage(rates, ws);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = s.order[k];
+    for (std::size_t q = 0; q < n; ++q) {
+      out(i, s.order[q]) = weighted_second_partial(
+          g_, s.serial, s.suffix_weight, weights_[i], s.order[q] == i, k, q);
+    }
+  }
+}
+
+double WeightedSerialAllocation::partial(std::size_t i, std::size_t j,
+                                         const std::vector<double>& rates) const {
+  if (!g_.prime) return AllocationFunction::partial(i, j, rates);
+  validate_rates(rates);
+  EvalWorkspace& ws = scratch_workspace();
+  const Staging s = stage(rates, ws);
+  const std::size_t n = weights_.size();
+  const std::span<std::size_t> rank(ws.rank.data(), n);
+  serial::rank_from_order(s.order, rank);
+  return weighted_partial(g_, s.serial, s.suffix_weight, weights_.at(i),
+                          weights_.at(j), rank[i], rank[j]);
+}
+
+double WeightedSerialAllocation::second_partial(
+    std::size_t i, std::size_t j, const std::vector<double>& rates) const {
+  if (!g_.double_prime) return AllocationFunction::second_partial(i, j, rates);
+  validate_rates(rates);
+  EvalWorkspace& ws = scratch_workspace();
+  const Staging s = stage(rates, ws);
+  const std::size_t n = weights_.size();
+  const std::span<std::size_t> rank(ws.rank.data(), n);
+  serial::rank_from_order(s.order, rank);
+  return weighted_second_partial(g_, s.serial, s.suffix_weight, weights_.at(i),
+                                 i == j, rank[i], rank[j]);
 }
 
 double WeightedSerialAllocation::protective_bound(std::size_t i,
@@ -103,15 +240,10 @@ WeightedDecomposition weighted_serial_decomposition(
     }
   }
   WeightedDecomposition out;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rates[i] / weights[i];
   out.order.resize(n);
-  std::iota(out.order.begin(), out.order.end(), std::size_t{0});
-  std::sort(out.order.begin(), out.order.end(),
-            [&](std::size_t a, std::size_t b) {
-              const double xa = rates[a] / weights[a];
-              const double xb = rates[b] / weights[b];
-              if (xa != xb) return xa < xb;
-              return a < b;
-            });
+  serial::sorted_order_into(x, out.order);
 
   out.level_width.resize(n);
   out.slice_rate.assign(n, std::vector<double>(n, 0.0));
@@ -119,15 +251,14 @@ WeightedDecomposition weighted_serial_decomposition(
   double previous_x = 0.0;
   for (std::size_t m = 0; m < n; ++m) {
     const std::size_t rank_user = out.order[m];
-    const double x = rates[rank_user] / weights[rank_user];
-    out.level_width[m] = x - previous_x;
+    out.level_width[m] = x[rank_user] - previous_x;
     for (std::size_t k = m; k < n; ++k) {  // users of rank >= m
       const std::size_t user = out.order[k];
       const double slice = weights[user] * out.level_width[m];
       out.slice_rate[user][m] = slice;
       out.level_rate[m] += slice;
     }
-    previous_x = x;
+    previous_x = x[rank_user];
   }
   return out;
 }

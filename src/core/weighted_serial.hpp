@@ -27,7 +27,27 @@ class WeightedSerialAllocation final : public AllocationFunction {
                                     GFunction g = GFunction::mm1());
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::vector<double> congestion(
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       EvalWorkspace& ws) const override;
+  [[nodiscard]] double congestion_of_into(std::size_t i,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const override;
+  void jacobian_into(std::span<const double> rates, numerics::Matrix& out,
+                     EvalWorkspace& ws) const override;
+  void second_partials_into(std::span<const double> rates,
+                            numerics::Matrix& out,
+                            EvalWorkspace& ws) const override;
+
+  /// Closed-form dC_i/dr_j through the weighted serial loads (telescoped
+  /// exactly like Fair Share, with dS_q/dr_j = W_q / w_j at j's own rank).
+  /// Falls back to the numeric default when g lacks a derivative.
+  [[nodiscard]] double partial(std::size_t i, std::size_t j,
+                               const std::vector<double>& rates) const override;
+
+  /// Closed form via dC_i/dr_i = g'(S_{rank(i)}): the second partial is
+  /// g''(S_k) * dS_k/dr_j. Numeric default when g lacks g''.
+  [[nodiscard]] double second_partial(
+      std::size_t i, std::size_t j,
       const std::vector<double>& rates) const override;
 
   /// Weighted protective bound w_i g(r_i W / w_i) / W.
@@ -38,6 +58,16 @@ class WeightedSerialAllocation final : public AllocationFunction {
   }
 
  private:
+  /// Sorts by normalized demand and fills order / suffix weights (n+1
+  /// entries, W[m] = weight of ranks >= m) / weighted serial loads from
+  /// workspace buffers. Returns spans over ws.{order,b,serial}.
+  struct Staging {
+    std::span<const std::size_t> order;
+    std::span<const double> suffix_weight;  ///< n + 1 entries
+    std::span<const double> serial;
+  };
+  Staging stage(std::span<const double> rates, EvalWorkspace& ws) const;
+
   std::vector<double> weights_;
   double total_weight_;
   GFunction g_;

@@ -29,9 +29,18 @@ DriverResult GameDriver::run(std::vector<std::unique_ptr<Learner>>& learners,
   if (options.record_trajectory) result.trajectory.push_back(rates);
   int calm_rounds = 0;
 
+  // Evaluation state reused across all rounds: the counterfactual oracle
+  // stages candidates in `probe` and evaluates through `ws`, so a learner
+  // probing thousands of rates per round never touches the heap.
+  core::EvalWorkspace ws;
+  std::vector<double> snapshot(n);
+  std::vector<double> congestion(n);
+  std::vector<double> probe(n);
+
   for (int round = 0; round < options.max_rounds; ++round) {
-    const std::vector<double> snapshot = rates;
-    const auto congestion = alloc_->congestion(snapshot);
+    snapshot.assign(rates.begin(), rates.end());
+    core::AllocationFunction::validate_rates(snapshot);
+    alloc_->congestion_into(snapshot, congestion, ws);
     double max_move = 0.0;
     const bool round_robin = options.round_robin && !options.synchronous;
     for (std::size_t i = 0; i < n; ++i) {
@@ -43,10 +52,14 @@ DriverResult GameDriver::run(std::vector<std::unique_ptr<Learner>>& learners,
       // (sequential) — matching how the round's moves compose.
       const std::vector<double>& frame =
           options.synchronous ? snapshot : rates;
-      context.counterfactual = [this, &frame, i](double candidate) {
-        std::vector<double> probe = frame;
+      probe.assign(frame.begin(), frame.end());
+      context.counterfactual = [this, i, &probe, &ws](double candidate) {
+        if (candidate < 0.0 || std::isnan(candidate)) {
+          throw std::invalid_argument(
+              "GameDriver: negative counterfactual rate");
+        }
         probe[i] = candidate;
-        const double c = alloc_->congestion_of(i, probe);
+        const double c = alloc_->congestion_of_into(i, probe, ws);
         return profile_[i]->value(candidate, c);
       };
       const double next = learners[i]->next_rate(context);

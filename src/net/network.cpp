@@ -85,22 +85,53 @@ std::vector<double> NetworkAllocation::local_rates(
   return local;
 }
 
-std::vector<double> NetworkAllocation::congestion(
-    const std::vector<double>& rates) const {
-  validate_rates(rates);
+void NetworkAllocation::local_rates_into(std::size_t a,
+                                         std::span<const double> rates,
+                                         std::span<double> local) const {
+  const auto& crossing = users_at_switch_[a];
+  for (std::size_t k = 0; k < crossing.size(); ++k) {
+    local[k] = rates[crossing[k]] / capacities_[a];
+  }
+}
+
+void NetworkAllocation::congestion_into(std::span<const double> rates,
+                                        std::span<double> out,
+                                        core::EvalWorkspace& ws) const {
   if (rates.size() != routes_.size()) {
     throw std::invalid_argument("NetworkAllocation: rate vector size");
   }
-  std::vector<double> total(rates.size(), 0.0);
+  ws.ensure(rates.size());
+  for (auto& c : out) c = 0.0;
   for (std::size_t a = 0; a < switch_allocations_.size(); ++a) {
     const auto& crossing = users_at_switch_[a];
     if (crossing.empty()) continue;
-    const auto local = switch_allocations_[a]->congestion(local_rates(a, rates));
+    const std::span<double> local(ws.a.data(), crossing.size());
+    const std::span<double> local_out(ws.b.data(), crossing.size());
+    local_rates_into(a, rates, local);
+    switch_allocations_[a]->congestion_into(local, local_out, ws.child());
     for (std::size_t k = 0; k < crossing.size(); ++k) {
-      total[crossing[k]] += local[k];
+      out[crossing[k]] += local_out[k];
     }
   }
-  return total;
+}
+
+double NetworkAllocation::congestion_of_into(std::size_t i,
+                                             std::span<const double> rates,
+                                             core::EvalWorkspace& ws) const {
+  if (rates.size() != routes_.size()) {
+    throw std::invalid_argument("NetworkAllocation: rate vector size");
+  }
+  ws.ensure(rates.size());
+  // Only the switches on user i's route contribute to C_i.
+  double acc = 0.0;
+  for (const std::size_t a : routes_[i]) {
+    const auto& crossing = users_at_switch_[a];
+    const std::span<double> local(ws.a.data(), crossing.size());
+    local_rates_into(a, rates, local);
+    acc += switch_allocations_[a]->congestion_of_into(local_index_[a][i], local,
+                                                      ws.child());
+  }
+  return acc;
 }
 
 double NetworkAllocation::partial(std::size_t i, std::size_t j,

@@ -41,8 +41,11 @@ class NetworkAllocation final : public core::AllocationFunction {
       std::vector<Route> routes, std::vector<double> capacities);
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::vector<double> congestion(
-      const std::vector<double>& rates) const override;
+  void congestion_into(std::span<const double> rates, std::span<double> out,
+                       core::EvalWorkspace& ws) const override;
+  [[nodiscard]] double congestion_of_into(
+      std::size_t i, std::span<const double> rates,
+      core::EvalWorkspace& ws) const override;
   [[nodiscard]] double partial(std::size_t i, std::size_t j,
                                const std::vector<double>& rates) const override;
   [[nodiscard]] double second_partial(
@@ -61,6 +64,10 @@ class NetworkAllocation final : public core::AllocationFunction {
  private:
   [[nodiscard]] std::vector<double> local_rates(
       std::size_t a, const std::vector<double>& rates) const;
+  /// Allocation-free variant: gathers (and capacity-scales) the rates of
+  /// the users crossing switch `a` into `local`.
+  void local_rates_into(std::size_t a, std::span<const double> rates,
+                        std::span<double> local) const;
 
   std::vector<std::shared_ptr<const core::AllocationFunction>>
       switch_allocations_;

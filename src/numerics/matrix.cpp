@@ -16,6 +16,12 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
   }
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);  // assign reuses capacity when sufficient
+}
+
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;

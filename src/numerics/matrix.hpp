@@ -21,6 +21,12 @@ class Matrix {
 
   [[nodiscard]] static Matrix identity(std::size_t n);
 
+  /// Reshapes to rows x cols and zero-fills. Reuses the existing storage
+  /// when it is large enough, so matrices kept alongside an EvalWorkspace
+  /// (batched Jacobians, relaxation matrices) stay allocation-free once
+  /// warm.
+  void resize(std::size_t rows, std::size_t cols);
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
 

@@ -1,0 +1,172 @@
+// Differential tests for the closed-form derivative overrides: every
+// discipline that shadows the numeric default (Richardson-extrapolated
+// finite differences of congestion_of) must agree with that default at
+// interior and near-saturation points. The numeric path stays reachable
+// through an explicitly qualified AllocationFunction:: call.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/fair_share.hpp"
+#include "core/gfunction.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "core/serial_general.hpp"
+#include "core/weighted_serial.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+namespace {
+
+/// Random rate vector with the given total; strictly positive entries and
+/// a minimum pairwise gap so finite-difference probes (step ~1e-5 relative)
+/// never cross a sort boundary — the closed forms are exact one-sided at
+/// ties but the numeric baseline straddles them.
+std::vector<double> separated_rates(numerics::Rng& rng, std::size_t n,
+                                    double total) {
+  std::vector<double> rates(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = 0.2 + rng.uniform(0.0, 1.0) + 0.3 * static_cast<double>(i);
+    sum += rates[i];
+  }
+  for (auto& r : rates) r *= total / sum;
+  return rates;
+}
+
+void expect_close(double closed, double numeric, double rel_tol,
+                  const char* what, std::size_t i, std::size_t j) {
+  if (std::isinf(numeric) || std::isinf(closed)) {
+    EXPECT_EQ(closed, numeric) << what << " i=" << i << " j=" << j;
+    return;
+  }
+  const double scale = std::max({1.0, std::abs(closed), std::abs(numeric)});
+  EXPECT_NEAR(closed, numeric, rel_tol * scale)
+      << what << " i=" << i << " j=" << j << " closed=" << closed
+      << " numeric=" << numeric;
+}
+
+void check_partials(const AllocationFunction& alloc,
+                    const std::vector<double>& rates, double first_tol,
+                    double second_tol, const char* what) {
+  const std::size_t n = rates.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      expect_close(alloc.partial(i, j, rates),
+                   alloc.AllocationFunction::partial(i, j, rates), first_tol,
+                   what, i, j);
+      expect_close(alloc.second_partial(i, j, rates),
+                   alloc.AllocationFunction::second_partial(i, j, rates),
+                   second_tol, what, i, j);
+    }
+  }
+}
+
+TEST(ClosedFormDerivatives, ProportionalMatchesNumericTo1e9) {
+  // Satellite acceptance: closed-form Proportional partials within 1e-9
+  // (relative) of the Richardson numeric path, including near saturation.
+  const ProportionalAllocation alloc;
+  numerics::Rng rng(101);
+  for (const double total : {0.3, 0.6, 0.85, 0.95, 0.99}) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::size_t n = 2 + rng.uniform_index(6);
+      const auto rates = separated_rates(rng, n, total);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          expect_close(alloc.partial(i, j, rates),
+                       alloc.AllocationFunction::partial(i, j, rates), 1e-9,
+                       "proportional", i, j);
+        }
+      }
+    }
+  }
+}
+
+// Second-difference tolerance: the numeric baseline's own error on second
+// partials grows like the curvature, reaching ~2e-5 relative near
+// saturation, so near-saturation points get a looser bound. The closed
+// forms themselves are exact; this measures the baseline.
+double second_tol_for(double total) { return total > 0.9 ? 1e-3 : 1e-4; }
+
+TEST(ClosedFormDerivatives, FairShare) {
+  const FairShareAllocation alloc;
+  numerics::Rng rng(202);
+  for (const double total : {0.4, 0.8, 0.95}) {
+    const auto rates = separated_rates(rng, 5, total);
+    check_partials(alloc, rates, 1e-8, second_tol_for(total), "fair_share");
+  }
+}
+
+TEST(ClosedFormDerivatives, WeightedSerial) {
+  numerics::Rng rng(303);
+  for (const double total : {0.4, 0.8, 0.95}) {
+    const std::size_t n = 4;
+    std::vector<double> weights{0.5, 1.0, 1.5, 2.5};
+    const WeightedSerialAllocation alloc(weights);
+    const auto rates = separated_rates(rng, n, total);
+    check_partials(alloc, rates, 1e-8, second_tol_for(total),
+                   "weighted_serial");
+  }
+}
+
+TEST(ClosedFormDerivatives, WeightedSerialEqualWeightsIsFairShare) {
+  // With all weights equal the weighted discipline degenerates to Fair
+  // Share, so its closed forms must match Fair Share's exactly.
+  const WeightedSerialAllocation weighted(std::vector<double>(5, 1.0));
+  const FairShareAllocation fair;
+  numerics::Rng rng(404);
+  const auto rates = separated_rates(rng, 5, 0.8);
+  const auto c_w = weighted.congestion(rates);
+  const auto c_f = fair.congestion(rates);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(c_w[i], c_f[i], 1e-12) << "i=" << i;
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(weighted.partial(i, j, rates), fair.partial(i, j, rates),
+                  1e-10)
+          << "i=" << i << " j=" << j;
+      EXPECT_NEAR(weighted.second_partial(i, j, rates),
+                  fair.second_partial(i, j, rates), 1e-10)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(ClosedFormDerivatives, GeneralSerialMg1) {
+  numerics::Rng rng(505);
+  const GeneralSerialAllocation alloc(GFunction::mg1(2.0));
+  for (const double total : {0.4, 0.8}) {
+    const auto rates = separated_rates(rng, 5, total);
+    check_partials(alloc, rates, 1e-8, second_tol_for(total),
+                   "general_serial_mg1");
+  }
+}
+
+TEST(ClosedFormDerivatives, GeneralProportional) {
+  numerics::Rng rng(606);
+  for (const auto& g : {GFunction::mg1(0.5), GFunction::quadratic()}) {
+    const GeneralProportionalAllocation alloc(g);
+    for (const double total : {0.4, 0.8}) {
+      const auto rates = separated_rates(rng, 4, total);
+      check_partials(alloc, rates, 1e-8, second_tol_for(total),
+                     "general_proportional");
+    }
+  }
+}
+
+TEST(ClosedFormDerivatives, PriorityDisciplines) {
+  numerics::Rng rng(707);
+  const SmallestRateFirstAllocation srf;
+  const FixedPriorityAllocation fixed;
+  for (const double total : {0.4, 0.8, 0.95}) {
+    const auto rates = separated_rates(rng, 5, total);
+    check_partials(srf, rates, 1e-8, second_tol_for(total),
+                   "smallest_rate_first");
+    check_partials(fixed, rates, 1e-8, second_tol_for(total),
+                   "fixed_priority");
+  }
+}
+
+}  // namespace
+}  // namespace gw::core

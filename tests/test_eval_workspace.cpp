@@ -1,0 +1,274 @@
+// Differential property tests for the span/workspace evaluation core:
+// for every discipline, the allocation-free primitives (congestion_into,
+// congestion_of_into, jacobian_into, second_partials_into) must reproduce
+// the legacy vector API bit-for-bit across randomized sizes, rate ties,
+// zeros and saturating points — with a single EvalWorkspace reused across
+// all trials.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/corollary2.hpp"
+#include "core/fair_share.hpp"
+#include "core/gfunction.hpp"
+#include "core/mixture.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "core/serial_general.hpp"
+#include "core/weighted_serial.hpp"
+#include "net/network.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+namespace {
+
+using Factory =
+    std::function<std::shared_ptr<const AllocationFunction>(std::size_t)>;
+
+struct SpanCase {
+  const char* label;
+  Factory make;
+};
+
+std::vector<double> standard_weights(std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 0.5 + 0.25 * static_cast<double>(i % 5);
+  }
+  return w;
+}
+
+std::shared_ptr<const AllocationFunction> make_subsystem(std::size_t n) {
+  // A Fair Share base with two extra frozen users; the reduced system has
+  // exactly n free coordinates.
+  std::vector<double> frozen(n + 2, 0.0);
+  frozen[n] = 0.05;
+  frozen[n + 1] = 0.1;
+  std::vector<std::size_t> free_indices(n);
+  for (std::size_t i = 0; i < n; ++i) free_indices[i] = i;
+  return std::make_shared<SubsystemAllocation>(
+      std::make_shared<FairShareAllocation>(), std::move(frozen),
+      std::move(free_indices));
+}
+
+std::shared_ptr<const AllocationFunction> make_network(std::size_t n) {
+  // Two Fair Share switches; every user crosses switch 0, odd users also
+  // cross switch 1 — heterogeneous routes exercise the gather/scatter path.
+  std::vector<std::shared_ptr<const AllocationFunction>> switches{
+      std::make_shared<FairShareAllocation>(),
+      std::make_shared<FairShareAllocation>()};
+  std::vector<net::Route> routes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    routes[i] = (i % 2 == 1) ? net::Route{0, 1} : net::Route{0};
+  }
+  return std::make_shared<net::NetworkAllocation>(std::move(switches),
+                                                  std::move(routes),
+                                                  std::vector<double>{1.0, 2.0});
+}
+
+std::vector<SpanCase> all_cases() {
+  return {
+      {"Proportional",
+       [](std::size_t) { return std::make_shared<ProportionalAllocation>(); }},
+      {"FairShare",
+       [](std::size_t) { return std::make_shared<FairShareAllocation>(); }},
+      {"Mixture0.3",
+       [](std::size_t) { return std::make_shared<MixtureAllocation>(0.3); }},
+      {"Mixture0",
+       [](std::size_t) { return std::make_shared<MixtureAllocation>(0.0); }},
+      {"Mixture1",
+       [](std::size_t) { return std::make_shared<MixtureAllocation>(1.0); }},
+      {"SmallestRateFirst",
+       [](std::size_t) {
+         return std::make_shared<SmallestRateFirstAllocation>();
+       }},
+      {"FixedPriority",
+       [](std::size_t) { return std::make_shared<FixedPriorityAllocation>(); }},
+      {"WeightedSerial",
+       [](std::size_t n) {
+         return std::make_shared<WeightedSerialAllocation>(
+             standard_weights(n));
+       }},
+      {"GeneralSerial[mm1]",
+       [](std::size_t) {
+         return std::make_shared<GeneralSerialAllocation>(GFunction::mm1());
+       }},
+      {"GeneralSerial[mg1]",
+       [](std::size_t) {
+         return std::make_shared<GeneralSerialAllocation>(GFunction::mg1(2.0));
+       }},
+      {"GeneralProportional[mg1]",
+       [](std::size_t) {
+         return std::make_shared<GeneralProportionalAllocation>(
+             GFunction::mg1(0.5));
+       }},
+      {"GeneralProportional[quadratic]",
+       [](std::size_t) {
+         return std::make_shared<GeneralProportionalAllocation>(
+             GFunction::quadratic());
+       }},
+      {"QuadraticSeparable",
+       [](std::size_t) {
+         return std::make_shared<QuadraticSeparableAllocation>();
+       }},
+      {"Subsystem[FairShare]", make_subsystem},
+      {"Network[FairShare]", make_network},
+  };
+}
+
+/// Randomized rate vector: mixes interior points, exact ties, zero entries
+/// and saturating totals (> 1) so the comparison covers the +inf branches.
+std::vector<double> random_rates(numerics::Rng& rng, std::size_t n) {
+  std::vector<double> rates(n);
+  for (auto& r : rates) r = rng.uniform(0.0, 1.0);
+  const double flavor = rng.uniform();
+  double target;
+  if (flavor < 0.2) {
+    target = rng.uniform(1.05, 2.0);  // saturating
+  } else if (flavor < 0.4) {
+    target = rng.uniform(0.9, 1.0);  // near-saturation
+  } else {
+    target = rng.uniform(0.1, 0.85);  // interior
+  }
+  double total = 0.0;
+  for (const double r : rates) total += r;
+  for (auto& r : rates) r *= target / total;
+  if (n >= 2 && rng.bernoulli(0.5)) rates[n - 1] = rates[0];  // exact tie
+  if (n >= 3 && rng.bernoulli(0.3)) rates[1] = 0.0;           // silent user
+  return rates;
+}
+
+void expect_identical(double actual, double expected, const char* label,
+                      std::size_t n, std::size_t i) {
+  if (std::isnan(expected)) {
+    EXPECT_TRUE(std::isnan(actual)) << label << " n=" << n << " i=" << i;
+  } else {
+    EXPECT_EQ(actual, expected) << label << " n=" << n << " i=" << i;
+  }
+}
+
+TEST(EvalWorkspace, SpanCongestionMatchesLegacyBitForBit) {
+  numerics::Rng rng(20260805);
+  EvalWorkspace ws;  // shared across every case and size: reuse must be safe
+  for (const auto& c : all_cases()) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::size_t n = 1 + rng.uniform_index(32);
+      const auto alloc = c.make(n);
+      const auto rates = random_rates(rng, n);
+      const auto legacy = alloc->congestion(rates);
+      std::vector<double> out(n, -1.0);
+      alloc->congestion_into(rates, out, ws);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_identical(out[i], legacy[i], c.label, n, i);
+      }
+    }
+  }
+}
+
+TEST(EvalWorkspace, CongestionOfMatchesComponent) {
+  numerics::Rng rng(777);
+  EvalWorkspace ws;
+  for (const auto& c : all_cases()) {
+    for (int trial = 0; trial < 15; ++trial) {
+      const std::size_t n = 1 + rng.uniform_index(16);
+      const auto alloc = c.make(n);
+      const auto rates = random_rates(rng, n);
+      const auto legacy = alloc->congestion(rates);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_identical(alloc->congestion_of_into(i, rates, ws), legacy[i],
+                         c.label, n, i);
+        expect_identical(alloc->congestion_of(i, rates), legacy[i], c.label, n,
+                         i);
+      }
+    }
+  }
+}
+
+TEST(EvalWorkspace, BatchedJacobianMatchesEntrywisePartials) {
+  numerics::Rng rng(31337);
+  EvalWorkspace ws;
+  numerics::Matrix jac(1, 1);
+  for (const auto& c : all_cases()) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::size_t n = 1 + rng.uniform_index(8);
+      const auto alloc = c.make(n);
+      const auto rates = random_rates(rng, n);
+      alloc->jacobian_into(rates, jac, ws);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          expect_identical(jac(i, j), alloc->partial(i, j, rates), c.label, n,
+                           i * n + j);
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalWorkspace, BatchedSecondPartialsMatchEntrywise) {
+  numerics::Rng rng(4242);
+  EvalWorkspace ws;
+  numerics::Matrix hess(1, 1);
+  // Restricted to disciplines with closed-form second partials: the numeric
+  // default is compared entrywise anyway (identical call path), and running
+  // Richardson second differences n^2 times per trial is slow.
+  const std::vector<const char*> closed = {
+      "Proportional", "FairShare",         "SmallestRateFirst",
+      "FixedPriority", "WeightedSerial",   "GeneralSerial[mm1]",
+      "GeneralSerial[mg1]", "QuadraticSeparable"};
+  for (const auto& c : all_cases()) {
+    bool has_closed = false;
+    for (const char* name : closed) {
+      if (std::string(name) == c.label) has_closed = true;
+    }
+    if (!has_closed) continue;
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::size_t n = 1 + rng.uniform_index(8);
+      const auto alloc = c.make(n);
+      const auto rates = random_rates(rng, n);
+      alloc->second_partials_into(rates, hess, ws);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          expect_identical(hess(i, j), alloc->second_partial(i, j, rates),
+                           c.label, n, i * n + j);
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalWorkspace, ReuseAcrossShrinkingAndGrowingSizes) {
+  // A workspace warmed at n=32 then reused at n=3 (and back) must give the
+  // same answers as a cold workspace: spans are sized by the call's n, not
+  // by the buffer capacity.
+  numerics::Rng rng(99);
+  EvalWorkspace warm;
+  const FairShareAllocation fs;
+  for (const std::size_t n : {32u, 3u, 17u, 1u, 32u}) {
+    const auto rates = random_rates(rng, n);
+    std::vector<double> out_warm(n), out_cold(n);
+    EvalWorkspace cold;
+    fs.congestion_into(rates, out_warm, warm);
+    fs.congestion_into(rates, out_cold, cold);
+    EXPECT_EQ(out_warm, out_cold) << "n=" << n;
+  }
+}
+
+TEST(EvalWorkspace, EnsureGrowsAndChildIsStable) {
+  EvalWorkspace ws;
+  ws.ensure(8);
+  EXPECT_GE(ws.order.size(), 9u);  // +1 slack for suffix-style uses
+  EXPECT_GE(ws.b.size(), 9u);
+  double* const a_ptr = ws.a.data();
+  ws.ensure(4);  // never shrinks
+  EXPECT_EQ(ws.a.data(), a_ptr);
+  EvalWorkspace* const child = &ws.child();
+  EXPECT_EQ(&ws.child(), child);  // created once, then reused
+}
+
+}  // namespace
+}  // namespace gw::core

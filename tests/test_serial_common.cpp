@@ -1,0 +1,102 @@
+// Unit tests for the shared serial-discipline helpers (serial_common.hpp):
+// the sort/rank/gather/serial-load building blocks deduplicated out of
+// FairShare, GeneralSerial and the priority allocations.
+#include "core/serial_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numerics/rng.hpp"
+
+namespace gw::core::serial {
+namespace {
+
+TEST(SerialCommon, SortedOrderAscending) {
+  const std::vector<double> keys{0.4, 0.1, 0.3, 0.2};
+  std::vector<std::size_t> order(4);
+  sorted_order_into(keys, order);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(SerialCommon, SortedOrderBreaksTiesByIndex) {
+  const std::vector<double> keys{0.2, 0.1, 0.2, 0.1};
+  std::vector<std::size_t> order(4);
+  sorted_order_into(keys, order);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 0, 2}));
+}
+
+TEST(SerialCommon, RankIsInverseOfOrder) {
+  numerics::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(16);
+    std::vector<double> keys(n);
+    for (auto& k : keys) k = rng.uniform(0.0, 1.0);
+    std::vector<std::size_t> order(n), rank(n);
+    sorted_order_into(keys, order);
+    rank_from_order(order, rank);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(rank[order[k]], k);
+      EXPECT_EQ(order[rank[k]], k);
+    }
+  }
+}
+
+TEST(SerialCommon, GatherAppliesOrder) {
+  const std::vector<double> values{0.4, 0.1, 0.3};
+  std::vector<std::size_t> order(3);
+  std::vector<double> sorted(3);
+  sorted_order_into(values, order);
+  gather_into(values, order, sorted);
+  EXPECT_EQ(sorted, (std::vector<double>{0.1, 0.3, 0.4}));
+}
+
+TEST(SerialCommon, SerialLoadsMatchDefinition) {
+  // S_k = (n - k) * sorted[k] + sum_{m<k} sorted[m] (0-indexed ranks).
+  const std::vector<double> sorted{0.1, 0.2, 0.4};
+  std::vector<double> serial(3);
+  serial_loads_into(sorted, serial);
+  EXPECT_DOUBLE_EQ(serial[0], 3 * 0.1);
+  EXPECT_DOUBLE_EQ(serial[1], 2 * 0.2 + 0.1);
+  EXPECT_DOUBLE_EQ(serial[2], 1 * 0.4 + 0.1 + 0.2);
+}
+
+TEST(SerialCommon, SerialLoadsAreNondecreasing) {
+  numerics::Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(24);
+    std::vector<double> rates(n);
+    for (auto& r : rates) r = rng.uniform(0.0, 0.2);
+    std::vector<std::size_t> order(n);
+    std::vector<double> sorted(n), serial(n);
+    sort_and_serial_loads(rates, order, sorted, serial);
+    for (std::size_t k = 1; k < n; ++k) {
+      EXPECT_GE(serial[k], serial[k - 1] - 1e-15);
+    }
+    // The last serial load is the total rate.
+    double total = 0.0;
+    for (const double r : rates) total += r;
+    EXPECT_NEAR(serial[n - 1], total, 1e-12);
+  }
+}
+
+TEST(SerialCommon, CombinedHelperMatchesPieces) {
+  numerics::Rng rng(17);
+  const std::size_t n = 9;
+  std::vector<double> rates(n);
+  for (auto& r : rates) r = rng.uniform(0.0, 0.1);
+  rates[3] = rates[7];  // exercise the tie path
+
+  std::vector<std::size_t> order_a(n), order_b(n);
+  std::vector<double> sorted_a(n), sorted_b(n), serial_a(n), serial_b(n);
+  sort_and_serial_loads(rates, order_a, sorted_a, serial_a);
+  sorted_order_into(rates, order_b);
+  gather_into(rates, order_b, sorted_b);
+  serial_loads_into(sorted_b, serial_b);
+  EXPECT_EQ(order_a, order_b);
+  EXPECT_EQ(sorted_a, sorted_b);
+  EXPECT_EQ(serial_a, serial_b);
+}
+
+}  // namespace
+}  // namespace gw::core::serial

@@ -58,6 +58,8 @@ void print_usage(std::FILE* out) {
                "  --json <path>    write gw.bench.v2 telemetry JSON to <path>\n"
                "  --repeat <N>     run the experiment body N times (N >= 1),\n"
                "                   resetting metrics between reps and timing each\n"
+               "  --warmup <N>     run N discarded warm-up reps first (N >= 0);\n"
+               "                   untimed and excluded from telemetry\n"
                "  --label <text>   stamp <text> into the run manifest\n"
                "  --threads <N>    worker threads for parallel sweep loops\n"
                "                   (0 = all cores; results are identical for\n"
@@ -158,6 +160,17 @@ void parse_args(int argc, char** argv,
       g_options.repeat = static_cast<int>(reps);
       continue;
     }
+    if (taking(i, "--warmup", value)) {
+      char* end = nullptr;
+      const long warmups = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || warmups < 0 ||
+          warmups > 1000000) {
+        usage_error("--warmup needs a non-negative integer, got '%s'",
+                    value.c_str());
+      }
+      g_options.warmup = static_cast<int>(warmups);
+      continue;
+    }
     if (taking(i, "--threads", value)) {
       char* end = nullptr;
       const long threads = std::strtol(value.c_str(), &end, 10);
@@ -243,6 +256,7 @@ int finish() {
   w.key("manifest");
   obs::RunManifest manifest = obs::collect_manifest(g_options.label);
   manifest.threads = static_cast<unsigned>(thread_count());
+  manifest.warmup = static_cast<unsigned>(g_options.warmup);
   obs::write_manifest(w, manifest);
   w.key("timing");
   write_timing(w);
@@ -314,6 +328,17 @@ int run_repeated(int argc, char** argv, BodyFn body,
   const int reps = g_options.repeat;
   g_rep_wall_ms.clear();
   g_rep_wall_ms.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < g_options.warmup; ++rep) {
+    // Discarded reps: no timing sample, and the metrics/transcript are
+    // wiped afterwards so the telemetry reflects measured reps only.
+    // Verdict failures are NOT discarded — a warm-up failure still fails
+    // the process, the same flakiness contract as measured reps.
+    std::printf("\n--- warmup %d/%d (discarded) ---\n", rep + 1,
+                g_options.warmup);
+    (void)body();
+    obs::default_registry().reset();
+    g_experiments.clear();
+  }
   for (int rep = 0; rep < reps; ++rep) {
     if (rep > 0) {
       // Fresh metrics and a fresh transcript per rep: the JSON keeps the

@@ -15,10 +15,12 @@
 //   }
 //   GW_BENCH_MAIN(run)
 //
-// GW_BENCH_MAIN parses the shared flags, reruns the body --repeat times
-// (with Registry::reset() between reps, timing each rep), and writes the
-// telemetry once at the end. Flags: --json <path>, --repeat N, --label S,
-// --threads N, --help; unknown --flags are usage errors. Results are
+// GW_BENCH_MAIN parses the shared flags, runs the body --warmup times
+// untimed (discarded reps that prime caches and the allocator), then
+// reruns it --repeat times (with Registry::reset() between reps, timing
+// each rep), and writes the telemetry once at the end. Flags:
+// --json <path>, --repeat N, --warmup N, --label S, --threads N, --help;
+// unknown --flags and negative counts are usage errors. Results are
 // seed-deterministic regardless of --threads (parallel loops use
 // gw::exec's static partitioning and merge in index order); the thread
 // count is stamped into the manifest so suite comparisons stay
@@ -33,7 +35,8 @@ namespace gw::bench {
 /// Parsed shared flags; see options().
 struct Options {
   std::string json_path;  ///< --json <path>; empty = no telemetry file
-  int repeat = 1;         ///< --repeat N; reps of the experiment body
+  int repeat = 1;         ///< --repeat N; measured reps of the body
+  int warmup = 0;         ///< --warmup N; discarded reps run before them
   std::string label;      ///< --label <s>; stamped into the run manifest
   int threads = 1;        ///< --threads N; worker threads for sweep loops
                           ///< (0 = all cores); recorded in the manifest
@@ -86,10 +89,13 @@ void verdict(bool pass, const std::string& description);
 /// Body of one bench: runs the experiments, returns failures().
 using BodyFn = int (*)();
 
-/// Full bench lifecycle: parse_args(), run `body` options().repeat times —
-/// resetting obs::default_registry() between reps and recording each rep's
-/// wall time — then finish(). The transcript keeps the last rep's
-/// experiments; failures accumulate across reps.
+/// Full bench lifecycle: parse_args(), run `body` options().warmup times
+/// untimed (metrics and transcript discarded after each; verdict failures
+/// still count, so a warm-up failure fails the process), then
+/// options().repeat measured times — resetting obs::default_registry()
+/// between reps and recording each rep's wall time — then finish(). The
+/// transcript keeps the last measured rep's experiments; failures
+/// accumulate across all reps.
 int run_repeated(int argc, char** argv, BodyFn body,
                  const std::string& passthrough_prefix = std::string());
 

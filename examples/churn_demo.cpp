@@ -1,0 +1,85 @@
+// Streaming control plane in miniature: users churn their preferences,
+// the controller repairs the equilibrium incrementally instead of
+// re-solving from scratch.
+//
+//   ./churn_demo
+//
+// Builds a 64-user Fair Share cluster (4 shards of 16), streams two churn
+// patterns through it — smooth Poisson background churn, then adversarial
+// bursts that hammer one shard at a time — and prints, per batch, which
+// rung of the repair ladder served the new allocation (rank-1 refresh,
+// Theorem 7 relaxation sweeps, warm solve, or a full cold solve).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/fair_share.hpp"
+#include "core/utility.hpp"
+#include "ctrl/controller.hpp"
+#include "exec/thread_pool.hpp"
+
+int main() {
+  using namespace gw;
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kPerShard = 16;
+
+  const auto alloc = std::make_shared<core::FairShareAllocation>();
+  std::vector<ctrl::SolverShard> shards;
+  for (std::size_t k = 0; k < kShards; ++k) {
+    core::UtilityProfile profile;
+    for (std::size_t i = 0; i < kPerShard; ++i) {
+      profile.push_back(core::make_linear(
+          1.0, 0.3 + 0.5 * static_cast<double>(i) / kPerShard));
+    }
+    shards.emplace_back(alloc, std::move(profile));
+  }
+  ctrl::Controller controller(std::move(shards));
+  exec::ThreadPool pool(2);
+
+  std::printf("cluster: %zu users across %zu Fair Share shards\n\n",
+              controller.user_count(), controller.shard_count());
+
+  auto drain = [&](const char* label, auto& churn, int batches,
+                   int per_batch) {
+    std::printf("%s\n", label);
+    std::printf("  %-6s %-8s %-8s %-11s %-6s %-10s %-10s\n", "batch",
+                "updates", "shards", "single/rlx", "warm", "full", "ms");
+    for (int b = 0; b < batches; ++b) {
+      for (int i = 0; i < per_batch; ++i) controller.submit(churn.next());
+      const auto report = controller.apply_pending(&pool);
+      std::printf("  %-6llu %-8zu %-8zu %zu/%-9zu %-6zu %-10zu %-10.3f\n",
+                  static_cast<unsigned long long>(report.epoch),
+                  report.updates_applied, report.shards_repaired,
+                  report.single_user, report.relax, report.warm_solve,
+                  report.full_solve, report.wall_seconds * 1e3);
+    }
+    std::printf("\n");
+  };
+
+  ctrl::PoissonChurn poisson(controller.user_count(), {}, /*seed=*/1);
+  drain("Poisson background churn (memoryless, spread across shards):",
+        poisson, /*batches=*/5, /*per_batch=*/8);
+
+  ctrl::BurstChurnOptions burst_options;
+  burst_options.block_size = kPerShard;  // each burst targets one shard
+  ctrl::BurstChurn burst(controller.user_count(), burst_options,
+                         /*seed=*/2);
+  drain("Adversarial bursts (one shard hammered per burst):", burst,
+        /*batches=*/4, /*per_batch=*/16);
+
+  // The served allocation is always a true equilibrium: verify the last
+  // state against a cold re-solve of every shard.
+  double worst = 0.0;
+  for (std::size_t k = 0; k < controller.shard_count(); ++k) {
+    const auto oracle = controller.shard(k).cold_solve();
+    const auto& served = controller.shard(k).rates();
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      const double d = served[i] > oracle[i] ? served[i] - oracle[i]
+                                             : oracle[i] - served[i];
+      if (d > worst) worst = d;
+    }
+  }
+  std::printf("served allocation vs cold re-solve: max |diff| = %.2e %s\n",
+              worst, worst < 1e-5 ? "(consistent)" : "(DIVERGED)");
+  return worst < 1e-5 ? 0 : 1;
+}

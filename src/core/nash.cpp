@@ -40,6 +40,7 @@ struct SolverScratch {
   std::vector<std::size_t> order;  ///< sweep order
   numerics::Matrix jac;            ///< batched dC_i/dr_j
   numerics::Matrix hess;           ///< batched d2C_i/(dr_i dr_j)
+  std::vector<double> trial;       ///< relax_equilibrium step candidate
 };
 
 SolverScratch& solver_scratch() {
@@ -102,8 +103,33 @@ BestResponse best_response(const AllocationFunction& alloc,
   };
   numerics::Optimize1DOptions opt;
   opt.scan_points = options.scan_points;
-  const auto found =
-      numerics::maximize_scan(payoff, options.r_min, options.r_max, opt);
+  double lo = options.r_min;
+  double hi = options.r_max;
+  bool narrowed = false;
+  if (options.warm_radius > 0.0) {
+    const double wlo = std::max(options.r_min, saved - options.warm_radius);
+    const double whi = std::min(options.r_max, saved + options.warm_radius);
+    if (whi > wlo && (wlo > options.r_min || whi < options.r_max)) {
+      lo = wlo;
+      hi = whi;
+      narrowed = true;
+      opt.scan_points = std::min(options.scan_points,
+                                 std::max(3, options.warm_scan_points));
+    }
+  }
+  auto found = numerics::maximize_scan(payoff, lo, hi, opt);
+  if (narrowed) {
+    // A maximum pinned to a shrunken window edge means the true best
+    // response may lie outside the warm window: redo the full scan.
+    const double step = (hi - lo) / (opt.scan_points - 1);
+    const bool pinned_lo = found.x <= lo + step && lo > options.r_min;
+    const bool pinned_hi = found.x >= hi - step && hi < options.r_max;
+    if (pinned_lo || pinned_hi) {
+      opt.scan_points = options.scan_points;
+      found = numerics::maximize_scan(payoff, options.r_min, options.r_max,
+                                      opt);
+    }
+  }
   rates[i] = saved;
   return {found.x, found.value};
 }
@@ -243,6 +269,272 @@ double fdc_jacobian_entry(const AllocationFunction& alloc,
   double entry = t.dm_dc * dci_drj + d2ci;
   if (i == j) entry += t.dm_dr;
   return entry;
+}
+
+FdcTerms fdc_terms(const AllocationFunction& alloc, const Utility& utility,
+                   const std::vector<double>& rates, std::size_t i) {
+  if (i >= rates.size()) throw std::invalid_argument("fdc_terms: bad index");
+  AllocationFunction::validate_rates(rates);
+  FdcTerms terms{kNan, kNan};
+  const double c = alloc.congestion_of(i, rates);
+  if (!std::isfinite(c)) return terms;
+  const double m = utility.marginal_ratio(rates[i], c);
+  const double dci = alloc.partial(i, i, rates);
+  if (!std::isfinite(m) || !std::isfinite(dci)) return terms;
+  terms.residual = m + dci;
+  const MarginalTerms t = marginal_terms(utility, rates[i], c);
+  terms.slope = t.dm_dr + t.dm_dc * dci + alloc.second_partial(i, i, rates);
+  return terms;
+}
+
+namespace {
+
+/// Clamp bounds shared by the incremental repair engines (the same bounds
+/// newton_relaxation has always used for its Jacobi step).
+constexpr double kRepairFloor = 1e-9;
+constexpr double kRepairCap = 0.9999;
+
+/// Projected (KKT) FDC residual: at an interior point the equilibrium
+/// condition is E_i = 0, but a user pinned at the rate floor is at her best
+/// response whenever E_i >= 0 (utility falls in r there; dU/dr = U_c * E
+/// with U_c < 0), and symmetrically E_i <= 0 at the cap. Densely-coupled
+/// disciplines produce such boundary equilibria routinely — under FIFO a
+/// sufficiently delay-averse user's best response is to send (almost)
+/// nothing — so convergence tests on raw |E_i| would never pass there.
+double projected_residual(double residual, double rate) {
+  if (std::isnan(residual)) return std::numeric_limits<double>::infinity();
+  if (rate <= 2.0 * kRepairFloor) return std::max(0.0, -residual);
+  if (rate >= kRepairCap) return std::max(0.0, residual);
+  return std::abs(residual);
+}
+
+}  // namespace
+
+RelaxResult relax_equilibrium(const AllocationFunction& alloc,
+                              const UtilityProfile& profile,
+                              std::vector<double>& rates,
+                              const RelaxOptions& options) {
+  validate_sizes(profile, rates);
+  AllocationFunction::validate_rates(rates);
+  const std::size_t n = rates.size();
+  auto& scratch = solver_scratch();
+  scratch.congestion.resize(n);
+  scratch.responses.resize(n);  // FDC residuals
+  scratch.diag.resize(n);       // dE_i/dr_i
+  RelaxResult result;
+  // Adaptive under-relaxation: the Theorem 7 one-shot property needs the
+  // undamped Newton step, so damping starts (and, after transients,
+  // returns to) 1; a sweep that grows the residual halves it, a sweep that
+  // shrinks the residual doubles it back. On games where the synchronous
+  // sweep is the wrong engine entirely — FIFO's congestion couples every
+  // user to the total load, so Jacobi steps overshoot collectively and
+  // orbit a limit cycle — no damping schedule converges, and the sweep
+  // loop instead detects the lack of progress and gives up early so the
+  // caller escalates to the (sequential, scan-based) best-response solve.
+  double damping_scale = 1.0;
+  double prev_residual = std::numeric_limits<double>::infinity();
+  double initial_residual = std::numeric_limits<double>::infinity();
+  double best_residual = std::numeric_limits<double>::infinity();
+  for (int it = 0; true; ++it) {
+    // One batched congestion / Jacobian / second-partials pass feeds every
+    // residual and slope of the sweep (vs the per-entry recomputation in
+    // newton_relaxation, which exists to expose the trajectory).
+    alloc.congestion_into(rates, scratch.congestion, scratch.ws);
+    alloc.jacobian_into(rates, scratch.jac, scratch.ws);
+    alloc.second_partials_into(rates, scratch.hess, scratch.ws);
+    double max_residual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double residual = kNan;
+      double slope = kNan;
+      if (std::isfinite(scratch.congestion[i])) {
+        const double m =
+            profile[i]->marginal_ratio(rates[i], scratch.congestion[i]);
+        const double dci = scratch.jac(i, i);
+        if (std::isfinite(m) && std::isfinite(dci)) {
+          residual = m + dci;
+          const MarginalTerms t =
+              marginal_terms(*profile[i], rates[i], scratch.congestion[i]);
+          slope = t.dm_dr + t.dm_dc * dci + scratch.hess(i, i);
+        }
+      }
+      scratch.responses[i] = residual;
+      scratch.diag[i] = slope;
+      max_residual =
+          std::max(max_residual, projected_residual(residual, rates[i]));
+    }
+    result.iterations = it;
+    result.max_residual = max_residual;
+    if (max_residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (it >= options.max_iterations) break;
+    if (it == 0) initial_residual = max_residual;
+    best_residual = std::min(best_residual, max_residual);
+    // Eight sweeps with essentially no progress: this game's coupling does
+    // not relax synchronously — stop burning the budget.
+    if (it >= 8 && best_residual > 0.9 * initial_residual) break;
+    if (max_residual > prev_residual) {
+      damping_scale = std::max(damping_scale * 0.5, 1.0 / 64.0);
+    } else {
+      damping_scale = std::min(damping_scale * 2.0, 1.0);
+    }
+    prev_residual = max_residual;
+    // Jacobi step, same clamp as newton_relaxation: all slopes evaluated at
+    // the unmodified sweep point, then every user moves at once. The full
+    // Newton step comes first (preserving the Theorem 7 one-shot property in
+    // the linear regime); if the per-user clamp still lets the joint step
+    // saturate the switch (total load >= 1 evaluates to non-finite
+    // congestion), the whole step vector is halved until the trial point is
+    // feasible again. A sweep therefore never strands the state at a point
+    // it cannot evaluate — if no damping makes the step feasible (e.g. the
+    // start was already saturated), the relaxation gives up and the caller
+    // escalates to a scan-based solve, which handles saturation natively.
+    scratch.trial.resize(n);
+    double damping = damping_scale;
+    bool stepped = false;
+    for (int halvings = 0; halvings < 6 && !stepped; ++halvings) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double residual = scratch.responses[i];
+        const double slope = scratch.diag[i];
+        double next = rates[i];
+        if (!std::isnan(residual) && slope != 0.0 && std::isfinite(slope)) {
+          next = std::clamp(rates[i] - damping * residual / slope,
+                            kRepairFloor, kRepairCap);
+        }
+        scratch.trial[i] = next;
+      }
+      alloc.congestion_into(scratch.trial, scratch.congestion, scratch.ws);
+      stepped = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(scratch.congestion[i])) {
+          stepped = false;
+          break;
+        }
+      }
+      if (stepped) {
+        std::copy(scratch.trial.begin(), scratch.trial.end(), rates.begin());
+      }
+      damping *= 0.5;
+    }
+    if (!stepped) break;  // wedged against saturation; escalate
+  }
+  obs::default_registry()
+      .counter("core.nash.relax_sweeps_total")
+      .inc(static_cast<std::uint64_t>(result.iterations));
+  return result;
+}
+
+NewtonFdcResult newton_fdc(const AllocationFunction& alloc,
+                           const UtilityProfile& profile,
+                           std::vector<double>& rates,
+                           const NewtonFdcOptions& options) {
+  validate_sizes(profile, rates);
+  AllocationFunction::validate_rates(rates);
+  const std::size_t n = rates.size();
+  auto& scratch = solver_scratch();
+  scratch.congestion.resize(n);
+  scratch.responses.resize(n);
+  scratch.trial.resize(n);
+
+  // Residuals E_i at `point` into scratch.responses (congestion and the
+  // allocation Jacobian stay loaded for the Jacobian assembly below);
+  // returns the max projected (KKT) residual, infinite when any entry
+  // fails to evaluate.
+  const auto residual_pass = [&](const std::vector<double>& point) {
+    alloc.congestion_into(point, scratch.congestion, scratch.ws);
+    alloc.jacobian_into(point, scratch.jac, scratch.ws);
+    double max_res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double e = kNan;
+      if (std::isfinite(scratch.congestion[i])) {
+        const double m =
+            profile[i]->marginal_ratio(point[i], scratch.congestion[i]);
+        const double dci = scratch.jac(i, i);
+        if (std::isfinite(m) && std::isfinite(dci)) e = m + dci;
+      }
+      scratch.responses[i] = e;
+      max_res = std::max(max_res, projected_residual(e, point[i]));
+    }
+    return max_res;
+  };
+
+  NewtonFdcResult result;
+  double max_residual = residual_pass(rates);
+  numerics::Matrix jacobian(n, n);
+  std::vector<double> rhs(n);
+  for (int it = 0; true; ++it) {
+    result.iterations = it;
+    result.max_residual = max_residual;
+    if (max_residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (it >= options.max_iterations || !std::isfinite(max_residual)) break;
+    // Full dE_i/dr_j from the batched partials already loaded at `rates`.
+    // Users pinned at a bound with the KKT sign satisfied are frozen out
+    // of the system (identity row, zero column): their raw E_i is nonzero
+    // by design and must push neither themselves nor anyone else.
+    alloc.second_partials_into(rates, scratch.hess, scratch.ws);
+    scratch.diag.resize(n);  // active-set mask for this assembly
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = scratch.responses[i];
+      const bool pinned =
+          (rates[i] <= 2.0 * kRepairFloor && e >= 0.0) ||
+          (rates[i] >= kRepairCap && e <= 0.0);
+      scratch.diag[i] = pinned ? 1.0 : 0.0;
+    }
+    bool assembled = true;
+    for (std::size_t i = 0; i < n && assembled; ++i) {
+      if (scratch.diag[i] != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) jacobian(i, j) = i == j;
+        rhs[i] = 0.0;
+        continue;
+      }
+      const MarginalTerms t =
+          marginal_terms(*profile[i], rates[i], scratch.congestion[i]);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (scratch.diag[j] != 0.0 && j != i) {
+          jacobian(i, j) = 0.0;
+          continue;
+        }
+        double entry = t.dm_dc * scratch.jac(i, j) + scratch.hess(i, j);
+        if (i == j) entry += t.dm_dr;
+        if (!std::isfinite(entry)) {
+          assembled = false;
+          break;
+        }
+        jacobian(i, j) = entry;
+      }
+      rhs[i] = -scratch.responses[i];
+    }
+    if (!assembled) break;
+    const auto factorization = numerics::lu_decompose(jacobian);
+    if (factorization.singular) break;
+    const auto delta = numerics::lu_solve(factorization, rhs);
+    // Backtracking line search on max |E|; the accepted pass leaves the
+    // congestion/Jacobian buffers loaded at the new point for the next
+    // assembly.
+    bool accepted = false;
+    double alpha = 1.0;
+    for (int bt = 0; bt < 6 && !accepted; ++bt, alpha *= 0.5) {
+      for (std::size_t i = 0; i < n; ++i) {
+        scratch.trial[i] = std::clamp(rates[i] + alpha * delta[i],
+                                      kRepairFloor, kRepairCap);
+      }
+      const double trial_residual = residual_pass(scratch.trial);
+      if (trial_residual < max_residual) {
+        std::copy(scratch.trial.begin(), scratch.trial.end(), rates.begin());
+        max_residual = trial_residual;
+        accepted = true;
+      }
+    }
+    if (!accepted) break;  // stationary under the line search; escalate
+  }
+  obs::default_registry()
+      .counter("core.nash.newton_fdc_iterations_total")
+      .inc(static_cast<std::uint64_t>(result.iterations));
+  return result;
 }
 
 numerics::Matrix relaxation_matrix(const AllocationFunction& alloc,

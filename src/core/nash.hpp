@@ -19,6 +19,17 @@ struct BestResponseOptions {
   double r_min = 1e-6;   ///< lower edge of the candidate interval
   double r_max = 0.999;  ///< upper edge (paper: candidates in [0, 1])
   int scan_points = 201; ///< coarse scan resolution before refinement
+  /// When > 0, the candidate scan is narrowed to
+  /// [r_i - warm_radius, r_i + warm_radius] (clamped to [r_min, r_max]),
+  /// the warm-start path used by the streaming control plane: near an
+  /// equilibrium the best response moves only slightly, so a local scan
+  /// with `warm_scan_points` samples replaces the full-interval sweep. If
+  /// the argmax pins to a shrunken edge the search falls back to the full
+  /// interval, so the result is exact whenever the payoff is unimodal on
+  /// the excluded side (true for the AU utility families near interior
+  /// equilibria).
+  double warm_radius = 0.0;
+  int warm_scan_points = 33;  ///< scan resolution inside the warm window
 };
 
 struct BestResponse {
@@ -92,6 +103,76 @@ struct NashResult {
                                         const UtilityProfile& profile,
                                         const std::vector<double>& rates,
                                         std::size_t i, std::size_t j);
+
+/// User i's FDC residual E_i = M_i + dC_i/dr_i and own-slope dE_i/dr_i in
+/// one evaluation — the pair consumed by a single coordinate Newton step.
+/// Both are NaN where C_i is infinite. This is the rank-1 refresh primitive
+/// of the control plane: when only user i's utility churns, row i of the
+/// FDC system is the only row that changes at the current rate point, so an
+/// incremental repair can re-solve E_i(r_i) = 0 alone before deciding
+/// whether a global sweep is needed.
+struct FdcTerms {
+  double residual = 0.0;  ///< E_i = M_i(r_i, C_i) + dC_i/dr_i
+  double slope = 0.0;     ///< dE_i/dr_i
+};
+[[nodiscard]] FdcTerms fdc_terms(const AllocationFunction& alloc,
+                                 const Utility& utility,
+                                 const std::vector<double>& rates,
+                                 std::size_t i);
+
+/// Lean warm-start entry point for the Section 4.2.3 synchronous Newton
+/// relaxation (the Theorem 7 engine): iterates the Jacobi Newton update in
+/// place on `rates` until max_i |E_i| <= tolerance, drawing the residuals
+/// and slopes from one batched congestion/jacobian/second-partials pass per
+/// sweep instead of per-entry recomputation, and recording no trajectory.
+/// This is the fast re-convergence path of gw::ctrl: warm-started from the
+/// previous equilibrium it typically converges in a handful of sweeps
+/// (exactly one plus verification in Fair Share's linear regime, where the
+/// relaxation matrix is nilpotent).
+/// Convergence for both incremental engines is measured on the projected
+/// (KKT) residual: |E_i| for interior users, but zero for a user pinned at
+/// the rate floor with E_i >= 0 (or at the cap with E_i <= 0) — such a user
+/// is at her best response even though E_i != 0, and boundary equilibria
+/// are routine under densely-coupled disciplines like FIFO.
+struct RelaxOptions {
+  int max_iterations = 64;
+  double tolerance = 1e-9;  ///< max projected residual at convergence
+};
+struct RelaxResult {
+  bool converged = false;
+  int iterations = 0;        ///< Newton sweeps applied
+  double max_residual = 0.0; ///< max projected residual at the final point
+};
+[[nodiscard]] RelaxResult relax_equilibrium(const AllocationFunction& alloc,
+                                            const UtilityProfile& profile,
+                                            std::vector<double>& rates,
+                                            const RelaxOptions& options = {});
+
+/// Dense Newton on the full FDC system E(r) = 0: assembles the complete
+/// dE_i/dr_j Jacobian from the batched allocation partials, LU-solves for
+/// the joint step, and backtracks on max_i |E_i|. This is the incremental
+/// engine for densely-coupled disciplines — under FIFO every user's
+/// congestion moves with the total load, so the per-user synchronous sweep
+/// (relax_equilibrium) orbits a limit cycle while the full-Jacobian step
+/// converges quadratically from a warm start. O(n^3) per iteration, which
+/// at control-plane shard sizes is orders of magnitude below one
+/// best-response scan sweep.
+/// Users pinned at a rate bound with the KKT sign satisfied are frozen out
+/// of the linear system (active-set projection), and convergence is
+/// measured on the projected residual (see RelaxOptions).
+struct NewtonFdcOptions {
+  int max_iterations = 16;
+  double tolerance = 1e-9;  ///< max projected residual at convergence
+};
+struct NewtonFdcResult {
+  bool converged = false;
+  int iterations = 0;
+  double max_residual = 0.0;  ///< max projected residual at the final point
+};
+[[nodiscard]] NewtonFdcResult newton_fdc(const AllocationFunction& alloc,
+                                         const UtilityProfile& profile,
+                                         std::vector<double>& rates,
+                                         const NewtonFdcOptions& options = {});
 
 /// The synchronous-Newton relaxation matrix of paper Section 4.2.3:
 ///   A_ij = delta_ij - (dE_i/dr_j) / (dE_j/dr_j).

@@ -1,0 +1,67 @@
+#include "ctrl/churn.hpp"
+
+#include <stdexcept>
+
+namespace gw::ctrl {
+
+PoissonChurn::PoissonChurn(std::size_t users, PoissonChurnOptions options,
+                           std::uint64_t seed)
+    : users_(users), options_(options), rng_(seed) {
+  if (users == 0) throw std::invalid_argument("PoissonChurn: no users");
+  if (options.updates_per_second <= 0.0 ||
+      options.gamma_min <= 0.0 || options.gamma_max < options.gamma_min) {
+    throw std::invalid_argument("PoissonChurn: bad options");
+  }
+}
+
+RateUpdate PoissonChurn::next() {
+  clock_ += rng_.exponential(options_.updates_per_second);
+  RateUpdate update;
+  update.user = static_cast<std::size_t>(rng_.uniform_index(users_));
+  update.utility = core::make_linear(
+      options_.a, rng_.uniform(options_.gamma_min, options_.gamma_max));
+  update.arrival_time = clock_;
+  return update;
+}
+
+BurstChurn::BurstChurn(std::size_t users, BurstChurnOptions options,
+                       std::uint64_t seed)
+    : users_(users), options_(options), rng_(seed) {
+  if (users == 0) throw std::invalid_argument("BurstChurn: no users");
+  if (options.burst_length == 0 || options.block_size == 0 ||
+      options.gamma_low <= 0.0 || options.gamma_high < options.gamma_low) {
+    throw std::invalid_argument("BurstChurn: bad options");
+  }
+}
+
+RateUpdate BurstChurn::next() {
+  if (in_burst_ == 0) {
+    // Jittered silence between bursts (±50%) so bursts from different
+    // seeds don't phase-lock when replayed side by side.
+    clock_ += options_.burst_gap * rng_.uniform(0.5, 1.5);
+  } else {
+    clock_ += options_.within_gap;
+  }
+  const std::size_t block_start = (burst_ * options_.block_size) % users_;
+  RateUpdate update;
+  update.user = (block_start + in_burst_ % options_.block_size) % users_;
+  // Alternate the extremes across the block so consecutive updates always
+  // force a real equilibrium move, and flip the phase on every full
+  // rotation through the user population so a revisited block receives the
+  // *opposite* assignment it holds — without the flip, the second visit
+  // would stage utilities identical to the current profile and the
+  // "adversarial" burst would degenerate into a no-op.
+  const std::size_t rotation = burst_ * options_.block_size / users_;
+  const double gamma = (in_burst_ + rotation) % 2 == 0
+                           ? options_.gamma_low
+                           : options_.gamma_high;
+  update.utility = core::make_linear(options_.a, gamma);
+  update.arrival_time = clock_;
+  if (++in_burst_ >= options_.burst_length) {
+    in_burst_ = 0;
+    ++burst_;
+  }
+  return update;
+}
+
+}  // namespace gw::ctrl

@@ -1,0 +1,89 @@
+// Rate-churn event model for the streaming control plane.
+//
+// A RateUpdate is the unit of churn the host agents feed the controller:
+// one user swaps her utility (preferences changed, demand shifted) at a
+// virtual arrival time. The two generators cover the E-CHURN workload
+// axes:
+//   * PoissonChurn — memoryless background churn: exponential
+//     interarrivals, uniformly random user, delay-aversion drawn fresh per
+//     update. The smooth-perturbation regime where incremental repair
+//     should almost never escalate (Wu–Bui–Johari: equilibria vary
+//     smoothly under demand perturbation).
+//   * BurstChurn — the adversarial pattern: bursts hammer one contiguous
+//     user block (one shard's worth) back-to-back, alternating extreme
+//     delay-aversions (phase-flipped on every rotation through the
+//     population) so every update forces a real equilibrium move and the
+//     dirty set concentrates on a single shard instead of spreading.
+//
+// Both are deterministic functions of their seed (numerics::Rng), so churn
+// scenarios replay bit-identically across runs and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/utility.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::ctrl {
+
+/// One churn event: at virtual time `arrival_time` (seconds), `user`
+/// replaces her utility with `utility`.
+struct RateUpdate {
+  std::size_t user = 0;
+  core::UtilityPtr utility;
+  double arrival_time = 0.0;
+};
+
+struct PoissonChurnOptions {
+  double updates_per_second = 1000.0;  ///< Poisson arrival rate
+  double gamma_min = 0.3;              ///< delay-aversion draw range
+  double gamma_max = 0.85;
+  double a = 1.0;  ///< throughput weight of the linear utility
+};
+
+/// Memoryless background churn (see file comment).
+class PoissonChurn {
+ public:
+  PoissonChurn(std::size_t users, PoissonChurnOptions options,
+               std::uint64_t seed);
+
+  [[nodiscard]] RateUpdate next();
+
+ private:
+  std::size_t users_;
+  PoissonChurnOptions options_;
+  numerics::Rng rng_;
+  double clock_ = 0.0;
+};
+
+struct BurstChurnOptions {
+  std::size_t burst_length = 32;  ///< updates per burst
+  std::size_t block_size = 64;    ///< contiguous users targeted per burst
+  double burst_gap = 0.05;        ///< seconds of silence between bursts
+  double within_gap = 1e-5;       ///< interarrival inside a burst
+  double gamma_low = 0.3;         ///< the two extremes the burst flips
+  double gamma_high = 0.85;
+  double a = 1.0;
+};
+
+/// Adversarial burst churn (see file comment). Burst k targets the user
+/// block starting at (k * block_size) mod users, so successive bursts
+/// rotate through the shards.
+class BurstChurn {
+ public:
+  BurstChurn(std::size_t users, BurstChurnOptions options,
+             std::uint64_t seed);
+
+  [[nodiscard]] RateUpdate next();
+
+ private:
+  std::size_t users_;
+  BurstChurnOptions options_;
+  numerics::Rng rng_;
+  double clock_ = 0.0;
+  std::size_t burst_ = 0;     ///< bursts completed
+  std::size_t in_burst_ = 0;  ///< updates emitted in the current burst
+};
+
+}  // namespace gw::ctrl

@@ -1,0 +1,207 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gw::ctrl {
+
+namespace {
+
+struct ControllerMetrics {
+  obs::Counter& submitted;
+  obs::Counter& applied;
+  obs::Counter& batches;
+  obs::Gauge& staleness;
+  obs::Gauge& epoch;
+  obs::Histogram& batch_seconds;
+  obs::Histogram& batch_size;
+};
+
+ControllerMetrics& controller_metrics() {
+  static auto& registry = obs::default_registry();
+  static ControllerMetrics metrics{
+      registry.counter("ctrl.updates_submitted"),
+      registry.counter("ctrl.updates_applied"),
+      registry.counter("ctrl.batches"),
+      registry.gauge("ctrl.staleness_updates"),
+      registry.gauge("ctrl.epoch"),
+      registry.histogram("ctrl.batch_seconds", 0.0, 0.5, 128),
+      registry.histogram("ctrl.batch_size", 0.0, 1024.0, 64),
+  };
+  return metrics;
+}
+
+}  // namespace
+
+Controller::Controller(std::vector<SolverShard> shards,
+                       ControllerConfig config)
+    : shards_(std::move(shards)), config_(config) {
+  if (shards_.empty()) throw std::invalid_argument("Controller: no shards");
+  shard_base_.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    shard_base_.push_back(users_);
+    users_ += shard.size();
+  }
+  served_.reserve(users_);
+  for (const auto& shard : shards_) {
+    served_.insert(served_.end(), shard.rates().begin(), shard.rates().end());
+  }
+}
+
+std::pair<std::size_t, std::size_t> Controller::locate(
+    std::size_t user) const {
+  if (user >= users_) throw std::invalid_argument("Controller: bad user id");
+  // shard_base_ is ascending; find the last base <= user.
+  const auto it = std::upper_bound(shard_base_.begin(), shard_base_.end(),
+                                   user);
+  const std::size_t k = static_cast<std::size_t>(it - shard_base_.begin()) - 1;
+  return {k, user - shard_base_[k]};
+}
+
+void Controller::submit(RateUpdate update) {
+  if (update.user >= users_) {
+    throw std::invalid_argument("Controller: bad user id");
+  }
+  if (update.utility == nullptr) {
+    throw std::invalid_argument("Controller: null utility");
+  }
+  std::size_t depth = 0;
+  {
+    const std::lock_guard<std::mutex> lock(ingress_mutex_);
+    ingress_.push_back(std::move(update));
+    depth = ingress_.size();
+  }
+  auto& metrics = controller_metrics();
+  metrics.submitted.inc();
+  metrics.staleness.set(static_cast<double>(depth));
+}
+
+void Controller::submit(std::span<const RateUpdate> updates) {
+  for (const auto& update : updates) {
+    if (update.user >= users_ || update.utility == nullptr) {
+      throw std::invalid_argument("Controller: bad update in batch");
+    }
+  }
+  std::size_t depth = 0;
+  {
+    const std::lock_guard<std::mutex> lock(ingress_mutex_);
+    ingress_.insert(ingress_.end(), updates.begin(), updates.end());
+    depth = ingress_.size();
+  }
+  auto& metrics = controller_metrics();
+  metrics.submitted.inc(updates.size());
+  metrics.staleness.set(static_cast<double>(depth));
+}
+
+std::size_t Controller::pending() const {
+  const std::lock_guard<std::mutex> lock(ingress_mutex_);
+  return ingress_.size();
+}
+
+BatchReport Controller::apply_pending(exec::ThreadPool* pool) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t trace_start_us = obs::wall_now_us();
+
+  draining_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(ingress_mutex_);
+    std::swap(draining_, ingress_);
+  }
+
+  BatchReport report;
+  report.updates_applied = draining_.size();
+  auto& metrics = controller_metrics();
+
+  if (!draining_.empty()) {
+    // Route in arrival order; SolverShard::stage keeps the last write per
+    // user, so in-batch coalescing matches the submit sequence.
+    for (auto& update : draining_) {
+      const auto [k, local] = locate(update.user);
+      shards_[k].stage(local, std::move(update.utility));
+    }
+    dirty_shards_.clear();
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      if (shards_[k].dirty()) dirty_shards_.push_back(k);
+    }
+    report.shards_repaired = dirty_shards_.size();
+    outcomes_.assign(dirty_shards_.size(), RepairOutcome{});
+
+    // Shard repairs are independent; per-slot outcomes + the static
+    // partition keep the result identical for any pool size.
+    const auto repair_one = [this](std::size_t idx) {
+      outcomes_[idx] = shards_[dirty_shards_[idx]].repair(config_.policy);
+    };
+    if (pool != nullptr && dirty_shards_.size() > 1) {
+      pool->parallel_for(dirty_shards_.size(), repair_one);
+    } else {
+      for (std::size_t i = 0; i < dirty_shards_.size(); ++i) repair_one(i);
+    }
+
+    for (const auto& outcome : outcomes_) {
+      switch (outcome.path) {
+        case RepairPath::kSingleUser: ++report.single_user; break;
+        case RepairPath::kRelax: ++report.relax; break;
+        case RepairPath::kNewton: ++report.newton; break;
+        case RepairPath::kWarmSolve: ++report.warm_solve; break;
+        case RepairPath::kFullSolve: ++report.full_solve; break;
+        case RepairPath::kNoop: break;
+      }
+      report.all_converged = report.all_converged && outcome.converged;
+      report.max_residual = std::max(report.max_residual,
+                                     outcome.max_residual);
+    }
+
+    // Publish: copy each repaired shard's rates into the served vector
+    // under one lock, then bump the epoch — readers see old or new, never
+    // a torn mix of the two.
+    {
+      const std::lock_guard<std::mutex> lock(served_mutex_);
+      for (const std::size_t k : dirty_shards_) {
+        const auto& rates = shards_[k].rates();
+        std::copy(rates.begin(), rates.end(),
+                  served_.begin() + static_cast<std::ptrdiff_t>(
+                                        shard_base_[k]));
+      }
+      ++epoch_;
+      report.epoch = epoch_;
+    }
+  } else {
+    const std::lock_guard<std::mutex> lock(served_mutex_);
+    report.epoch = epoch_;
+  }
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  report.wall_seconds =
+      std::chrono::duration<double>(elapsed).count();
+
+  metrics.batches.inc();
+  metrics.applied.inc(report.updates_applied);
+  metrics.batch_seconds.observe(report.wall_seconds);
+  metrics.batch_size.observe(static_cast<double>(report.updates_applied));
+  metrics.staleness.set(static_cast<double>(pending()));
+  metrics.epoch.set(static_cast<double>(report.epoch));
+  if (auto* trace = obs::active_trace()) {
+    trace->complete("ctrl", "apply_pending",
+                    static_cast<double>(trace_start_us),
+                    static_cast<double>(obs::wall_now_us() - trace_start_us));
+  }
+  return report;
+}
+
+AllocationSnapshot Controller::snapshot() const {
+  AllocationSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(served_mutex_);
+    snap.epoch = epoch_;
+    snap.rates = served_;
+  }
+  snap.pending = pending();
+  return snap;
+}
+
+}  // namespace gw::ctrl

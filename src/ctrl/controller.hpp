@@ -1,0 +1,121 @@
+// Cluster-agent control loop: streaming churn in, served equilibria out.
+//
+// The Controller is the cluster-agent half of a host-agent/cluster-agent
+// split (heyp-agents style): host agents call submit() from any thread to
+// stream RateUpdates in; the control loop calls apply_pending() to drain
+// the ingress queue as one batch, route each update to the shard that owns
+// the user, repair every dirty shard (independently, dispatched over a
+// gw_exec::ThreadPool), and atomically publish the new served allocation
+// under a bumped epoch.
+//
+// Determinism contract: the served allocation after a batch is a pure
+// function of (initial state, update sequence, batch boundaries) — shard
+// repairs share no state and are combined in shard order, and
+// ThreadPool::parallel_for's static partition makes the dispatch
+// bit-identical for every thread count. Within a batch, later updates to
+// the same user win (last-write semantics), matching what a coalescing
+// host agent would deliver.
+//
+// Staleness: the served allocation lags the update stream by whatever sits
+// in the ingress queue plus the batch in flight. pending() and the
+// ctrl.staleness_updates gauge expose the queue depth; the E-CHURN bench
+// converts measured batch latency into served-allocation staleness in
+// virtual time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "ctrl/churn.hpp"
+#include "ctrl/shard.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace gw::ctrl {
+
+struct ControllerConfig {
+  RepairPolicy policy;
+};
+
+/// What one apply_pending() call did.
+struct BatchReport {
+  std::uint64_t epoch = 0;          ///< epoch the batch published
+  std::size_t updates_applied = 0;
+  std::size_t shards_repaired = 0;
+  std::size_t single_user = 0;      ///< per-path shard counts
+  std::size_t relax = 0;
+  std::size_t newton = 0;
+  std::size_t warm_solve = 0;
+  std::size_t full_solve = 0;
+  bool all_converged = true;
+  double max_residual = 0.0;        ///< worst measured shard residual
+  double wall_seconds = 0.0;
+};
+
+/// A consistent copy of the served allocation.
+struct AllocationSnapshot {
+  std::uint64_t epoch = 0;
+  std::vector<double> rates;  ///< global user order (shard-major)
+  std::size_t pending = 0;    ///< updates submitted but not yet applied
+};
+
+class Controller {
+ public:
+  /// Takes ownership of the shards. Global user ids are assigned
+  /// shard-major: shard k owns the contiguous block
+  /// [base(k), base(k) + shard(k).size()).
+  explicit Controller(std::vector<SolverShard> shards,
+                      ControllerConfig config = {});
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t user_count() const noexcept { return users_; }
+  [[nodiscard]] const SolverShard& shard(std::size_t k) const {
+    return shards_[k];
+  }
+  /// Maps a global user id to (shard index, local user index).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> locate(
+      std::size_t user) const;
+
+  // ---- host-agent side (thread-safe) -----------------------------------
+
+  /// Enqueues one update (or a batch); applied by the next apply_pending().
+  void submit(RateUpdate update);
+  void submit(std::span<const RateUpdate> updates);
+
+  /// Updates submitted but not yet applied.
+  [[nodiscard]] std::size_t pending() const;
+
+  // ---- cluster-agent side ----------------------------------------------
+
+  /// Drains the ingress queue, repairs every dirty shard (over `pool` when
+  /// given, inline otherwise) and publishes the new served allocation.
+  /// Not reentrant: one control loop calls this at a time.
+  BatchReport apply_pending(exec::ThreadPool* pool = nullptr);
+
+  /// Copies the served allocation (rates + epoch) and the queue depth.
+  [[nodiscard]] AllocationSnapshot snapshot() const;
+
+ private:
+  std::vector<SolverShard> shards_;
+  std::vector<std::size_t> shard_base_;  ///< global id of each shard's user 0
+  std::size_t users_ = 0;
+  ControllerConfig config_;
+
+  mutable std::mutex ingress_mutex_;
+  std::vector<RateUpdate> ingress_;
+
+  mutable std::mutex served_mutex_;
+  std::vector<double> served_;
+  std::uint64_t epoch_ = 0;
+
+  // apply_pending() scratch, reused across batches (single control loop).
+  std::vector<RateUpdate> draining_;
+  std::vector<std::size_t> dirty_shards_;
+  std::vector<RepairOutcome> outcomes_;
+};
+
+}  // namespace gw::ctrl

@@ -1,0 +1,187 @@
+#include "ctrl/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace gw::ctrl {
+
+namespace {
+
+struct RepairMetrics {
+  obs::Counter& single_user;
+  obs::Counter& relax;
+  obs::Counter& newton;
+  obs::Counter& warm_solve;
+  obs::Counter& full_solve;
+  obs::Counter& escalations;
+  obs::Histogram& relax_iterations;
+};
+
+RepairMetrics& repair_metrics() {
+  static auto& registry = obs::default_registry();
+  static RepairMetrics metrics{
+      registry.counter("ctrl.repair.single_user"),
+      registry.counter("ctrl.repair.relax"),
+      registry.counter("ctrl.repair.newton"),
+      registry.counter("ctrl.repair.warm_solve"),
+      registry.counter("ctrl.repair.full_solve"),
+      registry.counter("ctrl.repair.escalations"),
+      registry.histogram("ctrl.repair.relax_iterations", 0.0, 64.0, 32),
+  };
+  return metrics;
+}
+
+}  // namespace
+
+SolverShard::SolverShard(
+    std::shared_ptr<const core::AllocationFunction> alloc,
+    core::UtilityProfile profile, std::vector<double> start)
+    : alloc_(std::move(alloc)), profile_(std::move(profile)) {
+  if (alloc_ == nullptr) throw std::invalid_argument("SolverShard: null alloc");
+  if (profile_.empty()) throw std::invalid_argument("SolverShard: no users");
+  for (const auto& u : profile_) {
+    if (u == nullptr) throw std::invalid_argument("SolverShard: null utility");
+  }
+  staged_.resize(profile_.size());
+  staged_flag_.assign(profile_.size(), 0);
+  if (start.empty()) {
+    rates_.assign(profile_.size(), 0.5 / static_cast<double>(profile_.size()));
+    rates_ = core::solve_nash(*alloc_, profile_, rates_,
+                              RepairPolicy{}.full_solve)
+                 .rates;
+  } else {
+    if (start.size() != profile_.size()) {
+      throw std::invalid_argument("SolverShard: start size mismatch");
+    }
+    rates_ = std::move(start);
+  }
+}
+
+void SolverShard::stage(std::size_t local_user, core::UtilityPtr utility) {
+  if (local_user >= profile_.size()) {
+    throw std::invalid_argument("SolverShard: bad user index");
+  }
+  if (utility == nullptr) {
+    throw std::invalid_argument("SolverShard: null utility");
+  }
+  if (staged_flag_[local_user] == 0) {
+    staged_flag_[local_user] = 1;
+    dirty_users_.push_back(local_user);
+  }
+  staged_[local_user] = std::move(utility);
+}
+
+std::vector<double> SolverShard::cold_start() const {
+  return std::vector<double>(profile_.size(),
+                             0.5 / static_cast<double>(profile_.size()));
+}
+
+std::vector<double> SolverShard::cold_solve(
+    const core::NashOptions& options) const {
+  return core::solve_nash(*alloc_, profile_, cold_start(), options).rates;
+}
+
+RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
+  RepairOutcome outcome;
+  if (dirty_users_.empty()) return outcome;
+  outcome.users_churned = dirty_users_.size();
+  const bool single = dirty_users_.size() == 1;
+  const std::size_t churned = dirty_users_.front();
+  for (const std::size_t user : dirty_users_) {
+    profile_[user] = std::move(staged_[user]);
+    staged_flag_[user] = 0;
+  }
+  dirty_users_.clear();
+
+  auto& metrics = repair_metrics();
+
+  // Naive mode, or so much of the shard churned that the previous
+  // equilibrium is stale wholesale: cold solve directly, skipping the
+  // incremental rungs that could only waste their budgets first.
+  const bool bulk_churn =
+      static_cast<double>(outcome.users_churned) >
+      policy.full_solve_dirty_fraction * static_cast<double>(rates_.size());
+  if (policy.mode == RepairMode::kFullResolve || bulk_churn) {
+    const auto solved =
+        core::solve_nash(*alloc_, profile_, cold_start(), policy.full_solve);
+    rates_ = solved.rates;
+    outcome.path = RepairPath::kFullSolve;
+    outcome.converged = solved.converged;
+    metrics.full_solve.inc();
+    return outcome;
+  }
+
+  // Rung 1: coordinate Newton on the one churned user. Only row `churned`
+  // of the FDC system moved at the current rate point, so this is the
+  // whole repair whenever the cross-coupling it induces stays below
+  // tolerance (verified by the rung-2 residual check, which costs one
+  // batched sweep and zero Newton steps when already converged).
+  if (single && policy.single_user_iterations > 0) {
+    for (int it = 0; it < policy.single_user_iterations; ++it) {
+      const auto terms =
+          core::fdc_terms(*alloc_, *profile_[churned], rates_, churned);
+      if (std::isnan(terms.residual) ||
+          std::abs(terms.residual) <= policy.relax.tolerance) {
+        break;
+      }
+      if (terms.slope == 0.0 || !std::isfinite(terms.slope)) break;
+      rates_[churned] = std::clamp(
+          rates_[churned] - terms.residual / terms.slope, 1e-9, 0.9999);
+    }
+  }
+
+  // Rung 2: warm synchronous-Newton relaxation from the (possibly rung-1
+  // improved) previous equilibrium.
+  const auto relaxed =
+      core::relax_equilibrium(*alloc_, profile_, rates_, policy.relax);
+  outcome.relax_iterations = relaxed.iterations;
+  outcome.max_residual = relaxed.max_residual;
+  metrics.relax_iterations.observe(relaxed.iterations);
+  if (relaxed.converged) {
+    outcome.path = single && relaxed.iterations <= 1 ? RepairPath::kSingleUser
+                                                     : RepairPath::kRelax;
+    (outcome.path == RepairPath::kSingleUser ? metrics.single_user
+                                             : metrics.relax)
+        .inc();
+    return outcome;
+  }
+
+  // Rung 3: dense Newton on the full FDC system. Densely-coupled games
+  // (FIFO ties every user's congestion to the total load) defeat the
+  // per-user sweep above, but the joint linearized step converges
+  // quadratically from the still-warm point.
+  metrics.escalations.inc();
+  const auto newton =
+      core::newton_fdc(*alloc_, profile_, rates_, policy.newton);
+  if (newton.converged) {
+    outcome.path = RepairPath::kNewton;
+    outcome.max_residual = newton.max_residual;
+    metrics.newton.inc();
+    return outcome;
+  }
+
+  // Rung 4: warm best-response solve from wherever Newton left us.
+  const auto warm =
+      core::solve_nash(*alloc_, profile_, rates_, policy.warm_solve);
+  rates_ = warm.rates;
+  if (warm.converged) {
+    outcome.path = RepairPath::kWarmSolve;
+    outcome.converged = true;
+    metrics.warm_solve.inc();
+    return outcome;
+  }
+
+  // Rung 5: the cold solve a from-scratch controller would run.
+  const auto full =
+      core::solve_nash(*alloc_, profile_, cold_start(), policy.full_solve);
+  rates_ = full.rates;
+  outcome.path = RepairPath::kFullSolve;
+  outcome.converged = full.converged;
+  metrics.full_solve.inc();
+  return outcome;
+}
+
+}  // namespace gw::ctrl

@@ -1,0 +1,135 @@
+// Per-shard solver state for the streaming control plane.
+//
+// A SolverShard owns one independent congestion game — an allocation
+// function, the utility profile of its users, and the currently served
+// equilibrium — and repairs that equilibrium in place when utilities
+// churn, instead of re-solving from scratch. The repair ladder (cheapest
+// first, each rung escalating to the next only on failure):
+//
+//   1. rank-1 / coordinate refresh — when exactly one user churned, only
+//      row i of the FDC system E(r) = 0 changed at the current point, so a
+//      scalar Newton solve of E_i(r_i) = 0 (core::fdc_terms) repairs the
+//      equilibrium up to the cross-coupling;
+//   2. warm relaxation — the Section 4.2.3 synchronous Newton sweep
+//      (core::relax_equilibrium, Theorem 7's nilpotent engine under Fair
+//      Share) run from the previous equilibrium, with a bounded sweep
+//      budget;
+//   3. dense Newton — core::newton_fdc's full-Jacobian step, the engine
+//      for densely-coupled disciplines (FIFO) where the per-user sweep
+//      cannot converge but the joint linearized step does, quadratically;
+//   4. warm best-response solve — core::solve_nash started from the
+//      current rates with a narrowed warm_radius candidate scan;
+//   5. cold full solve — core::solve_nash from the canonical interior
+//      start, the same path a from-scratch controller would take.
+//
+// Every rung leaves `rates()` at its best known point, so a failed rung
+// still improves the next rung's starting point. RepairMode::kFullResolve
+// skips the ladder and cold-solves on any churn — the naive baseline the
+// E-CHURN bench measures against.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/nash.hpp"
+#include "core/utility.hpp"
+
+namespace gw::ctrl {
+
+enum class RepairMode {
+  kIncremental,  ///< the repair ladder above
+  kFullResolve,  ///< naive baseline: cold solve on any churn
+};
+
+struct RepairPolicy {
+  RepairMode mode = RepairMode::kIncremental;
+  /// When more than this fraction of the shard's users churned in one
+  /// batch, the previous equilibrium carries almost no information and the
+  /// incremental rungs are pure overhead: go straight to the cold solve
+  /// (exactly what the naive controller would do, so adversarial bursts
+  /// degrade to naive cost instead of below it).
+  double full_solve_dirty_fraction = 0.5;
+  /// Rung 1: scalar Newton iterations on the single churned user.
+  int single_user_iterations = 8;
+  /// Rung 2: warm relaxation budget.
+  core::RelaxOptions relax{.max_iterations = 24, .tolerance = 1e-9};
+  /// Rung 3: dense Newton on the full FDC system (densely-coupled games).
+  core::NewtonFdcOptions newton;
+  /// Rung 4: warm best-response solve (warm_radius pre-set; see ctor).
+  core::NashOptions warm_solve;
+  /// Rung 5 and kFullResolve: the cold-start solve.
+  core::NashOptions full_solve;
+
+  RepairPolicy() { warm_solve.best_response.warm_radius = 0.05; }
+};
+
+/// Which rung of the ladder produced the served equilibrium.
+enum class RepairPath {
+  kNoop,        ///< no staged churn
+  kSingleUser,  ///< rank-1 refresh (+ residual verification) sufficed
+  kRelax,       ///< warm relaxation sweeps converged
+  kNewton,      ///< dense full-Jacobian Newton converged
+  kWarmSolve,   ///< escalated to the warm best-response solve
+  kFullSolve,   ///< escalated to (or ran in naive mode) a cold solve
+};
+
+struct RepairOutcome {
+  RepairPath path = RepairPath::kNoop;
+  bool converged = true;
+  int relax_iterations = 0;    ///< sweeps spent in rung 2 (0 if skipped)
+  double max_residual = 0.0;   ///< final max |E_i| when measured, else 0
+  std::size_t users_churned = 0;
+};
+
+class SolverShard {
+ public:
+  /// Takes ownership of the shard's game. When `start` is empty the shard
+  /// cold-solves its initial equilibrium immediately (using
+  /// RepairPolicy{}.full_solve defaults); otherwise `start` is adopted
+  /// verbatim as the served point.
+  SolverShard(std::shared_ptr<const core::AllocationFunction> alloc,
+              core::UtilityProfile profile,
+              std::vector<double> start = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return rates_.size(); }
+  [[nodiscard]] const std::vector<double>& rates() const noexcept {
+    return rates_;
+  }
+  [[nodiscard]] const core::UtilityProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const core::AllocationFunction& alloc() const noexcept {
+    return *alloc_;
+  }
+
+  /// Stages a utility swap for `local_user`; applied by the next repair().
+  /// Staging the same user twice keeps the last write (batch semantics).
+  void stage(std::size_t local_user, core::UtilityPtr utility);
+
+  [[nodiscard]] bool dirty() const noexcept { return !dirty_users_.empty(); }
+
+  /// Applies staged churn and repairs the equilibrium per `policy`,
+  /// leaving rates() at the repaired point and clearing the dirty set.
+  RepairOutcome repair(const RepairPolicy& policy);
+
+  /// Reference resolve: cold solve of the shard's current profile from the
+  /// canonical interior start, without touching the served state. The
+  /// consistency oracle for tests and the E-CHURN bench.
+  [[nodiscard]] std::vector<double> cold_solve(
+      const core::NashOptions& options = RepairPolicy{}.full_solve) const;
+
+  /// The canonical interior start (total load 1/2 spread uniformly).
+  [[nodiscard]] std::vector<double> cold_start() const;
+
+ private:
+  std::shared_ptr<const core::AllocationFunction> alloc_;
+  core::UtilityProfile profile_;
+  std::vector<double> rates_;
+  std::vector<std::size_t> dirty_users_;   ///< staged users, insertion order
+  std::vector<core::UtilityPtr> staged_;   ///< per-user staged utility
+  std::vector<char> staged_flag_;          ///< membership bitmap
+};
+
+}  // namespace gw::ctrl

@@ -147,6 +147,8 @@ void write_manifest(JsonWriter& w, const RunManifest& manifest) {
   w.value(manifest.label);
   w.key("threads");
   w.value(static_cast<std::uint64_t>(manifest.threads));
+  w.key("warmup");
+  w.value(static_cast<std::uint64_t>(manifest.warmup));
   w.end_object();
 }
 

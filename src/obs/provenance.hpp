@@ -26,6 +26,7 @@ struct RunManifest {
   std::string timestamp_utc;  ///< ISO-8601, e.g. "2026-08-05T12:34:56Z"
   std::string label;          ///< user-supplied --label, may be empty
   unsigned threads = 1;       ///< worker threads the run used (bench --threads)
+  unsigned warmup = 0;        ///< discarded warm-up reps (bench --warmup)
 };
 
 /// Gathers the manifest for this process. `label` is the user-supplied run

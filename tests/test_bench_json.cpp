@@ -1,7 +1,9 @@
 // bench harness --json telemetry: run a real bench binary in JSON mode
 // and validate the emitted schema (gw.bench.v2), including the run
-// manifest and --repeat per-rep timing stats.
+// manifest, --repeat per-rep timing stats, and --warmup discarded reps.
 #include <gtest/gtest.h>
+
+#include <sys/wait.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -116,6 +118,56 @@ TEST(BenchJson, EmitsSchemaValidTelemetry) {
   EXPECT_GT(metrics.at("counters").at("core.nash.solves").number, 0.0);
 
   std::remove(out_path.c_str());
+}
+
+TEST(BenchJson, WarmupRepsAreDiscardedFromTelemetry) {
+  const std::string bench_dir = GW_BENCH_BIN_DIR;
+  const std::string binary = bench_dir + "/bench_fairness";
+  if (bench_dir.empty() || !file_exists(binary)) {
+    GTEST_SKIP() << "bench binary not built: " << binary;
+  }
+
+  const std::string out_path =
+      ::testing::TempDir() + "gw_bench_warmup.json";
+  std::remove(out_path.c_str());
+  const std::string command = binary + " --json " + out_path +
+                              " --warmup 1 --repeat 2 > /dev/null 2>&1";
+  EXPECT_EQ(std::system(command.c_str()), 0) << command;
+  ASSERT_TRUE(file_exists(out_path)) << "no telemetry written";
+
+  std::ifstream in(out_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+
+  // Warm-up reps produce no timing samples and are stamped into the
+  // manifest so suite comparisons stay like-for-like.
+  EXPECT_DOUBLE_EQ(doc.at("manifest").at("warmup").number, 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("timing").at("repeat").number, 2.0);
+  EXPECT_EQ(doc.at("timing").at("wall_ms").array.size(), 2u);
+  // The warm-up's metrics were wiped: counters reflect measured reps only
+  // (one rep's worth after the last reset, same as a --repeat-only run).
+  EXPECT_GT(doc.at("metrics").at("counters").at("core.nash.solves").number,
+            0.0);
+
+  std::remove(out_path.c_str());
+}
+
+TEST(BenchJson, RejectsNegativeRepeatAndWarmup) {
+  const std::string bench_dir = GW_BENCH_BIN_DIR;
+  const std::string binary = bench_dir + "/bench_fairness";
+  if (bench_dir.empty() || !file_exists(binary)) {
+    GTEST_SKIP() << "bench binary not built: " << binary;
+  }
+  auto exit_code = [&](const std::string& flags) {
+    const int raw =
+        std::system((binary + " " + flags + " > /dev/null 2>&1").c_str());
+    return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  };
+  EXPECT_EQ(exit_code("--repeat=-3"), 2);
+  EXPECT_EQ(exit_code("--repeat 0"), 2);
+  EXPECT_EQ(exit_code("--warmup=-1"), 2);
+  EXPECT_EQ(exit_code("--warmup nope"), 2);
 }
 
 }  // namespace

@@ -142,6 +142,83 @@ TEST_F(BenchstatCli, CompareFlagsRegressionAndExitsNonzero) {
       << compared.output;
 }
 
+TEST_F(BenchstatCli, CompareJsonWritesMachineReadableDocument) {
+  // --json emits the full row set as gw.benchcompare.v1 so dashboards and
+  // bots consume the gate without scraping the table.
+  write_file(path("old.json"),
+             synthetic_bench("bench_slowed", {10.0, 10.2, 9.9, 10.1, 10.0},
+                             100));
+  write_file(path("new.json"),
+             synthetic_bench("bench_slowed", {20.0, 20.4, 19.8, 20.2, 20.1},
+                             150));
+
+  const std::string out = path("compare.json");
+  const auto compared = run_command(
+      benchstat_path() + " compare " + path("old.json") + " " +
+      path("new.json") + " --threshold 5 --json " + out);
+  EXPECT_EQ(compared.exit_code, 1) << compared.output;
+  ASSERT_TRUE(file_exists(out)) << "no compare document written";
+
+  std::ifstream in(out);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  EXPECT_EQ(doc.at("schema").string, "gw.benchcompare.v1");
+  EXPECT_DOUBLE_EQ(doc.at("threshold_pct").number, 5.0);
+  EXPECT_DOUBLE_EQ(doc.at("alpha").number, 0.05);
+  EXPECT_EQ(doc.at("gate").string, "fail");
+  ASSERT_EQ(doc.at("regressions").array.size(), 1u);
+  EXPECT_EQ(doc.at("regressions").array[0].string,
+            "bench_slowed.wall_ms");
+
+  bool found_samples_row = false;
+  bool found_scalar_row = false;
+  for (const auto& row : doc.at("metrics").array) {
+    if (row.at("name").string == "bench_slowed.wall_ms") {
+      found_samples_row = true;
+      EXPECT_EQ(row.at("kind").string, "samples");
+      EXPECT_EQ(row.at("verdict").string, "regression");
+      EXPECT_NEAR(row.at("old").number, 10.0, 1e-9);
+      EXPECT_NEAR(row.at("new").number, 20.1, 1e-9);
+      EXPECT_GT(row.at("delta_pct").number, 50.0);
+      EXPECT_LT(row.at("p_value").number, 0.05);
+    }
+    if (row.at("name").string == "bench_slowed.core.nash.solves") {
+      found_scalar_row = true;
+      EXPECT_EQ(row.at("kind").string, "scalar");
+      EXPECT_EQ(row.at("verdict").string, "changed");
+      EXPECT_DOUBLE_EQ(row.at("old").number, 100.0);
+      EXPECT_DOUBLE_EQ(row.at("new").number, 150.0);
+    }
+  }
+  EXPECT_TRUE(found_samples_row);
+  EXPECT_TRUE(found_scalar_row);
+  std::remove(out.c_str());
+}
+
+TEST_F(BenchstatCli, CompareJsonGatePassesWhenUnchanged) {
+  write_file(path("old.json"),
+             synthetic_bench("bench_same", {10.0, 10.2, 9.9, 10.1, 10.0},
+                             100));
+  write_file(path("new.json"),
+             synthetic_bench("bench_same", {10.1, 10.0, 10.2, 9.9, 10.05},
+                             100));
+  const std::string out = path("compare_pass.json");
+  const auto compared = run_command(
+      benchstat_path() + " compare " + path("old.json") + " " +
+      path("new.json") + " --threshold 5 --json " + out);
+  EXPECT_EQ(compared.exit_code, 0) << compared.output;
+  std::ifstream in(out);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  EXPECT_EQ(doc.at("gate").string, "pass");
+  EXPECT_TRUE(doc.at("regressions").array.empty());
+  ASSERT_FALSE(doc.at("metrics").array.empty());
+  EXPECT_EQ(doc.at("metrics").array[0].at("verdict").string, "unchanged");
+  std::remove(out.c_str());
+}
+
 TEST_F(BenchstatCli, CompareImprovementExitsZero) {
   write_file(path("old.json"),
              synthetic_bench("bench_faster", {20.0, 20.4, 19.8, 20.2, 20.1},

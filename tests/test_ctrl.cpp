@@ -1,0 +1,289 @@
+// gw::ctrl — shard repair ladder, controller batching/publishing, churn
+// generators. Suite names start with "Ctrl" so the CI TSan job picks the
+// concurrent cases up via its -R filter.
+#include "ctrl/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/fair_share.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "ctrl/churn.hpp"
+#include "ctrl/shard.hpp"
+
+namespace gw::ctrl {
+namespace {
+
+using core::make_linear;
+
+std::shared_ptr<const core::AllocationFunction> fs() {
+  return std::make_shared<core::FairShareAllocation>();
+}
+
+core::UtilityProfile spread_profile(std::size_t n) {
+  core::UtilityProfile profile;
+  for (std::size_t i = 0; i < n; ++i) {
+    profile.push_back(make_linear(
+        1.0, 0.3 + 0.5 * static_cast<double>(i) / static_cast<double>(n)));
+  }
+  return profile;
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+/// Controller over `shards` Fair Share shards of `per` users each.
+Controller make_controller(std::size_t shards, std::size_t per,
+                           RepairPolicy policy = {}) {
+  std::vector<SolverShard> built;
+  for (std::size_t k = 0; k < shards; ++k) {
+    built.emplace_back(fs(), spread_profile(per));
+  }
+  ControllerConfig config;
+  config.policy = policy;
+  return Controller(std::move(built), config);
+}
+
+TEST(CtrlShard, ColdConstructionReachesNash) {
+  SolverShard shard(fs(), spread_profile(8));
+  EXPECT_TRUE(core::is_nash(shard.alloc(), shard.profile(), shard.rates(),
+                            1e-5));
+}
+
+TEST(CtrlShard, SingleUserRepairMatchesColdSolve) {
+  SolverShard shard(fs(), spread_profile(12));
+  shard.stage(4, make_linear(1.0, 0.7));
+  const auto outcome = shard.repair(RepairPolicy{});
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_EQ(outcome.users_churned, 1u);
+  EXPECT_TRUE(outcome.path == RepairPath::kSingleUser ||
+              outcome.path == RepairPath::kRelax);
+  EXPECT_LT(max_abs_diff(shard.rates(), shard.cold_solve()), 1e-5);
+}
+
+TEST(CtrlShard, MultiUserRepairMatchesColdSolve) {
+  SolverShard shard(fs(), spread_profile(12));
+  shard.stage(1, make_linear(1.0, 0.45));
+  shard.stage(7, make_linear(1.0, 0.8));
+  shard.stage(10, make_linear(1.0, 0.33));
+  const auto outcome = shard.repair(RepairPolicy{});
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_EQ(outcome.users_churned, 3u);
+  EXPECT_LT(max_abs_diff(shard.rates(), shard.cold_solve()), 1e-5);
+}
+
+TEST(CtrlShard, StagingSameUserKeepsLastWrite) {
+  SolverShard a(fs(), spread_profile(6));
+  SolverShard b(fs(), spread_profile(6));
+  a.stage(2, make_linear(1.0, 0.5));
+  a.stage(2, make_linear(1.0, 0.75));
+  (void)a.repair(RepairPolicy{});
+  b.stage(2, make_linear(1.0, 0.75));
+  (void)b.repair(RepairPolicy{});
+  EXPECT_EQ(a.rates(), b.rates());  // bit-identical: same effective churn
+}
+
+TEST(CtrlShard, EscalatesWhenIncrementalBudgetExhausted) {
+  // Zero repair budget on every incremental rung forces the ladder into
+  // the best-response solves; the result must still match the oracle.
+  RepairPolicy starved;
+  starved.single_user_iterations = 0;
+  starved.relax.max_iterations = 0;
+  starved.newton.max_iterations = 0;
+  SolverShard shard(fs(), spread_profile(10));
+  shard.stage(3, make_linear(1.0, 0.66));
+  const auto outcome = shard.repair(starved);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_TRUE(outcome.path == RepairPath::kWarmSolve ||
+              outcome.path == RepairPath::kFullSolve);
+  EXPECT_LT(max_abs_diff(shard.rates(), shard.cold_solve()), 1e-5);
+}
+
+TEST(CtrlShard, NoopRepairWhenNothingStaged) {
+  SolverShard shard(fs(), spread_profile(4));
+  const auto before = shard.rates();
+  const auto outcome = shard.repair(RepairPolicy{});
+  EXPECT_EQ(outcome.path, RepairPath::kNoop);
+  EXPECT_EQ(shard.rates(), before);
+}
+
+TEST(CtrlShard, FullResolveModeColdSolves) {
+  RepairPolicy naive;
+  naive.mode = RepairMode::kFullResolve;
+  SolverShard shard(fs(), spread_profile(8));
+  shard.stage(0, make_linear(1.0, 0.77));
+  const auto outcome = shard.repair(naive);
+  EXPECT_EQ(outcome.path, RepairPath::kFullSolve);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_LT(max_abs_diff(shard.rates(), shard.cold_solve()), 1e-6);
+}
+
+TEST(CtrlController, RoutesAndPublishesBatches) {
+  Controller ctrl = make_controller(4, 8);
+  EXPECT_EQ(ctrl.user_count(), 32u);
+  const auto initial = ctrl.snapshot();
+  EXPECT_EQ(initial.rates.size(), 32u);
+  EXPECT_EQ(initial.pending, 0u);
+
+  // User 13 lives in shard 1, local 5.
+  const auto [shard, local] = ctrl.locate(13);
+  EXPECT_EQ(shard, 1u);
+  EXPECT_EQ(local, 5u);
+
+  ctrl.submit(RateUpdate{13, make_linear(1.0, 0.75), 0.0});
+  ctrl.submit(RateUpdate{27, make_linear(1.0, 0.35), 0.0});
+  EXPECT_EQ(ctrl.pending(), 2u);
+
+  const auto report = ctrl.apply_pending();
+  EXPECT_EQ(report.updates_applied, 2u);
+  EXPECT_EQ(report.shards_repaired, 2u);
+  EXPECT_TRUE(report.all_converged);
+  EXPECT_EQ(ctrl.pending(), 0u);
+
+  const auto snap = ctrl.snapshot();
+  EXPECT_EQ(snap.epoch, initial.epoch + 1);
+  // Untouched shards' served rates are unchanged.
+  for (std::size_t u = 0; u < 8; ++u) {
+    EXPECT_EQ(snap.rates[u], initial.rates[u]) << u;
+  }
+  // Each repaired shard matches its oracle.
+  for (const std::size_t k : {1u, 3u}) {
+    const auto oracle = ctrl.shard(k).cold_solve();
+    std::vector<double> served(snap.rates.begin() + k * 8,
+                               snap.rates.begin() + (k + 1) * 8);
+    EXPECT_LT(max_abs_diff(served, oracle), 1e-5) << "shard " << k;
+  }
+}
+
+TEST(CtrlController, BatchApplyDeterministicAcrossThreadCounts) {
+  // The determinism contract: same updates, same batch boundaries ->
+  // bit-identical served allocation for every pool size.
+  std::vector<std::vector<double>> results;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    Controller ctrl = make_controller(6, 8);
+    exec::ThreadPool pool(threads);
+    PoissonChurn churn(ctrl.user_count(), {}, 99);
+    for (int batch = 0; batch < 6; ++batch) {
+      for (int i = 0; i < 16; ++i) ctrl.submit(churn.next());
+      (void)ctrl.apply_pending(&pool);
+    }
+    results.push_back(ctrl.snapshot().rates);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(CtrlController, ConcurrentSubmitWhileApplying) {
+  // Host agents hammer submit() from several threads while the cluster
+  // agent drains; nothing is lost and the final state matches the oracle.
+  Controller ctrl = make_controller(3, 6);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 40;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ctrl, p] {
+      PoissonChurn churn(ctrl.user_count(), {}, 1000 + p);
+      for (int i = 0; i < kPerProducer; ++i) ctrl.submit(churn.next());
+    });
+  }
+  std::uint64_t applied = 0;
+  while (applied < kProducers * kPerProducer) {
+    applied += ctrl.apply_pending().updates_applied;
+  }
+  for (auto& t : producers) t.join();
+  applied += ctrl.apply_pending().updates_applied;
+  EXPECT_EQ(applied, kProducers * kPerProducer);
+  EXPECT_EQ(ctrl.pending(), 0u);
+  for (std::size_t k = 0; k < ctrl.shard_count(); ++k) {
+    EXPECT_LT(max_abs_diff(ctrl.shard(k).rates(),
+                           ctrl.shard(k).cold_solve()),
+              1e-5)
+        << "shard " << k;
+  }
+}
+
+TEST(CtrlChurn, PoissonDeterministicInRangeAndOrdered) {
+  PoissonChurnOptions options;
+  PoissonChurn a(64, options, 7);
+  PoissonChurn b(64, options, 7);
+  double last = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto ua = a.next();
+    const auto ub = b.next();
+    EXPECT_EQ(ua.user, ub.user);
+    EXPECT_EQ(ua.arrival_time, ub.arrival_time);
+    EXPECT_LT(ua.user, 64u);
+    EXPECT_GT(ua.arrival_time, last);
+    last = ua.arrival_time;
+    const auto* linear =
+        dynamic_cast<const core::LinearUtility*>(ua.utility.get());
+    ASSERT_NE(linear, nullptr);
+    EXPECT_GE(linear->gamma(), options.gamma_min);
+    EXPECT_LT(linear->gamma(), options.gamma_max);
+  }
+}
+
+TEST(CtrlChurn, BurstTargetsContiguousBlockAndRotates) {
+  BurstChurnOptions options;
+  options.burst_length = 8;
+  options.block_size = 16;
+  BurstChurn churn(64, options, 11);
+  for (std::size_t burst = 0; burst < 4; ++burst) {
+    const std::size_t base = (burst * options.block_size) % 64;
+    for (std::size_t i = 0; i < options.burst_length; ++i) {
+      const auto update = churn.next();
+      EXPECT_EQ(update.user, base + i % options.block_size);
+    }
+  }
+}
+
+TEST(CtrlChurn, BurstFlipsGammaPhaseOnEveryRotation) {
+  // 32 users / block 16: bursts 0,1 cover the population (rotation 0),
+  // bursts 2,3 revisit it (rotation 1). The revisit must assign each user
+  // the OPPOSITE extreme from the first visit — otherwise the second pass
+  // stages utilities identical to the ones already held and the
+  // adversarial burst degenerates into a no-op.
+  BurstChurnOptions options;
+  options.burst_length = 16;
+  options.block_size = 16;
+  BurstChurn churn(32, options, 11);
+  std::vector<double> first_visit(32, 0.0);
+  for (int i = 0; i < 32; ++i) {
+    const auto update = churn.next();
+    const auto* linear =
+        dynamic_cast<const core::LinearUtility*>(update.utility.get());
+    ASSERT_NE(linear, nullptr);
+    first_visit[update.user] = linear->gamma();
+  }
+  for (int i = 0; i < 32; ++i) {
+    const auto update = churn.next();
+    const auto* linear =
+        dynamic_cast<const core::LinearUtility*>(update.utility.get());
+    ASSERT_NE(linear, nullptr);
+    EXPECT_NE(linear->gamma(), first_visit[update.user])
+        << "user " << update.user << " revisited with the same gamma";
+  }
+}
+
+TEST(CtrlController, RejectsBadSubmissions) {
+  Controller ctrl = make_controller(2, 4);
+  EXPECT_THROW(ctrl.submit(RateUpdate{99, make_linear(1.0, 0.5), 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ctrl.submit(RateUpdate{0, nullptr, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gw::ctrl

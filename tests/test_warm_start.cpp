@@ -1,0 +1,229 @@
+// Warm-start equivalence of the Nash solvers (the contract the streaming
+// control plane rests on): a solve started from a perturbed equilibrium —
+// via the narrowed warm_radius best-response scan or the relax_equilibrium
+// Newton engine — must land on the same fixed point as the cold solve,
+// across all disciplines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/fair_share.hpp"
+#include "core/gfunction.hpp"
+#include "core/nash.hpp"
+#include "core/proportional.hpp"
+#include "core/serial_general.hpp"
+#include "core/utility.hpp"
+#include "core/weighted_serial.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+namespace {
+
+struct Discipline {
+  std::string label;
+  std::shared_ptr<const AllocationFunction> alloc;
+};
+
+std::vector<Discipline> discipline_set() {
+  return {
+      {"fs", std::make_shared<FairShareAllocation>()},
+      {"fifo", std::make_shared<ProportionalAllocation>()},
+      {"serial-mg1",
+       std::make_shared<GeneralSerialAllocation>(GFunction::mg1(1.0))},
+      {"wserial", std::make_shared<WeightedSerialAllocation>(
+                      std::vector<double>{1.0, 2.0, 1.0, 3.0, 1.0, 2.0})},
+  };
+}
+
+/// Heterogeneous linear profile with gammas spread over [0.3, 0.8].
+UtilityProfile spread_profile(std::size_t n) {
+  UtilityProfile profile;
+  for (std::size_t i = 0; i < n; ++i) {
+    profile.push_back(make_linear(
+        1.0, 0.3 + 0.5 * static_cast<double>(i) / static_cast<double>(n)));
+  }
+  return profile;
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+TEST(WarmStart, PerturbedEquilibriumReconvergesAcrossDisciplines) {
+  // Property: for every discipline and several perturbation draws, a warm
+  // solve (narrow candidate scan) from a jiggled equilibrium recovers the
+  // cold-start fixed point.
+  const std::size_t n = 6;
+  numerics::Rng rng(2026);
+  for (const auto& d : discipline_set()) {
+    const auto profile = spread_profile(n);
+    const auto cold = solve_nash(*d.alloc, profile,
+                                 std::vector<double>(n, 0.5 / n));
+    ASSERT_TRUE(cold.converged) << d.label;
+
+    NashOptions warm_options;
+    warm_options.best_response.warm_radius = 0.05;
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<double> start = cold.rates;
+      for (auto& r : start) {
+        r = std::max(1e-6, r * rng.uniform(0.96, 1.04));
+      }
+      const auto warm = solve_nash(*d.alloc, profile, start, warm_options);
+      ASSERT_TRUE(warm.converged) << d.label << " trial " << trial;
+      EXPECT_LT(max_abs_diff(warm.rates, cold.rates), 1e-5)
+          << d.label << " trial " << trial;
+    }
+  }
+}
+
+TEST(WarmStart, NarrowScanFallsBackWhenOptimumOutsideWindow) {
+  // Current rate far from the best response: the warm window cannot
+  // contain the optimum, so the pinned-edge fallback must recover the
+  // full-interval answer.
+  const ProportionalAllocation alloc;
+  const LinearUtility u(1.0, 0.25);
+  const auto full = best_response(alloc, u, {0.01}, 0);
+  BestResponseOptions warm;
+  warm.warm_radius = 0.02;  // window [~0, 0.03], optimum at 0.5
+  const auto narrowed = best_response(alloc, u, {0.01}, 0, warm);
+  EXPECT_NEAR(narrowed.rate, full.rate, 1e-6);
+  EXPECT_NEAR(narrowed.rate, 1.0 - std::sqrt(0.25), 1e-4);
+}
+
+TEST(WarmStart, WarmRadiusZeroIsExactLegacyPath) {
+  const FairShareAllocation alloc;
+  const LinearUtility u(1.0, 0.4);
+  const BestResponseOptions defaults;
+  ASSERT_EQ(defaults.warm_radius, 0.0);
+  const auto a = best_response(alloc, u, {0.2, 0.3}, 0);
+  const auto b = best_response(alloc, u, {0.2, 0.3}, 0, defaults);
+  EXPECT_EQ(a.rate, b.rate);
+  EXPECT_EQ(a.utility, b.utility);
+}
+
+TEST(Relax, MatchesNewtonRelaxationFixedPoint) {
+  // relax_equilibrium is the lean batched form of newton_relaxation: same
+  // Jacobi update, no trajectory. Both must reach the same fixed point.
+  const FairShareAllocation alloc;
+  const std::size_t n = 8;
+  const auto profile = spread_profile(n);
+  const std::vector<double> start(n, 0.05);
+
+  const auto reference = newton_relaxation(alloc, profile, start, 100, 1e-10);
+  ASSERT_TRUE(reference.converged);
+
+  std::vector<double> rates = start;
+  RelaxOptions options;
+  options.tolerance = 1e-10;
+  const auto result = relax_equilibrium(alloc, profile, rates, options);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.max_residual, 1e-10);
+  EXPECT_LT(max_abs_diff(rates, reference.trajectory.back()), 1e-8);
+}
+
+TEST(Relax, WarmRepairAfterSingleUserChurnMatchesColdSolve) {
+  // The control-plane scenario in miniature: bump one user's gamma 10%,
+  // relax from the old equilibrium, compare against a cold re-solve.
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const std::size_t n = 16;
+  auto profile = spread_profile(n);
+  std::vector<double> rates =
+      solve_nash(*alloc, profile, std::vector<double>(n, 0.5 / n)).rates;
+
+  profile[5] = make_linear(1.0, 0.62);
+  const auto repaired = relax_equilibrium(*alloc, profile, rates);
+  ASSERT_TRUE(repaired.converged);
+  // Theorem 7: under Fair Share in the linear regime the relaxation matrix
+  // is nilpotent and synchronous Newton needs at most N sweeps.
+  EXPECT_LE(repaired.iterations, static_cast<int>(n))
+      << "warm repair exceeded the Theorem 7 sweep bound";
+
+  const auto cold =
+      solve_nash(*alloc, profile, std::vector<double>(n, 0.5 / n));
+  ASSERT_TRUE(cold.converged);
+  EXPECT_LT(max_abs_diff(rates, cold.rates), 1e-5);
+}
+
+TEST(Relax, ZeroBudgetReportsResidualWithoutMoving) {
+  const FairShareAllocation alloc;
+  const auto profile = spread_profile(4);
+  std::vector<double> rates(4, 0.05);
+  const std::vector<double> before = rates;
+  RelaxOptions options;
+  options.max_iterations = 0;
+  const auto result = relax_equilibrium(alloc, profile, rates, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(result.max_residual, 0.0);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(rates, before);  // pure residual probe
+}
+
+TEST(NewtonFdc, RepairsDenselyCoupledFifoChurnToBoundaryEquilibrium) {
+  // FIFO ties every user's congestion to the total load, and a churned
+  // user this delay-averse ends up pinned at the rate floor — a boundary
+  // equilibrium where the raw FDC residual never vanishes. The dense
+  // Newton engine must recognize the KKT condition, freeze the pinned
+  // user out of the system, and land on the cold-solve fixed point in a
+  // handful of quadratic iterations.
+  const ProportionalAllocation alloc;
+  const std::size_t n = 24;
+  auto profile = spread_profile(n);
+  std::vector<double> rates =
+      solve_nash(alloc, profile, std::vector<double>(n, 0.5 / n)).rates;
+  profile[7] = make_linear(1.0, 0.8);
+
+  const auto repaired = newton_fdc(alloc, profile, rates);
+  ASSERT_TRUE(repaired.converged);
+  EXPECT_LE(repaired.iterations, 16);
+  EXPECT_LE(rates[7], 1e-5) << "delay-averse churned user should be pinned";
+  const auto cold =
+      solve_nash(alloc, profile, std::vector<double>(n, 0.5 / n));
+  ASSERT_TRUE(cold.converged);
+  EXPECT_LT(max_abs_diff(rates, cold.rates), 1e-5);
+}
+
+TEST(NewtonFdc, ZeroBudgetReportsResidualWithoutMoving) {
+  const ProportionalAllocation alloc;
+  const auto profile = spread_profile(4);
+  std::vector<double> rates(4, 0.05);
+  const std::vector<double> before = rates;
+  NewtonFdcOptions options;
+  options.max_iterations = 0;
+  const auto result = newton_fdc(alloc, profile, rates, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(result.max_residual, 0.0);
+  EXPECT_EQ(rates, before);
+}
+
+TEST(Fdc, TermsMatchResidualAndJacobianEntries) {
+  const FairShareAllocation alloc;
+  const auto profile = spread_profile(5);
+  const std::vector<double> rates{0.03, 0.06, 0.09, 0.12, 0.15};
+  const auto residuals = fdc_residuals(alloc, profile, rates);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto terms = fdc_terms(alloc, *profile[i], rates, i);
+    EXPECT_NEAR(terms.residual, residuals[i], 1e-12) << i;
+    EXPECT_NEAR(terms.slope,
+                fdc_jacobian_entry(alloc, profile, rates, i, i), 1e-12)
+        << i;
+  }
+}
+
+TEST(Fdc, TermsNanWhenSaturated) {
+  const ProportionalAllocation alloc;
+  const auto u = make_linear(1.0, 0.25);
+  const std::vector<double> rates{0.6, 0.7};  // total load > 1
+  const auto terms = fdc_terms(alloc, *u, rates, 0);
+  EXPECT_TRUE(std::isnan(terms.residual));
+  EXPECT_TRUE(std::isnan(terms.slope));
+}
+
+}  // namespace
+}  // namespace gw::core

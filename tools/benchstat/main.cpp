@@ -3,6 +3,7 @@
 //
 //   gw-benchstat merge bench/out/*.json > BENCH_SUITE.json
 //   gw-benchstat compare baseline.json candidate.json [--threshold pct]
+//                [--json out.json]
 //
 // `merge` aggregates bench JSON files (schema gw.bench.v1 or v2) into one
 // gw.benchsuite.v1 document: per-bench wall-time samples, registry
@@ -13,6 +14,8 @@
 // significantly (Mann-Whitney U, p < 0.05) beyond --threshold percent —
 // the CI perf gate. Scalar metrics (counters, histogram quantiles) have no
 // per-rep samples, so they are reported as context and never gate.
+// `compare --json <path>` additionally writes the full row set as a
+// gw.benchcompare.v1 document for machine consumers (dashboards, bots).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -69,6 +72,8 @@ void print_usage(std::FILE* out) {
                "  gw-benchstat compare <old.json> <new.json>\n"
                "               [--threshold <pct>] [--alpha <a>]   "
                "per-metric delta table; exit 1 on regression\n"
+               "               [--json <path>]                     "
+               "also write a gw.benchcompare.v1 document\n"
                "inputs may be gw.bench.v1/v2 files or merged suites\n");
 }
 
@@ -363,8 +368,78 @@ std::string fmt_pct(double x) {
   return buffer;
 }
 
+/// One line of the compare table, kept for --json emission. Optional
+/// numeric fields use NaN as "absent" and are omitted from the document.
+struct CompareRow {
+  std::string name;
+  std::string kind;     ///< "samples" (gate-eligible) or "scalar" (context)
+  std::string verdict;  ///< unchanged|regression|improvement|missing_in_new|
+                        ///< new_metric|changed
+  double old_value = std::numeric_limits<double>::quiet_NaN();
+  double new_value = std::numeric_limits<double>::quiet_NaN();
+  double delta_pct = std::numeric_limits<double>::quiet_NaN();
+  double p_value = std::numeric_limits<double>::quiet_NaN();
+};
+
+std::string render_compare(const std::vector<CompareRow>& rows,
+                           const std::vector<std::string>& regressions,
+                           const std::string& old_path,
+                           const std::string& new_path, double threshold_pct,
+                           double alpha) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("gw.benchcompare.v1");
+  w.key("old");
+  w.value(old_path);
+  w.key("new");
+  w.value(new_path);
+  w.key("threshold_pct");
+  w.value(threshold_pct);
+  w.key("alpha");
+  w.value(alpha);
+  w.key("metrics");
+  w.begin_array();
+  for (const auto& row : rows) {
+    w.begin_object();
+    w.key("name");
+    w.value(row.name);
+    w.key("kind");
+    w.value(row.kind);
+    w.key("verdict");
+    w.value(row.verdict);
+    if (std::isfinite(row.old_value)) {
+      w.key("old");
+      w.value(row.old_value);
+    }
+    if (std::isfinite(row.new_value)) {
+      w.key("new");
+      w.value(row.new_value);
+    }
+    if (std::isfinite(row.delta_pct)) {
+      w.key("delta_pct");
+      w.value(row.delta_pct);
+    }
+    if (std::isfinite(row.p_value)) {
+      w.key("p_value");
+      w.value(row.p_value);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("regressions");
+  w.begin_array();
+  for (const auto& metric : regressions) w.value(metric);
+  w.end_array();
+  w.key("gate");
+  w.value(regressions.empty() ? "pass" : "fail");
+  w.end_object();
+  return w.take();
+}
+
 int cmd_compare(const std::vector<std::string>& args) {
   std::vector<std::string> files;
+  std::string json_path;
   double threshold_pct = 2.0;
   double alpha = 0.05;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -381,6 +456,10 @@ int cmd_compare(const std::vector<std::string>& args) {
       alpha = std::atof(value_of(arg).c_str());
     } else if (arg.rfind("--alpha=", 0) == 0) {
       alpha = std::atof(arg.c_str() + std::strlen("--alpha="));
+    } else if (arg == "--json") {
+      json_path = value_of(arg);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
     } else if (arg.rfind("--", 0) == 0) {
       die("unknown flag '" + arg + "'");
     } else {
@@ -404,6 +483,7 @@ int cmd_compare(const std::vector<std::string>& args) {
   std::printf("%s\n", std::string(92, '-').c_str());
 
   std::vector<std::string> regressions;
+  std::vector<CompareRow> rows;
   int improvements = 0;
 
   // Sample-backed metrics: the statistical gate (lower is better —
@@ -411,13 +491,25 @@ int cmd_compare(const std::vector<std::string>& args) {
   for (const auto& [metric, old_samples] : old_view.samples) {
     const auto found = new_view.samples.find(metric);
     if (found == new_view.samples.end()) {
+      const double old_median = gw::obs::stats::median(old_samples);
       std::printf("%-44s %12s %12s %9s  %s\n", metric.c_str(),
-                  fmt_ms(gw::obs::stats::median(old_samples)).c_str(), "-",
-                  "-", "missing in new run");
+                  fmt_ms(old_median).c_str(), "-", "-", "missing in new run");
+      CompareRow& row = rows.emplace_back();
+      row.name = metric;
+      row.kind = "samples";
+      row.verdict = "missing_in_new";
+      row.old_value = old_median;
       continue;
     }
     const auto comparison = gw::obs::stats::compare_samples(
         old_samples, found->second, threshold_pct, alpha);
+    CompareRow& row = rows.emplace_back();
+    row.name = metric;
+    row.kind = "samples";
+    row.old_value = comparison.old_median;
+    row.new_value = comparison.new_median;
+    row.delta_pct = comparison.delta_pct;
+    row.p_value = comparison.p_value;
     std::string verdict;
     if (!comparison.significant) {
       char buffer[64];
@@ -425,17 +517,20 @@ int cmd_compare(const std::vector<std::string>& args) {
                     comparison.p_value, old_samples.size(),
                     found->second.size());
       verdict = buffer;
+      row.verdict = "unchanged";
     } else if (comparison.delta_pct > 0.0) {
       char buffer[64];
       std::snprintf(buffer, sizeof(buffer), "REGRESSION (p=%.3f)",
                     comparison.p_value);
       verdict = buffer;
+      row.verdict = "regression";
       regressions.push_back(metric);
     } else {
       char buffer[64];
       std::snprintf(buffer, sizeof(buffer), "improvement (p=%.3f)",
                     comparison.p_value);
       verdict = buffer;
+      row.verdict = "improvement";
       ++improvements;
     }
     std::printf("%-44s %12s %12s %9s  %s\n", metric.c_str(),
@@ -445,9 +540,14 @@ int cmd_compare(const std::vector<std::string>& args) {
   }
   for (const auto& [metric, new_samples] : new_view.samples) {
     if (old_view.samples.count(metric) == 0) {
+      const double new_median = gw::obs::stats::median(new_samples);
       std::printf("%-44s %12s %12s %9s  %s\n", metric.c_str(), "-",
-                  fmt_ms(gw::obs::stats::median(new_samples)).c_str(), "-",
-                  "new metric");
+                  fmt_ms(new_median).c_str(), "-", "new metric");
+      CompareRow& row = rows.emplace_back();
+      row.name = metric;
+      row.kind = "samples";
+      row.verdict = "new_metric";
+      row.new_value = new_median;
     }
   }
 
@@ -466,6 +566,13 @@ int cmd_compare(const std::vector<std::string>& args) {
     if (std::abs(delta_pct) < threshold_pct) continue;
     std::printf("%-44s %12.6g %12.6g %9s  %s\n", metric.c_str(), old_value,
                 new_value, fmt_pct(delta_pct).c_str(), "info (no samples)");
+    CompareRow& row = rows.emplace_back();
+    row.name = metric;
+    row.kind = "scalar";
+    row.verdict = "changed";
+    row.old_value = old_value;
+    row.new_value = new_value;
+    if (std::isfinite(delta_pct)) row.delta_pct = delta_pct;
     ++scalars_shown;
   }
 
@@ -475,6 +582,14 @@ int cmd_compare(const std::vector<std::string>& args) {
               threshold_pct);
   for (const auto& metric : regressions) {
     std::printf("  REGRESSED: %s\n", metric.c_str());
+  }
+
+  if (!json_path.empty()) {
+    const std::string document = render_compare(
+        rows, regressions, files[0], files[1], threshold_pct, alpha);
+    std::ofstream out(json_path);
+    if (!out.good()) die("cannot write " + json_path);
+    out << document << '\n';
   }
   return regressions.empty() ? 0 : 1;
 }

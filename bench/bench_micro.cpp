@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -16,6 +17,7 @@
 
 #include "bench_util.hpp"
 #include "core/fair_share.hpp"
+#include "obs/flight.hpp"
 #include "core/nash.hpp"
 #include "core/proportional.hpp"
 #include "core/weighted_serial.hpp"
@@ -253,6 +255,96 @@ void run_eval_section() {
                      "span best_response scan loop is allocation-free");
 }
 
+void BM_FlightRecorderDisarmed(benchmark::State& state) {
+  // No journal installed: begin() is one relaxed load, everything else a
+  // predicted branch. This is the tax every solver iteration pays when
+  // nobody asked for a trace — it must stay indistinguishable from zero.
+  obs::set_active_flight(nullptr);
+  for (auto _ : state) {
+    auto flight = obs::FlightRecorder::begin("bench.off", 16);
+    flight.iteration(0.1, 0.2, 1.0, 3);
+    flight.verdict(true, 0.1);
+    benchmark::DoNotOptimize(flight.armed());
+  }
+}
+BENCHMARK(BM_FlightRecorderDisarmed);
+
+void BM_FlightRecorderArmed(benchmark::State& state) {
+  // Journal installed: each record is a struct store into this thread's
+  // ring (registered once, reserved up front — no locks, no allocation).
+  obs::FlightJournal journal;
+  obs::ActiveFlightScope scope(journal);
+  for (auto _ : state) {
+    auto flight = obs::FlightRecorder::begin("bench.on", 16);
+    flight.iteration(0.1, 0.2, 1.0, 3);
+    flight.verdict(true, 0.1);
+    benchmark::DoNotOptimize(flight.armed());
+  }
+}
+BENCHMARK(BM_FlightRecorderArmed);
+
+/// E-FLIGHT overhead verdicts: the disarmed recorder must be free — zero
+/// heap allocations and single-digit nanoseconds per solver iteration —
+/// and even armed recording must be allocation-free after the ring's
+/// one-time registration. Deltas and timings are taken around plain loops
+/// so the numbers are exact.
+void run_flight_section() {
+  gw::bench::banner(
+      "E-FLIGHT recorder overhead", "DESIGN.md (flight recorder)",
+      "a disarmed FlightRecorder costs no allocations and a bounded "
+      "handful of nanoseconds per span; armed recording never allocates "
+      "after ring registration");
+
+  obs::set_active_flight(nullptr);
+  constexpr int kSpans = 200000;
+  const std::uint64_t d0 = gw_benchalloc::heap_allocs();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < kSpans; ++k) {
+    auto flight = obs::FlightRecorder::begin("bench.off", 16);
+    flight.iteration(0.1, 0.2, 1.0, 3);
+    flight.verdict(true, 0.1);
+    benchmark::DoNotOptimize(flight.armed());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t disarmed_allocs = gw_benchalloc::heap_allocs() - d0;
+  const double disarmed_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kSpans;
+
+  std::uint64_t armed_allocs = 0;
+  {
+    obs::FlightJournal journal;
+    obs::ActiveFlightScope scope(journal);
+    {  // register + warm this thread's ring outside the counted loop
+      auto flight = obs::FlightRecorder::begin("bench.on", 16);
+      flight.iteration(0.1, 0.2, 1.0, 3);
+    }
+    const std::uint64_t a0 = gw_benchalloc::heap_allocs();
+    for (int k = 0; k < kSpans; ++k) {
+      auto flight = obs::FlightRecorder::begin("bench.on", 16);
+      flight.iteration(0.1, 0.2, 1.0, 3);
+      flight.verdict(true, 0.1);
+    }
+    armed_allocs = gw_benchalloc::heap_allocs() - a0;
+  }
+
+  gw::bench::table_header({"mode", "spans", "heap allocs", "ns/span"});
+  gw::bench::table_row({"disarmed", std::to_string(kSpans),
+                        std::to_string(disarmed_allocs),
+                        gw::bench::fmt(disarmed_ns)});
+  gw::bench::table_row(
+      {"armed", std::to_string(kSpans), std::to_string(armed_allocs), "-"});
+  gw::bench::verdict(disarmed_allocs == 0,
+                     "disarmed recorder performs zero heap allocations");
+  // Generous ceiling: the span is 1 relaxed load + 3 guarded no-ops; even
+  // a slow CI host clears 250ns with two orders of magnitude to spare.
+  gw::bench::verdict(disarmed_ns < 250.0,
+                     "disarmed span costs < 250ns (" +
+                         gw::bench::fmt(disarmed_ns) + "ns measured)");
+  gw::bench::verdict(armed_allocs == 0,
+                     "armed recording is allocation-free after ring "
+                     "registration");
+}
+
 void BM_Eigenvalues(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   numerics::Matrix a(n, n);
@@ -434,6 +526,7 @@ int run() {
     gw::bench::verdict(true, "microbenchmarks completed (first rep)");
   }
   run_eval_section();
+  run_flight_section();
   return gw::bench::failures();
 }
 

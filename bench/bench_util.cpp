@@ -6,7 +6,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <memory>
+
 #include "exec/thread_pool.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
@@ -43,6 +46,7 @@ std::string g_binary;
 std::vector<std::string> g_passthrough;
 std::vector<Experiment> g_experiments;
 std::vector<double> g_rep_wall_ms;
+std::unique_ptr<obs::FlightJournal> g_flight;  ///< --trace-solves journal
 
 Experiment& current_experiment() {
   if (g_experiments.empty()) {
@@ -64,6 +68,12 @@ void print_usage(std::FILE* out) {
                "  --threads <N>    worker threads for parallel sweep loops\n"
                "                   (0 = all cores; results are identical for\n"
                "                   any thread count)\n"
+               "  --trace-solves <path>\n"
+               "                   record every solver's per-iteration\n"
+               "                   convergence journal to <path> as\n"
+               "                   gw.solvetrace.v1 JSONL (inspect it with\n"
+               "                   gw-inspect); escalation dumps are written\n"
+               "                   under <path>.dumps/\n"
                "  --help, -h       show this help and exit\n",
                g_binary.empty() ? "bench" : g_binary.c_str());
 }
@@ -148,6 +158,10 @@ void parse_args(int argc, char** argv,
     }
     if (taking(i, "--label", value)) {
       g_options.label = value;
+      continue;
+    }
+    if (taking(i, "--trace-solves", value)) {
+      g_options.trace_solves = value;
       continue;
     }
     if (taking(i, "--repeat", value)) {
@@ -245,6 +259,22 @@ void verdict(bool pass, const std::string& description) {
 int failures() { return g_failures; }
 
 int finish() {
+  if (g_flight != nullptr) {
+    // Uninstall first: export requires a quiescent journal (the measured
+    // reps and any pool work have joined by now).
+    obs::set_active_flight(nullptr);
+    if (g_flight->write_file(g_options.trace_solves)) {
+      std::printf("\n  solve trace written to %s (%zu records, %llu solves, "
+                  "%llu escalation dumps)\n",
+                  g_options.trace_solves.c_str(), g_flight->recorded(),
+                  static_cast<unsigned long long>(g_flight->solves()),
+                  static_cast<unsigned long long>(g_flight->dumps()));
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n",
+                   g_options.trace_solves.c_str());
+      if (g_failures == 0) ++g_failures;
+    }
+  }
   if (g_options.json_path.empty()) return g_failures;
 
   obs::JsonWriter w;
@@ -257,6 +287,7 @@ int finish() {
   obs::RunManifest manifest = obs::collect_manifest(g_options.label);
   manifest.threads = static_cast<unsigned>(thread_count());
   manifest.warmup = static_cast<unsigned>(g_options.warmup);
+  manifest.trace_solves = g_options.trace_solves;
   obs::write_manifest(w, manifest);
   w.key("timing");
   write_timing(w);
@@ -328,6 +359,13 @@ int run_repeated(int argc, char** argv, BodyFn body,
   const int reps = g_options.repeat;
   g_rep_wall_ms.clear();
   g_rep_wall_ms.reserve(static_cast<std::size_t>(reps));
+  g_flight.reset();
+  if (!g_options.trace_solves.empty()) {
+    obs::FlightOptions flight_options;
+    flight_options.dump_dir = g_options.trace_solves + ".dumps";
+    g_flight = std::make_unique<obs::FlightJournal>(flight_options);
+    obs::set_active_flight(g_flight.get());
+  }
   for (int rep = 0; rep < g_options.warmup; ++rep) {
     // Discarded reps: no timing sample, and the metrics/transcript are
     // wiped afterwards so the telemetry reflects measured reps only.
@@ -338,14 +376,17 @@ int run_repeated(int argc, char** argv, BodyFn body,
     (void)body();
     obs::default_registry().reset();
     g_experiments.clear();
+    if (g_flight != nullptr) g_flight->clear();
   }
   for (int rep = 0; rep < reps; ++rep) {
     if (rep > 0) {
       // Fresh metrics and a fresh transcript per rep: the JSON keeps the
       // last rep's experiments, while failures accumulate across reps so a
-      // flaky verdict still fails the process.
+      // flaky verdict still fails the process (the flight journal follows
+      // the same contract: the written trace is the last measured rep's).
       obs::default_registry().reset();
       g_experiments.clear();
+      if (g_flight != nullptr) g_flight->clear();
     }
     if (reps > 1) std::printf("\n--- rep %d/%d ---\n", rep + 1, reps);
     const auto start = std::chrono::steady_clock::now();

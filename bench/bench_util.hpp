@@ -19,7 +19,9 @@
 // untimed (discarded reps that prime caches and the allocator), then
 // reruns it --repeat times (with Registry::reset() between reps, timing
 // each rep), and writes the telemetry once at the end. Flags:
-// --json <path>, --repeat N, --warmup N, --label S, --threads N, --help;
+// --json <path>, --repeat N, --warmup N, --label S, --threads N,
+// --trace-solves <path> (per-iteration solver journal, gw.solvetrace.v1),
+// --help;
 // unknown --flags and negative counts are usage errors. Results are
 // seed-deterministic regardless of --threads (parallel loops use
 // gw::exec's static partitioning and merge in index order); the thread
@@ -40,6 +42,10 @@ struct Options {
   std::string label;      ///< --label <s>; stamped into the run manifest
   int threads = 1;        ///< --threads N; worker threads for sweep loops
                           ///< (0 = all cores); recorded in the manifest
+  std::string trace_solves;  ///< --trace-solves <path>: install a solver
+                             ///< flight journal for the measured reps and
+                             ///< write it as gw.solvetrace.v1 JSONL;
+                             ///< escalation dumps land in <path>.dumps/
 };
 
 /// Parses the shared bench flags. `--help`/`-h` prints usage and exits 0;

@@ -8,6 +8,7 @@
 
 #include "numerics/optimize.hpp"
 #include "numerics/rng.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
@@ -162,6 +163,8 @@ NashResult solve_nash(const AllocationFunction& alloc,
   scratch.order.resize(n);
   const std::span<double> rates(result.rates);
 
+  auto flight =
+      obs::FlightRecorder::begin("core.solve_nash", n, obs::FlightRung::kSolve);
   for (int it = 0; it < options.max_iterations; ++it) {
     double max_move = 0.0;
     if (options.order == UpdateOrder::kSynchronous) {
@@ -196,11 +199,15 @@ NashResult solve_nash(const AllocationFunction& alloc,
     }
     result.iterations = it + 1;
     result.max_move = max_move;
+    // Best-response dynamics has no KKT residual on hand: the convergence
+    // quantity is the sweep's max rate move, so the residual slot stays NaN.
+    flight.iteration(kNan, max_move, options.damping, 0);
     if (max_move <= options.tolerance) {
       result.converged = true;
       break;
     }
   }
+  flight.verdict(result.converged, kNan);
   registry.counter("core.nash.solves").inc();
   registry.counter("core.nash.iterations_total")
       .inc(static_cast<std::uint64_t>(result.iterations));
@@ -335,6 +342,9 @@ RelaxResult relax_equilibrium(const AllocationFunction& alloc,
   double prev_residual = std::numeric_limits<double>::infinity();
   double initial_residual = std::numeric_limits<double>::infinity();
   double best_residual = std::numeric_limits<double>::infinity();
+  auto flight =
+      obs::FlightRecorder::begin("core.relax", n, obs::FlightRung::kRelax);
+  double last_step = 0.0;  // max per-user move of the previous sweep's step
   for (int it = 0; true; ++it) {
     // One batched congestion / Jacobian / second-partials pass feeds every
     // residual and slope of the sweep (vs the per-entry recomputation in
@@ -364,6 +374,13 @@ RelaxResult relax_equilibrium(const AllocationFunction& alloc,
     }
     result.iterations = it;
     result.max_residual = max_residual;
+    if (flight.armed()) {
+      std::size_t pinned = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rates[i] <= 2.0 * kRepairFloor || rates[i] >= kRepairCap) ++pinned;
+      }
+      flight.iteration(max_residual, last_step, damping_scale, pinned);
+    }
     if (max_residual <= options.tolerance) {
       result.converged = true;
       break;
@@ -413,12 +430,22 @@ RelaxResult relax_equilibrium(const AllocationFunction& alloc,
         }
       }
       if (stepped) {
+        if (flight.armed()) {
+          last_step = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            last_step =
+                std::max(last_step, std::abs(scratch.trial[i] - rates[i]));
+          }
+        }
         std::copy(scratch.trial.begin(), scratch.trial.end(), rates.begin());
+      } else {
+        flight.backtrack(damping * 0.5);  // trial saturated; halve the step
       }
       damping *= 0.5;
     }
     if (!stepped) break;  // wedged against saturation; escalate
   }
+  flight.verdict(result.converged, result.max_residual);
   obs::default_registry()
       .counter("core.nash.relax_sweeps_total")
       .inc(static_cast<std::uint64_t>(result.iterations));
@@ -463,9 +490,24 @@ NewtonFdcResult newton_fdc(const AllocationFunction& alloc,
   double max_residual = residual_pass(rates);
   numerics::Matrix jacobian(n, n);
   std::vector<double> rhs(n);
+  auto flight = obs::FlightRecorder::begin("core.newton_fdc", n,
+                                           obs::FlightRung::kNewton);
+  double last_step = 0.0;   // max per-user move of the last accepted step
+  double last_alpha = 1.0;  // line-search factor of the last accepted step
   for (int it = 0; true; ++it) {
     result.iterations = it;
     result.max_residual = max_residual;
+    if (flight.armed()) {
+      std::size_t pinned = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double e = scratch.responses[i];
+        if ((rates[i] <= 2.0 * kRepairFloor && e >= 0.0) ||
+            (rates[i] >= kRepairCap && e <= 0.0)) {
+          ++pinned;
+        }
+      }
+      flight.iteration(max_residual, last_step, last_alpha, pinned);
+    }
     if (max_residual <= options.tolerance) {
       result.converged = true;
       break;
@@ -524,13 +566,24 @@ NewtonFdcResult newton_fdc(const AllocationFunction& alloc,
       }
       const double trial_residual = residual_pass(scratch.trial);
       if (trial_residual < max_residual) {
+        if (flight.armed()) {
+          last_step = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            last_step =
+                std::max(last_step, std::abs(scratch.trial[i] - rates[i]));
+          }
+          last_alpha = alpha;
+        }
         std::copy(scratch.trial.begin(), scratch.trial.end(), rates.begin());
         max_residual = trial_residual;
         accepted = true;
+      } else {
+        flight.backtrack(alpha * 0.5);  // residual grew; halve the step
       }
     }
     if (!accepted) break;  // stationary under the line search; escalate
   }
+  flight.verdict(result.converged, result.max_residual);
   obs::default_registry()
       .counter("core.nash.newton_fdc_iterations_total")
       .inc(static_cast<std::uint64_t>(result.iterations));

@@ -20,6 +20,7 @@ struct ControllerMetrics {
   obs::Gauge& epoch;
   obs::Histogram& batch_seconds;
   obs::Histogram& batch_size;
+  obs::Histogram& staleness_age_ms;
 };
 
 ControllerMetrics& controller_metrics() {
@@ -32,6 +33,7 @@ ControllerMetrics& controller_metrics() {
       registry.gauge("ctrl.epoch"),
       registry.histogram("ctrl.batch_seconds", 0.0, 0.5, 128),
       registry.histogram("ctrl.batch_size", 0.0, 1024.0, 64),
+      registry.histogram("ctrl.staleness_age_ms", 0.0, 1000.0, 128),
   };
   return metrics;
 }
@@ -70,10 +72,11 @@ void Controller::submit(RateUpdate update) {
   if (update.utility == nullptr) {
     throw std::invalid_argument("Controller: null utility");
   }
+  const std::uint64_t now_us = obs::wall_now_us();
   std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(ingress_mutex_);
-    ingress_.push_back(std::move(update));
+    ingress_.push_back(PendingUpdate{std::move(update), now_us});
     depth = ingress_.size();
   }
   auto& metrics = controller_metrics();
@@ -87,10 +90,13 @@ void Controller::submit(std::span<const RateUpdate> updates) {
       throw std::invalid_argument("Controller: bad update in batch");
     }
   }
+  const std::uint64_t now_us = obs::wall_now_us();
   std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(ingress_mutex_);
-    ingress_.insert(ingress_.end(), updates.begin(), updates.end());
+    for (const auto& update : updates) {
+      ingress_.push_back(PendingUpdate{update, now_us});
+    }
     depth = ingress_.size();
   }
   auto& metrics = controller_metrics();
@@ -119,10 +125,14 @@ BatchReport Controller::apply_pending(exec::ThreadPool* pool) {
 
   if (!draining_.empty()) {
     // Route in arrival order; SolverShard::stage keeps the last write per
-    // user, so in-batch coalescing matches the submit sequence.
-    for (auto& update : draining_) {
-      const auto [k, local] = locate(update.user);
-      shards_[k].stage(local, std::move(update.utility));
+    // user, so in-batch coalescing matches the submit sequence. Each
+    // update's queue age (submit to drain) feeds the staleness histogram.
+    const std::uint64_t drain_us = obs::wall_now_us();
+    for (auto& pending : draining_) {
+      metrics.staleness_age_ms.observe(
+          static_cast<double>(drain_us - pending.submitted_us) / 1000.0);
+      const auto [k, local] = locate(pending.update.user);
+      shards_[k].stage(local, std::move(pending.update.utility));
     }
     dirty_shards_.clear();
     for (std::size_t k = 0; k < shards_.size(); ++k) {

@@ -18,9 +18,11 @@
 //
 // Staleness: the served allocation lags the update stream by whatever sits
 // in the ingress queue plus the batch in flight. pending() and the
-// ctrl.staleness_updates gauge expose the queue depth; the E-CHURN bench
-// converts measured batch latency into served-allocation staleness in
-// virtual time.
+// ctrl.staleness_updates gauge expose the queue depth at epoch boundaries;
+// the ctrl.staleness_age_ms histogram records, per applied update, how long
+// it waited in the ingress queue (wall time from submit to drain), so drain
+// behavior is visible between epochs. The E-CHURN bench converts measured
+// batch latency into served-allocation staleness in virtual time.
 #pragma once
 
 #include <cstddef>
@@ -100,20 +102,27 @@ class Controller {
   [[nodiscard]] AllocationSnapshot snapshot() const;
 
  private:
+  /// An ingress entry: the update plus the wall clock at submit(), so the
+  /// drain can observe per-update queue age (ctrl.staleness_age_ms).
+  struct PendingUpdate {
+    RateUpdate update;
+    std::uint64_t submitted_us = 0;
+  };
+
   std::vector<SolverShard> shards_;
   std::vector<std::size_t> shard_base_;  ///< global id of each shard's user 0
   std::size_t users_ = 0;
   ControllerConfig config_;
 
   mutable std::mutex ingress_mutex_;
-  std::vector<RateUpdate> ingress_;
+  std::vector<PendingUpdate> ingress_;
 
   mutable std::mutex served_mutex_;
   std::vector<double> served_;
   std::uint64_t epoch_ = 0;
 
   // apply_pending() scratch, reused across batches (single control loop).
-  std::vector<RateUpdate> draining_;
+  std::vector<PendingUpdate> draining_;
   std::vector<std::size_t> dirty_shards_;
   std::vector<RepairOutcome> outcomes_;
 };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace gw::ctrl {
@@ -98,6 +100,12 @@ RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
 
   auto& metrics = repair_metrics();
 
+  // The flight span covers the whole ladder: the core engines below join
+  // it, so one repair reads as a single trajectory across rung
+  // transitions, and the last engine's verdict is the span's verdict.
+  auto flight = obs::FlightRecorder::begin("ctrl.repair", rates_.size(),
+                                           obs::FlightRung::kNone);
+
   // Naive mode, or so much of the shard churned that the previous
   // equilibrium is stale wholesale: cold solve directly, skipping the
   // incremental rungs that could only waste their budgets first.
@@ -105,6 +113,17 @@ RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
       static_cast<double>(outcome.users_churned) >
       policy.full_solve_dirty_fraction * static_cast<double>(rates_.size());
   if (policy.mode == RepairMode::kFullResolve || bulk_churn) {
+    if (policy.mode == RepairMode::kFullResolve) {
+      // The naive baseline always cold-solves; that is its normal path,
+      // not an escalation worth dumping.
+      flight.rung(obs::FlightRung::kFullSolve);
+    } else if (flight.armed()) {
+      flight.event(obs::FlightEvent::kDirtyGate,
+                   static_cast<double>(outcome.users_churned) /
+                       static_cast<double>(rates_.size()));
+      flight.escalation(obs::FlightRung::kFullSolve,
+                        std::numeric_limits<double>::quiet_NaN());
+    }
     const auto solved =
         core::solve_nash(*alloc_, profile_, cold_start(), policy.full_solve);
     rates_ = solved.rates;
@@ -120,6 +139,7 @@ RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
   // tolerance (verified by the rung-2 residual check, which costs one
   // batched sweep and zero Newton steps when already converged).
   if (single && policy.single_user_iterations > 0) {
+    flight.rung(obs::FlightRung::kSingleUser);
     for (int it = 0; it < policy.single_user_iterations; ++it) {
       const auto terms =
           core::fdc_terms(*alloc_, *profile_[churned], rates_, churned);
@@ -128,13 +148,17 @@ RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
         break;
       }
       if (terms.slope == 0.0 || !std::isfinite(terms.slope)) break;
+      const double previous = rates_[churned];
       rates_[churned] = std::clamp(
           rates_[churned] - terms.residual / terms.slope, 1e-9, 0.9999);
+      flight.iteration(std::abs(terms.residual),
+                       std::abs(rates_[churned] - previous), 1.0, 0);
     }
   }
 
   // Rung 2: warm synchronous-Newton relaxation from the (possibly rung-1
   // improved) previous equilibrium.
+  flight.rung(obs::FlightRung::kRelax);
   const auto relaxed =
       core::relax_equilibrium(*alloc_, profile_, rates_, policy.relax);
   outcome.relax_iterations = relaxed.iterations;
@@ -154,6 +178,7 @@ RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
   // per-user sweep above, but the joint linearized step converges
   // quadratically from the still-warm point.
   metrics.escalations.inc();
+  flight.escalation(obs::FlightRung::kNewton, relaxed.max_residual);
   const auto newton =
       core::newton_fdc(*alloc_, profile_, rates_, policy.newton);
   if (newton.converged) {
@@ -164,6 +189,7 @@ RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
   }
 
   // Rung 4: warm best-response solve from wherever Newton left us.
+  flight.escalation(obs::FlightRung::kWarmSolve, newton.max_residual);
   const auto warm =
       core::solve_nash(*alloc_, profile_, rates_, policy.warm_solve);
   rates_ = warm.rates;
@@ -175,6 +201,8 @@ RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
   }
 
   // Rung 5: the cold solve a from-scratch controller would run.
+  flight.escalation(obs::FlightRung::kFullSolve,
+                    std::numeric_limits<double>::quiet_NaN());
   const auto full =
       core::solve_nash(*alloc_, profile_, cold_start(), policy.full_solve);
   rates_ = full.rates;

@@ -1,8 +1,10 @@
 #include "learn/driver.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -37,6 +39,8 @@ DriverResult GameDriver::run(std::vector<std::unique_ptr<Learner>>& learners,
   std::vector<double> congestion(n);
   std::vector<double> probe(n);
 
+  auto flight =
+      obs::FlightRecorder::begin("learn.driver", n, obs::FlightRung::kDriver);
   for (int round = 0; round < options.max_rounds; ++round) {
     snapshot.assign(rates.begin(), rates.end());
     core::AllocationFunction::validate_rates(snapshot);
@@ -69,6 +73,10 @@ DriverResult GameDriver::run(std::vector<std::unique_ptr<Learner>>& learners,
     if (options.record_trajectory) result.trajectory.push_back(rates);
     result.rounds = round + 1;
     result.final_max_move = max_move;
+    // Learner rounds have no KKT residual; the convergence quantity is the
+    // round's max rate move (residual slot stays NaN, as in solve_nash).
+    flight.iteration(std::numeric_limits<double>::quiet_NaN(), max_move, 1.0,
+                     0);
     if (auto* trace = obs::active_trace()) {
       // Round index doubles as the trace timestamp: one "µs" per round.
       trace->counter("learn", "driver max_move", static_cast<double>(round),
@@ -91,6 +99,7 @@ DriverResult GameDriver::run(std::vector<std::unique_ptr<Learner>>& learners,
     }
   }
   result.final_rates = rates;
+  flight.verdict(result.converged, std::numeric_limits<double>::quiet_NaN());
 
   auto& registry = obs::default_registry();
   registry.counter("learn.driver.runs").inc();

@@ -1,0 +1,496 @@
+#include "obs/flight.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "obs/json.hpp"
+
+namespace gw::obs {
+namespace {
+
+/// Journal uid allocator: thread-local ring caches key on the uid, not the
+/// journal address, so a journal recycled at the same address never aliases.
+std::atomic<std::uint64_t> g_journal_uid{0};
+
+/// The per-thread open solve span. One level of real state plus a depth
+/// counter: nested begin() calls (shard repair wrapping a core engine on
+/// the same thread) join the open span instead of stacking.
+struct OpenSpan {
+  FlightJournal* journal = nullptr;
+  std::uint32_t solve = 0;
+  std::uint32_t iterate = 0;
+  FlightRung rung = FlightRung::kNone;
+  int depth = 0;
+};
+
+OpenSpan& tls_span() noexcept {
+  thread_local OpenSpan span;
+  return span;
+}
+
+void write_record_line(JsonWriter& w, const FlightRecord& rec,
+                       std::size_t thread_index) {
+  w.begin_object();
+  if (rec.type == FlightRecord::Type::kIteration) {
+    w.key("t");
+    w.value("iter");
+    w.key("thread");
+    w.value(static_cast<std::uint64_t>(thread_index));
+    w.key("solve");
+    w.value(static_cast<std::uint64_t>(rec.solve));
+    w.key("i");
+    w.value(static_cast<std::uint64_t>(rec.iterate));
+    w.key("rung");
+    w.value(flight_rung_name(rec.rung));
+    w.key("residual");
+    w.value(rec.residual);
+    w.key("max_delta");
+    w.value(rec.max_delta);
+    w.key("damping");
+    w.value(rec.damping);
+    w.key("active_set");
+    w.value(static_cast<std::uint64_t>(rec.active_set));
+  } else if (rec.event == FlightEvent::kBegin) {
+    w.key("t");
+    w.value("begin");
+    w.key("thread");
+    w.value(static_cast<std::uint64_t>(thread_index));
+    w.key("solve");
+    w.value(static_cast<std::uint64_t>(rec.solve));
+    w.key("label");
+    w.value(rec.label != nullptr ? rec.label : "");
+    w.key("users");
+    w.value(static_cast<std::uint64_t>(rec.active_set));
+    w.key("rung");
+    w.value(flight_rung_name(rec.rung));
+  } else {
+    w.key("t");
+    w.value("event");
+    w.key("thread");
+    w.value(static_cast<std::uint64_t>(thread_index));
+    w.key("solve");
+    w.value(static_cast<std::uint64_t>(rec.solve));
+    w.key("i");
+    w.value(static_cast<std::uint64_t>(rec.iterate));
+    w.key("kind");
+    w.value(flight_event_name(rec.event));
+    w.key("rung");
+    w.value(flight_rung_name(rec.rung));
+    switch (rec.event) {
+      case FlightEvent::kEscalation:
+        w.key("residual");
+        w.value(rec.residual);
+        break;
+      case FlightEvent::kVerdict:
+        w.key("converged");
+        w.value(rec.flag != 0);
+        w.key("residual");
+        w.value(rec.residual);
+        break;
+      case FlightEvent::kBacktrack:
+        w.key("factor");
+        w.value(rec.damping);
+        break;
+      case FlightEvent::kDirtyGate:
+        w.key("fraction");
+        w.value(rec.damping);
+        break;
+      case FlightEvent::kBegin:
+      case FlightEvent::kRung:
+        break;
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+const char* flight_rung_name(FlightRung rung) noexcept {
+  switch (rung) {
+    case FlightRung::kNone:
+      return "none";
+    case FlightRung::kSingleUser:
+      return "single_user";
+    case FlightRung::kRelax:
+      return "relax";
+    case FlightRung::kNewton:
+      return "newton";
+    case FlightRung::kWarmSolve:
+      return "warm_solve";
+    case FlightRung::kFullSolve:
+      return "full_solve";
+    case FlightRung::kSolve:
+      return "solve";
+    case FlightRung::kDriver:
+      return "driver";
+  }
+  return "unknown";
+}
+
+const char* flight_event_name(FlightEvent event) noexcept {
+  switch (event) {
+    case FlightEvent::kBegin:
+      return "begin";
+    case FlightEvent::kRung:
+      return "rung";
+    case FlightEvent::kEscalation:
+      return "escalation";
+    case FlightEvent::kBacktrack:
+      return "backtrack";
+    case FlightEvent::kDirtyGate:
+      return "dirty_gate";
+    case FlightEvent::kVerdict:
+      return "verdict";
+  }
+  return "unknown";
+}
+
+FlightJournal::FlightJournal(FlightOptions options)
+    : options_(std::move(options)),
+      uid_(g_journal_uid.fetch_add(1, std::memory_order_relaxed) + 1) {
+  if (options_.ring_capacity == 0) {
+    options_.ring_capacity = 1;
+  }
+}
+
+FlightJournal::ThreadLog& FlightJournal::thread_log() {
+  // The hot path: one TLS read + one integer compare. The mutex is taken
+  // only the first time a thread records into *this* journal.
+  struct Cache {
+    std::uint64_t uid = 0;
+    ThreadLog* log = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.uid == uid_ && cache.log != nullptr) {
+    return *cache.log;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto log = std::make_unique<ThreadLog>();
+  log->ring.reserve(options_.ring_capacity);
+  log->index = logs_.size();
+  cache.uid = uid_;
+  cache.log = log.get();
+  logs_.push_back(std::move(log));
+  return *cache.log;
+}
+
+void FlightJournal::append(ThreadLog& log, const FlightRecord& record,
+                           std::size_t capacity) {
+  if (log.ring.size() < capacity) {
+    log.ring.push_back(record);
+    return;
+  }
+  log.ring[log.head] = record;
+  log.head = (log.head + 1) % capacity;
+  ++log.overwritten;
+}
+
+std::size_t FlightJournal::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& log : logs_) {
+    total += log->ring.size();
+  }
+  return total;
+}
+
+std::uint64_t FlightJournal::overwritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) {
+    total += log->overwritten;
+  }
+  return total;
+}
+
+void FlightJournal::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& log : logs_) {
+    log->ring.clear();
+    log->head = 0;
+    log->overwritten = 0;
+  }
+}
+
+void FlightJournal::write_records(std::string& out, const ThreadLog& log,
+                                  std::uint32_t solve_filter, bool filter) {
+  const std::size_t count = log.ring.size();
+  for (std::size_t k = 0; k < count; ++k) {
+    // Chronological order: once the ring has wrapped, `head` is the
+    // oldest slot.
+    const FlightRecord& rec = log.ring[(log.head + k) % count];
+    if (filter && rec.solve != solve_filter) {
+      continue;
+    }
+    JsonWriter w;
+    write_record_line(w, rec, log.index);
+    out += w.str();
+    out += '\n';
+  }
+}
+
+std::string FlightJournal::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  std::uint64_t dropped = 0;
+  for (const auto& log : logs_) {
+    total += log->ring.size();
+    dropped += log->overwritten;
+  }
+  JsonWriter header;
+  header.begin_object();
+  header.key("schema");
+  header.value("gw.solvetrace.v1");
+  header.key("ring_capacity");
+  header.value(static_cast<std::uint64_t>(options_.ring_capacity));
+  header.key("threads");
+  header.value(static_cast<std::uint64_t>(logs_.size()));
+  header.key("recorded");
+  header.value(static_cast<std::uint64_t>(total));
+  header.key("overwritten");
+  header.value(dropped);
+  header.key("solves");
+  header.value(static_cast<std::uint64_t>(solves()));
+  header.key("dumps");
+  header.value(dumps());
+  header.end_object();
+
+  std::string out = header.take();
+  out += '\n';
+  for (const auto& log : logs_) {
+    write_records(out, *log, 0, false);
+  }
+  return out;
+}
+
+bool FlightJournal::write_file(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return false;
+  }
+  file << to_jsonl();
+  return static_cast<bool>(file);
+}
+
+void FlightJournal::dump_escalation(const ThreadLog& log,
+                                    std::uint32_t solve) {
+  if (options_.dump_dir.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dump_dir, ec);
+
+  JsonWriter header;
+  header.begin_object();
+  header.key("schema");
+  header.value("gw.solvetrace.v1");
+  header.key("ring_capacity");
+  header.value(static_cast<std::uint64_t>(options_.ring_capacity));
+  header.key("threads");
+  header.value(static_cast<std::uint64_t>(1));
+  header.key("escalation_dump");
+  header.value(true);
+  header.key("solve");
+  header.value(static_cast<std::uint64_t>(solve));
+  header.end_object();
+
+  std::string out = header.take();
+  out += '\n';
+  write_records(out, log, solve, true);
+
+  const std::string path =
+      options_.dump_dir + "/solvetrace-" + std::to_string(solve) + ".jsonl";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return;
+  }
+  file << out;
+  if (file) {
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+FlightRecorder FlightRecorder::begin(const char* label, std::size_t users,
+                                     FlightRung rung) noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  (void)label;
+  (void)users;
+  (void)rung;
+  return FlightRecorder();
+#else
+  FlightJournal* journal = active_flight();
+  if (journal == nullptr) {
+    return FlightRecorder();
+  }
+  OpenSpan& span = tls_span();
+  if (span.depth > 0) {
+    if (span.journal != journal) {
+      // Journal swapped mid-span: violates the quiescence contract; record
+      // nothing rather than splice two journals.
+      return FlightRecorder();
+    }
+    ++span.depth;
+    return FlightRecorder(true, false);
+  }
+  span.journal = journal;
+  span.solve = journal->open_solve();
+  span.iterate = 0;
+  span.rung = rung;
+  span.depth = 1;
+
+  FlightRecord rec;
+  rec.type = FlightRecord::Type::kEvent;
+  rec.event = FlightEvent::kBegin;
+  rec.rung = rung;
+  rec.solve = span.solve;
+  rec.active_set = static_cast<std::uint32_t>(users);
+  rec.label = label;
+  FlightJournal::append(journal->thread_log(), rec,
+                        journal->options().ring_capacity);
+  return FlightRecorder(true, true);
+#endif
+}
+
+FlightRecorder::~FlightRecorder() {
+#ifndef GW_FLIGHT_DISABLED
+  if (!armed_) {
+    return;
+  }
+  OpenSpan& span = tls_span();
+  if (span.depth > 0) {
+    --span.depth;
+  }
+  if (opened_ || span.depth == 0) {
+    span = OpenSpan{};
+  }
+#endif
+}
+
+std::uint32_t FlightRecorder::id() const noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  return 0;
+#else
+  return armed_ ? tls_span().solve : 0;
+#endif
+}
+
+void FlightRecorder::rung(FlightRung rung) noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  (void)rung;
+#else
+  if (!armed_) {
+    return;
+  }
+  OpenSpan& span = tls_span();
+  span.rung = rung;
+  FlightRecord rec;
+  rec.type = FlightRecord::Type::kEvent;
+  rec.event = FlightEvent::kRung;
+  rec.rung = rung;
+  rec.solve = span.solve;
+  rec.iterate = span.iterate;
+  FlightJournal::append(span.journal->thread_log(), rec,
+                        span.journal->options().ring_capacity);
+#endif
+}
+
+void FlightRecorder::iteration(double residual, double max_delta,
+                               double damping,
+                               std::size_t active_set) noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  (void)residual;
+  (void)max_delta;
+  (void)damping;
+  (void)active_set;
+#else
+  if (!armed_) {
+    return;
+  }
+  OpenSpan& span = tls_span();
+  FlightRecord rec;
+  rec.type = FlightRecord::Type::kIteration;
+  rec.rung = span.rung;
+  rec.solve = span.solve;
+  rec.iterate = span.iterate++;
+  rec.active_set = static_cast<std::uint32_t>(active_set);
+  rec.residual = residual;
+  rec.max_delta = max_delta;
+  rec.damping = damping;
+  FlightJournal::append(span.journal->thread_log(), rec,
+                        span.journal->options().ring_capacity);
+#endif
+}
+
+void FlightRecorder::event(FlightEvent kind, double value) noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  (void)kind;
+  (void)value;
+#else
+  if (!armed_) {
+    return;
+  }
+  OpenSpan& span = tls_span();
+  FlightRecord rec;
+  rec.type = FlightRecord::Type::kEvent;
+  rec.event = kind;
+  rec.rung = span.rung;
+  rec.solve = span.solve;
+  rec.iterate = span.iterate;
+  if (kind == FlightEvent::kEscalation || kind == FlightEvent::kVerdict) {
+    rec.residual = value;
+  } else {
+    rec.damping = value;
+  }
+  FlightJournal::append(span.journal->thread_log(), rec,
+                        span.journal->options().ring_capacity);
+#endif
+}
+
+void FlightRecorder::escalation(FlightRung to, double residual) noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  (void)to;
+  (void)residual;
+#else
+  if (!armed_) {
+    return;
+  }
+  OpenSpan& span = tls_span();
+  FlightRecord rec;
+  rec.type = FlightRecord::Type::kEvent;
+  rec.event = FlightEvent::kEscalation;
+  rec.rung = to;
+  rec.solve = span.solve;
+  rec.iterate = span.iterate;
+  rec.residual = residual;
+  FlightJournal* journal = span.journal;
+  FlightJournal::append(journal->thread_log(), rec,
+                        journal->options().ring_capacity);
+  span.rung = to;
+  journal->dump_escalation(journal->thread_log(), span.solve);
+#endif
+}
+
+void FlightRecorder::verdict(bool converged, double residual) noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  (void)converged;
+  (void)residual;
+#else
+  if (!armed_) {
+    return;
+  }
+  OpenSpan& span = tls_span();
+  FlightRecord rec;
+  rec.type = FlightRecord::Type::kEvent;
+  rec.event = FlightEvent::kVerdict;
+  rec.rung = span.rung;
+  rec.solve = span.solve;
+  rec.iterate = span.iterate;
+  rec.flag = converged ? 1 : 0;
+  rec.residual = residual;
+  FlightJournal::append(span.journal->thread_log(), rec,
+                        span.journal->options().ring_capacity);
+#endif
+}
+
+}  // namespace gw::obs

@@ -1,0 +1,273 @@
+// Solver flight recorder: per-iteration convergence journals.
+//
+// The aggregate `core.nash.*` / `ctrl.*` metrics say *that* a solve took
+// 900 sweeps or escalated to a cold re-solve; they cannot say *why*. A
+// FlightJournal records the iterate trajectory itself — one compact tuple
+// per solver sweep (iterate index, repair-ladder rung, projected KKT
+// residual, max rate delta, damping factor, active-set size) plus discrete
+// events (rung escalation, backtrack, dirty-gate trip, convergence
+// verdict) — into per-thread ring buffers, and serializes everything as
+// `gw.solvetrace.v1` JSONL for the `gw-inspect` CLI.
+//
+// Hot-path contract:
+//   * No journal installed: FlightRecorder::begin() is one relaxed atomic
+//     load; every other call is a predictable `if (!armed) return` branch.
+//     Compiling with -DGW_FLIGHT_DISABLED removes even that (the recorder
+//     collapses to an empty object).
+//   * Journal installed: each record is a handful of plain stores into the
+//     calling thread's own ring — no locks, no allocation after the ring's
+//     one-time reservation. Registering a thread's ring with the journal
+//     (once per thread per journal) takes the journal mutex; nothing else
+//     does.
+//
+// Threading contract: a solve span (begin .. verdict) lives on one thread
+// — exactly how the solvers run, including shard repairs dispatched over
+// gw::exec's pool. Export (to_jsonl / write_file / clear) requires the
+// journal to be quiescent: no solver concurrently recording, the same
+// contract TraceSession has. Escalation dumps are the one concurrent
+// export: they read only the *calling* thread's ring, so they are safe
+// while other threads keep recording into theirs.
+//
+// Span nesting: SolverShard::repair opens the span and tags the ladder
+// rung; the core engines it calls (relax_equilibrium, newton_fdc,
+// solve_nash) also call begin(), detect the open span on their thread and
+// join it — their iterations inherit the shard's rung and solve id, so one
+// repair reads as a single trajectory across rung transitions. Called
+// standalone (tests, benches, the learn driver) the same engines open
+// their own spans.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gw::obs {
+
+/// Which engine produced an iteration — the repair-ladder rung for
+/// control-plane spans, the engine's own identity for standalone solves.
+enum class FlightRung : std::uint8_t {
+  kNone = 0,     ///< span opened, no rung tagged yet
+  kSingleUser,   ///< ladder rung 1: rank-1 coordinate Newton
+  kRelax,        ///< ladder rung 2 / standalone relax_equilibrium
+  kNewton,       ///< ladder rung 3 / standalone newton_fdc
+  kWarmSolve,    ///< ladder rung 4: warm best-response solve
+  kFullSolve,    ///< ladder rung 5 / naive mode: cold best-response solve
+  kSolve,        ///< standalone solve_nash (best-response dynamics)
+  kDriver,       ///< learn::GameDriver rounds
+};
+[[nodiscard]] const char* flight_rung_name(FlightRung rung) noexcept;
+
+/// Discrete solve events interleaved with the iteration stream.
+enum class FlightEvent : std::uint8_t {
+  kBegin = 0,    ///< span opened (label, population size)
+  kRung,         ///< rung transition (ladder moved to `rung`)
+  kEscalation,   ///< cold-solve fallback; triggers the journal dump
+  kBacktrack,    ///< step halved (line search / feasibility damping)
+  kDirtyGate,    ///< bulk-churn gate tripped (value = dirty fraction)
+  kVerdict,      ///< convergence verdict (flag = converged)
+};
+[[nodiscard]] const char* flight_event_name(FlightEvent event) noexcept;
+
+/// One ring slot. POD on purpose: recording is a struct copy. `label`
+/// must point at static-lifetime storage (call sites pass literals).
+struct FlightRecord {
+  enum class Type : std::uint8_t { kIteration = 0, kEvent };
+  Type type = Type::kIteration;
+  FlightRung rung = FlightRung::kNone;
+  FlightEvent event = FlightEvent::kBegin;  ///< kEvent only
+  std::uint8_t flag = 0;        ///< verdict: converged
+  std::uint32_t solve = 0;      ///< solve span id (journal-wide, unique)
+  std::uint32_t iterate = 0;    ///< iterate index within the span
+  std::uint32_t active_set = 0; ///< iteration: pinned users; begin: users
+  double residual = 0.0;        ///< projected KKT residual (NaN: unmeasured)
+  double max_delta = 0.0;       ///< max per-user rate move this iterate
+  double damping = 0.0;         ///< damping / line-search factor applied
+  const char* label = nullptr;  ///< begin events: span label
+};
+
+struct FlightOptions {
+  /// Records kept per recording thread; wraparound overwrites the oldest
+  /// so the newest `ring_capacity` iterations always survive.
+  std::size_t ring_capacity = 1u << 14;
+  /// When non-empty, every escalation writes the escalating solve's
+  /// trajectory to `<dump_dir>/solvetrace-<solve_id>.jsonl` (the directory
+  /// must exist). Empty: escalations are recorded but not dumped to disk.
+  std::string dump_dir;
+};
+
+/// The journal: owns one ring per recording thread plus the solve-id
+/// allocator. Install with set_active_flight() / ActiveFlightScope.
+class FlightJournal {
+ public:
+  explicit FlightJournal(FlightOptions options = {});
+
+  [[nodiscard]] const FlightOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Records currently held across all thread rings (quiescent).
+  [[nodiscard]] std::size_t recorded() const;
+  /// Records overwritten by ring wraparound, summed over threads
+  /// (quiescent).
+  [[nodiscard]] std::uint64_t overwritten() const;
+  /// Escalation dump files written (always current; atomic).
+  [[nodiscard]] std::uint64_t dumps() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  /// Solve spans opened so far (always current; atomic).
+  [[nodiscard]] std::uint32_t solves() const noexcept {
+    return next_solve_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes every ring as gw.solvetrace.v1 JSONL: a header line, then
+  /// one record per line in per-thread chronological order (quiescent).
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Writes to_jsonl() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+  /// Empties every ring, keeping thread registrations (quiescent).
+  void clear();
+
+ private:
+  friend class FlightRecorder;
+
+  struct ThreadLog {
+    std::vector<FlightRecord> ring;  ///< reserved to capacity up front
+    std::size_t head = 0;            ///< oldest slot once the ring is full
+    std::uint64_t overwritten = 0;
+    std::size_t index = 0;  ///< registration order; the "thread" JSONL field
+  };
+
+  /// The calling thread's ring, registering it on first use.
+  ThreadLog& thread_log();
+  std::uint32_t open_solve() noexcept {
+    return next_solve_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  static void append(ThreadLog& log, const FlightRecord& record,
+                     std::size_t capacity);
+  /// Writes `solve`'s records from `log` (the caller's own ring) to
+  /// <dump_dir>/solvetrace-<solve>.jsonl.
+  void dump_escalation(const ThreadLog& log, std::uint32_t solve);
+  static void write_records(std::string& out, const ThreadLog& log,
+                            std::uint32_t solve_filter, bool filter);
+
+  FlightOptions options_;
+  std::uint64_t uid_;  ///< distinguishes journals for thread-local caches
+  std::atomic<std::uint32_t> next_solve_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  mutable std::mutex mutex_;  ///< guards logs_ (registration + export)
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+namespace detail {
+inline std::atomic<FlightJournal*> g_active_flight{nullptr};
+}  // namespace detail
+
+/// The installed journal, or nullptr when flight recording is disabled.
+/// Inline so the disabled fast path is a relaxed load + predictable branch.
+[[nodiscard]] inline FlightJournal* active_flight() noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  return nullptr;
+#else
+  return detail::g_active_flight.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Installs `journal` as the process-wide flight sink (nullptr disables).
+/// Returns the previously installed journal. Swap only while quiescent.
+inline FlightJournal* set_active_flight(FlightJournal* journal) noexcept {
+#ifdef GW_FLIGHT_DISABLED
+  (void)journal;
+  return nullptr;
+#else
+  return detail::g_active_flight.exchange(journal, std::memory_order_release);
+#endif
+}
+
+/// RAII: installs a journal for the enclosing scope, restores on exit.
+class ActiveFlightScope {
+ public:
+  explicit ActiveFlightScope(FlightJournal& journal)
+      : previous_(set_active_flight(&journal)) {}
+  ~ActiveFlightScope() { set_active_flight(previous_); }
+  ActiveFlightScope(const ActiveFlightScope&) = delete;
+  ActiveFlightScope& operator=(const ActiveFlightScope&) = delete;
+
+ private:
+  FlightJournal* previous_;
+};
+
+/// The solver-side handle: obtained at solver entry, fed per sweep.
+///
+///   auto flight = obs::FlightRecorder::begin("core.relax", n,
+///                                            obs::FlightRung::kRelax);
+///   for (...) {
+///     ...
+///     if (flight.armed()) flight.iteration(residual, delta, damp, pinned);
+///   }
+///   flight.verdict(converged, residual);
+///
+/// begin() either opens a new solve span on this thread or, when one is
+/// already open (the control-plane repair wrapping a core engine), joins
+/// it: joined recorders share the span's solve id and rung and emit no
+/// begin event. The recorder closes its span on destruction.
+class FlightRecorder {
+ public:
+  /// `label` must be a string literal (static lifetime). `rung` tags the
+  /// span's iterations until the next rung() call; ignored when joining
+  /// an open span (the opener's rung stands).
+  [[nodiscard]] static FlightRecorder begin(
+      const char* label, std::size_t users,
+      FlightRung rung = FlightRung::kSolve) noexcept;
+
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// True when a journal is recording this span. Call sites guard any
+  /// non-trivial input computation (active-set counts, deltas) on this.
+  [[nodiscard]] bool armed() const noexcept {
+#ifdef GW_FLIGHT_DISABLED
+    return false;
+#else
+    return armed_;
+#endif
+  }
+  /// The span's solve id (0 when disarmed).
+  [[nodiscard]] std::uint32_t id() const noexcept;
+
+  /// Rung transition: emits a kRung event and tags subsequent iterations.
+  void rung(FlightRung rung) noexcept;
+  /// One solver sweep: the per-iteration tuple of the journal.
+  void iteration(double residual, double max_delta, double damping,
+                 std::size_t active_set) noexcept;
+  /// A discrete event at the current iterate (value lands in `residual`
+  /// for kEscalation/kVerdict, `damping` otherwise).
+  void event(FlightEvent kind, double value = 0.0) noexcept;
+  /// Step halved `times` times down to `factor` (line search /
+  /// feasibility damping): one kBacktrack event.
+  void backtrack(double factor) noexcept { event(FlightEvent::kBacktrack, factor); }
+  /// Cold-solve fallback: emits kEscalation tagged with the rung being
+  /// escalated *to*, then dumps this solve's trajectory to the journal's
+  /// dump_dir (when configured). Fires the dump exactly once per call.
+  void escalation(FlightRung to, double residual) noexcept;
+  /// Convergence verdict for the current engine/rung. The span's final
+  /// verdict is the last one recorded before close.
+  void verdict(bool converged, double residual) noexcept;
+
+ private:
+  FlightRecorder() = default;
+
+#ifndef GW_FLIGHT_DISABLED
+  FlightRecorder(bool armed, bool opened) noexcept
+      : armed_(armed), opened_(opened) {}
+
+  bool armed_ = false;
+  bool opened_ = false;  ///< this recorder opened the span (closes it too)
+#endif
+};
+
+}  // namespace gw::obs

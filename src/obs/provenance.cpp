@@ -149,6 +149,12 @@ void write_manifest(JsonWriter& w, const RunManifest& manifest) {
   w.value(static_cast<std::uint64_t>(manifest.threads));
   w.key("warmup");
   w.value(static_cast<std::uint64_t>(manifest.warmup));
+  if (!manifest.trace_solves.empty()) {
+    // Emitted only when set so pre-flight-recorder readers see an
+    // unchanged document.
+    w.key("trace_solves");
+    w.value(manifest.trace_solves);
+  }
   w.end_object();
 }
 

@@ -27,6 +27,9 @@ struct RunManifest {
   std::string label;          ///< user-supplied --label, may be empty
   unsigned threads = 1;       ///< worker threads the run used (bench --threads)
   unsigned warmup = 0;        ///< discarded warm-up reps (bench --warmup)
+  std::string trace_solves;   ///< solver flight-journal path (bench
+                              ///< --trace-solves); empty = not recorded,
+                              ///< and the field is omitted from the JSON
 };
 
 /// Gathers the manifest for this process. `label` is the user-supplied run

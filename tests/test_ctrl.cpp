@@ -15,6 +15,7 @@
 #include "core/proportional.hpp"
 #include "ctrl/churn.hpp"
 #include "ctrl/shard.hpp"
+#include "obs/metrics.hpp"
 
 namespace gw::ctrl {
 namespace {
@@ -275,6 +276,22 @@ TEST(CtrlChurn, BurstFlipsGammaPhaseOnEveryRotation) {
     EXPECT_NE(linear->gamma(), first_visit[update.user])
         << "user " << update.user << " revisited with the same gamma";
   }
+}
+
+TEST(CtrlController, StalenessAgeObservedPerAppliedUpdate) {
+  // Every applied update contributes one ctrl.staleness_age_ms sample:
+  // the wall time it sat in the ingress/draining queues before routing.
+  Controller ctrl = make_controller(2, 4);
+  auto& age = obs::default_registry().histogram("ctrl.staleness_age_ms",
+                                                0.0, 1000.0, 128);
+  const std::uint64_t before = age.count();
+
+  ctrl.submit(RateUpdate{1, make_linear(1.0, 0.6), 0.0});
+  ctrl.submit(RateUpdate{5, make_linear(1.0, 0.4), 0.0});
+  EXPECT_EQ(age.count(), before);  // sampled at apply, not submit
+  (void)ctrl.apply_pending();
+  EXPECT_EQ(age.count(), before + 2);
+  EXPECT_GE(age.sum(), 0.0);
 }
 
 TEST(CtrlController, RejectsBadSubmissions) {

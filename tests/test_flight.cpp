@@ -1,0 +1,251 @@
+// FlightJournal / FlightRecorder: span lifecycle, ring wraparound,
+// escalation dumps (including exactly-once under the exec pool), and the
+// disabled fast path's lack of side effects.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/flight.hpp"
+#include "obs/json_parse.hpp"
+
+namespace {
+
+using gw::obs::ActiveFlightScope;
+using gw::obs::FlightJournal;
+using gw::obs::FlightOptions;
+using gw::obs::FlightRecorder;
+using gw::obs::FlightRung;
+using gw::obs::JsonValue;
+using gw::obs::parse_json;
+
+std::vector<JsonValue> parse_lines(const std::string& jsonl) {
+  std::vector<JsonValue> lines;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(parse_json(line));
+  }
+  return lines;
+}
+
+std::string unique_dir(const std::string& name) {
+  return ::testing::TempDir() + "gw_flight_" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + name;
+}
+
+TEST(Flight, JournalRecordsSpanAsSolvetraceV1) {
+  FlightJournal journal;
+  ActiveFlightScope scope(journal);
+  {
+    auto flight = FlightRecorder::begin("test.span", 4, FlightRung::kRelax);
+    ASSERT_TRUE(flight.armed());
+    EXPECT_EQ(flight.id(), 1u);
+    flight.iteration(0.5, 0.1, 1.0, 2);
+    flight.iteration(0.05, 0.01, 1.0, 2);
+    flight.verdict(true, 0.05);
+  }
+  EXPECT_EQ(journal.solves(), 1u);
+  EXPECT_EQ(journal.recorded(), 4u);  // begin + 2 iters + verdict
+
+  const auto lines = parse_lines(journal.to_jsonl());
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_EQ(lines[0].at("schema").string, "gw.solvetrace.v1");
+  EXPECT_DOUBLE_EQ(lines[0].at("solves").number, 1.0);
+  EXPECT_EQ(lines[1].at("t").string, "begin");
+  EXPECT_EQ(lines[1].at("label").string, "test.span");
+  EXPECT_DOUBLE_EQ(lines[1].at("users").number, 4.0);
+  EXPECT_EQ(lines[1].at("rung").string, "relax");
+  EXPECT_EQ(lines[2].at("t").string, "iter");
+  EXPECT_DOUBLE_EQ(lines[2].at("residual").number, 0.5);
+  EXPECT_DOUBLE_EQ(lines[2].at("active_set").number, 2.0);
+  EXPECT_EQ(lines[4].at("t").string, "event");
+  EXPECT_EQ(lines[4].at("kind").string, "verdict");
+  EXPECT_TRUE(lines[4].at("converged").boolean);
+}
+
+TEST(Flight, NestedBeginJoinsTheOpenSpan) {
+  FlightJournal journal;
+  ActiveFlightScope scope(journal);
+  {
+    auto outer = FlightRecorder::begin("outer", 8, FlightRung::kNone);
+    const std::uint32_t id = outer.id();
+    {
+      // A core engine called inside the control-plane span: same solve id,
+      // no second begin event, and destruction keeps the span open.
+      auto inner = FlightRecorder::begin("inner", 8, FlightRung::kNewton);
+      EXPECT_EQ(inner.id(), id);
+      inner.iteration(0.1, 0.2, 1.0, 0);
+    }
+    outer.iteration(0.01, 0.02, 1.0, 0);  // still recording after join ends
+    outer.verdict(true, 0.01);
+  }
+  EXPECT_EQ(journal.solves(), 1u);
+  std::size_t begins = 0;
+  for (const auto& line : parse_lines(journal.to_jsonl())) {
+    if (line.has("t") && line.at("t").string == "begin") ++begins;
+  }
+  EXPECT_EQ(begins, 1u);
+
+  // The span closed with the outer recorder: a fresh begin opens a new one.
+  auto next = FlightRecorder::begin("next", 1);
+  EXPECT_EQ(next.id(), 2u);
+}
+
+TEST(Flight, RingWraparoundKeepsTheNewestRecords) {
+  FlightOptions options;
+  options.ring_capacity = 8;
+  FlightJournal journal(options);
+  ActiveFlightScope scope(journal);
+  {
+    auto flight = FlightRecorder::begin("wrap", 1);
+    for (int i = 0; i < 20; ++i) {
+      flight.iteration(1.0 / (i + 1), 0.0, 1.0, 0);
+    }
+  }
+  // begin + 20 iterations = 21 appends into 8 slots.
+  EXPECT_EQ(journal.recorded(), 8u);
+  EXPECT_EQ(journal.overwritten(), 13u);
+
+  // Survivors are the newest 8 records in chronological order: iterates
+  // 12..19 (the begin event and iterates 0..11 were overwritten).
+  const auto lines = parse_lines(journal.to_jsonl());
+  std::vector<double> iterates;
+  for (const auto& line : lines) {
+    if (line.has("t") && line.at("t").string == "iter") {
+      iterates.push_back(line.at("i").number);
+    }
+  }
+  ASSERT_EQ(iterates.size(), 8u);
+  for (std::size_t k = 1; k < iterates.size(); ++k) {
+    EXPECT_EQ(iterates[k], iterates[k - 1] + 1.0) << "gap at " << k;
+  }
+  EXPECT_EQ(iterates.back(), 19.0);
+}
+
+TEST(Flight, ClearEmptiesRingsAndKeepsRecording) {
+  FlightJournal journal;
+  ActiveFlightScope scope(journal);
+  {
+    auto flight = FlightRecorder::begin("first", 1);
+    flight.iteration(0.1, 0.1, 1.0, 0);
+  }
+  ASSERT_GT(journal.recorded(), 0u);
+  journal.clear();
+  EXPECT_EQ(journal.recorded(), 0u);
+  EXPECT_EQ(journal.overwritten(), 0u);
+  {
+    auto flight = FlightRecorder::begin("second", 1);
+    flight.iteration(0.2, 0.2, 1.0, 0);
+  }
+  EXPECT_EQ(journal.recorded(), 2u);  // the new span's begin + iteration
+}
+
+TEST(Flight, NoJournalMeansDisarmedRecorderAndNoSideEffects) {
+  ASSERT_EQ(gw::obs::active_flight(), nullptr);
+  auto flight = FlightRecorder::begin("off", 128, FlightRung::kSolve);
+  EXPECT_FALSE(flight.armed());
+  EXPECT_EQ(flight.id(), 0u);
+  // Every record call must be an inert branch.
+  flight.rung(FlightRung::kNewton);
+  flight.iteration(0.1, 0.2, 0.3, 4);
+  flight.backtrack(0.5);
+  flight.escalation(FlightRung::kFullSolve, 0.1);
+  flight.verdict(true, 0.0);
+
+  // A journal installed afterwards sees none of it.
+  FlightJournal journal;
+  ActiveFlightScope scope(journal);
+  EXPECT_EQ(journal.recorded(), 0u);
+  EXPECT_EQ(journal.solves(), 0u);
+}
+
+TEST(Flight, EscalationWritesExactlyOneDumpForTheSolve) {
+  const std::string dir = unique_dir("dump");
+  std::filesystem::remove_all(dir);
+  FlightOptions options;
+  options.dump_dir = dir;
+  FlightJournal journal(options);
+  ActiveFlightScope scope(journal);
+  std::uint32_t id = 0;
+  {
+    auto flight = FlightRecorder::begin("ctrl.repair", 16, FlightRung::kRelax);
+    id = flight.id();
+    flight.iteration(0.9, 0.5, 1.0, 1);
+    flight.escalation(FlightRung::kFullSolve, 0.9);
+    flight.iteration(0.001, 0.0005, 1.0, 0);
+    flight.verdict(true, 0.001);
+  }
+  EXPECT_EQ(journal.dumps(), 1u);
+
+  const std::string dump_path =
+      dir + "/solvetrace-" + std::to_string(id) + ".jsonl";
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "missing dump " << dump_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto lines = parse_lines(buffer.str());
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(lines[0].at("escalation_dump").boolean);
+  EXPECT_DOUBLE_EQ(lines[0].at("solve").number, static_cast<double>(id));
+  // The dump holds only this solve's records, up to the escalation point.
+  for (std::size_t k = 1; k < lines.size(); ++k) {
+    EXPECT_DOUBLE_EQ(lines[k].at("solve").number, static_cast<double>(id));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Flight, PoolDispatchedEscalationsDumpExactlyOncePerSolve) {
+  const std::string dir = unique_dir("pool");
+  std::filesystem::remove_all(dir);
+  FlightOptions options;
+  options.dump_dir = dir;
+  FlightJournal journal(options);
+  ActiveFlightScope scope(journal);
+
+  // One independent escalating solve per work item, dispatched across the
+  // pool exactly as SolverShard::repair runs. Run under TSan this also
+  // checks that per-thread rings and concurrent dumps do not race.
+  constexpr std::size_t kSolves = 32;
+  gw::exec::ThreadPool pool(4);
+  std::atomic<std::size_t> completed{0};
+  pool.parallel_for(kSolves, [&](std::size_t) {
+    auto flight = FlightRecorder::begin("pool.repair", 8, FlightRung::kRelax);
+    flight.iteration(0.7, 0.3, 1.0, 0);
+    flight.escalation(FlightRung::kFullSolve, 0.7);
+    flight.verdict(true, 1e-9);
+    completed.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_EQ(completed.load(), kSolves);
+  EXPECT_EQ(journal.solves(), kSolves);
+  EXPECT_EQ(journal.dumps(), kSolves);
+
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_NE(entry.path().filename().string().find("solvetrace-"),
+              std::string::npos);
+  }
+  EXPECT_EQ(files, kSolves);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Flight, RungAndEventNamesAreStable) {
+  using gw::obs::flight_event_name;
+  using gw::obs::flight_rung_name;
+  EXPECT_STREQ(flight_rung_name(FlightRung::kSingleUser), "single_user");
+  EXPECT_STREQ(flight_rung_name(FlightRung::kFullSolve), "full_solve");
+  EXPECT_STREQ(flight_rung_name(FlightRung::kDriver), "driver");
+  EXPECT_STREQ(flight_event_name(gw::obs::FlightEvent::kEscalation),
+               "escalation");
+  EXPECT_STREQ(flight_event_name(gw::obs::FlightEvent::kDirtyGate),
+               "dirty_gate");
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// gw-inspect CLI end-to-end against journals written by FlightJournal:
+// summarize's rung/escalation tables, trajectory drift mode, and the
+// check gate's machine-readable verdicts and exit codes.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/flight.hpp"
+#include "obs/json_parse.hpp"
+
+namespace {
+
+using gw::obs::ActiveFlightScope;
+using gw::obs::FlightJournal;
+using gw::obs::FlightRecorder;
+using gw::obs::FlightRung;
+using gw::obs::JsonValue;
+using gw::obs::parse_json;
+
+#ifndef GW_TOOLS_BIN_DIR
+#define GW_TOOLS_BIN_DIR ""
+#endif
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+std::string inspect_path() {
+  const std::string dir = GW_TOOLS_BIN_DIR;
+  return dir.empty() ? std::string() : dir + "/gw-inspect";
+}
+
+std::string pid_tag() { return std::to_string(static_cast<long>(::getpid())); }
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout only; stderr is discarded
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  const std::string capture =
+      ::testing::TempDir() + "gw_inspect_out." + pid_tag() + ".txt";
+  const int raw =
+      std::system((command + " > " + capture + " 2>/dev/null").c_str());
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(capture);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  std::remove(capture.c_str());
+  return result;
+}
+
+/// A healthy repair trajectory: relax stalls, escalates to a cold solve
+/// that converges — the shape bench_churn's adversarial bursts produce.
+void record_escalating_solve(bool converge) {
+  auto flight = FlightRecorder::begin("ctrl.repair", 16, FlightRung::kRelax);
+  flight.iteration(0.8, 0.4, 1.0, 1);
+  flight.iteration(0.75, 0.35, 0.5, 1);
+  flight.backtrack(0.5);
+  flight.escalation(FlightRung::kFullSolve, 0.75);
+  flight.iteration(0.3, 0.2, 1.0, 0);
+  flight.iteration(0.001, 0.0008, 1.0, 0);
+  flight.verdict(converge, converge ? 1e-9 : 0.3);
+}
+
+void record_clean_solve(double scale) {
+  auto flight = FlightRecorder::begin("core.relax", 8, FlightRung::kRelax);
+  flight.iteration(0.4 * scale, 0.2, 1.0, 0);
+  flight.iteration(0.04 * scale, 0.02, 1.0, 0);
+  flight.iteration(0.004 * scale, 0.002, 1.0, 0);
+  flight.verdict(true, 0.004 * scale);
+}
+
+class InspectCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (inspect_path().empty() || !file_exists(inspect_path())) {
+      GTEST_SKIP() << "gw-inspect not built: " << inspect_path();
+    }
+  }
+
+  std::string path(const std::string& name) const {
+    return ::testing::TempDir() + "gw_inspect_" + pid_tag() + "_" + name;
+  }
+};
+
+TEST_F(InspectCli, SummarizeReportsRungsEscalationsAndVerdicts) {
+  FlightJournal journal;
+  {
+    ActiveFlightScope scope(journal);
+    record_clean_solve(1.0);
+    record_escalating_solve(true);
+  }
+  const std::string journal_path = path("summary.jsonl");
+  ASSERT_TRUE(journal.write_file(journal_path));
+
+  const auto run = run_command(inspect_path() + " summarize " + journal_path);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("gw.solvetrace.v1"), std::string::npos);
+  EXPECT_NE(run.output.find("relax"), std::string::npos);
+  EXPECT_NE(run.output.find("full_solve"), std::string::npos);
+  EXPECT_NE(run.output.find("escalated to full_solve"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("trajectory:"), std::string::npos);
+  EXPECT_NE(run.output.find("2 converged, 0 not"), std::string::npos)
+      << run.output;
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(InspectCli, CheckPassesHealthyJournalWithMachineReadableVerdict) {
+  FlightJournal journal;
+  {
+    ActiveFlightScope scope(journal);
+    record_clean_solve(1.0);
+    record_escalating_solve(true);
+  }
+  const std::string journal_path = path("pass.jsonl");
+  ASSERT_TRUE(journal.write_file(journal_path));
+
+  const auto run = run_command(inspect_path() + " check " + journal_path);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  const JsonValue doc = parse_json(run.output);
+  EXPECT_EQ(doc.at("schema").string, "gw.inspectcheck.v1");
+  EXPECT_DOUBLE_EQ(doc.at("solves").number, 2.0);
+  EXPECT_DOUBLE_EQ(doc.at("converged").number, 2.0);
+  EXPECT_TRUE(doc.at("pass").boolean);
+  EXPECT_TRUE(doc.at("violations").array.empty());
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(InspectCli, CheckFailsOnNonConvergedFinalVerdict) {
+  FlightJournal journal;
+  {
+    ActiveFlightScope scope(journal);
+    record_escalating_solve(false);
+  }
+  const std::string journal_path = path("nonconv.jsonl");
+  ASSERT_TRUE(journal.write_file(journal_path));
+
+  const auto run = run_command(inspect_path() + " check " + journal_path);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  const JsonValue doc = parse_json(run.output);
+  EXPECT_FALSE(doc.at("pass").boolean);
+  ASSERT_EQ(doc.at("violations").array.size(), 1u);
+  EXPECT_EQ(doc.at("violations").array[0].at("rule").string,
+            "non_converged");
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(InspectCli, CheckAllowNonconvergedTalliesWithoutGating) {
+  FlightJournal journal;
+  {
+    ActiveFlightScope scope(journal);
+    record_escalating_solve(false);
+  }
+  const std::string journal_path = path("allowed.jsonl");
+  ASSERT_TRUE(journal.write_file(journal_path));
+
+  const auto run = run_command(inspect_path() + " check " + journal_path +
+                               " --allow-nonconverged");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  const JsonValue doc = parse_json(run.output);
+  EXPECT_TRUE(doc.at("pass").boolean);
+  EXPECT_TRUE(doc.at("nonconverged_allowed").boolean);
+  EXPECT_DOUBLE_EQ(doc.at("nonconverged").number, 1.0);
+  EXPECT_TRUE(doc.at("violations").array.empty());
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(InspectCli, CheckFailsOnSilentNonConvergence) {
+  FlightJournal journal;
+  {
+    ActiveFlightScope scope(journal);
+    // Iterations but no verdict: the failure mode the gate exists for.
+    auto flight = FlightRecorder::begin("core.newton_fdc", 8,
+                                        FlightRung::kNewton);
+    flight.iteration(0.5, 0.3, 1.0, 0);
+    flight.iteration(0.4, 0.2, 1.0, 0);
+  }
+  const std::string journal_path = path("silent.jsonl");
+  ASSERT_TRUE(journal.write_file(journal_path));
+
+  const auto run = run_command(inspect_path() + " check " + journal_path);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  const JsonValue doc = parse_json(run.output);
+  ASSERT_EQ(doc.at("violations").array.size(), 1u);
+  EXPECT_EQ(doc.at("violations").array[0].at("rule").string,
+            "silent_nonconvergence");
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(InspectCli, CheckFailsWhenFinalSegmentResidualGrows) {
+  FlightJournal journal;
+  {
+    ActiveFlightScope scope(journal);
+    auto flight = FlightRecorder::begin("core.relax", 4, FlightRung::kRelax);
+    flight.iteration(0.01, 0.1, 1.0, 0);
+    flight.iteration(0.5, 0.2, 1.0, 0);  // residual grew two orders
+    flight.verdict(true, 0.5);           // ...yet claims convergence
+  }
+  const std::string journal_path = path("grew.jsonl");
+  ASSERT_TRUE(journal.write_file(journal_path));
+
+  const auto run = run_command(inspect_path() + " check " + journal_path);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  const JsonValue doc = parse_json(run.output);
+  ASSERT_EQ(doc.at("violations").array.size(), 1u);
+  EXPECT_EQ(doc.at("violations").array[0].at("rule").string,
+            "residual_grew");
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(InspectCli, TrajectoryPrintsSeriesAndDriftAgainstSecondJournal) {
+  const std::string old_path = path("old.jsonl");
+  const std::string new_path = path("new.jsonl");
+  {
+    FlightJournal journal;
+    ActiveFlightScope scope(journal);
+    record_clean_solve(1.0);
+    ASSERT_TRUE(journal.write_file(old_path));
+  }
+  {
+    FlightJournal journal;
+    ActiveFlightScope scope(journal);
+    record_clean_solve(1.5);  // same shape, drifted residuals
+    ASSERT_TRUE(journal.write_file(new_path));
+  }
+
+  const auto single = run_command(inspect_path() + " trajectory " + old_path +
+                                  " --label core.relax");
+  EXPECT_EQ(single.exit_code, 0) << single.output;
+  EXPECT_NE(single.output.find("core.relax"), std::string::npos);
+  EXPECT_NE(single.output.find("converged"), std::string::npos);
+
+  const auto drift = run_command(inspect_path() + " trajectory " + old_path +
+                                 " --label core.relax --against " + new_path);
+  EXPECT_EQ(drift.exit_code, 0) << drift.output;
+  // Max drift over the aligned series: |0.4 - 0.6| = 0.2 at iterate 0.
+  EXPECT_NE(drift.output.find("max |drift| over aligned iterates: 0.2"),
+            std::string::npos)
+      << drift.output;
+  std::remove(old_path.c_str());
+  std::remove(new_path.c_str());
+}
+
+TEST_F(InspectCli, RejectsMissingFileAndUnknownCommand) {
+  EXPECT_EQ(run_command(inspect_path() + " summarize " + path("nope.jsonl"))
+                .exit_code,
+            2);
+  EXPECT_EQ(run_command(inspect_path() + " frobnicate x").exit_code, 2);
+}
+
+}  // namespace

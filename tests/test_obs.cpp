@@ -205,6 +205,24 @@ TEST(MetricsRegistry, JsonAndCsvExportsParse) {
   EXPECT_EQ(registry.histogram("lat", 0.0, 1.0).count(), 0u);
 }
 
+TEST(MetricsRegistry, ResetClearsHistogramRejectedCounters) {
+  // Registry::reset() runs between bench reps; a rejected() count leaking
+  // across reps would misattribute rep 1's NaN observations to rep 2.
+  obs::Registry registry;
+  auto& h = registry.histogram("lat", 0.0, 1.0, 4);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(0.5);
+  ASSERT_EQ(h.rejected(), 1u);
+  ASSERT_EQ(h.count(), 1u);
+
+  registry.reset();
+  EXPECT_EQ(h.rejected(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].rejected, 0u);
+}
+
 TEST(ScopedTimer, FeedsHistogram) {
   obs::Registry registry;
   auto& sink = registry.histogram("t", 0.0, 1.0, 8);

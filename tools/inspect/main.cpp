@@ -1,0 +1,691 @@
+// gw-inspect: interrogate gw.solvetrace.v1 solver flight journals.
+//
+//   gw-inspect summarize <journal.jsonl>
+//       Header, per-rung iteration/residual statistics, per-label solve
+//       counts, the escalation table (with the residual trajectory that
+//       led to each escalation), and the verdict tally.
+//
+//   gw-inspect trajectory <journal.jsonl> [--solve N | --label L]
+//                         [--against <other.jsonl>]
+//       The per-iterate residual series of one solve (default: the solve
+//       with the most iterations). With --against, aligns the matching
+//       solve of a second journal by iterate index and reports the drift —
+//       the old-vs-new accuracy comparison for solver changes.
+//
+//   gw-inspect check <journal.jsonl>
+//       Machine-readable gate (schema gw.inspectcheck.v1 on stdout,
+//       exit 1 on violation): every solve that iterated must record a
+//       verdict (no silent non-convergence), the last verdict of every
+//       solve must be `converged`, and the final rung segment of every
+//       converged solve must show monotone-ish residual decay (final
+//       residual <= first, or below 1e-6 outright; falls back to the
+//       max-rate-delta series for engines that do not measure a KKT
+//       residual, e.g. best-response dynamics).
+//
+// The journal format is written by obs::FlightJournal (see
+// src/obs/flight.hpp) and produced by any bench binary's
+// --trace-solves <path> flag.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kCheckResidualFloor = 1e-6;
+
+/// JsonWriter encodes non-finite doubles as the sentinel strings "nan",
+/// "inf", "-inf"; undo that here.
+double number_of(const gw::obs::JsonValue& v) {
+  if (v.is_number()) return v.number;
+  if (v.is_string()) {
+    if (v.string == "nan") return kNan;
+    if (v.string == "inf") return std::numeric_limits<double>::infinity();
+    if (v.string == "-inf") return -std::numeric_limits<double>::infinity();
+  }
+  return kNan;
+}
+
+double number_or(const gw::obs::JsonValue& object, const std::string& key,
+                 double fallback) {
+  if (!object.has(key)) return fallback;
+  return number_of(object.at(key));
+}
+
+std::string string_or(const gw::obs::JsonValue& object,
+                      const std::string& key, const std::string& fallback) {
+  if (!object.has(key) || !object.at(key).is_string()) return fallback;
+  return object.at(key).string;
+}
+
+struct Iteration {
+  std::uint32_t index = 0;
+  std::string rung;
+  double residual = kNan;
+  double max_delta = kNan;
+  double damping = kNan;
+  std::uint64_t active_set = 0;
+};
+
+struct SolveEvent {
+  std::uint32_t index = 0;  ///< iterate index the event fired at
+  std::string kind;
+  std::string rung;
+  double residual = kNan;
+  double value = kNan;  ///< backtrack factor / dirty-gate fraction
+  bool has_verdict = false;
+  bool converged = false;
+};
+
+struct Solve {
+  std::uint32_t id = 0;
+  std::string label;
+  std::uint64_t users = 0;
+  std::uint64_t thread = 0;
+  std::vector<Iteration> iterations;
+  std::vector<SolveEvent> events;
+
+  [[nodiscard]] const SolveEvent* last_verdict() const {
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      if (it->has_verdict) return &*it;
+    }
+    return nullptr;
+  }
+  /// Iterate index of the last rung transition or escalation (0 if none):
+  /// the start of the final rung segment.
+  [[nodiscard]] std::uint32_t final_segment_start() const {
+    std::uint32_t start = 0;
+    for (const auto& event : events) {
+      if (event.kind == "rung" || event.kind == "escalation") {
+        start = std::max(start, event.index);
+      }
+    }
+    return start;
+  }
+};
+
+struct Journal {
+  std::string path;
+  std::uint64_t ring_capacity = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t overwritten = 0;
+  std::uint64_t header_solves = 0;
+  std::uint64_t dumps = 0;
+  std::map<std::uint32_t, Solve> solves;  ///< keyed (and ordered) by id
+};
+
+int fail(const char* format, const char* detail) {
+  std::fprintf(stderr, "gw-inspect: ");
+  std::fprintf(stderr, format, detail);
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+bool load_journal(const std::string& path, Journal& out, std::string& error) {
+  std::ifstream file(path);
+  if (!file) {
+    error = "cannot read " + path;
+    return false;
+  }
+  out.path = path;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    gw::obs::JsonValue record;
+    try {
+      record = gw::obs::parse_json(line);
+    } catch (const std::exception& e) {
+      error = path + ":" + std::to_string(line_number) + ": " + e.what();
+      return false;
+    }
+    if (!record.is_object()) continue;
+    if (record.has("schema")) {
+      const std::string schema = string_or(record, "schema", "");
+      if (schema != "gw.solvetrace.v1") {
+        error = path + ": unsupported schema '" + schema + "'";
+        return false;
+      }
+      out.ring_capacity =
+          static_cast<std::uint64_t>(number_or(record, "ring_capacity", 0));
+      out.threads = static_cast<std::uint64_t>(number_or(record, "threads", 0));
+      out.recorded =
+          static_cast<std::uint64_t>(number_or(record, "recorded", 0));
+      out.overwritten =
+          static_cast<std::uint64_t>(number_or(record, "overwritten", 0));
+      out.header_solves =
+          static_cast<std::uint64_t>(number_or(record, "solves", 0));
+      out.dumps = static_cast<std::uint64_t>(number_or(record, "dumps", 0));
+      continue;
+    }
+    const std::string type = string_or(record, "t", "");
+    const auto id =
+        static_cast<std::uint32_t>(number_or(record, "solve", 0));
+    if (id == 0) continue;
+    Solve& solve = out.solves[id];
+    solve.id = id;
+    if (type == "begin") {
+      solve.label = string_or(record, "label", "");
+      solve.users = static_cast<std::uint64_t>(number_or(record, "users", 0));
+      solve.thread =
+          static_cast<std::uint64_t>(number_or(record, "thread", 0));
+    } else if (type == "iter") {
+      Iteration iteration;
+      iteration.index = static_cast<std::uint32_t>(number_or(record, "i", 0));
+      iteration.rung = string_or(record, "rung", "");
+      iteration.residual = number_or(record, "residual", kNan);
+      iteration.max_delta = number_or(record, "max_delta", kNan);
+      iteration.damping = number_or(record, "damping", kNan);
+      iteration.active_set =
+          static_cast<std::uint64_t>(number_or(record, "active_set", 0));
+      solve.iterations.push_back(std::move(iteration));
+    } else if (type == "event") {
+      SolveEvent event;
+      event.index = static_cast<std::uint32_t>(number_or(record, "i", 0));
+      event.kind = string_or(record, "kind", "");
+      event.rung = string_or(record, "rung", "");
+      event.residual = number_or(record, "residual", kNan);
+      event.value = number_or(record, "factor",
+                              number_or(record, "fraction", kNan));
+      if (event.kind == "verdict") {
+        event.has_verdict = true;
+        event.converged =
+            record.has("converged") && record.at("converged").boolean;
+      }
+      solve.events.push_back(std::move(event));
+    }
+  }
+  if (out.solves.empty() && out.recorded == 0 && out.ring_capacity == 0) {
+    error = path + ": no gw.solvetrace.v1 header found";
+    return false;
+  }
+  return true;
+}
+
+std::string fmt(double value, int precision = 4) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+/// The convergence series of a span of iterations: the finite residuals
+/// when the engine measured any, otherwise the max-delta series (solver
+/// engines without a KKT residual, e.g. best-response dynamics).
+std::vector<double> convergence_series(const std::vector<Iteration>& iters,
+                                       std::uint32_t from_index,
+                                       bool* used_delta = nullptr) {
+  std::vector<double> residuals;
+  std::vector<double> deltas;
+  for (const auto& iteration : iters) {
+    if (iteration.index < from_index) continue;
+    if (std::isfinite(iteration.residual)) {
+      residuals.push_back(iteration.residual);
+    }
+    if (std::isfinite(iteration.max_delta)) {
+      deltas.push_back(iteration.max_delta);
+    }
+  }
+  if (!residuals.empty()) {
+    if (used_delta != nullptr) *used_delta = false;
+    return residuals;
+  }
+  if (used_delta != nullptr) *used_delta = true;
+  return deltas;
+}
+
+// ---- summarize -----------------------------------------------------------
+
+struct RungStats {
+  std::uint64_t iterations = 0;
+  std::map<std::uint32_t, bool> solves;  ///< solve ids touched
+  std::vector<double> residuals;
+  std::vector<double> deltas;
+};
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return kNan;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+int cmd_summarize(const Journal& journal) {
+  std::printf("journal: %s\n", journal.path.c_str());
+  std::printf(
+      "  schema gw.solvetrace.v1: %llu thread(s), %llu records "
+      "(%llu overwritten by ring wrap), %llu solves, %llu escalation "
+      "dump(s), ring capacity %llu\n",
+      static_cast<unsigned long long>(journal.threads),
+      static_cast<unsigned long long>(journal.recorded),
+      static_cast<unsigned long long>(journal.overwritten),
+      static_cast<unsigned long long>(journal.header_solves),
+      static_cast<unsigned long long>(journal.dumps),
+      static_cast<unsigned long long>(journal.ring_capacity));
+
+  std::map<std::string, RungStats> rungs;
+  std::map<std::string, std::uint64_t> labels;
+  std::uint64_t verdicts = 0;
+  std::uint64_t converged = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t dirty_gates = 0;
+  std::vector<const Solve*> escalated;
+  for (const auto& [id, solve] : journal.solves) {
+    ++labels[solve.label.empty() ? "(unlabeled)" : solve.label];
+    for (const auto& iteration : solve.iterations) {
+      RungStats& stats = rungs[iteration.rung];
+      ++stats.iterations;
+      stats.solves[id] = true;
+      if (std::isfinite(iteration.residual)) {
+        stats.residuals.push_back(iteration.residual);
+      }
+      if (std::isfinite(iteration.max_delta)) {
+        stats.deltas.push_back(iteration.max_delta);
+      }
+    }
+    bool has_escalation = false;
+    for (const auto& event : solve.events) {
+      if (event.kind == "backtrack") ++backtracks;
+      if (event.kind == "dirty_gate") ++dirty_gates;
+      if (event.kind == "escalation") has_escalation = true;
+    }
+    if (has_escalation) escalated.push_back(&solve);
+    if (const SolveEvent* verdict = solve.last_verdict()) {
+      ++verdicts;
+      if (verdict->converged) ++converged;
+    }
+  }
+
+  std::printf("\nper-rung iteration stats:\n");
+  std::printf("  %-12s %10s %8s %12s %12s %12s\n", "rung", "iters", "solves",
+              "res(median)", "res(max)", "delta(med)");
+  for (const auto& [rung, stats] : rungs) {
+    const double res_max =
+        stats.residuals.empty()
+            ? kNan
+            : *std::max_element(stats.residuals.begin(),
+                                stats.residuals.end());
+    std::printf("  %-12s %10llu %8zu %12s %12s %12s\n", rung.c_str(),
+                static_cast<unsigned long long>(stats.iterations),
+                stats.solves.size(), fmt(median_of(stats.residuals)).c_str(),
+                fmt(res_max).c_str(), fmt(median_of(stats.deltas)).c_str());
+  }
+
+  std::printf("\nsolves by label:\n");
+  for (const auto& [label, count] : labels) {
+    std::printf("  %-20s %8llu\n", label.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  std::printf("\nescalations: %zu solve(s) escalated", escalated.size());
+  std::printf(" (%llu dirty-gate trip(s), %llu backtrack(s) overall)\n",
+              static_cast<unsigned long long>(dirty_gates),
+              static_cast<unsigned long long>(backtracks));
+  constexpr std::size_t kMaxEscalationRows = 12;
+  if (escalated.size() > kMaxEscalationRows) {
+    std::printf("  (showing the first %zu; use `trajectory --solve N` for "
+                "the rest)\n",
+                kMaxEscalationRows);
+    escalated.resize(kMaxEscalationRows);
+  }
+  for (const Solve* solve : escalated) {
+    for (const auto& event : solve->events) {
+      if (event.kind != "escalation") continue;
+      std::printf("  solve %u (%s, %llu users): escalated to %s at "
+                  "iterate %u, residual %s\n",
+                  solve->id,
+                  solve->label.empty() ? "?" : solve->label.c_str(),
+                  static_cast<unsigned long long>(solve->users),
+                  event.rung.c_str(), event.index,
+                  fmt(event.residual).c_str());
+    }
+    // The residual trajectory that led here: the tail of the pre-escalation
+    // iterations, then where the post-escalation engine ended up.
+    const std::uint32_t first_escalation = [&] {
+      for (const auto& event : solve->events) {
+        if (event.kind == "escalation") return event.index;
+      }
+      return std::uint32_t{0};
+    }();
+    constexpr std::uint32_t kTail = 8;
+    const std::uint32_t clip_before =
+        first_escalation > kTail ? first_escalation - kTail : 0;
+    std::string prefix;
+    std::size_t shown = 0;
+    bool clipped = false;
+    std::printf("    trajectory:");
+    for (const auto& iteration : solve->iterations) {
+      if (iteration.index < clip_before) {
+        clipped = true;  // keep only the last kTail pre-escalation iterates
+        continue;
+      }
+      if (clipped) {
+        std::printf(" ...");
+        clipped = false;
+      }
+      const double value = std::isfinite(iteration.residual)
+                               ? iteration.residual
+                               : iteration.max_delta;
+      std::printf("%s %s", prefix.c_str(), fmt(value, 3).c_str());
+      prefix = " ->";
+      if (++shown >= 24) {
+        std::printf(" ...");
+        break;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nverdicts: %zu solve(s), %llu with a recorded verdict, "
+              "%llu converged, %llu not\n",
+              journal.solves.size(),
+              static_cast<unsigned long long>(verdicts),
+              static_cast<unsigned long long>(converged),
+              static_cast<unsigned long long>(verdicts - converged));
+  return 0;
+}
+
+// ---- trajectory ----------------------------------------------------------
+
+const Solve* select_solve(const Journal& journal,
+                          std::optional<std::uint32_t> solve_id,
+                          const std::string& label) {
+  if (solve_id.has_value()) {
+    const auto it = journal.solves.find(*solve_id);
+    return it == journal.solves.end() ? nullptr : &it->second;
+  }
+  const Solve* best = nullptr;
+  for (const auto& [id, solve] : journal.solves) {
+    if (!label.empty() && solve.label != label) continue;
+    if (best == nullptr || solve.iterations.size() > best->iterations.size()) {
+      best = &solve;
+    }
+  }
+  return best;
+}
+
+int cmd_trajectory(const Journal& journal, const Journal* against,
+                   std::optional<std::uint32_t> solve_id,
+                   const std::string& label) {
+  const Solve* solve = select_solve(journal, solve_id, label);
+  if (solve == nullptr) {
+    return fail("no matching solve in %s", journal.path.c_str());
+  }
+  std::printf("solve %u: %s, %llu users, %zu iteration(s)\n", solve->id,
+              solve->label.empty() ? "?" : solve->label.c_str(),
+              static_cast<unsigned long long>(solve->users),
+              solve->iterations.size());
+
+  const Solve* other = nullptr;
+  if (against != nullptr) {
+    // Match by explicit id only when the caller pinned one; otherwise by
+    // the subject's label, so old-vs-new journals pair naturally.
+    other = select_solve(*against, solve_id,
+                         label.empty() ? solve->label : label);
+    if (other == nullptr) {
+      return fail("no matching solve in %s", against->path.c_str());
+    }
+    std::printf("against solve %u of %s (%zu iteration(s))\n", other->id,
+                against->path.c_str(), other->iterations.size());
+  }
+
+  if (other == nullptr) {
+    std::printf("  %6s %-12s %12s %12s %10s %10s\n", "i", "rung", "residual",
+                "max_delta", "damping", "active");
+    auto event = solve->events.begin();
+    for (const auto& iteration : solve->iterations) {
+      while (event != solve->events.end() &&
+             event->index <= iteration.index) {
+        if (event->kind != "begin") {
+          std::printf("  %6s %-12s [%s%s%s]\n", "", "", event->kind.c_str(),
+                      event->kind == "rung" || event->kind == "escalation"
+                          ? (" -> " + event->rung).c_str()
+                          : "",
+                      event->has_verdict
+                          ? (event->converged ? ": converged"
+                                              : ": NOT converged")
+                          : "");
+        }
+        ++event;
+      }
+      std::printf("  %6u %-12s %12s %12s %10s %10llu\n", iteration.index,
+                  iteration.rung.c_str(), fmt(iteration.residual).c_str(),
+                  fmt(iteration.max_delta).c_str(),
+                  fmt(iteration.damping, 3).c_str(),
+                  static_cast<unsigned long long>(iteration.active_set));
+    }
+    for (; event != solve->events.end(); ++event) {
+      if (event->kind == "begin") continue;
+      std::printf("  %6s %-12s [%s%s]\n", "", "", event->kind.c_str(),
+                  event->has_verdict
+                      ? (event->converged ? ": converged" : ": NOT converged")
+                      : "");
+    }
+    return 0;
+  }
+
+  // Drift mode: align by iterate index, compare the convergence quantity.
+  std::printf("  %6s %12s %12s %12s\n", "i", "this", "against", "|drift|");
+  const std::size_t count =
+      std::max(solve->iterations.size(), other->iterations.size());
+  double max_drift = 0.0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const Iteration* a =
+        k < solve->iterations.size() ? &solve->iterations[k] : nullptr;
+    const Iteration* b =
+        k < other->iterations.size() ? &other->iterations[k] : nullptr;
+    const auto value = [](const Iteration* it) {
+      if (it == nullptr) return kNan;
+      return std::isfinite(it->residual) ? it->residual : it->max_delta;
+    };
+    const double va = value(a);
+    const double vb = value(b);
+    const double drift =
+        std::isfinite(va) && std::isfinite(vb) ? std::abs(va - vb) : kNan;
+    if (std::isfinite(drift)) max_drift = std::max(max_drift, drift);
+    std::printf("  %6zu %12s %12s %12s\n", k, fmt(va).c_str(),
+                fmt(vb).c_str(), fmt(drift).c_str());
+  }
+  std::printf("max |drift| over aligned iterates: %s\n",
+              fmt(max_drift).c_str());
+  return 0;
+}
+
+// ---- check ---------------------------------------------------------------
+
+struct Violation {
+  std::uint32_t solve = 0;
+  std::string label;
+  std::string rule;
+  std::string detail;
+};
+
+int cmd_check(const Journal& journal, bool allow_nonconverged) {
+  std::vector<Violation> violations;
+  std::uint64_t converged = 0;
+  std::uint64_t nonconverged = 0;
+  for (const auto& [id, solve] : journal.solves) {
+    const std::string label = solve.label.empty() ? "?" : solve.label;
+    const SolveEvent* verdict = solve.last_verdict();
+    if (verdict == nullptr) {
+      if (!solve.iterations.empty()) {
+        violations.push_back(
+            {id, label, "silent_nonconvergence",
+             "solve iterated " + std::to_string(solve.iterations.size()) +
+                 " time(s) but recorded no convergence verdict"});
+      }
+      continue;
+    }
+    if (!verdict->converged) {
+      // A recorded non-converged verdict is loud, not silent; with
+      // --allow-nonconverged (benches that demonstrate divergent
+      // dynamics on purpose) it is tallied but does not gate.
+      ++nonconverged;
+      if (!allow_nonconverged) {
+        violations.push_back(
+            {id, label, "non_converged",
+             "last verdict is non-converged (residual " +
+                 fmt(verdict->residual) + ")"});
+      }
+      continue;
+    }
+    ++converged;
+    // Monotone-ish decay over the final rung segment: the engine that
+    // delivered the converged verdict must not have left the convergence
+    // quantity above where that segment started.
+    bool used_delta = false;
+    const std::vector<double> series = convergence_series(
+        solve.iterations, solve.final_segment_start(), &used_delta);
+    if (series.size() >= 2) {
+      const double first = series.front();
+      const double last = series.back();
+      if (std::isfinite(first) && std::isfinite(last) &&
+          last > kCheckResidualFloor && last > first) {
+        violations.push_back(
+            {id, label, "residual_grew",
+             std::string(used_delta ? "max-delta" : "residual") +
+                 " series of the final rung segment ends above its start (" +
+                 fmt(first) + " -> " + fmt(last) + ")"});
+      }
+    }
+  }
+
+  gw::obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("gw.inspectcheck.v1");
+  w.key("journal");
+  w.value(journal.path);
+  w.key("solves");
+  w.value(static_cast<std::uint64_t>(journal.solves.size()));
+  w.key("converged");
+  w.value(converged);
+  w.key("nonconverged");
+  w.value(nonconverged);
+  w.key("nonconverged_allowed");
+  w.value(allow_nonconverged);
+  w.key("overwritten");
+  w.value(journal.overwritten);
+  w.key("escalation_dumps");
+  w.value(journal.dumps);
+  w.key("violations");
+  w.begin_array();
+  for (const auto& violation : violations) {
+    w.begin_object();
+    w.key("solve");
+    w.value(static_cast<std::uint64_t>(violation.solve));
+    w.key("label");
+    w.value(violation.label);
+    w.key("rule");
+    w.value(violation.rule);
+    w.key("detail");
+    w.value(violation.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("pass");
+  w.value(violations.empty());
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  std::fprintf(stderr, "gw-inspect check: %zu solve(s), %zu violation(s) -> %s\n",
+               journal.solves.size(), violations.size(),
+               violations.empty() ? "PASS" : "FAIL");
+  return violations.empty() ? 0 : 1;
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: gw-inspect <command> <journal.jsonl> [options]\n"
+      "  summarize <journal>                  per-rung stats, escalation\n"
+      "                                       table, verdict tally\n"
+      "  trajectory <journal> [--solve N] [--label L] [--against <other>]\n"
+      "                                       residual series of one solve;\n"
+      "                                       --against reports drift vs a\n"
+      "                                       second journal\n"
+      "  check <journal> [--allow-nonconverged]\n"
+      "                                       machine-readable convergence\n"
+      "                                       gate (gw.inspectcheck.v1;\n"
+      "                                       exit 1 on violation);\n"
+      "                                       --allow-nonconverged tallies\n"
+      "                                       loud non-converged verdicts\n"
+      "                                       without gating on them\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage(stdout);
+    return 0;
+  }
+  if (command != "summarize" && command != "trajectory" &&
+      command != "check") {
+    return fail("unknown command '%s'", command.c_str());
+  }
+  if (argc < 3) return fail("%s requires a journal path", command.c_str());
+  const std::string journal_path = argv[2];
+
+  std::optional<std::uint32_t> solve_id;
+  std::string label;
+  std::string against_path;
+  bool allow_nonconverged = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* name) -> std::string {
+      if (i + 1 >= argc) {
+        std::exit(fail("%s requires a value", name));
+      }
+      return argv[++i];
+    };
+    if (arg == "--solve") {
+      solve_id = static_cast<std::uint32_t>(
+          std::strtoul(value_of("--solve").c_str(), nullptr, 10));
+    } else if (arg == "--label") {
+      label = value_of("--label");
+    } else if (arg == "--against") {
+      against_path = value_of("--against");
+    } else if (arg == "--allow-nonconverged") {
+      allow_nonconverged = true;
+    } else {
+      return fail("unknown option '%s'", arg.c_str());
+    }
+  }
+
+  Journal journal;
+  std::string error;
+  if (!load_journal(journal_path, journal, error)) {
+    return fail("%s", error.c_str());
+  }
+
+  if (command == "summarize") return cmd_summarize(journal);
+  if (command == "check") return cmd_check(journal, allow_nonconverged);
+
+  Journal against;
+  const bool have_against = !against_path.empty();
+  if (have_against && !load_journal(against_path, against, error)) {
+    return fail("%s", error.c_str());
+  }
+  return cmd_trajectory(journal, have_against ? &against : nullptr, solve_id,
+                        label);
+}

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -16,13 +18,20 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/corollary2.hpp"
 #include "core/fair_share.hpp"
-#include "obs/flight.hpp"
+#include "core/gfunction.hpp"
+#include "core/mixture.hpp"
 #include "core/nash.hpp"
+#include "core/priority_alloc.hpp"
 #include "core/proportional.hpp"
+#include "core/serial_general.hpp"
 #include "core/weighted_serial.hpp"
+#include "exec/thread_pool.hpp"
 #include "numerics/eigen.hpp"
 #include "numerics/rng.hpp"
+#include "obs/flight.hpp"
+#include "obs/perfcount.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 
@@ -345,6 +354,290 @@ void run_flight_section() {
                      "registration");
 }
 
+// ---- E-ROOFLINE: per-kernel work-normalized cost ----------------------
+
+namespace work = gw::obs::work;
+
+/// One measured kernel: time-boxed repetition with the perf counter group
+/// bracketing the loop, cost normalized by domain work units.
+struct RooflineRow {
+  std::string discipline;
+  std::string kernel;
+  std::size_t n = 0;
+  std::uint64_t units = 0;
+  double ns_per_unit = 0.0;
+  double ipc = 0.0;        ///< 0 when hardware counters are unavailable
+  double miss_rate = 0.0;  ///< cache-misses / cache-references
+  double misses_per_unit = 0.0;
+};
+
+/// Runs `body` (one kernel invocation, returning the work units it
+/// performed) until ~15ms have elapsed, and normalizes.
+template <typename Body>
+RooflineRow measure_kernel(gw::obs::PerfCounterSession& session,
+                           std::string discipline, std::string kernel,
+                           std::size_t n, Body&& body) {
+  using clock = std::chrono::steady_clock;
+  constexpr auto kBudget = std::chrono::milliseconds(15);
+  body();  // warm caches, workspace buffers, and the branch predictors
+  RooflineRow row;
+  row.discipline = std::move(discipline);
+  row.kernel = std::move(kernel);
+  row.n = n;
+  session.start();
+  const auto t0 = clock::now();
+  auto t1 = t0;
+  do {
+    row.units += body();
+    t1 = clock::now();
+  } while (t1 - t0 < kBudget);
+  const gw::obs::PerfCounts counts = session.stop();
+  const double ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  row.ns_per_unit = row.units > 0 ? ns / static_cast<double>(row.units) : 0.0;
+  if (counts.hardware) {
+    row.ipc = counts.ipc();
+    row.miss_rate = counts.cache_miss_rate();
+    if (row.units > 0) {
+      row.misses_per_unit = static_cast<double>(counts.cache_misses) *
+                            counts.scale / static_cast<double>(row.units);
+    }
+  }
+  return row;
+}
+
+/// Per-kernel roofline table over the span-path disciplines: work rate
+/// (ns/unit) vs IPC vs cache-miss rate, the measurement the SIMD/SoA pass
+/// gates against. Work units are recorded into the WorkMeter at the call
+/// sites here (this section is the driver), matching the DESIGN.md
+/// placement rule; best_response units come from the meter itself since
+/// the core solver already meters its payoff evaluations.
+void run_roofline_section() {
+  gw::bench::banner(
+      "E-ROOFLINE per-kernel work-normalized cost",
+      "ROADMAP (SIMD/SoA gating)",
+      "every span-path kernel reports ns/user-evaluated — plus IPC and "
+      "cache-miss/jacobian-cell when hardware counters are available — so "
+      "layout changes gate on cost per unit of work, not wall time");
+
+  gw::obs::PerfCounterSession session;
+  const bool hardware = session.available();
+  std::printf("  hardware counters: %s\n", session.status().c_str());
+
+  // The meter is normally armed by the bench harness for measured reps;
+  // arm it here too so a bare invocation still meters, and restore after.
+  const bool was_armed = work::armed();
+  work::set_armed(true);
+
+  using AllocFactory =
+      std::unique_ptr<core::AllocationFunction> (*)(std::size_t);
+  struct Discipline {
+    const char* name;
+    AllocFactory make;
+    bool closed_form_jacobian;  ///< numeric-fallback jacobians are too
+                                ///< slow at roofline sizes and would
+                                ///< measure the differencer, not the fill
+  };
+  static constexpr Discipline kDisciplines[] = {
+      {"fair_share",
+       [](std::size_t) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::FairShareAllocation>();
+       },
+       true},
+      {"proportional",
+       [](std::size_t) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::ProportionalAllocation>();
+       },
+       true},
+      {"w_serial",
+       [](std::size_t n) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::WeightedSerialAllocation>(
+             ramp_weights(n));
+       },
+       true},
+      {"serial_mm1",
+       [](std::size_t) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::GeneralSerialAllocation>(
+             core::GFunction::mm1());
+       },
+       true},
+      {"prop_mm1",
+       [](std::size_t) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::GeneralProportionalAllocation>(
+             core::GFunction::mm1());
+       },
+       true},
+      {"srf",
+       [](std::size_t) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::SmallestRateFirstAllocation>();
+       },
+       true},
+      {"fixed_prio",
+       [](std::size_t) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::FixedPriorityAllocation>();
+       },
+       true},
+      {"quadratic",
+       [](std::size_t) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::QuadraticSeparableAllocation>();
+       },
+       false},
+      {"mixture_0.5",
+       [](std::size_t) -> std::unique_ptr<core::AllocationFunction> {
+         return std::make_unique<core::MixtureAllocation>(0.5);
+       },
+       false},
+  };
+
+  std::vector<RooflineRow> rows;
+  for (const Discipline& discipline : kDisciplines) {
+    // Congestion fill across the N=64..4096 ramp: the g(x) evaluation
+    // kernel whose ns/user the class-aggregation work must beat.
+    for (const std::size_t n : {std::size_t{64}, std::size_t{4096}}) {
+      const auto alloc = discipline.make(n);
+      const auto rates = ramp_rates(n, 0.8);
+      std::vector<double> out(n);
+      core::EvalWorkspace ws;
+      rows.push_back(measure_kernel(
+          session, discipline.name, "congestion", n, [&]() -> std::uint64_t {
+            alloc->congestion_into(rates, out, ws);
+            benchmark::DoNotOptimize(out.data());
+            work::add(work::Kind::kUsersEvaluated, out.size());
+            return out.size();
+          }));
+    }
+    // Batched derivative fills: the n^2 cell kernels, only where the
+    // closed forms exist (the numeric fallback is a different kernel).
+    if (discipline.closed_form_jacobian) {
+      for (const std::size_t n : {std::size_t{64}, std::size_t{1024}}) {
+        const auto alloc = discipline.make(n);
+        const auto rates = ramp_rates(n, 0.8);
+        numerics::Matrix jac(n, n);
+        core::EvalWorkspace ws;
+        rows.push_back(measure_kernel(
+            session, discipline.name, "jacobian", n, [&]() -> std::uint64_t {
+              alloc->jacobian_into(rates, jac, ws);
+              benchmark::DoNotOptimize(jac(0, 0));
+              work::add(work::Kind::kJacobianCells, n * n);
+              return n * n;
+            }));
+      }
+      {
+        const std::size_t n = 256;
+        const auto alloc = discipline.make(n);
+        const auto rates = ramp_rates(n, 0.8);
+        numerics::Matrix hess(n, n);
+        core::EvalWorkspace ws;
+        rows.push_back(measure_kernel(
+            session, discipline.name, "2nd_partials", n,
+            [&]() -> std::uint64_t {
+              alloc->second_partials_into(rates, hess, ws);
+              benchmark::DoNotOptimize(hess(0, 0));
+              work::add(work::Kind::kJacobianCells, n * n);
+              return n * n;
+            }));
+      }
+    }
+    // Scan best response through the instrumented core path: units are
+    // the meter's own users-evaluated delta, so this row also checks the
+    // solver-side accounting end to end.
+    {
+      const std::size_t n = 64;
+      const auto alloc = discipline.make(n);
+      const core::LinearUtility utility(1.0, 0.25);
+      const core::BestResponseOptions options;
+      std::vector<double> rates = ramp_rates(n, 0.6);
+      core::AllocationFunction::validate_rates(rates);
+      core::EvalWorkspace ws;
+      rows.push_back(measure_kernel(
+          session, discipline.name, "best_response", n,
+          [&]() -> std::uint64_t {
+            const auto before =
+                work::collect()[work::Kind::kUsersEvaluated];
+            benchmark::DoNotOptimize(core::best_response(
+                *alloc, utility, std::span<double>(rates), 1, options, ws));
+            return work::collect()[work::Kind::kUsersEvaluated] - before;
+          }));
+    }
+  }
+
+  gw::bench::table_header({"discipline", "kernel", "N", "units", "ns/unit",
+                           "IPC", "miss/unit"});
+  bool all_measured = true;
+  bool all_ipc = true;
+  for (const RooflineRow& row : rows) {
+    const bool measured =
+        row.units > 0 && std::isfinite(row.ns_per_unit) && row.ns_per_unit > 0;
+    all_measured = all_measured && measured;
+    if (hardware) all_ipc = all_ipc && row.ipc > 0.0;
+    gw::bench::table_row(
+        {row.discipline, row.kernel, std::to_string(row.n),
+         std::to_string(row.units), gw::bench::fmt(row.ns_per_unit, 2),
+         hardware ? gw::bench::fmt(row.ipc, 2) : "n/a",
+         hardware ? gw::bench::fmt(row.misses_per_unit, 4) : "n/a"});
+  }
+  gw::bench::verdict(all_measured,
+                     "every span-path kernel reports a finite positive "
+                     "ns/unit cost");
+  if (hardware) {
+    gw::bench::verdict(all_ipc,
+                       "hardware counters delivered a nonzero IPC for "
+                       "every kernel");
+  } else {
+    gw::bench::verdict(true,
+                       "counters degraded gracefully (" + session.status() +
+                           "); ns/unit still measured");
+  }
+
+  // WorkMeter totals must not depend on how the work was partitioned:
+  // the same deterministic index-space sum through 1, 2, and 4 workers.
+  const auto partitioned_total = [](std::size_t threads) {
+    const std::uint64_t before =
+        work::collect()[work::Kind::kUsersEvaluated];
+    gw::exec::parallel_for(threads, 4096, [](std::size_t i) {
+      work::add(work::Kind::kUsersEvaluated, i % 7 + 1);
+    });
+    return work::collect()[work::Kind::kUsersEvaluated] - before;
+  };
+  const std::uint64_t total_1 = partitioned_total(1);
+  const std::uint64_t total_2 = partitioned_total(2);
+  const std::uint64_t total_4 = partitioned_total(4);
+  gw::bench::table_header({"meter threads", "units"});
+  gw::bench::table_row({"1", std::to_string(total_1)});
+  gw::bench::table_row({"2", std::to_string(total_2)});
+  gw::bench::table_row({"4", std::to_string(total_4)});
+  gw::bench::verdict(total_1 == total_2 && total_2 == total_4,
+                     "WorkMeter totals are bit-identical across thread "
+                     "counts");
+
+  // Disarmed-path tax: the per-call cost every library user pays when no
+  // bench is metering. Must be allocation-free and a handful of ns.
+  work::set_armed(false);
+  constexpr int kAdds = 200000;
+  const std::uint64_t a0 = gw_benchalloc::heap_allocs();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < kAdds; ++k) {
+    work::add(work::Kind::kUsersEvaluated, 1);
+    benchmark::ClobberMemory();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t disarmed_allocs = gw_benchalloc::heap_allocs() - a0;
+  const double disarmed_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kAdds;
+  work::set_armed(was_armed || true);  // measured reps stay metered
+  gw::bench::table_header({"meter mode", "adds", "heap allocs", "ns/add"});
+  gw::bench::table_row({"disarmed", std::to_string(kAdds),
+                        std::to_string(disarmed_allocs),
+                        gw::bench::fmt(disarmed_ns)});
+  gw::bench::verdict(disarmed_allocs == 0,
+                     "disarmed work::add performs zero heap allocations");
+  // Same generous ceiling philosophy as the flight recorder: one relaxed
+  // load and a predicted branch clears 250ns on any host.
+  gw::bench::verdict(disarmed_ns < 250.0,
+                     "disarmed work::add costs < 250ns (" +
+                         gw::bench::fmt(disarmed_ns) + "ns measured)");
+}
+
 void BM_Eigenvalues(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   numerics::Matrix a(n, n);
@@ -527,6 +820,7 @@ int run() {
   }
   run_eval_section();
   run_flight_section();
+  run_roofline_section();
   return gw::bench::failures();
 }
 

@@ -12,6 +12,7 @@
 #include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfcount.hpp"
 #include "obs/provenance.hpp"
 #include "obs/stats.hpp"
 
@@ -20,7 +21,7 @@ namespace gw::bench {
 namespace {
 
 constexpr int kColumnWidth = 14;
-constexpr const char* kSchema = "gw.bench.v2";
+constexpr const char* kSchema = "gw.bench.v3";
 
 struct Table {
   std::vector<std::string> columns;
@@ -47,6 +48,9 @@ std::vector<std::string> g_passthrough;
 std::vector<Experiment> g_experiments;
 std::vector<double> g_rep_wall_ms;
 std::unique_ptr<obs::FlightJournal> g_flight;  ///< --trace-solves journal
+std::unique_ptr<obs::PerfCounterSession> g_perf;  ///< --counters session
+std::vector<obs::PerfCounts> g_rep_counts;        ///< per measured rep
+std::vector<obs::work::Totals> g_rep_work;        ///< per measured rep
 
 Experiment& current_experiment() {
   if (g_experiments.empty()) {
@@ -59,7 +63,7 @@ Experiment& current_experiment() {
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: %s [options]\n"
-               "  --json <path>    write gw.bench.v2 telemetry JSON to <path>\n"
+               "  --json <path>    write gw.bench.v3 telemetry JSON to <path>\n"
                "  --repeat <N>     run the experiment body N times (N >= 1),\n"
                "                   resetting metrics between reps and timing each\n"
                "  --warmup <N>     run N discarded warm-up reps first (N >= 0);\n"
@@ -74,6 +78,13 @@ void print_usage(std::FILE* out) {
                "                   gw.solvetrace.v1 JSONL (inspect it with\n"
                "                   gw-inspect); escalation dumps are written\n"
                "                   under <path>.dumps/\n"
+               "  --counters <mode>\n"
+               "                   auto (default): read hardware perf counters\n"
+               "                   per measured rep when perf_event_open\n"
+               "                   allows, degrade silently otherwise;\n"
+               "                   off: never open counters;\n"
+               "                   require: exit 2 with a diagnostic when the\n"
+               "                   hardware counter group is unavailable\n"
                "  --help, -h       show this help and exit\n",
                g_binary.empty() ? "bench" : g_binary.c_str());
 }
@@ -110,6 +121,134 @@ void write_timing(obs::JsonWriter& w) {
   w.key("outliers");
   w.value(static_cast<std::uint64_t>(s.outliers));
   w.end_object();
+  w.end_object();
+}
+
+/// "ok" when the hardware group is live, otherwise why it is not.
+std::string counters_status() {
+  if (g_options.counters == "off") return "disabled by --counters off";
+  if (g_perf == nullptr) return "not opened";
+  return g_perf->status();
+}
+
+bool counters_hardware() { return g_perf != nullptr && g_perf->available(); }
+
+void write_counters(obs::JsonWriter& w) {
+  const bool hardware = counters_hardware();
+  const bool software = g_perf != nullptr && g_perf->software();
+  w.begin_object();
+  w.key("mode");
+  w.value(g_options.counters);
+  w.key("available");
+  w.value(hardware);
+  w.key("software");
+  w.value(software);
+  w.key("status");
+  w.value(counters_status());
+  // Raw per-rep reads; arrays appear only for sources that delivered, so
+  // a degraded run never publishes all-zero counter columns.
+  w.key("per_rep");
+  w.begin_object();
+  const auto u64s = [&w](const char* key,
+                         std::uint64_t obs::PerfCounts::* field) {
+    w.key(key);
+    w.begin_array();
+    for (const auto& counts : g_rep_counts) w.value(counts.*field);
+    w.end_array();
+  };
+  if (hardware) {
+    u64s("cycles", &obs::PerfCounts::cycles);
+    u64s("instructions", &obs::PerfCounts::instructions);
+    u64s("cache_references", &obs::PerfCounts::cache_references);
+    u64s("cache_misses", &obs::PerfCounts::cache_misses);
+    u64s("branch_misses", &obs::PerfCounts::branch_misses);
+    u64s("time_enabled_ns", &obs::PerfCounts::time_enabled_ns);
+    u64s("time_running_ns", &obs::PerfCounts::time_running_ns);
+    w.key("scale");
+    w.begin_array();
+    for (const auto& counts : g_rep_counts) w.value(counts.scale);
+    w.end_array();
+  }
+  if (software) u64s("task_clock_ns", &obs::PerfCounts::task_clock_ns);
+  w.end_object();
+  w.end_object();
+}
+
+void write_work(obs::JsonWriter& w) {
+  w.begin_object();
+  w.key("per_rep");
+  w.begin_object();
+  for (std::size_t k = 0; k < obs::work::kKindCount; ++k) {
+    w.key(obs::work::kind_name(static_cast<obs::work::Kind>(k)));
+    w.begin_array();
+    for (const auto& totals : g_rep_work) w.value(totals.counts[k]);
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+/// Normalized per-rep costs. Each array is emitted only when its
+/// denominator is nonzero in every rep (and, for counter-based ones, the
+/// hardware group delivered): readers treat an absent key as "this bench
+/// does not exercise that work kind", never as zero cost.
+void write_derived(obs::JsonWriter& w) {
+  const std::size_t reps = g_rep_work.size();
+  const auto work_of = [&](std::size_t rep, obs::work::Kind kind) {
+    return g_rep_work[rep].counts[static_cast<std::size_t>(kind)];
+  };
+  const auto all_nonzero = [&](obs::work::Kind kind) {
+    if (reps == 0) return false;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      if (work_of(rep, kind) == 0) return false;
+    }
+    return true;
+  };
+  const bool hardware = counters_hardware();
+  const bool users = all_nonzero(obs::work::Kind::kUsersEvaluated);
+  const bool cells = all_nonzero(obs::work::Kind::kJacobianCells);
+  w.begin_object();
+  if (users) {
+    w.key("ns_per_user_evaluated");
+    w.begin_array();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      w.value(g_rep_wall_ms[rep] * 1e6 /
+              static_cast<double>(
+                  work_of(rep, obs::work::Kind::kUsersEvaluated)));
+    }
+    w.end_array();
+  }
+  if (hardware && users) {
+    // Multiplexing-corrected: raw counts scaled by time_enabled/running.
+    w.key("instructions_per_user");
+    w.begin_array();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      w.value(static_cast<double>(g_rep_counts[rep].instructions) *
+              g_rep_counts[rep].scale /
+              static_cast<double>(
+                  work_of(rep, obs::work::Kind::kUsersEvaluated)));
+    }
+    w.end_array();
+  }
+  if (hardware && cells) {
+    w.key("cache_misses_per_jacobian_cell");
+    w.begin_array();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      w.value(static_cast<double>(g_rep_counts[rep].cache_misses) *
+              g_rep_counts[rep].scale /
+              static_cast<double>(
+                  work_of(rep, obs::work::Kind::kJacobianCells)));
+    }
+    w.end_array();
+  }
+  if (hardware) {
+    w.key("ipc");
+    w.begin_array();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      w.value(g_rep_counts[rep].ipc());
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -162,6 +301,14 @@ void parse_args(int argc, char** argv,
     }
     if (taking(i, "--trace-solves", value)) {
       g_options.trace_solves = value;
+      continue;
+    }
+    if (taking(i, "--counters", value)) {
+      if (value != "auto" && value != "off" && value != "require") {
+        usage_error("--counters needs auto|off|require, got '%s'",
+                    value.c_str());
+      }
+      g_options.counters = value;
       continue;
     }
     if (taking(i, "--repeat", value)) {
@@ -288,9 +435,18 @@ int finish() {
   manifest.threads = static_cast<unsigned>(thread_count());
   manifest.warmup = static_cast<unsigned>(g_options.warmup);
   manifest.trace_solves = g_options.trace_solves;
+  manifest.counters_mode = g_options.counters;
+  manifest.counters_available = counters_hardware();
+  manifest.counters_status = counters_status();
   obs::write_manifest(w, manifest);
   w.key("timing");
   write_timing(w);
+  w.key("counters");
+  write_counters(w);
+  w.key("work");
+  write_work(w);
+  w.key("derived");
+  write_derived(w);
   w.key("experiments");
   w.begin_array();
   for (const auto& experiment : g_experiments) {
@@ -359,6 +515,20 @@ int run_repeated(int argc, char** argv, BodyFn body,
   const int reps = g_options.repeat;
   g_rep_wall_ms.clear();
   g_rep_wall_ms.reserve(static_cast<std::size_t>(reps));
+  g_rep_counts.clear();
+  g_rep_work.clear();
+  g_perf.reset();
+  if (g_options.counters != "off") {
+    g_perf = std::make_unique<obs::PerfCounterSession>();
+    if (g_options.counters == "require" && !g_perf->available()) {
+      std::fprintf(stderr,
+                   "%s: --counters require, but hardware counters are "
+                   "unavailable: %s (perf_event_paranoid=%d)\n",
+                   g_binary.c_str(), g_perf->status().c_str(),
+                   obs::PerfCounterSession::paranoid_level());
+      std::exit(2);
+    }
+  }
   g_flight.reset();
   if (!g_options.trace_solves.empty()) {
     obs::FlightOptions flight_options;
@@ -389,11 +559,27 @@ int run_repeated(int argc, char** argv, BodyFn body,
       if (g_flight != nullptr) g_flight->clear();
     }
     if (reps > 1) std::printf("\n--- rep %d/%d ---\n", rep + 1, reps);
+    // Work totals are scoped per rep like the metrics registry; the perf
+    // session (when open) brackets exactly the measured body. The meter
+    // is armed for measured reps only, so warm-up work never pollutes
+    // the per-rep totals.
+    obs::work::reset();
+    obs::work::set_armed(true);
     const auto start = std::chrono::steady_clock::now();
+    if (g_perf != nullptr) g_perf->start();
     (void)body();
+    const obs::PerfCounts counts =
+        g_perf != nullptr ? g_perf->stop() : obs::PerfCounts{};
     const auto elapsed = std::chrono::steady_clock::now() - start;
+    obs::work::set_armed(false);
     g_rep_wall_ms.push_back(
         std::chrono::duration<double, std::milli>(elapsed).count());
+    g_rep_counts.push_back(counts);
+    g_rep_work.push_back(obs::work::collect());
+    // Mirror the totals into the metrics snapshot (work.* counters) so
+    // registry-based consumers see the last rep's work alongside the
+    // library's own counters.
+    obs::publish_work_totals(obs::default_registry());
   }
   return finish();
 }

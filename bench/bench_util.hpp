@@ -4,9 +4,10 @@
 // Every banner/table/verdict printed to the console is also recorded, and
 // when the binary runs with `--json <path>` the whole transcript — every
 // experiment, table, verdict, the run manifest (git sha, compiler, host),
-// per-rep wall-time stats, and the obs::default_registry() metrics
-// snapshot — is serialized to a structured bench_results.json
-// (schema "gw.bench.v2"). A typical bench:
+// per-rep wall-time stats, per-rep hardware counters and work-meter
+// totals (with derived normalized costs like ns/user-evaluated), and the
+// obs::default_registry() metrics snapshot — is serialized to a
+// structured bench_results.json (schema "gw.bench.v3"). A typical bench:
 //
 //   static int run() {
 //     gw::bench::banner("E-FOO", "Theorem 1", "claim...");
@@ -21,6 +22,7 @@
 // each rep), and writes the telemetry once at the end. Flags:
 // --json <path>, --repeat N, --warmup N, --label S, --threads N,
 // --trace-solves <path> (per-iteration solver journal, gw.solvetrace.v1),
+// --counters auto|off|require (hardware perf counters per measured rep),
 // --help;
 // unknown --flags and negative counts are usage errors. Results are
 // seed-deterministic regardless of --threads (parallel loops use
@@ -46,6 +48,13 @@ struct Options {
                              ///< flight journal for the measured reps and
                              ///< write it as gw.solvetrace.v1 JSONL;
                              ///< escalation dumps land in <path>.dumps/
+  std::string counters = "auto";  ///< --counters auto|off|require: perf
+                                  ///< counters per measured rep. auto
+                                  ///< degrades silently (availability is
+                                  ///< stamped in the manifest), require
+                                  ///< exits 2 with a diagnostic when the
+                                  ///< hardware group cannot open, off
+                                  ///< skips perf_event_open entirely
 };
 
 /// Parses the shared bench flags. `--help`/`-h` prints usage and exits 0;

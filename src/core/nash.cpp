@@ -10,10 +10,18 @@
 #include "numerics/rng.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfcount.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
 namespace gw::core {
+
+// Work accounting convention (DESIGN.md): units are recorded here, at the
+// solver call sites of the virtual evaluation primitives, never inside
+// discipline implementations — one congestion_into(n) is n users
+// evaluated, one jacobian_into / second_partials_into is n*n cells,
+// whatever the discipline does internally to fill them.
+namespace work = obs::work;
 
 namespace {
 
@@ -97,8 +105,10 @@ BestResponse best_response(const AllocationFunction& alloc,
     std::size_t i;
     EvalWorkspace& ws;
   } ctx{alloc, utility, rates, i, ws};
+  work::add(work::Kind::kBestResponseCalls, 1);
   auto payoff = [&ctx](double x) {
     ctx.rates[ctx.i] = x;
+    work::add(work::Kind::kUsersEvaluated, 1);
     const double c = ctx.alloc.congestion_of_into(ctx.i, ctx.rates, ctx.ws);
     return ctx.utility.value(x, c);
   };
@@ -166,6 +176,7 @@ NashResult solve_nash(const AllocationFunction& alloc,
   auto flight =
       obs::FlightRecorder::begin("core.solve_nash", n, obs::FlightRung::kSolve);
   for (int it = 0; it < options.max_iterations; ++it) {
+    work::add(work::Kind::kGsSweeps, 1);
     double max_move = 0.0;
     if (options.order == UpdateOrder::kSynchronous) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -234,6 +245,7 @@ std::vector<double> fdc_residuals(const AllocationFunction& alloc,
   const std::size_t n = rates.size();
   auto& scratch = solver_scratch();
   scratch.congestion.resize(n);
+  work::add(work::Kind::kUsersEvaluated, n);
   alloc.congestion_into(rates, scratch.congestion, scratch.ws);
   std::vector<double> residuals(n, kNan);
   for (std::size_t i = 0; i < n; ++i) {
@@ -254,6 +266,7 @@ bool is_nash(const AllocationFunction& alloc, const UtilityProfile& profile,
   const std::size_t n = rates.size();
   auto& scratch = solver_scratch();
   scratch.congestion.resize(n);
+  work::add(work::Kind::kUsersEvaluated, n);
   alloc.congestion_into(rates, scratch.congestion, scratch.ws);
   scratch.rates.assign(rates.begin(), rates.end());
   for (std::size_t i = 0; i < n; ++i) {
@@ -283,6 +296,9 @@ FdcTerms fdc_terms(const AllocationFunction& alloc, const Utility& utility,
   if (i >= rates.size()) throw std::invalid_argument("fdc_terms: bad index");
   AllocationFunction::validate_rates(rates);
   FdcTerms terms{kNan, kNan};
+  // The ctrl shard repair ladder's coordinate-Newton rung runs on this
+  // entry point, so it is metered like the batched passes above.
+  work::add(work::Kind::kUsersEvaluated, 1);
   const double c = alloc.congestion_of(i, rates);
   if (!std::isfinite(c)) return terms;
   const double m = utility.marginal_ratio(rates[i], c);
@@ -349,6 +365,8 @@ RelaxResult relax_equilibrium(const AllocationFunction& alloc,
     // One batched congestion / Jacobian / second-partials pass feeds every
     // residual and slope of the sweep (vs the per-entry recomputation in
     // newton_relaxation, which exists to expose the trajectory).
+    work::add(work::Kind::kUsersEvaluated, n);
+    work::add(work::Kind::kJacobianCells, 2 * n * n);
     alloc.congestion_into(rates, scratch.congestion, scratch.ws);
     alloc.jacobian_into(rates, scratch.jac, scratch.ws);
     alloc.second_partials_into(rates, scratch.hess, scratch.ws);
@@ -421,6 +439,7 @@ RelaxResult relax_equilibrium(const AllocationFunction& alloc,
         }
         scratch.trial[i] = next;
       }
+      work::add(work::Kind::kUsersEvaluated, n);
       alloc.congestion_into(scratch.trial, scratch.congestion, scratch.ws);
       stepped = true;
       for (std::size_t i = 0; i < n; ++i) {
@@ -469,6 +488,8 @@ NewtonFdcResult newton_fdc(const AllocationFunction& alloc,
   // returns the max projected (KKT) residual, infinite when any entry
   // fails to evaluate.
   const auto residual_pass = [&](const std::vector<double>& point) {
+    work::add(work::Kind::kUsersEvaluated, n);
+    work::add(work::Kind::kJacobianCells, n * n);
     alloc.congestion_into(point, scratch.congestion, scratch.ws);
     alloc.jacobian_into(point, scratch.jac, scratch.ws);
     double max_res = 0.0;
@@ -517,6 +538,7 @@ NewtonFdcResult newton_fdc(const AllocationFunction& alloc,
     // Users pinned at a bound with the KKT sign satisfied are frozen out
     // of the system (identity row, zero column): their raw E_i is nonzero
     // by design and must push neither themselves nor anyone else.
+    work::add(work::Kind::kJacobianCells, n * n);
     alloc.second_partials_into(rates, scratch.hess, scratch.ws);
     scratch.diag.resize(n);  // active-set mask for this assembly
     for (std::size_t i = 0; i < n; ++i) {
@@ -601,6 +623,8 @@ numerics::Matrix relaxation_matrix(const AllocationFunction& alloc,
   // which recomputed all three from scratch).
   auto& scratch = solver_scratch();
   scratch.congestion.resize(n);
+  work::add(work::Kind::kUsersEvaluated, n);
+  work::add(work::Kind::kJacobianCells, 2 * n * n);
   alloc.congestion_into(rates, scratch.congestion, scratch.ws);
   alloc.jacobian_into(rates, scratch.jac, scratch.ws);
   alloc.second_partials_into(rates, scratch.hess, scratch.ws);
@@ -642,6 +666,7 @@ NewtonDynamicsResult newton_relaxation(const AllocationFunction& alloc,
   scratch.congestion.resize(n);
   scratch.responses.resize(n);  // holds the FDC residuals this solver
   for (int it = 0; it < max_iterations; ++it) {
+    work::add(work::Kind::kUsersEvaluated, n);
     alloc.congestion_into(rates, scratch.congestion, scratch.ws);
     double max_residual = 0.0;
     for (std::size_t i = 0; i < n; ++i) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/perfcount.hpp"
 #include "obs/trace.hpp"
 
 namespace gw::ctrl {
@@ -191,6 +192,7 @@ BatchReport Controller::apply_pending(exec::ThreadPool* pool) {
 
   metrics.batches.inc();
   metrics.applied.inc(report.updates_applied);
+  obs::work::add(obs::work::Kind::kUpdatesApplied, report.updates_applied);
   metrics.batch_seconds.observe(report.wall_seconds);
   metrics.batch_size.observe(static_cast<double>(report.updates_applied));
   metrics.staleness.set(static_cast<double>(pending()));

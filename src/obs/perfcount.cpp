@@ -1,0 +1,334 @@
+#include "obs/perfcount.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define GW_PERFCOUNT_LINUX 1
+#else
+#define GW_PERFCOUNT_LINUX 0
+#endif
+
+namespace gw::obs {
+
+namespace {
+
+#if GW_PERFCOUNT_LINUX
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr base_attr(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  // Count user-space only: the kernel share is scheduler noise for a
+  // roofline model of our own loops, and excluding it also works at
+  // perf_event_paranoid=2 (the common unprivileged default).
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return attr;
+}
+
+const char* errno_name(int err) {
+  switch (err) {
+    case EACCES:
+      return "EACCES";
+    case EPERM:
+      return "EPERM";
+    case ENOENT:
+      return "ENOENT";
+    case ENODEV:
+      return "ENODEV";
+    case EOPNOTSUPP:
+      return "EOPNOTSUPP";
+    case ENOSYS:
+      return "ENOSYS";
+    case EINVAL:
+      return "EINVAL";
+    default:
+      return "errno";
+  }
+}
+
+std::string describe_open_failure(int err, int paranoid) {
+  std::ostringstream out;
+  out << "perf_event_open: " << errno_name(err);
+  if (err == EACCES || err == EPERM) {
+    out << " (perf_event_paranoid=" << paranoid
+        << "; need <= 2, or CAP_PERFMON)";
+  } else if (err == ENOENT || err == ENODEV || err == EOPNOTSUPP) {
+    out << " (no hardware PMU — VM or container?)";
+  } else if (err == ENOSYS) {
+    out << " (kernel built without perf events)";
+  } else {
+    out << " (" << std::strerror(err) << ")";
+  }
+  return out.str();
+}
+
+// PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+struct GroupRead {
+  std::uint64_t nr;
+  std::uint64_t time_enabled;
+  std::uint64_t time_running;
+  std::uint64_t value[5];
+};
+
+#endif  // GW_PERFCOUNT_LINUX
+
+}  // namespace
+
+PerfCounterSession::PerfCounterSession(const PerfCounterOptions& options) {
+  if (options.force_disable) {
+    status_ = "disabled by caller";
+    return;
+  }
+  open_counters();
+}
+
+PerfCounterSession::~PerfCounterSession() { close_counters(); }
+
+void PerfCounterSession::open_counters() {
+#if GW_PERFCOUNT_LINUX
+  // Software task-clock first: it survives on PMU-less hosts and gives a
+  // real on-CPU ns denominator even when the hardware group cannot open.
+  {
+    perf_event_attr attr =
+        base_attr(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK);
+    clock_fd_ = static_cast<int>(perf_event_open(&attr, 0, -1, -1, 0));
+  }
+
+  // Hardware group, cycles leading. Grouped reads keep the five counts
+  // from the same PMU-residency windows, so derived ratios are coherent.
+  perf_event_attr leader =
+      base_attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  leader.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+  group_fd_ = static_cast<int>(perf_event_open(&leader, 0, -1, -1, 0));
+  if (group_fd_ < 0) {
+    status_ = describe_open_failure(errno, paranoid_level());
+    return;
+  }
+
+  static constexpr std::uint64_t kSiblings[] = {
+      PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_REFERENCES,
+      PERF_COUNT_HW_CACHE_MISSES,
+      PERF_COUNT_HW_BRANCH_MISSES,
+  };
+  for (std::size_t i = 0; i < sibling_fds_.size(); ++i) {
+    perf_event_attr attr = base_attr(PERF_TYPE_HARDWARE, kSiblings[i]);
+    sibling_fds_[i] =
+        static_cast<int>(perf_event_open(&attr, 0, -1, group_fd_, 0));
+    if (sibling_fds_[i] < 0) {
+      // All five or nothing: a partial group would skew every ratio.
+      status_ = describe_open_failure(errno, paranoid_level());
+      const int clock_fd = clock_fd_;
+      close_counters();
+      clock_fd_ = clock_fd;  // keep the software clock alive
+      return;
+    }
+  }
+  status_ = "ok";
+#else
+  status_ = "perf_event_open unavailable (not Linux)";
+#endif
+}
+
+void PerfCounterSession::close_counters() noexcept {
+#if GW_PERFCOUNT_LINUX
+  for (int& fd : sibling_fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+  if (group_fd_ >= 0) close(group_fd_);
+  group_fd_ = -1;
+  if (clock_fd_ >= 0) close(clock_fd_);
+  clock_fd_ = -1;
+#endif
+}
+
+void PerfCounterSession::start() noexcept {
+#if GW_PERFCOUNT_LINUX
+  if (group_fd_ >= 0) {
+    ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+  if (clock_fd_ >= 0) {
+    ioctl(clock_fd_, PERF_EVENT_IOC_RESET, 0);
+    ioctl(clock_fd_, PERF_EVENT_IOC_ENABLE, 0);
+  }
+#endif
+}
+
+PerfCounts PerfCounterSession::stop() noexcept {
+  PerfCounts counts;
+#if GW_PERFCOUNT_LINUX
+  if (group_fd_ >= 0) {
+    ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    GroupRead buf{};
+    const ssize_t got = read(group_fd_, &buf, sizeof(buf));
+    if (got >= static_cast<ssize_t>(3 * sizeof(std::uint64_t)) &&
+        buf.nr == 5) {
+      counts.hardware = true;
+      counts.cycles = buf.value[0];
+      counts.instructions = buf.value[1];
+      counts.cache_references = buf.value[2];
+      counts.cache_misses = buf.value[3];
+      counts.branch_misses = buf.value[4];
+      counts.time_enabled_ns = buf.time_enabled;
+      counts.time_running_ns = buf.time_running;
+      counts.scale = buf.time_running > 0
+                         ? static_cast<double>(buf.time_enabled) /
+                               static_cast<double>(buf.time_running)
+                         : 1.0;
+    }
+  }
+  if (clock_fd_ >= 0) {
+    ioctl(clock_fd_, PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t ns = 0;
+    if (read(clock_fd_, &ns, sizeof(ns)) == sizeof(ns)) {
+      counts.software = true;
+      counts.task_clock_ns = ns;  // task-clock counts in nanoseconds
+    }
+  }
+#endif
+  return counts;
+}
+
+int PerfCounterSession::paranoid_level() noexcept {
+#if GW_PERFCOUNT_LINUX
+  std::ifstream in("/proc/sys/kernel/perf_event_paranoid");
+  int level = -1000;
+  if (in >> level) return level;
+#endif
+  return -1000;
+}
+
+bool PerfCounterSession::probe(std::string* reason) {
+  static std::once_flag once;
+  static bool cached_ok = false;
+  static std::string cached_reason;
+  std::call_once(once, [] {
+    PerfCounterSession session;
+    cached_ok = session.available();
+    cached_reason = session.status();
+  });
+  if (reason != nullptr) *reason = cached_reason;
+  return cached_ok;
+}
+
+namespace work {
+
+namespace detail {
+
+thread_local Block* t_block = nullptr;
+
+namespace {
+
+struct BlockRegistry {
+  std::mutex mu;
+  // unique_ptr, not values: Block addresses must survive vector growth
+  // because each owning thread caches its pointer for the process
+  // lifetime. Blocks are never freed (threads may outlive the registry
+  // scan; a handful of cache lines leak at exit by design).
+  std::vector<std::unique_ptr<Block>> blocks;
+};
+
+BlockRegistry& block_registry() {
+  static auto* registry = new BlockRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+Block* register_thread() {
+  if (t_block != nullptr) return t_block;
+  auto& registry = block_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  registry.blocks.push_back(std::make_unique<Block>());
+  t_block = registry.blocks.back().get();
+  return t_block;
+}
+
+}  // namespace detail
+
+const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kUsersEvaluated:
+      return "users_evaluated";
+    case Kind::kJacobianCells:
+      return "jacobian_cells";
+    case Kind::kBestResponseCalls:
+      return "best_response_calls";
+    case Kind::kGsSweeps:
+      return "gs_sweeps";
+    case Kind::kEventsProcessed:
+      return "events_processed";
+    case Kind::kUpdatesApplied:
+      return "updates_applied";
+  }
+  return "unknown";
+}
+
+void set_armed(bool armed) noexcept {
+  detail::g_armed.store(armed, std::memory_order_relaxed);
+}
+
+Totals collect() {
+  Totals totals;
+  auto& registry = detail::block_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& block : registry.blocks) {
+    for (std::size_t i = 0; i < kKindCount; ++i) {
+      totals.counts[i] += block->counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+void reset() {
+  auto& registry = detail::block_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& block : registry.blocks) {
+    for (auto& cell : block->counts) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t registered_threads() {
+  auto& registry = detail::block_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.blocks.size();
+}
+
+}  // namespace work
+
+void publish_work_totals(Registry& registry) {
+  const work::Totals totals = work::collect();
+  for (std::size_t i = 0; i < work::kKindCount; ++i) {
+    if (totals.counts[i] == 0) continue;
+    const auto kind = static_cast<work::Kind>(i);
+    registry.counter(std::string("work.") + work::kind_name(kind))
+        .inc(totals.counts[i]);
+  }
+}
+
+}  // namespace gw::obs

@@ -1,0 +1,220 @@
+// Roofline observability: hardware perf counters + domain work accounting.
+//
+// Wall time alone cannot tell a data-layout win from a smaller problem: a
+// 2x speedup at N=4096 and a sweep that quietly evaluated half the users
+// look identical in `wall_ms`. This header provides the two measurement
+// primitives that make cost *work-normalized*:
+//
+//   * PerfCounterSession — a grouped `perf_event_open` session over the
+//     classic roofline counters (cycles, instructions, cache-references,
+//     cache-misses, branch-misses) plus the software task-clock. Counter
+//     groups schedule on and off the PMU together, so ratios (IPC, miss
+//     rate) are internally consistent; when the kernel multiplexes the
+//     group the time_enabled/time_running scale factor is surfaced rather
+//     than silently folded in. On hosts without a PMU or with
+//     perf_event_paranoid too high the session degrades to "counters
+//     unavailable" (status() says why) instead of failing — every caller
+//     must keep working with hardware=false samples.
+//
+//   * WorkMeter (namespace gw::obs::work) — thread-local counters of
+//     *domain* work units: users-evaluated, jacobian-cells-filled,
+//     best-response calls, GS sweeps, events-processed, updates-applied.
+//     Disarmed (the default) an add() is one relaxed atomic load and a
+//     predicted branch — zero heap traffic, nanosecond-scale. Armed, each
+//     add lands in the calling thread's own cache-line-padded block;
+//     collect() sums the blocks, so totals are bit-identical for any
+//     --threads value (integer sums are associative and the work partition
+//     is deterministic — see exec::ThreadPool).
+//
+// Placement rule (see DESIGN.md): work is accounted at the *call site* of
+// the virtual evaluation primitives — the solver/driver layer that
+// requests the work — never inside discipline implementations. Composites
+// (mixtures, subsystems, networks) recurse internally without touching
+// the meter, so each unit is counted exactly once and the counts stay
+// comparable across disciplines and data layouts.
+//
+// Threading contract: PerfCounterSession counts the thread that opened it
+// (plus nothing else; worker-thread cycles are invisible to it, which the
+// run manifest records via `threads` so compares stay like-for-like).
+// WorkMeter::collect()/reset() require quiescence: no thread concurrently
+// adding — the same contract Registry::reset() and FlightJournal exports
+// already have in the bench harness.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gw::obs {
+
+/// One sample of the counter group, read at stop(). `hardware` says the
+/// PMU group delivered; `software` says the task-clock did. All counts are
+/// raw (unscaled): apply `scale` to estimate full-interval values when the
+/// kernel multiplexed the group (scale == 1.0 means the group was on-PMU
+/// for the whole interval).
+struct PerfCounts {
+  bool hardware = false;
+  bool software = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t task_clock_ns = 0;    ///< software: on-CPU nanoseconds
+  std::uint64_t time_enabled_ns = 0;  ///< group: wall time counters were armed
+  std::uint64_t time_running_ns = 0;  ///< group: time actually on the PMU
+  double scale = 1.0;  ///< time_enabled / time_running (>= 1 when multiplexed)
+
+  /// Instructions per cycle; 0 when hardware counts are absent.
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  /// cache-misses / cache-references; 0 when absent.
+  [[nodiscard]] double cache_miss_rate() const noexcept {
+    return cache_references > 0 ? static_cast<double>(cache_misses) /
+                                      static_cast<double>(cache_references)
+                                : 0.0;
+  }
+};
+
+struct PerfCounterOptions {
+  /// Skip opening anything and report "disabled by caller": the --counters
+  /// off path, and the test hook for forcing graceful degradation.
+  bool force_disable = false;
+};
+
+/// A per-thread counting session over perf_event_open. Construction opens
+/// the file descriptors once (hardware group + software task-clock);
+/// start()/stop() pairs then reset+enable / disable+read them, so a
+/// session can bracket many measured regions. Not thread-safe; counts the
+/// constructing thread only.
+class PerfCounterSession {
+ public:
+  explicit PerfCounterSession(const PerfCounterOptions& options = {});
+  ~PerfCounterSession();
+  PerfCounterSession(const PerfCounterSession&) = delete;
+  PerfCounterSession& operator=(const PerfCounterSession&) = delete;
+
+  /// True when the hardware group opened (cycles/instructions/cache/branch
+  /// counts will be real). The software task-clock may be available even
+  /// when this is false (software() below).
+  [[nodiscard]] bool available() const noexcept { return group_fd_ >= 0; }
+  /// True when the software task-clock opened.
+  [[nodiscard]] bool software() const noexcept { return clock_fd_ >= 0; }
+  /// "ok", or the reason hardware counters are unavailable — e.g.
+  /// "perf_event_open: EACCES (perf_event_paranoid=3; need <= 2)" or
+  /// "perf_event_open: ENOENT (no hardware PMU — VM or container?)".
+  [[nodiscard]] const std::string& status() const noexcept { return status_; }
+
+  /// Zeroes and enables every open counter. No-op when nothing opened.
+  void start() noexcept;
+  /// Disables and reads every open counter. Safe (all-zero, hardware =
+  /// software = false) when nothing opened or start() was never called.
+  PerfCounts stop() noexcept;
+
+  /// /proc/sys/kernel/perf_event_paranoid, or -1000 when unreadable
+  /// (non-Linux, masked /proc). Levels: 2 = own-process user-space
+  /// counting allowed (enough for this session), 3+ = unprivileged
+  /// perf_event_open refused entirely.
+  [[nodiscard]] static int paranoid_level() noexcept;
+
+  /// Cheap process-wide probe: opens and closes a throwaway session once,
+  /// caching the verdict. `reason` (when non-null) receives status() of
+  /// the probe. Use for CLI diagnostics (--counters require).
+  [[nodiscard]] static bool probe(std::string* reason = nullptr);
+
+ private:
+  void open_counters();
+  void close_counters() noexcept;
+
+  int group_fd_ = -1;  ///< leader (cycles); siblings read through it
+  int clock_fd_ = -1;  ///< software task-clock, its own fd (never muxed)
+  std::array<int, 4> sibling_fds_{{-1, -1, -1, -1}};
+  std::string status_ = "not opened";
+};
+
+namespace work {
+
+/// Domain work units. Kept deliberately small and stable: these names are
+/// part of the gw.bench.v3 schema (`work` block) and the per-unit compare
+/// metrics in gw-benchstat.
+enum class Kind : std::uint8_t {
+  kUsersEvaluated = 0,  ///< per-user congestion values requested
+  kJacobianCells,       ///< jacobian + second-partials matrix cells filled
+  kBestResponseCalls,   ///< scalar best-response maximizations
+  kGsSweeps,            ///< best-response dynamics sweeps (solve_nash)
+  kEventsProcessed,     ///< DES events fired (sim::Simulator)
+  kUpdatesApplied,      ///< control-plane rate updates applied
+};
+inline constexpr std::size_t kKindCount = 6;
+
+/// Schema name of a kind ("users_evaluated", ...).
+[[nodiscard]] const char* kind_name(Kind kind) noexcept;
+
+/// Totals summed across every thread that ever recorded.
+struct Totals {
+  std::array<std::uint64_t, kKindCount> counts{};
+  [[nodiscard]] std::uint64_t operator[](Kind kind) const noexcept {
+    return counts[static_cast<std::size_t>(kind)];
+  }
+};
+
+namespace detail {
+
+/// One cache line per recording thread so armed adds never false-share.
+struct alignas(64) Block {
+  std::array<std::atomic<std::uint64_t>, kKindCount> counts{};
+};
+
+inline std::atomic<bool> g_armed{false};
+extern thread_local Block* t_block;
+
+/// Registers (or re-finds) the calling thread's block; never returns null.
+[[nodiscard]] Block* register_thread();
+
+}  // namespace detail
+
+/// True while the meter is collecting.
+[[nodiscard]] inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Arms / disarms the meter process-wide. Existing counts are kept;
+/// callers reset() when they want a fresh window.
+void set_armed(bool armed) noexcept;
+
+/// Records `n` units of `kind` against the calling thread. Disarmed: one
+/// relaxed load + predicted branch, no other work. The atomics are
+/// single-writer (the owning thread); relaxed load/store keeps the armed
+/// path at plain-store cost while collect() stays race-free.
+inline void add(Kind kind, std::uint64_t n) noexcept {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return;
+  detail::Block* block = detail::t_block;
+  if (block == nullptr) block = detail::register_thread();
+  auto& cell = block->counts[static_cast<std::size_t>(kind)];
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+/// Sums every thread's block (quiescent: no concurrent add()).
+[[nodiscard]] Totals collect();
+
+/// Zeroes every thread's block, keeping registrations (quiescent).
+void reset();
+
+/// Threads that have registered a block so far (test/diagnostic hook).
+[[nodiscard]] std::size_t registered_threads();
+
+}  // namespace work
+
+class Registry;
+
+/// Writes collect() into `registry` as counters "work.<kind_name>" by
+/// increment (call once per measurement window, after a registry reset).
+void publish_work_totals(Registry& registry);
+
+}  // namespace gw::obs

@@ -155,6 +155,15 @@ void write_manifest(JsonWriter& w, const RunManifest& manifest) {
     w.key("trace_solves");
     w.value(manifest.trace_solves);
   }
+  if (!manifest.counters_mode.empty()) {
+    // Same omit-when-unset convention as trace_solves.
+    w.key("counters_mode");
+    w.value(manifest.counters_mode);
+    w.key("counters_available");
+    w.value(manifest.counters_available);
+    w.key("counters_status");
+    w.value(manifest.counters_status);
+  }
   w.end_object();
 }
 

@@ -30,6 +30,11 @@ struct RunManifest {
   std::string trace_solves;   ///< solver flight-journal path (bench
                               ///< --trace-solves); empty = not recorded,
                               ///< and the field is omitted from the JSON
+  std::string counters_mode;  ///< bench --counters (auto|off|require);
+                              ///< empty = harness predates counters and
+                              ///< the three counters_* fields are omitted
+  bool counters_available = false;  ///< hardware counter group opened
+  std::string counters_status;      ///< "ok" or the degradation reason
 };
 
 /// Gathers the manifest for this process. `label` is the user-supplied run

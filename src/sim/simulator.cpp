@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/perfcount.hpp"
 
 namespace gw::sim {
 
@@ -114,6 +115,7 @@ std::size_t Simulator::run_until(double t_end) {
   }
   now_ = t_end;
   events_processed_->inc(fired);
+  obs::work::add(obs::work::Kind::kEventsProcessed, fired);
   return fired;
 }
 

@@ -1,6 +1,7 @@
 // bench harness --json telemetry: run a real bench binary in JSON mode
-// and validate the emitted schema (gw.bench.v2), including the run
-// manifest, --repeat per-rep timing stats, and --warmup discarded reps.
+// and validate the emitted schema (gw.bench.v3), including the run
+// manifest, --repeat per-rep timing stats, --warmup discarded reps, and
+// the counters/work/derived blocks.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
@@ -50,7 +51,7 @@ TEST(BenchJson, EmitsSchemaValidTelemetry) {
   const JsonValue doc = parse_json(buffer.str());
 
   // Top-level schema.
-  EXPECT_EQ(doc.at("schema").string, "gw.bench.v2");
+  EXPECT_EQ(doc.at("schema").string, "gw.bench.v3");
   EXPECT_TRUE(doc.at("binary").is_string());
   EXPECT_TRUE(doc.at("failures").is_number());
 
@@ -63,6 +64,11 @@ TEST(BenchJson, EmitsSchemaValidTelemetry) {
   EXPECT_GT(manifest.at("cpu_count").number, 0.0);
   EXPECT_EQ(manifest.at("label").string, "unit-test");
   EXPECT_TRUE(manifest.at("git_dirty").kind == JsonValue::Kind::kBool);
+  // Counter state is stamped whatever the host supports (default: auto).
+  EXPECT_EQ(manifest.at("counters_mode").string, "auto");
+  EXPECT_TRUE(manifest.at("counters_available").kind ==
+              JsonValue::Kind::kBool);
+  EXPECT_FALSE(manifest.at("counters_status").string.empty());
 
   // Per-rep timing: one wall-time sample per --repeat rep, plus robust
   // aggregate stats.
@@ -78,6 +84,26 @@ TEST(BenchJson, EmitsSchemaValidTelemetry) {
             timing.at("stats").at("min").number);
   ASSERT_TRUE(doc.at("experiments").is_array());
   ASSERT_FALSE(doc.at("experiments").array.empty());
+
+  // v3 blocks: counters (degraded or not), per-rep work totals — one
+  // sample per measured rep, identical across reps (the body is
+  // deterministic) — and the wall-based normalized cost.
+  const JsonValue& counters = doc.at("counters");
+  EXPECT_EQ(counters.at("mode").string, "auto");
+  EXPECT_TRUE(counters.at("available").kind == JsonValue::Kind::kBool);
+  EXPECT_FALSE(counters.at("status").string.empty());
+  const JsonValue& work = doc.at("work").at("per_rep");
+  ASSERT_EQ(work.at("users_evaluated").array.size(), 3u);
+  const double users0 = work.at("users_evaluated").array[0].number;
+  EXPECT_GT(users0, 0.0);
+  for (const auto& rep : work.at("users_evaluated").array) {
+    EXPECT_DOUBLE_EQ(rep.number, users0);
+  }
+  const JsonValue& derived = doc.at("derived");
+  ASSERT_EQ(derived.at("ns_per_user_evaluated").array.size(), 3u);
+  for (const auto& ns : derived.at("ns_per_user_evaluated").array) {
+    EXPECT_GT(ns.number, 0.0);
+  }
 
   // Experiment id, tables with rows, and verdicts all present.
   const JsonValue& experiment = doc.at("experiments").array.front();

@@ -1,6 +1,8 @@
 // gw-benchstat CLI end-to-end: merge + compare on synthetic gw.bench.v2
-// telemetry — improvement, regression, and below-threshold-noise verdicts,
-// plus the nonzero exit code that gates CI.
+// and gw.bench.v3 telemetry — improvement, regression, and
+// below-threshold-noise verdicts, the nonzero exit code that gates CI,
+// --per-unit promotion of normalized work costs, and the manifest
+// mismatch warnings that keep compares like-for-like.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
@@ -52,6 +54,48 @@ std::string synthetic_bench(const std::string& binary,
   out << "]},\"experiments\":[],\"failures\":0,"
       << "\"metrics\":{\"counters\":{\"core.nash.solves\":" << counter_value
       << "},\"gauges\":{},\"histograms\":{}}}";
+  return out.str();
+}
+
+/// Renders a minimal gw.bench.v3 document: v2 plus counters/work/derived
+/// blocks and the counters_* manifest fields.
+std::string synthetic_bench_v3(const std::string& binary,
+                               const std::vector<double>& wall_ms,
+                               const std::vector<double>& ns_per_user,
+                               double threads, bool counters_available) {
+  std::ostringstream out;
+  out << "{\"schema\":\"gw.bench.v3\",\"binary\":\"" << binary << "\","
+      << "\"manifest\":{\"git_sha\":\"cafe1234\",\"git_dirty\":false,"
+      << "\"compiler\":\"test\",\"build_type\":\"Release\","
+      << "\"cxx_flags\":\"\",\"hostname\":\"testhost\",\"cpu_count\":4,"
+      << "\"timestamp_utc\":\"2026-01-01T00:00:00Z\",\"label\":\"fixture\","
+      << "\"threads\":" << threads << ",\"counters_mode\":\"auto\","
+      << "\"counters_available\":" << (counters_available ? "true" : "false")
+      << ",\"counters_status\":\""
+      << (counters_available ? "ok" : "perf_event_open: ENOENT") << "\"},"
+      << "\"timing\":{\"repeat\":" << wall_ms.size() << ",\"wall_ms\":[";
+  for (std::size_t i = 0; i < wall_ms.size(); ++i) {
+    if (i > 0) out << ",";
+    out << wall_ms[i];
+  }
+  out << "]},\"counters\":{\"mode\":\"auto\",\"available\":"
+      << (counters_available ? "true" : "false")
+      << ",\"software\":true,\"status\":\""
+      << (counters_available ? "ok" : "perf_event_open: ENOENT")
+      << "\",\"per_rep\":{}},"
+      << "\"work\":{\"per_rep\":{\"users_evaluated\":[";
+  for (std::size_t i = 0; i < wall_ms.size(); ++i) {
+    if (i > 0) out << ",";
+    out << 1000;
+  }
+  out << "]}},\"derived\":{\"ns_per_user_evaluated\":[";
+  for (std::size_t i = 0; i < ns_per_user.size(); ++i) {
+    if (i > 0) out << ",";
+    out << ns_per_user[i];
+  }
+  out << "]},\"experiments\":[],\"failures\":0,"
+      << "\"metrics\":{\"counters\":{\"core.nash.solves\":100},"
+      << "\"gauges\":{},\"histograms\":{}}}";
   return out.str();
 }
 
@@ -275,6 +319,125 @@ TEST_F(BenchstatCli, CompareAcceptsV1WithoutManifestOrTiming) {
                                     path("new.json"));
   EXPECT_EQ(compared.exit_code, 0) << compared.output;
   EXPECT_NE(compared.output.find("info (no samples)"), std::string::npos)
+      << compared.output;
+}
+
+TEST_F(BenchstatCli, MergeCarriesV3UnitsAndMixesWithV2) {
+  // A v3 run contributes a `units` object to the suite entry; a v2 run in
+  // the same merge simply has none — mixed suites stay valid.
+  write_file(path("v3.json"),
+             synthetic_bench_v3("out/bench_alpha", {10.0, 10.2, 9.9},
+                                {42.0, 42.5, 41.8}, 1, false));
+  write_file(path("v2.json"),
+             synthetic_bench("out/bench_beta", {5.0, 5.1, 4.9}, 50));
+
+  const auto merged = run_command(benchstat_path() + " merge " +
+                                  path("v3.json") + " " + path("v2.json"));
+  ASSERT_EQ(merged.exit_code, 0) << merged.output;
+
+  const JsonValue doc = parse_json(merged.output);
+  EXPECT_EQ(doc.at("schema").string, "gw.benchsuite.v1");
+  ASSERT_EQ(doc.at("benches").array.size(), 2u);
+  const JsonValue& alpha = doc.at("benches").array[0];
+  ASSERT_TRUE(alpha.has("units")) << merged.output;
+  ASSERT_TRUE(alpha.at("units").has("ns_per_user_evaluated"));
+  EXPECT_EQ(
+      alpha.at("units").at("ns_per_user_evaluated").array.size(), 3u);
+  const JsonValue& beta = doc.at("benches").array[1];
+  EXPECT_FALSE(beta.has("units"));
+  // Manifest facts come from the first document that carried them.
+  EXPECT_EQ(doc.at("manifest").at("counters_available").boolean, false);
+}
+
+TEST_F(BenchstatCli, PerUnitGatesOnNsPerUserEvaluated) {
+  // Wall time unchanged but the normalized cost doubled (the sweep did
+  // half the work): only --per-unit turns that into a gate failure.
+  const std::vector<double> wall = {10.0, 10.2, 9.9, 10.1, 10.0};
+  write_file(path("old.json"),
+             synthetic_bench_v3("bench_norm", wall,
+                                {40.0, 40.4, 39.8, 40.2, 40.1}, 1, false));
+  write_file(path("new.json"),
+             synthetic_bench_v3("bench_norm", wall,
+                                {80.0, 80.6, 79.5, 80.3, 80.2}, 1, false));
+
+  const auto scalar_only = run_command(
+      benchstat_path() + " compare " + path("old.json") + " " +
+      path("new.json") + " --threshold 5");
+  EXPECT_EQ(scalar_only.exit_code, 0) << scalar_only.output;
+
+  const std::string out = path("per_unit.json");
+  const auto per_unit = run_command(
+      benchstat_path() + " compare " + path("old.json") + " " +
+      path("new.json") + " --threshold 5 --per-unit --json " + out);
+  EXPECT_EQ(per_unit.exit_code, 1) << per_unit.output;
+  EXPECT_NE(
+      per_unit.output.find("REGRESSED: bench_norm.ns_per_user_evaluated"),
+      std::string::npos)
+      << per_unit.output;
+
+  std::ifstream in(out);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  EXPECT_EQ(doc.at("gate").string, "fail");
+  EXPECT_EQ(doc.at("per_unit").boolean, true);
+  ASSERT_EQ(doc.at("regressions").array.size(), 1u);
+  EXPECT_EQ(doc.at("regressions").array[0].string,
+            "bench_norm.ns_per_user_evaluated");
+  std::remove(out.c_str());
+}
+
+TEST_F(BenchstatCli, CompareWarnsWhenManifestsDiffer) {
+  // threads 1 vs 2 and hardware vs degraded counters: normalized metrics
+  // are not comparable, so the compare carries explicit warnings (but the
+  // gate itself is unaffected).
+  const std::vector<double> wall = {10.0, 10.2, 9.9, 10.1, 10.0};
+  write_file(path("old.json"),
+             synthetic_bench_v3("bench_cfg", wall,
+                                {40.0, 40.4, 39.8, 40.2, 40.1}, 1, true));
+  write_file(path("new.json"),
+             synthetic_bench_v3("bench_cfg", wall,
+                                {40.1, 40.0, 40.2, 39.9, 40.05}, 2, false));
+
+  const std::string out = path("warn.json");
+  const auto compared = run_command(
+      benchstat_path() + " compare " + path("old.json") + " " +
+      path("new.json") + " --threshold 5 --per-unit --json " + out);
+  EXPECT_EQ(compared.exit_code, 0) << compared.output;
+  EXPECT_NE(compared.output.find("WARNING: manifests differ: threads 1 vs 2"),
+            std::string::npos)
+      << compared.output;
+  EXPECT_NE(compared.output.find("counter availability"), std::string::npos)
+      << compared.output;
+
+  std::ifstream in(out);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  ASSERT_EQ(doc.at("manifest_warnings").array.size(), 2u);
+  EXPECT_NE(doc.at("manifest_warnings").array[0].string.find("threads"),
+            std::string::npos);
+  std::remove(out.c_str());
+}
+
+TEST_F(BenchstatCli, MixedV2AndV3CompareFallsBackToWall) {
+  // Old baseline predates counters (v2), new run is v3: wall_ms still
+  // gates, per-unit metrics appear only on the side that has them, and
+  // nothing errors out.
+  write_file(path("old.json"),
+             synthetic_bench("bench_mixed", {10.0, 10.2, 9.9, 10.1, 10.0},
+                             100));
+  write_file(path("new.json"),
+             synthetic_bench_v3("bench_mixed",
+                                {20.0, 20.4, 19.8, 20.2, 20.1},
+                                {40.0, 40.4, 39.8, 40.2, 40.1}, 1, false));
+
+  const auto compared = run_command(
+      benchstat_path() + " compare " + path("old.json") + " " +
+      path("new.json") + " --threshold 5 --per-unit");
+  EXPECT_EQ(compared.exit_code, 1) << compared.output;
+  EXPECT_NE(compared.output.find("REGRESSED: bench_mixed.wall_ms"),
+            std::string::npos)
       << compared.output;
 }
 

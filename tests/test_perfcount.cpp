@@ -1,0 +1,266 @@
+// PerfCounterSession / WorkMeter: graceful degradation when counters are
+// unavailable, bit-identical work totals across thread counts, registry
+// publication, and the disarmed fast path's zero-allocation guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfcount.hpp"
+
+// ---- counting allocator harness ----------------------------------------
+//
+// Replacing the global operator new routes every heap allocation in the
+// test binary through this counter, so the disarmed-path test can assert
+// an exact zero-allocation delta (same harness bench_micro uses for its
+// E-EVAL verdicts). The relaxed increment is noise next to malloc.
+namespace gw_testalloc {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace gw_testalloc
+
+// GCC pairs the malloc in the replaced operator new with the free in the
+// replaced operator delete and flags the (correct) combination when both
+// inline into the same frame; the pairing is intentional here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  gw_testalloc::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  gw_testalloc::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using gw::obs::PerfCounterOptions;
+using gw::obs::PerfCounterSession;
+using gw::obs::PerfCounts;
+namespace work = gw::obs::work;
+
+/// Restores the meter to disarmed + zeroed no matter how a test exits.
+struct MeterGuard {
+  MeterGuard() {
+    work::set_armed(false);
+    work::reset();
+  }
+  ~MeterGuard() {
+    work::set_armed(false);
+    work::reset();
+  }
+};
+
+TEST(PerfCount, ForcedDisableDegradesGracefully) {
+  PerfCounterSession session(PerfCounterOptions{.force_disable = true});
+  EXPECT_FALSE(session.available());
+  EXPECT_FALSE(session.software());
+  EXPECT_EQ(session.status(), "disabled by caller");
+
+  // The start/stop bracket must stay safe and report all-zero samples: the
+  // contract every caller relies on when counters are unavailable.
+  session.start();
+  const PerfCounts counts = session.stop();
+  EXPECT_FALSE(counts.hardware);
+  EXPECT_FALSE(counts.software);
+  EXPECT_EQ(counts.cycles, 0u);
+  EXPECT_EQ(counts.instructions, 0u);
+  EXPECT_EQ(counts.task_clock_ns, 0u);
+  EXPECT_DOUBLE_EQ(counts.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.cache_miss_rate(), 0.0);
+}
+
+TEST(PerfCount, HostSessionEitherCountsOrExplains) {
+  // Whatever this host supports, construction must not throw and the
+  // sample must be self-consistent. On unprivileged or PMU-less runners
+  // available() is false and status() carries the diagnostic.
+  PerfCounterSession session;
+  session.start();
+  // A little on-CPU work so nonzero counts have something to measure.
+  double sink = 0.0;
+  for (int i = 1; i < 50000; ++i) sink += 1.0 / i;
+  const PerfCounts counts = session.stop();
+  ASSERT_GT(sink, 0.0);
+
+  EXPECT_EQ(counts.hardware, session.available());
+  EXPECT_EQ(counts.software, session.software());
+  if (session.available()) {
+    EXPECT_EQ(session.status(), "ok");
+    EXPECT_GT(counts.cycles, 0u);
+    EXPECT_GT(counts.instructions, 0u);
+    EXPECT_GE(counts.scale, 1.0);
+    EXPECT_GE(counts.time_enabled_ns, counts.time_running_ns);
+  } else {
+    EXPECT_NE(session.status(), "ok");
+    EXPECT_FALSE(session.status().empty());
+  }
+  if (session.software()) {
+    EXPECT_GT(counts.task_clock_ns, 0u);
+  }
+}
+
+TEST(PerfCount, ProbeMatchesSessionAvailability) {
+  std::string reason;
+  const bool probed = PerfCounterSession::probe(&reason);
+  PerfCounterSession session;
+  EXPECT_EQ(probed, session.available());
+  if (!probed) {
+    EXPECT_FALSE(reason.empty());
+  }
+  // paranoid_level() is a diagnostic, not a gate: just check the sentinel
+  // convention (-1000 = unreadable, otherwise a small kernel level).
+  const int paranoid = PerfCounterSession::paranoid_level();
+  EXPECT_TRUE(paranoid == -1000 || (paranoid >= -1 && paranoid <= 4))
+      << "paranoid_level=" << paranoid;
+}
+
+TEST(WorkMeter, DisarmedAddsAreDropped) {
+  MeterGuard guard;
+  EXPECT_FALSE(work::armed());
+  work::add(work::Kind::kUsersEvaluated, 7);
+  EXPECT_EQ(work::collect()[work::Kind::kUsersEvaluated], 0u);
+}
+
+TEST(WorkMeter, ArmedAddsAccumulateAndResetClears) {
+  MeterGuard guard;
+  work::set_armed(true);
+  work::add(work::Kind::kUsersEvaluated, 3);
+  work::add(work::Kind::kUsersEvaluated, 4);
+  work::add(work::Kind::kJacobianCells, 16);
+  work::set_armed(false);
+
+  const work::Totals totals = work::collect();
+  EXPECT_EQ(totals[work::Kind::kUsersEvaluated], 7u);
+  EXPECT_EQ(totals[work::Kind::kJacobianCells], 16u);
+  EXPECT_EQ(totals[work::Kind::kGsSweeps], 0u);
+
+  work::reset();
+  const work::Totals cleared = work::collect();
+  for (std::size_t k = 0; k < work::kKindCount; ++k) {
+    EXPECT_EQ(cleared.counts[k], 0u);
+  }
+}
+
+TEST(WorkMeter, TotalsBitIdenticalAcrossThreadCounts) {
+  MeterGuard guard;
+  // The same index-space sum partitioned across 1, 2, 4, and 8 workers
+  // must produce the same totals: integer sums are associative and
+  // exec::parallel_for's static partition covers [0, n) exactly once.
+  constexpr std::size_t kItems = 10000;
+  std::vector<std::uint64_t> totals;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    work::reset();
+    work::set_armed(true);
+    gw::exec::parallel_for(threads, kItems, [](std::size_t i) {
+      work::add(work::Kind::kUsersEvaluated, i % 13 + 1);
+      if (i % 3 == 0) work::add(work::Kind::kJacobianCells, i % 5);
+    });
+    work::set_armed(false);
+    const work::Totals t = work::collect();
+    totals.push_back(t[work::Kind::kUsersEvaluated] * 1000003u +
+                     t[work::Kind::kJacobianCells]);
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[0], totals[2]);
+  EXPECT_EQ(totals[0], totals[3]);
+
+  // And against the closed form, so "identical" can't mean "identically
+  // wrong": sum of (i % 13 + 1) over [0, 10000).
+  std::uint64_t expected_users = 0;
+  for (std::size_t i = 0; i < kItems; ++i) expected_users += i % 13 + 1;
+  EXPECT_EQ(totals[0] / 1000003u, expected_users);
+}
+
+TEST(WorkMeter, ThreadsRegisterOnceAndSurviveExit) {
+  MeterGuard guard;
+  work::set_armed(true);
+  const std::size_t before = work::registered_threads();
+  std::thread t([] { work::add(work::Kind::kEventsProcessed, 42); });
+  t.join();
+  work::set_armed(false);
+  // The exited thread's block is retained (registry never frees), so its
+  // counts still appear in collect().
+  EXPECT_GE(work::registered_threads(), before);
+  EXPECT_EQ(work::collect()[work::Kind::kEventsProcessed], 42u);
+}
+
+TEST(WorkMeter, PublishWritesNonZeroKindsToRegistry) {
+  MeterGuard guard;
+  work::set_armed(true);
+  work::add(work::Kind::kUsersEvaluated, 11);
+  work::add(work::Kind::kGsSweeps, 2);
+  work::set_armed(false);
+
+  gw::obs::Registry registry;
+  gw::obs::publish_work_totals(registry);
+  EXPECT_EQ(registry.counter("work.users_evaluated").value(), 11u);
+  EXPECT_EQ(registry.counter("work.gs_sweeps").value(), 2u);
+}
+
+TEST(WorkMeter, DisarmedPathAllocatesNothing) {
+  MeterGuard guard;
+  // Warm the thread's registration while armed so the disarmed loop below
+  // exercises exactly the fast path every library call site pays.
+  work::set_armed(true);
+  work::add(work::Kind::kUsersEvaluated, 1);
+  work::set_armed(false);
+
+  const std::uint64_t before = gw_testalloc::heap_allocs();
+  for (int i = 0; i < 100000; ++i) {
+    work::add(work::Kind::kUsersEvaluated, 1);
+    work::add(work::Kind::kJacobianCells, 9);
+  }
+  const std::uint64_t allocs = gw_testalloc::heap_allocs() - before;
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(work::collect()[work::Kind::kJacobianCells], 0u);
+}
+
+TEST(WorkMeter, ArmedPathAllocatesOnlyOnFirstRegistration) {
+  MeterGuard guard;
+  work::set_armed(true);
+  work::add(work::Kind::kUsersEvaluated, 1);  // registration (may allocate)
+  const std::uint64_t before = gw_testalloc::heap_allocs();
+  for (int i = 0; i < 100000; ++i) {
+    work::add(work::Kind::kUsersEvaluated, 1);
+  }
+  const std::uint64_t allocs = gw_testalloc::heap_allocs() - before;
+  work::set_armed(false);
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(work::collect()[work::Kind::kUsersEvaluated], 100001u);
+}
+
+TEST(WorkMeter, KindNamesAreSchemaStable) {
+  EXPECT_STREQ(work::kind_name(work::Kind::kUsersEvaluated),
+               "users_evaluated");
+  EXPECT_STREQ(work::kind_name(work::Kind::kJacobianCells),
+               "jacobian_cells");
+  EXPECT_STREQ(work::kind_name(work::Kind::kBestResponseCalls),
+               "best_response_calls");
+  EXPECT_STREQ(work::kind_name(work::Kind::kGsSweeps), "gs_sweeps");
+  EXPECT_STREQ(work::kind_name(work::Kind::kEventsProcessed),
+               "events_processed");
+  EXPECT_STREQ(work::kind_name(work::Kind::kUpdatesApplied),
+               "updates_applied");
+}
+
+}  // namespace

@@ -1,19 +1,27 @@
-// gw-benchstat — consume gw.bench.v2 telemetry: merge per-binary runs into
+// gw-benchstat — consume gw.bench telemetry: merge per-binary runs into
 // a suite document, and compare two runs benchstat-style.
 //
 //   gw-benchstat merge bench/out/*.json > BENCH_SUITE.json
 //   gw-benchstat compare baseline.json candidate.json [--threshold pct]
-//                [--json out.json]
+//                [--per-unit] [--json out.json]
 //
-// `merge` aggregates bench JSON files (schema gw.bench.v1 or v2) into one
-// gw.benchsuite.v1 document: per-bench wall-time samples, registry
+// `merge` aggregates bench JSON files (schema gw.bench.v1/v2/v3) into one
+// gw.benchsuite.v1 document: per-bench wall-time samples, v3 normalized
+// unit-cost samples (ns/user-evaluated and friends), registry
 // counters/gauges/histogram quantiles, and the run manifest of the first
 // input that carries one. `compare` accepts suite documents or single
 // bench files on either side, prints a per-metric delta table (old, new,
 // delta %, verdict), and exits 1 when any sample-backed metric regressed
 // significantly (Mann-Whitney U, p < 0.05) beyond --threshold percent —
-// the CI perf gate. Scalar metrics (counters, histogram quantiles) have no
-// per-rep samples, so they are reported as context and never gate.
+// the CI perf gate. By default only wall_ms gates; `--per-unit` promotes
+// the normalized unit costs (ns_per_user_evaluated, instructions_per_user,
+// cache_misses_per_jacobian_cell — all lower-better) to gate-eligible
+// samples, which catches data-layout regressions that a shrinking workload
+// would otherwise mask. Scalar metrics (counters, histogram quantiles,
+// IPC) have no gate; they are reported as context. `compare` also warns —
+// and flags in the JSON report — when the two manifests differ in threads,
+// build type, or counter availability: normalized metrics make
+// cross-config compares tempting and silently misleading.
 // `compare --json <path>` additionally writes the full row set as a
 // gw.benchcompare.v1 document for machine consumers (dashboards, bots).
 #include <algorithm>
@@ -49,13 +57,27 @@ struct BenchRun {
   std::string name;
   double failures = 0.0;
   std::vector<double> wall_ms;  ///< per-rep samples; empty for v1 inputs
+  /// Per-rep normalized unit costs from the v3 `derived` block
+  /// (ns_per_user_evaluated, instructions_per_user, ...); empty for
+  /// v1/v2 inputs.
+  std::map<std::string, std::vector<double>> units;
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSummary> histograms;
 };
 
+/// The manifest fields a compare must hold fixed for normalized metrics
+/// to mean anything; parsed from the first manifest a suite carries.
+struct ManifestFacts {
+  bool any = false;  ///< a manifest with these fields was seen
+  double threads = std::numeric_limits<double>::quiet_NaN();
+  std::string build_type;
+  int counters_available = -1;  ///< -1 unknown (pre-v3), else 0/1
+};
+
 struct Suite {
   std::string manifest_raw;  ///< pre-rendered JSON object, may be empty
+  ManifestFacts facts;
   std::map<std::string, BenchRun> benches;  ///< keyed by bench name
 };
 
@@ -72,9 +94,11 @@ void print_usage(std::FILE* out) {
                "  gw-benchstat compare <old.json> <new.json>\n"
                "               [--threshold <pct>] [--alpha <a>]   "
                "per-metric delta table; exit 1 on regression\n"
+               "               [--per-unit]                        "
+               "also gate normalized unit costs (ns/user-evaluated, ...)\n"
                "               [--json <path>]                     "
                "also write a gw.benchcompare.v1 document\n"
-               "inputs may be gw.bench.v1/v2 files or merged suites\n");
+               "inputs may be gw.bench.v1/v2/v3 files or merged suites\n");
 }
 
 std::string read_file(const std::string& path) {
@@ -138,18 +162,45 @@ HistogramSummary parse_histogram(const JsonValue& h) {
   return s;
 }
 
-/// Parses one gw.bench.v1/v2 document into a BenchRun (+ manifest JSON).
-BenchRun parse_bench(const JsonValue& doc, std::string* manifest_raw) {
+/// Records the compare-relevant manifest fields of the first manifest a
+/// suite sees (matching the manifest_raw carry-through convention).
+void absorb_manifest(Suite& suite, const JsonValue& manifest) {
+  if (!manifest.is_object()) return;
+  if (suite.manifest_raw.empty()) {
+    suite.manifest_raw = render_value(manifest);
+  }
+  if (suite.facts.any) return;
+  suite.facts.any = true;
+  suite.facts.threads = number_or(manifest, "threads",
+                                  std::numeric_limits<double>::quiet_NaN());
+  if (manifest.has("build_type") && manifest.at("build_type").is_string()) {
+    suite.facts.build_type = manifest.at("build_type").string;
+  }
+  if (manifest.has("counters_available") &&
+      manifest.at("counters_available").kind == JsonValue::Kind::kBool) {
+    suite.facts.counters_available =
+        manifest.at("counters_available").boolean ? 1 : 0;
+  }
+}
+
+/// Parses one gw.bench.v1/v2/v3 document into a BenchRun.
+BenchRun parse_bench(const JsonValue& doc, Suite& suite) {
   BenchRun run;
   run.name = basename_of(doc.at("binary").string);
   run.failures = number_or(doc, "failures", 0.0);
-  if (doc.has("manifest") && doc.at("manifest").is_object() &&
-      manifest_raw != nullptr && manifest_raw->empty()) {
-    *manifest_raw = render_value(doc.at("manifest"));
-  }
+  if (doc.has("manifest")) absorb_manifest(suite, doc.at("manifest"));
   if (doc.has("timing") && doc.at("timing").has("wall_ms")) {
     for (const auto& ms : doc.at("timing").at("wall_ms").array) {
       if (ms.is_number()) run.wall_ms.push_back(ms.number);
+    }
+  }
+  if (doc.has("derived") && doc.at("derived").is_object()) {
+    for (const auto& [name, samples] : doc.at("derived").object) {
+      if (!samples.is_array()) continue;
+      auto& unit = run.units[name];
+      for (const auto& sample : samples.array) {
+        if (sample.is_number()) unit.push_back(sample.number);
+      }
     }
   }
   if (doc.has("metrics")) {
@@ -182,6 +233,15 @@ BenchRun parse_suite_bench(const JsonValue& entry) {
       if (ms.is_number()) run.wall_ms.push_back(ms.number);
     }
   }
+  if (entry.has("units") && entry.at("units").is_object()) {
+    for (const auto& [name, samples] : entry.at("units").object) {
+      if (!samples.is_array()) continue;
+      auto& unit = run.units[name];
+      for (const auto& sample : samples.array) {
+        if (sample.is_number()) unit.push_back(sample.number);
+      }
+    }
+  }
   if (entry.has("counters")) {
     for (const auto& [name, value] : entry.at("counters").object) {
       if (value.is_number()) run.counters[name] = value.number;
@@ -210,6 +270,10 @@ void absorb(Suite& suite, BenchRun run) {
   existing.failures = std::max(existing.failures, fresh.failures);
   existing.wall_ms.insert(existing.wall_ms.end(), fresh.wall_ms.begin(),
                           fresh.wall_ms.end());
+  for (auto& [name, samples] : fresh.units) {
+    auto& pooled = existing.units[name];
+    pooled.insert(pooled.end(), samples.begin(), samples.end());
+  }
   for (const auto& [name, value] : fresh.counters) {
     existing.counters[name] = value;
   }
@@ -234,14 +298,13 @@ void load_into(Suite& suite, const std::string& path) {
   }
   const std::string& schema = doc.at("schema").string;
   if (schema == "gw.benchsuite.v1") {
-    if (suite.manifest_raw.empty() && doc.has("manifest")) {
-      suite.manifest_raw = render_value(doc.at("manifest"));
-    }
+    if (doc.has("manifest")) absorb_manifest(suite, doc.at("manifest"));
     for (const auto& entry : doc.at("benches").array) {
       absorb(suite, parse_suite_bench(entry));
     }
-  } else if (schema == "gw.bench.v1" || schema == "gw.bench.v2") {
-    absorb(suite, parse_bench(doc, &suite.manifest_raw));
+  } else if (schema == "gw.bench.v1" || schema == "gw.bench.v2" ||
+             schema == "gw.bench.v3") {
+    absorb(suite, parse_bench(doc, suite));
   } else {
     die(path + ": unsupported schema '" + schema + "'");
   }
@@ -281,6 +344,19 @@ std::string render_suite(const Suite& suite) {
     w.key("iqr"); w.value(s.iqr);
     w.key("outliers"); w.value(static_cast<std::uint64_t>(s.outliers));
     w.end_object();
+    if (!run.units.empty()) {
+      // v3 normalized unit costs; omitted (not emptied) for v1/v2 inputs
+      // so pre-roofline readers see an unchanged document.
+      w.key("units");
+      w.begin_object();
+      for (const auto& [unit, samples] : run.units) {
+        w.key(unit);
+        w.begin_array();
+        for (const double sample : samples) w.value(sample);
+        w.end_array();
+      }
+      w.end_object();
+    }
     w.key("counters");
     w.begin_object();
     for (const auto& [metric, value] : run.counters) {
@@ -336,11 +412,22 @@ struct MetricView {
   std::map<std::string, double> scalars;               ///< context only
 };
 
-MetricView flatten(const Suite& suite) {
+MetricView flatten(const Suite& suite, bool per_unit) {
   MetricView view;
   for (const auto& [bench, run] : suite.benches) {
     if (!run.wall_ms.empty()) {
       view.samples[bench + ".wall_ms"] = run.wall_ms;
+    }
+    for (const auto& [name, samples] : run.units) {
+      if (samples.empty()) continue;
+      // compare_samples is lower-is-better, which fits every unit cost
+      // except IPC (a throughput); IPC stays context in either mode.
+      if (per_unit && name != "ipc") {
+        view.samples[bench + "." + name] = samples;
+      } else {
+        view.scalars[bench + "." + name + ".median"] =
+            gw::obs::stats::median(samples);
+      }
     }
     for (const auto& [name, value] : run.counters) {
       view.scalars[bench + "." + name] = value;
@@ -383,9 +470,10 @@ struct CompareRow {
 
 std::string render_compare(const std::vector<CompareRow>& rows,
                            const std::vector<std::string>& regressions,
+                           const std::vector<std::string>& manifest_warnings,
                            const std::string& old_path,
                            const std::string& new_path, double threshold_pct,
-                           double alpha) {
+                           double alpha, bool per_unit) {
   JsonWriter w;
   w.begin_object();
   w.key("schema");
@@ -398,6 +486,12 @@ std::string render_compare(const std::vector<CompareRow>& rows,
   w.value(threshold_pct);
   w.key("alpha");
   w.value(alpha);
+  w.key("per_unit");
+  w.value(per_unit);
+  w.key("manifest_warnings");
+  w.begin_array();
+  for (const auto& warning : manifest_warnings) w.value(warning);
+  w.end_array();
   w.key("metrics");
   w.begin_array();
   for (const auto& row : rows) {
@@ -437,11 +531,46 @@ std::string render_compare(const std::vector<CompareRow>& rows,
   return w.take();
 }
 
+/// Differences between the two manifests that make normalized metrics
+/// silently misleading; each becomes a printed warning and a
+/// manifest_warnings entry in the JSON report.
+std::vector<std::string> manifest_mismatches(const ManifestFacts& old_facts,
+                                             const ManifestFacts& new_facts) {
+  std::vector<std::string> warnings;
+  if (!old_facts.any || !new_facts.any) return warnings;
+  const bool both_threads = std::isfinite(old_facts.threads) &&
+                            std::isfinite(new_facts.threads);
+  if (both_threads && old_facts.threads != new_facts.threads) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  "manifests differ: threads %g vs %g", old_facts.threads,
+                  new_facts.threads);
+    warnings.emplace_back(buffer);
+  }
+  if (!old_facts.build_type.empty() && !new_facts.build_type.empty() &&
+      old_facts.build_type != new_facts.build_type) {
+    warnings.push_back("manifests differ: build_type " +
+                       old_facts.build_type + " vs " + new_facts.build_type);
+  }
+  if (old_facts.counters_available >= 0 && new_facts.counters_available >= 0 &&
+      old_facts.counters_available != new_facts.counters_available) {
+    const auto describe = [](int available) {
+      return available == 1 ? "hardware" : "degraded";
+    };
+    warnings.push_back(
+        std::string("manifests differ: counter availability ") +
+        describe(old_facts.counters_available) + " vs " +
+        describe(new_facts.counters_available));
+  }
+  return warnings;
+}
+
 int cmd_compare(const std::vector<std::string>& args) {
   std::vector<std::string> files;
   std::string json_path;
   double threshold_pct = 2.0;
   double alpha = 0.05;
+  bool per_unit = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto value_of = [&](const std::string& flag) -> std::string {
@@ -460,6 +589,8 @@ int cmd_compare(const std::vector<std::string>& args) {
       json_path = value_of(arg);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--per-unit") {
+      per_unit = true;
     } else if (arg.rfind("--", 0) == 0) {
       die("unknown flag '" + arg + "'");
     } else {
@@ -475,8 +606,17 @@ int cmd_compare(const std::vector<std::string>& args) {
   Suite new_suite;
   load_into(old_suite, files[0]);
   load_into(new_suite, files[1]);
-  const MetricView old_view = flatten(old_suite);
-  const MetricView new_view = flatten(new_suite);
+  const MetricView old_view = flatten(old_suite, per_unit);
+  const MetricView new_view = flatten(new_suite, per_unit);
+
+  const std::vector<std::string> manifest_warnings =
+      manifest_mismatches(old_suite.facts, new_suite.facts);
+  for (const auto& warning : manifest_warnings) {
+    std::printf("WARNING: %s — normalized metrics are not comparable "
+                "across configurations\n",
+                warning.c_str());
+  }
+  if (!manifest_warnings.empty()) std::printf("\n");
 
   std::printf("%-44s %12s %12s %9s  %s\n", "metric", "old", "new", "delta",
               "verdict");
@@ -486,8 +626,9 @@ int cmd_compare(const std::vector<std::string>& args) {
   std::vector<CompareRow> rows;
   int improvements = 0;
 
-  // Sample-backed metrics: the statistical gate (lower is better —
-  // everything sample-backed is wall time today).
+  // Sample-backed metrics: the statistical gate. Everything sample-backed
+  // is lower-is-better (wall time, and with --per-unit the normalized
+  // unit costs; IPC is kept scalar for exactly this reason).
   for (const auto& [metric, old_samples] : old_view.samples) {
     const auto found = new_view.samples.find(metric);
     if (found == new_view.samples.end()) {
@@ -585,8 +726,9 @@ int cmd_compare(const std::vector<std::string>& args) {
   }
 
   if (!json_path.empty()) {
-    const std::string document = render_compare(
-        rows, regressions, files[0], files[1], threshold_pct, alpha);
+    const std::string document =
+        render_compare(rows, regressions, manifest_warnings, files[0],
+                       files[1], threshold_pct, alpha, per_unit);
     std::ofstream out(json_path);
     if (!out.good()) die("cannot write " + json_path);
     out << document << '\n';

@@ -10,6 +10,9 @@
 #   GW_BENCH_THREADS   --threads for the parallel sweep loops (default 1;
 #                      results are identical for any value, and the count
 #                      is stamped into each run manifest)
+#   GW_BENCH_COUNTERS  --counters mode for hardware perf counters
+#                      (default auto; off skips perf_event_open, require
+#                      fails the suite when counters cannot open)
 #
 # Normally invoked via `cmake --build build --target bench_suite`, which
 # sets the first three. Produces $GW_BENCH_OUT_DIR/BENCH_SUITE.json and
@@ -22,6 +25,7 @@ OUT_DIR="${GW_BENCH_OUT_DIR:-${BIN_DIR}/out}"
 REPEAT="${GW_BENCH_REPEAT:-3}"
 LABEL="${GW_BENCH_LABEL:-suite}"
 THREADS="${GW_BENCH_THREADS:-1}"
+COUNTERS="${GW_BENCH_COUNTERS:-auto}"
 
 if [[ ! -d "${BIN_DIR}" ]]; then
   echo "run_bench_suite: no bench binary dir at ${BIN_DIR}" >&2
@@ -37,6 +41,7 @@ rm -f "${OUT_DIR}"/bench_*.json "${OUT_DIR}/BENCH_SUITE.json"
 
 status=0
 ran=0
+warned_degraded=0
 for bench in "${BIN_DIR}"/bench_*; do
   [[ -f "${bench}" && -x "${bench}" ]] || continue
   name="$(basename "${bench}")"
@@ -59,7 +64,7 @@ for bench in "${BIN_DIR}"/bench_*; do
   fi
   echo "=== ${name} (repeat ${reps}) ==="
   if ! "${bench}" --json "${out}" --repeat "${reps}" --label "${LABEL}" \
-      --threads "${THREADS}" \
+      --threads "${THREADS}" --counters "${COUNTERS}" \
       "${extra[@]+"${extra[@]}"}" > "${OUT_DIR}/${name}.log" 2>&1; then
     echo "run_bench_suite: ${name} FAILED (see ${OUT_DIR}/${name}.log)" >&2
     status=1
@@ -68,6 +73,11 @@ for bench in "${BIN_DIR}"/bench_*; do
     echo "run_bench_suite: ${name} wrote no telemetry" >&2
     status=1
     continue
+  fi
+  if [[ "${warned_degraded}" -eq 0 && "${COUNTERS}" != "off" ]] \
+      && grep -q '"counters_available": *false' "${out}"; then
+    echo "run_bench_suite: hardware counters unavailable — suite runs degraded (wall-time + work meters only)" >&2
+    warned_degraded=1
   fi
   ran=$((ran + 1))
 done

@@ -5,16 +5,25 @@
 // * proportional allocation with N identical linear users has leading
 //   eigenvalue 1 - N (the paper's explicit instability example), so
 //   synchronous Newton diverges for N > 2.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/closed_forms.hpp"
 #include "core/fair_share.hpp"
 #include "core/flow.hpp"
+#include "core/gfunction.hpp"
 #include "core/nash.hpp"
 #include "core/proportional.hpp"
+#include "core/serial_general.hpp"
+#include "core/weighted_serial.hpp"
 #include "numerics/eigen.hpp"
+#include "obs/perfcount.hpp"
+
+namespace work = gw::obs::work;
 
 static int run() {
   using namespace gw;
@@ -158,6 +167,89 @@ static int run() {
   bench::verdict(flows_stable,
                  "gradient play converges for BOTH disciplines: the N > 2 "
                  "divergence is an artifact of synchronous Newton steps");
+
+  // Derivative fills at scale: the batched jacobian / second-partials
+  // passes that relax_equilibrium, newton_fdc and relaxation_matrix
+  // consume, at population sizes where the fill (not the assembly) is the
+  // whole cost. Rates are strictly sorted and interior so every entry is
+  // finite and the serial telescoping runs its full length.
+  std::printf("\nBatched derivative fills at scale (one fill per cell):\n\n");
+  bench::table_header(
+      {"discipline", "N", "jac ms", "hess ms", "relax ms", "finite"});
+  const auto serial_mm1 =
+      std::make_shared<core::GeneralSerialAllocation>(core::GFunction::mm1());
+  struct ScaleCase {
+    const char* label;
+    std::shared_ptr<const core::AllocationFunction> alloc;
+    std::size_t n;
+  };
+  std::vector<ScaleCase> scale_cases;
+  for (const std::size_t n : {128u, 512u}) {
+    scale_cases.push_back({"FairShare", fs, n});
+    scale_cases.push_back({"Serial[mm1]", serial_mm1, n});
+  }
+  {
+    const std::size_t wn = 256;
+    std::vector<double> weights(wn);
+    for (std::size_t i = 0; i < wn; ++i) {
+      weights[i] = 1.0 + 0.5 * static_cast<double>(i % 7);
+    }
+    scale_cases.push_back(
+        {"WeightedSerial",
+         std::make_shared<core::WeightedSerialAllocation>(
+             weights, core::GFunction::mm1()),
+         wn});
+  }
+  bool fills_finite = true;
+  bool relax_diag_zero = true;
+  for (const auto& sc : scale_cases) {
+    const std::size_t n = sc.n;
+    std::vector<double> rates(n);
+    const double denom = static_cast<double>(n) * static_cast<double>(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      rates[i] = 0.8 * 2.0 * static_cast<double>(i + 1) / denom;
+    }
+    core::EvalWorkspace ws;
+    numerics::Matrix jac, hess;
+    using clock = std::chrono::steady_clock;
+
+    const auto t0 = clock::now();
+    sc.alloc->jacobian_into(rates, jac, ws);
+    const auto t1 = clock::now();
+    sc.alloc->second_partials_into(rates, hess, ws);
+    const auto t2 = clock::now();
+    work::add(work::Kind::kUsersEvaluated, 2 * n);
+    work::add(work::Kind::kJacobianCells, 2 * n * n);
+
+    const auto scale_profile =
+        core::uniform_profile(make_linear(1.0, 0.3), n);
+    const auto t3 = clock::now();
+    const auto relax = core::relaxation_matrix(*sc.alloc, scale_profile,
+                                               rates);
+    const auto t4 = clock::now();
+
+    for (std::size_t i = 0; i < n && fills_finite; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!std::isfinite(jac(i, j)) || !std::isfinite(hess(i, j)) ||
+            !std::isfinite(relax(i, j))) {
+          fills_finite = false;
+          break;
+        }
+      }
+      if (relax(i, i) != 0.0) relax_diag_zero = false;
+    }
+    const auto ms = [](clock::time_point a, clock::time_point b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    bench::table_row({sc.label, std::to_string(n), bench::fmt(ms(t0, t1), 2),
+                      bench::fmt(ms(t1, t2), 2), bench::fmt(ms(t3, t4), 2),
+                      fills_finite ? "yes" : "NO"});
+  }
+  bench::verdict(fills_finite,
+                 "large-N jacobian/second-partials/relaxation fills are "
+                 "finite at interior rates");
+  bench::verdict(relax_diag_zero,
+                 "large-N relaxation matrices keep a zero diagonal");
   return bench::failures();
 }
 

@@ -40,8 +40,9 @@ double AllocationFunction::congestion_of_into(std::size_t i,
                                               EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
   ws.ensure(n);
-  congestion_into(rates, std::span<double>(ws.cbuf.data(), n), ws);
-  return ws.cbuf[i];
+  const std::span<double> cbuf = ws.cbuf(n);
+  congestion_into(rates, cbuf, ws);
+  return cbuf[i];
 }
 
 void AllocationFunction::jacobian_into(std::span<const double> rates,
@@ -50,11 +51,11 @@ void AllocationFunction::jacobian_into(std::span<const double> rates,
   const std::size_t n = rates.size();
   out.resize(n, n);
   // The legacy partial() signature wants a vector; stage the rates in the
-  // workspace's value buffer (rates must not alias ws per the contract).
-  ws.ensure(n);
-  ws.a.assign(rates.begin(), rates.end());
+  // workspace's staging vector (rates must not alias ws per the contract).
+  std::vector<double>& staged = ws.legacy_staging();
+  staged.assign(rates.begin(), rates.end());
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) out(i, j) = partial(i, j, ws.a);
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = partial(i, j, staged);
   }
 }
 
@@ -63,13 +64,27 @@ void AllocationFunction::second_partials_into(std::span<const double> rates,
                                               EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
   out.resize(n, n);
-  ws.ensure(n);
-  ws.a.assign(rates.begin(), rates.end());
+  std::vector<double>& staged = ws.legacy_staging();
+  staged.assign(rates.begin(), rates.end());
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      out(i, j) = second_partial(i, j, ws.a);
+      out(i, j) = second_partial(i, j, staged);
     }
   }
+}
+
+bool AllocationFunction::scan_prepare(std::size_t /*i*/,
+                                      std::span<const double> /*rates*/,
+                                      EvalWorkspace& /*ws*/) const {
+  return false;
+}
+
+double AllocationFunction::scan_congestion_of(std::size_t /*i*/, double /*x*/,
+                                              std::span<const double> /*rates*/,
+                                              EvalWorkspace& /*ws*/) const {
+  throw std::logic_error(
+      "AllocationFunction::scan_congestion_of: no scan fast path staged "
+      "(scan_prepare returned false)");
 }
 
 std::vector<double> AllocationFunction::congestion(
@@ -161,8 +176,8 @@ void SubsystemAllocation::congestion_into(std::span<const double> rates,
                                           EvalWorkspace& ws) const {
   const std::size_t base_n = frozen_rates_.size();
   ws.ensure(base_n);
-  const std::span<double> full(ws.a.data(), base_n);
-  const std::span<double> base_out(ws.b.data(), base_n);
+  const std::span<double> full = ws.a(base_n);
+  const std::span<double> base_out = ws.b(base_n);
   embed_into(rates, full);
   base_->congestion_into(full, base_out, ws.child());
   for (std::size_t k = 0; k < free_indices_.size(); ++k) {
@@ -175,7 +190,7 @@ double SubsystemAllocation::congestion_of_into(std::size_t i,
                                                EvalWorkspace& ws) const {
   const std::size_t base_n = frozen_rates_.size();
   ws.ensure(base_n);
-  const std::span<double> full(ws.a.data(), base_n);
+  const std::span<double> full = ws.a(base_n);
   embed_into(rates, full);
   return base_->congestion_of_into(free_indices_[i], full, ws.child());
 }

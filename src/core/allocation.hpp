@@ -69,6 +69,29 @@ class AllocationFunction {
                                     numerics::Matrix& out,
                                     EvalWorkspace& ws) const;
 
+  // ---- best-response scan fast path ------------------------------------
+
+  /// Stages per-trial-rate evaluation tables for a best-response scan of
+  /// user i: the solver probes C_i(x, r_{-i}) at many x with the opponent
+  /// rates fixed. Returns true when this discipline staged tables (the
+  /// scan_* workspace lanes plus ws.scan), after which scan_congestion_of
+  /// must return exactly what congestion_of_into would on the same probe —
+  /// bit-identical, saturation and Inf propagation included. Default:
+  /// returns false (no fast path; the solver stays on congestion_of_into).
+  /// The staged tables remain valid until the next call that prepares a
+  /// scan at the same workspace level; mutating opponent rates invalidates
+  /// them.
+  [[nodiscard]] virtual bool scan_prepare(std::size_t i,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const;
+
+  /// C_i with user i's rate replaced by `x`, evaluated from the tables
+  /// staged by a successful scan_prepare(i, ...). Only valid after such a
+  /// prepare; the default (no fast path) throws std::logic_error.
+  [[nodiscard]] virtual double scan_congestion_of(std::size_t i, double x,
+                                                  std::span<const double> rates,
+                                                  EvalWorkspace& ws) const;
+
   // ---- legacy vector API (thin wrappers, behavior unchanged) -----------
 
   /// Congestion vector C(r); entries may be +infinity.

@@ -8,6 +8,16 @@
 // the heap; the legacy vector-returning wrappers feed a thread-local
 // workspace so existing callers keep their exact API and behavior.
 //
+// Layout: a structure-of-arrays slab. All value lanes live in one
+// 64-byte-aligned double allocation and the index lanes in a separate
+// aligned std::size_t allocation; every lane starts on its own cache
+// line (stride padded(n)), so the vectorized kernels (core/simd.hpp) can
+// assume alignment on any lane pointer. Lanes are handed out as spans by
+// the named accessors below; the span length m may be anything up to
+// padded(n) of the last ensure(n) — the +1 slack that used to be an
+// implicit invariant of ensure() is now the explicit padded() contract
+// (suffix-sum users take e.g. b(n + 1); see serial::suffix_sums_into).
+//
 // Buffer discipline (see DESIGN.md "validate-once evaluation contract"):
 //   * order/rank/sorted/serial/a/b belong to the innermost *_into frame
 //     currently executing; implementations must not call the legacy
@@ -18,11 +28,27 @@
 //     buffers.
 //   * cbuf is reserved for the base-class default congestion_of_into and
 //     the legacy wrappers; congestion_into implementations never touch it.
+//   * the scan_* lanes and the `scan` header belong to the best-response
+//     scan fast path (AllocationFunction::scan_prepare /
+//     scan_congestion_of) and stay valid from a scan_prepare until the
+//     next call that prepares a new scan at the same workspace level.
+//
+// ensure(n) never shrinks; spans into the buffers stay valid across
+// ensure() calls with non-increasing n. A growing ensure() reallocates
+// the slab: prior spans (and their contents) are invalidated, which is
+// fine because every evaluation fills its lanes after its entry ensure().
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <new>
+#include <span>
 #include <vector>
+
+#include "core/simd.hpp"
 
 namespace gw::core {
 
@@ -34,20 +60,90 @@ class EvalWorkspace {
   EvalWorkspace(EvalWorkspace&&) = default;
   EvalWorkspace& operator=(EvalWorkspace&&) = default;
 
-  std::vector<std::size_t> order;  ///< ascending sort order
-  std::vector<std::size_t> rank;   ///< inverse of order
-  std::vector<double> sorted;      ///< rates in sorted order
-  std::vector<double> serial;      ///< serial cumulative loads
-  std::vector<double> a;           ///< general-purpose value buffer
-  std::vector<double> b;           ///< second general-purpose buffer
-  std::vector<double> cbuf;        ///< reserved: congestion_of_into default
+  /// Lane alignment of the arena (cache line).
+  static constexpr std::size_t kAlignment = simd::kAlignment;
 
-  /// Grows every buffer to at least n + 1 elements (the +1 absorbs the
-  /// suffix-sum style uses that index one past the end). Never shrinks, so
-  /// spans into the buffers stay valid across ensure() calls with
-  /// non-increasing n.
+  /// Elements actually backing each lane after ensure(n): at least n + 1
+  /// (the explicit slack for suffix-sum style uses that index one past
+  /// the end), rounded up to a whole aligned line. Accessors accept any
+  /// length up to padded(n).
+  [[nodiscard]] static constexpr std::size_t padded(std::size_t n) noexcept {
+    return simd::padded_stride(n);
+  }
+
+  /// Grows every lane to at least padded(n) elements. Never shrinks.
   void ensure(std::size_t n) {
     if (capacity_ <= n) grow(n);
+  }
+
+  // ---- index lanes (64-byte aligned, stride padded(n)) -----------------
+
+  /// Ascending sort order.
+  [[nodiscard]] std::span<std::size_t> order(std::size_t m) noexcept {
+    return index_lane(0, m);
+  }
+  /// Inverse of order.
+  [[nodiscard]] std::span<std::size_t> rank(std::size_t m) noexcept {
+    return index_lane(1, m);
+  }
+  /// Scan fast path: sorted opponent indices.
+  [[nodiscard]] std::span<std::size_t> scan_index(std::size_t m) noexcept {
+    return index_lane(2, m);
+  }
+
+  // ---- value lanes (64-byte aligned, stride padded(n)) -----------------
+
+  /// Rates in sorted order.
+  [[nodiscard]] std::span<double> sorted(std::size_t m) noexcept {
+    return value_lane(0, m);
+  }
+  /// Serial cumulative loads.
+  [[nodiscard]] std::span<double> serial(std::size_t m) noexcept {
+    return value_lane(1, m);
+  }
+  /// General-purpose value lane.
+  [[nodiscard]] std::span<double> a(std::size_t m) noexcept {
+    return value_lane(2, m);
+  }
+  /// Second general-purpose value lane.
+  [[nodiscard]] std::span<double> b(std::size_t m) noexcept {
+    return value_lane(3, m);
+  }
+  /// Reserved: the base-class default congestion_of_into.
+  [[nodiscard]] std::span<double> cbuf(std::size_t m) noexcept {
+    return value_lane(4, m);
+  }
+  /// Scan fast path: sorted opponent keys.
+  [[nodiscard]] std::span<double> scan_keys(std::size_t m) noexcept {
+    return value_lane(5, m);
+  }
+  /// Scan fast path: per-insertion-rank prefix table.
+  [[nodiscard]] std::span<double> scan_prefix(std::size_t m) noexcept {
+    return value_lane(6, m);
+  }
+  /// Scan fast path: per-insertion-rank running accumulation.
+  [[nodiscard]] std::span<double> scan_run(std::size_t m) noexcept {
+    return value_lane(7, m);
+  }
+  /// Scan fast path: per-insertion-rank trailing g value.
+  [[nodiscard]] std::span<double> scan_gprev(std::size_t m) noexcept {
+    return value_lane(8, m);
+  }
+
+  /// Header for the scan fast path: which (n, i) the scan_* lanes were
+  /// prepared for, and how many opponents were staged.
+  struct ScanState {
+    std::size_t n = 0;      ///< population size of the prepared scan
+    std::size_t i = 0;      ///< the probing user
+    std::size_t count = 0;  ///< staged opponents (n - 1)
+  };
+  ScanState scan;
+
+  /// Plain heap vector for the base-class default jacobian/second-partials
+  /// fills, whose legacy partial() callees want a std::vector. Not part of
+  /// the aligned arena; sized lazily by those defaults only.
+  [[nodiscard]] std::vector<double>& legacy_staging() noexcept {
+    return legacy_staging_;
   }
 
   /// Nested workspace for composite allocations (subsystem embedding,
@@ -59,19 +155,50 @@ class EvalWorkspace {
   }
 
  private:
-  void grow(std::size_t n) {
-    const std::size_t m = n + 1;
-    order.resize(m);
-    rank.resize(m);
-    sorted.resize(m);
-    serial.resize(m);
-    a.resize(m);
-    b.resize(m);
-    cbuf.resize(m);
-    capacity_ = m;
+  static constexpr std::size_t kValueLanes = 9;
+  static constexpr std::size_t kIndexLanes = 3;
+
+  struct FreeDeleter {
+    void operator()(void* p) const noexcept { std::free(p); }
+  };
+
+  [[nodiscard]] std::span<double> value_lane(std::size_t lane,
+                                             std::size_t m) noexcept {
+    assert(m <= stride_ && "EvalWorkspace: lane span exceeds padded(n)");
+    return {values_.get() + lane * stride_, m};
+  }
+  [[nodiscard]] std::span<std::size_t> index_lane(std::size_t lane,
+                                                  std::size_t m) noexcept {
+    assert(m <= stride_ && "EvalWorkspace: lane span exceeds padded(n)");
+    return {indices_.get() + lane * stride_, m};
   }
 
-  std::size_t capacity_ = 0;
+  void grow(std::size_t n) {
+    const std::size_t stride = padded(n);
+    // aligned_alloc wants a size that is a multiple of the alignment;
+    // stride is a whole number of 64-byte lines of 8-byte elements.
+    auto* values = static_cast<double*>(
+        std::aligned_alloc(kAlignment, kValueLanes * stride * sizeof(double)));
+    auto* indices = static_cast<std::size_t*>(std::aligned_alloc(
+        kAlignment, kIndexLanes * stride * sizeof(std::size_t)));
+    if (values == nullptr || indices == nullptr) {
+      std::free(values);
+      std::free(indices);
+      throw std::bad_alloc();
+    }
+    std::memset(values, 0, kValueLanes * stride * sizeof(double));
+    std::memset(indices, 0, kIndexLanes * stride * sizeof(std::size_t));
+    values_.reset(values);
+    indices_.reset(indices);
+    stride_ = stride;
+    capacity_ = n + 1;
+  }
+
+  std::unique_ptr<double[], FreeDeleter> values_;
+  std::unique_ptr<std::size_t[], FreeDeleter> indices_;
+  std::size_t stride_ = 0;    ///< elements per lane (= padded(ensured n))
+  std::size_t capacity_ = 0;  ///< ensure(n) regrows iff n >= capacity_
+  std::vector<double> legacy_staging_;
   std::unique_ptr<EvalWorkspace> child_;
 };
 

@@ -51,9 +51,9 @@ void FairShareAllocation::congestion_into(std::span<const double> rates,
                                           EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
 
   double running = 0.0;
@@ -75,9 +75,9 @@ double FairShareAllocation::congestion_of_into(std::size_t i,
                                                EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
 
   // Accumulate the running share only through user i's own rank: shares of
@@ -103,16 +103,15 @@ void FairShareAllocation::jacobian_into(std::span<const double> rates,
   const std::size_t n = rates.size();
   out.resize(n, n);
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
-  // One sort for the whole matrix; entries are filled rank-by-rank.
-  for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t jr = 0; jr < n; ++jr) {
-      out(order[k], order[jr]) = partial_from_serial(serial, n, k, jr);
-    }
-  }
+  // One sort for the whole matrix; the rolling-row fill reproduces
+  // partial_from_serial bit for bit in O(n^2) (see serial_common.hpp).
+  serial::serial_jacobian_fill(
+      order, serial, 1.0, [](double s) { return queueing::g_prime(s); },
+      ws.a(n), out);
 }
 
 void FairShareAllocation::second_partials_into(std::span<const double> rates,
@@ -121,15 +120,13 @@ void FairShareAllocation::second_partials_into(std::span<const double> rates,
   const std::size_t n = rates.size();
   out.resize(n, n);
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
-  for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t jr = 0; jr < n; ++jr) {
-      out(order[k], order[jr]) = second_partial_from_serial(serial, n, k, jr);
-    }
-  }
+  serial::serial_second_partials_fill(
+      order, serial, 1.0,
+      [](double s) { return queueing::g_double_prime(s); }, out);
 }
 
 double FairShareAllocation::partial(std::size_t i, std::size_t j,
@@ -138,10 +135,10 @@ double FairShareAllocation::partial(std::size_t i, std::size_t j,
   const std::size_t n = rates.size();
   EvalWorkspace& ws = scratch_workspace();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<std::size_t> rank(ws.rank.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<std::size_t> rank = ws.rank(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
   serial::rank_from_order(order, rank);
   return partial_from_serial(serial, n, rank[i], rank[j]);
@@ -153,13 +150,28 @@ double FairShareAllocation::second_partial(
   const std::size_t n = rates.size();
   EvalWorkspace& ws = scratch_workspace();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<std::size_t> rank(ws.rank.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<std::size_t> rank = ws.rank(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
   serial::rank_from_order(order, rank);
   return second_partial_from_serial(serial, n, rank[i], rank[j]);
+}
+
+bool FairShareAllocation::scan_prepare(std::size_t i,
+                                       std::span<const double> rates,
+                                       EvalWorkspace& ws) const {
+  serial::serial_scan_prepare(rates, i,
+                              [](double s) { return queueing::g(s); }, ws);
+  return true;
+}
+
+double FairShareAllocation::scan_congestion_of(std::size_t /*i*/, double x,
+                                               std::span<const double> /*rates*/,
+                                               EvalWorkspace& ws) const {
+  return serial::serial_scan_probe(
+      x, [](double s) { return queueing::g(s); }, ws.scan, ws);
 }
 
 FairShareDecomposition fair_share_decomposition(

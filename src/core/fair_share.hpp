@@ -40,6 +40,11 @@ class FairShareAllocation final : public AllocationFunction {
   [[nodiscard]] double second_partial(
       std::size_t i, std::size_t j,
       const std::vector<double>& rates) const override;
+  [[nodiscard]] bool scan_prepare(std::size_t i, std::span<const double> rates,
+                                  EvalWorkspace& ws) const override;
+  [[nodiscard]] double scan_congestion_of(std::size_t i, double x,
+                                          std::span<const double> rates,
+                                          EvalWorkspace& ws) const override;
 };
 
 /// The priority-queueing realization of Fair Share (paper Table 1).

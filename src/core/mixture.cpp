@@ -29,7 +29,7 @@ void MixtureAllocation::congestion_into(std::span<const double> rates,
   }
   const std::size_t n = rates.size();
   ws.ensure(n);
-  const std::span<double> fs(ws.a.data(), n);
+  const std::span<double> fs = ws.a(n);
   fair_share_.congestion_into(rates, fs, ws.child());
   proportional_.congestion_into(rates, out, ws.child());
   for (std::size_t i = 0; i < n; ++i) {

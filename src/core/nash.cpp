@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/simd.hpp"
 #include "numerics/optimize.hpp"
 #include "numerics/rng.hpp"
 #include "obs/flight.hpp"
@@ -104,11 +105,21 @@ BestResponse best_response(const AllocationFunction& alloc,
     std::span<double> rates;
     std::size_t i;
     EvalWorkspace& ws;
-  } ctx{alloc, utility, rates, i, ws};
+    bool fast;
+  } ctx{alloc, utility, rates, i, ws,
+        // Sort-based disciplines stage per-probe tables once (O(n log n))
+        // and answer each probe in O(log n), bit-identical to the generic
+        // congestion_of_into path. Opponent rates are fixed for the whole
+        // scan, which is exactly the tables' validity contract.
+        alloc.scan_prepare(i, rates, ws)};
   work::add(work::Kind::kBestResponseCalls, 1);
   auto payoff = [&ctx](double x) {
-    ctx.rates[ctx.i] = x;
     work::add(work::Kind::kUsersEvaluated, 1);
+    if (ctx.fast) {
+      return ctx.utility.value(
+          x, ctx.alloc.scan_congestion_of(ctx.i, x, ctx.rates, ctx.ws));
+    }
+    ctx.rates[ctx.i] = x;
     const double c = ctx.alloc.congestion_of_into(ctx.i, ctx.rates, ctx.ws);
     return ctx.utility.value(x, c);
   };
@@ -639,15 +650,19 @@ numerics::Matrix relaxation_matrix(const AllocationFunction& alloc,
   for (std::size_t i = 0; i < n; ++i) {
     const MarginalTerms t =
         marginal_terms(*profile[i], rates[i], scratch.congestion[i]);
+    // Full-row elementwise fill (same arithmetic per entry as the branchy
+    // original), then the diagonal overwrite; the off-diagonal expression
+    // never runs for i == j, so the fills stay bit-identical.
+    const double dm_dc = t.dm_dc;
+    double* const a_row = a.row_data(i);
+    const double* const jac_row = scratch.jac.row_data(i);
+    const double* const hess_row = scratch.hess.row_data(i);
+    const double* const diag = scratch.diag.data();
+    GW_SIMD_LOOP
     for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) {
-        a(i, j) = 0.0;
-      } else {
-        const double entry =
-            t.dm_dc * scratch.jac(i, j) + scratch.hess(i, j);
-        a(i, j) = -entry / scratch.diag[j];
-      }
+      a_row[j] = -(dm_dc * jac_row[j] + hess_row[j]) / diag[j];
     }
+    a_row[i] = 0.0;
   }
   return a;
 }

@@ -47,8 +47,8 @@ void SmallestRateFirstAllocation::congestion_into(std::span<const double> rates,
                                                   EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
   serial::sorted_order_into(rates, order);
   serial::gather_into(rates, order, sorted);
   double prefix = 0.0;
@@ -65,8 +65,8 @@ double SmallestRateFirstAllocation::congestion_of_into(
     std::size_t i, std::span<const double> rates, EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
   serial::sorted_order_into(rates, order);
   serial::gather_into(rates, order, sorted);
   double prefix = 0.0;
@@ -86,16 +86,25 @@ void SmallestRateFirstAllocation::jacobian_into(std::span<const double> rates,
   const std::size_t n = rates.size();
   out.resize(n, n);
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> prefix(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> prefix = ws.serial(n);
   serial::sorted_order_into(rates, order);
   serial::gather_into(rates, order, sorted);
   prefix_loads_into(sorted, prefix);
+  // Row-hoisted priority_partial: the off-diagonal value is constant per
+  // row, so each row needs two g' calls instead of two per entry.
   for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t jr = 0; jr < n; ++jr) {
-      out(order[k], order[jr]) = priority_partial(prefix, sorted, k, jr);
+    double* const out_row = out.row_data(order[k]);
+    if (prefix[k] >= 1.0) {
+      for (std::size_t jr = 0; jr <= k; ++jr) out_row[order[jr]] = kInf;
+    } else {
+      const double gp_k = queueing::g_prime(prefix[k]);
+      const double off = gp_k - queueing::g_prime(prefix[k] - sorted[k]);
+      for (std::size_t jr = 0; jr < k; ++jr) out_row[order[jr]] = off;
+      out_row[order[k]] = gp_k;
     }
+    for (std::size_t jr = k + 1; jr < n; ++jr) out_row[order[jr]] = 0.0;
   }
 }
 
@@ -105,16 +114,21 @@ void SmallestRateFirstAllocation::second_partials_into(
   const std::size_t n = rates.size();
   out.resize(n, n);
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> prefix(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> prefix = ws.serial(n);
   serial::sorted_order_into(rates, order);
   serial::gather_into(rates, order, sorted);
   prefix_loads_into(sorted, prefix);
   for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t jr = 0; jr < n; ++jr) {
-      out(order[k], order[jr]) = priority_second_partial(prefix, k, jr);
+    double* const out_row = out.row_data(order[k]);
+    if (prefix[k] >= 1.0) {
+      for (std::size_t jr = 0; jr <= k; ++jr) out_row[order[jr]] = kInf;
+    } else {
+      const double g2 = queueing::g_double_prime(prefix[k]);
+      for (std::size_t jr = 0; jr <= k; ++jr) out_row[order[jr]] = g2;
     }
+    for (std::size_t jr = k + 1; jr < n; ++jr) out_row[order[jr]] = 0.0;
   }
 }
 
@@ -124,10 +138,10 @@ double SmallestRateFirstAllocation::partial(
   const std::size_t n = rates.size();
   EvalWorkspace& ws = scratch_workspace();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<std::size_t> rank(ws.rank.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> prefix(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<std::size_t> rank = ws.rank(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> prefix = ws.serial(n);
   serial::sorted_order_into(rates, order);
   serial::rank_from_order(order, rank);
   serial::gather_into(rates, order, sorted);
@@ -141,15 +155,30 @@ double SmallestRateFirstAllocation::second_partial(
   const std::size_t n = rates.size();
   EvalWorkspace& ws = scratch_workspace();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<std::size_t> rank(ws.rank.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> prefix(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<std::size_t> rank = ws.rank(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> prefix = ws.serial(n);
   serial::sorted_order_into(rates, order);
   serial::rank_from_order(order, rank);
   serial::gather_into(rates, order, sorted);
   prefix_loads_into(sorted, prefix);
   return priority_second_partial(prefix, rank[i], rank[j]);
+}
+
+bool SmallestRateFirstAllocation::scan_prepare(std::size_t i,
+                                               std::span<const double> rates,
+                                               EvalWorkspace& ws) const {
+  serial::priority_scan_prepare(rates, i,
+                                [](double s) { return queueing::g(s); }, ws);
+  return true;
+}
+
+double SmallestRateFirstAllocation::scan_congestion_of(
+    std::size_t /*i*/, double x, std::span<const double> /*rates*/,
+    EvalWorkspace& ws) const {
+  return serial::priority_scan_probe(
+      x, [](double s) { return queueing::g(s); }, ws.scan, ws);
 }
 
 void FixedPriorityAllocation::congestion_into(std::span<const double> rates,

@@ -3,6 +3,8 @@
 #include <limits>
 #include <numeric>
 
+#include "core/simd.hpp"
+
 namespace gw::core {
 
 namespace {
@@ -26,7 +28,9 @@ void ProportionalAllocation::congestion_into(std::span<const double> rates,
     return;
   }
   const double inv = 1.0 / (1.0 - total);
-  for (std::size_t i = 0; i < rates.size(); ++i) out[i] = rates[i] * inv;
+  const std::size_t n = rates.size();
+  GW_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) out[i] = rates[i] * inv;
 }
 
 double ProportionalAllocation::congestion_of_into(std::size_t i,
@@ -48,20 +52,24 @@ void ProportionalAllocation::jacobian_into(std::span<const double> rates,
   const double total = total_of(rates);
   if (total >= 1.0) {
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) out(i, j) = kInf;
+      double* const out_row = out.row_data(i);
+      GW_SIMD_LOOP
+      for (std::size_t j = 0; j < n; ++j) out_row[j] = kInf;
     }
     return;
   }
   // Entry expressions mirror partial() exactly (division, not
   // reciprocal-multiply) so the batched path is bit-identical to the
-  // legacy entrywise path.
+  // legacy entrywise path; each row is a broadcast fill plus a diagonal
+  // overwrite.
   const double u = 1.0 - total;
   const double u2 = u * u;
   for (std::size_t i = 0; i < n; ++i) {
     const double own = rates[i] / u2;
-    for (std::size_t j = 0; j < n; ++j) {
-      out(i, j) = (i == j) ? 1.0 / u + own : own;
-    }
+    double* const out_row = out.row_data(i);
+    GW_SIMD_LOOP
+    for (std::size_t j = 0; j < n; ++j) out_row[j] = own;
+    out_row[i] = 1.0 / u + own;
   }
 }
 
@@ -73,7 +81,9 @@ void ProportionalAllocation::second_partials_into(std::span<const double> rates,
   const double total = total_of(rates);
   if (total >= 1.0) {
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) out(i, j) = kInf;
+      double* const out_row = out.row_data(i);
+      GW_SIMD_LOOP
+      for (std::size_t j = 0; j < n; ++j) out_row[j] = kInf;
     }
     return;
   }
@@ -83,9 +93,11 @@ void ProportionalAllocation::second_partials_into(std::span<const double> rates,
   const double u3 = u2 * u;
   for (std::size_t i = 0; i < n; ++i) {
     const double shared = 2.0 * rates[i] / u3;
-    for (std::size_t j = 0; j < n; ++j) {
-      out(i, j) = (i == j) ? 2.0 / u2 + shared : 1.0 / u2 + shared;
-    }
+    const double off = 1.0 / u2 + shared;
+    double* const out_row = out.row_data(i);
+    GW_SIMD_LOOP
+    for (std::size_t j = 0; j < n; ++j) out_row[j] = off;
+    out_row[i] = 2.0 / u2 + shared;
   }
 }
 

@@ -8,12 +8,27 @@
 //   S_k = (N - k) * x_(k) + sum_{m<k} x_(m)   (0-indexed ranks)
 // of the sorted keys. These helpers write into caller-provided spans so
 // the hot evaluation paths stay allocation-free (see EvalWorkspace).
+//
+// The whole-matrix fills at the bottom replace the per-entry telescoping
+// of dC_i/dr_j (O(n) g' calls per entry, O(n^3) per matrix) with a rolling
+// rank-space row recurrence (O(n^2) per matrix, n g' calls total). The
+// recurrence reproduces the per-entry sum term by term in the same
+// left-to-right order — including the literal `0.0 * g'(S_{m-1})` lower
+// terms and the `0.0 + term` accumulator seed — so its output is
+// bit-identical to the per-entry definition, Inf/NaN propagation included
+// (see DESIGN.md, "scalar/vector equivalence policy").
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <numeric>
 #include <span>
+
+#include "core/eval_workspace.hpp"
+#include "core/simd.hpp"
+#include "numerics/matrix.hpp"
 
 namespace gw::core::serial {
 
@@ -43,6 +58,8 @@ inline void gather_into(std::span<const double> values,
 
 /// Serial cumulative loads of already-sorted rates:
 ///   serial[k] = (N - k) * sorted[k] + sum_{m<k} sorted[m].
+/// The prefix accumulation is a loop-carried chain and stays scalar; the
+/// chain is the point (reassociating it would break bit-identity).
 inline void serial_loads_into(std::span<const double> sorted_rates,
                               std::span<double> serial) {
   const std::size_t n = sorted_rates.size();
@@ -50,6 +67,22 @@ inline void serial_loads_into(std::span<const double> sorted_rates,
   for (std::size_t k = 0; k < n; ++k) {
     serial[k] = static_cast<double>(n - k) * sorted_rates[k] + prefix;
     prefix += sorted_rates[k];
+  }
+}
+
+/// Suffix sums of `values` gathered through `order`:
+///   suffix[m] = sum_{q >= m} values[order[q]],  suffix[order.size()] = 0.
+/// suffix.size() must be order.size() + 1 — the one-past-the-end slot the
+/// EvalWorkspace::padded(n) contract guarantees (callers take a lane span
+/// of n + 1). Right-to-left accumulation, matching the weighted-serial
+/// staging order exactly.
+inline void suffix_sums_into(std::span<const double> values,
+                             std::span<const std::size_t> order,
+                             std::span<double> suffix) {
+  const std::size_t n = order.size();
+  suffix[n] = 0.0;
+  for (std::size_t m = n; m-- > 0;) {
+    suffix[m] = suffix[m + 1] + values[order[m]];
   }
 }
 
@@ -63,6 +96,223 @@ inline void sort_and_serial_loads(std::span<const double> rates,
   sorted_order_into(rates, order);
   gather_into(rates, order, sorted);
   serial_loads_into(sorted, serial);
+}
+
+/// Whole-matrix dC_i/dr_j fill for the unweighted serial rule under any g
+/// (Fair Share is g = M/M/1). `gp` is g', `saturation` the load at which
+/// entries become +Inf, `row` an n-element rank-space scratch lane.
+///
+/// Per-entry definition (rank k of i, rank jr of j <= k, not saturated):
+///   sum_{m=jr}^{k} [coeff(m) g'(S_m) - coeff(m-1) g'(S_{m-1})] / (n - m),
+///   coeff(m) = (n - jr) at m == jr, 1 above, 0 below.
+/// Row recurrence over k: interior entries (jr <= k-2) gain the common
+/// term (g'(S_k) - g'(S_{k-1}))/(n - k) — a broadcast add, the vector
+/// kernel — while the boundary jr = k-1 extends last row's diagonal and
+/// the new diagonal is seeded fresh. Saturated rows emit Inf but still
+/// advance the row state, preserving the per-entry Inf/NaN propagation
+/// into later unsaturated rows (FP serial loads may break monotonicity by
+/// an ulp on ties, so "saturated" is per-row, not a suffix).
+template <class GPrime>
+inline void serial_jacobian_fill(std::span<const std::size_t> order,
+                                 std::span<const double> serial,
+                                 double saturation, GPrime&& gp,
+                                 std::span<double> row,
+                                 numerics::Matrix& out) {
+  const std::size_t n = order.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double gpk1 = 0.0;  // g'(S_{k-1}), carried between rows
+  for (std::size_t k = 0; k < n; ++k) {
+    const double gpk = gp(serial[k]);
+    const double nk = static_cast<double>(n - k);
+    if (k == 0) {
+      row[0] = 0.0 + (nk * gpk - 0.0) / nk;
+    } else {
+      const double t_k = (1.0 * gpk - 1.0 * gpk1) / nk;
+      double* const r = row.data();
+      const std::size_t interior = k - 1;  // entries jr <= k-2 (k >= 1 here)
+      GW_SIMD_LOOP
+      for (std::size_t jr = 0; jr < interior; ++jr) r[jr] += t_k;
+      row[k - 1] +=
+          (1.0 * gpk - static_cast<double>(n - (k - 1)) * gpk1) / nk;
+      row[k] = 0.0 + (nk * gpk - 0.0 * gpk1) / nk;
+    }
+    double* const out_row = out.row_data(order[k]);
+    if (serial[k] >= saturation) {
+      for (std::size_t jr = 0; jr <= k; ++jr) out_row[order[jr]] = kInf;
+    } else {
+      for (std::size_t jr = 0; jr <= k; ++jr) out_row[order[jr]] = row[jr];
+    }
+    for (std::size_t jr = k + 1; jr < n; ++jr) out_row[order[jr]] = 0.0;
+    gpk1 = gpk;
+  }
+}
+
+/// Whole-matrix d^2 C_i/(dr_i dr_j) fill for the unweighted serial rule:
+/// per-entry value is (jr == k ? (n - k) : 1) * g''(S_k) below the
+/// diagonal in rank space, Inf on saturated rows, 0 above. One g'' call
+/// per row instead of one per entry.
+template <class GDoublePrime>
+inline void serial_second_partials_fill(std::span<const std::size_t> order,
+                                        std::span<const double> serial,
+                                        double saturation, GDoublePrime&& gdd,
+                                        numerics::Matrix& out) {
+  const std::size_t n = order.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    double* const out_row = out.row_data(order[k]);
+    if (serial[k] >= saturation) {
+      for (std::size_t jr = 0; jr <= k; ++jr) out_row[order[jr]] = kInf;
+    } else {
+      const double g2 = gdd(serial[k]);
+      const double off = 1.0 * g2;
+      for (std::size_t jr = 0; jr < k; ++jr) out_row[order[jr]] = off;
+      out_row[order[k]] = static_cast<double>(n - k) * g2;
+    }
+    for (std::size_t jr = k + 1; jr < n; ++jr) out_row[order[jr]] = 0.0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Best-response scan fast path (AllocationFunction::scan_prepare /
+// scan_congestion_of). A best-response scan probes C_i at many trial rates
+// x with the other rates fixed; for the sort-based disciplines everything
+// about the opponents is independent of x, so one prepare stages
+// per-insertion-position tables and each probe costs a binary search plus
+// one g evaluation instead of a full sort + O(n) accumulation. Every
+// table is accumulated in exactly the order the generic congestion_of_into
+// would, so probes are bit-identical to the generic path.
+// ---------------------------------------------------------------------------
+
+/// Sorts the opponents of user i by (rate, index) into the scan lanes and
+/// stamps ws.scan. Returns the opponent count n - 1.
+inline std::size_t scan_sort_opponents(std::span<const double> rates,
+                                       std::size_t i, EvalWorkspace& ws) {
+  const std::size_t n = rates.size();
+  ws.ensure(n);
+  const std::size_t count = n - 1;
+  const std::span<std::size_t> idx = ws.scan_index(count);
+  std::size_t m = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != i) idx[m++] = j;
+  }
+  std::sort(idx.begin(), idx.end(), [rates](std::size_t a, std::size_t b) {
+    if (rates[a] != rates[b]) return rates[a] < rates[b];
+    return a < b;
+  });
+  const std::span<double> keys = ws.scan_keys(count);
+  for (std::size_t q = 0; q < count; ++q) keys[q] = rates[idx[q]];
+  ws.scan.n = n;
+  ws.scan.i = i;
+  ws.scan.count = count;
+  return count;
+}
+
+/// Insertion position of trial rate x for user i among the staged
+/// opponents: the number of opponents j with (r_j, j) < (x, i)
+/// lexicographically — exactly the rank x would take under the family's
+/// (key, index) sort.
+inline std::size_t scan_insertion_pos(std::span<const double> keys,
+                                      std::span<const std::size_t> idx,
+                                      double x, std::size_t i) {
+  std::size_t lo = 0;
+  std::size_t hi = keys.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const bool before_x = keys[mid] < x || (keys[mid] == x && idx[mid] < i);
+    if (before_x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Prepare for the unweighted serial rule (Fair Share, general g): for
+/// every insertion position p, the running share, trailing g value and
+/// key prefix accumulated through ranks 0..p-1 — all independent of the
+/// trial rate, accumulated in congestion_of_into's exact order (including
+/// the no-g_prev-update-on-Inf saturation handling).
+template <class G>
+inline void serial_scan_prepare(std::span<const double> rates, std::size_t i,
+                                G&& g, EvalWorkspace& ws) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = rates.size();
+  const std::size_t count = scan_sort_opponents(rates, i, ws);
+  const std::span<const double> keys = ws.scan_keys(count);
+  const std::span<double> prefix = ws.scan_prefix(count + 1);
+  const std::span<double> run = ws.scan_run(count + 1);
+  const std::span<double> gprev = ws.scan_gprev(count + 1);
+  double pref = 0.0;
+  double running = 0.0;
+  double g_prev = 0.0;
+  prefix[0] = 0.0;
+  run[0] = 0.0;
+  gprev[0] = 0.0;
+  for (std::size_t m = 0; m < count; ++m) {
+    const double s = static_cast<double>(n - m) * keys[m] + pref;
+    const double g_here = g(s);
+    if (std::isinf(g_here)) {
+      running = kInf;
+    } else {
+      running += (g_here - g_prev) / static_cast<double>(n - m);
+      g_prev = g_here;
+    }
+    pref += keys[m];
+    prefix[m + 1] = pref;
+    run[m + 1] = running;
+    gprev[m + 1] = g_prev;
+  }
+}
+
+/// Probe for the unweighted serial rule: C_i at trial rate x, bit-identical
+/// to congestion_of_into on the rates-with-x-at-i vector.
+template <class G>
+inline double serial_scan_probe(double x, G&& g, const EvalWorkspace::ScanState& scan,
+                                EvalWorkspace& ws) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t pos = scan_insertion_pos(
+      ws.scan_keys(scan.count), ws.scan_index(scan.count), x, scan.i);
+  const double s =
+      static_cast<double>(scan.n - pos) * x + ws.scan_prefix(pos + 1)[pos];
+  const double g_here = g(s);
+  if (std::isinf(g_here)) return kInf;
+  return ws.scan_run(pos + 1)[pos] +
+         (g_here - ws.scan_gprev(pos + 1)[pos]) /
+             static_cast<double>(scan.n - pos);
+}
+
+/// Prepare for the smallest-rate-first priority rule: key prefixes and the
+/// trailing g(prefix) per insertion position (g_prev is updated
+/// unconditionally in the priority accumulation, so no run[] lane).
+template <class G>
+inline void priority_scan_prepare(std::span<const double> rates, std::size_t i,
+                                  G&& g, EvalWorkspace& ws) {
+  const std::size_t count = scan_sort_opponents(rates, i, ws);
+  const std::span<const double> keys = ws.scan_keys(count);
+  const std::span<double> prefix = ws.scan_prefix(count + 1);
+  const std::span<double> gprev = ws.scan_gprev(count + 1);
+  double pref = 0.0;
+  prefix[0] = 0.0;
+  gprev[0] = 0.0;
+  for (std::size_t m = 0; m < count; ++m) {
+    pref += keys[m];
+    prefix[m + 1] = pref;
+    gprev[m + 1] = g(pref);
+  }
+}
+
+/// Probe for the smallest-rate-first priority rule.
+template <class G>
+inline double priority_scan_probe(double x, G&& g,
+                                  const EvalWorkspace::ScanState& scan,
+                                  EvalWorkspace& ws) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t pos = scan_insertion_pos(
+      ws.scan_keys(scan.count), ws.scan_index(scan.count), x, scan.i);
+  const double g_here = g(ws.scan_prefix(pos + 1)[pos] + x);
+  if (std::isinf(g_here)) return kInf;
+  return g_here - ws.scan_gprev(pos + 1)[pos];
 }
 
 }  // namespace gw::core::serial

@@ -59,9 +59,9 @@ void GeneralSerialAllocation::congestion_into(std::span<const double> rates,
                                               EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
 
   double running = 0.0;
@@ -83,9 +83,9 @@ double GeneralSerialAllocation::congestion_of_into(std::size_t i,
                                                    EvalWorkspace& ws) const {
   const std::size_t n = rates.size();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
 
   double running = 0.0;
@@ -109,15 +109,15 @@ void GeneralSerialAllocation::jacobian_into(std::span<const double> rates,
   const std::size_t n = rates.size();
   out.resize(n, n);
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
-  for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t jr = 0; jr < n; ++jr) {
-      out(order[k], order[jr]) = serial_partial(g_, serial, n, k, jr);
-    }
-  }
+  // Rolling-row O(n^2) fill, bit-identical to serial_partial per entry
+  // (see serial_common.hpp); n g' calls total instead of O(n) per entry.
+  serial::serial_jacobian_fill(
+      order, serial, g_.saturation, [this](double s) { return g_.prime(s); },
+      ws.a(n), out);
 }
 
 void GeneralSerialAllocation::second_partials_into(std::span<const double> rates,
@@ -126,15 +126,13 @@ void GeneralSerialAllocation::second_partials_into(std::span<const double> rates
   const std::size_t n = rates.size();
   out.resize(n, n);
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
-  for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t jr = 0; jr < n; ++jr) {
-      out(order[k], order[jr]) = serial_second_partial(g_, serial, n, k, jr);
-    }
-  }
+  serial::serial_second_partials_fill(
+      order, serial, g_.saturation,
+      [this](double s) { return g_.double_prime(s); }, out);
 }
 
 double GeneralSerialAllocation::partial(std::size_t i, std::size_t j,
@@ -143,10 +141,10 @@ double GeneralSerialAllocation::partial(std::size_t i, std::size_t j,
   const std::size_t n = rates.size();
   EvalWorkspace& ws = scratch_workspace();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<std::size_t> rank(ws.rank.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<std::size_t> rank = ws.rank(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
   serial::rank_from_order(order, rank);
   return serial_partial(g_, serial, n, rank[i], rank[j]);
@@ -158,13 +156,28 @@ double GeneralSerialAllocation::second_partial(
   const std::size_t n = rates.size();
   EvalWorkspace& ws = scratch_workspace();
   ws.ensure(n);
-  const std::span<std::size_t> order(ws.order.data(), n);
-  const std::span<std::size_t> rank(ws.rank.data(), n);
-  const std::span<double> sorted(ws.sorted.data(), n);
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<std::size_t> order = ws.order(n);
+  const std::span<std::size_t> rank = ws.rank(n);
+  const std::span<double> sorted = ws.sorted(n);
+  const std::span<double> serial = ws.serial(n);
   serial::sort_and_serial_loads(rates, order, sorted, serial);
   serial::rank_from_order(order, rank);
   return serial_second_partial(g_, serial, n, rank[i], rank[j]);
+}
+
+bool GeneralSerialAllocation::scan_prepare(std::size_t i,
+                                           std::span<const double> rates,
+                                           EvalWorkspace& ws) const {
+  serial::serial_scan_prepare(rates, i,
+                              [this](double s) { return g_.value(s); }, ws);
+  return true;
+}
+
+double GeneralSerialAllocation::scan_congestion_of(
+    std::size_t /*i*/, double x, std::span<const double> /*rates*/,
+    EvalWorkspace& ws) const {
+  return serial::serial_scan_probe(
+      x, [this](double s) { return g_.value(s); }, ws.scan, ws);
 }
 
 double GeneralSerialAllocation::protective_bound(double rate,

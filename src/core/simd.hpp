@@ -1,0 +1,79 @@
+// Build-time SIMD abstraction for the evaluation core.
+//
+// The vectorized kernels in src/core are written as plain scalar loops
+// whose iterations are independent (elementwise fills, broadcast adds,
+// row scatters); this header provides the three things that let the
+// compiler turn them into vector code without changing their semantics:
+//
+//   * GW_SIMD_LOOP — `#pragma omp simd` when the build enables the vector
+//     path (`-DGW_SIMD=ON`, the default; adds `-fopenmp-simd`, which
+//     honors the pragma without any OpenMP runtime). Applied ONLY to
+//     loops with no loop-carried dependence and no reductions, so
+//     vectorization cannot reassociate floating-point operations: the
+//     scalar (`-DGW_SIMD=OFF`) and vector builds execute the same
+//     arithmetic per element and produce bit-identical results (see
+//     DESIGN.md, "scalar/vector equivalence policy").
+//   * aligned(p) — std::assume_aligned<kAlignment> on pointers into the
+//     EvalWorkspace arena, so vector loads/stores need no peeling. A
+//     no-op (plus a debug assert) on the scalar path.
+//   * padded_stride(n) — the shared lane stride of the workspace arena:
+//     n + 1 (the explicit slack for suffix-sum style uses that index one
+//     past the end, see EvalWorkspace::padded) rounded up to a whole
+//     64-byte line, so every lane of the structure-of-arrays slab starts
+//     on its own cache line.
+//
+// Intrinsics are deliberately absent: every kernel in src/core reaches
+// vector width through the pragma + alignment contract alone.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#ifndef GW_SIMD_ENABLED
+#define GW_SIMD_ENABLED 1
+#endif
+
+#if GW_SIMD_ENABLED
+#define GW_SIMD_LOOP _Pragma("omp simd")
+#else
+#define GW_SIMD_LOOP
+#endif
+
+namespace gw::core::simd {
+
+/// Whether this build selected the vector path (GW_SIMD=ON).
+inline constexpr bool kEnabled = GW_SIMD_ENABLED != 0;
+
+/// Arena alignment: one x86 cache line, enough for any AVX-512 load.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Doubles (and 64-bit indices) per aligned line.
+inline constexpr std::size_t kLaneQuantum = kAlignment / sizeof(double);
+
+/// Lane stride (in elements) backing a capacity-n workspace: at least
+/// n + 1, rounded up to a multiple of kLaneQuantum.
+[[nodiscard]] constexpr std::size_t padded_stride(std::size_t n) noexcept {
+  return (n + 1 + kLaneQuantum - 1) / kLaneQuantum * kLaneQuantum;
+}
+
+/// True when p sits on a kAlignment boundary.
+template <class T>
+[[nodiscard]] inline bool is_aligned(const T* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) % kAlignment == 0;
+}
+
+/// Asserts the arena alignment contract and, on the vector path, promises
+/// it to the compiler. Use on pointers obtained from EvalWorkspace lanes;
+/// caller-provided spans (rates, outputs) make no alignment promise.
+template <class T>
+[[nodiscard]] inline T* aligned(T* p) noexcept {
+  assert(is_aligned(p));
+#if GW_SIMD_ENABLED
+  return std::assume_aligned<kAlignment>(p);
+#else
+  return p;
+#endif
+}
+
+}  // namespace gw::core::simd

@@ -44,20 +44,19 @@ WeightedSerialAllocation::Staging WeightedSerialAllocation::stage(
   }
   ws.ensure(n);
   // Normalized demands x_i = r_i / w_i staged in ws.a; order by x (index
-  // tie-break), suffix weights in ws.b (n+1 entries), serial loads in
-  // ws.serial. ws.sorted stays free for callers.
-  const std::span<double> x(ws.a.data(), n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = rates[i] / weights_[i];
-  const std::span<std::size_t> order(ws.order.data(), n);
+  // tie-break), suffix weights in ws.b (n+1 entries, the padded() slack),
+  // serial loads in ws.serial. ws.sorted stays free for callers.
+  const std::span<double> x = ws.a(n);
+  double* const xp = x.data();
+  GW_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) xp[i] = rates[i] / weights_[i];
+  const std::span<std::size_t> order = ws.order(n);
   serial::sorted_order_into(x, order);
 
-  const std::span<double> suffix(ws.b.data(), n + 1);
-  suffix[n] = 0.0;
-  for (std::size_t m = n; m-- > 0;) {
-    suffix[m] = suffix[m + 1] + weights_[order[m]];
-  }
+  const std::span<double> suffix = ws.b(n + 1);
+  serial::suffix_sums_into(weights_, order, suffix);
 
-  const std::span<double> serial(ws.serial.data(), n);
+  const std::span<double> serial = ws.serial(n);
   double prefix_rate = 0.0;
   for (std::size_t m = 0; m < n; ++m) {
     const std::size_t user = order[m];
@@ -165,13 +164,40 @@ void WeightedSerialAllocation::jacobian_into(std::span<const double> rates,
   const std::size_t n = weights_.size();
   out.resize(n, n);
   const Staging s = stage(rates, ws);
+  // Rolling rank-space row, bit-identical to weighted_partial per entry
+  // (same telescoping terms in the same order; the column-dependent
+  // W_q/w_j factors only enter the diagonal/boundary terms, so interior
+  // entries share one broadcast add per row). ws.sorted is the free lane.
+  const std::span<double> row = ws.sorted(n);
+  double gpk1 = 0.0;  // g'(S_{k-1}), carried between rows
   for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t i = s.order[k];
-    for (std::size_t q = 0; q < n; ++q) {
-      const std::size_t j = s.order[q];
-      out(i, j) = weighted_partial(g_, s.serial, s.suffix_weight, weights_[i],
-                                   weights_[j], k, q);
+    const double gpk = g_.prime(s.serial[k]);
+    if (k == 0) {
+      const double wj = weights_[s.order[0]];
+      row[0] =
+          0.0 + ((s.suffix_weight[0] / wj) * gpk - 0.0) / s.suffix_weight[0];
+    } else {
+      const double t_k = (1.0 * gpk - 1.0 * gpk1) / s.suffix_weight[k];
+      double* const r = row.data();
+      const std::size_t interior = k - 1;  // entries q <= k-2 (k >= 1 here)
+      GW_SIMD_LOOP
+      for (std::size_t q = 0; q < interior; ++q) r[q] += t_k;
+      const double wj1 = weights_[s.order[k - 1]];
+      row[k - 1] += (1.0 * gpk - (s.suffix_weight[k - 1] / wj1) * gpk1) /
+                    s.suffix_weight[k];
+      const double wjk = weights_[s.order[k]];
+      row[k] = 0.0 + ((s.suffix_weight[k] / wjk) * gpk - 0.0 * gpk1) /
+                         s.suffix_weight[k];
     }
+    const double w_i = weights_[s.order[k]];
+    double* const out_row = out.row_data(s.order[k]);
+    if (s.serial[k] >= g_.saturation) {
+      for (std::size_t q = 0; q <= k; ++q) out_row[s.order[q]] = kInf;
+    } else {
+      for (std::size_t q = 0; q <= k; ++q) out_row[s.order[q]] = w_i * row[q];
+    }
+    for (std::size_t q = k + 1; q < n; ++q) out_row[s.order[q]] = 0.0;
+    gpk1 = gpk;
   }
 }
 
@@ -185,12 +211,20 @@ void WeightedSerialAllocation::second_partials_into(
   const std::size_t n = weights_.size();
   out.resize(n, n);
   const Staging s = stage(rates, ws);
+  // Row-hoisted weighted_second_partial: one g'' per row, broadcast off
+  // the diagonal.
   for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t i = s.order[k];
-    for (std::size_t q = 0; q < n; ++q) {
-      out(i, s.order[q]) = weighted_second_partial(
-          g_, s.serial, s.suffix_weight, weights_[i], s.order[q] == i, k, q);
+    double* const out_row = out.row_data(s.order[k]);
+    if (s.serial[k] >= g_.saturation) {
+      for (std::size_t q = 0; q <= k; ++q) out_row[s.order[q]] = kInf;
+    } else {
+      const double g2 = g_.double_prime(s.serial[k]);
+      const double off = 1.0 * g2;
+      for (std::size_t q = 0; q < k; ++q) out_row[s.order[q]] = off;
+      out_row[s.order[k]] =
+          (s.suffix_weight[k] / weights_[s.order[k]]) * g2;
     }
+    for (std::size_t q = k + 1; q < n; ++q) out_row[s.order[q]] = 0.0;
   }
 }
 
@@ -201,7 +235,7 @@ double WeightedSerialAllocation::partial(std::size_t i, std::size_t j,
   EvalWorkspace& ws = scratch_workspace();
   const Staging s = stage(rates, ws);
   const std::size_t n = weights_.size();
-  const std::span<std::size_t> rank(ws.rank.data(), n);
+  const std::span<std::size_t> rank = ws.rank(n);
   serial::rank_from_order(s.order, rank);
   return weighted_partial(g_, s.serial, s.suffix_weight, weights_.at(i),
                           weights_.at(j), rank[i], rank[j]);
@@ -214,7 +248,7 @@ double WeightedSerialAllocation::second_partial(
   EvalWorkspace& ws = scratch_workspace();
   const Staging s = stage(rates, ws);
   const std::size_t n = weights_.size();
-  const std::span<std::size_t> rank(ws.rank.data(), n);
+  const std::span<std::size_t> rank = ws.rank(n);
   serial::rank_from_order(s.order, rank);
   return weighted_second_partial(g_, s.serial, s.suffix_weight, weights_.at(i),
                                  i == j, rank[i], rank[j]);

@@ -105,8 +105,8 @@ void NetworkAllocation::congestion_into(std::span<const double> rates,
   for (std::size_t a = 0; a < switch_allocations_.size(); ++a) {
     const auto& crossing = users_at_switch_[a];
     if (crossing.empty()) continue;
-    const std::span<double> local(ws.a.data(), crossing.size());
-    const std::span<double> local_out(ws.b.data(), crossing.size());
+    const std::span<double> local = ws.a(crossing.size());
+    const std::span<double> local_out = ws.b(crossing.size());
     local_rates_into(a, rates, local);
     switch_allocations_[a]->congestion_into(local, local_out, ws.child());
     for (std::size_t k = 0; k < crossing.size(); ++k) {
@@ -126,7 +126,7 @@ double NetworkAllocation::congestion_of_into(std::size_t i,
   double acc = 0.0;
   for (const std::size_t a : routes_[i]) {
     const auto& crossing = users_at_switch_[a];
-    const std::span<double> local(ws.a.data(), crossing.size());
+    const std::span<double> local = ws.a(crossing.size());
     local_rates_into(a, rates, local);
     acc += switch_allocations_[a]->congestion_of_into(local_index_[a][i], local,
                                                       ws.child());

@@ -37,6 +37,16 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Contiguous row-major row r; the batched whole-matrix fills (discipline
+  /// jacobians, relaxation assembly) stream through rows directly instead
+  /// of re-deriving r * cols_ + c per entry.
+  [[nodiscard]] double* row_data(std::size_t r) noexcept {
+    return data_.data() + r * cols_;
+  }
+  [[nodiscard]] const double* row_data(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
   Matrix& operator*=(double scalar) noexcept;

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "core/priority_alloc.hpp"
 #include "core/proportional.hpp"
 #include "core/serial_general.hpp"
+#include "core/simd.hpp"
 #include "core/weighted_serial.hpp"
 #include "net/network.hpp"
 #include "numerics/rng.hpp"
@@ -261,13 +264,166 @@ TEST(EvalWorkspace, ReuseAcrossShrinkingAndGrowingSizes) {
 TEST(EvalWorkspace, EnsureGrowsAndChildIsStable) {
   EvalWorkspace ws;
   ws.ensure(8);
-  EXPECT_GE(ws.order.size(), 9u);  // +1 slack for suffix-style uses
-  EXPECT_GE(ws.b.size(), 9u);
-  double* const a_ptr = ws.a.data();
+  // padded(n) >= n + 1: the explicit slack contract replacing the old
+  // implicit +1 (suffix-sum callers take b(n + 1)).
+  EXPECT_GE(EvalWorkspace::padded(8), 9u);
+  EXPECT_EQ(ws.order(9).size(), 9u);
+  EXPECT_EQ(ws.b(9).size(), 9u);
+  double* const a_ptr = ws.a(8).data();
   ws.ensure(4);  // never shrinks
-  EXPECT_EQ(ws.a.data(), a_ptr);
+  EXPECT_EQ(ws.a(8).data(), a_ptr);
   EvalWorkspace* const child = &ws.child();
   EXPECT_EQ(&ws.child(), child);  // created once, then reused
+}
+
+TEST(EvalWorkspace, PaddedStrideContract) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{8}, std::size_t{63}, std::size_t{64},
+                              std::size_t{4096}}) {
+    const std::size_t p = EvalWorkspace::padded(n);
+    EXPECT_GE(p, n + 1) << "n=" << n;
+    EXPECT_EQ(p % simd::kLaneQuantum, 0u) << "n=" << n;
+  }
+  // Stride in bytes is a multiple of the alignment, so *every* lane start
+  // is aligned, not just the slab base.
+  EXPECT_EQ(EvalWorkspace::padded(1) * sizeof(double) %
+                EvalWorkspace::kAlignment,
+            0u);
+}
+
+TEST(EvalWorkspace, AllLanesAre64ByteAligned) {
+  EvalWorkspace ws;
+  const auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % EvalWorkspace::kAlignment ==
+           0;
+  };
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{32},
+                              std::size_t{4096}}) {
+    ws.ensure(n);
+    EXPECT_TRUE(aligned(ws.order(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.rank(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.scan_index(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.sorted(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.serial(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.a(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.b(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.cbuf(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.scan_keys(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.scan_prefix(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.scan_run(n).data())) << n;
+    EXPECT_TRUE(aligned(ws.scan_gprev(n).data())) << n;
+    EXPECT_TRUE(simd::is_aligned(ws.a(n).data())) << n;
+  }
+}
+
+#ifndef NDEBUG
+TEST(EvalWorkspaceDeathTest, LaneSpanBeyondPaddedAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EvalWorkspace ws;
+  ws.ensure(8);
+  // Asking for more elements than padded(capacity) violates the lane
+  // contract; the debug assert has to fire rather than silently bleeding
+  // into the next lane.
+  EXPECT_DEATH((void)ws.a(EvalWorkspace::padded(8) + 1),
+               "lane span exceeds padded");
+  EXPECT_DEATH((void)ws.order(EvalWorkspace::padded(8) + 1),
+               "lane span exceeds padded");
+}
+#endif
+
+// The vector (GW_SIMD=ON) and scalar (OFF) builds run this same binary; the
+// batched-vs-per-entry comparisons above are the bit-identity oracle in both
+// modes. This test pins the large-N regime where the vector kernels take
+// multi-lane trips: full batched fills at n = 4096 must still agree with the
+// per-entry closed forms on sampled entries.
+TEST(EvalWorkspace, LargeNBatchedMatchesPerEntrySampled) {
+  numerics::Rng rng(20260808);
+  const std::size_t n = 4096;
+  EvalWorkspace ws;
+  numerics::Matrix jac(1, 1), hess(1, 1);
+  const std::vector<const char*> large = {
+      "Proportional", "FairShare", "SmallestRateFirst", "WeightedSerial",
+      "GeneralSerial[mm1]"};
+  for (const auto& c : all_cases()) {
+    bool wanted = false;
+    for (const char* name : large) {
+      if (std::string(name) == c.label) wanted = true;
+    }
+    if (!wanted) continue;
+    const auto alloc = c.make(n);
+    const auto rates = random_rates(rng, n);
+    const auto legacy = alloc->congestion(rates);
+    std::vector<double> out(n, -1.0);
+    alloc->congestion_into(rates, out, ws);
+    for (std::size_t i = 0; i < n; i += 257) {
+      expect_identical(out[i], legacy[i], c.label, n, i);
+    }
+    alloc->jacobian_into(rates, jac, ws);
+    alloc->second_partials_into(rates, hess, ws);
+    for (int s = 0; s < 128; ++s) {
+      const std::size_t i = rng.uniform_index(n);
+      const std::size_t j = rng.uniform_index(n);
+      expect_identical(jac(i, j), alloc->partial(i, j, rates), c.label, n,
+                       i * n + j);
+      expect_identical(hess(i, j), alloc->second_partial(i, j, rates), c.label,
+                       n, i * n + j);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Best-response scan fast path: scan_congestion_of(i, x, ...) must be
+// bit-identical to the generic congestion_of_into on the rates-with-x-at-i
+// vector, for every staged discipline, across ties, zeros and saturation.
+// ---------------------------------------------------------------------------
+
+TEST(EvalWorkspace, ScanProbeMatchesGenericBitForBit) {
+  numerics::Rng rng(616);
+  EvalWorkspace scan_ws;   // holds the staged tables
+  EvalWorkspace probe_ws;  // scratch for the generic reference path
+  const std::vector<const char*> staged = {"FairShare", "SmallestRateFirst",
+                                           "GeneralSerial[mm1]",
+                                           "GeneralSerial[mg1]"};
+  for (const auto& c : all_cases()) {
+    bool wanted = false;
+    for (const char* name : staged) {
+      if (std::string(name) == c.label) wanted = true;
+    }
+    if (!wanted) continue;
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::size_t n = 1 + rng.uniform_index(24);
+      const auto alloc = c.make(n);
+      const auto rates = random_rates(rng, n);
+      const std::size_t i = rng.uniform_index(n);
+      ASSERT_TRUE(alloc->scan_prepare(i, rates, scan_ws)) << c.label;
+      std::vector<double> mutated = rates;
+      // Probe a spread of trial rates: zero, the current rate, an exact tie
+      // with another user, interior points, and a saturating rate.
+      std::vector<double> probes = {0.0, rates[i], rng.uniform(0.0, 0.5),
+                                    rng.uniform(0.0, 1.0),
+                                    rng.uniform(1.0, 2.5)};
+      if (n >= 2) probes.push_back(rates[(i + 1) % n]);
+      for (const double x : probes) {
+        mutated[i] = x;
+        const double expected = alloc->congestion_of_into(i, mutated, probe_ws);
+        const double got = alloc->scan_congestion_of(i, x, rates, scan_ws);
+        expect_identical(got, expected, c.label, n, i);
+      }
+    }
+  }
+}
+
+TEST(EvalWorkspace, ScanDefaultsSignalNoFastPath) {
+  // Disciplines without a staged path report false from scan_prepare, and
+  // calling the probe anyway is a contract violation, not a silent fallback.
+  const ProportionalAllocation prop;
+  EvalWorkspace ws;
+  const std::vector<double> rates{0.1, 0.2, 0.3};
+  EXPECT_FALSE(prop.scan_prepare(0, rates, ws));
+  EXPECT_THROW((void)prop.scan_congestion_of(0, 0.15, rates, ws),
+               std::logic_error);
+  const WeightedSerialAllocation weighted(standard_weights(3));
+  EXPECT_FALSE(weighted.scan_prepare(1, rates, ws));
 }
 
 }  // namespace

@@ -80,6 +80,80 @@ TEST(SerialCommon, SerialLoadsAreNondecreasing) {
   }
 }
 
+TEST(SerialCommon, SuffixSumsMatchDefinition) {
+  // suffix[m] = sum of values[order[q]] for q >= m, suffix[n] = 0, and the
+  // accumulation is right-to-left so each entry is exactly one add away
+  // from its neighbour (the order weighted serial loads depend on).
+  const std::vector<double> values{2.0, 1.0, 4.0};
+  const std::vector<std::size_t> order{1, 0, 2};
+  std::vector<double> suffix(4, -1.0);
+  suffix_sums_into(values, order, suffix);
+  EXPECT_EQ(suffix[3], 0.0);
+  EXPECT_EQ(suffix[2], 4.0);
+  EXPECT_EQ(suffix[1], 4.0 + 2.0);
+  EXPECT_EQ(suffix[0], (4.0 + 2.0) + 1.0);
+}
+
+TEST(SerialCommon, SuffixSumsRandomizedAgainstNaive) {
+  numerics::Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(32);
+    std::vector<double> values(n);
+    for (auto& v : values) v = rng.uniform(0.1, 2.0);
+    std::vector<std::size_t> order(n);
+    sorted_order_into(values, order);
+    std::vector<double> suffix(n + 1);
+    suffix_sums_into(values, order, suffix);
+    for (std::size_t m = 0; m <= n; ++m) {
+      // Reproduce the right-to-left accumulation exactly.
+      double acc = 0.0;
+      for (std::size_t q = n; q > m; --q) acc += values[order[q - 1]];
+      EXPECT_EQ(suffix[m], acc) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(SerialCommon, ScanInsertionPosCountsLexSmaller) {
+  // Opponents of user i = 2 staged as (key, index) pairs; the insertion
+  // position of x is the count of opponents with (key, j) < (x, 2).
+  const std::vector<double> keys{0.1, 0.2, 0.2, 0.4};
+  const std::vector<std::size_t> idx{3, 1, 5, 0};
+  EXPECT_EQ(scan_insertion_pos(keys, idx, 0.05, 2), 0u);
+  EXPECT_EQ(scan_insertion_pos(keys, idx, 0.1, 2), 0u);   // tie, idx 3 > 2
+  EXPECT_EQ(scan_insertion_pos(keys, idx, 0.15, 2), 1u);
+  EXPECT_EQ(scan_insertion_pos(keys, idx, 0.2, 2), 2u);   // ties: idx 1 < 2 < 5
+  EXPECT_EQ(scan_insertion_pos(keys, idx, 0.3, 2), 3u);
+  EXPECT_EQ(scan_insertion_pos(keys, idx, 0.5, 2), 4u);
+}
+
+TEST(SerialCommon, ScanSortOpponentsMatchesFullSort) {
+  // Dropping user i from the (rate, index) sort of all users must give the
+  // staged opponent order — same comparator, one element removed.
+  numerics::Rng rng(29);
+  EvalWorkspace ws;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(16);
+    std::vector<double> rates(n);
+    for (auto& r : rates) r = rng.uniform(0.0, 0.3);
+    if (rng.bernoulli(0.5)) rates[0] = rates[n - 1];  // tie across the drop
+    const std::size_t i = rng.uniform_index(n);
+    const std::size_t count = scan_sort_opponents(rates, i, ws);
+    ASSERT_EQ(count, n - 1);
+    std::vector<std::size_t> full(n);
+    sorted_order_into(rates, full);
+    std::size_t m = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (full[k] == i) continue;
+      EXPECT_EQ(ws.scan_index(count)[m], full[k]) << "n=" << n << " m=" << m;
+      EXPECT_EQ(ws.scan_keys(count)[m], rates[full[k]]);
+      ++m;
+    }
+    EXPECT_EQ(ws.scan.n, n);
+    EXPECT_EQ(ws.scan.i, i);
+    EXPECT_EQ(ws.scan.count, count);
+  }
+}
+
 TEST(SerialCommon, CombinedHelperMatchesPieces) {
   numerics::Rng rng(17);
   const std::size_t n = 9;

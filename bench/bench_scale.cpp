@@ -1,0 +1,346 @@
+// E-SCALE: million-user equilibria via (rate, count) user-class aggregation.
+//
+// Claim under test: the classed solver (core::solve_nash_classed over
+// ClassedPopulation) computes Nash equilibria whose cost scales with the
+// number of *classes* k, not the number of represented users N — a
+// million-user solve at k <= 64 classes finishes in under a second for
+// Fair Share, FIFO/proportional, and the general serial M/G/1 discipline —
+// while agreeing with the expanded per-user game: at every N <= the
+// differential cap the expanded KKT system, evaluated with the expanded
+// closed forms only, places the classed equilibrium within 1e-9 of the
+// expanded equilibrium (first-order Newton gap), and an independent cold
+// expanded solve cross-checks Fair Share at N = 1e3. Equilibrium quality is
+// anchored to the analytic N -> infinity limits: under uniform linear
+// utilities U = r - gamma*c the serial family satisfies g'(T) = 1/gamma
+// *exactly* at every N (all serial loads coincide at the symmetric point),
+// while FIFO's aggregate T_N increases toward T_inf = 1 - gamma with
+// strictly decreasing error ~ 1/N.
+//
+// Bench-specific knobs ride the --scale passthrough prefix:
+//   --scale_nmax=N     largest population on the ladder (default 1000000;
+//                      ladder = {1e3, 1e4, 1e5, 1e6} clipped to nmax)
+//   --scale_k=K        rate classes per population (default 32, cap 64)
+//   --scale_diffmax=N  largest N for the expanded differential (default
+//                      10000; expanded passes are O(N log N)+N partials)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/fair_share.hpp"
+#include "core/gfunction.hpp"
+#include "core/nash.hpp"
+#include "core/population.hpp"
+#include "core/proportional.hpp"
+#include "core/serial_general.hpp"
+#include "obs/perfcount.hpp"
+
+namespace {
+
+using gw::core::AllocationFunction;
+using gw::core::ClassedPopulation;
+using gw::core::GFunction;
+using gw::core::make_linear;
+using gw::core::NashOptions;
+using gw::core::RateClass;
+using gw::core::UtilityProfile;
+namespace work = gw::obs::work;
+
+constexpr double kGamma = 0.25;  ///< delay aversion of the uniform profile
+
+struct ScaleParams {
+  std::size_t nmax = 1'000'000;
+  std::size_t k = 32;
+  std::size_t diffmax = 10'000;
+};
+
+ScaleParams parse_params() {
+  ScaleParams params;
+  auto value_of = [](const std::string& arg) -> long {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) return -1;
+    return std::strtol(arg.c_str() + eq + 1, nullptr, 10);
+  };
+  for (const auto& arg : gw::bench::passthrough_args()) {
+    const long v = value_of(arg);
+    if (v <= 0) continue;
+    if (arg.rfind("--scale_nmax", 0) == 0) {
+      params.nmax = static_cast<std::size_t>(v);
+    } else if (arg.rfind("--scale_k", 0) == 0) {
+      params.k = static_cast<std::size_t>(v);
+    } else if (arg.rfind("--scale_diffmax", 0) == 0) {
+      params.diffmax = static_cast<std::size_t>(v);
+    }
+  }
+  params.k = std::min<std::size_t>(params.k, 64);
+  params.nmax = std::max<std::size_t>(params.nmax, 1000);
+  return params;
+}
+
+/// N users split into k classes of near-equal (but deliberately unequal)
+/// counts, all at the canonical interior start 0.5 / N.
+ClassedPopulation make_population(std::size_t n, std::size_t k) {
+  k = std::min(k, n);
+  std::vector<RateClass> classes;
+  classes.reserve(k);
+  const std::size_t base = n / k;
+  const std::size_t rem = n % k;
+  const double start = 0.5 / static_cast<double>(n);
+  for (std::size_t a = 0; a < k; ++a) {
+    classes.push_back(RateClass{start, 1.0, base + (a < rem ? 1 : 0)});
+  }
+  return ClassedPopulation::from_classes(std::move(classes));
+}
+
+/// Aggregate load at which g'(T) = 1/gamma: the symmetric serial-family
+/// equilibrium total at every N (all serial loads coincide at a symmetric
+/// point, so every user's own-partial is g'(T)).
+double serial_limit(const GFunction& g) {
+  double lo = 0.0;
+  double hi = std::min(g.saturation, 1.0) - 1e-12;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (g.prime(mid) < 1.0 / kGamma ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+struct DisciplineSpec {
+  std::string label;
+  std::shared_ptr<const AllocationFunction> alloc;
+  double t_limit = 0.0;  ///< analytic N -> infinity aggregate load
+  bool exact = false;    ///< limit attained exactly at every finite N
+};
+
+struct CellResult {
+  bool converged = false;
+  double wall_seconds = 0.0;
+  double ns_per_user = 0.0;
+  int iterations = 0;
+  std::uint64_t br_calls = 0;
+  double total_load = 0.0;
+  double limit_error = 0.0;
+  double expanded_gap = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> expanded_rates;  ///< kept only when the differential ran
+};
+
+/// The classed solver options for the ladder. Phase 1's scan+Brent argmax
+/// is only ~1e-8 accurate (and at N = 1e6 the equilibrium per-user rate
+/// ~5e-7 sits far below the default r_min = 1e-6 floor), so the bench
+/// lowers the floor and leans on the phase-2 residual polish for the last
+/// decades of precision.
+NashOptions scale_options() {
+  NashOptions options;
+  options.max_iterations = 60;
+  options.tolerance = 1e-9;
+  options.best_response.r_min = 1e-9;
+  return options;
+}
+
+CellResult run_cell(const DisciplineSpec& disc, std::size_t n, std::size_t k,
+                    std::size_t diffmax) {
+  CellResult cell;
+  ClassedPopulation pop = make_population(n, k);
+  const UtilityProfile class_profile =
+      gw::core::uniform_profile(make_linear(1.0, kGamma), pop.k());
+
+  const work::Totals before = work::collect();
+  const auto start = std::chrono::steady_clock::now();
+  const auto solved = gw::core::solve_nash_classed(*disc.alloc, class_profile,
+                                                   std::move(pop),
+                                                   scale_options());
+  cell.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  const work::Totals after = work::collect();
+  cell.br_calls = after[work::Kind::kBestResponseCalls] -
+                  before[work::Kind::kBestResponseCalls];
+  cell.converged = solved.converged && !solved.used_expansion;
+  cell.iterations = solved.iterations + solved.polish_iterations;
+  cell.ns_per_user = cell.wall_seconds * 1e9 / static_cast<double>(n);
+  for (const RateClass& c : solved.population.classes()) {
+    cell.total_load += static_cast<double>(c.count) * c.rate;
+  }
+  cell.limit_error = std::abs(cell.total_load - disc.t_limit);
+
+  // Expanded differential: evaluate the expanded KKT system (expanded
+  // closed forms only — no classed code on this path) at the classed
+  // equilibrium and convert the worst residual into a first-order rate gap
+  // |E_i| / |dE_i/dr_i|, the Newton distance to the expanded equilibrium.
+  if (n <= diffmax) {
+    cell.expanded_rates = solved.population.expand();
+    const UtilityProfile expanded_profile =
+        gw::core::uniform_profile(make_linear(1.0, kGamma), n);
+    const std::vector<double> residuals = gw::core::fdc_residuals(
+        *disc.alloc, expanded_profile, cell.expanded_rates);
+    const auto terms = gw::core::fdc_terms(
+        *disc.alloc, *expanded_profile.back(), cell.expanded_rates, n - 1);
+    const double slope =
+        std::isfinite(terms.slope) && terms.slope != 0.0
+            ? std::abs(terms.slope)
+            : 1.0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < residuals.size(); ++i) {
+      const double e = residuals[i];
+      const double r = cell.expanded_rates[i];
+      double projected = std::isnan(e) ? std::numeric_limits<double>::infinity()
+                                       : std::abs(e);
+      if (!std::isnan(e) && r <= 2e-9) projected = std::max(0.0, -e);
+      worst = std::max(worst, projected);
+    }
+    cell.expanded_gap = worst / slope;
+  }
+  return cell;
+}
+
+int run() {
+  const ScaleParams params = parse_params();
+  work::set_armed(true);
+
+  gw::bench::banner(
+      "E-SCALE", "classed populations / symmetric Nash",
+      "Classed (rate, count) aggregation solves million-user Nash equilibria "
+      "in O(k) state and sub-second wall time, matching the expanded "
+      "per-user game to first-order rate gap <= 1e-9 at every N <= " +
+          std::to_string(params.diffmax) +
+          " and tracking the analytic N->inf equilibrium limits (exactly for "
+          "the serial family, with strictly decreasing error for FIFO).");
+
+  const std::vector<DisciplineSpec> disciplines = {
+      {"fs", std::make_shared<gw::core::FairShareAllocation>(),
+       serial_limit(GFunction::mm1()), true},
+      {"fifo", std::make_shared<gw::core::ProportionalAllocation>(),
+       1.0 - kGamma, false},
+      {"serial-mg1", std::make_shared<gw::core::GeneralSerialAllocation>(
+                         GFunction::mg1(2.0)),
+       serial_limit(GFunction::mg1(2.0)), true},
+  };
+
+  std::vector<std::size_t> ladder;
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{10'000},
+                              std::size_t{100'000}, std::size_t{1'000'000}}) {
+    if (n <= params.nmax) ladder.push_back(n);
+  }
+
+  gw::bench::table_header({"discipline", "N", "k", "ms/solve", "ns/user",
+                           "iters", "br", "T", "|T-Tinf|", "gap"});
+
+  bool all_converged = true;
+  bool diff_ok = true;
+  bool serial_exact = true;
+  bool fifo_decreasing = true;
+  bool wall_ok = true;
+  double worst_gap = 0.0;
+  double worst_serial_error = 0.0;
+  double top_wall = 0.0;
+  std::vector<double> fs_1k_rates;  ///< classed expansion for the cross-check
+
+  for (const auto& disc : disciplines) {
+    double prev_fifo_error = std::numeric_limits<double>::infinity();
+    for (const std::size_t n : ladder) {
+      const CellResult cell = run_cell(disc, n, params.k, params.diffmax);
+      gw::bench::table_row(
+          {disc.label, std::to_string(n), std::to_string(params.k),
+           gw::bench::fmt(cell.wall_seconds * 1e3, 2),
+           gw::bench::fmt(cell.ns_per_user, 1),
+           std::to_string(cell.iterations), std::to_string(cell.br_calls),
+           gw::bench::fmt(cell.total_load, 6),
+           gw::bench::fmt(cell.limit_error, 8),
+           std::isnan(cell.expanded_gap) ? "-"
+                                         : gw::bench::fmt(cell.expanded_gap,
+                                                          10)});
+
+      all_converged = all_converged && cell.converged;
+      if (!std::isnan(cell.expanded_gap)) {
+        worst_gap = std::max(worst_gap, cell.expanded_gap);
+        diff_ok = diff_ok && cell.expanded_gap <= 1e-9;
+      }
+      if (disc.exact) {
+        worst_serial_error = std::max(worst_serial_error, cell.limit_error);
+        serial_exact = serial_exact && cell.limit_error <= 1e-6;
+      } else {
+        fifo_decreasing =
+            fifo_decreasing && cell.limit_error < prev_fifo_error;
+        prev_fifo_error = cell.limit_error;
+      }
+      if (n == ladder.back()) {
+        top_wall = std::max(top_wall, cell.wall_seconds);
+        wall_ok = wall_ok && cell.wall_seconds < 1.0;
+      }
+      if (disc.label == "fs" && n == 1000) {
+        fs_1k_rates = cell.expanded_rates;
+      }
+    }
+  }
+
+  // Independent cross-check: a cold *expanded* Fair Share solve at N = 1e3
+  // (scan+Brent dynamics to 1e-6 movement, then the dense full-Jacobian
+  // Newton down to 1e-9 projected residual — the per-user relaxation sweep
+  // contracts nilpotently but needs ~N sweeps under Fair Share, while the
+  // joint step converges in a handful) must land on the same equilibrium
+  // as the classed solve's expansion.
+  double cold_diff = std::numeric_limits<double>::infinity();
+  bool cold_converged = false;
+  if (!fs_1k_rates.empty()) {
+    const std::size_t n = fs_1k_rates.size();
+    const UtilityProfile profile =
+        gw::core::uniform_profile(make_linear(1.0, kGamma), n);
+    NashOptions cold_options = scale_options();
+    cold_options.tolerance = 1e-6;
+    cold_options.max_iterations = 2000;
+    auto cold = gw::core::solve_nash(
+        *disciplines.front().alloc, profile,
+        std::vector<double>(n, 0.5 / static_cast<double>(n)), cold_options);
+    const auto polish = gw::core::newton_fdc(
+        *disciplines.front().alloc, profile, cold.rates,
+        gw::core::NewtonFdcOptions{.max_iterations = 24, .tolerance = 1e-9});
+    cold_converged = cold.converged && polish.converged;
+    cold_diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cold_diff = std::max(cold_diff,
+                           std::abs(cold.rates[i] - fs_1k_rates[i]));
+    }
+  }
+
+  gw::bench::verdict(all_converged,
+                     "every classed solve converged on its classed closed "
+                     "forms (no expansion fallback on the ladder)");
+  gw::bench::verdict(
+      diff_ok,
+      "classed equilibria match the expanded KKT system to first-order rate "
+      "gap <= 1e-9 at every N <= " +
+          std::to_string(params.diffmax) + " (worst gap " +
+          gw::bench::fmt(worst_gap, 10) + ")");
+  gw::bench::verdict(
+      cold_converged && cold_diff <= 1e-9,
+      "independent cold expanded Fair Share solve at N=1e3 agrees with the "
+      "classed equilibrium (max|d| " +
+          gw::bench::fmt(cold_diff, 10) + " <= 1e-9)");
+  gw::bench::verdict(
+      serial_exact,
+      "serial family attains the analytic limit g'(T) = 1/gamma exactly at "
+      "every finite N (worst |T - Tinf| " +
+          gw::bench::fmt(worst_serial_error, 8) + " <= 1e-6)");
+  gw::bench::verdict(
+      fifo_decreasing || ladder.size() < 2,
+      "FIFO equilibrium error vs the T = 1 - gamma asymptote decreases "
+      "strictly along the N ladder");
+  gw::bench::verdict(
+      wall_ok,
+      "every discipline solves the N=" + std::to_string(ladder.back()) +
+          " population in under 1 s (slowest " +
+          gw::bench::fmt(top_wall * 1e3, 1) + " ms)");
+  return gw::bench::failures();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return gw::bench::run_repeated(argc, argv, run, "--scale");
+}

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "core/simd.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/flight.hpp"
 #include "obs/json.hpp"
@@ -438,6 +439,7 @@ int finish() {
   manifest.counters_mode = g_options.counters;
   manifest.counters_available = counters_hardware();
   manifest.counters_status = counters_status();
+  manifest.simd = gw::core::simd::kEnabled ? "ON" : "OFF";
   obs::write_manifest(w, manifest);
   w.key("timing");
   write_timing(w);

@@ -87,6 +87,33 @@ double AllocationFunction::scan_congestion_of(std::size_t /*i*/, double /*x*/,
       "(scan_prepare returned false)");
 }
 
+bool AllocationFunction::congestion_classes_into(
+    const ClassedPopulation& /*pop*/, std::span<double> /*out*/,
+    EvalWorkspace& /*ws*/) const {
+  return false;
+}
+
+bool AllocationFunction::jacobian_classes_into(const ClassedPopulation& /*pop*/,
+                                               numerics::Matrix& /*cross*/,
+                                               std::span<double> /*own*/,
+                                               EvalWorkspace& /*ws*/) const {
+  return false;
+}
+
+bool AllocationFunction::scan_prepare_classes(std::size_t /*a*/,
+                                              const ClassedPopulation& /*pop*/,
+                                              EvalWorkspace& /*ws*/) const {
+  return false;
+}
+
+double AllocationFunction::scan_congestion_of_class(
+    std::size_t /*a*/, double /*x*/, const ClassedPopulation& /*pop*/,
+    EvalWorkspace& /*ws*/) const {
+  throw std::logic_error(
+      "AllocationFunction::scan_congestion_of_class: no classed scan fast "
+      "path staged (scan_prepare_classes returned false)");
+}
+
 std::vector<double> AllocationFunction::congestion(
     const std::vector<double>& rates) const {
   validate_rates(rates);

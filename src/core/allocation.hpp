@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/eval_workspace.hpp"
+#include "core/population.hpp"
 #include "numerics/matrix.hpp"
 
 namespace gw::core {
@@ -91,6 +92,51 @@ class AllocationFunction {
   [[nodiscard]] virtual double scan_congestion_of(std::size_t i, double x,
                                                   std::span<const double> rates,
                                                   EvalWorkspace& ws) const;
+
+  // ---- classed-population primitives -----------------------------------
+  //
+  // A ClassedPopulation (core/population.hpp) compresses N users into
+  // k << N (rate, weight, count) classes. Disciplines whose congestion
+  // depends on the rates only through the sorted multiset expose exact
+  // O(k)-state closed forms here; the defaults return false so callers
+  // feature-test (the same bool pattern as scan_prepare) and fall back to
+  // expansion. Every override must agree with the expanded evaluation on
+  // expand(pop) — per-class values are the *representative* member's (the
+  // last expanded member; see the tie-breaking contract in population.hpp).
+
+  /// Writes the per-class congestion (each class's representative member)
+  /// into `out` (size pop.k()) and returns true, or returns false when
+  /// this discipline has no classed closed form. No validation; `pop` is
+  /// trusted like pre-validated rates.
+  [[nodiscard]] virtual bool congestion_classes_into(
+      const ClassedPopulation& pop, std::span<double> out,
+      EvalWorkspace& ws) const;
+
+  /// Per-member classed Jacobian: own[a] = dC_i/dr_i for a member i of
+  /// class a, cross(a, b) = dC_i/dr_j for i in class a and a *different*
+  /// member j of class b (cross is resized to k x k, own has size k).
+  /// A solver moving a whole class's rate scales by counts itself:
+  /// dC_i/drho_a = own[a] + (count_a - 1) * cross(a, a). Returns false
+  /// when no classed closed form exists.
+  [[nodiscard]] virtual bool jacobian_classes_into(
+      const ClassedPopulation& pop, numerics::Matrix& cross,
+      std::span<double> own, EvalWorkspace& ws) const;
+
+  /// Classed best-response scan: stages tables so that
+  /// scan_congestion_of_class(a, x, ...) returns the congestion of class
+  /// a's representative member at trial rate x with every other user
+  /// (including the class's other count-1 members) fixed. Returns false
+  /// when no classed fast path exists (callers fall back to probing via
+  /// congestion_classes_into on a trial population, or to expansion).
+  /// Same table-validity rules as scan_prepare.
+  [[nodiscard]] virtual bool scan_prepare_classes(
+      std::size_t a, const ClassedPopulation& pop, EvalWorkspace& ws) const;
+
+  /// The probe paired with a successful scan_prepare_classes(a, ...). The
+  /// default (no fast path) throws std::logic_error.
+  [[nodiscard]] virtual double scan_congestion_of_class(
+      std::size_t a, double x, const ClassedPopulation& pop,
+      EvalWorkspace& ws) const;
 
   // ---- legacy vector API (thin wrappers, behavior unchanged) -----------
 

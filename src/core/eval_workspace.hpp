@@ -129,6 +129,14 @@ class EvalWorkspace {
   [[nodiscard]] std::span<double> scan_gprev(std::size_t m) noexcept {
     return value_lane(8, m);
   }
+  /// Scan fast path: per-insertion-rank auxiliary table. Classed scans
+  /// (serial_common.hpp classed helpers) stage opponent *user*-count
+  /// prefixes here — counts are exact in double well past 2^52 users —
+  /// so the expanded population size never materializes as a lane of
+  /// length N.
+  [[nodiscard]] std::span<double> scan_aux(std::size_t m) noexcept {
+    return value_lane(9, m);
+  }
 
   /// Header for the scan fast path: which (n, i) the scan_* lanes were
   /// prepared for, and how many opponents were staged.
@@ -155,7 +163,7 @@ class EvalWorkspace {
   }
 
  private:
-  static constexpr std::size_t kValueLanes = 9;
+  static constexpr std::size_t kValueLanes = 10;
   static constexpr std::size_t kIndexLanes = 3;
 
   struct FreeDeleter {

@@ -174,6 +174,41 @@ double FairShareAllocation::scan_congestion_of(std::size_t /*i*/, double x,
       x, [](double s) { return queueing::g(s); }, ws.scan, ws);
 }
 
+bool FairShareAllocation::congestion_classes_into(const ClassedPopulation& pop,
+                                                  std::span<double> out,
+                                                  EvalWorkspace& ws) const {
+  const serial::ClassedSerialStage stage = serial::classed_serial_stage(pop, ws);
+  serial::classed_serial_congestion(
+      stage, [](double s) { return queueing::g(s); }, out);
+  return true;
+}
+
+bool FairShareAllocation::jacobian_classes_into(const ClassedPopulation& pop,
+                                                numerics::Matrix& cross,
+                                                std::span<double> own,
+                                                EvalWorkspace& ws) const {
+  const serial::ClassedSerialStage stage = serial::classed_serial_stage(pop, ws);
+  serial::classed_serial_jacobian(
+      stage, 1.0, [](double s) { return queueing::g_prime(s); },
+      ws.a(pop.k()), cross, own);
+  return true;
+}
+
+bool FairShareAllocation::scan_prepare_classes(std::size_t a,
+                                               const ClassedPopulation& pop,
+                                               EvalWorkspace& ws) const {
+  serial::classed_serial_scan_prepare(
+      pop, a, [](double s) { return queueing::g(s); }, ws);
+  return true;
+}
+
+double FairShareAllocation::scan_congestion_of_class(
+    std::size_t /*a*/, double x, const ClassedPopulation& /*pop*/,
+    EvalWorkspace& ws) const {
+  return serial::classed_serial_scan_probe(
+      x, [](double s) { return queueing::g(s); }, ws.scan, ws);
+}
+
 FairShareDecomposition fair_share_decomposition(
     const std::vector<double>& rates) {
   const std::size_t n = rates.size();

@@ -45,6 +45,19 @@ class FairShareAllocation final : public AllocationFunction {
   [[nodiscard]] double scan_congestion_of(std::size_t i, double x,
                                           std::span<const double> rates,
                                           EvalWorkspace& ws) const override;
+  [[nodiscard]] bool congestion_classes_into(const ClassedPopulation& pop,
+                                             std::span<double> out,
+                                             EvalWorkspace& ws) const override;
+  [[nodiscard]] bool jacobian_classes_into(const ClassedPopulation& pop,
+                                           numerics::Matrix& cross,
+                                           std::span<double> own,
+                                           EvalWorkspace& ws) const override;
+  [[nodiscard]] bool scan_prepare_classes(std::size_t a,
+                                          const ClassedPopulation& pop,
+                                          EvalWorkspace& ws) const override;
+  [[nodiscard]] double scan_congestion_of_class(
+      std::size_t a, double x, const ClassedPopulation& pop,
+      EvalWorkspace& ws) const override;
 };
 
 /// The priority-queueing realization of Fair Share (paper Table 1).

@@ -83,6 +83,57 @@ struct NashResult {
                                     std::vector<double> start,
                                     const NashOptions& options = {});
 
+/// Result of the classed (symmetric-within-class) Nash solve.
+struct ClassedNashResult {
+  ClassedPopulation population;   ///< equilibrium rates, counts unchanged
+  bool converged = false;
+  int iterations = 0;             ///< best-response + verification sweeps
+  int polish_iterations = 0;      ///< k-dim Newton iterations accepted
+  double max_move = 0.0;          ///< rate movement in the final BR sweep
+  double max_residual = 0.0;      ///< max projected classed KKT residual
+  bool used_expansion = false;    ///< fell back to the expanded solver
+  /// When used_expansion: the largest within-class rate spread the expanded
+  /// solve produced before compression (0 means the expanded equilibrium
+  /// was exactly class-symmetric).
+  double expansion_spread = 0.0;
+};
+
+/// Symmetric-Nash solve over a classed population: same-class users share a
+/// best response, so one representative evaluation per class replaces
+/// count_a identical ones — solver state is O(k), independent of
+/// total_users(). When the discipline has a classed Jacobian the solver
+/// runs a damped k-dim Newton on the classed KKT system
+/// E_a = M_a(rho_a, C_a) + dC_rep/dr_rep, converged when the projected
+/// residual falls below options.tolerance (or, if the line search stalls
+/// first, when the stalled full Newton step does — solve_nash's
+/// rate-movement criterion), then
+/// verifies the point with one global best-response scan per class
+/// (utility slack 1e-7, as is_nash); per-class best-response sweeps are
+/// used only to globalize when Newton stalls — applied to whole classes
+/// they diverge under densely-coupled disciplines (see nash_classed.cpp),
+/// and the scan+Brent argmax is only ~1e-8 accurate anyway, which would
+/// drown the classed-vs-expanded equivalence budget. Without a classed
+/// Jacobian the solver runs feasibility-guarded best-response dynamics on
+/// the k class rates (honoring options.order / damping / warm windows
+/// exactly like solve_nash), converged on rate movement.
+/// `class_profile` has one utility per class (all members share it).
+/// Disciplines without classed closed forms are handled by transparent
+/// expansion: solve_nash on expand(pop) with per-class mean compression
+/// (used_expansion / expansion_spread report it), so the entry point is
+/// total.
+[[nodiscard]] ClassedNashResult solve_nash_classed(
+    const AllocationFunction& alloc, const UtilityProfile& class_profile,
+    ClassedPopulation start, const NashOptions& options = {});
+
+/// Classed KKT residuals E_a = M_a(rho_a, C_a) + dC_rep/dr_rep per class
+/// (the per-member first-order condition at the representative; zero at an
+/// interior symmetric equilibrium). NaN where C_a is infinite or a term
+/// fails to evaluate. Uses the classed closed forms when available, else
+/// evaluates the expanded population at each class representative.
+[[nodiscard]] std::vector<double> classed_kkt_residuals(
+    const AllocationFunction& alloc, const UtilityProfile& class_profile,
+    const ClassedPopulation& pop);
+
 /// The Nash first-derivative residuals E_i = M_i(r_i, C_i(r)) + dC_i/dr_i
 /// (zero at an interior Nash point). Entries are NaN where C_i is infinite.
 [[nodiscard]] std::vector<double> fdc_residuals(const AllocationFunction& alloc,

@@ -1,0 +1,572 @@
+// Classed (symmetric-within-class) Nash solver — see nash.hpp and
+// core/population.hpp for the representation and the representative-member
+// contract. The solver never materializes the expanded population unless a
+// discipline lacks classed closed forms entirely, in which case it expands
+// transparently and compresses the result back per class.
+//
+// Why Newton-first instead of best-response dynamics: a classed coordinate
+// update moves all count_a members of a class at once. Under densely
+// coupled disciplines (FIFO: everyone's congestion rides the aggregate
+// load) the induced map on class aggregates s_a = n_a * x_a is roughly
+// s_a <- const - sum_{b != a} s_b, whose iteration matrix has spectral
+// radius ~ k - 1: per-class best-response sweeps diverge even though the
+// same dynamics converge in the expanded game, where each user moves only
+// her own infinitesimal share. The k-dim damped Newton on the classed KKT
+// system E(rho) = 0 has no such asymmetry — it linearizes the whole-class
+// moves exactly — and converges quadratically for every discipline with a
+// classed Jacobian. A global best-response scan still runs afterwards as a
+// *verification* sweep (one global argmax per class), restoring the
+// globalization that makes the expanded solver robust to non-concave
+// payoffs: if any class can improve on the Newton point by more than the
+// verification slack, the solver falls back to feasibility-guarded
+// best-response dynamics and re-enters Newton once.
+#include "core/nash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "numerics/matrix.hpp"
+#include "numerics/optimize.hpp"
+#include "numerics/rng.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfcount.hpp"
+#include "obs/timer.hpp"
+
+namespace gw::core {
+
+// Work accounting (DESIGN.md): classed passes are metered at these call
+// sites in *class* units — one congestion_classes_into(k) is k classes
+// evaluated, one probe is 1 — so the WorkMeter measures the work actually
+// done; the bench divides wall time by represented users separately.
+namespace work = obs::work;
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Same clamp bounds and projected (KKT) residual as the expanded repair
+/// engines in nash.cpp (file-static there; the constants are part of the
+/// solver contract, duplicated knowingly).
+constexpr double kRepairFloor = 1e-9;
+constexpr double kRepairCap = 0.9999;
+
+/// Utility slack of the post-Newton verification sweep — the same slack
+/// is_nash grants before declaring a profile an equilibrium.
+constexpr double kVerifySlack = 1e-7;
+
+double projected_residual(double residual, double rate) {
+  if (std::isnan(residual)) return kInf;
+  if (rate <= 2.0 * kRepairFloor) return std::max(0.0, -residual);
+  if (rate >= kRepairCap) return std::max(0.0, residual);
+  return std::abs(residual);
+}
+
+void validate_classed(const UtilityProfile& class_profile,
+                      const ClassedPopulation& pop) {
+  if (class_profile.size() != pop.k() || class_profile.empty()) {
+    throw std::invalid_argument(
+        "nash: class profile / classed population size mismatch");
+  }
+  for (const auto& u : class_profile) {
+    if (u == nullptr) throw std::invalid_argument("nash: null utility");
+  }
+}
+
+/// Per-thread classed solver scratch (mirrors nash.cpp's SolverScratch).
+struct ClassedScratch {
+  EvalWorkspace ws;
+  std::vector<double> congestion;   ///< per-class C staging
+  std::vector<double> own;          ///< per-class dC_rep/dr_rep
+  std::vector<double> responses;    ///< synchronous-sweep best responses
+  std::vector<double> resid;        ///< Newton: E at the accepted point
+  std::vector<double> resid_trial;  ///< Newton: E at FD / line-search points
+  std::vector<double> saved;        ///< Newton: rates before a trial step
+  std::vector<std::size_t> order;   ///< sweep order
+  std::vector<double> trial_c;      ///< trial-population congestion staging
+  numerics::Matrix cross;           ///< per-member classed cross partials
+  numerics::Matrix jac;             ///< Newton: FD Jacobian of E
+};
+
+ClassedScratch& classed_scratch() {
+  thread_local ClassedScratch scratch;
+  return scratch;
+}
+
+struct ClassedResponse {
+  double rate = 0.0;  ///< global argmax of the member payoff
+  double gain = 0.0;  ///< payoff(rate) - payoff(current rate)
+};
+
+/// Best response of class a's representative against everyone else fixed.
+/// Fast path: the discipline's classed scan tables. Fallback (classed
+/// congestion but no classed scan): probe a trial population — class a
+/// shrunk by one member, the probe appended as a singleton class. The
+/// appended class sorts after ALL rate ties instead of only after classes
+/// <= a; that differs from representative semantics only at exact rate
+/// ties under tie-sensitive disciplines (a measure-zero event the scan
+/// disciplines never hit — they all stage classed scans).
+ClassedResponse classed_best_response(const AllocationFunction& alloc,
+                                      const Utility& utility,
+                                      const ClassedPopulation& pop,
+                                      std::size_t a,
+                                      const BestResponseOptions& options,
+                                      ClassedScratch& scratch) {
+  const double saved = pop[a].rate;
+  struct Ctx {
+    const AllocationFunction& alloc;
+    const Utility& utility;
+    const ClassedPopulation& pop;
+    std::size_t a;
+    ClassedScratch& scratch;
+    bool fast;
+    ClassedPopulation trial;
+    std::size_t probe = 0;
+  } ctx{alloc,    utility, pop, a, scratch,
+        alloc.scan_prepare_classes(a, pop, scratch.ws),
+        {},       0};
+  if (!ctx.fast) {
+    std::vector<RateClass> classes = pop.classes();
+    if (classes[a].count > 1) {
+      classes[a].count -= 1;
+    } else {
+      classes.erase(classes.begin() + static_cast<std::ptrdiff_t>(a));
+    }
+    classes.push_back(RateClass{saved, pop[a].weight, 1});
+    ctx.trial = ClassedPopulation::from_classes(std::move(classes));
+    ctx.probe = ctx.trial.k() - 1;
+  }
+  work::add(work::Kind::kBestResponseCalls, 1);
+  auto payoff = [&ctx](double x) {
+    work::add(work::Kind::kUsersEvaluated, 1);
+    if (ctx.fast) {
+      return ctx.utility.value(
+          x, ctx.alloc.scan_congestion_of_class(ctx.a, x, ctx.pop,
+                                                ctx.scratch.ws));
+    }
+    ctx.trial.set_rate(ctx.probe, x);
+    ctx.scratch.trial_c.resize(ctx.trial.k());
+    (void)ctx.alloc.congestion_classes_into(ctx.trial, ctx.scratch.trial_c,
+                                            ctx.scratch.ws);
+    return ctx.utility.value(x, ctx.scratch.trial_c[ctx.probe]);
+  };
+  // Warm-window narrowing identical to the expanded best_response.
+  numerics::Optimize1DOptions opt;
+  opt.scan_points = options.scan_points;
+  double lo = options.r_min;
+  double hi = options.r_max;
+  bool narrowed = false;
+  if (options.warm_radius > 0.0) {
+    const double wlo = std::max(options.r_min, saved - options.warm_radius);
+    const double whi = std::min(options.r_max, saved + options.warm_radius);
+    if (whi > wlo && (wlo > options.r_min || whi < options.r_max)) {
+      lo = wlo;
+      hi = whi;
+      narrowed = true;
+      opt.scan_points = std::min(options.scan_points,
+                                 std::max(3, options.warm_scan_points));
+    }
+  }
+  auto found = numerics::maximize_scan(payoff, lo, hi, opt);
+  if (narrowed) {
+    const double step = (hi - lo) / (opt.scan_points - 1);
+    const bool pinned_lo = found.x <= lo + step && lo > options.r_min;
+    const bool pinned_hi = found.x >= hi - step && hi < options.r_max;
+    if (pinned_lo || pinned_hi) {
+      opt.scan_points = options.scan_points;
+      found = numerics::maximize_scan(payoff, options.r_min, options.r_max,
+                                      opt);
+    }
+  }
+  const double current = payoff(saved);
+  ClassedResponse response;
+  response.rate = found.x;
+  response.gain = std::isfinite(current) ? found.value - current : kInf;
+  return response;
+}
+
+/// Batched classed residual pass: E_a = M_a + own_a for every class, max
+/// projected residual returned. Requires classed congestion + jacobian.
+double classed_residual_pass(const AllocationFunction& alloc,
+                             const UtilityProfile& class_profile,
+                             const ClassedPopulation& pop,
+                             ClassedScratch& scratch,
+                             std::vector<double>& residuals) {
+  const std::size_t k = pop.k();
+  residuals.resize(k);
+  work::add(work::Kind::kUsersEvaluated, k);
+  work::add(work::Kind::kJacobianCells, k * k);
+  (void)alloc.congestion_classes_into(pop, scratch.congestion, scratch.ws);
+  (void)alloc.jacobian_classes_into(pop, scratch.cross, scratch.own,
+                                    scratch.ws);
+  double max_res = 0.0;
+  for (std::size_t a = 0; a < k; ++a) {
+    double e = kNan;
+    if (std::isfinite(scratch.congestion[a])) {
+      const double m =
+          class_profile[a]->marginal_ratio(pop[a].rate, scratch.congestion[a]);
+      if (std::isfinite(m) && std::isfinite(scratch.own[a])) {
+        e = m + scratch.own[a];
+      }
+    }
+    residuals[a] = e;
+    max_res = std::max(max_res, projected_residual(e, pop[a].rate));
+  }
+  return max_res;
+}
+
+struct NewtonOut {
+  bool converged = false;
+  int iterations = 0;
+  double max_residual = kInf;
+};
+
+/// Damped Newton on the k-dim classed KKT system E(rho) = 0, where moving
+/// coordinate a moves the whole class. The Jacobian dE_a/drho_b is
+/// finite-differenced column by column (one residual pass per column — the
+/// whole-class chain rule through counts, sort order, and utility
+/// curvature comes for free), the step is clamped into [floor, cap] per
+/// coordinate, and a backtracking line search on the max projected
+/// residual keeps every accepted iterate feasible.
+NewtonOut classed_newton(const AllocationFunction& alloc,
+                         const UtilityProfile& class_profile,
+                         ClassedPopulation& pop, double tolerance,
+                         ClassedScratch& scratch,
+                         obs::FlightRecorder& flight) {
+  constexpr int kMaxIterations = 48;
+  const std::size_t k = pop.k();
+  NewtonOut out;
+  out.max_residual =
+      classed_residual_pass(alloc, class_profile, pop, scratch, scratch.resid);
+  for (int it = 0; it < kMaxIterations; ++it) {
+    if (out.max_residual <= tolerance) {
+      out.converged = true;
+      return out;
+    }
+    // An infinite residual means the current point is infeasible (or a
+    // term failed to evaluate); the linearization is meaningless, so hand
+    // control back to the guarded best-response globalizer.
+    if (std::isinf(out.max_residual)) return out;
+    out.iterations = it + 1;
+
+    scratch.jac.resize(k, k);
+    for (std::size_t b = 0; b < k; ++b) {
+      const double x0 = pop[b].rate;
+      const double h = std::max(1e-10, 1e-6 * x0);
+      pop.set_rate(b, std::min(x0 + h, kRepairCap));
+      const double hh = pop[b].rate - x0;
+      (void)classed_residual_pass(alloc, class_profile, pop, scratch,
+                                  scratch.resid_trial);
+      pop.set_rate(b, x0);
+      for (std::size_t a = 0; a < k; ++a) {
+        const double e0 = scratch.resid[a];
+        const double e1 = scratch.resid_trial[a];
+        scratch.jac(a, b) =
+            (std::isfinite(e0) && std::isfinite(e1) && hh != 0.0)
+                ? (e1 - e0) / hh
+                : 0.0;
+      }
+    }
+    const auto lu = numerics::lu_decompose(scratch.jac);
+    if (lu.singular) return out;
+    std::vector<double> rhs(k);
+    for (std::size_t a = 0; a < k; ++a) {
+      rhs[a] = std::isfinite(scratch.resid[a]) ? -scratch.resid[a] : 0.0;
+    }
+    const std::vector<double> delta = numerics::lu_solve(lu, rhs);
+    double step_norm = 0.0;
+    for (const double d : delta) step_norm = std::max(step_norm, std::abs(d));
+
+    scratch.saved.resize(k);
+    for (std::size_t a = 0; a < k; ++a) scratch.saved[a] = pop[a].rate;
+    double alpha = 1.0;
+    bool accepted = false;
+    for (int half = 0; half < 12; ++half, alpha *= 0.5) {
+      for (std::size_t a = 0; a < k; ++a) {
+        pop.set_rate(a, std::clamp(scratch.saved[a] + alpha * delta[a],
+                                   kRepairFloor, kRepairCap));
+      }
+      const double trial = classed_residual_pass(
+          alloc, class_profile, pop, scratch, scratch.resid_trial);
+      if (trial < out.max_residual) {
+        out.max_residual = trial;
+        scratch.resid.swap(scratch.resid_trial);
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      for (std::size_t a = 0; a < k; ++a) pop.set_rate(a, scratch.saved[a]);
+      // Stall exit on solve_nash's rate-movement criterion: the full
+      // Newton step bounds the rate-space distance to the root, so a
+      // stalled iterate with a sub-tolerance step is converged in rates
+      // even when tie-induced one-sided FD branches (serial sort order at
+      // the symmetric point) keep the residual from reaching tolerance.
+      out.converged = step_norm <= tolerance;
+      return out;
+    }
+    flight.iteration(out.max_residual, alpha, 1.0, 0);
+  }
+  out.converged = out.max_residual <= tolerance;
+  return out;
+}
+
+/// Applies one damped class update with a feasibility guard: when raising
+/// the class rate drives its own congestion infinite (the whole-class
+/// move overshot the aggregate capacity — the amplification hazard the
+/// file comment describes), the step is halved back toward the previous
+/// rate until the point is feasible again. Returns the applied |move|.
+double apply_guarded_update(const AllocationFunction& alloc,
+                            ClassedPopulation& pop, std::size_t a,
+                            double response, double damping,
+                            ClassedScratch& scratch) {
+  const double previous = pop[a].rate;
+  double next = (1.0 - damping) * previous + damping * response;
+  pop.set_rate(a, next);
+  if (next > previous) {
+    scratch.congestion.resize(pop.k());
+    for (int half = 0; half < 30; ++half) {
+      (void)alloc.congestion_classes_into(pop, scratch.congestion,
+                                          scratch.ws);
+      if (std::isfinite(scratch.congestion[a])) break;
+      next = 0.5 * (next + previous);
+      pop.set_rate(a, next);
+      if (next - previous <= kRepairFloor) break;
+    }
+  }
+  return std::abs(pop[a].rate - previous);
+}
+
+/// Feasibility-guarded best-response dynamics over the k class rates,
+/// honoring options.order / damping exactly like solve_nash. Returns the
+/// final sweep's max move and advances `sweeps_used` per sweep.
+double run_br_phase(const AllocationFunction& alloc,
+                    const UtilityProfile& class_profile,
+                    ClassedPopulation& pop, const NashOptions& options,
+                    int max_sweeps, numerics::Rng& rng,
+                    ClassedScratch& scratch, obs::FlightRecorder& flight,
+                    int& sweeps_used) {
+  const std::size_t k = pop.k();
+  double max_move = kInf;
+  for (int it = 0; it < max_sweeps; ++it) {
+    work::add(work::Kind::kGsSweeps, 1);
+    max_move = 0.0;
+    if (options.order == UpdateOrder::kSynchronous) {
+      scratch.responses.resize(k);
+      for (std::size_t a = 0; a < k; ++a) {
+        scratch.responses[a] =
+            classed_best_response(alloc, *class_profile[a], pop, a,
+                                  options.best_response, scratch)
+                .rate;
+      }
+      // Responses are computed synchronously; the guard applies them one
+      // class at a time so an infeasible joint overshoot backs off per
+      // class instead of leaving the whole sweep at infinite congestion.
+      for (std::size_t a = 0; a < k; ++a) {
+        max_move = std::max(max_move,
+                            apply_guarded_update(alloc, pop, a,
+                                                 scratch.responses[a],
+                                                 options.damping, scratch));
+      }
+    } else {
+      scratch.order.resize(k);
+      for (std::size_t a = 0; a < k; ++a) scratch.order[a] = a;
+      if (options.order == UpdateOrder::kRandomPermutation) {
+        for (std::size_t i = k; i > 1; --i) {
+          const std::size_t j = rng.uniform_index(i);
+          std::swap(scratch.order[i - 1], scratch.order[j]);
+        }
+      }
+      for (const std::size_t a : scratch.order) {
+        const double response =
+            classed_best_response(alloc, *class_profile[a], pop, a,
+                                  options.best_response, scratch)
+                .rate;
+        max_move = std::max(max_move,
+                            apply_guarded_update(alloc, pop, a, response,
+                                                 options.damping, scratch));
+      }
+    }
+    ++sweeps_used;
+    flight.iteration(kNan, max_move, options.damping, 0);
+    if (max_move <= options.tolerance) break;
+  }
+  return max_move;
+}
+
+/// Fallback for disciplines without classed closed forms: expand, run the
+/// expanded solver, compress back by per-class mean (recording the largest
+/// within-class spread the expanded equilibrium exhibited).
+ClassedNashResult solve_via_expansion(const AllocationFunction& alloc,
+                                      const UtilityProfile& class_profile,
+                                      ClassedPopulation pop,
+                                      const NashOptions& options) {
+  const std::size_t k = pop.k();
+  UtilityProfile expanded_profile;
+  expanded_profile.reserve(pop.total_users());
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t j = 0; j < pop[a].count; ++j) {
+      expanded_profile.push_back(class_profile[a]);
+    }
+  }
+  const NashResult solved =
+      solve_nash(alloc, expanded_profile, pop.expand(), options);
+  ClassedNashResult result;
+  result.converged = solved.converged;
+  result.iterations = solved.iterations;
+  result.max_move = solved.max_move;
+  result.max_residual = kNan;  // no classed residual without closed forms
+  result.used_expansion = true;
+  std::size_t at = 0;
+  for (std::size_t a = 0; a < k; ++a) {
+    double sum = 0.0;
+    double lo = kInf;
+    double hi = -kInf;
+    for (std::size_t j = 0; j < pop[a].count; ++j, ++at) {
+      const double r = solved.rates[at];
+      sum += r;
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    pop.set_rate(a, sum / static_cast<double>(pop[a].count));
+    result.expansion_spread = std::max(result.expansion_spread, hi - lo);
+  }
+  result.population = std::move(pop);
+  return result;
+}
+
+}  // namespace
+
+ClassedNashResult solve_nash_classed(const AllocationFunction& alloc,
+                                     const UtilityProfile& class_profile,
+                                     ClassedPopulation start,
+                                     const NashOptions& options) {
+  validate_classed(class_profile, start);
+  auto& registry = obs::default_registry();
+  static auto& solve_seconds =
+      registry.histogram("core.nash.classed_solve_seconds", 0.0, 2.0, 128);
+  const obs::ScopedTimer timer(solve_seconds);
+
+  const std::size_t k = start.k();
+  auto& scratch = classed_scratch();
+  scratch.congestion.resize(k);
+  scratch.own.resize(k);
+
+  // Total entry point: disciplines without a classed congestion form take
+  // the expansion fallback (the classes still compress the result).
+  if (!alloc.congestion_classes_into(start, scratch.congestion, scratch.ws)) {
+    return solve_via_expansion(alloc, class_profile, std::move(start),
+                               options);
+  }
+  const bool have_jacobian = alloc.jacobian_classes_into(
+      start, scratch.cross, scratch.own, scratch.ws);
+
+  numerics::Rng rng(options.seed);
+  ClassedNashResult result;
+  result.population = std::move(start);
+  ClassedPopulation& pop = result.population;
+
+  auto flight = obs::FlightRecorder::begin("core.solve_nash_classed", k,
+                                           obs::FlightRung::kSolve);
+  int br_sweeps = 0;
+
+  if (have_jacobian) {
+    // Newton-first (see the file comment); best-response dynamics run
+    // only as the globalizer when Newton stalls. A verification failure
+    // means Newton landed on a stationary point some class can deviate
+    // from profitably, so the solver globalizes and re-enters once.
+    NewtonOut newton = classed_newton(alloc, class_profile, pop,
+                                      options.tolerance, scratch, flight);
+    bool verified = false;
+    for (int round = 0; round < 2 && !verified; ++round) {
+      if (!newton.converged) {
+        result.max_move =
+            run_br_phase(alloc, class_profile, pop, options,
+                         options.max_iterations, rng, scratch, flight,
+                         br_sweeps);
+        newton = classed_newton(alloc, class_profile, pop, options.tolerance,
+                                scratch, flight);
+        if (!newton.converged) break;
+      }
+      double max_gain = 0.0;
+      for (std::size_t a = 0; a < k; ++a) {
+        max_gain = std::max(
+            max_gain, classed_best_response(alloc, *class_profile[a], pop, a,
+                                            options.best_response, scratch)
+                          .gain);
+      }
+      ++br_sweeps;
+      if (max_gain <= kVerifySlack) {
+        verified = true;
+      } else {
+        newton.converged = false;  // globalize and retry
+      }
+    }
+    result.converged = newton.converged && verified;
+    result.max_residual = newton.max_residual;
+    result.polish_iterations = newton.iterations;
+  } else {
+    // No classed Jacobian: guarded best-response dynamics, converged on
+    // rate movement like the expanded solver.
+    result.max_move =
+        run_br_phase(alloc, class_profile, pop, options,
+                     options.max_iterations, rng, scratch, flight, br_sweeps);
+    result.converged = result.max_move <= options.tolerance;
+    result.max_residual = kNan;
+  }
+  result.iterations = br_sweeps;
+
+  flight.verdict(result.converged, result.max_residual);
+  registry.counter("core.nash.classed_solves").inc();
+  registry.counter("core.nash.classed_newton_iterations_total")
+      .inc(static_cast<std::uint64_t>(result.polish_iterations));
+  if (!result.converged) {
+    registry.counter("core.nash.classed_non_converged").inc();
+  }
+  return result;
+}
+
+std::vector<double> classed_kkt_residuals(const AllocationFunction& alloc,
+                                          const UtilityProfile& class_profile,
+                                          const ClassedPopulation& pop) {
+  validate_classed(class_profile, pop);
+  const std::size_t k = pop.k();
+  auto& scratch = classed_scratch();
+  scratch.congestion.resize(k);
+  scratch.own.resize(k);
+  std::vector<double> residuals(k, kNan);
+  if (alloc.congestion_classes_into(pop, scratch.congestion, scratch.ws) &&
+      alloc.jacobian_classes_into(pop, scratch.cross, scratch.own,
+                                  scratch.ws)) {
+    work::add(work::Kind::kUsersEvaluated, k);
+    work::add(work::Kind::kJacobianCells, k * k);
+    for (std::size_t a = 0; a < k; ++a) {
+      if (!std::isfinite(scratch.congestion[a])) continue;
+      const double m =
+          class_profile[a]->marginal_ratio(pop[a].rate, scratch.congestion[a]);
+      if (std::isfinite(m) && std::isfinite(scratch.own[a])) {
+        residuals[a] = m + scratch.own[a];
+      }
+    }
+    return residuals;
+  }
+  // Expanded fallback at each class representative.
+  const std::vector<double> rates = pop.expand();
+  work::add(work::Kind::kUsersEvaluated, rates.size());
+  const std::vector<double> congestion = alloc.congestion(rates);
+  for (std::size_t a = 0; a < k; ++a) {
+    const std::size_t rep = pop.base(a) + pop[a].count - 1;
+    if (!std::isfinite(congestion[rep])) continue;
+    const double m =
+        class_profile[a]->marginal_ratio(rates[rep], congestion[rep]);
+    const double slope = alloc.partial(rep, rep, rates);
+    if (std::isfinite(m) && std::isfinite(slope)) residuals[a] = m + slope;
+  }
+  return residuals;
+}
+
+}  // namespace gw::core

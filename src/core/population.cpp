@@ -1,0 +1,155 @@
+#include "core/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gw::core {
+
+namespace {
+
+void validate_class(const RateClass& c) {
+  if (c.rate < 0.0 || std::isnan(c.rate)) {
+    throw std::invalid_argument("ClassedPopulation: rate must be >= 0");
+  }
+  if (!(c.weight > 0.0) || !std::isfinite(c.weight)) {
+    throw std::invalid_argument("ClassedPopulation: weight must be > 0");
+  }
+  if (c.count == 0) {
+    throw std::invalid_argument("ClassedPopulation: count must be >= 1");
+  }
+}
+
+}  // namespace
+
+ClassedPopulation ClassedPopulation::from_classes(
+    std::vector<RateClass> classes) {
+  if (classes.empty()) {
+    throw std::invalid_argument("ClassedPopulation: no classes");
+  }
+  ClassedPopulation pop;
+  pop.total_ = 0;
+  for (const RateClass& c : classes) {
+    validate_class(c);
+    pop.total_ += c.count;
+  }
+  pop.classes_ = std::move(classes);
+  return pop;
+}
+
+ClassedPopulation ClassedPopulation::compress(std::span<const double> rates) {
+  return compress(rates, std::span<const double>());
+}
+
+ClassedPopulation ClassedPopulation::compress(std::span<const double> rates,
+                                              std::span<const double> weights) {
+  if (rates.empty()) {
+    throw std::invalid_argument("ClassedPopulation: empty rate vector");
+  }
+  if (!weights.empty() && weights.size() != rates.size()) {
+    throw std::invalid_argument("ClassedPopulation: rate/weight size mismatch");
+  }
+  const auto weight_of = [&](std::size_t i) {
+    return weights.empty() ? 1.0 : weights[i];
+  };
+  std::vector<std::size_t> order(rates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rates[a] != rates[b]) return rates[a] < rates[b];
+    if (weight_of(a) != weight_of(b)) return weight_of(a) < weight_of(b);
+    return a < b;
+  });
+  std::vector<RateClass> classes;
+  for (const std::size_t i : order) {
+    if (!classes.empty() && classes.back().rate == rates[i] &&
+        classes.back().weight == weight_of(i)) {
+      ++classes.back().count;
+    } else {
+      classes.push_back(RateClass{rates[i], weight_of(i), 1});
+    }
+  }
+  return from_classes(std::move(classes));
+}
+
+void ClassedPopulation::set_rate(std::size_t a, double rate) {
+  if (a >= classes_.size()) {
+    throw std::invalid_argument("ClassedPopulation: class index out of range");
+  }
+  if (rate < 0.0 || std::isnan(rate)) {
+    throw std::invalid_argument("ClassedPopulation: rate must be >= 0");
+  }
+  classes_[a].rate = rate;
+}
+
+void ClassedPopulation::set_count(std::size_t a, std::size_t count) {
+  if (a >= classes_.size()) {
+    throw std::invalid_argument("ClassedPopulation: class index out of range");
+  }
+  if (count == 0) {
+    throw std::invalid_argument("ClassedPopulation: count must be >= 1");
+  }
+  total_ += count - classes_[a].count;
+  classes_[a].count = count;
+}
+
+void ClassedPopulation::expand_into(std::span<double> rates) const {
+  if (rates.size() != total_) {
+    throw std::invalid_argument("ClassedPopulation: expand size mismatch");
+  }
+  std::size_t at = 0;
+  for (const RateClass& c : classes_) {
+    for (std::size_t j = 0; j < c.count; ++j) rates[at++] = c.rate;
+  }
+}
+
+void ClassedPopulation::expand_weights_into(std::span<double> weights) const {
+  if (weights.size() != total_) {
+    throw std::invalid_argument("ClassedPopulation: expand size mismatch");
+  }
+  std::size_t at = 0;
+  for (const RateClass& c : classes_) {
+    for (std::size_t j = 0; j < c.count; ++j) weights[at++] = c.weight;
+  }
+}
+
+std::vector<double> ClassedPopulation::expand() const {
+  std::vector<double> rates(total_);
+  expand_into(rates);
+  return rates;
+}
+
+std::size_t ClassedPopulation::base(std::size_t a) const {
+  if (a >= classes_.size()) {
+    throw std::invalid_argument("ClassedPopulation: class index out of range");
+  }
+  std::size_t b = 0;
+  for (std::size_t c = 0; c < a; ++c) b += classes_[c].count;
+  return b;
+}
+
+ClassedPopulation ClassedPopulation::canonical() const {
+  std::vector<std::size_t> order(classes_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (classes_[a].rate != classes_[b].rate) {
+      return classes_[a].rate < classes_[b].rate;
+    }
+    if (classes_[a].weight != classes_[b].weight) {
+      return classes_[a].weight < classes_[b].weight;
+    }
+    return a < b;
+  });
+  std::vector<RateClass> merged;
+  for (const std::size_t a : order) {
+    if (!merged.empty() && merged.back().rate == classes_[a].rate &&
+        merged.back().weight == classes_[a].weight) {
+      merged.back().count += classes_[a].count;
+    } else {
+      merged.push_back(classes_[a]);
+    }
+  }
+  return from_classes(std::move(merged));
+}
+
+}  // namespace gw::core

@@ -1,0 +1,109 @@
+// Compressed (rate, weight, count) user-class populations.
+//
+// Every solver used to carry O(N) state per distinct user, which caps the
+// equilibrium analysis at thousands of users. A million users in k << N
+// *rate classes* is tractable when the evaluation stack speaks classes
+// natively (the ValCount / SingleLinkMaxMinFairnessDistProblem idiom):
+// a ClassedPopulation holds k classes, each a (rate, weight, count)
+// triple, and stands for the expanded population in which class 0's
+// members come first, then class 1's, and so on.
+//
+// Deterministic tie-breaking contract: the class index plays the user
+// index's role everywhere the expanded code breaks rate ties by index.
+// Because expansion lays classes out contiguously in class order, the
+// expanded (key, user-index) sort groups each class's members into one
+// contiguous block, and blocks of tied classes appear in class-index
+// order — so a classed evaluation that sorts classes by (key, class
+// index) sees exactly the structure the expanded evaluation would.
+// Within a class, the *representative* member is the LAST expanded
+// member (largest user index): for tie-insensitive disciplines (the
+// serial family, proportional) every member shares the representative's
+// congestion, while for tie-sensitive ones (smallest-rate-first) the
+// classed closed forms are defined to report the representative's values
+// (see DESIGN.md, "expand/compress equivalence contract").
+//
+// Round trips (tested):
+//   expand(compress(r))            == sorted(r)          (ascending)
+//   compress(expand(p)).classes()  == p.canonical().classes()
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gw::core {
+
+/// One user class: `count` users, each sending `rate` with `weight`.
+struct RateClass {
+  double rate = 0.0;
+  double weight = 1.0;
+  std::size_t count = 1;
+
+  friend bool operator==(const RateClass&, const RateClass&) = default;
+};
+
+class ClassedPopulation {
+ public:
+  ClassedPopulation() = default;
+
+  /// Adopts `classes` in the given index order (the order is part of the
+  /// tie-breaking contract above, so it is preserved verbatim). Validates
+  /// every class: rate >= 0 and not NaN, weight > 0 and finite, count >= 1.
+  /// Throws std::invalid_argument on violation or when `classes` is empty.
+  [[nodiscard]] static ClassedPopulation from_classes(
+      std::vector<RateClass> classes);
+
+  /// Compresses an expanded rate vector (all weights 1): sorts ascending
+  /// and merges runs of equal rates into counted classes. The result is
+  /// canonical (sorted, no two classes equal in (rate, weight)).
+  [[nodiscard]] static ClassedPopulation compress(
+      std::span<const double> rates);
+
+  /// Weighted compression: merges users equal in (rate, weight), classes
+  /// sorted lexicographically by (rate, weight).
+  [[nodiscard]] static ClassedPopulation compress(
+      std::span<const double> rates, std::span<const double> weights);
+
+  [[nodiscard]] std::size_t k() const noexcept { return classes_.size(); }
+  [[nodiscard]] std::size_t total_users() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<RateClass>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] const RateClass& operator[](std::size_t a) const {
+    return classes_[a];
+  }
+
+  /// Rewrites class a's rate (solvers mutate rates in place; sortedness is
+  /// a property of the canonical form, not an invariant). Same validation
+  /// as from_classes.
+  void set_rate(std::size_t a, double rate);
+
+  /// Rewrites class a's population count (count >= 1). O(1); total_users()
+  /// is maintained incrementally.
+  void set_count(std::size_t a, std::size_t count);
+
+  /// Expanded per-user rates, class 0's members first. `rates` must have
+  /// size total_users().
+  void expand_into(std::span<double> rates) const;
+
+  /// Expanded per-user weights in the same layout.
+  void expand_weights_into(std::span<double> weights) const;
+
+  /// Allocating convenience wrapper around expand_into.
+  [[nodiscard]] std::vector<double> expand() const;
+
+  /// First expanded user index of class a: sum of counts of classes before
+  /// it. The representative member's index is base(a) + count_a - 1.
+  [[nodiscard]] std::size_t base(std::size_t a) const;
+
+  /// Canonical form: classes sorted by (rate, weight, original index) with
+  /// equal (rate, weight) neighbors merged. compress(expand(*this)) for
+  /// unit weights, but O(k log k) and weight-preserving.
+  [[nodiscard]] ClassedPopulation canonical() const;
+
+ private:
+  std::vector<RateClass> classes_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gw::core

@@ -181,6 +181,72 @@ double SmallestRateFirstAllocation::scan_congestion_of(
       x, [](double s) { return queueing::g(s); }, ws.scan, ws);
 }
 
+bool SmallestRateFirstAllocation::congestion_classes_into(
+    const ClassedPopulation& pop, std::span<double> out,
+    EvalWorkspace& ws) const {
+  const std::size_t k = pop.k();
+  ws.ensure(k);
+  const std::span<std::size_t> order = ws.order(k);
+  const std::span<double> keys = ws.sorted(k);
+  for (std::size_t a = 0; a < k; ++a) keys[a] = pop[a].rate;
+  serial::sorted_order_into(keys, order);
+  double prefix = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const RateClass& c = pop[order[t]];
+    prefix += static_cast<double>(c.count) * c.rate;
+    const double g_here = queueing::g(prefix);
+    out[order[t]] =
+        std::isinf(g_here) ? kInf : g_here - queueing::g(prefix - c.rate);
+  }
+  return true;
+}
+
+bool SmallestRateFirstAllocation::jacobian_classes_into(
+    const ClassedPopulation& pop, numerics::Matrix& cross,
+    std::span<double> own, EvalWorkspace& ws) const {
+  const std::size_t k = pop.k();
+  cross.resize(k, k);
+  ws.ensure(k);
+  const std::span<std::size_t> order = ws.order(k);
+  const std::span<double> keys = ws.sorted(k);
+  for (std::size_t a = 0; a < k; ++a) keys[a] = pop[a].rate;
+  serial::sorted_order_into(keys, order);
+  double prefix = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const RateClass& c = pop[order[t]];
+    prefix += static_cast<double>(c.count) * c.rate;
+    const std::size_t a = order[t];
+    double* const row = cross.row_data(a);
+    if (prefix >= 1.0) {
+      own[a] = kInf;
+      for (std::size_t tb = 0; tb <= t; ++tb) row[order[tb]] = kInf;
+    } else {
+      const double gp_here = queueing::g_prime(prefix);
+      // A same-class peer sits below the representative too, so the
+      // off-diagonal value extends through tb == t.
+      const double off = gp_here - queueing::g_prime(prefix - c.rate);
+      own[a] = gp_here;
+      for (std::size_t tb = 0; tb <= t; ++tb) row[order[tb]] = off;
+    }
+    for (std::size_t tb = t + 1; tb < k; ++tb) row[order[tb]] = 0.0;
+  }
+  return true;
+}
+
+bool SmallestRateFirstAllocation::scan_prepare_classes(
+    std::size_t a, const ClassedPopulation& pop, EvalWorkspace& ws) const {
+  serial::classed_priority_scan_prepare(
+      pop, a, [](double s) { return queueing::g(s); }, ws);
+  return true;
+}
+
+double SmallestRateFirstAllocation::scan_congestion_of_class(
+    std::size_t /*a*/, double x, const ClassedPopulation& /*pop*/,
+    EvalWorkspace& ws) const {
+  return serial::classed_priority_scan_probe(
+      x, [](double s) { return queueing::g(s); }, ws.scan, ws);
+}
+
 void FixedPriorityAllocation::congestion_into(std::span<const double> rates,
                                               std::span<double> out,
                                               EvalWorkspace& /*ws*/) const {

@@ -43,6 +43,25 @@ class SmallestRateFirstAllocation final : public AllocationFunction {
   [[nodiscard]] double scan_congestion_of(std::size_t i, double x,
                                           std::span<const double> rates,
                                           EvalWorkspace& ws) const override;
+  /// Classed closed forms report the *representative* (last expanded)
+  /// member of each class: it is served after every tied same-class peer,
+  /// so C_rep(a) = g(P_a) - g(P_a - r_a) with P_a the prefix load through
+  /// class a. SRF is tie-sensitive — other members of a tied class see
+  /// strictly smaller congestion — which is exactly why the representative
+  /// convention exists (population.hpp).
+  [[nodiscard]] bool congestion_classes_into(const ClassedPopulation& pop,
+                                             std::span<double> out,
+                                             EvalWorkspace& ws) const override;
+  [[nodiscard]] bool jacobian_classes_into(const ClassedPopulation& pop,
+                                           numerics::Matrix& cross,
+                                           std::span<double> own,
+                                           EvalWorkspace& ws) const override;
+  [[nodiscard]] bool scan_prepare_classes(std::size_t a,
+                                          const ClassedPopulation& pop,
+                                          EvalWorkspace& ws) const override;
+  [[nodiscard]] double scan_congestion_of_class(
+      std::size_t a, double x, const ClassedPopulation& pop,
+      EvalWorkspace& ws) const override;
 };
 
 class FixedPriorityAllocation final : public AllocationFunction {

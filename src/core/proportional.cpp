@@ -101,6 +101,78 @@ void ProportionalAllocation::second_partials_into(std::span<const double> rates,
   }
 }
 
+bool ProportionalAllocation::congestion_classes_into(
+    const ClassedPopulation& pop, std::span<double> out,
+    EvalWorkspace& /*ws*/) const {
+  double total = 0.0;
+  for (const RateClass& c : pop.classes()) {
+    total += static_cast<double>(c.count) * c.rate;
+  }
+  if (total >= 1.0) {
+    for (std::size_t a = 0; a < pop.k(); ++a) {
+      out[a] = pop[a].rate > 0.0 ? kInf : 0.0;
+    }
+    return true;
+  }
+  const double inv = 1.0 / (1.0 - total);
+  for (std::size_t a = 0; a < pop.k(); ++a) out[a] = pop[a].rate * inv;
+  return true;
+}
+
+bool ProportionalAllocation::jacobian_classes_into(const ClassedPopulation& pop,
+                                                   numerics::Matrix& cross,
+                                                   std::span<double> own,
+                                                   EvalWorkspace& /*ws*/) const {
+  const std::size_t k = pop.k();
+  cross.resize(k, k);
+  double total = 0.0;
+  for (const RateClass& c : pop.classes()) {
+    total += static_cast<double>(c.count) * c.rate;
+  }
+  if (total >= 1.0) {
+    for (std::size_t a = 0; a < k; ++a) {
+      own[a] = kInf;
+      for (std::size_t b = 0; b < k; ++b) cross(a, b) = kInf;
+    }
+    return true;
+  }
+  // Division forms mirror partial() / jacobian_into exactly.
+  const double u = 1.0 - total;
+  const double u2 = u * u;
+  for (std::size_t a = 0; a < k; ++a) {
+    const double own_share = pop[a].rate / u2;
+    own[a] = 1.0 / u + own_share;
+    for (std::size_t b = 0; b < k; ++b) cross(a, b) = own_share;
+  }
+  return true;
+}
+
+bool ProportionalAllocation::scan_prepare_classes(std::size_t a,
+                                                  const ClassedPopulation& pop,
+                                                  EvalWorkspace& ws) const {
+  ws.ensure(pop.k());
+  double opponents = 0.0;
+  for (std::size_t c = 0; c < pop.k(); ++c) {
+    const double members =
+        static_cast<double>(c == a ? pop[c].count - 1 : pop[c].count);
+    opponents += members * pop[c].rate;
+  }
+  ws.scan_prefix(1)[0] = opponents;
+  ws.scan.n = pop.total_users();
+  ws.scan.i = a;
+  ws.scan.count = 0;
+  return true;
+}
+
+double ProportionalAllocation::scan_congestion_of_class(
+    std::size_t /*a*/, double x, const ClassedPopulation& /*pop*/,
+    EvalWorkspace& ws) const {
+  const double total = ws.scan_prefix(1)[0] + x;
+  if (total >= 1.0) return x > 0.0 ? kInf : 0.0;
+  const double inv = 1.0 / (1.0 - total);
+  return x * inv;
+}
+
 double ProportionalAllocation::partial(std::size_t i, std::size_t j,
                                        const std::vector<double>& rates) const {
   validate_rates(rates);

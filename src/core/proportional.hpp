@@ -29,6 +29,21 @@ class ProportionalAllocation final : public AllocationFunction {
   [[nodiscard]] double second_partial(
       std::size_t i, std::size_t j,
       const std::vector<double>& rates) const override;
+  [[nodiscard]] bool congestion_classes_into(const ClassedPopulation& pop,
+                                             std::span<double> out,
+                                             EvalWorkspace& ws) const override;
+  [[nodiscard]] bool jacobian_classes_into(const ClassedPopulation& pop,
+                                           numerics::Matrix& cross,
+                                           std::span<double> own,
+                                           EvalWorkspace& ws) const override;
+  /// O(1) classed scan: stages the opponents' total load; each probe is a
+  /// reciprocal away.
+  [[nodiscard]] bool scan_prepare_classes(std::size_t a,
+                                          const ClassedPopulation& pop,
+                                          EvalWorkspace& ws) const override;
+  [[nodiscard]] double scan_congestion_of_class(
+      std::size_t a, double x, const ClassedPopulation& pop,
+      EvalWorkspace& ws) const override;
 };
 
 }  // namespace gw::core

@@ -27,6 +27,7 @@
 #include <span>
 
 #include "core/eval_workspace.hpp"
+#include "core/population.hpp"
 #include "core/simd.hpp"
 #include "numerics/matrix.hpp"
 
@@ -280,6 +281,282 @@ inline double serial_scan_probe(double x, G&& g, const EvalWorkspace::ScanState&
   return ws.scan_run(pos + 1)[pos] +
          (g_here - ws.scan_gprev(pos + 1)[pos]) /
              static_cast<double>(scan.n - pos);
+}
+
+// ---------------------------------------------------------------------------
+// Classed-population evaluation (core/population.hpp). A ClassedPopulation
+// stands for the expanded population in which class 0's members come first;
+// under the family's (key, user-index) sort each class's members form one
+// contiguous block and tied classes appear in class-index order, so the
+// expanded rank structure is fully determined by per-class quantities:
+//   m_t = number of expanded users before sorted class t (its first rank),
+//   P_t = sum over earlier sorted classes of count * key,
+//   S_t = (N - m_t) * key_t + P_t   (the serial load at rank m_t; within a
+//         class the serial load is constant in exact arithmetic because
+//         each step trades one (N - m) * key unit for one prefix unit).
+// The expanded rank loop contributes (g(S) - g_prev)/(N - m) once per
+// *distinct* serial load, i.e. once per class at its first rank — so the
+// classed accumulation below visits classes in sorted order and reproduces
+// the expanded running sum term for term, Inf handling included.
+// ---------------------------------------------------------------------------
+
+/// Classed serial staging: sorted class order, per-class serial loads and
+/// first expanded ranks. Spans point into ws lanes (order / serial / b);
+/// ws.sorted holds the class-indexed keys, ws.a stays free for jacobian
+/// scratch.
+struct ClassedSerialStage {
+  std::span<const std::size_t> order;  ///< ascending (rate, class index)
+  std::span<const double> serial;      ///< S_t per sorted position
+  std::span<const double> first_rank;  ///< m_t per sorted position (double)
+  double n_users = 0.0;                ///< N = pop.total_users()
+};
+
+inline ClassedSerialStage classed_serial_stage(const ClassedPopulation& pop,
+                                               EvalWorkspace& ws) {
+  const std::size_t k = pop.k();
+  ws.ensure(k);
+  const std::span<std::size_t> order = ws.order(k);
+  const std::span<double> keys = ws.sorted(k);
+  for (std::size_t a = 0; a < k; ++a) keys[a] = pop[a].rate;
+  sorted_order_into(keys, order);
+  const std::span<double> serial = ws.serial(k);
+  const std::span<double> first_rank = ws.b(k);
+  const double n_users = static_cast<double>(pop.total_users());
+  double users_before = 0.0;
+  double prefix = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const RateClass& c = pop[order[t]];
+    first_rank[t] = users_before;
+    serial[t] = (n_users - users_before) * c.rate + prefix;
+    users_before += static_cast<double>(c.count);
+    prefix += static_cast<double>(c.count) * c.rate;
+  }
+  return {order, serial, first_rank, n_users};
+}
+
+/// Classed congestion for the unweighted serial rule: the expanded running
+/// accumulation with one term per class, saturation handled exactly like
+/// the expanded loop (running pinned to Inf, g_prev not advanced).
+/// out[class] receives the congestion every member of the class shares.
+template <class G>
+inline void classed_serial_congestion(const ClassedSerialStage& s, G&& g,
+                                      std::span<double> out) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t k = s.order.size();
+  double running = 0.0;
+  double g_prev = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const double g_here = g(s.serial[t]);
+    if (std::isinf(g_here)) {
+      running = kInf;
+    } else {
+      running += (g_here - g_prev) / (s.n_users - s.first_rank[t]);
+      g_prev = g_here;
+    }
+    out[s.order[t]] = running;
+  }
+}
+
+/// Classed jacobian for the unweighted serial rule, in per-member terms:
+/// own[a] = dC_i/dr_i for any member i of class a, and cross(a, b) =
+/// dC_i/dr_j for a member i of a and a *different* member j of b (the
+/// per-member sensitivity; a solver moving the whole class multiplies by
+/// counts itself). Telescoping the expanded rank sum over class blocks
+/// gives, with D_t = (g'(S_t) - g'(S_{t-1})) / (N - m_t) and its prefix
+/// T_t = sum_{u<=t, u>=1} D_u:
+///   own[a]      = g'(S_ta)
+///   cross(a, b) = T_ta - T_tb   for tb < ta (earlier sorted class)
+///   cross(a, a) = 0             (same-class members split one unit of
+///                                load shift, net zero at equal rates)
+///   cross(a, b) = 0             for tb > ta.
+/// Saturated rows (S_ta >= saturation) emit Inf across b with tb <= ta and
+/// own, mirroring serial_jacobian_fill. `tscratch` is a k-element lane
+/// (ws.a). cross is resized to k x k.
+template <class GPrime>
+inline void classed_serial_jacobian(const ClassedSerialStage& s,
+                                    double saturation, GPrime&& gp,
+                                    std::span<double> tscratch,
+                                    numerics::Matrix& cross,
+                                    std::span<double> own) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t k = s.order.size();
+  cross.resize(k, k);
+  double gp_prev = 0.0;
+  double t_acc = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const double gp_here = gp(s.serial[t]);
+    if (t > 0) t_acc += (gp_here - gp_prev) / (s.n_users - s.first_rank[t]);
+    tscratch[t] = t_acc;
+    own[s.order[t]] = gp_here;
+    gp_prev = gp_here;
+  }
+  for (std::size_t ta = 0; ta < k; ++ta) {
+    const std::size_t a = s.order[ta];
+    double* const row = cross.row_data(a);
+    if (s.serial[ta] >= saturation) {
+      own[a] = kInf;
+      for (std::size_t tb = 0; tb <= ta; ++tb) row[s.order[tb]] = kInf;
+    } else {
+      for (std::size_t tb = 0; tb < ta; ++tb) {
+        row[s.order[tb]] = tscratch[ta] - tscratch[tb];
+      }
+      row[a] = 0.0;
+    }
+    for (std::size_t tb = ta + 1; tb < k; ++tb) row[s.order[tb]] = 0.0;
+  }
+}
+
+/// Sorts the opponent classes of the probing class `a` by (rate, class
+/// index) into the scan lanes and stamps ws.scan with n = total users,
+/// i = a, count = opponent class count (class a itself participates with
+/// count - 1 members and is dropped when that hits zero). Returns the
+/// opponent class count.
+inline std::size_t classed_scan_sort_opponents(const ClassedPopulation& pop,
+                                               std::size_t a,
+                                               EvalWorkspace& ws) {
+  const std::size_t k = pop.k();
+  ws.ensure(k);
+  const std::size_t count = pop[a].count > 1 ? k : k - 1;
+  const std::span<std::size_t> idx = ws.scan_index(count);
+  std::size_t m = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (c != a || pop[a].count > 1) idx[m++] = c;
+  }
+  std::sort(idx.begin(), idx.end(), [&pop](std::size_t x, std::size_t y) {
+    if (pop[x].rate != pop[y].rate) return pop[x].rate < pop[y].rate;
+    return x < y;
+  });
+  const std::span<double> keys = ws.scan_keys(count);
+  for (std::size_t q = 0; q < count; ++q) keys[q] = pop[idx[q]].rate;
+  ws.scan.n = pop.total_users();
+  ws.scan.i = a;
+  ws.scan.count = count;
+  return count;
+}
+
+/// Insertion position of trial rate x for the representative member of
+/// class a among the staged opponent classes: an opponent class c sorts
+/// before the probe iff key_c < x, or key_c == x and c <= a — `<=`, not
+/// `<`, because at equal rates the probe is the LAST member of class a and
+/// the class's remaining members sort before it.
+inline std::size_t classed_scan_insertion_pos(std::span<const double> keys,
+                                              std::span<const std::size_t> idx,
+                                              double x, std::size_t a) {
+  std::size_t lo = 0;
+  std::size_t hi = keys.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const bool before_x = keys[mid] < x || (keys[mid] == x && idx[mid] <= a);
+    if (before_x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Classed prepare for the unweighted serial rule: per insertion position
+/// p over opponent *classes*, the running share, trailing g value, rate
+/// prefix and — in the scan_aux lane — the opponent *user*-count prefix
+/// m_p, all accumulated in classed_serial_congestion's order.
+template <class G>
+inline void classed_serial_scan_prepare(const ClassedPopulation& pop,
+                                        std::size_t a, G&& g,
+                                        EvalWorkspace& ws) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t count = classed_scan_sort_opponents(pop, a, ws);
+  const std::span<const std::size_t> idx = ws.scan_index(count);
+  const std::span<const double> keys = ws.scan_keys(count);
+  const std::span<double> prefix = ws.scan_prefix(count + 1);
+  const std::span<double> run = ws.scan_run(count + 1);
+  const std::span<double> gprev = ws.scan_gprev(count + 1);
+  const std::span<double> aux = ws.scan_aux(count + 1);
+  const double n_users = static_cast<double>(pop.total_users());
+  double pref = 0.0;
+  double running = 0.0;
+  double g_prev = 0.0;
+  double users = 0.0;
+  prefix[0] = 0.0;
+  run[0] = 0.0;
+  gprev[0] = 0.0;
+  aux[0] = 0.0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::size_t c = idx[p];
+    const double members = static_cast<double>(c == a ? pop[c].count - 1
+                                                      : pop[c].count);
+    const double s = (n_users - users) * keys[p] + pref;
+    const double g_here = g(s);
+    if (std::isinf(g_here)) {
+      running = kInf;
+    } else {
+      running += (g_here - g_prev) / (n_users - users);
+      g_prev = g_here;
+    }
+    users += members;
+    pref += members * keys[p];
+    prefix[p + 1] = pref;
+    run[p + 1] = running;
+    gprev[p + 1] = g_prev;
+    aux[p + 1] = users;
+  }
+}
+
+/// Classed probe for the unweighted serial rule: C of class a's
+/// representative at trial rate x, matching classed_serial_congestion on
+/// the population-with-x-at-a.
+template <class G>
+inline double classed_serial_scan_probe(double x, G&& g,
+                                        const EvalWorkspace::ScanState& scan,
+                                        EvalWorkspace& ws) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t pos = classed_scan_insertion_pos(
+      ws.scan_keys(scan.count), ws.scan_index(scan.count), x, scan.i);
+  const double share =
+      static_cast<double>(scan.n) - ws.scan_aux(pos + 1)[pos];
+  const double s = share * x + ws.scan_prefix(pos + 1)[pos];
+  const double g_here = g(s);
+  if (std::isinf(g_here)) return kInf;
+  return ws.scan_run(pos + 1)[pos] +
+         (g_here - ws.scan_gprev(pos + 1)[pos]) / share;
+}
+
+/// Classed prepare for the smallest-rate-first priority rule: count-scaled
+/// key prefixes and trailing g(prefix) per insertion position.
+template <class G>
+inline void classed_priority_scan_prepare(const ClassedPopulation& pop,
+                                          std::size_t a, G&& g,
+                                          EvalWorkspace& ws) {
+  const std::size_t count = classed_scan_sort_opponents(pop, a, ws);
+  const std::span<const std::size_t> idx = ws.scan_index(count);
+  const std::span<const double> keys = ws.scan_keys(count);
+  const std::span<double> prefix = ws.scan_prefix(count + 1);
+  const std::span<double> gprev = ws.scan_gprev(count + 1);
+  double pref = 0.0;
+  prefix[0] = 0.0;
+  gprev[0] = 0.0;
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::size_t c = idx[p];
+    const double members = static_cast<double>(c == a ? pop[c].count - 1
+                                                      : pop[c].count);
+    pref += members * keys[p];
+    prefix[p + 1] = pref;
+    gprev[p + 1] = g(pref);
+  }
+}
+
+/// Classed probe for the smallest-rate-first priority rule (representative
+/// member: served after every tied same-class peer).
+template <class G>
+inline double classed_priority_scan_probe(double x, G&& g,
+                                          const EvalWorkspace::ScanState& scan,
+                                          EvalWorkspace& ws) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t pos = classed_scan_insertion_pos(
+      ws.scan_keys(scan.count), ws.scan_index(scan.count), x, scan.i);
+  const double g_here = g(ws.scan_prefix(pos + 1)[pos] + x);
+  if (std::isinf(g_here)) return kInf;
+  return g_here - ws.scan_gprev(pos + 1)[pos];
 }
 
 /// Prepare for the smallest-rate-first priority rule: key prefixes and the

@@ -180,6 +180,41 @@ double GeneralSerialAllocation::scan_congestion_of(
       x, [this](double s) { return g_.value(s); }, ws.scan, ws);
 }
 
+bool GeneralSerialAllocation::congestion_classes_into(
+    const ClassedPopulation& pop, std::span<double> out,
+    EvalWorkspace& ws) const {
+  const serial::ClassedSerialStage stage = serial::classed_serial_stage(pop, ws);
+  serial::classed_serial_congestion(
+      stage, [this](double s) { return g_.value(s); }, out);
+  return true;
+}
+
+bool GeneralSerialAllocation::jacobian_classes_into(const ClassedPopulation& pop,
+                                                    numerics::Matrix& cross,
+                                                    std::span<double> own,
+                                                    EvalWorkspace& ws) const {
+  const serial::ClassedSerialStage stage = serial::classed_serial_stage(pop, ws);
+  serial::classed_serial_jacobian(
+      stage, g_.saturation, [this](double s) { return g_.prime(s); },
+      ws.a(pop.k()), cross, own);
+  return true;
+}
+
+bool GeneralSerialAllocation::scan_prepare_classes(std::size_t a,
+                                                   const ClassedPopulation& pop,
+                                                   EvalWorkspace& ws) const {
+  serial::classed_serial_scan_prepare(
+      pop, a, [this](double s) { return g_.value(s); }, ws);
+  return true;
+}
+
+double GeneralSerialAllocation::scan_congestion_of_class(
+    std::size_t /*a*/, double x, const ClassedPopulation& /*pop*/,
+    EvalWorkspace& ws) const {
+  return serial::classed_serial_scan_probe(
+      x, [this](double s) { return g_.value(s); }, ws.scan, ws);
+}
+
 double GeneralSerialAllocation::protective_bound(double rate,
                                                  std::size_t n) const {
   return g_.value(static_cast<double>(n) * rate) / static_cast<double>(n);
@@ -215,6 +250,65 @@ void GeneralProportionalAllocation::congestion_into(
       out[i] = rates[i] * aggregate / total;
     }
   }
+}
+
+bool GeneralProportionalAllocation::congestion_classes_into(
+    const ClassedPopulation& pop, std::span<double> out,
+    EvalWorkspace& /*ws*/) const {
+  double total = 0.0;
+  for (const RateClass& c : pop.classes()) {
+    total += static_cast<double>(c.count) * c.rate;
+  }
+  if (total <= 0.0) {
+    for (auto& c : out) c = 0.0;
+    return true;
+  }
+  const double aggregate = g_.value(total);
+  for (std::size_t a = 0; a < pop.k(); ++a) {
+    if (pop[a].rate <= 0.0) {
+      out[a] = 0.0;
+    } else if (std::isinf(aggregate)) {
+      out[a] = kInf;
+    } else {
+      out[a] = pop[a].rate * aggregate / total;
+    }
+  }
+  return true;
+}
+
+bool GeneralProportionalAllocation::jacobian_classes_into(
+    const ClassedPopulation& pop, numerics::Matrix& cross,
+    std::span<double> own, EvalWorkspace& /*ws*/) const {
+  if (!g_.prime) return false;
+  const std::size_t k = pop.k();
+  cross.resize(k, k);
+  double total = 0.0;
+  for (const RateClass& c : pop.classes()) {
+    total += static_cast<double>(c.count) * c.rate;
+  }
+  if (total >= g_.saturation) {
+    for (std::size_t a = 0; a < k; ++a) {
+      own[a] = kInf;
+      for (std::size_t b = 0; b < k; ++b) cross(a, b) = kInf;
+    }
+    return true;
+  }
+  if (total <= 0.0) {
+    for (std::size_t a = 0; a < k; ++a) {
+      own[a] = g_.prime(0.0);
+      for (std::size_t b = 0; b < k; ++b) cross(a, b) = 0.0;
+    }
+    return true;
+  }
+  const double g_val = g_.value(total);
+  const double g_prime = g_.prime(total);
+  for (std::size_t a = 0; a < k; ++a) {
+    const double shared =
+        pop[a].rate * (g_prime * total - g_val) / (total * total);
+    own[a] = g_val / total + shared;
+    for (std::size_t b = 0; b < k; ++b) cross(a, b) = shared;
+  }
+  return true;
 }
 
 double GeneralProportionalAllocation::partial(

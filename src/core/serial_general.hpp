@@ -42,6 +42,19 @@ class GeneralSerialAllocation final : public AllocationFunction {
   [[nodiscard]] double scan_congestion_of(std::size_t i, double x,
                                           std::span<const double> rates,
                                           EvalWorkspace& ws) const override;
+  [[nodiscard]] bool congestion_classes_into(const ClassedPopulation& pop,
+                                             std::span<double> out,
+                                             EvalWorkspace& ws) const override;
+  [[nodiscard]] bool jacobian_classes_into(const ClassedPopulation& pop,
+                                           numerics::Matrix& cross,
+                                           std::span<double> own,
+                                           EvalWorkspace& ws) const override;
+  [[nodiscard]] bool scan_prepare_classes(std::size_t a,
+                                          const ClassedPopulation& pop,
+                                          EvalWorkspace& ws) const override;
+  [[nodiscard]] double scan_congestion_of_class(
+      std::size_t a, double x, const ClassedPopulation& pop,
+      EvalWorkspace& ws) const override;
 
   /// The generalized protective bound g(N r) / N (Theorem 8's analogue).
   [[nodiscard]] double protective_bound(double rate, std::size_t n) const;
@@ -67,6 +80,14 @@ class GeneralProportionalAllocation final : public AllocationFunction {
   [[nodiscard]] double second_partial(
       std::size_t i, std::size_t j,
       const std::vector<double>& rates) const override;
+  [[nodiscard]] bool congestion_classes_into(const ClassedPopulation& pop,
+                                             std::span<double> out,
+                                             EvalWorkspace& ws) const override;
+  /// Classed Jacobian when g carries a derivative; false otherwise.
+  [[nodiscard]] bool jacobian_classes_into(const ClassedPopulation& pop,
+                                           numerics::Matrix& cross,
+                                           std::span<double> own,
+                                           EvalWorkspace& ws) const override;
 
  private:
   GFunction g_;

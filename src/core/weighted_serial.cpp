@@ -254,6 +254,114 @@ double WeightedSerialAllocation::second_partial(
                                  i == j, rank[i], rank[j]);
 }
 
+namespace {
+
+/// Classed weighted staging: classes sorted by normalized demand
+/// x = rate / weight (class-index tie-break), class suffix weights
+/// SW_t = sum over sorted positions >= t of count * weight, weighted
+/// serial loads S_t = rate-prefix + x_t * SW_t. Lanes: x in ws.a, order
+/// in ws.order, SW in ws.b (k+1), serial in ws.serial; ws.sorted free.
+struct ClassedWeightedStage {
+  std::span<const std::size_t> order;
+  std::span<const double> suffix_weight;  ///< k + 1 entries
+  std::span<const double> serial;
+};
+
+ClassedWeightedStage classed_weighted_stage(const ClassedPopulation& pop,
+                                            EvalWorkspace& ws) {
+  const std::size_t k = pop.k();
+  ws.ensure(k);
+  const std::span<double> x = ws.a(k);
+  for (std::size_t a = 0; a < k; ++a) x[a] = pop[a].rate / pop[a].weight;
+  const std::span<std::size_t> order = ws.order(k);
+  serial::sorted_order_into(x, order);
+  const std::span<double> suffix = ws.b(k + 1);
+  suffix[k] = 0.0;
+  for (std::size_t t = k; t-- > 0;) {
+    const RateClass& c = pop[order[t]];
+    suffix[t] = suffix[t + 1] + static_cast<double>(c.count) * c.weight;
+  }
+  const std::span<double> serial = ws.serial(k);
+  double prefix_rate = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const RateClass& c = pop[order[t]];
+    serial[t] = prefix_rate + x[order[t]] * suffix[t];
+    prefix_rate += static_cast<double>(c.count) * c.rate;
+  }
+  return ClassedWeightedStage{order, suffix, serial};
+}
+
+}  // namespace
+
+bool WeightedSerialAllocation::congestion_classes_into(
+    const ClassedPopulation& pop, std::span<double> out,
+    EvalWorkspace& ws) const {
+  if (pop.total_users() != weights_.size()) {
+    throw std::invalid_argument(
+        "WeightedSerialAllocation: classed population size mismatch");
+  }
+  const std::size_t k = pop.k();
+  const ClassedWeightedStage s = classed_weighted_stage(pop, ws);
+  double g_prev = 0.0;
+  double accumulated_per_weight = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const std::size_t a = s.order[t];
+    const double g_here = g_.value(s.serial[t]);
+    if (std::isinf(g_here)) {
+      accumulated_per_weight = kInf;
+    } else {
+      accumulated_per_weight += (g_here - g_prev) / s.suffix_weight[t];
+      g_prev = g_here;
+    }
+    out[a] = std::isinf(accumulated_per_weight)
+                 ? kInf
+                 : pop[a].weight * accumulated_per_weight;
+  }
+  return true;
+}
+
+bool WeightedSerialAllocation::jacobian_classes_into(
+    const ClassedPopulation& pop, numerics::Matrix& cross,
+    std::span<double> own, EvalWorkspace& ws) const {
+  if (!g_.prime) return false;
+  if (pop.total_users() != weights_.size()) {
+    throw std::invalid_argument(
+        "WeightedSerialAllocation: classed population size mismatch");
+  }
+  const std::size_t k = pop.k();
+  cross.resize(k, k);
+  const ClassedWeightedStage s = classed_weighted_stage(pop, ws);
+  // Same telescoping as the unweighted classed fill, with the class
+  // suffix weight in place of (N - m): D_t = (g'(S_t) - g'(S_{t-1}))/SW_t
+  // and its prefix T_t give cross(a, b) = w_a (T_ta - T_tb) for earlier
+  // sorted classes; same-class members cancel exactly (cross(a, a) = 0).
+  const std::span<double> tprefix = ws.sorted(k);
+  double gp_prev = 0.0;
+  double t_acc = 0.0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const double gp_here = g_.prime(s.serial[t]);
+    if (t > 0) t_acc += (gp_here - gp_prev) / s.suffix_weight[t];
+    tprefix[t] = t_acc;
+    own[s.order[t]] = gp_here;
+    gp_prev = gp_here;
+  }
+  for (std::size_t ta = 0; ta < k; ++ta) {
+    const std::size_t a = s.order[ta];
+    double* const row = cross.row_data(a);
+    if (s.serial[ta] >= g_.saturation) {
+      own[a] = kInf;
+      for (std::size_t tb = 0; tb <= ta; ++tb) row[s.order[tb]] = kInf;
+    } else {
+      for (std::size_t tb = 0; tb < ta; ++tb) {
+        row[s.order[tb]] = pop[a].weight * (tprefix[ta] - tprefix[tb]);
+      }
+      row[a] = 0.0;
+    }
+    for (std::size_t tb = ta + 1; tb < k; ++tb) row[s.order[tb]] = 0.0;
+  }
+  return true;
+}
+
 double WeightedSerialAllocation::protective_bound(std::size_t i,
                                                   double rate) const {
   const double w = weights_.at(i);

@@ -50,6 +50,22 @@ class WeightedSerialAllocation final : public AllocationFunction {
       std::size_t i, std::size_t j,
       const std::vector<double>& rates) const override;
 
+  /// Classed closed form over (rate, weight, count) classes. The class
+  /// weights come from the population itself; the constructor-time weight
+  /// vector only pins the expanded size (pop.total_users() must equal
+  /// weights().size(), else std::invalid_argument) and the caller is
+  /// responsible for pop expanding to a (rate, weight) pairing consistent
+  /// with it — the differential tests build pops via
+  /// ClassedPopulation::compress(rates, weights()).
+  [[nodiscard]] bool congestion_classes_into(const ClassedPopulation& pop,
+                                             std::span<double> out,
+                                             EvalWorkspace& ws) const override;
+  /// Classed Jacobian when g carries a derivative; false otherwise.
+  [[nodiscard]] bool jacobian_classes_into(const ClassedPopulation& pop,
+                                           numerics::Matrix& cross,
+                                           std::span<double> own,
+                                           EvalWorkspace& ws) const override;
+
   /// Weighted protective bound w_i g(r_i W / w_i) / W.
   [[nodiscard]] double protective_bound(std::size_t i, double rate) const;
 

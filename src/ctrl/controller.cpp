@@ -160,6 +160,9 @@ BatchReport Controller::apply_pending(exec::ThreadPool* pool) {
         case RepairPath::kNewton: ++report.newton; break;
         case RepairPath::kWarmSolve: ++report.warm_solve; break;
         case RepairPath::kFullSolve: ++report.full_solve; break;
+        // Controllers only build expanded shards; classed repairs happen
+        // on directly-owned shards (the E-SCALE path).
+        case RepairPath::kClassRepair: ++report.warm_solve; break;
         case RepairPath::kNoop: break;
       }
       report.all_converged = report.all_converged && outcome.converged;

@@ -62,7 +62,42 @@ SolverShard::SolverShard(
   }
 }
 
+SolverShard::SolverShard(
+    std::shared_ptr<const core::AllocationFunction> alloc,
+    core::UtilityProfile class_profile, core::ClassedPopulation population)
+    : alloc_(std::move(alloc)),
+      profile_(std::move(class_profile)),
+      classed_(true),
+      pop_(std::move(population)) {
+  if (alloc_ == nullptr) throw std::invalid_argument("SolverShard: null alloc");
+  if (profile_.size() != pop_.k() || profile_.empty()) {
+    throw std::invalid_argument(
+        "SolverShard: class profile / population size mismatch");
+  }
+  for (const auto& u : profile_) {
+    if (u == nullptr) throw std::invalid_argument("SolverShard: null utility");
+  }
+  staged_count_.assign(pop_.k(), 0);
+  staged_class_.resize(pop_.k());
+  staged_class_flag_.assign(pop_.k(), 0);
+  pop_ = core::solve_nash_classed(*alloc_, profile_, std::move(pop_),
+                                  RepairPolicy{}.full_solve)
+             .population;
+}
+
+const core::ClassedPopulation& SolverShard::population() const {
+  if (!classed_) {
+    throw std::logic_error("SolverShard: population() on expanded shard");
+  }
+  return pop_;
+}
+
 void SolverShard::stage(std::size_t local_user, core::UtilityPtr utility) {
+  if (classed_) {
+    throw std::logic_error(
+        "SolverShard: expanded stage() on classed shard; use "
+        "stage_class_count / stage_class_utility");
+  }
   if (local_user >= profile_.size()) {
     throw std::invalid_argument("SolverShard: bad user index");
   }
@@ -76,6 +111,38 @@ void SolverShard::stage(std::size_t local_user, core::UtilityPtr utility) {
   staged_[local_user] = std::move(utility);
 }
 
+void SolverShard::stage_class_count(std::size_t cls, std::size_t count) {
+  if (!classed_) {
+    throw std::logic_error("SolverShard: stage_class_count on expanded shard");
+  }
+  if (cls >= pop_.k()) throw std::invalid_argument("SolverShard: bad class");
+  if (count == 0) {
+    throw std::invalid_argument("SolverShard: class count must be >= 1");
+  }
+  if (staged_class_flag_[cls] == 0) {
+    staged_class_flag_[cls] = 1;
+    dirty_classes_.push_back(cls);
+  }
+  staged_count_[cls] = count;
+}
+
+void SolverShard::stage_class_utility(std::size_t cls,
+                                      core::UtilityPtr utility) {
+  if (!classed_) {
+    throw std::logic_error(
+        "SolverShard: stage_class_utility on expanded shard");
+  }
+  if (cls >= pop_.k()) throw std::invalid_argument("SolverShard: bad class");
+  if (utility == nullptr) {
+    throw std::invalid_argument("SolverShard: null utility");
+  }
+  if (staged_class_flag_[cls] == 0) {
+    staged_class_flag_[cls] = 1;
+    dirty_classes_.push_back(cls);
+  }
+  staged_class_[cls] = std::move(utility);
+}
+
 std::vector<double> SolverShard::cold_start() const {
   return std::vector<double>(profile_.size(),
                              0.5 / static_cast<double>(profile_.size()));
@@ -87,6 +154,7 @@ std::vector<double> SolverShard::cold_solve(
 }
 
 RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
+  if (classed_) return repair_classed(policy);
   RepairOutcome outcome;
   if (dirty_users_.empty()) return outcome;
   outcome.users_churned = dirty_users_.size();
@@ -208,6 +276,75 @@ RepairOutcome SolverShard::repair(const RepairPolicy& policy) {
   rates_ = full.rates;
   outcome.path = RepairPath::kFullSolve;
   outcome.converged = full.converged;
+  metrics.full_solve.inc();
+  return outcome;
+}
+
+// Classed ladder: the solver state is k class rates, so every rung is O(k)
+// per sweep no matter how many users the classes represent. Count-only
+// churn keeps the previous class rates as a warm start (the equilibrium
+// moves smoothly in the counts); utility churn does too, since only the
+// churned classes' best responses shift. The rungs: warm classed solve
+// (narrowed candidate scan) -> cold classed solve, with the same bulk-churn
+// gate as the expanded ladder measured against k.
+RepairOutcome SolverShard::repair_classed(const RepairPolicy& policy) {
+  RepairOutcome outcome;
+  if (dirty_classes_.empty()) return outcome;
+  outcome.users_churned = dirty_classes_.size();
+  for (const std::size_t cls : dirty_classes_) {
+    if (staged_count_[cls] != 0) {
+      pop_.set_count(cls, staged_count_[cls]);
+      staged_count_[cls] = 0;
+    }
+    if (staged_class_[cls] != nullptr) {
+      profile_[cls] = std::move(staged_class_[cls]);
+    }
+    staged_class_flag_[cls] = 0;
+  }
+  dirty_classes_.clear();
+
+  auto& metrics = repair_metrics();
+  auto flight = obs::FlightRecorder::begin("ctrl.repair_classed", pop_.k(),
+                                           obs::FlightRung::kNone);
+
+  const bool bulk_churn =
+      policy.mode == RepairMode::kFullResolve ||
+      static_cast<double>(outcome.users_churned) >
+          policy.full_solve_dirty_fraction * static_cast<double>(pop_.k());
+  if (!bulk_churn) {
+    flight.rung(obs::FlightRung::kWarmSolve);
+    const auto warm = core::solve_nash_classed(*alloc_, profile_, pop_,
+                                               policy.warm_solve);
+    pop_ = warm.population;
+    if (warm.converged) {
+      outcome.path = RepairPath::kClassRepair;
+      outcome.max_residual = warm.max_residual;
+      metrics.warm_solve.inc();
+      return outcome;
+    }
+    metrics.escalations.inc();
+    flight.escalation(obs::FlightRung::kFullSolve, warm.max_residual);
+  } else if (policy.mode == RepairMode::kFullResolve) {
+    flight.rung(obs::FlightRung::kFullSolve);
+  } else if (flight.armed()) {
+    flight.event(obs::FlightEvent::kDirtyGate,
+                 static_cast<double>(outcome.users_churned) /
+                     static_cast<double>(pop_.k()));
+    flight.escalation(obs::FlightRung::kFullSolve,
+                      std::numeric_limits<double>::quiet_NaN());
+  }
+
+  // Cold classed solve from the canonical interior start.
+  core::ClassedPopulation cold = pop_;
+  const double per_user = 0.5 / static_cast<double>(cold.total_users());
+  for (std::size_t a = 0; a < cold.k(); ++a) cold.set_rate(a, per_user);
+  const auto full = core::solve_nash_classed(*alloc_, profile_,
+                                             std::move(cold),
+                                             policy.full_solve);
+  pop_ = full.population;
+  outcome.path = RepairPath::kFullSolve;
+  outcome.converged = full.converged;
+  outcome.max_residual = full.max_residual;
   metrics.full_solve.inc();
   return outcome;
 }

@@ -73,6 +73,7 @@ enum class RepairPath {
   kNewton,      ///< dense full-Jacobian Newton converged
   kWarmSolve,   ///< escalated to the warm best-response solve
   kFullSolve,   ///< escalated to (or ran in naive mode) a cold solve
+  kClassRepair, ///< classed shard: warm classed solve over k classes
 };
 
 struct RepairOutcome {
@@ -93,7 +94,22 @@ class SolverShard {
               core::UtilityProfile profile,
               std::vector<double> start = {});
 
-  [[nodiscard]] std::size_t size() const noexcept { return rates_.size(); }
+  /// Classed shard: solver state is the k-class population, so repairs cost
+  /// O(k) per sweep regardless of total_users() — the million-user control
+  /// path. `class_profile` has one utility per class. The shard classed-
+  /// solves its initial equilibrium immediately (population rates are the
+  /// warm start). Expanded staging (stage()) throws on a classed shard; use
+  /// stage_class_count / stage_class_utility instead.
+  SolverShard(std::shared_ptr<const core::AllocationFunction> alloc,
+              core::UtilityProfile class_profile,
+              core::ClassedPopulation population);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return classed_ ? pop_.total_users() : rates_.size();
+  }
+  [[nodiscard]] bool classed() const noexcept { return classed_; }
+  /// Served classed equilibrium; throws std::logic_error on expanded shards.
+  [[nodiscard]] const core::ClassedPopulation& population() const;
   [[nodiscard]] const std::vector<double>& rates() const noexcept {
     return rates_;
   }
@@ -106,9 +122,21 @@ class SolverShard {
 
   /// Stages a utility swap for `local_user`; applied by the next repair().
   /// Staging the same user twice keeps the last write (batch semantics).
+  /// Throws std::logic_error on a classed shard.
   void stage(std::size_t local_user, core::UtilityPtr utility);
 
-  [[nodiscard]] bool dirty() const noexcept { return !dirty_users_.empty(); }
+  /// Classed shard only: stages a membership change for class `cls`
+  /// (count >= 1). Count-only churn preserves every class's rate as a warm
+  /// start, so the repair is an O(k) warm classed solve — the equilibrium
+  /// shifts smoothly in the class sizes.
+  void stage_class_count(std::size_t cls, std::size_t count);
+
+  /// Classed shard only: stages a utility swap for every member of `cls`.
+  void stage_class_utility(std::size_t cls, core::UtilityPtr utility);
+
+  [[nodiscard]] bool dirty() const noexcept {
+    return !dirty_users_.empty() || !dirty_classes_.empty();
+  }
 
   /// Applies staged churn and repairs the equilibrium per `policy`,
   /// leaving rates() at the repaired point and clearing the dirty set.
@@ -124,12 +152,22 @@ class SolverShard {
   [[nodiscard]] std::vector<double> cold_start() const;
 
  private:
+  RepairOutcome repair_classed(const RepairPolicy& policy);
+
   std::shared_ptr<const core::AllocationFunction> alloc_;
   core::UtilityProfile profile_;
   std::vector<double> rates_;
   std::vector<std::size_t> dirty_users_;   ///< staged users, insertion order
   std::vector<core::UtilityPtr> staged_;   ///< per-user staged utility
   std::vector<char> staged_flag_;          ///< membership bitmap
+
+  // Classed-mode state (profile_ doubles as the per-class profile).
+  bool classed_ = false;
+  core::ClassedPopulation pop_;
+  std::vector<std::size_t> dirty_classes_;      ///< staged classes, in order
+  std::vector<std::size_t> staged_count_;       ///< 0 = count unchanged
+  std::vector<core::UtilityPtr> staged_class_;  ///< null = utility unchanged
+  std::vector<char> staged_class_flag_;
 };
 
 }  // namespace gw::ctrl

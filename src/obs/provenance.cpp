@@ -164,6 +164,11 @@ void write_manifest(JsonWriter& w, const RunManifest& manifest) {
     w.key("counters_status");
     w.value(manifest.counters_status);
   }
+  if (!manifest.simd.empty()) {
+    // Same omit-when-unset convention as trace_solves.
+    w.key("simd");
+    w.value(manifest.simd);
+  }
   w.end_object();
 }
 

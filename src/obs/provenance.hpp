@@ -33,6 +33,9 @@ struct RunManifest {
   std::string counters_mode;  ///< bench --counters (auto|off|require);
                               ///< empty = harness predates counters and
                               ///< the three counters_* fields are omitted
+  std::string simd;           ///< "ON"/"OFF": GW_SIMD vector-path selection
+                              ///< (bench stamps core::simd::kEnabled);
+                              ///< empty = predates the field, omitted
   bool counters_available = false;  ///< hardware counter group opened
   std::string counters_status;      ///< "ok" or the degradation reason
 };

@@ -420,6 +420,54 @@ TEST_F(BenchstatCli, CompareWarnsWhenManifestsDiffer) {
   std::remove(out.c_str());
 }
 
+TEST_F(BenchstatCli, CompareWarnsOnSimdAndMarchMismatch) {
+  // A vector-vs-scalar build (GW_SIMD stamp) or a different ISA baseline
+  // (-march= inside cxx_flags) skews per-unit costs exactly like a
+  // thread-count mismatch, so both earn manifest warnings.
+  const std::vector<double> wall = {10.0, 10.2, 9.9, 10.1, 10.0};
+  auto with_manifest = [](std::string doc, const std::string& simd,
+                          const std::string& flags) {
+    const std::string needle = "\"cxx_flags\":\"\"";
+    const std::size_t at = doc.find(needle);
+    EXPECT_NE(at, std::string::npos);
+    doc.replace(at, needle.size(),
+                "\"cxx_flags\":\"" + flags + "\",\"simd\":\"" + simd + "\"");
+    return doc;
+  };
+  write_file(path("old.json"),
+             with_manifest(
+                 synthetic_bench_v3("bench_isa", wall,
+                                    {40.0, 40.4, 39.8, 40.2, 40.1}, 1, true),
+                 "ON", "-O3 -march=x86-64-v3"));
+  write_file(path("new.json"),
+             with_manifest(
+                 synthetic_bench_v3("bench_isa", wall,
+                                    {40.1, 40.0, 40.2, 39.9, 40.05}, 1, true),
+                 "OFF", "-O3 -march=native"));
+
+  const std::string out = path("warn_isa.json");
+  const auto compared = run_command(
+      benchstat_path() + " compare " + path("old.json") + " " +
+      path("new.json") + " --threshold 5 --per-unit --json " + out);
+  EXPECT_EQ(compared.exit_code, 0) << compared.output;
+  EXPECT_NE(compared.output.find("WARNING: manifests differ: GW_SIMD ON vs "
+                                 "OFF"),
+            std::string::npos)
+      << compared.output;
+  EXPECT_NE(compared.output.find(
+                "WARNING: manifests differ: -march=x86-64-v3 vs "
+                "-march=native"),
+            std::string::npos)
+      << compared.output;
+
+  std::ifstream in(out);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  ASSERT_EQ(doc.at("manifest_warnings").array.size(), 2u);
+  std::remove(out.c_str());
+}
+
 TEST_F(BenchstatCli, MixedV2AndV3CompareFallsBackToWall) {
   // Old baseline predates counters (v2), new run is v3: wall_ms still
   // gates, per-unit metrics appear only on the side that has them, and

@@ -19,6 +19,7 @@
 #include "core/fair_share.hpp"
 #include "core/gfunction.hpp"
 #include "core/mixture.hpp"
+#include "core/population.hpp"
 #include "core/priority_alloc.hpp"
 #include "core/proportional.hpp"
 #include "core/serial_general.hpp"
@@ -414,16 +415,105 @@ TEST(EvalWorkspace, ScanProbeMatchesGenericBitForBit) {
 }
 
 TEST(EvalWorkspace, ScanDefaultsSignalNoFastPath) {
-  // Disciplines without a staged path report false from scan_prepare, and
-  // calling the probe anyway is a contract violation, not a silent fallback.
-  const ProportionalAllocation prop;
+  // Regression for the scan_prepare contract: EVERY discipline without a
+  // staged path reports false from the base-class default (no
+  // discipline-specific logic_error split), and calling the probe anyway
+  // is a contract violation, not a silent fallback. Staged disciplines
+  // report true on the same inputs.
   EvalWorkspace ws;
   const std::vector<double> rates{0.1, 0.2, 0.3};
-  EXPECT_FALSE(prop.scan_prepare(0, rates, ws));
-  EXPECT_THROW((void)prop.scan_congestion_of(0, 0.15, rates, ws),
-               std::logic_error);
-  const WeightedSerialAllocation weighted(standard_weights(3));
-  EXPECT_FALSE(weighted.scan_prepare(1, rates, ws));
+  const std::vector<const char*> staged = {"FairShare", "SmallestRateFirst",
+                                           "GeneralSerial[mm1]",
+                                           "GeneralSerial[mg1]"};
+  for (const auto& c : all_cases()) {
+    const auto alloc = c.make(rates.size());
+    bool expected = false;
+    for (const char* name : staged) {
+      if (std::string(name) == c.label) expected = true;
+    }
+    EXPECT_EQ(alloc->scan_prepare(0, rates, ws), expected) << c.label;
+    if (!expected) {
+      EXPECT_THROW((void)alloc->scan_congestion_of(0, 0.15, rates, ws),
+                   std::logic_error)
+          << c.label;
+    }
+  }
+}
+
+TEST(EvalWorkspace, ChildReuseAcrossMixedPopulationSizes) {
+  // The classed solver runs k-sized classed passes and N-sized expanded
+  // passes through the same workspace tree (classed staging on ws, nested
+  // evaluation on ws.child()). Growing the child for a large expanded pass
+  // and then shrinking back to a small classed pass must not alias lanes:
+  // every result must match a cold workspace at that size.
+  numerics::Rng rng(727);
+  const GeneralSerialAllocation serial(GFunction::mg1(2.0));
+  EvalWorkspace warm;
+  for (const std::size_t n : {5u, 40u, 3u, 64u, 7u, 40u}) {
+    // Expanded pass at size n through the parent...
+    const auto rates = random_rates(rng, n);
+    std::vector<double> out_warm(n), out_cold(n);
+    EvalWorkspace cold;
+    serial.congestion_into(rates, out_warm, warm);
+    serial.congestion_into(rates, out_cold, cold);
+    EXPECT_EQ(out_warm, out_cold) << "n=" << n;
+    // ...then a classed pass at k = min(n, 6) through the child.
+    const std::size_t k = std::min<std::size_t>(n, 6);
+    std::vector<RateClass> classes(k);
+    for (std::size_t a = 0; a < k; ++a) {
+      classes[a] = RateClass{rates[a] / 4.0, 1.0, 1 + a % 3};
+    }
+    const auto pop = ClassedPopulation::from_classes(std::move(classes));
+    std::vector<double> classed_warm(k), classed_cold(k);
+    EvalWorkspace cold2;
+    ASSERT_TRUE(serial.congestion_classes_into(pop, classed_warm,
+                                               warm.child()));
+    ASSERT_TRUE(serial.congestion_classes_into(pop, classed_cold, cold2));
+    EXPECT_EQ(classed_warm, classed_cold) << "k=" << k;
+  }
+}
+
+TEST(EvalWorkspace, PaddedHoldsAtClassLaneBoundaries) {
+  // Classed scan tables put k-sized prefix tables in the value lanes (the
+  // opponent-count prefixes ride lane 9), so the padded(n) >= n + 1 slack
+  // contract must hold exactly at and around the lane-quantum boundaries a
+  // class count k sits on — and the staged classed scan must keep matching
+  // the expanded reference there.
+  EvalWorkspace scan_ws;
+  EvalWorkspace probe_ws;
+  const GeneralSerialAllocation serial(GFunction::mm1());
+  for (const std::size_t k :
+       {std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{15},
+        std::size_t{16}, std::size_t{17}, std::size_t{63}, std::size_t{64},
+        std::size_t{65}}) {
+    EXPECT_GE(EvalWorkspace::padded(k), k + 1) << "k=" << k;
+    EXPECT_EQ(EvalWorkspace::padded(k) % simd::kLaneQuantum, 0u) << "k=" << k;
+    std::vector<RateClass> classes(k);
+    for (std::size_t a = 0; a < k; ++a) {
+      classes[a] = RateClass{0.4 * (1.0 + static_cast<double>(a % 5)) /
+                                 (5.0 * static_cast<double>(k)),
+                             1.0, 1 + a % 2};
+    }
+    const auto pop = ClassedPopulation::from_classes(std::move(classes));
+    const std::size_t a = k - 1;  // the class whose tables end at the edge
+    ASSERT_TRUE(serial.scan_prepare_classes(a, pop, scan_ws)) << "k=" << k;
+    const std::size_t rep = pop.base(a) + pop[a].count - 1;
+    std::vector<double> mutated = pop.expand();
+    for (const double x : {0.0, pop[a].rate, pop[0].rate, 0.8}) {
+      mutated[rep] = x;
+      const double expected = serial.congestion_of_into(rep, mutated,
+                                                        probe_ws);
+      const double got = serial.scan_congestion_of_class(a, x, pop, scan_ws);
+      // Not bit-identical: the classed prefix tables reassociate the
+      // expanded per-user sums, so agreement is relative to magnitude.
+      if (std::isnan(expected) || std::isinf(expected)) {
+        expect_identical(got, expected, "classed-scan", k, a);
+      } else {
+        EXPECT_NEAR(got, expected, 1e-12 * std::max(1.0, std::abs(expected)))
+            << "classed-scan k=" << k << " x=" << x;
+      }
+    }
+  }
 }
 
 }  // namespace

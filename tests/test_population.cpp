@@ -1,0 +1,482 @@
+// Classed-population tests: the ClassedPopulation round-trip laws, and the
+// expand/compress equivalence contract (DESIGN.md) differentially — every
+// classed layer (congestion, jacobian, scan probes, solves, shard repairs)
+// must agree with the expanded per-user evaluation on expand(pop), with
+// per-class values being the *representative* member's (the last expanded
+// member; see the tie-breaking contract in core/population.hpp).
+#include "core/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fair_share.hpp"
+#include "core/gfunction.hpp"
+#include "core/nash.hpp"
+#include "core/priority_alloc.hpp"
+#include "core/proportional.hpp"
+#include "core/serial_general.hpp"
+#include "core/weighted_serial.hpp"
+#include "ctrl/shard.hpp"
+#include "numerics/rng.hpp"
+
+namespace gw::core {
+namespace {
+
+constexpr double kLayerTol = 1e-12;  ///< evaluation-layer relative budget
+constexpr double kLayerFloor = 1e-11;  ///< absolute floor near cancellation
+
+std::vector<RateClass> small_classes() {
+  return {{0.02, 1.0, 3}, {0.05, 1.0, 1}, {0.03, 1.0, 4}, {0.05, 1.0, 2}};
+}
+
+/// Randomized classed population: mixed counts, deliberate rate ties
+/// across classes, occasional non-unit weights when `weighted`.
+ClassedPopulation random_population(numerics::Rng& rng, bool weighted) {
+  const std::size_t k = 2 + rng.uniform_index(5);
+  std::vector<RateClass> classes(k);
+  for (auto& c : classes) {
+    c.rate = rng.uniform(0.005, 0.08);
+    c.weight = weighted ? 0.5 + 0.25 * rng.uniform_index(4) : 1.0;
+    c.count = 1 + rng.uniform_index(5);
+  }
+  if (k >= 2 && rng.bernoulli(0.5)) classes[k - 1].rate = classes[0].rate;
+  return ClassedPopulation::from_classes(std::move(classes));
+}
+
+void expect_layer_close(double classed, double expanded, const char* what,
+                        std::size_t a) {
+  if (std::isinf(expanded) || std::isnan(expanded)) {
+    EXPECT_EQ(std::isinf(classed), std::isinf(expanded))
+        << what << " class " << a;
+    EXPECT_EQ(std::isnan(classed), std::isnan(expanded))
+        << what << " class " << a;
+  } else {
+    // Classed closed forms reassociate the expanded sums, so agreement is
+    // relative to magnitude with a small absolute floor where the expanded
+    // form cancels to ~0.
+    const double tol =
+        std::max(kLayerFloor, kLayerTol * std::abs(expanded));
+    EXPECT_NEAR(classed, expanded, tol) << what << " class " << a;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ClassedPopulation container laws
+// ---------------------------------------------------------------------------
+
+TEST(Population, RoundTripExpandCompress) {
+  numerics::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(40);
+    std::vector<double> rates(n);
+    for (auto& r : rates) r = 0.01 * (1 + rng.uniform_index(8));  // ties
+    const ClassedPopulation pop = ClassedPopulation::compress(rates);
+    std::vector<double> sorted = rates;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(pop.expand(), sorted);  // exact: compression copies doubles
+    EXPECT_EQ(pop.total_users(), n);
+  }
+}
+
+TEST(Population, RoundTripCompressExpandCanonical) {
+  const auto pop = ClassedPopulation::from_classes(small_classes());
+  const ClassedPopulation back = ClassedPopulation::compress(pop.expand());
+  EXPECT_EQ(back.classes(), pop.canonical().classes());
+}
+
+TEST(Population, FromClassesPreservesOrderWithoutMerging) {
+  // k identical-rate classes stay k classes: the index order is part of
+  // the tie-breaking contract, so from_classes never canonicalizes.
+  const auto pop = ClassedPopulation::from_classes(
+      {{0.1, 1.0, 2}, {0.1, 1.0, 3}, {0.1, 1.0, 1}});
+  EXPECT_EQ(pop.k(), 3u);
+  EXPECT_EQ(pop.total_users(), 6u);
+  EXPECT_EQ(pop.base(0), 0u);
+  EXPECT_EQ(pop.base(1), 2u);
+  EXPECT_EQ(pop.base(2), 5u);
+  EXPECT_EQ(pop.canonical().k(), 1u);  // canonical() is where merging lives
+}
+
+TEST(Population, ValidationRejectsMalformedClasses) {
+  EXPECT_THROW((void)ClassedPopulation::from_classes({}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ClassedPopulation::from_classes({{-0.1, 1.0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ClassedPopulation::from_classes({{0.1, 0.0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ClassedPopulation::from_classes({{0.1, 1.0, 0}}),
+               std::invalid_argument);
+  auto pop = ClassedPopulation::from_classes({{0.1, 1.0, 2}});
+  EXPECT_THROW(pop.set_rate(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(pop.set_count(0, 0), std::invalid_argument);
+  pop.set_count(0, 5);
+  EXPECT_EQ(pop.total_users(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation-layer differentials: classed closed forms vs expanded forms
+// ---------------------------------------------------------------------------
+
+struct ClassedCase {
+  const char* label;
+  bool weighted = false;  ///< needs per-user weights from the population
+  /// False for disciplines with no interior Nash point under LinearUtility:
+  /// SmallestRateFirst rewards undercutting just below the current smallest
+  /// rate, so best responses race to a knife-edge tie cluster whose exact
+  /// location is search-grid dependent (the paper's argument against
+  /// rate-priority disciplines). Such cases are exercised at the evaluation
+  /// layer only; the solver-layer differentials need a stable fixed point.
+  bool interior_equilibrium = true;
+  std::shared_ptr<const AllocationFunction> (*make)(
+      const ClassedPopulation& pop);
+};
+
+std::vector<ClassedCase> classed_cases() {
+  return {
+      {"Proportional", false, true,
+       [](const ClassedPopulation&)
+           -> std::shared_ptr<const AllocationFunction> {
+         return std::make_shared<ProportionalAllocation>();
+       }},
+      {"FairShare", false, true,
+       [](const ClassedPopulation&)
+           -> std::shared_ptr<const AllocationFunction> {
+         return std::make_shared<FairShareAllocation>();
+       }},
+      {"GeneralSerial[mg1]", false, true,
+       [](const ClassedPopulation&)
+           -> std::shared_ptr<const AllocationFunction> {
+         return std::make_shared<GeneralSerialAllocation>(GFunction::mg1(2.0));
+       }},
+      {"GeneralProportional[mg1]", false, true,
+       [](const ClassedPopulation&)
+           -> std::shared_ptr<const AllocationFunction> {
+         return std::make_shared<GeneralProportionalAllocation>(
+             GFunction::mg1(0.5));
+       }},
+      {"SmallestRateFirst", false, false,
+       [](const ClassedPopulation&)
+           -> std::shared_ptr<const AllocationFunction> {
+         return std::make_shared<SmallestRateFirstAllocation>();
+       }},
+      {"WeightedSerial", true, true,
+       [](const ClassedPopulation& pop)
+           -> std::shared_ptr<const AllocationFunction> {
+         std::vector<double> weights(pop.total_users());
+         pop.expand_weights_into(weights);
+         return std::make_shared<WeightedSerialAllocation>(std::move(weights));
+       }},
+  };
+}
+
+TEST(ClassedEval, CongestionMatchesExpandedRepresentative) {
+  numerics::Rng rng(41);
+  EvalWorkspace ws;
+  EvalWorkspace expanded_ws;
+  for (const auto& c : classed_cases()) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const ClassedPopulation pop = random_population(rng, c.weighted);
+      const auto alloc = c.make(pop);
+      std::vector<double> classed(pop.k());
+      ASSERT_TRUE(alloc->congestion_classes_into(pop, classed, ws))
+          << c.label;
+      const std::vector<double> rates = pop.expand();
+      std::vector<double> expanded(rates.size());
+      alloc->congestion_into(rates, expanded, expanded_ws);
+      for (std::size_t a = 0; a < pop.k(); ++a) {
+        const std::size_t rep = pop.base(a) + pop[a].count - 1;
+        expect_layer_close(classed[a], expanded[rep], c.label, a);
+      }
+    }
+  }
+}
+
+TEST(ClassedEval, JacobianMatchesExpandedPartials) {
+  numerics::Rng rng(43);
+  EvalWorkspace ws;
+  numerics::Matrix cross;
+  for (const auto& c : classed_cases()) {
+    for (int trial = 0; trial < 12; ++trial) {
+      const ClassedPopulation pop = random_population(rng, c.weighted);
+      const auto alloc = c.make(pop);
+      std::vector<double> own(pop.k());
+      ASSERT_TRUE(alloc->jacobian_classes_into(pop, cross, own, ws))
+          << c.label;
+      const std::vector<double> rates = pop.expand();
+      for (std::size_t a = 0; a < pop.k(); ++a) {
+        const std::size_t rep_a = pop.base(a) + pop[a].count - 1;
+        expect_layer_close(own[a], alloc->partial(rep_a, rep_a, rates),
+                           c.label, a);
+        for (std::size_t b = 0; b < pop.k(); ++b) {
+          // cross(a, b) is dC_i/dr_j for i = rep of a, j a member of b
+          // other than i; needs such a j to exist.
+          std::size_t j;
+          if (b != a) {
+            j = pop.base(b);
+          } else if (pop[a].count >= 2) {
+            j = pop.base(a);
+          } else {
+            continue;
+          }
+          expect_layer_close(cross(a, b), alloc->partial(rep_a, j, rates),
+                             c.label, a);
+        }
+        // Whole-class chain rule documented on jacobian_classes_into:
+        // dC_rep/drho_a = own[a] + (count_a - 1) * cross(a, a).
+        if (pop[a].count >= 2) {
+          const double whole =
+              own[a] + static_cast<double>(pop[a].count - 1) * cross(a, a);
+          double expanded_whole = alloc->partial(rep_a, rep_a, rates);
+          for (std::size_t j = pop.base(a); j < rep_a; ++j) {
+            expanded_whole += alloc->partial(rep_a, j, rates);
+          }
+          if (std::isfinite(expanded_whole)) {
+            EXPECT_NEAR(whole, expanded_whole, 1e-10 * pop[a].count)
+                << c.label << " class " << a;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ClassedEval, ScanProbeMatchesExpandedCongestion) {
+  numerics::Rng rng(47);
+  EvalWorkspace scan_ws;
+  EvalWorkspace probe_ws;
+  for (const auto& c : classed_cases()) {
+    for (int trial = 0; trial < 15; ++trial) {
+      const ClassedPopulation pop = random_population(rng, c.weighted);
+      const auto alloc = c.make(pop);
+      const std::size_t a = rng.uniform_index(pop.k());
+      if (!alloc->scan_prepare_classes(a, pop, scan_ws)) continue;
+      const std::size_t rep = pop.base(a) + pop[a].count - 1;
+      std::vector<double> mutated = pop.expand();
+      const std::vector<double> probes = {0.0, pop[a].rate,
+                                          rng.uniform(0.0, 0.1),
+                                          pop[(a + 1) % pop.k()].rate,
+                                          rng.uniform(0.9, 1.5)};
+      for (const double x : probes) {
+        mutated[rep] = x;
+        const double expected =
+            alloc->congestion_of_into(rep, mutated, probe_ws);
+        const double got =
+            alloc->scan_congestion_of_class(a, x, pop, scan_ws);
+        expect_layer_close(got, expected, c.label, a);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver-layer differentials
+// ---------------------------------------------------------------------------
+
+NashOptions tight_options() {
+  // 1e-10 rather than 1e-11: serial tie kinks leave one-sided FD Jacobian
+  // branches that stall the classed Newton just above machine-level residual.
+  NashOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 200;
+  return options;
+}
+
+TEST(ClassedSolver, EquilibriumMatchesExpandedSolve) {
+  const auto utility = std::make_shared<LinearUtility>(1.0, 0.25);
+  for (const auto& c : classed_cases()) {
+    if (!c.interior_equilibrium) continue;
+    const auto pop = ClassedPopulation::from_classes(small_classes());
+    const auto alloc = c.make(pop);
+    const UtilityProfile class_profile = uniform_profile(utility, pop.k());
+    const auto classed =
+        solve_nash_classed(*alloc, class_profile, pop, tight_options());
+    ASSERT_TRUE(classed.converged) << c.label;
+
+    // Expanded reference: best-response dynamics to its movement tolerance,
+    // then the dense Newton polish drives the KKT residual the rest of the
+    // way to the classed tolerance.
+    const std::size_t n = pop.total_users();
+    const UtilityProfile profile = uniform_profile(utility, n);
+    NashOptions br_options;
+    br_options.tolerance = 1e-9;
+    br_options.max_iterations = 400;
+    auto expanded = solve_nash(*alloc, profile, pop.expand(), br_options);
+    ASSERT_TRUE(expanded.converged) << c.label;
+    const auto polish = newton_fdc(
+        *alloc, profile, expanded.rates,
+        NewtonFdcOptions{.max_iterations = 32, .tolerance = 1e-10});
+
+    const std::vector<double> classed_rates = classed.population.expand();
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst,
+                       std::abs(classed_rates[i] - expanded.rates[i]));
+    }
+    EXPECT_TRUE(polish.converged) << c.label;
+    EXPECT_LE(worst, 1e-9) << c.label;
+  }
+}
+
+TEST(ClassedSolver, ClassedResidualVanishesAtEquilibrium) {
+  const auto utility = std::make_shared<LinearUtility>(1.0, 0.25);
+  for (const auto& c : classed_cases()) {
+    if (!c.interior_equilibrium) continue;
+    const auto pop = ClassedPopulation::from_classes(small_classes());
+    const auto alloc = c.make(pop);
+    const UtilityProfile class_profile = uniform_profile(utility, pop.k());
+    const auto solved =
+        solve_nash_classed(*alloc, class_profile, pop, tight_options());
+    ASSERT_TRUE(solved.converged) << c.label;
+    const auto residuals =
+        classed_kkt_residuals(*alloc, class_profile, solved.population);
+    for (std::size_t a = 0; a < residuals.size(); ++a) {
+      if (std::isnan(residuals[a])) continue;
+      EXPECT_LE(std::abs(residuals[a]), 1e-6) << c.label << " class " << a;
+    }
+  }
+}
+
+TEST(ClassedSolver, ExpansionFallbackForDisciplinesWithoutClosedForms) {
+  // FixedPriority has no classed closed forms (priority is by expanded
+  // user index, which classes cannot represent), so the solver must fall
+  // back to the expanded game transparently.
+  const FixedPriorityAllocation alloc;
+  const auto pop = ClassedPopulation::from_classes({{0.05, 1.0, 2},
+                                                    {0.03, 1.0, 3}});
+  const auto profile =
+      uniform_profile(std::make_shared<LinearUtility>(1.0, 0.25), pop.k());
+  EvalWorkspace ws;
+  std::vector<double> staging(pop.k());
+  EXPECT_FALSE(alloc.congestion_classes_into(pop, staging, ws));
+  const auto solved = solve_nash_classed(alloc, profile, pop, {});
+  EXPECT_TRUE(solved.used_expansion);
+  EXPECT_TRUE(solved.converged);
+  EXPECT_EQ(solved.population.total_users(), pop.total_users());
+}
+
+TEST(ClassedSolver, CountChurnShiftsEquilibriumConsistently) {
+  // Count-only churn is the million-user control-plane operation: changing
+  // a class count and re-solving warm must land on the same equilibrium as
+  // a cold solve of the churned population.
+  const auto alloc = std::make_shared<GeneralSerialAllocation>(
+      GFunction::mg1(2.0));
+  auto pop = ClassedPopulation::from_classes(small_classes());
+  const auto profile =
+      uniform_profile(std::make_shared<LinearUtility>(1.0, 0.25), pop.k());
+  auto warm = solve_nash_classed(*alloc, profile, pop, tight_options());
+  ASSERT_TRUE(warm.converged);
+  auto churned = warm.population;
+  churned.set_count(2, 9);
+  const auto repaired =
+      solve_nash_classed(*alloc, profile, churned, tight_options());
+  auto cold_pop = ClassedPopulation::from_classes(small_classes());
+  cold_pop.set_count(2, 9);
+  const auto cold =
+      solve_nash_classed(*alloc, profile, cold_pop, tight_options());
+  ASSERT_TRUE(repaired.converged);
+  ASSERT_TRUE(cold.converged);
+  for (std::size_t a = 0; a < cold_pop.k(); ++a) {
+    EXPECT_NEAR(repaired.population[a].rate, cold.population[a].rate, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Classed control-plane shards
+// ---------------------------------------------------------------------------
+
+TEST(ClassedShard, ClassedConstructionSolvesAndReportsSize) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto pop = ClassedPopulation::from_classes(small_classes());
+  const auto profile =
+      uniform_profile(std::make_shared<LinearUtility>(1.0, 0.25), pop.k());
+  const ctrl::SolverShard shard(alloc, profile, pop);
+  EXPECT_TRUE(shard.classed());
+  EXPECT_EQ(shard.size(), pop.total_users());
+  EXPECT_EQ(shard.population().k(), pop.k());
+  const auto residuals =
+      classed_kkt_residuals(*alloc, profile, shard.population());
+  for (const double e : residuals) {
+    if (!std::isnan(e)) {
+      EXPECT_LE(std::abs(e), 1e-6);
+    }
+  }
+}
+
+TEST(ClassedShard, ExpandedStagingThrowsOnClassedShard) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto profile =
+      uniform_profile(std::make_shared<LinearUtility>(1.0, 0.25), 4);
+  ctrl::SolverShard classed(alloc, profile,
+                            ClassedPopulation::from_classes(small_classes()));
+  EXPECT_THROW(classed.stage(0, std::make_shared<LinearUtility>(1.0, 0.3)),
+               std::logic_error);
+  ctrl::SolverShard expanded(alloc, profile);
+  EXPECT_THROW((void)expanded.population(), std::logic_error);
+  EXPECT_THROW(expanded.stage_class_count(0, 2), std::logic_error);
+}
+
+TEST(ClassedShard, CountChurnRepairsViaClassPath) {
+  const auto alloc = std::make_shared<GeneralSerialAllocation>(
+      GFunction::mg1(2.0));
+  const auto pop = ClassedPopulation::from_classes(small_classes());
+  const auto profile =
+      uniform_profile(std::make_shared<LinearUtility>(1.0, 0.25), pop.k());
+  ctrl::SolverShard shard(alloc, profile, pop);
+  EXPECT_FALSE(shard.dirty());
+  shard.stage_class_count(1, 6);
+  EXPECT_TRUE(shard.dirty());
+  const auto outcome = shard.repair(ctrl::RepairPolicy{});
+  EXPECT_FALSE(shard.dirty());
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_EQ(outcome.path, ctrl::RepairPath::kClassRepair);
+  EXPECT_EQ(shard.population()[1].count, 6u);
+  EXPECT_EQ(shard.size(), pop.total_users() + 5);
+
+  // The repaired point must match a cold classed solve of the churned
+  // population (same oracle the expanded repair ladder is tested against).
+  auto churned = pop;
+  churned.set_count(1, 6);
+  const auto cold = solve_nash_classed(*alloc, profile, churned,
+                                       ctrl::RepairPolicy{}.full_solve);
+  ASSERT_TRUE(cold.converged);
+  for (std::size_t a = 0; a < churned.k(); ++a) {
+    EXPECT_NEAR(shard.population()[a].rate, cold.population[a].rate, 1e-7);
+  }
+}
+
+TEST(ClassedShard, ClassUtilityChurnRepairs) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto pop = ClassedPopulation::from_classes(small_classes());
+  const auto profile =
+      uniform_profile(std::make_shared<LinearUtility>(1.0, 0.25), pop.k());
+  ctrl::SolverShard shard(alloc, profile, pop);
+  const double before = shard.population()[0].rate;
+  shard.stage_class_utility(0, std::make_shared<LinearUtility>(1.0, 0.6));
+  const auto outcome = shard.repair(ctrl::RepairPolicy{});
+  EXPECT_TRUE(outcome.converged);
+  // A more delay-averse class backs off.
+  EXPECT_LT(shard.population()[0].rate, before);
+}
+
+TEST(ClassedShard, FullResolveModeColdSolvesClassed) {
+  const auto alloc = std::make_shared<FairShareAllocation>();
+  const auto pop = ClassedPopulation::from_classes(small_classes());
+  const auto profile =
+      uniform_profile(std::make_shared<LinearUtility>(1.0, 0.25), pop.k());
+  ctrl::SolverShard shard(alloc, profile, pop);
+  shard.stage_class_count(0, 8);
+  ctrl::RepairPolicy naive;
+  naive.mode = ctrl::RepairMode::kFullResolve;
+  const auto outcome = shard.repair(naive);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_EQ(outcome.path, ctrl::RepairPath::kFullSolve);
+  EXPECT_EQ(shard.population()[0].count, 8u);
+}
+
+}  // namespace
+}  // namespace gw::core

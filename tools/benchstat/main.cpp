@@ -72,6 +72,8 @@ struct ManifestFacts {
   bool any = false;  ///< a manifest with these fields was seen
   double threads = std::numeric_limits<double>::quiet_NaN();
   std::string build_type;
+  std::string simd;   ///< "ON"/"OFF" GW_SIMD stamp; empty pre-field
+  std::string march;  ///< -march= token parsed from cxx_flags; empty if none
   int counters_available = -1;  ///< -1 unknown (pre-v3), else 0/1
 };
 
@@ -175,6 +177,20 @@ void absorb_manifest(Suite& suite, const JsonValue& manifest) {
                                   std::numeric_limits<double>::quiet_NaN());
   if (manifest.has("build_type") && manifest.at("build_type").is_string()) {
     suite.facts.build_type = manifest.at("build_type").string;
+  }
+  if (manifest.has("simd") && manifest.at("simd").is_string()) {
+    suite.facts.simd = manifest.at("simd").string;
+  }
+  if (manifest.has("cxx_flags") && manifest.at("cxx_flags").is_string()) {
+    // The ISA baseline hides inside the flags string; a -march mismatch
+    // skews per-unit costs exactly like a thread-count mismatch would.
+    const std::string& flags = manifest.at("cxx_flags").string;
+    const std::size_t at = flags.find("-march=");
+    if (at != std::string::npos) {
+      const std::size_t end = flags.find_first_of(" \t", at);
+      suite.facts.march = flags.substr(
+          at, (end == std::string::npos ? flags.size() : end) - at);
+    }
   }
   if (manifest.has("counters_available") &&
       manifest.at("counters_available").kind == JsonValue::Kind::kBool) {
@@ -551,6 +567,16 @@ std::vector<std::string> manifest_mismatches(const ManifestFacts& old_facts,
       old_facts.build_type != new_facts.build_type) {
     warnings.push_back("manifests differ: build_type " +
                        old_facts.build_type + " vs " + new_facts.build_type);
+  }
+  if (!old_facts.simd.empty() && !new_facts.simd.empty() &&
+      old_facts.simd != new_facts.simd) {
+    warnings.push_back("manifests differ: GW_SIMD " + old_facts.simd +
+                       " vs " + new_facts.simd);
+  }
+  if (!old_facts.march.empty() && !new_facts.march.empty() &&
+      old_facts.march != new_facts.march) {
+    warnings.push_back("manifests differ: " + old_facts.march + " vs " +
+                       new_facts.march);
   }
   if (old_facts.counters_available >= 0 && new_facts.counters_available >= 0 &&
       old_facts.counters_available != new_facts.counters_available) {
